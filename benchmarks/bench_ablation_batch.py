@@ -1,0 +1,55 @@
+"""ABL-BATCH — ablation: utilization vs batch size (extends Figure 3).
+
+Sweeps the batch size at threshold 1 for a 33-worker pool.  Expected
+shape: utilization rises with batch size and saturates once the pool is
+comfortably oversubscribed — but the oversubscribed surplus (claimed,
+not-yet-running tasks) grows linearly, and every claimed task is
+ineligible for reprioritization/cancellation: the trade-off §IV-D
+describes, quantified.
+"""
+
+from __future__ import annotations
+
+from repro.sim import Fig3Config, run_fig3_panel
+from repro.telemetry import render_table
+
+BATCH_SIZES = (33, 38, 43, 50, 66)
+
+
+def test_batch_size_sweep(benchmark, report):
+    def sweep():
+        return {
+            batch: run_fig3_panel(
+                Fig3Config(batch_size=batch, threshold=1, n_tasks=400)
+            )
+            for batch in BATCH_SIZES
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for batch in BATCH_SIZES:
+        result = results[batch]
+        surplus = batch - 33
+        rows.append(
+            [
+                batch,
+                result.stats["utilization"],
+                result.stats["full_fraction"],
+                surplus,
+                result.makespan,
+            ]
+        )
+    report(
+        "ABL-BATCH utilization vs batch size (33 workers, threshold 1)\n"
+        + render_table(
+            ["batch", "utilization", "full_frac", "cache surplus", "makespan"], rows
+        )
+    )
+
+    utils = [results[b].stats["utilization"] for b in BATCH_SIZES]
+    # Monotone (within jitter) improvement up to saturation.
+    assert utils[-1] >= utils[0]
+    assert max(utils) - utils[0] >= 0.0
+    # Oversubscribed runs keep the pool essentially full.
+    assert results[66].stats["full_fraction"] > results[33].stats["full_fraction"]

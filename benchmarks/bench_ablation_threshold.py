@@ -1,0 +1,52 @@
+"""ABL-THRESH — ablation: utilization vs fetch threshold (extends Fig 3).
+
+Sweeps the threshold at batch size 33 for a 33-worker pool.  Expected
+shape: utilization decays and the saw-tooth deepens as the threshold
+grows (workers idle until the deficit accumulates), while the number of
+DB queries falls — the query-load/utilization trade-off the threshold
+knob exists to tune.
+"""
+
+from __future__ import annotations
+
+from repro.sim import Fig3Config, run_fig3_panel
+from repro.telemetry import render_table
+
+THRESHOLDS = (1, 5, 10, 15, 25, 33)
+
+
+def test_threshold_sweep(benchmark, report):
+    def sweep():
+        return {
+            threshold: run_fig3_panel(
+                Fig3Config(batch_size=33, threshold=threshold, n_tasks=400)
+            )
+            for threshold in THRESHOLDS
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            t,
+            results[t].stats["utilization"],
+            results[t].stats["dip_depth_mean"],
+            results[t].n_fetches,
+            results[t].makespan,
+        ]
+        for t in THRESHOLDS
+    ]
+    report(
+        "ABL-THRESH utilization vs threshold (33 workers, batch 33)\n"
+        + render_table(
+            ["threshold", "utilization", "dip_depth", "fetches", "makespan"], rows
+        )
+    )
+
+    # Utilization decays from the tight to the loose end.
+    assert results[1].stats["utilization"] > results[33].stats["utilization"]
+    # Query load falls monotonically with the threshold.
+    fetches = [results[t].n_fetches for t in THRESHOLDS]
+    assert all(b <= a for a, b in zip(fetches, fetches[1:]))
+    # The saw-tooth deepens.
+    assert results[33].stats["dip_depth_mean"] > results[1].stats["dip_depth_mean"]

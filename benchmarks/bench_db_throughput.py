@@ -1,0 +1,89 @@
+"""PERF-DB — EMEWS DB operation throughput, per backend.
+
+Microbenchmarks for the task-queue hot paths (submit, priority pop,
+report, batch reprioritize) on both store engines.  The in-memory
+backend is what the DES scenarios run on; the SQLite backend is the
+durable deployment engine — the gap between them bounds how much of a
+wall-clock run the database can account for.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import MemoryTaskStore, SqliteTaskStore
+
+N = 500
+
+
+def make_store(kind: str):
+    return MemoryTaskStore() if kind == "memory" else SqliteTaskStore(":memory:")
+
+
+@pytest.mark.parametrize("kind", ["memory", "sqlite"])
+def test_submit_throughput(benchmark, kind):
+    store = make_store(kind)
+
+    def submit_batch():
+        store.create_tasks("exp", 0, ["{}"] * N)
+
+    benchmark(submit_batch)
+    store.close()
+
+
+@pytest.mark.parametrize("kind", ["memory", "sqlite"])
+def test_pop_report_cycle(benchmark, kind):
+    store = make_store(kind)
+
+    def cycle():
+        ids = store.create_tasks("exp", 0, ["{}"] * N)
+        while True:
+            popped = store.pop_out(0, 25)
+            if not popped:
+                break
+            for tid, _payload in popped:
+                store.report(tid, 0, "r")
+        store.pop_in_any(ids)
+
+    benchmark(cycle)
+    store.close()
+
+
+@pytest.mark.parametrize("kind", ["memory", "sqlite"])
+def test_reprioritize_batch(benchmark, kind):
+    store = make_store(kind)
+    ids = store.create_tasks("exp", 0, ["{}"] * N)
+    flip = [False]
+
+    def reprioritize():
+        # Alternate two rankings so every call changes every row.
+        flip[0] = not flip[0]
+        base = list(range(N)) if flip[0] else list(range(N, 0, -1))
+        assert store.update_priorities(ids, base) == N
+
+    benchmark(reprioritize)
+    store.close()
+
+
+@pytest.mark.parametrize("kind", ["memory", "sqlite"])
+def test_priority_pop_order_cost(benchmark, kind):
+    """Pop with 10k queued tasks at random priorities (heap/index work)."""
+    import random
+
+    rng = random.Random(0)
+    store = make_store(kind)
+    priorities = [rng.randrange(1000) for _ in range(10_000)]
+    store.create_tasks("exp", 0, ["{}"] * 10_000, priority=priorities)
+
+    def pop_some():
+        got = store.pop_out(0, 50)
+        # Requeue to keep the queue size stable across rounds.
+        for tid, _ in got:
+            store.report(tid, 0, "r")
+        refill = store.create_tasks(
+            "exp", 0, ["{}"] * len(got), priority=[rng.randrange(1000) for _ in got]
+        )
+        return refill
+
+    benchmark(pop_some)
+    store.close()

@@ -1,0 +1,102 @@
+"""FIG3 — Figure 3: worker-pool utilization vs fetch policy.
+
+Paper setup: one worker pool with 33 workers (a 36-core Bebop node)
+consuming 750 lognormal-padded Ackley tasks, under three batch/threshold
+policies.  Paper claims reproduced here:
+
+- (50, 1) "clearly shows the best utilization": oversubscription keeps
+  an in-memory task cache, so workers never wait on the DB;
+- (33, 1) is lower: "each time a task is completed another must be
+  fetched from the database, during which additional tasks may
+  complete", but every queued task stays reprioritizable;
+- (33, 15) shows "the saw tooth pattern where multiple workers remain
+  idle for several seconds at a time" and far fewer DB queries.
+
+The benchmark times the full 750-task discrete-event run per panel and
+prints the concurrency series the figure plots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Fig3Config, run_fig3_panel
+from repro.sim.scenarios import FIG3_PANELS
+from repro.telemetry import ascii_chart, render_table, sample_series
+
+PANEL_IDS = [f"batch{b}_thr{t}" for b, t in FIG3_PANELS]
+
+
+@pytest.mark.parametrize(
+    "batch,threshold", FIG3_PANELS, ids=PANEL_IDS
+)
+def test_fig3_panel(benchmark, report, batch, threshold):
+    config = Fig3Config(batch_size=batch, threshold=threshold)
+    result = benchmark.pedantic(
+        run_fig3_panel, args=(config,), rounds=1, iterations=1
+    )
+    stats = result.stats
+
+    _, values = sample_series(result.series, n_samples=100)
+    lines = [
+        f"FIG3 panel {config.label()} — 33 workers, 750 tasks",
+        ascii_chart(values, max_value=config.n_workers, width=80,
+                    label="running tasks"),
+        render_table(
+            ["metric", "value"],
+            [
+                ["mean concurrency", stats["mean_concurrency"]],
+                ["utilization", stats["utilization"]],
+                ["time at full 33", stats["full_fraction"]],
+                ["mean dip depth", stats["dip_depth_mean"]],
+                ["makespan (virt s)", result.makespan],
+                ["DB fetches", result.n_fetches],
+            ],
+        ),
+    ]
+    report("\n".join(lines))
+
+    # Every panel drains the workload with bounded concurrency.
+    assert result.series.counts.max() <= config.n_workers
+    assert stats["utilization"] > 0.5
+
+
+def test_fig3_shape_claims(benchmark, report):
+    """The cross-panel ordering the paper's Figure 3 demonstrates."""
+
+    def run_all():
+        return {
+            (b, t): run_fig3_panel(Fig3Config(batch_size=b, threshold=t))
+            for b, t in FIG3_PANELS
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    over = results[(50, 1)].stats
+    exact = results[(33, 1)].stats
+    loose = results[(33, 15)].stats
+
+    rows = [
+        [f"batch={b} thr={t}",
+         results[(b, t)].stats["utilization"],
+         results[(b, t)].stats["full_fraction"],
+         results[(b, t)].stats["dip_depth_mean"],
+         results[(b, t)].n_fetches]
+        for b, t in FIG3_PANELS
+    ]
+    report(
+        "FIG3 cross-panel comparison (paper: top >= middle > bottom)\n"
+        + render_table(
+            ["policy", "utilization", "full_frac", "dip_depth", "fetches"], rows
+        )
+    )
+
+    # Top panel best utilization.
+    assert over["utilization"] >= exact["utilization"] - 1e-6
+    # Large threshold clearly worst.
+    assert exact["utilization"] > loose["utilization"]
+    # Saw-tooth: the loose policy spends far less time at full width
+    # and issues far fewer fetches.
+    assert loose["full_fraction"] < 0.5 * exact["full_fraction"]
+    assert results[(33, 15)].n_fetches < results[(33, 1)].n_fetches / 2
+    # Oversubscription keeps the pool essentially saturated.
+    assert over["full_fraction"] > 0.85

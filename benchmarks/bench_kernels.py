@@ -1,0 +1,81 @@
+"""PERF-KERNEL — dataflow engine and DES kernel throughput.
+
+The two execution substrates' overheads: dataflow node dispatch cost
+(Swift/T-style concurrency) and DES events per second (what bounds how
+large a Figure-4-style scenario the benchmarks can regenerate).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow import DataflowEngine, TaskGraph
+from repro.me import GaussianProcessRegressor
+from repro.simt import Environment
+
+
+class TestDataflow:
+    def test_wide_graph_dispatch(self, benchmark):
+        def run():
+            g = TaskGraph()
+            for i in range(300):
+                g.add(f"n{i}", lambda i=i: i)
+            g.add("sum", lambda *v: sum(v), deps=[f"n{i}" for i in range(300)])
+            return DataflowEngine(max_workers=8).run(g)
+
+        result = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert result.results["sum"] == sum(range(300))
+
+    def test_deep_chain_dispatch(self, benchmark):
+        def run():
+            g = TaskGraph()
+            g.add("n0", lambda: 0)
+            for i in range(1, 400):
+                g.add(f"n{i}", lambda x: x + 1, deps=[f"n{i-1}"])
+            return DataflowEngine(max_workers=2).run(g)
+
+        result = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert result.results["n399"] == 399
+
+
+class TestSimtKernel:
+    @pytest.mark.parametrize("n_processes", [100, 1000])
+    def test_event_throughput(self, benchmark, n_processes):
+        """N processes x 50 timeouts each: pure kernel dispatch."""
+
+        def run():
+            env = Environment()
+            fired = [0]
+
+            def proc():
+                for _ in range(50):
+                    yield env.timeout(1.0)
+                    fired[0] += 1
+
+            for _ in range(n_processes):
+                env.process(proc())
+            env.run()
+            return fired[0]
+
+        fired = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert fired == n_processes * 50
+
+
+class TestGPR:
+    @pytest.mark.parametrize("n_train", [100, 300])
+    def test_fit_predict_cost(self, benchmark, n_train):
+        """The reprioritization step's dominant cost at scale."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-5, 5, size=(n_train, 4))
+        y = np.sin(X).sum(axis=1)
+        Xs = rng.uniform(-5, 5, size=(700, 4))
+
+        def fit_predict():
+            model = GaussianProcessRegressor(optimize_hyperparameters=False)
+            model.fit(X, y)
+            return model.predict(Xs)
+
+        predicted = benchmark(fit_predict)
+        assert predicted.shape == (700,)

@@ -1,0 +1,55 @@
+"""PERF-MPI — mpilite messaging costs.
+
+Point-to-point round trips and collectives on the simulated MPI
+substrate: the per-message cost the Swift/T-style pool driver pays.
+"""
+
+from __future__ import annotations
+
+import operator
+
+import pytest
+
+from repro.mpilite import mpi_run
+
+
+def test_ping_pong(benchmark):
+    def program(comm):
+        if comm.rank == 0:
+            for i in range(200):
+                comm.send(i, dest=1)
+                comm.recv(source=1)
+        else:
+            for _ in range(200):
+                value = comm.recv(source=0)
+                comm.send(value, dest=0)
+
+    benchmark.pedantic(lambda: mpi_run(2, program), rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("size", [2, 4, 8])
+def test_allreduce(benchmark, size):
+    def program(comm):
+        total = 0
+        for _ in range(50):
+            total = comm.allreduce(comm.rank, operator.add)
+        return total
+
+    def run():
+        results = mpi_run(size, program)
+        assert results[0] == size * (size - 1) // 2
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_scatter_gather_large_payload(benchmark):
+    import numpy as np
+
+    chunk = np.zeros(10_000)
+
+    def program(comm):
+        data = [chunk] * comm.size if comm.rank == 0 else None
+        local = comm.scatter(data, root=0)
+        return comm.gather(float(local.sum()), root=0)
+
+    benchmark.pedantic(lambda: mpi_run(4, program), rounds=3, iterations=1)

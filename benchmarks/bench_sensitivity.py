@@ -1,0 +1,97 @@
+"""SENS — sensitivity: do the Figure 3 shape claims survive the
+runtime model?
+
+The absolute numbers in this reproduction depend on the calibrated task
+runtime (the paper's lognormal sleep).  This bench re-runs the Figure 3
+panels across a 6x range of mean task runtimes and across runtime
+heterogeneity (sigma) and asserts the paper's qualitative ordering at
+every point — evidence that the reproduced shapes are properties of the
+fetch policy, not of one lucky parameterization.
+"""
+
+from __future__ import annotations
+
+from repro.sim import Fig3Config, run_fig3_panel
+from repro.sim.workload import RuntimeModel
+from repro.telemetry import render_table
+
+MEANS = (5.0, 15.0, 30.0)
+SIGMAS = (0.25, 0.5, 1.0)
+
+
+def panels_for(runtime: RuntimeModel):
+    return {
+        (b, t): run_fig3_panel(
+            Fig3Config(batch_size=b, threshold=t, n_tasks=300, runtime=runtime)
+        )
+        for b, t in ((50, 1), (33, 1), (33, 15))
+    }
+
+
+def test_ordering_robust_to_runtime_mean(benchmark, report):
+    def sweep():
+        return {
+            mean: panels_for(RuntimeModel(mean=mean, sigma=0.5)) for mean in MEANS
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for mean in MEANS:
+        panels = results[mean]
+        rows.append(
+            [
+                mean,
+                panels[(50, 1)].stats["utilization"],
+                panels[(33, 1)].stats["utilization"],
+                panels[(33, 15)].stats["utilization"],
+            ]
+        )
+        over = panels[(50, 1)].stats["utilization"]
+        exact = panels[(33, 1)].stats["utilization"]
+        loose = panels[(33, 15)].stats["utilization"]
+        assert over >= exact - 1e-6, f"ordering broken at mean={mean}"
+        assert exact > loose, f"ordering broken at mean={mean}"
+    report(
+        "SENS Fig 3 utilization ordering across task runtime means\n"
+        + render_table(
+            ["runtime mean (s)", "batch50/thr1", "batch33/thr1", "batch33/thr15"],
+            rows,
+        )
+    )
+
+
+def test_ordering_robust_to_heterogeneity(benchmark, report):
+    def sweep():
+        return {
+            sigma: panels_for(RuntimeModel(mean=15.0, sigma=sigma))
+            for sigma in SIGMAS
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for sigma in SIGMAS:
+        panels = results[sigma]
+        rows.append(
+            [
+                sigma,
+                panels[(50, 1)].stats["utilization"],
+                panels[(33, 1)].stats["utilization"],
+                panels[(33, 15)].stats["utilization"],
+            ]
+        )
+        assert (
+            panels[(50, 1)].stats["utilization"]
+            >= panels[(33, 1)].stats["utilization"] - 1e-6
+        )
+        assert (
+            panels[(33, 1)].stats["utilization"]
+            > panels[(33, 15)].stats["utilization"]
+        )
+    report(
+        "SENS Fig 3 utilization ordering across runtime heterogeneity\n"
+        + render_table(
+            ["sigma", "batch50/thr1", "batch33/thr1", "batch33/thr15"], rows
+        )
+    )

@@ -1,0 +1,67 @@
+"""PERF-SVC — EMEWS service TCP round-trip costs.
+
+The remote hop every federated deployment pays: EQSQL operations through
+the JSON-over-TCP service versus direct in-process store calls.  The gap
+is the per-operation WAN-protocol overhead (serialization + framing +
+dispatch), which bounds how chatty an ME algorithm can afford to be and
+motivates the batch operations of §V-B.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EQSQL, RemoteTaskStore, TaskService
+from repro.db import MemoryTaskStore
+
+N = 100
+
+
+@pytest.fixture
+def remote_eq():
+    backing = MemoryTaskStore()
+    service = TaskService(backing).start()
+    host, port = service.address
+    store = RemoteTaskStore(host, port)
+    eq = EQSQL(store)
+    yield eq
+    store.close()
+    service.stop()
+    backing.close()
+
+
+@pytest.fixture
+def local_eq():
+    eq = EQSQL(MemoryTaskStore())
+    yield eq
+    eq.close()
+
+
+def submit_pop_report(eq):
+    futures = eq.submit_tasks("bench", 0, ["{}"] * N)
+    while True:
+        messages = eq.query_task(0, n=10, timeout=0)
+        if isinstance(messages, dict):
+            break
+        for message in messages:
+            eq.report_task(message["eq_task_id"], 0, "r")
+    popped = eq.pop_completed_ids([f.eq_task_id for f in futures])
+    assert len(popped) == N
+
+
+def test_remote_service_cycle(benchmark, remote_eq):
+    benchmark.pedantic(submit_pop_report, args=(remote_eq,), rounds=3, iterations=1)
+
+
+def test_local_store_cycle(benchmark, local_eq):
+    benchmark.pedantic(submit_pop_report, args=(local_eq,), rounds=3, iterations=1)
+
+
+def test_remote_single_op_latency(benchmark, remote_eq):
+    """One submit per call: the per-request protocol cost."""
+    benchmark(lambda: remote_eq.submit_task("bench", 1, "{}"))
+
+
+def test_remote_batch_submit_amortizes(benchmark, remote_eq):
+    """One request carrying 100 tasks: the batch API's advantage."""
+    benchmark(lambda: remote_eq.submit_tasks("bench", 2, ["{}"] * 100))

@@ -1,0 +1,86 @@
+"""PERF-STORE — data sharing service costs vs payload size.
+
+Measures the ProxyStore-style path the paper adds to sidestep the
+fabric's 10 MB cap: store put, proxy creation (pointer-sized pickles),
+and resolution, plus the simulated Globus transfer duration model across
+payload sizes — the series that shows where out-of-band staging beats
+inline payloads.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.store import MemoryConnector, Store, extract, register_store, unregister_store
+from repro.telemetry import render_table
+from repro.transfer import TransferClient, TransferEndpoint
+from repro.util.ids import short_id
+
+SIZES = [10_000, 1_000_000, 25_000_000]  # bytes (last exceeds the 10 MB cap)
+
+
+@pytest.fixture
+def store():
+    name = short_id("bench-store")
+    s = Store(name, MemoryConnector(name))
+    register_store(s)
+    yield s
+    unregister_store(name)
+    MemoryConnector.drop_space(name)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_put_get_round_trip(benchmark, store, size):
+    payload = np.zeros(size // 8)
+
+    def round_trip():
+        key = store.put(payload)
+        out = store.get(key)
+        store.evict(key)
+        return out
+
+    benchmark(round_trip)
+
+
+def test_proxy_creation_and_resolution(benchmark, store):
+    payload = np.zeros(1_000_000 // 8)
+
+    def proxy_cycle():
+        proxy = store.proxy(payload)
+        shipped = pickle.dumps(proxy)  # what rides the task payload
+        assert len(shipped) < 1000
+        clone = pickle.loads(shipped)
+        return float(np.sum(extract(clone)))
+
+    benchmark(proxy_cycle)
+
+
+def test_transfer_duration_model(benchmark, report):
+    """The modelled wide-area cost series (no wall-clock sleeping)."""
+    client = TransferClient()
+    client.register_endpoint(TransferEndpoint("laptop", bandwidth=1e8, latency=0.01))
+    client.register_endpoint(TransferEndpoint("bebop", bandwidth=1e9, latency=0.005))
+    client.register_endpoint(TransferEndpoint("theta", bandwidth=5e9, latency=0.005))
+
+    def build_rows():
+        return [
+            [
+                f"{size / 1e6:g} MB",
+                client.transfer_duration("laptop", "bebop", int(size)),
+                client.transfer_duration("bebop", "theta", int(size)),
+            ]
+            for size in [1e6, 1e7, 1e8, 1e9]
+        ]
+
+    rows = benchmark(build_rows)
+    report(
+        "PERF-STORE modelled third-party transfer durations (s)\n"
+        + render_table(["payload", "laptop->bebop", "bebop->theta"], rows)
+    )
+    # The slower link dominates; inter-HPC beats laptop uplink.
+    assert client.transfer_duration("bebop", "theta", int(1e9)) < (
+        client.transfer_duration("laptop", "bebop", int(1e9))
+    )

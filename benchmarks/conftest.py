@@ -1,0 +1,39 @@
+"""Benchmark harness plumbing.
+
+Each figure/table bench generates the series the paper plots and
+registers a text report through the ``report`` fixture.  Reports are
+written to ``benchmarks/reports/<name>.txt`` and echoed into the
+terminal summary, so ``pytest benchmarks/ --benchmark-only`` output
+carries both the timing table and the reproduced series.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+_REPORTS_DIR = Path(__file__).parent / "reports"
+_collected: list[tuple[str, str]] = []
+
+
+@pytest.fixture
+def report(request):
+    """Call ``report(text)`` to register this bench's series output."""
+
+    def add(text: str) -> None:
+        name = request.node.name
+        _REPORTS_DIR.mkdir(exist_ok=True)
+        (_REPORTS_DIR / f"{name}.txt").write_text(text + "\n")
+        _collected.append((name, text))
+
+    return add
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _collected:
+        return
+    terminalreporter.write_sep("=", "reproduced series reports")
+    for name, text in _collected:
+        terminalreporter.write_sep("-", name)
+        terminalreporter.write_line(text)

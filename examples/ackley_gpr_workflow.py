@@ -1,0 +1,140 @@
+"""The paper's §VI workflow at laptop scale, on the real components.
+
+Reproduces the example optimization workflow end to end:
+
+1. A fabric client ("funcX") starts the EMEWS DB, the EMEWS service,
+   and a worker pool **remotely** on the ``bebop`` endpoint.
+2. The local ME algorithm connects to the service over TCP (the SSH
+   tunnel of the paper) and submits random 4-D points for Ackley
+   evaluation (with a small lognormal sleep for runtime heterogeneity).
+3. After every batch of completions, GPR retraining runs **on the
+   ``theta`` endpoint** through the fabric; the GPR travels as a
+   ProxyStore proxy (only a pointer rides the task payload).
+4. The returned ranking reprioritizes the uncompleted tasks; a second
+   worker pool joins mid-run.
+
+Run:  python examples/ackley_gpr_workflow.py
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.core import EQSQL, RemoteTaskStore, as_completed, update_priority
+from repro.fabric import CloudBroker, Endpoint, FabricClient, LocalProvider
+from repro.me import GaussianProcessRegressor, ackley, ranks_to_priorities, uniform_random
+from repro.me.functions import lognormal_runtime
+from repro.pools import lifecycle
+from repro.store import MemoryConnector, Store, extract, register_store, unregister_store
+
+N_POINTS = 120
+DIM = 4
+BATCH_COMPLETED = 25
+WORK_TYPE = 0
+STORE_NAME = "gpr-store"
+
+_rng = np.random.default_rng(7)
+
+
+def ackley_task(params: dict) -> dict:
+    """The worker-side task: Ackley plus a lognormal sleep."""
+    import time
+
+    time.sleep(float(lognormal_runtime(_rng, mean=0.02, sigma=0.5)))
+    return {"y": float(ackley(params["x"]))}
+
+
+def retrain_and_rank(gpr_proxy, X_done, y_done, X_remaining) -> list[int]:
+    """Runs on the `theta` endpoint: resolve the proxied GPR, refit it,
+    rank the remaining points (higher = run sooner)."""
+    gpr: GaussianProcessRegressor = extract(gpr_proxy)
+    gpr.fit(np.asarray(X_done), np.asarray(y_done))
+    predicted = gpr.predict(np.asarray(X_remaining))
+    return [int(p) for p in ranks_to_priorities(np.asarray(predicted))]
+
+
+def main() -> None:
+    # --- Federation setup: broker + two sites --------------------------------
+    broker = CloudBroker()
+    bebop = Endpoint(broker, "bebop", "tok", provider=LocalProvider(4)).start()
+    theta = Endpoint(broker, "theta", "tok", provider=LocalProvider(2)).start()
+    client = FabricClient(broker, "tok")
+
+    # GPR travels by proxy: a shared store both "sites" can reach.
+    store = Store(STORE_NAME, MemoryConnector(STORE_NAME))
+    register_store(store, replace=True)
+
+    # --- Start remote components through the fabric (paper §VI) --------------
+    client.run(lifecycle.start_emews_db, "bebop-db", endpoint=bebop.endpoint_id)
+    host, port = client.run(
+        lifecycle.start_emews_service, "bebop-db", endpoint=bebop.endpoint_id
+    )
+    client.run(
+        lifecycle.start_worker_pool,
+        "bebop-db", "bebop-pool-1", WORK_TYPE, ackley_task,
+        endpoint=bebop.endpoint_id, n_workers=4,
+    )
+    print(f"EMEWS service up at {host}:{port}; pool bebop-pool-1 running")
+
+    # --- Local ME algorithm over the TCP service ------------------------------
+    remote = RemoteTaskStore(host, int(port))
+    eq = EQSQL(remote)
+    points = uniform_random(np.random.default_rng(42), N_POINTS, [(-32.768, 32.768)] * DIM)
+    futures = eq.submit_tasks(
+        "ackley-exp", WORK_TYPE, [json.dumps({"x": list(map(float, p))}) for p in points]
+    )
+    point_of = {f.eq_task_id: i for i, f in enumerate(futures)}
+    print(f"submitted {N_POINTS} {DIM}-D Ackley points")
+
+    gpr_proxy = store.proxy(GaussianProcessRegressor(optimize_hyperparameters=False))
+    pending = list(futures)
+    done_X: list[list[float]] = []
+    done_y: list[float] = []
+    repri_round = 0
+
+    while pending:
+        want = min(BATCH_COMPLETED, len(pending))
+        for future in as_completed(pending, pop=True, n=want, delay=0.02, timeout=120):
+            _, payload = future.result(timeout=0)
+            done_X.append(list(points[point_of[future.eq_task_id]]))
+            done_y.append(json.loads(payload)["y"])
+        if not pending:
+            break
+        repri_round += 1
+        X_remaining = [list(points[point_of[f.eq_task_id]]) for f in pending]
+        # Remote GPR retraining on theta, GPR shipped as a proxy.
+        priorities = client.run(
+            retrain_and_rank, gpr_proxy, done_X, done_y, X_remaining,
+            endpoint=theta.endpoint_id, timeout=120,
+        )
+        updated = update_priority(pending, priorities)
+        print(
+            f"repri #{repri_round}: {len(done_y)} done, best={min(done_y):.3f}, "
+            f"reprioritized {updated}/{len(pending)} on theta"
+        )
+        if repri_round == 2:
+            # Add a second worker pool mid-run, as Fig 4 does.
+            client.run(
+                lifecycle.start_worker_pool,
+                "bebop-db", "bebop-pool-2", WORK_TYPE, ackley_task,
+                endpoint=bebop.endpoint_id, n_workers=4,
+            )
+            print("started bebop-pool-2 (second worker pool joins)")
+
+    best = int(np.argmin(done_y))
+    print(f"\nall {len(done_y)} evaluations complete")
+    print(f"best Ackley value {done_y[best]:.4f} at x={np.round(done_X[best], 3)}")
+
+    # --- Teardown --------------------------------------------------------------
+    remote.close()
+    lifecycle.shutdown_site()
+    bebop.stop()
+    theta.stop()
+    unregister_store(STORE_NAME)
+    MemoryConnector.drop_space(STORE_NAME)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: submit tasks, run a worker pool, collect results.
+
+The minimal OSPREY loop — the Python side of the paper's Listing 1:
+an ME algorithm submits JSON tasks to the EMEWS DB, a worker pool pops
+them off the output queue (batch/threshold discipline), executes them,
+and reports results to the input queue, where futures pick them up.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import (
+    EQ_STOP,
+    PoolConfig,
+    PythonTaskHandler,
+    ThreadedWorkerPool,
+    as_completed,
+    init_eqsql,
+)
+
+
+def simulate(params: dict) -> dict:
+    """A stand-in simulation: return the square and a 'severity'."""
+    x = params["x"]
+    return {"y": x * x, "severity": "high" if x * x > 25 else "low"}
+
+
+def main() -> None:
+    # 1. Open the EMEWS DB (in-memory here; pass a path for SQLite).
+    eq = init_eqsql()
+
+    # 2. Submit tasks: experiment id, work type, JSON payload, priority.
+    futures = eq.submit_tasks(
+        "quickstart-exp",
+        0,
+        [json.dumps({"x": x}) for x in range(10)],
+        priority=0,
+    )
+    print(f"submitted {len(futures)} tasks; output queue: {eq.queue_lengths(0)[0]}")
+
+    # 3. Start a worker pool: 3 workers, batch/threshold fetch policy.
+    pool = ThreadedWorkerPool(
+        eq,
+        PythonTaskHandler(simulate),
+        PoolConfig(work_type=0, n_workers=3, batch_size=3, threshold=1,
+                   name="local-pool"),
+    ).start()
+
+    # 4. Consume results as they complete (asynchronous API, §V-B).
+    for future in as_completed(futures, timeout=30):
+        status, payload = future.result(timeout=0)
+        result = json.loads(payload)
+        print(f"  task {future.eq_task_id}: y={result['y']:>3} severity={result['severity']}")
+
+    # 5. Stop the pool with the EQ_STOP sentinel (drains cleanly).
+    stop = eq.submit_task("quickstart-exp", 0, EQ_STOP, priority=-100)
+    stop.result(timeout=10, delay=0.05)
+    pool.join(timeout=10)
+    print(f"pool done: {pool.tasks_completed} completed, {pool.tasks_failed} failed")
+    eq.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""OSPREY reproduction: distributed HPC workflow capabilities for
+robust epidemic analysis.
+
+This package reproduces the system described in Collier et al.,
+"Developing Distributed High-performance Computing Capabilities of an
+Open Science Platform for Robust Epidemic Analysis" (ParSocial/IPDPS-W
+2023): the EQSQL asynchronous task API over the EMEWS database, worker
+pools with the batch/threshold fetch discipline, a federated compute
+fabric, the ProxyStore/Globus data sharing path, cluster scheduling,
+the GPR-reprioritized optimization workflow of its evaluation — and
+discrete-event scenario models that regenerate the paper's figures.
+
+Quickstart::
+
+    from repro import init_eqsql, PoolConfig, PythonTaskHandler, ThreadedWorkerPool
+    from repro.core import as_completed
+
+    eq = init_eqsql()
+    futures = eq.submit_tasks("exp", 0, ['{"x": 1}', '{"x": 2}'])
+    pool = ThreadedWorkerPool(
+        eq, PythonTaskHandler(lambda d: {"y": d["x"] ** 2}),
+        PoolConfig(work_type=0, n_workers=2),
+    ).start()
+    for f in as_completed(futures, timeout=10):
+        print(f.result(timeout=0))
+    pool.stop()
+
+See DESIGN.md for the architecture map and EXPERIMENTS.md for the
+figure-by-figure reproduction results.
+"""
+
+from repro.core import (
+    EQSQL,
+    EQ_ABORT,
+    EQ_STOP,
+    Future,
+    RemoteTaskStore,
+    ResultStatus,
+    TaskService,
+    TaskStatus,
+    as_completed,
+    cancel_futures,
+    init_eqsql,
+    pop_completed,
+    update_priority,
+)
+from repro.pools import (
+    AppTaskHandler,
+    ParTaskHandler,
+    PoolConfig,
+    PythonTaskHandler,
+    ThreadedWorkerPool,
+    run_mpi_pool,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "EQSQL",
+    "EQ_ABORT",
+    "EQ_STOP",
+    "Future",
+    "RemoteTaskStore",
+    "ResultStatus",
+    "TaskService",
+    "TaskStatus",
+    "as_completed",
+    "cancel_futures",
+    "init_eqsql",
+    "pop_completed",
+    "update_priority",
+    "PoolConfig",
+    "PythonTaskHandler",
+    "AppTaskHandler",
+    "ParTaskHandler",
+    "ThreadedWorkerPool",
+    "run_mpi_pool",
+    "__version__",
+]

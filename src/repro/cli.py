@@ -1,0 +1,178 @@
+"""Command-line interface: regenerate the paper's figures and sweeps.
+
+Usage::
+
+    python -m repro fig3 [--tasks N] [--seed S]
+    python -m repro fig4 [--tasks N] [--seed S]
+    python -m repro sweep-batch
+    python -m repro sweep-threshold
+    python -m repro gpr-ablation
+
+Every command prints the same text series the benchmark harness writes
+to ``benchmarks/reports/``, so a user can eyeball the reproduced figures
+without running pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.sim import Fig3Config, Fig4Config, run_fig3_panel, run_fig4
+from repro.sim.scenarios import FIG3_PANELS
+from repro.telemetry import ascii_chart, render_table, sample_series
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    print(f"Figure 3 — one 33-worker pool, {args.tasks} tasks, three fetch policies\n")
+    rows = []
+    for batch, threshold in FIG3_PANELS:
+        config = Fig3Config(
+            batch_size=batch, threshold=threshold, n_tasks=args.tasks, seed=args.seed
+        )
+        result = run_fig3_panel(config)
+        _, values = sample_series(result.series, n_samples=100)
+        print(ascii_chart(values, max_value=config.n_workers, width=80,
+                          label=f"{config.label():24s}"))
+        rows.append(
+            [config.label(), result.stats["utilization"],
+             result.stats["full_fraction"], result.stats["dip_depth_mean"],
+             result.n_fetches, result.makespan]
+        )
+    print()
+    print(render_table(
+        ["policy", "utilization", "full_frac", "dip_depth", "fetches", "makespan"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    config = Fig4Config(n_tasks=args.tasks, seed=args.seed)
+    result = run_fig4(config)
+    print(
+        f"Figure 4 — {args.tasks} tasks, 3 pools x {config.n_workers} workers, "
+        f"GPR repri every {config.repri_every} (makespan {result.makespan:.0f} s)\n"
+    )
+    for name in result.pool_names:
+        _, values = sample_series(result.pool_series[name], n_samples=100)
+        print(ascii_chart(values, max_value=config.n_workers, width=80, label=name))
+    print()
+    print(render_table(
+        ["pool", "submitted", "started", "queue wait", "tasks"],
+        [
+            [name, *result.pool_timing[name],
+             result.pool_timing[name][1] - result.pool_timing[name][0],
+             result.pool_completed[name]]
+            for name in result.pool_names
+        ],
+    ))
+    print()
+    print(render_table(
+        ["repri#", "start", "duration", "completed", "reprioritized"],
+        [
+            [r.index, r.time_start, r.time_stop - r.time_start,
+             r.n_completed, r.n_reprioritized]
+            for r in result.reprioritizations
+        ],
+    ))
+    return 0
+
+
+def _cmd_sweep_batch(args: argparse.Namespace) -> int:
+    print("Batch-size sweep (33 workers, threshold 1)\n")
+    rows = []
+    for batch in (33, 38, 43, 50, 66):
+        result = run_fig3_panel(
+            Fig3Config(batch_size=batch, threshold=1, n_tasks=args.tasks, seed=args.seed)
+        )
+        rows.append([batch, result.stats["utilization"],
+                     result.stats["full_fraction"], batch - 33, result.makespan])
+    print(render_table(
+        ["batch", "utilization", "full_frac", "cache surplus", "makespan"], rows))
+    return 0
+
+
+def _cmd_sweep_threshold(args: argparse.Namespace) -> int:
+    print("Threshold sweep (33 workers, batch 33)\n")
+    rows = []
+    for threshold in (1, 5, 10, 15, 25, 33):
+        result = run_fig3_panel(
+            Fig3Config(batch_size=33, threshold=threshold, n_tasks=args.tasks,
+                       seed=args.seed)
+        )
+        rows.append([threshold, result.stats["utilization"],
+                     result.stats["dip_depth_mean"], result.n_fetches,
+                     result.makespan])
+    print(render_table(
+        ["threshold", "utilization", "dip_depth", "fetches", "makespan"], rows))
+    return 0
+
+
+def _cmd_gpr_ablation(args: argparse.Namespace) -> int:
+    print("GPR reprioritization ablation\n")
+    with_gpr = run_fig4(Fig4Config(n_tasks=args.tasks, seed=args.seed))
+    without = run_fig4(
+        Fig4Config(n_tasks=args.tasks, seed=args.seed, repri_every=10_000_000)
+    )
+    traj_gpr = with_gpr.best_trajectory()
+    traj_none = without.best_trajectory()
+    print(ascii_chart(traj_gpr, width=80, label="best-so-far (GPR) "))
+    print(ascii_chart(traj_none, width=80, label="best-so-far (none)"))
+    print()
+    print(render_table(
+        ["variant", "mean best-so-far", "final best", "repri count"],
+        [
+            ["GPR", float(np.mean(traj_gpr)), float(traj_gpr[-1]),
+             len(with_gpr.reprioritizations)],
+            ["none", float(np.mean(traj_none)), float(traj_none[-1]), 0],
+        ],
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OSPREY reproduction: regenerate the paper's figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, default_tasks: int) -> None:
+        p.add_argument("--tasks", type=int, default=default_tasks,
+                       help=f"number of tasks (default {default_tasks})")
+        p.add_argument("--seed", type=int, default=2023, help="workload seed")
+
+    p = sub.add_parser("fig3", help="Figure 3: utilization vs fetch policy")
+    common(p, 750)
+    p.set_defaults(fn=_cmd_fig3)
+
+    p = sub.add_parser("fig4", help="Figure 4: federated three-pool workflow")
+    common(p, 750)
+    p.set_defaults(fn=_cmd_fig4)
+
+    p = sub.add_parser("sweep-batch", help="ablation: batch-size sweep")
+    common(p, 400)
+    p.set_defaults(fn=_cmd_sweep_batch)
+
+    p = sub.add_parser("sweep-threshold", help="ablation: threshold sweep")
+    common(p, 400)
+    p.set_defaults(fn=_cmd_sweep_threshold)
+
+    p = sub.add_parser("gpr-ablation", help="ablation: GPR vs no reprioritization")
+    common(p, 400)
+    p.set_defaults(fn=_cmd_gpr_ablation)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""The paper's primary contribution: the EQSQL task API (paper §V).
+
+This package provides:
+
+- :class:`EQSQL` — the class-based Python task API of Listing 1
+  (``submit_task`` / ``query_task`` / ``report_task`` / ``query_result``)
+  plus the worker-pool batch query of §IV-D and priority / cancellation
+  operations.
+- :class:`Future` and the asynchronous collection functions
+  ``as_completed`` / ``pop_completed`` / ``update_priority`` of §V-B.
+- The EMEWS service — a TCP server exposing a remote
+  :class:`repro.db.TaskStore`, with a client-side store that lets the
+  same :class:`EQSQL` code run against a resource-local database from
+  across the (simulated) wide area, mirroring the paper's SSH-tunnel hop.
+- An R-style functional facade (:mod:`repro.core.rapi`) demonstrating
+  the multi-language API surface of Listing 1.
+"""
+
+from repro.core.constants import (
+    DEFAULT_WORK_TYPE,
+    EQ_ABORT,
+    EQ_STOP,
+    EQ_TIMEOUT,
+    ResultStatus,
+    TaskStatus,
+)
+from repro.core.eqsql import EQSQL, init_eqsql
+from repro.core.fetch import FetchPolicy, fetch_count
+from repro.core.futures import (
+    Future,
+    as_completed,
+    cancel_futures,
+    pop_completed,
+    update_priority,
+)
+from repro.core.service import TaskService
+from repro.core.service_client import RemoteTaskStore
+
+__all__ = [
+    "DEFAULT_WORK_TYPE",
+    "EQ_ABORT",
+    "EQ_STOP",
+    "EQ_TIMEOUT",
+    "ResultStatus",
+    "TaskStatus",
+    "EQSQL",
+    "init_eqsql",
+    "FetchPolicy",
+    "fetch_count",
+    "Future",
+    "as_completed",
+    "cancel_futures",
+    "pop_completed",
+    "update_priority",
+    "TaskService",
+    "RemoteTaskStore",
+]

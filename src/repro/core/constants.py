@@ -1,0 +1,45 @@
+"""Shared constants and enums for the task API.
+
+``TaskStatus`` is re-exported from the database schema so API users can
+treat :mod:`repro.core` as the single import surface.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.db.schema import TaskStatus
+
+__all__ = [
+    "TaskStatus",
+    "ResultStatus",
+    "EQ_STOP",
+    "EQ_ABORT",
+    "EQ_TIMEOUT",
+    "DEFAULT_WORK_TYPE",
+]
+
+
+class ResultStatus(enum.Enum):
+    """Outcome of a blocking query (paper: a 'status' message such as
+    TIMEOUT is returned when polling fails)."""
+
+    SUCCESS = "success"
+    FAILURE = "failure"
+
+
+#: Control payload instructing a worker pool to shut down.  Submitting a
+#: task of a pool's work type with this payload drains the pool cleanly:
+#: the worker that pops it stops fetching and signals pool shutdown.
+EQ_STOP = "EQ_STOP"
+
+#: Control payload instructing a worker pool to abort immediately,
+#: abandoning owned tasks (they remain RUNNING in the DB and can be
+#: re-queued by fault-tolerance tooling).
+EQ_ABORT = "EQ_ABORT"
+
+#: Status payload returned by a query that timed out while polling.
+EQ_TIMEOUT = "TIMEOUT"
+
+#: Work type used when an application has a single kind of task.
+DEFAULT_WORK_TYPE = 0

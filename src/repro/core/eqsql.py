@@ -1,0 +1,305 @@
+"""The EQSQL task API (paper §V-A, Listing 1).
+
+Instances of :class:`EQSQL` provide methods for task submission,
+querying the queues, result reporting, and retrieval, layered over any
+:class:`repro.db.TaskStore` — a local in-process store, a SQLite file,
+or a :class:`repro.core.service_client.RemoteTaskStore` that speaks to
+an EMEWS service across the network.  Polling delays and timeouts mirror
+the signatures in the paper's Listing 1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any, TypeVar
+
+from repro.core.constants import EQ_TIMEOUT, ResultStatus, TaskStatus
+from repro.core.fetch import fetch_count
+from repro.db.backend import TaskStore
+from repro.db.memory_backend import MemoryTaskStore
+from repro.db.schema import TaskRow
+from repro.db.sqlite_backend import SqliteTaskStore
+from repro.util.clock import Clock, SystemClock
+
+T = TypeVar("T")
+
+#: The status message returned when a blocking query times out,
+#: e.g. ``{'type': 'status', 'payload': 'TIMEOUT'}``.
+TIMEOUT_MESSAGE: dict[str, str] = {"type": "status", "payload": EQ_TIMEOUT}
+
+
+def _work_message(eq_task_id: int, payload: str) -> dict[str, Any]:
+    """The task message format of §IV-C:
+    ``{'type': 'work', 'eq_task_id': id, 'payload': payload}``."""
+    return {"type": "work", "eq_task_id": eq_task_id, "payload": payload}
+
+
+class EQSQL:
+    """Class-based Python task API over an EMEWS DB.
+
+    Parameters
+    ----------
+    store:
+        The task store backend (local or remote).
+    clock:
+        Time source for timestamps and polling sleeps.  Inject a
+        :class:`repro.util.clock.VirtualClock` (and use ``timeout=0``
+        non-blocking calls) under discrete-event simulation.
+    """
+
+    def __init__(self, store: TaskStore, clock: Clock | None = None) -> None:
+        self._store = store
+        self._clock = clock if clock is not None else SystemClock()
+        self._closed = False
+
+    @property
+    def store(self) -> TaskStore:
+        """The underlying task store."""
+        return self._store
+
+    @property
+    def clock(self) -> Clock:
+        """The time source used for timestamps and polling."""
+        return self._clock
+
+    # -- polling core -------------------------------------------------------
+
+    def _poll(
+        self,
+        attempt: Callable[[], T | None],
+        delay: float,
+        timeout: float | None,
+    ) -> T | None:
+        """Run ``attempt`` until it returns non-None or ``timeout`` expires.
+
+        Always makes at least one attempt, so ``timeout=0`` is the
+        non-blocking single-try form the DES pool model uses.  A
+        ``timeout`` of ``None`` polls indefinitely.
+        """
+        deadline = self._clock.deadline(timeout)
+        while True:
+            result = attempt()
+            if result is not None:
+                return result
+            if self._clock.expired(deadline):
+                return None
+            self._clock.sleep(delay)
+
+    # -- submission (ME algorithm side) ---------------------------------------
+
+    def submit_task(
+        self,
+        exp_id: str,
+        eq_type: int,
+        payload: str,
+        priority: int = 0,
+        tag: str | None = None,
+    ) -> "Future":
+        """Submit a task; returns a :class:`Future` for its result.
+
+        The payload must carry sufficient information for a worker pool
+        to execute the task — typically a JSON string.
+        """
+        eq_task_id = self._store.create_task(
+            exp_id,
+            eq_type,
+            payload,
+            priority=priority,
+            tag=tag,
+            time_created=self._clock.now(),
+        )
+        from repro.core.futures import Future
+
+        return Future(self, eq_task_id, eq_type, exp_id=exp_id, tag=tag)
+
+    def submit_tasks(
+        self,
+        exp_id: str,
+        eq_type: int,
+        payloads: Sequence[str],
+        priority: int | Sequence[int] = 0,
+        tag: str | None = None,
+    ) -> list["Future"]:
+        """Batch submission: one store transaction, many futures."""
+        ids = self._store.create_tasks(
+            exp_id,
+            eq_type,
+            payloads,
+            priority=priority,
+            tag=tag,
+            time_created=self._clock.now(),
+        )
+        from repro.core.futures import Future
+
+        return [
+            Future(self, eq_task_id, eq_type, exp_id=exp_id, tag=tag)
+            for eq_task_id in ids
+        ]
+
+    # -- queue queries (worker pool side) ---------------------------------------
+
+    def query_task(
+        self,
+        eq_type: int,
+        n: int = 1,
+        worker_pool: str = "default",
+        delay: float = 0.5,
+        timeout: float = 2.0,
+    ) -> dict[str, Any] | list[dict[str, Any]]:
+        """Pop up to ``n`` tasks of ``eq_type`` off the output queue.
+
+        Polls with ``delay`` until at least one task is available or
+        ``timeout`` expires.  Returns a single work message when
+        ``n == 1``, a list of work messages when ``n > 1``, or the
+        TIMEOUT status message when polling fails (paper §IV-C).
+        """
+        def attempt() -> list[tuple[int, str]] | None:
+            popped = self._store.pop_out(
+                eq_type, n, worker_pool=worker_pool, now=self._clock.now()
+            )
+            return popped if popped else None
+
+        popped = self._poll(attempt, delay, timeout)
+        if popped is None:
+            return dict(TIMEOUT_MESSAGE)
+        messages = [_work_message(tid, payload) for tid, payload in popped]
+        if n == 1:
+            return messages[0]
+        return messages
+
+    def query_task_batch(
+        self,
+        eq_type: int,
+        batch_size: int,
+        threshold: int,
+        owned: int,
+        worker_pool: str = "default",
+        delay: float = 0.5,
+        timeout: float = 2.0,
+    ) -> list[dict[str, Any]]:
+        """Worker-pool batch query (paper §IV-D).
+
+        Requests the batch/threshold deficit given the pool's currently
+        ``owned`` (popped, uncompleted) task count: nothing is fetched
+        until the deficit reaches ``threshold``; never more than
+        ``batch_size - owned`` tasks are claimed.  Returns an empty list
+        when the policy says not to fetch or the queue stays empty.
+        """
+        want = fetch_count(batch_size, threshold, owned)
+        if want == 0:
+            return []
+
+        def attempt() -> list[tuple[int, str]] | None:
+            popped = self._store.pop_out(
+                eq_type, want, worker_pool=worker_pool, now=self._clock.now()
+            )
+            return popped if popped else None
+
+        popped = self._poll(attempt, delay, timeout)
+        if popped is None:
+            return []
+        return [_work_message(tid, payload) for tid, payload in popped]
+
+    def report_task(self, eq_task_id: int, eq_type: int, result: str) -> None:
+        """Report a completed task's result, pushing it onto the input
+        queue where the ME algorithm can retrieve it."""
+        self._store.report(eq_task_id, eq_type, result, now=self._clock.now())
+
+    # -- result retrieval (ME algorithm side) --------------------------------------
+
+    def query_result(
+        self,
+        eq_task_id: int,
+        delay: float = 0.5,
+        timeout: float = 2.0,
+    ) -> tuple[ResultStatus, str]:
+        """Pop one task's result off the input queue.
+
+        Returns ``(SUCCESS, result_payload)`` or ``(FAILURE, 'TIMEOUT')``.
+        """
+        result = self._poll(lambda: self._store.pop_in(eq_task_id), delay, timeout)
+        if result is None:
+            return (ResultStatus.FAILURE, EQ_TIMEOUT)
+        return (ResultStatus.SUCCESS, result)
+
+    def pop_completed_ids(
+        self, eq_task_ids: Sequence[int], limit: int | None = None
+    ) -> list[tuple[int, str]]:
+        """Non-blocking batch pop of any listed tasks on the input queue.
+
+        The batch primitive behind ``as_completed`` / ``pop_completed``;
+        one store operation regardless of how many futures are watched.
+        ``limit`` caps consumption (results beyond it stay queued).
+        """
+        return self._store.pop_in_any(eq_task_ids, limit=limit)
+
+    # -- status / priority / cancellation -------------------------------------------
+
+    def query_status(
+        self, eq_task_ids: Sequence[int]
+    ) -> list[tuple[int, TaskStatus]]:
+        """Statuses for a batch of task ids."""
+        return self._store.get_statuses(eq_task_ids)
+
+    def query_priorities(
+        self, eq_task_ids: Sequence[int]
+    ) -> list[tuple[int, int]]:
+        """Output-queue priorities for still-queued tasks."""
+        return self._store.get_priorities(eq_task_ids)
+
+    def update_priorities(
+        self, eq_task_ids: Sequence[int], priorities: int | Sequence[int]
+    ) -> int:
+        """Re-prioritize queued tasks; returns the number updated."""
+        return self._store.update_priorities(eq_task_ids, priorities)
+
+    def cancel_tasks(self, eq_task_ids: Sequence[int]) -> int:
+        """Cancel queued tasks; returns the number canceled."""
+        return self._store.cancel_tasks(eq_task_ids)
+
+    # -- introspection ------------------------------------------------------------------
+
+    def task_info(self, eq_task_id: int) -> TaskRow:
+        """The full database row for a task (timestamps, pool, payloads)."""
+        return self._store.get_task(eq_task_id)
+
+    def queue_lengths(self, eq_type: int | None = None) -> tuple[int, int]:
+        """(output queue length, input queue length)."""
+        return (
+            self._store.queue_out_length(eq_type),
+            self._store.queue_in_length(),
+        )
+
+    def are_queues_empty(self, eq_type: int | None = None) -> bool:
+        """True when both queues are drained — the workflow-termination
+        test used by ME drivers."""
+        out_len, in_len = self.queue_lengths(eq_type)
+        return out_len == 0 and in_len == 0
+
+    def close(self) -> None:
+        """Close the underlying store."""
+        if not self._closed:
+            self._closed = True
+            self._store.close()
+
+    def __enter__(self) -> "EQSQL":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def init_eqsql(
+    db_path: str | None = None, clock: Clock | None = None
+) -> EQSQL:
+    """Create an :class:`EQSQL` instance (the paper's ``init_esql``).
+
+    ``db_path=None`` gives a pure in-memory store; a path (or
+    ``":memory:"``) gives the SQLite engine.
+    """
+    store: TaskStore
+    if db_path is None:
+        store = MemoryTaskStore()
+    else:
+        store = SqliteTaskStore(db_path)
+    return EQSQL(store, clock=clock)

@@ -1,0 +1,70 @@
+"""The worker-pool batch/threshold fetch policy (paper §IV-D).
+
+A worker pool is configured with a *batch size* — the maximum number of
+tasks it may own (popped but not yet completed) — and a *threshold* —
+how large the deficit between batch size and owned tasks must grow
+before more tasks are fetched.  From the paper:
+
+    "if a worker pool is configured to possess 33 tasks at a time, if it
+    owns 30 uncompleted tasks when querying the output queue, it will
+    only obtain 3 additional tasks ... a threshold value specifies how
+    large the deficit between requested tasks and owned tasks must be
+    before more tasks are obtained."
+
+This policy is the knob Figure 3 studies: batch > workers oversubscribes
+the pool (an in-memory cache of claimed tasks — high utilization but the
+cached tasks become ineligible for reprioritization); batch == workers
+with threshold 1 keeps every task reprioritizable at some utilization
+cost; a large threshold produces the idle saw-tooth.
+
+The function here is deliberately pure — the threaded pools
+(:mod:`repro.pools`) and the discrete-event pool model
+(:mod:`repro.sim.pool_model`) share it, so the benchmarks measure
+exactly the code the real pools run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def fetch_count(batch_size: int, threshold: int, owned: int) -> int:
+    """Number of tasks a pool should request from the output queue.
+
+    Returns the deficit ``batch_size - owned`` when it has reached
+    ``threshold``, else 0 (don't query yet).
+
+    ``batch_size`` must be >= 1; ``threshold`` must be in
+    ``[1, batch_size]``; ``owned`` must be >= 0.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if not 1 <= threshold <= batch_size:
+        raise ValueError(
+            f"threshold must be in [1, {batch_size}], got {threshold}"
+        )
+    if owned < 0:
+        raise ValueError(f"owned must be >= 0, got {owned}")
+    deficit = batch_size - owned
+    return deficit if deficit >= threshold else 0
+
+
+@dataclass(frozen=True)
+class FetchPolicy:
+    """A (batch size, threshold) pair with convenience accessors."""
+
+    batch_size: int
+    threshold: int = 1
+
+    def __post_init__(self) -> None:
+        # Validate eagerly so misconfigured pools fail at construction.
+        fetch_count(self.batch_size, self.threshold, 0)
+
+    def to_fetch(self, owned: int) -> int:
+        """Tasks to request given the current owned count."""
+        return fetch_count(self.batch_size, self.threshold, owned)
+
+    def oversubscribes(self, n_workers: int) -> bool:
+        """True when the policy claims more tasks than the pool has
+        workers — the in-memory task-cache regime of Fig 3 (top)."""
+        return self.batch_size > n_workers

@@ -1,0 +1,115 @@
+"""Wire protocol for the EMEWS task service.
+
+Newline-delimited JSON over a stream socket: each request is one JSON
+object ``{"id": n, "method": name, "params": {...}, "token": "..."}``
+and each response ``{"id": n, "ok": true, "result": ...}`` or
+``{"id": n, "ok": false, "error": {"type": ..., "message": ...}}``.
+
+The method set maps one-to-one onto :class:`repro.db.TaskStore`, so a
+remote client is just another store implementation — the paper's remote
+hop (ME algorithm → SSH tunnel → EMEWS service → DB) becomes a
+transport detail beneath the unchanged EQSQL API.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, BinaryIO
+
+from repro.db.schema import TaskRow, TaskStatus
+from repro.util.errors import (
+    AuthenticationError,
+    NotFoundError,
+    ReproError,
+    SerializationError,
+)
+
+#: Protocol version, checked at connection time by the handshake.
+PROTOCOL_VERSION = 1
+
+#: Exception types that cross the wire by name.
+_ERROR_TYPES: dict[str, type[Exception]] = {
+    "NotFoundError": NotFoundError,
+    "AuthenticationError": AuthenticationError,
+    "ValueError": ValueError,
+    "TypeError": TypeError,
+    "ReproError": ReproError,
+}
+
+
+def write_message(stream: BinaryIO, message: dict[str, Any]) -> None:
+    """Write one newline-delimited JSON message and flush."""
+    data = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if b"\n" in data:
+        # json.dumps never emits raw newlines, but guard the invariant
+        # the framing depends on.
+        raise SerializationError("protocol message contains a newline")
+    stream.write(data + b"\n")
+    stream.flush()
+
+
+def read_message(stream: BinaryIO) -> dict[str, Any] | None:
+    """Read one message; None on clean EOF."""
+    line = stream.readline()
+    if not line:
+        return None
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SerializationError(f"malformed protocol frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise SerializationError("protocol frame is not a JSON object")
+    return message
+
+
+def error_response(request_id: Any, exc: Exception) -> dict[str, Any]:
+    """Build the error response for a failed request."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+
+
+def ok_response(request_id: Any, result: Any) -> dict[str, Any]:
+    """Build the success response for a request."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def raise_remote_error(error: dict[str, Any]) -> None:
+    """Re-raise a server-side error client-side, preserving its type
+    where the type is part of the store contract."""
+    exc_type = _ERROR_TYPES.get(error.get("type", ""), ReproError)
+    raise exc_type(error.get("message", "remote error"))
+
+
+def task_row_to_dict(row: TaskRow) -> dict[str, Any]:
+    """Serialize a TaskRow for the wire."""
+    return {
+        "eq_task_id": row.eq_task_id,
+        "eq_task_type": row.eq_task_type,
+        "eq_status": int(row.eq_status),
+        "worker_pool": row.worker_pool,
+        "json_out": row.json_out,
+        "json_in": row.json_in,
+        "time_created": row.time_created,
+        "time_start": row.time_start,
+        "time_stop": row.time_stop,
+        "tags": row.tags,
+    }
+
+
+def task_row_from_dict(data: dict[str, Any]) -> TaskRow:
+    """Deserialize a TaskRow from the wire."""
+    return TaskRow(
+        eq_task_id=data["eq_task_id"],
+        eq_task_type=data["eq_task_type"],
+        eq_status=TaskStatus(data["eq_status"]),
+        worker_pool=data.get("worker_pool"),
+        json_out=data["json_out"],
+        json_in=data.get("json_in"),
+        time_created=data["time_created"],
+        time_start=data.get("time_start"),
+        time_stop=data.get("time_stop"),
+        tags=list(data.get("tags", [])),
+    )

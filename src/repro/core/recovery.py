@@ -1,0 +1,102 @@
+"""Fault-tolerant task recovery.
+
+Paper §IV-B: the task database "decouples the tasks produced by the ME
+algorithm, and the status of those tasks ... from the ME execution such
+that tasks and their results are not lost when a resource fails, but
+rather are described in the system in enough detail so that they can be
+executed if not yet running or restarted if necessary."
+
+The EMEWS DB already preserves queued tasks across any failure (they sit
+in ``emews_queue_out``).  What needs active recovery is the *running*
+set: tasks a crashed or preempted worker pool had popped but never
+reported.  :func:`find_orphaned_tasks` identifies them by pool name
+and/or stuck-time heuristic; :func:`requeue_tasks` pushes them back onto
+the output queue (status → QUEUED, fresh priority), after which any live
+pool will pick them up.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.eqsql import EQSQL
+from repro.db.schema import TaskStatus
+
+
+@dataclass(frozen=True)
+class OrphanedTask:
+    """A running-state task presumed lost with its pool."""
+
+    eq_task_id: int
+    eq_task_type: int
+    worker_pool: str | None
+    time_start: float | None
+    payload: str
+
+
+def find_orphaned_tasks(
+    eqsql: EQSQL,
+    exp_id: str,
+    worker_pool: str | None = None,
+    stuck_after: float | None = None,
+) -> list[OrphanedTask]:
+    """Running tasks of an experiment that look abandoned.
+
+    ``worker_pool`` restricts to tasks owned by a specific (dead) pool;
+    ``stuck_after`` flags tasks running longer than that many seconds of
+    the EQSQL clock.  With neither filter, every RUNNING task matches —
+    appropriate after a known total outage.
+    """
+    now = eqsql.clock.now()
+    orphans: list[OrphanedTask] = []
+    for eq_task_id in eqsql.store.tasks_for_experiment(exp_id):
+        row = eqsql.task_info(eq_task_id)
+        if row.eq_status != TaskStatus.RUNNING:
+            continue
+        if worker_pool is not None and row.worker_pool != worker_pool:
+            continue
+        if stuck_after is not None:
+            started = row.time_start if row.time_start is not None else now
+            if now - started < stuck_after:
+                continue
+        orphans.append(
+            OrphanedTask(
+                eq_task_id=row.eq_task_id,
+                eq_task_type=row.eq_task_type,
+                worker_pool=row.worker_pool,
+                time_start=row.time_start,
+                payload=row.json_out,
+            )
+        )
+    return orphans
+
+
+def requeue_tasks(
+    eqsql: EQSQL,
+    orphans: Sequence[OrphanedTask],
+    priority: int = 0,
+) -> int:
+    """Return orphaned tasks to the output queue; returns count requeued.
+
+    Each task keeps its identity (id, payload, experiment links) — a
+    future already held against it will still resolve when a live pool
+    re-executes and reports it.  Tasks that completed between detection
+    and requeue (a slow pool finally reported) are skipped.
+    """
+    requeued = 0
+    for orphan in orphans:
+        row = eqsql.task_info(orphan.eq_task_id)
+        if row.eq_status != TaskStatus.RUNNING:
+            continue  # it finished (or was canceled) after detection
+        eqsql.store.requeue(orphan.eq_task_id, priority=priority)
+        requeued += 1
+    return requeued
+
+
+def recover_pool(
+    eqsql: EQSQL, exp_id: str, worker_pool: str, priority: int = 0
+) -> int:
+    """One-call recovery of a known-dead pool's tasks."""
+    orphans = find_orphaned_tasks(eqsql, exp_id, worker_pool=worker_pool)
+    return requeue_tasks(eqsql, orphans, priority=priority)

@@ -1,0 +1,172 @@
+"""The EMEWS service: a TCP server fronting a resource-local task store.
+
+Paper §IV-C: "Tasks arrive at HPC sites at the EMEWS Service, which
+abstracts task caching and queuing operations ... The Service mediates
+between model exploration algorithms and worker pools and exposes data
+about tasks for queries."
+
+The server is a thread-per-connection JSON-RPC-style endpoint whose
+method set equals the :class:`repro.db.TaskStore` contract; any number
+of ME algorithms and worker pools may connect concurrently.  An optional
+bearer token gates access, standing in for the authenticated channel
+(SSH tunnel / OAuth) of the production deployment.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from typing import Any
+
+from repro.core import protocol
+from repro.db.backend import TaskStore
+from repro.util.errors import AuthenticationError
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connected client; dispatches requests to the store."""
+
+    def handle(self) -> None:
+        while True:
+            try:
+                message = protocol.read_message(self.rfile)
+            except Exception:
+                break  # malformed frame: drop the connection
+            if message is None:
+                break
+            response = self._dispatch(message)
+            try:
+                protocol.write_message(self.wfile, response)
+            except (BrokenPipeError, ConnectionResetError, ValueError):
+                break
+
+    def _dispatch(self, message: dict[str, Any]) -> dict[str, Any]:
+        request_id = message.get("id")
+        service: "TaskService" = self.server.service  # type: ignore[attr-defined]
+        try:
+            service.check_token(message.get("token"))
+            method = message.get("method")
+            if not isinstance(method, str):
+                raise ValueError("request missing method name")
+            params = message.get("params") or {}
+            if not isinstance(params, dict):
+                raise ValueError("request params must be an object")
+            result = service.call(method, params)
+            return protocol.ok_response(request_id, result)
+        except Exception as exc:
+            return protocol.error_response(request_id, exc)
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    service: "TaskService"
+
+
+class TaskService:
+    """TCP front-end for a :class:`TaskStore`.
+
+    Parameters
+    ----------
+    store:
+        The task store this service mediates access to.
+    host, port:
+        Bind address; port 0 picks a free port (read it back from
+        :attr:`address` after :meth:`start`).
+    auth_token:
+        When set, every request must carry this bearer token.
+    """
+
+    #: Store methods callable over the wire, with result encoders where
+    #: the raw return value is not JSON-ready.
+    _METHODS = frozenset(
+        {
+            "create_task",
+            "create_tasks",
+            "pop_out",
+            "queue_out_length",
+            "report",
+            "pop_in",
+            "pop_in_any",
+            "queue_in_length",
+            "get_task",
+            "get_statuses",
+            "get_priorities",
+            "update_priorities",
+            "cancel_tasks",
+            "requeue",
+            "tasks_for_experiment",
+            "tasks_for_tag",
+            "max_task_id",
+            "clear",
+            "ping",
+        }
+    )
+
+    def __init__(
+        self,
+        store: TaskStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        auth_token: str | None = None,
+    ) -> None:
+        self._store = store
+        self._auth_token = auth_token
+        self._server = _Server((host, port), _Handler)
+        self._server.service = self
+        self._thread: threading.Thread | None = None
+
+    @property
+    def store(self) -> TaskStore:
+        """The task store behind this service."""
+        return self._store
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) the service is bound to."""
+        host, port = self._server.server_address[:2]
+        return (str(host), int(port))
+
+    def check_token(self, token: str | None) -> None:
+        """Validate a request's bearer token."""
+        if self._auth_token is not None and token != self._auth_token:
+            raise AuthenticationError("invalid or missing service token")
+
+    def call(self, method: str, params: dict[str, Any]) -> Any:
+        """Dispatch one store method; encodes non-JSON results."""
+        if method == "ping":
+            return {"version": protocol.PROTOCOL_VERSION}
+        if method not in self._METHODS:
+            raise ValueError(f"unknown method: {method}")
+        result = getattr(self._store, method)(**params)
+        if method == "get_task":
+            return protocol.task_row_to_dict(result)
+        if method == "get_statuses":
+            return [[tid, int(status)] for tid, status in result]
+        return result
+
+    def start(self) -> "TaskService":
+        """Begin serving on a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="emews-service",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "TaskService":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

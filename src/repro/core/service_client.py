@@ -1,0 +1,223 @@
+"""Client-side remote task store.
+
+:class:`RemoteTaskStore` implements the full :class:`repro.db.TaskStore`
+contract over a TCP connection to a :class:`repro.core.service.TaskService`.
+Because it *is* a store, the unchanged :class:`repro.core.eqsql.EQSQL`
+class runs against it — an ME algorithm on a laptop drives a database on
+a cluster exactly as it drives a local one, which is the paper's
+deployment (local Python script, EMEWS DB on Bebop, SSH tunnel between).
+
+One socket is shared behind a lock; requests are strictly
+request/response so pipelining is unnecessary, and worker pools that
+want concurrency open one client each.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+from repro.core import protocol
+from repro.db.backend import TaskStore
+from repro.db.schema import TaskRow, TaskStatus
+from repro.util.errors import ReproError
+
+
+class RemoteTaskStore(TaskStore):
+    """A TaskStore proxied over the EMEWS service protocol."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        auth_token: str | None = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self._token = auth_token
+        self._lock = threading.Lock()
+        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        # Blocking I/O after connect; polling timeouts live in EQSQL.
+        self._sock.settimeout(None)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+        self._next_id = 0
+        self._closed = False
+        # Fail fast on version/auth problems.
+        self._call("ping", {})
+
+    def _call(self, method: str, params: dict[str, Any]) -> Any:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("remote store is closed")
+            self._next_id += 1
+            request = {
+                "id": self._next_id,
+                "method": method,
+                "params": params,
+            }
+            if self._token is not None:
+                request["token"] = self._token
+            protocol.write_message(self._wfile, request)
+            response = protocol.read_message(self._rfile)
+        if response is None:
+            raise ReproError("service closed the connection")
+        if response.get("id") != request["id"]:
+            raise ReproError("service response id mismatch")
+        if not response.get("ok"):
+            protocol.raise_remote_error(response.get("error", {}))
+        return response.get("result")
+
+    # -- TaskStore implementation -------------------------------------------
+
+    def create_task(
+        self,
+        exp_id: str,
+        eq_type: int,
+        payload: str,
+        *,
+        priority: int = 0,
+        tag: str | None = None,
+        time_created: float = 0.0,
+    ) -> int:
+        return self._call(
+            "create_task",
+            {
+                "exp_id": exp_id,
+                "eq_type": eq_type,
+                "payload": payload,
+                "priority": priority,
+                "tag": tag,
+                "time_created": time_created,
+            },
+        )
+
+    def create_tasks(
+        self,
+        exp_id: str,
+        eq_type: int,
+        payloads: Sequence[str],
+        *,
+        priority: int | Sequence[int] = 0,
+        tag: str | None = None,
+        time_created: float = 0.0,
+    ) -> list[int]:
+        priority_param = priority if isinstance(priority, int) else list(priority)
+        return list(
+            self._call(
+                "create_tasks",
+                {
+                    "exp_id": exp_id,
+                    "eq_type": eq_type,
+                    "payloads": list(payloads),
+                    "priority": priority_param,
+                    "tag": tag,
+                    "time_created": time_created,
+                },
+            )
+        )
+
+    def pop_out(
+        self,
+        eq_type: int,
+        n: int = 1,
+        *,
+        worker_pool: str = "default",
+        now: float = 0.0,
+    ) -> list[tuple[int, str]]:
+        result = self._call(
+            "pop_out",
+            {"eq_type": eq_type, "n": n, "worker_pool": worker_pool, "now": now},
+        )
+        return [(tid, payload) for tid, payload in result]
+
+    def queue_out_length(self, eq_type: int | None = None) -> int:
+        return self._call("queue_out_length", {"eq_type": eq_type})
+
+    def report(
+        self,
+        eq_task_id: int,
+        eq_type: int,
+        result: str,
+        *,
+        now: float = 0.0,
+    ) -> None:
+        self._call(
+            "report",
+            {
+                "eq_task_id": eq_task_id,
+                "eq_type": eq_type,
+                "result": result,
+                "now": now,
+            },
+        )
+
+    def pop_in(self, eq_task_id: int) -> str | None:
+        return self._call("pop_in", {"eq_task_id": eq_task_id})
+
+    def pop_in_any(
+        self, eq_task_ids: Iterable[int], limit: int | None = None
+    ) -> list[tuple[int, str]]:
+        result = self._call(
+            "pop_in_any", {"eq_task_ids": list(eq_task_ids), "limit": limit}
+        )
+        return [(tid, payload) for tid, payload in result]
+
+    def queue_in_length(self) -> int:
+        return self._call("queue_in_length", {})
+
+    def get_task(self, eq_task_id: int) -> TaskRow:
+        return protocol.task_row_from_dict(
+            self._call("get_task", {"eq_task_id": eq_task_id})
+        )
+
+    def get_statuses(self, eq_task_ids: Sequence[int]) -> list[tuple[int, TaskStatus]]:
+        result = self._call("get_statuses", {"eq_task_ids": list(eq_task_ids)})
+        return [(tid, TaskStatus(status)) for tid, status in result]
+
+    def get_priorities(self, eq_task_ids: Sequence[int]) -> list[tuple[int, int]]:
+        result = self._call("get_priorities", {"eq_task_ids": list(eq_task_ids)})
+        return [(tid, priority) for tid, priority in result]
+
+    def update_priorities(
+        self, eq_task_ids: Sequence[int], priorities: int | Sequence[int]
+    ) -> int:
+        priority_param = (
+            priorities if isinstance(priorities, int) else list(priorities)
+        )
+        return self._call(
+            "update_priorities",
+            {"eq_task_ids": list(eq_task_ids), "priorities": priority_param},
+        )
+
+    def cancel_tasks(self, eq_task_ids: Sequence[int]) -> int:
+        return self._call("cancel_tasks", {"eq_task_ids": list(eq_task_ids)})
+
+    def requeue(self, eq_task_id: int, *, priority: int = 0) -> bool:
+        return self._call(
+            "requeue", {"eq_task_id": eq_task_id, "priority": priority}
+        )
+
+    def tasks_for_experiment(self, exp_id: str) -> list[int]:
+        return list(self._call("tasks_for_experiment", {"exp_id": exp_id}))
+
+    def tasks_for_tag(self, tag: str) -> list[int]:
+        return list(self._call("tasks_for_tag", {"tag": tag}))
+
+    def max_task_id(self) -> int:
+        return self._call("max_task_id", {})
+
+    def clear(self) -> None:
+        self._call("clear", {})
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for closer in (self._rfile.close, self._wfile.close, self._sock.close):
+                try:
+                    closer()
+                except OSError:
+                    pass

@@ -1,0 +1,42 @@
+"""Data ingestion, curation, and artifact management (paper §II-B2).
+
+The paper lists these as platform requirements ("not the focus of this
+work, but we include for completeness") and as future work; this package
+implements them as working extension features:
+
+- :mod:`repro.data.ingestion` — versioned data sources (a city portal
+  stand-in) and a polling ingestor that moves new versions to a staging
+  store and records where they came from;
+- :mod:`repro.data.curation` — declarative curation pipelines (missing
+  data fill, de-biasing by reporting rate, outlier clipping, smoothing)
+  with per-step provenance;
+- :mod:`repro.data.provenance` — an artifact lineage DAG;
+- :mod:`repro.data.artifacts` — managed model/algorithm checkpoints
+  that can be listed, selected, and staged for (re-)execution.
+"""
+
+from repro.data.ingestion import DataSource, DatasetVersion, StreamIngestor
+from repro.data.curation import (
+    CurationPipeline,
+    clip_outliers,
+    debias_reporting,
+    fill_missing,
+    rolling_mean,
+)
+from repro.data.provenance import ProvenanceLog, ProvenanceRecord
+from repro.data.artifacts import ArtifactManager, ArtifactRecord
+
+__all__ = [
+    "DataSource",
+    "DatasetVersion",
+    "StreamIngestor",
+    "CurationPipeline",
+    "fill_missing",
+    "debias_reporting",
+    "clip_outliers",
+    "rolling_mean",
+    "ProvenanceLog",
+    "ProvenanceRecord",
+    "ArtifactManager",
+    "ArtifactRecord",
+]

@@ -1,0 +1,129 @@
+"""Algorithm and model artifact management (paper §II-B2c).
+
+"Algorithm and model artifacts, such as model exploration state or
+calibrated model checkpoints, can be complex, large, and numerous and
+not local to a specific resource ... Capabilities should allow model
+exploration algorithms to be easily rerun or continued ... Model
+checkpoints should be easily selected, staged for execution, and run."
+
+:class:`ArtifactManager` stores checkpoint objects in a
+:class:`repro.store.Store` (so the bytes can live behind any connector,
+including the Globus fabric) with queryable metadata, and stages
+selected checkpoints as proxies ready to ride a task payload.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.data.provenance import ProvenanceLog
+from repro.store.proxy import Proxy
+from repro.store.store import Store
+from repro.util.clock import Clock, SystemClock
+from repro.util.errors import NotFoundError
+from repro.util.ids import short_id
+
+
+@dataclass(frozen=True)
+class ArtifactRecord:
+    """Metadata for one stored checkpoint."""
+
+    artifact_id: str
+    kind: str  # e.g. "gpr-model", "me-state", "calibrated-params"
+    store_key: str
+    created_at: float
+    tags: dict[str, Any] = field(default_factory=dict)
+
+
+class ArtifactManager:
+    """Checkpoint store with metadata queries and staging."""
+
+    def __init__(
+        self,
+        store: Store,
+        provenance: ProvenanceLog | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self._store = store
+        self._provenance = provenance
+        self._clock = clock if clock is not None else SystemClock()
+        self._lock = threading.Lock()
+        self._records: dict[str, ArtifactRecord] = {}
+
+    def save(
+        self,
+        obj: Any,
+        kind: str,
+        tags: dict[str, Any] | None = None,
+        parents: tuple[str, ...] = (),
+    ) -> ArtifactRecord:
+        """Persist a checkpoint; returns its record."""
+        artifact_id = short_id("ckpt")
+        store_key = self._store.put(obj)
+        record = ArtifactRecord(
+            artifact_id=artifact_id,
+            kind=kind,
+            store_key=store_key,
+            created_at=self._clock.now(),
+            tags=dict(tags or {}),
+        )
+        with self._lock:
+            self._records[artifact_id] = record
+        if self._provenance is not None:
+            self._provenance.record(
+                operation=f"checkpoint:{kind}",
+                parents=parents,
+                params=dict(record.tags),
+                created_at=record.created_at,
+                artifact_id=artifact_id,
+            )
+        return record
+
+    def get_record(self, artifact_id: str) -> ArtifactRecord:
+        with self._lock:
+            record = self._records.get(artifact_id)
+        if record is None:
+            raise NotFoundError(f"unknown artifact {artifact_id!r}")
+        return record
+
+    def load(self, artifact_id: str) -> Any:
+        """Materialize a checkpoint object."""
+        return self._store.get(self.get_record(artifact_id).store_key)
+
+    def stage(self, artifact_id: str) -> Proxy:
+        """A lazy proxy to the checkpoint — ready to embed in a task
+        payload or fabric call without moving the bytes yet."""
+        return self._store.proxy_from_key(self.get_record(artifact_id).store_key)
+
+    def delete(self, artifact_id: str) -> bool:
+        """Remove a checkpoint and its stored bytes."""
+        with self._lock:
+            record = self._records.pop(artifact_id, None)
+        if record is None:
+            return False
+        self._store.evict(record.store_key)
+        return True
+
+    def list(
+        self, kind: str | None = None, **tag_filters: Any
+    ) -> list[ArtifactRecord]:
+        """Records matching a kind and exact tag values, newest first."""
+        with self._lock:
+            records = list(self._records.values())
+        out = [
+            r
+            for r in records
+            if (kind is None or r.kind == kind)
+            and all(r.tags.get(k) == v for k, v in tag_filters.items())
+        ]
+        out.sort(key=lambda r: r.created_at, reverse=True)
+        return out
+
+    def latest(self, kind: str, **tag_filters: Any) -> ArtifactRecord:
+        """The newest matching record; raises if none exist."""
+        matches = self.list(kind, **tag_filters)
+        if not matches:
+            raise NotFoundError(f"no artifacts of kind {kind!r} match {tag_filters}")
+        return matches[0]

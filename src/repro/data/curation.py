@@ -1,0 +1,141 @@
+"""Automated data curation pipelines (paper §II-B2b).
+
+"...capabilities for creating data analysis pipelines, such as for data
+de-biasing, data integration, uncertainty quantification, and more
+general metadata and provenance tracking."
+
+A :class:`CurationPipeline` is an ordered list of named steps over a 1-D
+case-count series.  Running it produces the curated series plus one
+provenance record per step, chained parent-to-child, so the final
+artifact's lineage reads like a lab notebook.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.provenance import ProvenanceLog
+from repro.util.errors import DataError
+
+#: A curation step: (series, params) -> series.
+StepFn = Callable[[np.ndarray], np.ndarray]
+
+
+def fill_missing(series: np.ndarray) -> np.ndarray:
+    """Replace NaNs by linear interpolation (edges: nearest value).
+
+    Surveillance series routinely have missing reporting days.
+    """
+    series = np.asarray(series, dtype=float)
+    out = series.copy()
+    missing = np.isnan(out)
+    if missing.all():
+        raise DataError("series is entirely missing")
+    if missing.any():
+        idx = np.arange(out.size)
+        out[missing] = np.interp(idx[missing], idx[~missing], out[~missing])
+    return out
+
+
+def debias_reporting(reporting_rate: float) -> StepFn:
+    """Scale reported counts up to estimated true incidence."""
+    if not 0 < reporting_rate <= 1:
+        raise ValueError("reporting_rate must be in (0, 1]")
+
+    def step(series: np.ndarray) -> np.ndarray:
+        return np.asarray(series, dtype=float) / reporting_rate
+
+    step.__name__ = f"debias_reporting({reporting_rate})"
+    return step
+
+
+def clip_outliers(z: float = 4.0) -> StepFn:
+    """Clamp points more than ``z`` robust deviations from a rolling
+    median (data dumps / bulk corrections appear as huge spikes)."""
+    if z <= 0:
+        raise ValueError("z must be positive")
+
+    def step(series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=float)
+        median = float(np.median(series))
+        mad = float(np.median(np.abs(series - median))) or 1.0
+        limit = median + z * 1.4826 * mad
+        return np.minimum(series, limit)
+
+    step.__name__ = f"clip_outliers(z={z})"
+    return step
+
+
+def rolling_mean(window: int = 7) -> StepFn:
+    """Centered rolling mean (the 7-day average of COVID dashboards)."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+
+    def step(series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=float)
+        if series.size < window:
+            raise DataError(f"series shorter than window {window}")
+        kernel = np.ones(window) / window
+        # 'same' mode with edge correction: divide by actual coverage.
+        smoothed = np.convolve(series, kernel, mode="same")
+        coverage = np.convolve(np.ones_like(series), kernel, mode="same")
+        return smoothed / coverage
+
+    step.__name__ = f"rolling_mean(window={window})"
+    return step
+
+
+@dataclass
+class CurationResult:
+    """Curated series plus the ids of each intermediate artifact."""
+
+    series: np.ndarray
+    artifact_ids: list[str]
+
+    @property
+    def final_artifact(self) -> str:
+        return self.artifact_ids[-1]
+
+
+class CurationPipeline:
+    """An ordered, provenance-tracked series transformation."""
+
+    def __init__(self, steps: list[StepFn] | None = None) -> None:
+        self._steps: list[StepFn] = list(steps or [])
+
+    def add(self, step: StepFn) -> "CurationPipeline":
+        self._steps.append(step)
+        return self
+
+    @property
+    def step_names(self) -> list[str]:
+        return [getattr(s, "__name__", repr(s)) for s in self._steps]
+
+    def run(
+        self,
+        series: np.ndarray,
+        provenance: ProvenanceLog,
+        input_artifact: str,
+        created_at: float = 0.0,
+    ) -> CurationResult:
+        """Apply all steps; each output becomes a provenance child of
+        the previous artifact."""
+        if not self._steps:
+            raise DataError("pipeline has no steps")
+        current = np.asarray(series, dtype=float)
+        parent = input_artifact
+        artifact_ids: list[str] = []
+        for step in self._steps:
+            current = np.asarray(step(current), dtype=float)
+            record = provenance.record(
+                operation=getattr(step, "__name__", "step"),
+                parents=(parent,),
+                params={"length": int(current.size)},
+                created_at=created_at,
+            )
+            parent = record.artifact_id
+            artifact_ids.append(record.artifact_id)
+        return CurationResult(series=current, artifact_ids=artifact_ids)

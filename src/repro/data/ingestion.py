@@ -1,0 +1,156 @@
+"""Data stream ingestion (paper §II-B2a).
+
+"Incoming data streams relevant to OSPREY workflows vary widely in type
+and size.  OSPREY will need to develop flexible techniques to move and
+track data sets from their origin of publication, such as a city or
+health department portals, to their site of use."
+
+:class:`DataSource` simulates the portal: it publishes immutable
+:class:`DatasetVersion` objects (as a health department revises its case
+series daily).  :class:`StreamIngestor` polls a source, detects unseen
+versions by content hash, stages each into a
+:class:`repro.store.Store` (whose connector may be a Globus fabric —
+moving the data to the HPC site), and records provenance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.data.provenance import ProvenanceLog
+from repro.store.store import Store
+from repro.util.clock import Clock, SystemClock
+from repro.util.errors import NotFoundError
+from repro.util.serialization import encode_object
+
+
+@dataclass(frozen=True)
+class DatasetVersion:
+    """One published revision of a dataset."""
+
+    name: str
+    version: int
+    content_hash: str
+    published_at: float
+    payload: Any
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}@v{self.version}"
+
+
+def content_hash(payload: Any) -> str:
+    """Stable content hash used for new-version detection."""
+    return hashlib.sha256(encode_object(payload)).hexdigest()[:16]
+
+
+class DataSource:
+    """A simulated publication portal: versioned named datasets."""
+
+    def __init__(self, name: str, clock: Clock | None = None) -> None:
+        self.name = name
+        self._clock = clock if clock is not None else SystemClock()
+        self._lock = threading.Lock()
+        self._versions: dict[str, list[DatasetVersion]] = {}
+
+    def publish(self, dataset: str, payload: Any) -> DatasetVersion:
+        """Publish a new revision; returns its version record.
+
+        Re-publishing identical content is a no-op (the portal did not
+        actually update) and returns the existing latest version.
+        """
+        digest = content_hash(payload)
+        with self._lock:
+            history = self._versions.setdefault(dataset, [])
+            if history and history[-1].content_hash == digest:
+                return history[-1]
+            version = DatasetVersion(
+                name=dataset,
+                version=len(history) + 1,
+                content_hash=digest,
+                published_at=self._clock.now(),
+                payload=payload,
+            )
+            history.append(version)
+            return version
+
+    def latest(self, dataset: str) -> DatasetVersion:
+        with self._lock:
+            history = self._versions.get(dataset)
+        if not history:
+            raise NotFoundError(f"source {self.name!r} has no dataset {dataset!r}")
+        return history[-1]
+
+    def datasets(self) -> list[str]:
+        with self._lock:
+            return sorted(self._versions)
+
+    def history(self, dataset: str) -> list[DatasetVersion]:
+        with self._lock:
+            return list(self._versions.get(dataset, []))
+
+
+class StreamIngestor:
+    """Moves new dataset versions from a source into a staging store."""
+
+    def __init__(
+        self,
+        source: DataSource,
+        store: Store,
+        provenance: ProvenanceLog | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self._source = source
+        self._store = store
+        self._provenance = provenance if provenance is not None else ProvenanceLog()
+        self._clock = clock if clock is not None else SystemClock()
+        self._seen: dict[str, str] = {}  # dataset -> last ingested hash
+        self.ingested: list[DatasetVersion] = []
+
+    @property
+    def provenance(self) -> ProvenanceLog:
+        return self._provenance
+
+    def poll(self) -> list[DatasetVersion]:
+        """Ingest every dataset whose latest version is unseen.
+
+        Each new version is written to the staging store under its
+        ``name@vN`` key and gets a provenance record naming the source.
+        Returns the versions ingested by this poll.
+        """
+        new: list[DatasetVersion] = []
+        for dataset in self._source.datasets():
+            version = self._source.latest(dataset)
+            if self._seen.get(dataset) == version.content_hash:
+                continue
+            self._store.put(version.payload, key=version.key)
+            self._provenance.record(
+                operation="ingest",
+                parents=(),
+                params={
+                    "source": self._source.name,
+                    "dataset": dataset,
+                    "version": version.version,
+                    "content_hash": version.content_hash,
+                },
+                created_at=self._clock.now(),
+                artifact_id=version.key,
+            )
+            self._seen[dataset] = version.content_hash
+            self.ingested.append(version)
+            new.append(version)
+        return new
+
+    def staged_payload(self, dataset: str, version: int | None = None) -> Any:
+        """Fetch a staged dataset from the store (latest by default)."""
+        if version is None:
+            candidates = [v for v in self.ingested if v.name == dataset]
+            if not candidates:
+                raise NotFoundError(f"dataset {dataset!r} not yet ingested")
+            key = candidates[-1].key
+        else:
+            key = f"{dataset}@v{version}"
+        return self._store.get(key)

@@ -1,0 +1,113 @@
+"""Artifact provenance: a lineage DAG.
+
+Every ingested dataset version, curation output, and model artifact gets
+a :class:`ProvenanceRecord` naming its parents and the operation that
+produced it, so any downstream result can be traced back to the raw
+surveillance pull that fed it — the paper's "track data provenance"
+requirement.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.errors import NotFoundError
+from repro.util.ids import short_id
+
+
+@dataclass(frozen=True)
+class ProvenanceRecord:
+    """One artifact's origin."""
+
+    artifact_id: str
+    operation: str
+    parents: tuple[str, ...]
+    params: dict[str, Any] = field(default_factory=dict)
+    created_at: float = 0.0
+
+
+class ProvenanceLog:
+    """Append-only provenance store with lineage queries."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: dict[str, ProvenanceRecord] = {}
+
+    def record(
+        self,
+        operation: str,
+        parents: tuple[str, ...] | list[str] = (),
+        params: dict[str, Any] | None = None,
+        created_at: float = 0.0,
+        artifact_id: str | None = None,
+    ) -> ProvenanceRecord:
+        """Register a new artifact; returns its record.
+
+        Parents must already be registered — lineage is built bottom-up,
+        which keeps the DAG acyclic by construction.
+        """
+        with self._lock:
+            for parent in parents:
+                if parent not in self._records:
+                    raise NotFoundError(f"unknown parent artifact {parent!r}")
+            if artifact_id is None:
+                artifact_id = short_id("art")
+            elif artifact_id in self._records:
+                raise ValueError(f"artifact {artifact_id!r} already recorded")
+            record = ProvenanceRecord(
+                artifact_id=artifact_id,
+                operation=operation,
+                parents=tuple(parents),
+                params=dict(params or {}),
+                created_at=created_at,
+            )
+            self._records[artifact_id] = record
+            return record
+
+    def get(self, artifact_id: str) -> ProvenanceRecord:
+        with self._lock:
+            record = self._records.get(artifact_id)
+        if record is None:
+            raise NotFoundError(f"unknown artifact {artifact_id!r}")
+        return record
+
+    def lineage(self, artifact_id: str) -> list[ProvenanceRecord]:
+        """All ancestors (and the artifact itself), oldest first."""
+        self.get(artifact_id)  # existence check
+        seen: dict[str, ProvenanceRecord] = {}
+
+        def visit(aid: str) -> None:
+            if aid in seen:
+                return
+            record = self.get(aid)
+            for parent in record.parents:
+                visit(parent)
+            seen[aid] = record
+
+        visit(artifact_id)
+        return list(seen.values())
+
+    def descendants(self, artifact_id: str) -> list[ProvenanceRecord]:
+        """Artifacts derived (transitively) from ``artifact_id``."""
+        self.get(artifact_id)
+        with self._lock:
+            records = list(self._records.values())
+        out: list[ProvenanceRecord] = []
+        frontier = {artifact_id}
+        changed = True
+        while changed:
+            changed = False
+            for record in records:
+                if record.artifact_id in frontier:
+                    continue
+                if any(p in frontier for p in record.parents):
+                    frontier.add(record.artifact_id)
+                    out.append(record)
+                    changed = True
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

@@ -1,0 +1,25 @@
+"""A small dataflow task-graph engine.
+
+Swift/T — the language the paper's canonical worker pool is written in —
+is "a dataflow language with built-in concurrency": statements run as
+soon as their data dependencies are satisfied.  This package reproduces
+that execution model at library scale: build a :class:`TaskGraph` whose
+nodes consume the outputs of their dependencies, then run it with a
+:class:`DataflowEngine` that executes every ready node concurrently.
+
+The MPI worker-pool driver uses a graph per fetched batch; it is also a
+generally useful substrate (the calibration example composes simulation
+→ scoring → aggregation stages with it).
+"""
+
+from repro.dataflow.graph import TaskGraph, TaskNode, CycleError
+from repro.dataflow.engine import DataflowEngine, NodeFailedError, NodeState
+
+__all__ = [
+    "TaskGraph",
+    "TaskNode",
+    "CycleError",
+    "DataflowEngine",
+    "NodeFailedError",
+    "NodeState",
+]

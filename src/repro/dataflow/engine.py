@@ -1,0 +1,143 @@
+"""Concurrent dataflow execution.
+
+Executes a :class:`~repro.dataflow.graph.TaskGraph` with Swift/T
+semantics: a node runs as soon as every dependency has produced a value;
+independent nodes run concurrently on a bounded worker pool.  A failing
+node poisons its transitive dependents (they are SKIPPED, not run), and
+the engine reports per-node states and results.
+"""
+
+from __future__ import annotations
+
+import enum
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.dataflow.graph import TaskGraph
+from repro.util.errors import ReproError
+
+
+class NodeFailedError(ReproError):
+    """Raised by :meth:`DataflowEngine.run` when nodes failed and
+    ``raise_on_failure`` is set; carries per-node errors."""
+
+    def __init__(self, errors: dict[str, BaseException]) -> None:
+        names = ", ".join(sorted(errors))
+        super().__init__(f"dataflow nodes failed: {names}")
+        self.errors = errors
+
+
+class NodeState(enum.Enum):
+    """Terminal state of a node after a run."""
+
+    DONE = "done"
+    FAILED = "failed"
+    SKIPPED = "skipped"  # an upstream dependency failed
+
+
+@dataclass
+class RunResult:
+    """Outcome of one graph execution."""
+
+    results: dict[str, Any]
+    states: dict[str, NodeState]
+    errors: dict[str, BaseException]
+
+    def ok(self) -> bool:
+        return all(s == NodeState.DONE for s in self.states.values())
+
+
+class DataflowEngine:
+    """Bounded-concurrency dataflow executor."""
+
+    def __init__(self, max_workers: int = 8) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self._max_workers = max_workers
+
+    def run(self, graph: TaskGraph, raise_on_failure: bool = True) -> RunResult:
+        """Execute the graph; returns per-node results and states.
+
+        Scheduling is event-driven: a completed node decrements its
+        dependents' wait counts and enqueues any that become ready, so
+        the engine never scans the whole graph per step.
+        """
+        graph.topological_order()  # validate acyclicity up front
+        nodes = {n.name: n for n in graph.nodes()}
+        rev = graph.dependents()
+        waiting = {name: len(node.deps) for name, node in nodes.items()}
+
+        results: dict[str, Any] = {}
+        states: dict[str, NodeState] = {}
+        errors: dict[str, BaseException] = {}
+        lock = threading.Lock()
+        ready: "queue.Queue[str | None]" = queue.Queue()
+        done_count = 0
+        total = len(nodes)
+
+        if total == 0:
+            return RunResult({}, {}, {})
+
+        for name, count in waiting.items():
+            if count == 0:
+                ready.put(name)
+
+        def mark_skipped_chain(name: str) -> list[str]:
+            """Skip a node and return dependents that became decided."""
+            newly: list[str] = []
+            stack = [name]
+            while stack:
+                current = stack.pop()
+                for child in rev[current]:
+                    if child not in states:
+                        states[child] = NodeState.SKIPPED
+                        newly.append(child)
+                        stack.append(child)
+            return newly
+
+        def worker() -> None:
+            nonlocal done_count
+            while True:
+                name = ready.get()
+                if name is None:
+                    return
+                node = nodes[name]
+                try:
+                    args = [results[dep] for dep in node.deps]
+                    value = node.fn(*args)
+                    failed = False
+                except BaseException as exc:  # noqa: BLE001 - recorded per node
+                    failed = True
+                    error = exc
+                with lock:
+                    if failed:
+                        states[name] = NodeState.FAILED
+                        errors[name] = error
+                        skipped = mark_skipped_chain(name)
+                        done_count += 1 + len(skipped)
+                    else:
+                        states[name] = NodeState.DONE
+                        results[name] = value
+                        done_count += 1
+                        for child in rev[name]:
+                            waiting[child] -= 1
+                            if waiting[child] == 0 and child not in states:
+                                ready.put(child)
+                    if done_count >= total:
+                        for _ in range(self._max_workers):
+                            ready.put(None)
+
+        threads = [
+            threading.Thread(target=worker, name=f"dataflow-{i}", daemon=True)
+            for i in range(min(self._max_workers, total))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if errors and raise_on_failure:
+            raise NodeFailedError(errors)
+        return RunResult(results, states, errors)

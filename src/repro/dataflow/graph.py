@@ -1,0 +1,114 @@
+"""Dataflow task graphs: nodes, dependencies, cycle detection."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.errors import ReproError
+
+
+class CycleError(ReproError):
+    """The graph contains a dependency cycle and cannot execute."""
+
+
+@dataclass
+class TaskNode:
+    """One node: ``fn`` is called with the results of ``deps`` in order."""
+
+    name: str
+    fn: Callable[..., Any]
+    deps: tuple[str, ...] = ()
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+class TaskGraph:
+    """A named DAG of callables.
+
+    Nodes are added with :meth:`add`; dependencies are node names and
+    must already exist (forcing a build order that cannot create cycles
+    through forward references; cycles are still re-verified by
+    :meth:`topological_order` for graphs built through :meth:`merge`).
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, TaskNode] = {}
+
+    def add(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        deps: Sequence[str] = (),
+        **meta: Any,
+    ) -> TaskNode:
+        """Add a node; returns it.  ``fn`` receives its dependencies'
+        results as positional arguments, in ``deps`` order."""
+        if name in self._nodes:
+            raise ValueError(f"duplicate node name: {name!r}")
+        for dep in deps:
+            if dep not in self._nodes:
+                raise ValueError(f"unknown dependency {dep!r} for node {name!r}")
+        node = TaskNode(name=name, fn=fn, deps=tuple(deps), meta=dict(meta))
+        self._nodes[name] = node
+        return node
+
+    def merge(self, other: "TaskGraph", prefix: str = "") -> None:
+        """Copy another graph's nodes in (names optionally prefixed)."""
+        for node in other._nodes.values():
+            name = prefix + node.name
+            if name in self._nodes:
+                raise ValueError(f"duplicate node name on merge: {name!r}")
+            self._nodes[name] = TaskNode(
+                name=name,
+                fn=node.fn,
+                deps=tuple(prefix + d for d in node.deps),
+                meta=dict(node.meta),
+            )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, name: str) -> TaskNode:
+        return self._nodes[name]
+
+    def nodes(self) -> list[TaskNode]:
+        return list(self._nodes.values())
+
+    def dependents(self) -> dict[str, list[str]]:
+        """Reverse adjacency: node name -> names depending on it."""
+        rev: dict[str, list[str]] = {name: [] for name in self._nodes}
+        for node in self._nodes.values():
+            for dep in node.deps:
+                rev[dep].append(node.name)
+        return rev
+
+    def topological_order(self) -> list[str]:
+        """Kahn's algorithm; raises :class:`CycleError` on cycles."""
+        indegree = {name: len(node.deps) for name, node in self._nodes.items()}
+        rev = self.dependents()
+        ready = [name for name, d in indegree.items() if d == 0]
+        order: list[str] = []
+        while ready:
+            name = ready.pop()
+            order.append(name)
+            for child in rev[name]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    ready.append(child)
+        if len(order) != len(self._nodes):
+            cyclic = sorted(n for n, d in indegree.items() if d > 0)
+            raise CycleError(f"dependency cycle among: {cyclic}")
+        return order
+
+    def roots(self) -> list[str]:
+        """Nodes with no dependencies."""
+        return [n.name for n in self._nodes.values() if not n.deps]
+
+    def leaves(self) -> list[str]:
+        """Nodes nothing depends on (the graph's outputs)."""
+        rev = self.dependents()
+        return [name for name, children in rev.items() if not children]

@@ -1,0 +1,222 @@
+"""The :class:`TaskStore` contract that every EMEWS DB backend implements.
+
+The store exposes the row-level operations the EQSQL task API (paper §V)
+is built from.  All mutating operations are atomic with respect to one
+another; the queue-pop operation in particular combines
+select-highest-priority, delete-from-queue, and mark-running into one
+critical section, which is what makes multiple concurrently polling
+worker pools safe (paper §IV-D: pools equitably share one output queue).
+
+Timestamps are passed *in* by the caller (ultimately from a
+:class:`repro.util.clock.Clock`) rather than read from the engine, so
+identical logic runs under wall-clock and virtual time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+
+from repro.db.schema import TaskRow, TaskStatus
+
+
+class TaskStore(ABC):
+    """Abstract EMEWS DB backend.
+
+    Implementations must be safe for use from multiple threads.
+    """
+
+    # -- task creation ---------------------------------------------------
+
+    @abstractmethod
+    def create_task(
+        self,
+        exp_id: str,
+        eq_type: int,
+        payload: str,
+        *,
+        priority: int = 0,
+        tag: str | None = None,
+        time_created: float = 0.0,
+    ) -> int:
+        """Insert a task and enqueue it on the output queue.
+
+        Returns the newly allocated integer task identifier.  The row is
+        created with status QUEUED; the (id, type, priority) triple goes
+        into ``emews_queue_out``; the experiment link and optional tag
+        rows are written in the same transaction.
+        """
+
+    @abstractmethod
+    def create_tasks(
+        self,
+        exp_id: str,
+        eq_type: int,
+        payloads: Sequence[str],
+        *,
+        priority: int | Sequence[int] = 0,
+        tag: str | None = None,
+        time_created: float = 0.0,
+    ) -> list[int]:
+        """Batch form of :meth:`create_task`; one transaction, many rows."""
+
+    # -- output queue (ME -> worker pools) --------------------------------
+
+    @abstractmethod
+    def pop_out(
+        self,
+        eq_type: int,
+        n: int = 1,
+        *,
+        worker_pool: str = "default",
+        now: float = 0.0,
+    ) -> list[tuple[int, str]]:
+        """Atomically pop up to ``n`` tasks of ``eq_type`` for execution.
+
+        Pops in (priority DESC, task id ASC) order; each popped task is
+        deleted from the output queue, marked RUNNING, stamped with
+        ``now`` as its start time, and assigned to ``worker_pool``.
+        Returns ``(eq_task_id, json_out)`` pairs; an empty list when no
+        matching tasks are queued (callers poll).
+        """
+
+    @abstractmethod
+    def queue_out_length(self, eq_type: int | None = None) -> int:
+        """Number of queued tasks (optionally restricted to one type)."""
+
+    # -- input queue (worker pools -> ME) ---------------------------------
+
+    @abstractmethod
+    def report(
+        self,
+        eq_task_id: int,
+        eq_type: int,
+        result: str,
+        *,
+        now: float = 0.0,
+    ) -> None:
+        """Record a result: set ``json_in``, mark COMPLETE, stamp the stop
+        time, and push (id, type) onto ``emews_queue_in``.
+
+        Raises :class:`repro.util.errors.NotFoundError` for an unknown id.
+        """
+
+    @abstractmethod
+    def pop_in(self, eq_task_id: int) -> str | None:
+        """Pop one completed task off the input queue.
+
+        Returns the result payload if the task was on the input queue
+        (deleting the queue row), else ``None`` (callers poll).
+        """
+
+    @abstractmethod
+    def pop_in_any(
+        self, eq_task_ids: Iterable[int], limit: int | None = None
+    ) -> list[tuple[int, str]]:
+        """Pop listed tasks currently on the input queue (up to ``limit``).
+
+        Batch primitive behind ``as_completed`` / ``pop_completed``
+        (paper §V-B: "these functions typically perform batch operations
+        on the EMEWS DB").  Returns ``(eq_task_id, json_in)`` pairs;
+        results beyond ``limit`` stay queued for a later pop.
+        """
+
+    @abstractmethod
+    def queue_in_length(self) -> int:
+        """Number of results waiting on the input queue."""
+
+    # -- status / priority / cancellation ---------------------------------
+
+    @abstractmethod
+    def get_task(self, eq_task_id: int) -> TaskRow:
+        """Fetch the full task row; raises NotFoundError if absent."""
+
+    @abstractmethod
+    def get_statuses(self, eq_task_ids: Sequence[int]) -> list[tuple[int, TaskStatus]]:
+        """Statuses for a batch of ids (unknown ids are omitted)."""
+
+    @abstractmethod
+    def get_priorities(self, eq_task_ids: Sequence[int]) -> list[tuple[int, int]]:
+        """Current output-queue priorities; ids not queued are omitted."""
+
+    @abstractmethod
+    def update_priorities(
+        self, eq_task_ids: Sequence[int], priorities: int | Sequence[int]
+    ) -> int:
+        """Re-prioritize queued tasks; returns how many rows changed.
+
+        Tasks that have already been popped (running/complete) are
+        silently skipped — exactly the paper's semantics, where
+        oversubscribed pools make popped tasks "ineligible for
+        reprioritization or cancellation".
+        """
+
+    @abstractmethod
+    def cancel_tasks(self, eq_task_ids: Sequence[int]) -> int:
+        """Cancel tasks still on the output queue; returns count canceled.
+
+        Canceled tasks are removed from the output queue and marked
+        CANCELED.  Running or complete tasks are not affected.
+        """
+
+    @abstractmethod
+    def requeue(self, eq_task_id: int, *, priority: int = 0) -> bool:
+        """Return a RUNNING task to the output queue (fault recovery).
+
+        Resets the row to QUEUED, clears its worker pool and start time,
+        and re-inserts it into ``emews_queue_out`` at ``priority``.
+        Returns False (and changes nothing) unless the task is RUNNING.
+        """
+
+    # -- experiment / tag queries ------------------------------------------
+
+    @abstractmethod
+    def tasks_for_experiment(self, exp_id: str) -> list[int]:
+        """All task ids linked to an experiment, in creation order."""
+
+    @abstractmethod
+    def tasks_for_tag(self, tag: str) -> list[int]:
+        """All task ids carrying a tag, in creation order."""
+
+    # -- maintenance -------------------------------------------------------
+
+    @abstractmethod
+    def max_task_id(self) -> int:
+        """Highest allocated task id (0 when empty); used on reattach."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Delete all rows from all tables."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release the backend's resources; further use is an error."""
+
+    # -- context manager sugar ----------------------------------------------
+
+    def __enter__(self) -> "TaskStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def normalize_priorities(
+    count: int, priority: int | Sequence[int]
+) -> list[int]:
+    """Expand a scalar-or-sequence priority argument to ``count`` values.
+
+    Shared validation for batch create/update across backends: a scalar
+    applies to every task; a sequence must match ``count`` exactly.
+    """
+    if isinstance(priority, int):
+        return [priority] * count
+    values = list(priority)
+    if len(values) != count:
+        raise ValueError(
+            f"priority sequence length {len(values)} != task count {count}"
+        )
+    for v in values:
+        if not isinstance(v, int):
+            raise TypeError(f"priorities must be integers, got {type(v).__name__}")
+    return values

@@ -1,0 +1,337 @@
+"""Pure-Python in-memory EMEWS DB backend.
+
+Implements the :class:`repro.db.backend.TaskStore` contract with plain
+dictionaries and per-work-type binary heaps.  This backend is the engine
+under the discrete-event simulations (hundreds of thousands of queue
+operations per scenario) so the hot paths — pop, report, reprioritize —
+are O(log n).
+
+Priority pops use lazy invalidation: reprioritizing or canceling a task
+marks its current heap entry stale and (for reprioritize) pushes a fresh
+entry; stale entries are discarded when they surface at the heap top.
+This is the standard heapq decrease-key idiom and keeps update_priorities
+O(k log n) for k tasks rather than O(n) heap rebuilds — the operation the
+paper's GPR loop performs on up to 700 tasks at a time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections.abc import Iterable, Sequence
+
+from repro.db.backend import TaskStore, normalize_priorities
+from repro.db.schema import TaskRow, TaskStatus
+from repro.util.errors import NotFoundError
+
+
+class _HeapEntry:
+    """One output-queue heap entry; ``alive`` is cleared on invalidation."""
+
+    __slots__ = ("eq_task_id", "priority", "alive")
+
+    def __init__(self, eq_task_id: int, priority: int) -> None:
+        self.eq_task_id = eq_task_id
+        self.priority = priority
+        self.alive = True
+
+    def sort_key(self) -> tuple[int, int]:
+        # heapq is a min-heap: negate priority for highest-first; break
+        # ties by ascending task id, matching the SQL backends'
+        # ORDER BY eq_priority DESC, eq_task_id ASC.
+        return (-self.priority, self.eq_task_id)
+
+    def __lt__(self, other: "_HeapEntry") -> bool:
+        return self.sort_key() < other.sort_key()
+
+
+class MemoryTaskStore(TaskStore):
+    """In-memory implementation of the EMEWS DB."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._tasks: dict[int, TaskRow] = {}
+        self._exp_tasks: dict[str, list[int]] = {}
+        self._tag_tasks: dict[str, list[int]] = {}
+        # Output queue: one heap per work type plus an id -> live-entry
+        # map used for reprioritization and cancellation.
+        self._out_heaps: dict[int, list[_HeapEntry]] = {}
+        self._out_entries: dict[int, _HeapEntry] = {}
+        # Input queue: id -> work type, insertion-ordered (dicts preserve
+        # insertion order, giving in-queue FIFO for diagnostics).
+        self._in_queue: dict[int, int] = {}
+        self._next_id = 1
+        self._closed = False
+
+    # -- internal helpers --------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("store is closed")
+
+    def _alloc_id(self) -> int:
+        value = self._next_id
+        self._next_id += 1
+        return value
+
+    def _enqueue_out(self, eq_task_id: int, eq_type: int, priority: int) -> None:
+        entry = _HeapEntry(eq_task_id, priority)
+        self._out_entries[eq_task_id] = entry
+        heapq.heappush(self._out_heaps.setdefault(eq_type, []), entry)
+
+    def _insert_task(
+        self,
+        exp_id: str,
+        eq_type: int,
+        payload: str,
+        priority: int,
+        tag: str | None,
+        time_created: float,
+    ) -> int:
+        eq_task_id = self._alloc_id()
+        row = TaskRow(
+            eq_task_id=eq_task_id,
+            eq_task_type=eq_type,
+            eq_status=TaskStatus.QUEUED,
+            json_out=payload,
+            time_created=time_created,
+        )
+        if tag is not None:
+            row.tags.append(tag)
+            self._tag_tasks.setdefault(tag, []).append(eq_task_id)
+        self._tasks[eq_task_id] = row
+        self._exp_tasks.setdefault(exp_id, []).append(eq_task_id)
+        self._enqueue_out(eq_task_id, eq_type, priority)
+        return eq_task_id
+
+    # -- task creation -----------------------------------------------------
+
+    def create_task(
+        self,
+        exp_id: str,
+        eq_type: int,
+        payload: str,
+        *,
+        priority: int = 0,
+        tag: str | None = None,
+        time_created: float = 0.0,
+    ) -> int:
+        with self._lock:
+            self._check_open()
+            return self._insert_task(exp_id, eq_type, payload, priority, tag, time_created)
+
+    def create_tasks(
+        self,
+        exp_id: str,
+        eq_type: int,
+        payloads: Sequence[str],
+        *,
+        priority: int | Sequence[int] = 0,
+        tag: str | None = None,
+        time_created: float = 0.0,
+    ) -> list[int]:
+        priorities = normalize_priorities(len(payloads), priority)
+        with self._lock:
+            self._check_open()
+            return [
+                self._insert_task(exp_id, eq_type, p, pr, tag, time_created)
+                for p, pr in zip(payloads, priorities)
+            ]
+
+    # -- output queue --------------------------------------------------------
+
+    def pop_out(
+        self,
+        eq_type: int,
+        n: int = 1,
+        *,
+        worker_pool: str = "default",
+        now: float = 0.0,
+    ) -> list[tuple[int, str]]:
+        if n < 1:
+            return []
+        with self._lock:
+            self._check_open()
+            heap = self._out_heaps.get(eq_type)
+            popped: list[tuple[int, str]] = []
+            while heap and len(popped) < n:
+                entry = heapq.heappop(heap)
+                if not entry.alive:
+                    continue
+                del self._out_entries[entry.eq_task_id]
+                row = self._tasks[entry.eq_task_id]
+                row.eq_status = TaskStatus.RUNNING
+                row.time_start = now
+                row.worker_pool = worker_pool
+                popped.append((entry.eq_task_id, row.json_out))
+            return popped
+
+    def queue_out_length(self, eq_type: int | None = None) -> int:
+        with self._lock:
+            if eq_type is None:
+                return len(self._out_entries)
+            return sum(
+                1
+                for entry in self._out_entries.values()
+                if self._tasks[entry.eq_task_id].eq_task_type == eq_type
+            )
+
+    # -- input queue ----------------------------------------------------------
+
+    def report(
+        self,
+        eq_task_id: int,
+        eq_type: int,
+        result: str,
+        *,
+        now: float = 0.0,
+    ) -> None:
+        with self._lock:
+            self._check_open()
+            row = self._tasks.get(eq_task_id)
+            if row is None:
+                raise NotFoundError(f"no task with id {eq_task_id}")
+            row.json_in = result
+            row.eq_status = TaskStatus.COMPLETE
+            row.time_stop = now
+            self._in_queue[eq_task_id] = eq_type
+
+    def pop_in(self, eq_task_id: int) -> str | None:
+        with self._lock:
+            self._check_open()
+            if eq_task_id in self._in_queue:
+                del self._in_queue[eq_task_id]
+                return self._tasks[eq_task_id].json_in
+            return None
+
+    def pop_in_any(
+        self, eq_task_ids: Iterable[int], limit: int | None = None
+    ) -> list[tuple[int, str]]:
+        with self._lock:
+            self._check_open()
+            results: list[tuple[int, str]] = []
+            for eq_task_id in eq_task_ids:
+                if limit is not None and len(results) >= limit:
+                    break
+                if eq_task_id in self._in_queue:
+                    del self._in_queue[eq_task_id]
+                    json_in = self._tasks[eq_task_id].json_in
+                    results.append((eq_task_id, json_in if json_in is not None else ""))
+            return results
+
+    def queue_in_length(self) -> int:
+        with self._lock:
+            return len(self._in_queue)
+
+    # -- status / priority / cancellation --------------------------------------
+
+    def get_task(self, eq_task_id: int) -> TaskRow:
+        with self._lock:
+            self._check_open()
+            row = self._tasks.get(eq_task_id)
+            if row is None:
+                raise NotFoundError(f"no task with id {eq_task_id}")
+            # Return a copy: callers must not mutate store state directly.
+            return TaskRow(
+                eq_task_id=row.eq_task_id,
+                eq_task_type=row.eq_task_type,
+                eq_status=row.eq_status,
+                worker_pool=row.worker_pool,
+                json_out=row.json_out,
+                json_in=row.json_in,
+                time_created=row.time_created,
+                time_start=row.time_start,
+                time_stop=row.time_stop,
+                tags=list(row.tags),
+            )
+
+    def get_statuses(self, eq_task_ids: Sequence[int]) -> list[tuple[int, TaskStatus]]:
+        with self._lock:
+            return [
+                (tid, self._tasks[tid].eq_status)
+                for tid in eq_task_ids
+                if tid in self._tasks
+            ]
+
+    def get_priorities(self, eq_task_ids: Sequence[int]) -> list[tuple[int, int]]:
+        with self._lock:
+            out: list[tuple[int, int]] = []
+            for tid in eq_task_ids:
+                entry = self._out_entries.get(tid)
+                if entry is not None:
+                    out.append((tid, entry.priority))
+            return out
+
+    def update_priorities(
+        self, eq_task_ids: Sequence[int], priorities: int | Sequence[int]
+    ) -> int:
+        values = normalize_priorities(len(eq_task_ids), priorities)
+        with self._lock:
+            self._check_open()
+            changed = 0
+            for tid, priority in zip(eq_task_ids, values):
+                entry = self._out_entries.get(tid)
+                if entry is None:
+                    continue  # already popped, complete, or canceled
+                entry.alive = False
+                eq_type = self._tasks[tid].eq_task_type
+                self._enqueue_out(tid, eq_type, priority)
+                changed += 1
+            return changed
+
+    def cancel_tasks(self, eq_task_ids: Sequence[int]) -> int:
+        with self._lock:
+            self._check_open()
+            canceled = 0
+            for tid in eq_task_ids:
+                entry = self._out_entries.pop(tid, None)
+                if entry is None:
+                    continue
+                entry.alive = False
+                self._tasks[tid].eq_status = TaskStatus.CANCELED
+                canceled += 1
+            return canceled
+
+    def requeue(self, eq_task_id: int, *, priority: int = 0) -> bool:
+        with self._lock:
+            self._check_open()
+            row = self._tasks.get(eq_task_id)
+            if row is None:
+                raise NotFoundError(f"no task with id {eq_task_id}")
+            if row.eq_status != TaskStatus.RUNNING:
+                return False
+            row.eq_status = TaskStatus.QUEUED
+            row.worker_pool = None
+            row.time_start = None
+            self._enqueue_out(eq_task_id, row.eq_task_type, priority)
+            return True
+
+    # -- experiment / tag queries ------------------------------------------------
+
+    def tasks_for_experiment(self, exp_id: str) -> list[int]:
+        with self._lock:
+            return list(self._exp_tasks.get(exp_id, []))
+
+    def tasks_for_tag(self, tag: str) -> list[int]:
+        with self._lock:
+            return list(self._tag_tasks.get(tag, []))
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def max_task_id(self) -> int:
+        with self._lock:
+            return max(self._tasks, default=0)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._tasks.clear()
+            self._exp_tasks.clear()
+            self._tag_tasks.clear()
+            self._out_heaps.clear()
+            self._out_entries.clear()
+            self._in_queue.clear()
+            self._next_id = 1
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True

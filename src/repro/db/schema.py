@@ -1,0 +1,131 @@
+"""EMEWS DB schema (paper §IV-C).
+
+Five tables, linked by the shared integer task identifier:
+
+- ``eq_tasks`` — one row per task: identifier, work type, status, the
+  owning worker pool, the outbound payload (``json_out``), the result
+  payload (``json_in``), and creation / start / stop timestamps.
+- ``emews_queue_out`` — the output queue tasks are popped from for
+  execution: task id, work type, priority.
+- ``emews_queue_in`` — the input queue completed results are pushed to:
+  task id, work type.
+- ``eq_exp_id_tasks`` — links tasks to experiment identifiers.
+- ``eq_task_tags`` — links tasks to metadata tag strings.
+
+Column names follow the open-source EQ/SQL implementation the paper
+describes so the schema reads as the original would.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TaskStatus(enum.IntEnum):
+    """Lifecycle of a task (paper: queued, running, complete, canceled)."""
+
+    QUEUED = 0
+    RUNNING = 1
+    COMPLETE = 2
+    CANCELED = 3
+
+    def label(self) -> str:
+        """Lower-case display name matching the paper's vocabulary."""
+        return self.name.lower()
+
+
+@dataclass
+class TaskRow:
+    """An ``eq_tasks`` row.
+
+    ``json_out`` is the payload sent *out* to worker pools (simulation
+    input parameters); ``json_in`` is the result coming back *in*.
+    """
+
+    eq_task_id: int
+    eq_task_type: int
+    eq_status: TaskStatus = TaskStatus.QUEUED
+    worker_pool: str | None = None
+    json_out: str = ""
+    json_in: str | None = None
+    time_created: float = 0.0
+    time_start: float | None = None
+    time_stop: float | None = None
+    tags: list[str] = field(default_factory=list)
+
+    def runtime(self) -> float | None:
+        """Execution duration, once the task has started and stopped."""
+        if self.time_start is None or self.time_stop is None:
+            return None
+        return self.time_stop - self.time_start
+
+
+# DDL for SQL backends.  Kept as data so tests can assert the five-table
+# structure and so alternative SQL engines could reuse it unchanged.
+SCHEMA_STATEMENTS: tuple[str, ...] = (
+    """
+    CREATE TABLE IF NOT EXISTS eq_tasks (
+        eq_task_id   INTEGER PRIMARY KEY,
+        eq_task_type INTEGER NOT NULL,
+        eq_status    INTEGER NOT NULL DEFAULT 0,
+        worker_pool  TEXT,
+        json_out     TEXT NOT NULL,
+        json_in      TEXT,
+        time_created REAL NOT NULL,
+        time_start   REAL,
+        time_stop    REAL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS eq_exp_id_tasks (
+        exp_id     TEXT NOT NULL,
+        eq_task_id INTEGER NOT NULL REFERENCES eq_tasks(eq_task_id)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS eq_task_tags (
+        eq_task_id INTEGER NOT NULL REFERENCES eq_tasks(eq_task_id),
+        tag        TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS emews_queue_out (
+        eq_task_id   INTEGER NOT NULL REFERENCES eq_tasks(eq_task_id),
+        eq_task_type INTEGER NOT NULL,
+        eq_priority  INTEGER NOT NULL DEFAULT 0
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS emews_queue_in (
+        eq_task_id   INTEGER NOT NULL REFERENCES eq_tasks(eq_task_id),
+        eq_task_type INTEGER NOT NULL
+    )
+    """,
+    # Pop order is (priority DESC, eq_task_id ASC) filtered by work type;
+    # this index makes the hot pop path a range scan.
+    """
+    CREATE INDEX IF NOT EXISTS idx_queue_out_pop
+        ON emews_queue_out (eq_task_type, eq_priority DESC, eq_task_id ASC)
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_queue_in_task
+        ON emews_queue_in (eq_task_id)
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_exp_tasks
+        ON eq_exp_id_tasks (exp_id)
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_task_tags
+        ON eq_task_tags (tag)
+    """,
+)
+
+TABLE_NAMES: tuple[str, ...] = (
+    "eq_tasks",
+    "eq_exp_id_tasks",
+    "eq_task_tags",
+    "emews_queue_out",
+    "emews_queue_in",
+)

@@ -1,0 +1,430 @@
+"""SQLite EMEWS DB backend.
+
+The durable engine: the same five-table schema the paper describes for
+PostgreSQL (see :mod:`repro.db.schema`), on stdlib ``sqlite3``.  One
+connection is shared across threads behind a re-entrant lock — worker
+pools, the EMEWS service, and the ME algorithm all touch the store
+concurrently, and SQLite serializes writers anyway, so a Python-level
+lock is both necessary (``check_same_thread=False``) and free of
+additional contention cost.
+
+Every public operation is one transaction; the pop path uses
+``DELETE ... RETURNING``-free portable SQL (select + delete + update in
+one ``BEGIN IMMEDIATE`` block) so two pools can never pop the same task.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from collections.abc import Iterable, Sequence
+from contextlib import contextmanager
+
+from repro.db.backend import TaskStore, normalize_priorities
+from repro.db.schema import SCHEMA_STATEMENTS, TABLE_NAMES, TaskRow, TaskStatus
+from repro.util.errors import NotFoundError
+
+
+class SqliteTaskStore(TaskStore):
+    """EMEWS DB on SQLite (file-backed or ``:memory:``)."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._path = path
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.isolation_level = None  # explicit transaction control
+        with self._txn() as cur:
+            for stmt in SCHEMA_STATEMENTS:
+                cur.execute(stmt)
+        self._closed = False
+
+    @property
+    def path(self) -> str:
+        """The database file path (``:memory:`` for transient stores)."""
+        return self._path
+
+    @contextmanager
+    def _txn(self):
+        """One locked transaction; rolls back on error, commits on success."""
+        with self._lock:
+            cur = self._conn.cursor()
+            try:
+                cur.execute("BEGIN IMMEDIATE")
+                yield cur
+                cur.execute("COMMIT")
+            except BaseException:
+                cur.execute("ROLLBACK")
+                raise
+            finally:
+                cur.close()
+
+    @contextmanager
+    def _read(self):
+        """A locked read-only cursor (no transaction frame needed)."""
+        with self._lock:
+            cur = self._conn.cursor()
+            try:
+                yield cur
+            finally:
+                cur.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("store is closed")
+
+    # -- task creation -----------------------------------------------------
+
+    def _insert_task(
+        self,
+        cur: sqlite3.Cursor,
+        exp_id: str,
+        eq_type: int,
+        payload: str,
+        priority: int,
+        tag: str | None,
+        time_created: float,
+    ) -> int:
+        cur.execute(
+            "INSERT INTO eq_tasks (eq_task_type, eq_status, json_out, time_created)"
+            " VALUES (?, ?, ?, ?)",
+            (eq_type, int(TaskStatus.QUEUED), payload, time_created),
+        )
+        eq_task_id = cur.lastrowid
+        assert eq_task_id is not None
+        cur.execute(
+            "INSERT INTO eq_exp_id_tasks (exp_id, eq_task_id) VALUES (?, ?)",
+            (exp_id, eq_task_id),
+        )
+        if tag is not None:
+            cur.execute(
+                "INSERT INTO eq_task_tags (eq_task_id, tag) VALUES (?, ?)",
+                (eq_task_id, tag),
+            )
+        cur.execute(
+            "INSERT INTO emews_queue_out (eq_task_id, eq_task_type, eq_priority)"
+            " VALUES (?, ?, ?)",
+            (eq_task_id, eq_type, priority),
+        )
+        return eq_task_id
+
+    def create_task(
+        self,
+        exp_id: str,
+        eq_type: int,
+        payload: str,
+        *,
+        priority: int = 0,
+        tag: str | None = None,
+        time_created: float = 0.0,
+    ) -> int:
+        self._check_open()
+        with self._txn() as cur:
+            return self._insert_task(cur, exp_id, eq_type, payload, priority, tag, time_created)
+
+    def create_tasks(
+        self,
+        exp_id: str,
+        eq_type: int,
+        payloads: Sequence[str],
+        *,
+        priority: int | Sequence[int] = 0,
+        tag: str | None = None,
+        time_created: float = 0.0,
+    ) -> list[int]:
+        self._check_open()
+        priorities = normalize_priorities(len(payloads), priority)
+        with self._txn() as cur:
+            return [
+                self._insert_task(cur, exp_id, eq_type, p, pr, tag, time_created)
+                for p, pr in zip(payloads, priorities)
+            ]
+
+    # -- output queue --------------------------------------------------------
+
+    def pop_out(
+        self,
+        eq_type: int,
+        n: int = 1,
+        *,
+        worker_pool: str = "default",
+        now: float = 0.0,
+    ) -> list[tuple[int, str]]:
+        self._check_open()
+        if n < 1:
+            return []
+        with self._txn() as cur:
+            cur.execute(
+                "SELECT eq_task_id FROM emews_queue_out WHERE eq_task_type = ?"
+                " ORDER BY eq_priority DESC, eq_task_id ASC LIMIT ?",
+                (eq_type, n),
+            )
+            ids = [row[0] for row in cur.fetchall()]
+            if not ids:
+                return []
+            marks = ",".join("?" for _ in ids)
+            cur.execute(
+                f"DELETE FROM emews_queue_out WHERE eq_task_id IN ({marks})", ids
+            )
+            cur.execute(
+                f"UPDATE eq_tasks SET eq_status = ?, time_start = ?, worker_pool = ?"
+                f" WHERE eq_task_id IN ({marks})",
+                [int(TaskStatus.RUNNING), now, worker_pool, *ids],
+            )
+            cur.execute(
+                f"SELECT eq_task_id, json_out FROM eq_tasks WHERE eq_task_id IN ({marks})"
+                " ORDER BY eq_task_id",
+                ids,
+            )
+            by_id = dict(cur.fetchall())
+            # Preserve priority pop order, not id order.
+            return [(tid, by_id[tid]) for tid in ids]
+
+    def queue_out_length(self, eq_type: int | None = None) -> int:
+        with self._read() as cur:
+            if eq_type is None:
+                cur.execute("SELECT COUNT(*) FROM emews_queue_out")
+            else:
+                cur.execute(
+                    "SELECT COUNT(*) FROM emews_queue_out WHERE eq_task_type = ?",
+                    (eq_type,),
+                )
+            return int(cur.fetchone()[0])
+
+    # -- input queue ----------------------------------------------------------
+
+    def report(
+        self,
+        eq_task_id: int,
+        eq_type: int,
+        result: str,
+        *,
+        now: float = 0.0,
+    ) -> None:
+        self._check_open()
+        with self._txn() as cur:
+            cur.execute(
+                "UPDATE eq_tasks SET json_in = ?, eq_status = ?, time_stop = ?"
+                " WHERE eq_task_id = ?",
+                (result, int(TaskStatus.COMPLETE), now, eq_task_id),
+            )
+            if cur.rowcount == 0:
+                raise NotFoundError(f"no task with id {eq_task_id}")
+            cur.execute(
+                "INSERT INTO emews_queue_in (eq_task_id, eq_task_type) VALUES (?, ?)",
+                (eq_task_id, eq_type),
+            )
+
+    def pop_in(self, eq_task_id: int) -> str | None:
+        self._check_open()
+        with self._txn() as cur:
+            cur.execute(
+                "DELETE FROM emews_queue_in WHERE eq_task_id = ?", (eq_task_id,)
+            )
+            if cur.rowcount == 0:
+                return None
+            cur.execute(
+                "SELECT json_in FROM eq_tasks WHERE eq_task_id = ?", (eq_task_id,)
+            )
+            row = cur.fetchone()
+            return row[0] if row is not None else None
+
+    def pop_in_any(
+        self, eq_task_ids: Iterable[int], limit: int | None = None
+    ) -> list[tuple[int, str]]:
+        self._check_open()
+        ids = list(eq_task_ids)
+        if not ids:
+            return []
+        if limit is not None and limit <= 0:
+            return []
+        marks = ",".join("?" for _ in ids)
+        with self._txn() as cur:
+            cur.execute(
+                f"SELECT q.eq_task_id, t.json_in FROM emews_queue_in q"
+                f" JOIN eq_tasks t ON t.eq_task_id = q.eq_task_id"
+                f" WHERE q.eq_task_id IN ({marks})",
+                ids,
+            )
+            found = cur.fetchall()
+            if not found:
+                return []
+            if limit is not None:
+                # Respect the caller's id order when limiting.
+                by_id_all = dict(found)
+                ordered = [tid for tid in ids if tid in by_id_all][:limit]
+                found = [(tid, by_id_all[tid]) for tid in ordered]
+            found_ids = [row[0] for row in found]
+            fmarks = ",".join("?" for _ in found_ids)
+            cur.execute(
+                f"DELETE FROM emews_queue_in WHERE eq_task_id IN ({fmarks})", found_ids
+            )
+            # Preserve the caller's id order for determinism.
+            by_id = {tid: (json_in if json_in is not None else "") for tid, json_in in found}
+            return [(tid, by_id[tid]) for tid in ids if tid in by_id]
+
+    def queue_in_length(self) -> int:
+        with self._read() as cur:
+            cur.execute("SELECT COUNT(*) FROM emews_queue_in")
+            return int(cur.fetchone()[0])
+
+    # -- status / priority / cancellation --------------------------------------
+
+    def get_task(self, eq_task_id: int) -> TaskRow:
+        self._check_open()
+        with self._read() as cur:
+            cur.execute(
+                "SELECT eq_task_id, eq_task_type, eq_status, worker_pool, json_out,"
+                " json_in, time_created, time_start, time_stop FROM eq_tasks"
+                " WHERE eq_task_id = ?",
+                (eq_task_id,),
+            )
+            row = cur.fetchone()
+            if row is None:
+                raise NotFoundError(f"no task with id {eq_task_id}")
+            cur.execute(
+                "SELECT tag FROM eq_task_tags WHERE eq_task_id = ?", (eq_task_id,)
+            )
+            tags = [r[0] for r in cur.fetchall()]
+        return TaskRow(
+            eq_task_id=row[0],
+            eq_task_type=row[1],
+            eq_status=TaskStatus(row[2]),
+            worker_pool=row[3],
+            json_out=row[4],
+            json_in=row[5],
+            time_created=row[6],
+            time_start=row[7],
+            time_stop=row[8],
+            tags=tags,
+        )
+
+    def get_statuses(self, eq_task_ids: Sequence[int]) -> list[tuple[int, TaskStatus]]:
+        if not eq_task_ids:
+            return []
+        marks = ",".join("?" for _ in eq_task_ids)
+        with self._read() as cur:
+            cur.execute(
+                f"SELECT eq_task_id, eq_status FROM eq_tasks WHERE eq_task_id IN ({marks})",
+                list(eq_task_ids),
+            )
+            by_id = dict(cur.fetchall())
+        return [
+            (tid, TaskStatus(by_id[tid])) for tid in eq_task_ids if tid in by_id
+        ]
+
+    def get_priorities(self, eq_task_ids: Sequence[int]) -> list[tuple[int, int]]:
+        if not eq_task_ids:
+            return []
+        marks = ",".join("?" for _ in eq_task_ids)
+        with self._read() as cur:
+            cur.execute(
+                f"SELECT eq_task_id, eq_priority FROM emews_queue_out"
+                f" WHERE eq_task_id IN ({marks})",
+                list(eq_task_ids),
+            )
+            by_id = dict(cur.fetchall())
+        return [(tid, by_id[tid]) for tid in eq_task_ids if tid in by_id]
+
+    def update_priorities(
+        self, eq_task_ids: Sequence[int], priorities: int | Sequence[int]
+    ) -> int:
+        self._check_open()
+        values = normalize_priorities(len(eq_task_ids), priorities)
+        if not eq_task_ids:
+            return 0
+        with self._txn() as cur:
+            changed = 0
+            for tid, priority in zip(eq_task_ids, values):
+                cur.execute(
+                    "UPDATE emews_queue_out SET eq_priority = ? WHERE eq_task_id = ?",
+                    (priority, tid),
+                )
+                changed += cur.rowcount
+            return changed
+
+    def cancel_tasks(self, eq_task_ids: Sequence[int]) -> int:
+        self._check_open()
+        if not eq_task_ids:
+            return 0
+        marks = ",".join("?" for _ in eq_task_ids)
+        ids = list(eq_task_ids)
+        with self._txn() as cur:
+            cur.execute(
+                f"SELECT eq_task_id FROM emews_queue_out WHERE eq_task_id IN ({marks})",
+                ids,
+            )
+            queued = [row[0] for row in cur.fetchall()]
+            if not queued:
+                return 0
+            qmarks = ",".join("?" for _ in queued)
+            cur.execute(
+                f"DELETE FROM emews_queue_out WHERE eq_task_id IN ({qmarks})", queued
+            )
+            cur.execute(
+                f"UPDATE eq_tasks SET eq_status = ? WHERE eq_task_id IN ({qmarks})",
+                [int(TaskStatus.CANCELED), *queued],
+            )
+            return len(queued)
+
+    def requeue(self, eq_task_id: int, *, priority: int = 0) -> bool:
+        self._check_open()
+        with self._txn() as cur:
+            cur.execute(
+                "SELECT eq_task_type, eq_status FROM eq_tasks WHERE eq_task_id = ?",
+                (eq_task_id,),
+            )
+            row = cur.fetchone()
+            if row is None:
+                raise NotFoundError(f"no task with id {eq_task_id}")
+            eq_type, status = row
+            if TaskStatus(status) != TaskStatus.RUNNING:
+                return False
+            cur.execute(
+                "UPDATE eq_tasks SET eq_status = ?, worker_pool = NULL,"
+                " time_start = NULL WHERE eq_task_id = ?",
+                (int(TaskStatus.QUEUED), eq_task_id),
+            )
+            cur.execute(
+                "INSERT INTO emews_queue_out (eq_task_id, eq_task_type, eq_priority)"
+                " VALUES (?, ?, ?)",
+                (eq_task_id, eq_type, priority),
+            )
+            return True
+
+    # -- experiment / tag queries ------------------------------------------------
+
+    def tasks_for_experiment(self, exp_id: str) -> list[int]:
+        with self._read() as cur:
+            cur.execute(
+                "SELECT eq_task_id FROM eq_exp_id_tasks WHERE exp_id = ?"
+                " ORDER BY eq_task_id",
+                (exp_id,),
+            )
+            return [row[0] for row in cur.fetchall()]
+
+    def tasks_for_tag(self, tag: str) -> list[int]:
+        with self._read() as cur:
+            cur.execute(
+                "SELECT eq_task_id FROM eq_task_tags WHERE tag = ? ORDER BY eq_task_id",
+                (tag,),
+            )
+            return [row[0] for row in cur.fetchall()]
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def max_task_id(self) -> int:
+        with self._read() as cur:
+            cur.execute("SELECT COALESCE(MAX(eq_task_id), 0) FROM eq_tasks")
+            return int(cur.fetchone()[0])
+
+    def clear(self) -> None:
+        self._check_open()
+        with self._txn() as cur:
+            for table in TABLE_NAMES:
+                cur.execute(f"DELETE FROM {table}")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._conn.close()

@@ -1,0 +1,42 @@
+"""Epidemiologic models and calibration workloads.
+
+OSPREY's purpose is "epidemiologic model analyses, monitoring, and rapid
+response"; its workflows calibrate and explore models like the ones
+here.  The package provides the three modeling scopes the paper's
+introduction names — compartmental (:mod:`repro.epi.seir`), stochastic
+(:mod:`repro.epi.stochastic`), and agent-based on a contact network
+(:mod:`repro.epi.abm`) — plus synthetic surveillance-data generation
+(:mod:`repro.epi.surveillance`) and calibration objectives
+(:mod:`repro.epi.calibration`) that plug directly into the EQSQL task
+path as worker-pool handlers.
+"""
+
+from repro.epi.seir import SEIRParams, SEIRResult, simulate_seir
+from repro.epi.stochastic import simulate_stochastic_seir
+from repro.epi.abm import NetworkABM, ABMParams
+from repro.epi.surveillance import SurveillanceModel, generate_surveillance
+from repro.epi.calibration import CalibrationProblem, poisson_deviance
+from repro.epi.ensemble import (
+    EnsembleForecast,
+    MultiResolutionEnsemble,
+    inverse_error_weights,
+)
+from repro.epi.assimilation import ParticleFilter, ParticleFilterConfig
+
+__all__ = [
+    "SEIRParams",
+    "SEIRResult",
+    "simulate_seir",
+    "simulate_stochastic_seir",
+    "NetworkABM",
+    "ABMParams",
+    "SurveillanceModel",
+    "generate_surveillance",
+    "CalibrationProblem",
+    "poisson_deviance",
+    "MultiResolutionEnsemble",
+    "EnsembleForecast",
+    "inverse_error_weights",
+    "ParticleFilter",
+    "ParticleFilterConfig",
+]

@@ -1,0 +1,134 @@
+"""Agent-based SEIR on a contact network.
+
+The third modeling scope the paper's introduction names: individual
+agents on a (networkx) contact graph.  Transmission crosses edges from
+infectious to susceptible neighbors each day with probability
+``p_transmit``; exposed agents incubate for a geometric latent period,
+infectious agents recover after a geometric infectious period.  The
+model matches the compartmental dynamics on dense graphs and departs
+from them on sparse/clustered ones — that departure is the scientific
+reason for the multi-resolution ensembles OSPREY targets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+
+class AgentState(enum.IntEnum):
+    S = 0
+    E = 1
+    I = 2
+    R = 3
+
+
+@dataclass(frozen=True)
+class ABMParams:
+    """Per-contact and progression parameters.
+
+    ``p_transmit``: per-day per-edge infection probability;
+    ``sigma``/``gamma``: daily progression/recovery probabilities
+    (geometric waiting times with means 1/sigma, 1/gamma days).
+    """
+
+    p_transmit: float
+    sigma: float
+    gamma: float
+
+    def __post_init__(self) -> None:
+        for name in ("p_transmit", "sigma", "gamma"):
+            value = getattr(self, name)
+            if not 0 <= value <= 1:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass
+class ABMResult:
+    """Daily counts per state."""
+
+    t: np.ndarray
+    counts: np.ndarray  # (days+1, 4) columns S, E, I, R
+
+    def attack_rate(self) -> float:
+        n = self.counts[0].sum()
+        return float((n - self.counts[-1, AgentState.S]) / n)
+
+    def peak_infected(self) -> tuple[int, int]:
+        idx = int(np.argmax(self.counts[:, AgentState.I]))
+        return idx, int(self.counts[idx, AgentState.I])
+
+
+class NetworkABM:
+    """SEIR agents on a contact graph."""
+
+    def __init__(self, graph: nx.Graph, params: ABMParams) -> None:
+        if graph.number_of_nodes() == 0:
+            raise ValueError("graph must have at least one node")
+        self.graph = graph
+        self.params = params
+        self._nodes = list(graph.nodes)
+        self._index = {node: i for i, node in enumerate(self._nodes)}
+        # Adjacency as index lists for fast inner loops.
+        self._neighbors = [
+            np.fromiter(
+                (self._index[m] for m in graph.neighbors(node)), dtype=np.intp
+            )
+            for node in self._nodes
+        ]
+        self.state = np.full(len(self._nodes), AgentState.S, dtype=np.int8)
+
+    def seed(self, rng: np.random.Generator, n_infected: int) -> None:
+        """Infect ``n_infected`` distinct random agents."""
+        if not 1 <= n_infected <= len(self._nodes):
+            raise ValueError("n_infected out of range")
+        chosen = rng.choice(len(self._nodes), size=n_infected, replace=False)
+        self.state[chosen] = AgentState.I
+
+    def _counts(self) -> np.ndarray:
+        return np.bincount(self.state, minlength=4)
+
+    def step(self, rng: np.random.Generator) -> None:
+        """Advance one day (synchronous update)."""
+        params = self.params
+        state = self.state
+        infectious = np.flatnonzero(state == AgentState.I)
+        # Transmission: each I-S edge fires independently.
+        newly_exposed: set[int] = set()
+        for agent in infectious:
+            neighbors = self._neighbors[agent]
+            if neighbors.size == 0:
+                continue
+            susceptible = neighbors[state[neighbors] == AgentState.S]
+            if susceptible.size == 0:
+                continue
+            hits = susceptible[rng.random(susceptible.size) < params.p_transmit]
+            newly_exposed.update(int(h) for h in hits)
+        # Progression draws (computed before applying transmission so a
+        # just-exposed agent cannot progress the same day).
+        exposed = np.flatnonzero(state == AgentState.E)
+        progressing = exposed[rng.random(exposed.size) < params.sigma]
+        recovering = infectious[rng.random(infectious.size) < params.gamma]
+        if newly_exposed:
+            state[list(newly_exposed)] = AgentState.E
+        state[progressing] = AgentState.I
+        state[recovering] = AgentState.R
+
+    def run(
+        self, rng: np.random.Generator, days: int, stop_when_extinct: bool = True
+    ) -> ABMResult:
+        """Simulate ``days`` steps; returns daily S/E/I/R counts."""
+        if days < 1:
+            raise ValueError("days must be >= 1")
+        counts = np.zeros((days + 1, 4), dtype=int)
+        counts[0] = self._counts()
+        for day in range(1, days + 1):
+            self.step(rng)
+            counts[day] = self._counts()
+            if stop_when_extinct and counts[day, 1] == 0 and counts[day, 2] == 0:
+                counts[day + 1 :] = counts[day]
+                break
+        return ABMResult(t=np.arange(days + 1, dtype=float), counts=counts)

@@ -1,0 +1,126 @@
+"""Deterministic SEIR compartmental model.
+
+The classic four-compartment ODE::
+
+    dS/dt = -beta * S * I / N
+    dE/dt =  beta * S * I / N - sigma * E
+    dI/dt =  sigma * E - gamma * I
+    dR/dt =  gamma * I
+
+integrated with a self-contained fixed-step RK4 (no black-box solver:
+the integrator is part of the substrate and is tested against known
+invariants — population conservation, monotone S, R0 threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SEIRParams:
+    """Epidemiological rates.
+
+    ``beta``: transmission rate (contacts × infection probability /day);
+    ``sigma``: 1 / latent period; ``gamma``: 1 / infectious period;
+    ``population``: total N.
+    """
+
+    beta: float
+    sigma: float
+    gamma: float
+    population: float
+
+    def __post_init__(self) -> None:
+        if min(self.beta, self.sigma, self.gamma) < 0:
+            raise ValueError("rates must be nonnegative")
+        if self.population <= 0:
+            raise ValueError("population must be positive")
+
+    @property
+    def r0(self) -> float:
+        """Basic reproduction number beta/gamma."""
+        if self.gamma == 0:
+            return float("inf")
+        return self.beta / self.gamma
+
+
+@dataclass
+class SEIRResult:
+    """Trajectories on a uniform time grid."""
+
+    t: np.ndarray
+    S: np.ndarray
+    E: np.ndarray
+    I: np.ndarray
+    R: np.ndarray
+
+    @property
+    def incidence(self) -> np.ndarray:
+        """New infections per step: the decrease of S (>= 0)."""
+        inc = -np.diff(self.S, prepend=self.S[0])
+        return np.maximum(inc, 0.0)
+
+    def peak_infected(self) -> tuple[float, float]:
+        """(time, value) of the infectious-compartment peak."""
+        idx = int(np.argmax(self.I))
+        return float(self.t[idx]), float(self.I[idx])
+
+    def attack_rate(self) -> float:
+        """Final fraction of the population ever infected."""
+        n = self.S[0] + self.E[0] + self.I[0] + self.R[0]
+        return float((n - self.S[-1]) / n)
+
+
+def _deriv(params: SEIRParams, y: np.ndarray) -> np.ndarray:
+    S, E, I, _R = y
+    n = params.population
+    force = params.beta * S * I / n
+    return np.array(
+        [
+            -force,
+            force - params.sigma * E,
+            params.sigma * E - params.gamma * I,
+            params.gamma * I,
+        ]
+    )
+
+
+def simulate_seir(
+    params: SEIRParams,
+    initial_infected: float = 1.0,
+    initial_exposed: float = 0.0,
+    initial_recovered: float = 0.0,
+    t_end: float = 200.0,
+    dt: float = 0.25,
+) -> SEIRResult:
+    """Integrate the SEIR ODE with RK4 on a fixed grid."""
+    if t_end <= 0 or dt <= 0:
+        raise ValueError("t_end and dt must be positive")
+    if dt > t_end:
+        raise ValueError("dt must not exceed t_end")
+    seeded = initial_infected + initial_exposed + initial_recovered
+    if seeded > params.population:
+        raise ValueError("initial compartments exceed the population")
+    steps = int(round(t_end / dt))
+    t = np.linspace(0.0, steps * dt, steps + 1)
+    y = np.empty((steps + 1, 4))
+    y[0] = [
+        params.population - seeded,
+        initial_exposed,
+        initial_infected,
+        initial_recovered,
+    ]
+    for k in range(steps):
+        yk = y[k]
+        k1 = _deriv(params, yk)
+        k2 = _deriv(params, yk + 0.5 * dt * k1)
+        k3 = _deriv(params, yk + 0.5 * dt * k2)
+        k4 = _deriv(params, yk + dt * k3)
+        y[k + 1] = yk + dt * (k1 + 2 * k2 + 2 * k3 + k4) / 6.0
+        # RK4 can produce tiny negatives near extinction; clamp so the
+        # force of infection never flips sign.
+        np.maximum(y[k + 1], 0.0, out=y[k + 1])
+    return SEIRResult(t=t, S=y[:, 0], E=y[:, 1], I=y[:, 2], R=y[:, 3])

@@ -1,0 +1,57 @@
+"""The compute fabric: a federated function-as-a-service substrate.
+
+Stands in for funcX (paper §IV-B): "arbitrary Python functions can be
+reliably executed on remote computers".  The pieces map one-to-one onto
+the funcX architecture the paper describes:
+
+- :class:`AuthServer` (:mod:`repro.fabric.auth`) — OAuth2-style client
+  credential grants; every fabric request carries a bearer token.
+- :class:`CloudBroker` (:mod:`repro.fabric.broker`) — the hosted cloud
+  service: accepts task submissions, queues them per endpoint, provides
+  *fire-and-forget* execution (tasks survive endpoint restarts and are
+  redelivered), stores results until retrieved, and enforces the
+  **payload size cap** (funcX's 10 MB limit) that motivates the
+  out-of-band data sharing service.
+- :class:`Endpoint` (:mod:`repro.fabric.endpoint`) — deployed per
+  resource; pulls tasks from the broker and executes them on a
+  provisioning provider (local threads, or pilot jobs on a simulated
+  cluster scheduler).
+- :class:`FabricClient` (:mod:`repro.fabric.client`) — the user-facing
+  API: ``submit(fn, *args, endpoint=...)`` returning a
+  :class:`FabricFuture`.
+
+The paper uses funcX to start/stop the EMEWS DB, service, and worker
+pools remotely, and to run one-off functions (GPR retraining) on
+specific resources; the examples reproduce those flows on this fabric.
+"""
+
+from repro.fabric.auth import (
+    SCOPE_COMPUTE,
+    SCOPE_ENDPOINT,
+    SCOPE_TRANSFER,
+    AuthServer,
+    NullAuthServer,
+    Token,
+)
+from repro.fabric.broker import CloudBroker, FabricTaskState
+from repro.fabric.client import FabricClient, FabricFuture, RemoteExecutionError
+from repro.fabric.endpoint import Endpoint
+from repro.fabric.providers import LocalProvider, Provider, SchedulerProvider
+
+__all__ = [
+    "SCOPE_COMPUTE",
+    "SCOPE_ENDPOINT",
+    "SCOPE_TRANSFER",
+    "AuthServer",
+    "NullAuthServer",
+    "Token",
+    "CloudBroker",
+    "FabricTaskState",
+    "FabricClient",
+    "FabricFuture",
+    "RemoteExecutionError",
+    "Endpoint",
+    "Provider",
+    "LocalProvider",
+    "SchedulerProvider",
+]

@@ -1,0 +1,126 @@
+"""OAuth2-style authentication for the compute fabric.
+
+The funcX cloud service authenticates and authorizes users via OAuth
+2.0 (paper §IV-B).  This module reproduces the client-credentials flow
+at the fidelity the platform needs: registered clients exchange their
+secret for a bearer :class:`Token` with scopes and an expiry; services
+validate tokens per request.  Token values are opaque random strings;
+the server holds the mapping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+import threading
+from dataclasses import dataclass
+
+from repro.util.clock import Clock, SystemClock
+from repro.util.errors import AuthenticationError
+from repro.util.errors import AuthorizationError
+
+
+#: Scope required to submit/inspect fabric tasks.
+SCOPE_COMPUTE = "compute"
+#: Scope required to register and operate endpoints.
+SCOPE_ENDPOINT = "endpoint"
+#: Scope required for data transfer operations.
+SCOPE_TRANSFER = "transfer"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A bearer token: opaque value plus its (client-visible) metadata."""
+
+    value: str
+    client_id: str
+    scopes: frozenset[str]
+    expires_at: float
+
+    def has_scope(self, scope: str) -> bool:
+        return scope in self.scopes
+
+
+def _hash_secret(secret: str) -> str:
+    return hashlib.sha256(secret.encode("utf-8")).hexdigest()
+
+
+class AuthServer:
+    """Issues and validates bearer tokens (client-credentials grant).
+
+    Secrets are stored hashed; comparison is constant-time.  Tokens
+    expire after ``token_lifetime`` seconds of the injected clock.
+    """
+
+    def __init__(self, clock: Clock | None = None, token_lifetime: float = 3600.0) -> None:
+        self._clock = clock if clock is not None else SystemClock()
+        self._lifetime = token_lifetime
+        self._lock = threading.Lock()
+        self._clients: dict[str, tuple[str, frozenset[str]]] = {}
+        self._tokens: dict[str, Token] = {}
+
+    def register_client(
+        self, client_id: str, secret: str, scopes: set[str] | frozenset[str]
+    ) -> None:
+        """Register a client with the scopes it may request."""
+        with self._lock:
+            if client_id in self._clients:
+                raise ValueError(f"client {client_id!r} already registered")
+            self._clients[client_id] = (_hash_secret(secret), frozenset(scopes))
+
+    def issue_token(
+        self,
+        client_id: str,
+        secret: str,
+        scopes: set[str] | frozenset[str] | None = None,
+    ) -> Token:
+        """Exchange client credentials for a bearer token.
+
+        ``scopes=None`` requests everything the client is allowed;
+        requesting a scope outside the registration fails.
+        """
+        with self._lock:
+            entry = self._clients.get(client_id)
+            if entry is None:
+                raise AuthenticationError(f"unknown client {client_id!r}")
+            secret_hash, allowed = entry
+            if not hmac.compare_digest(secret_hash, _hash_secret(secret)):
+                raise AuthenticationError("bad client secret")
+            requested = allowed if scopes is None else frozenset(scopes)
+            if not requested <= allowed:
+                raise AuthorizationError(
+                    f"client {client_id!r} may not request scopes {sorted(requested - allowed)}"
+                )
+            token = Token(
+                value=secrets.token_urlsafe(32),
+                client_id=client_id,
+                scopes=requested,
+                expires_at=self._clock.now() + self._lifetime,
+            )
+            self._tokens[token.value] = token
+            return token
+
+    def validate(self, token_value: str, scope: str) -> Token:
+        """Validate a bearer token and its scope; returns the token."""
+        with self._lock:
+            token = self._tokens.get(token_value)
+        if token is None:
+            raise AuthenticationError("unknown token")
+        if self._clock.now() >= token.expires_at:
+            raise AuthenticationError("token expired")
+        if not token.has_scope(scope):
+            raise AuthorizationError(f"token lacks scope {scope!r}")
+        return token
+
+    def revoke(self, token_value: str) -> bool:
+        """Revoke a token; True if it existed."""
+        with self._lock:
+            return self._tokens.pop(token_value, None) is not None
+
+
+class NullAuthServer(AuthServer):
+    """Accepts every token; used when a deployment disables auth."""
+
+    def validate(self, token_value: str, scope: str) -> Token:  # noqa: D102
+        return Token(value=token_value, client_id="anonymous", scopes=frozenset({scope}), expires_at=float("inf"))

@@ -1,0 +1,262 @@
+"""The fabric cloud broker — the "hosted funcX cloud service".
+
+Paper §IV-B: "The hosted funcX cloud service acts as an interface for
+users to submit tasks.  The service is responsible for managing secure
+communication with an endpoint, authenticating and authorizing users
+(via OAuth 2.0), providing fire-and-forget execution by storing and
+retrying tasks in the event an endpoint is offline or fails, and storing
+results (or failures) until retrieved by a user."
+
+Every one of those behaviours lives here:
+
+- submissions are accepted for offline endpoints and delivered later;
+- tasks leased to an endpoint that goes offline are requeued, up to a
+  retry budget, after which they fail;
+- results persist until the client retrieves them;
+- task inputs and outputs are size-capped (the 10 MB funcX limit),
+  which is what pushes large data onto the data sharing service.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.fabric.auth import (
+    SCOPE_COMPUTE,
+    SCOPE_ENDPOINT,
+    AuthServer,
+    NullAuthServer,
+)
+from repro.util.clock import Clock, SystemClock
+from repro.util.errors import (
+    EndpointUnavailableError,
+    NotFoundError,
+    PayloadTooLargeError,
+)
+from repro.util.ids import short_id
+
+#: funcX's documented input/output size cap (paper §IV-E).
+DEFAULT_PAYLOAD_LIMIT = 10 * 1024 * 1024
+
+
+class FabricTaskState(enum.Enum):
+    """Lifecycle of a fabric task."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCESS = "success"
+    FAILED = "failed"
+
+
+@dataclass
+class _BrokerTask:
+    task_id: str
+    endpoint_id: str
+    payload: bytes
+    state: FabricTaskState = FabricTaskState.PENDING
+    result: bytes | None = None
+    error: str | None = None
+    attempts: int = 0
+    submitted_at: float = 0.0
+    finished_at: float | None = None
+
+
+@dataclass
+class _EndpointRecord:
+    endpoint_id: str
+    name: str
+    online: bool = False
+    queue: deque[str] = field(default_factory=deque)  # pending task ids
+    leased: set[str] = field(default_factory=set)  # running task ids
+
+
+class CloudBroker:
+    """Central task routing and result storage for the fabric."""
+
+    def __init__(
+        self,
+        auth: AuthServer | None = None,
+        clock: Clock | None = None,
+        payload_limit: int = DEFAULT_PAYLOAD_LIMIT,
+        max_attempts: int = 3,
+    ) -> None:
+        self._auth = auth if auth is not None else NullAuthServer()
+        self._clock = clock if clock is not None else SystemClock()
+        self._payload_limit = payload_limit
+        self._max_attempts = max_attempts
+        self._lock = threading.Lock()
+        self._endpoints: dict[str, _EndpointRecord] = {}
+        self._tasks: dict[str, _BrokerTask] = {}
+        # task_id -> endpoint that leased it (for put_result validation).
+        self._leases: dict[str, str] = {}
+
+    @property
+    def payload_limit(self) -> int:
+        return self._payload_limit
+
+    def _check_size(self, data: bytes, what: str) -> None:
+        if len(data) > self._payload_limit:
+            raise PayloadTooLargeError(len(data), self._payload_limit, what)
+
+    # -- endpoint side ------------------------------------------------------
+
+    def register_endpoint(self, token: str, name: str) -> str:
+        """Register an endpoint; returns its id.  Registration leaves
+        the endpoint offline until :meth:`endpoint_online`."""
+        self._auth.validate(token, SCOPE_ENDPOINT)
+        with self._lock:
+            endpoint_id = short_id("ep")
+            self._endpoints[endpoint_id] = _EndpointRecord(endpoint_id, name)
+            return endpoint_id
+
+    def _record(self, endpoint_id: str) -> _EndpointRecord:
+        record = self._endpoints.get(endpoint_id)
+        if record is None:
+            raise NotFoundError(f"unknown endpoint {endpoint_id!r}")
+        return record
+
+    def endpoint_online(self, token: str, endpoint_id: str) -> None:
+        self._auth.validate(token, SCOPE_ENDPOINT)
+        with self._lock:
+            self._record(endpoint_id).online = True
+
+    def endpoint_offline(self, token: str, endpoint_id: str) -> None:
+        """Mark an endpoint offline and requeue its leased tasks.
+
+        This is the fire-and-forget path: tasks the endpoint was running
+        go back to PENDING (until the attempt budget is spent) and will
+        be redelivered when the endpoint — or a replacement — returns.
+        """
+        self._auth.validate(token, SCOPE_ENDPOINT)
+        with self._lock:
+            record = self._record(endpoint_id)
+            record.online = False
+            for task_id in list(record.leased):
+                record.leased.discard(task_id)
+                self._leases.pop(task_id, None)
+                self._requeue_locked(record, self._tasks[task_id])
+
+    def _requeue_locked(self, record: _EndpointRecord, task: _BrokerTask) -> None:
+        if task.attempts >= self._max_attempts:
+            task.state = FabricTaskState.FAILED
+            task.error = f"gave up after {task.attempts} attempts (endpoint failures)"
+            task.finished_at = self._clock.now()
+        else:
+            task.state = FabricTaskState.PENDING
+            record.queue.appendleft(task.task_id)  # retry before new work
+
+    def fetch_tasks(
+        self, token: str, endpoint_id: str, max_tasks: int = 1
+    ) -> list[tuple[str, bytes]]:
+        """Lease up to ``max_tasks`` pending tasks to an endpoint."""
+        self._auth.validate(token, SCOPE_ENDPOINT)
+        with self._lock:
+            record = self._record(endpoint_id)
+            if not record.online:
+                raise EndpointUnavailableError(
+                    f"endpoint {endpoint_id!r} is offline; bring it online first"
+                )
+            leased: list[tuple[str, bytes]] = []
+            while record.queue and len(leased) < max_tasks:
+                task_id = record.queue.popleft()
+                task = self._tasks[task_id]
+                task.state = FabricTaskState.RUNNING
+                task.attempts += 1
+                record.leased.add(task_id)
+                self._leases[task_id] = endpoint_id
+                leased.append((task_id, task.payload))
+            return leased
+
+    def put_result(
+        self, token: str, task_id: str, success: bool, data: bytes
+    ) -> None:
+        """Store a task's result (or failure text) until retrieved."""
+        self._auth.validate(token, SCOPE_ENDPOINT)
+        self._check_size(data, "task result")
+        with self._lock:
+            task = self._tasks.get(task_id)
+            if task is None:
+                raise NotFoundError(f"unknown task {task_id!r}")
+            endpoint_id = self._leases.pop(task_id, None)
+            if endpoint_id is not None:
+                self._endpoints[endpoint_id].leased.discard(task_id)
+            if success:
+                task.state = FabricTaskState.SUCCESS
+                task.result = data
+            else:
+                task.state = FabricTaskState.FAILED
+                task.error = data.decode("utf-8", errors="replace")
+            task.finished_at = self._clock.now()
+
+    # -- client side ----------------------------------------------------------
+
+    def submit(self, token: str, endpoint_id: str, payload: bytes) -> str:
+        """Queue a task for an endpoint (online or not); returns task id."""
+        self._auth.validate(token, SCOPE_COMPUTE)
+        self._check_size(payload, "task payload")
+        with self._lock:
+            record = self._record(endpoint_id)
+            task = _BrokerTask(
+                task_id=short_id("ft"),
+                endpoint_id=endpoint_id,
+                payload=payload,
+                submitted_at=self._clock.now(),
+            )
+            self._tasks[task.task_id] = task
+            record.queue.append(task.task_id)
+            return task.task_id
+
+    def task_state(self, token: str, task_id: str) -> FabricTaskState:
+        self._auth.validate(token, SCOPE_COMPUTE)
+        with self._lock:
+            task = self._tasks.get(task_id)
+            if task is None:
+                raise NotFoundError(f"unknown task {task_id!r}")
+            return task.state
+
+    def get_result(
+        self, token: str, task_id: str, remove: bool = True
+    ) -> tuple[bool, bytes | str] | None:
+        """The stored outcome: ``(True, result_bytes)`` on success,
+        ``(False, error_text)`` on failure, None while incomplete.
+
+        ``remove=True`` frees the stored result (the paper's "storing
+        results ... until retrieved by a user").
+        """
+        self._auth.validate(token, SCOPE_COMPUTE)
+        with self._lock:
+            task = self._tasks.get(task_id)
+            if task is None:
+                raise NotFoundError(f"unknown task {task_id!r}")
+            if task.state == FabricTaskState.SUCCESS:
+                assert task.result is not None
+                outcome: tuple[bool, bytes | str] = (True, task.result)
+            elif task.state == FabricTaskState.FAILED:
+                outcome = (False, task.error or "unknown failure")
+            else:
+                return None
+            if remove:
+                del self._tasks[task.task_id]
+            return outcome
+
+    # -- introspection ------------------------------------------------------------
+
+    def endpoint_status(self, token: str, endpoint_id: str) -> dict[str, object]:
+        """Queue depth and liveness for one endpoint."""
+        self._auth.validate(token, SCOPE_COMPUTE)
+        with self._lock:
+            record = self._record(endpoint_id)
+            return {
+                "name": record.name,
+                "online": record.online,
+                "queued": len(record.queue),
+                "running": len(record.leased),
+            }
+
+    def list_endpoints(self, token: str) -> list[str]:
+        self._auth.validate(token, SCOPE_COMPUTE)
+        with self._lock:
+            return list(self._endpoints)

@@ -1,0 +1,118 @@
+"""User-facing fabric client.
+
+The interface the paper's ME algorithm uses: "initializing a funcX
+client, and then starting the EMEWS DB, an initial worker pool, and the
+EMEWS service remotely ... using funcX" (§VI).  ``submit`` ships a
+Python callable (with arguments) to a named endpoint and returns a
+:class:`FabricFuture`; ``run`` is the blocking convenience the examples
+use for remote setup steps and one-off computations like GPR retraining.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.fabric.auth import Token
+from repro.fabric.broker import CloudBroker, FabricTaskState
+from repro.util.errors import ReproError, TimeoutError_
+from repro.util.serialization import decode_object, encode_object
+
+
+class RemoteExecutionError(ReproError):
+    """The remote function raised; carries the remote traceback text."""
+
+
+class FabricFuture:
+    """Handle to one fabric task."""
+
+    def __init__(self, broker: CloudBroker, token: str, task_id: str) -> None:
+        self._broker = broker
+        self._token = token
+        self.task_id = task_id
+        self._outcome: tuple[bool, Any] | None = None
+
+    def state(self) -> FabricTaskState:
+        """The broker's view of the task (SUCCESS once retrieved)."""
+        if self._outcome is not None:
+            return (
+                FabricTaskState.SUCCESS if self._outcome[0] else FabricTaskState.FAILED
+            )
+        return self._broker.task_state(self._token, self.task_id)
+
+    def done(self) -> bool:
+        return self.state() in (FabricTaskState.SUCCESS, FabricTaskState.FAILED)
+
+    def result(self, timeout: float | None = 60.0, poll: float = 0.01) -> Any:
+        """The remote return value; raises :class:`RemoteExecutionError`
+        if the function failed, TimeoutError_ if not done in time."""
+        if self._outcome is None:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while True:
+                stored = self._broker.get_result(self._token, self.task_id)
+                if stored is not None:
+                    success, data = stored
+                    value = decode_object(data) if success else data
+                    self._outcome = (success, value)
+                    break
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise TimeoutError_(
+                        f"fabric task {self.task_id} not done after {timeout}s"
+                    )
+                time.sleep(poll)
+        success, value = self._outcome
+        if not success:
+            raise RemoteExecutionError(str(value))
+        return value
+
+
+class FabricClient:
+    """Submit Python functions to fabric endpoints."""
+
+    def __init__(self, broker: CloudBroker, token: str | Token) -> None:
+        self._broker = broker
+        self._token = token.value if isinstance(token, Token) else token
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        endpoint: str,
+        **kwargs: Any,
+    ) -> FabricFuture:
+        """Ship ``fn(*args, **kwargs)`` to ``endpoint``; returns a future.
+
+        The callable and arguments must be picklable and fit the
+        broker's payload cap — large inputs belong in the data sharing
+        service, passed as proxies.
+        """
+        payload = encode_object((fn, args, kwargs))
+        task_id = self._broker.submit(self._token, endpoint, payload)
+        return FabricFuture(self._broker, self._token, task_id)
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        endpoint: str,
+        timeout: float | None = 60.0,
+        **kwargs: Any,
+    ) -> Any:
+        """Blocking submit-and-wait."""
+        return self.submit(fn, *args, endpoint=endpoint, **kwargs).result(timeout)
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        items: Sequence[Any],
+        endpoint: str,
+        timeout: float | None = 60.0,
+    ) -> list[Any]:
+        """Submit ``fn(item)`` for each item, then gather in order."""
+        futures = [self.submit(fn, item, endpoint=endpoint) for item in items]
+        return [f.result(timeout) for f in futures]
+
+    def endpoint_status(self, endpoint: str) -> dict[str, object]:
+        """Queue depth / liveness for an endpoint."""
+        return self._broker.endpoint_status(self._token, endpoint)

@@ -1,0 +1,138 @@
+"""Fabric endpoint: the per-resource agent that executes functions.
+
+"Users first deploy specialized funcX endpoint software on a computer to
+make it accessible for remote computation" (§IV-B).  An
+:class:`Endpoint` registers with the broker, polls for leased tasks,
+executes each on its provider, and reports results.  Stopping an
+endpoint takes it offline at the broker, which requeues its leased tasks
+— the other half of fire-and-forget.
+
+An optional ``latency`` models the WAN hop between the cloud service and
+the site (applied around each poll), so examples can show geography
+without real networks.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any
+
+from repro.fabric.auth import Token
+from repro.fabric.broker import CloudBroker
+from repro.fabric.providers import LocalProvider, Provider
+from repro.util.errors import EndpointUnavailableError
+from repro.util.serialization import decode_object, encode_object
+
+
+class Endpoint:
+    """A registered compute endpoint."""
+
+    def __init__(
+        self,
+        broker: CloudBroker,
+        name: str,
+        token: str | Token,
+        provider: Provider | None = None,
+        poll_delay: float = 0.01,
+        prefetch: int = 4,
+        latency: float = 0.0,
+        endpoint_id: str | None = None,
+    ) -> None:
+        self._broker = broker
+        self._name = name
+        self._token = token.value if isinstance(token, Token) else token
+        self._provider = provider if provider is not None else LocalProvider()
+        self._poll_delay = poll_delay
+        self._prefetch = prefetch
+        self._latency = latency
+        # Passing endpoint_id re-attaches to an existing registration —
+        # the restarted-endpoint case of fire-and-forget delivery.
+        if endpoint_id is None:
+            endpoint_id = broker.register_endpoint(self._token, name)
+        self._endpoint_id = endpoint_id
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def endpoint_id(self) -> str:
+        """The broker-assigned endpoint identifier clients submit to."""
+        return self._endpoint_id
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def start(self) -> "Endpoint":
+        """Go online and begin pulling tasks."""
+        if self._thread is not None:
+            raise RuntimeError("endpoint already started")
+        self._stop.clear()
+        self._broker.endpoint_online(self._token, self._endpoint_id)
+        self._thread = threading.Thread(
+            target=self._poll_loop, name=f"endpoint-{self._name}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Go offline.  Leased tasks are requeued by the broker; the
+        provider is drained of anything already executing."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self._broker.endpoint_offline(self._token, self._endpoint_id)
+
+    def __enter__(self) -> "Endpoint":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- execution -----------------------------------------------------------
+
+    def _poll_loop(self) -> None:
+        import time
+
+        while not self._stop.is_set():
+            if self._latency > 0:
+                time.sleep(self._latency)
+            try:
+                leased = self._broker.fetch_tasks(
+                    self._token, self._endpoint_id, max_tasks=self._prefetch
+                )
+            except EndpointUnavailableError:
+                return  # raced with stop()
+            if not leased:
+                time.sleep(self._poll_delay)
+                continue
+            for task_id, payload in leased:
+                self._provider.submit(self._make_runner(task_id, payload))
+
+    def _make_runner(self, task_id: str, payload: bytes):
+        def run() -> None:
+            try:
+                fn, args, kwargs = decode_object(payload)
+                result: Any = fn(*args, **kwargs)
+                data = encode_object(result)
+                success = True
+            except Exception:  # noqa: BLE001 - the failure is the result
+                data = traceback.format_exc().encode("utf-8")
+                success = False
+            try:
+                self._broker.put_result(self._token, task_id, success, data)
+            except Exception:  # noqa: BLE001
+                # Result too large or broker gone: report a failure text
+                # so the client is not left waiting.
+                try:
+                    self._broker.put_result(
+                        self._token,
+                        task_id,
+                        False,
+                        traceback.format_exc().encode("utf-8"),
+                    )
+                except Exception:  # noqa: BLE001 - broker unreachable
+                    pass
+
+        return run

@@ -1,0 +1,105 @@
+"""Execution providers for fabric endpoints.
+
+The funcX endpoint "is responsible for provisioning resources via
+various supported systems (e.g., local fork, Slurm, PBS), managing
+execution of tasks using a pilot job model" (§IV-B).  A
+:class:`Provider` abstracts that: the endpoint hands it callables, the
+provider decides where/when they run.
+
+- :class:`LocalProvider` — a bounded thread pool (the "local fork").
+- :class:`SchedulerProvider` — submits each task as a pilot job to a
+  :class:`repro.sched.Scheduler`, so task starts incur realistic batch
+  queue delays.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.sched.scheduler import Scheduler
+from repro.util.errors import InvalidStateError
+
+
+class Provider(ABC):
+    """Runs endpoint task bodies on some resource."""
+
+    @abstractmethod
+    def submit(self, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run; returns immediately."""
+
+    @abstractmethod
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; optionally wait for in-flight tasks."""
+
+
+class LocalProvider(Provider):
+    """Execute tasks on a bounded local thread pool."""
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="fabric-local"
+        )
+        self._closed = False
+        self._lock = threading.Lock()
+
+    def submit(self, fn: Callable[[], None]) -> None:
+        with self._lock:
+            if self._closed:
+                raise InvalidStateError("provider is shut down")
+            self._pool.submit(fn)
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+
+
+class SchedulerProvider(Provider):
+    """Execute each task as a pilot job on a cluster scheduler.
+
+    ``walltime`` is the per-task request; tasks that exceed it are
+    killed by the scheduler's walltime watchdog and their fabric task
+    fails accordingly (the endpoint reports the body's outcome, which
+    never arrives — the broker's retry budget then applies when the
+    endpoint restarts).
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        nodes_per_task: int = 1,
+        walltime: float = 3600.0,
+    ) -> None:
+        self._scheduler = scheduler
+        self._nodes = nodes_per_task
+        self._walltime = walltime
+        self._closed = False
+        self._lock = threading.Lock()
+        self._inflight: list[object] = []
+
+    def submit(self, fn: Callable[[], None]) -> None:
+        with self._lock:
+            if self._closed:
+                raise InvalidStateError("provider is shut down")
+            job = self._scheduler.submit(
+                fn, nodes=self._nodes, walltime=self._walltime, name="fabric-task"
+            )
+            self._inflight.append(job)
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            jobs = list(self._inflight)
+        if wait:
+            for job in jobs:
+                job.wait(timeout=self._walltime)  # type: ignore[attr-defined]

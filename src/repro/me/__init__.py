@@ -1,0 +1,71 @@
+"""Model exploration (ME) algorithms (paper §IV-A, §V-B, §VI).
+
+The ME algorithm is OSPREY's "main user interface": scientific logic
+that submits tasks through the EQSQL API and reacts to results.  This
+package provides the pieces the paper's example workflow uses, all
+implemented from scratch:
+
+- benchmark objective functions (:mod:`repro.me.functions`) — the Ackley
+  function of §VI with the paper's lognormal runtime padding;
+- samplers (:mod:`repro.me.sampling`) — uniform and Latin hypercube;
+- Gaussian-process regression (:mod:`repro.me.gpr`) — RBF/Matérn
+  kernels, Cholesky solves, marginal-likelihood hyperparameter fitting;
+- the GPR reprioritizer (:mod:`repro.me.reprioritizer`) — maps model
+  predictions over unevaluated points to task priorities;
+- the asynchronous ME driver (:mod:`repro.me.driver`) — the Fig 2 loop:
+  submit, wait for the next batch of completions, retrain/reorder.
+"""
+
+from repro.me.functions import (
+    ackley,
+    griewank,
+    lognormal_runtime,
+    rastrigin,
+    rosenbrock,
+    sphere,
+)
+from repro.me.gpr import GaussianProcessRegressor, Matern52Kernel, RBFKernel
+from repro.me.reprioritizer import GPRReprioritizer, ranks_to_priorities
+from repro.me.sampling import latin_hypercube, uniform_random
+from repro.me.driver import AsyncOptimizationResult, run_async_optimization
+from repro.me.async_bo import BOConfig, BOResult, run_async_bo
+from repro.me.steering import Actions, CompletedTask, Steering, SteeringResult
+from repro.me.checkpoint import (
+    MECheckpoint,
+    drain_resumed,
+    latest_checkpoint,
+    load_checkpoint,
+    resume_futures,
+    save_checkpoint,
+)
+
+__all__ = [
+    "ackley",
+    "griewank",
+    "rastrigin",
+    "rosenbrock",
+    "sphere",
+    "lognormal_runtime",
+    "GaussianProcessRegressor",
+    "RBFKernel",
+    "Matern52Kernel",
+    "GPRReprioritizer",
+    "ranks_to_priorities",
+    "latin_hypercube",
+    "uniform_random",
+    "AsyncOptimizationResult",
+    "run_async_optimization",
+    "BOConfig",
+    "BOResult",
+    "run_async_bo",
+    "Actions",
+    "CompletedTask",
+    "Steering",
+    "SteeringResult",
+    "MECheckpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "latest_checkpoint",
+    "resume_futures",
+    "drain_resumed",
+]

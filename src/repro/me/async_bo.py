@@ -1,0 +1,189 @@
+"""Asynchronous Bayesian optimization — the complete Fig 2 loop.
+
+The Figure 2 pseudocode is richer than pure reordering: "Re-sample,
+reorder, re-submit based on results", and §V-B adds that futures can be
+*canceled* ("cancel less promising evaluations").  This driver does all
+three:
+
+- after every batch of completions a GPR is refit;
+- **re-sample / re-submit**: new candidate points are proposed by
+  expected improvement and submitted as fresh tasks;
+- **reorder**: still-queued tasks are reprioritized by predicted value;
+- **cancel**: queued tasks whose EI falls below a fraction of the best
+  queued EI are canceled, freeing worker time for better proposals.
+
+Works against live worker pools through the same blocking futures API
+as :func:`repro.me.driver.run_async_optimization`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.eqsql import EQSQL
+from repro.core.futures import Future, as_completed, cancel_futures, update_priority
+from repro.me.gpr import GaussianProcessRegressor, RBFKernel
+from repro.me.reprioritizer import ranks_to_priorities
+from repro.me.sampling import uniform_random
+from repro.util.serialization import json_dumps, json_loads
+
+
+@dataclass
+class BOConfig:
+    """Asynchronous BO hyperparameters.
+
+    ``n_initial`` random points seed the model; the loop continues until
+    ``n_total`` evaluations complete.  After every ``batch_completed``
+    results, ``proposals_per_round`` EI-selected points are submitted
+    (chosen from ``n_candidates`` random candidates), queued tasks are
+    reordered, and queued tasks with EI below ``cancel_fraction`` of the
+    round's best queued EI are canceled (0 disables cancellation).
+    """
+
+    bounds: list[tuple[float, float]] = field(default_factory=list)
+    n_initial: int = 20
+    n_total: int = 80
+    batch_completed: int = 10
+    proposals_per_round: int = 5
+    n_candidates: int = 512
+    cancel_fraction: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.bounds:
+            raise ValueError("bounds must be provided")
+        if self.n_initial < 2:
+            raise ValueError("n_initial must be >= 2 (the GPR needs data)")
+        if self.n_total < self.n_initial:
+            raise ValueError("n_total must be >= n_initial")
+        if not 0 <= self.cancel_fraction < 1:
+            raise ValueError("cancel_fraction must be in [0, 1)")
+
+
+@dataclass
+class BOResult:
+    """Outcome of an asynchronous BO run."""
+
+    X: np.ndarray
+    y: np.ndarray
+    n_submitted: int
+    n_canceled: int
+    rounds: int
+
+    @property
+    def best_y(self) -> float:
+        return float(np.min(self.y))
+
+    @property
+    def best_x(self) -> np.ndarray:
+        return self.X[int(np.argmin(self.y))]
+
+    def best_trajectory(self) -> np.ndarray:
+        return np.minimum.accumulate(self.y)
+
+
+def _payload(point: np.ndarray) -> str:
+    return json_dumps({"x": list(map(float, point))})
+
+
+def run_async_bo(
+    eqsql: EQSQL,
+    exp_id: str,
+    work_type: int,
+    config: BOConfig,
+    delay: float = 0.01,
+    timeout: float | None = 120.0,
+) -> BOResult:
+    """Drive an asynchronous BO campaign against running worker pools."""
+    rng = np.random.default_rng(config.seed)
+    bounds = np.asarray(config.bounds, dtype=float)
+
+    initial = uniform_random(rng, config.n_initial, bounds)
+    futures = eqsql.submit_tasks(
+        exp_id, work_type, [_payload(p) for p in initial]
+    )
+    point_of: dict[int, np.ndarray] = {
+        f.eq_task_id: initial[i] for i, f in enumerate(futures)
+    }
+
+    pending: list[Future] = list(futures)
+    done_X: list[np.ndarray] = []
+    done_y: list[float] = []
+    n_submitted = config.n_initial
+    n_canceled = 0
+    rounds = 0
+
+    def submit_points(points: np.ndarray) -> None:
+        nonlocal n_submitted
+        new_futures = eqsql.submit_tasks(
+            exp_id, work_type, [_payload(p) for p in points]
+        )
+        for i, future in enumerate(new_futures):
+            point_of[future.eq_task_id] = points[i]
+        pending.extend(new_futures)
+        n_submitted += len(new_futures)
+
+    while len(done_y) < config.n_total:
+        if not pending:
+            # Cancellation (or a tight budget) drained the queue before
+            # the target was reached: top up with random exploration.
+            submit_points(
+                uniform_random(rng, config.n_total - len(done_y), bounds)
+            )
+        want = min(config.batch_completed, config.n_total - len(done_y))
+        for future in as_completed(pending, pop=True, n=want, delay=delay, timeout=timeout):
+            _, result = future.result(timeout=0)
+            value = json_loads(result)
+            done_X.append(point_of[future.eq_task_id])
+            done_y.append(float(value["y"] if isinstance(value, dict) else value))
+        if len(done_y) >= config.n_total:
+            break
+        rounds += 1
+
+        model = GaussianProcessRegressor(
+            kernel=RBFKernel(), optimize_hyperparameters=False, noise=1e-6
+        )
+        model.fit(np.asarray(done_X), np.asarray(done_y))
+
+        # Re-sample: EI over random candidates -> new submissions.  The
+        # live budget counts submissions that can still complete.
+        live_budget = config.n_total - (n_submitted - n_canceled)
+        n_new = min(config.proposals_per_round, max(live_budget, 0))
+        if n_new > 0:
+            candidates = uniform_random(rng, config.n_candidates, bounds)
+            ei = model.expected_improvement(candidates)
+            chosen = candidates[np.argsort(-ei)[:n_new]]
+            submit_points(chosen)
+
+        if pending:
+            X_pending = np.asarray([point_of[f.eq_task_id] for f in pending])
+            # Cancel: drop queued tasks whose EI is hopeless.
+            if config.cancel_fraction > 0 and len(pending) > 1:
+                ei_pending = model.expected_improvement(X_pending)
+                threshold = config.cancel_fraction * float(ei_pending.max())
+                victims = [
+                    f for f, e in zip(pending, ei_pending) if e < threshold
+                ]
+                if victims:
+                    canceled_now = cancel_futures(victims)
+                    n_canceled += canceled_now
+                    if canceled_now:
+                        pending = [f for f in pending if not f.cancelled]
+                        X_pending = np.asarray(
+                            [point_of[f.eq_task_id] for f in pending]
+                        )
+            # Reorder: best predicted values run first.
+            if len(pending) > 0:
+                predicted = model.predict(X_pending)
+                priorities = ranks_to_priorities(np.asarray(predicted))
+                update_priority(pending, [int(p) for p in priorities])
+
+    return BOResult(
+        X=np.asarray(done_X),
+        y=np.asarray(done_y),
+        n_submitted=n_submitted,
+        n_canceled=n_canceled,
+        rounds=rounds,
+    )

@@ -1,0 +1,144 @@
+"""ME-algorithm checkpoint and resume.
+
+Paper §II-B2c: artifacts such as "model exploration state" must let
+"model exploration algorithms ... be easily rerun or continued, either
+on the original set of computing resources or different ones."
+
+:class:`MECheckpoint` captures everything an asynchronous optimization
+needs to continue: the evaluated points/values, the task ids still
+outstanding, and the experiment coordinates.  Stored through an
+:class:`repro.data.artifacts.ArtifactManager`, a checkpoint taken on one
+resource resumes against the same EMEWS DB from anywhere: outstanding
+futures are reconstructed *by task id*, so results reported while the ME
+was down are picked up on resume — the DB, not the process, owns the
+state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.eqsql import EQSQL
+from repro.core.futures import Future, as_completed
+from repro.data.artifacts import ArtifactManager, ArtifactRecord
+from repro.util.errors import InvalidStateError
+
+
+@dataclass
+class MECheckpoint:
+    """Serializable model-exploration state."""
+
+    exp_id: str
+    work_type: int
+    points: np.ndarray  # all submitted points, submission order
+    task_ids: list[int]  # aligned with points
+    done_task_ids: list[int] = field(default_factory=list)
+    done_values: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.task_ids) != len(self.points):
+            raise InvalidStateError("task_ids must align with points")
+        if len(self.done_task_ids) != len(self.done_values):
+            raise InvalidStateError("done ids must align with done values")
+
+    @property
+    def n_outstanding(self) -> int:
+        return len(self.task_ids) - len(self.done_task_ids)
+
+    def outstanding_ids(self) -> list[int]:
+        done = set(self.done_task_ids)
+        return [tid for tid in self.task_ids if tid not in done]
+
+    def done_X(self) -> np.ndarray:
+        index_of = {tid: i for i, tid in enumerate(self.task_ids)}
+        if not self.done_task_ids:
+            return np.empty((0, self.points.shape[1]))
+        return self.points[[index_of[t] for t in self.done_task_ids]]
+
+    def done_y(self) -> np.ndarray:
+        return np.asarray(self.done_values, dtype=float)
+
+
+def save_checkpoint(
+    manager: ArtifactManager,
+    checkpoint: MECheckpoint,
+    tags: dict | None = None,
+) -> ArtifactRecord:
+    """Persist a checkpoint (kind ``me-state``)."""
+    payload = {
+        "exp_id": checkpoint.exp_id,
+        "work_type": checkpoint.work_type,
+        "points": checkpoint.points,
+        "task_ids": list(checkpoint.task_ids),
+        "done_task_ids": list(checkpoint.done_task_ids),
+        "done_values": list(checkpoint.done_values),
+    }
+    merged = {"exp_id": checkpoint.exp_id}
+    merged.update(tags or {})
+    return manager.save(payload, kind="me-state", tags=merged)
+
+
+def load_checkpoint(manager: ArtifactManager, artifact_id: str) -> MECheckpoint:
+    """Materialize a checkpoint saved by :func:`save_checkpoint`."""
+    payload = manager.load(artifact_id)
+    return MECheckpoint(
+        exp_id=payload["exp_id"],
+        work_type=payload["work_type"],
+        points=np.asarray(payload["points"], dtype=float),
+        task_ids=list(payload["task_ids"]),
+        done_task_ids=list(payload["done_task_ids"]),
+        done_values=list(payload["done_values"]),
+    )
+
+
+def latest_checkpoint(manager: ArtifactManager, exp_id: str) -> MECheckpoint:
+    """The newest checkpoint for an experiment."""
+    record = manager.latest("me-state", exp_id=exp_id)
+    return load_checkpoint(manager, record.artifact_id)
+
+
+def resume_futures(eqsql: EQSQL, checkpoint: MECheckpoint) -> list[Future]:
+    """Rebuild futures for the checkpoint's outstanding tasks.
+
+    Futures are identity-bound to task ids, so results that landed on
+    the input queue while the ME algorithm was down resolve immediately.
+    """
+    return [
+        Future(eqsql, tid, checkpoint.work_type, exp_id=checkpoint.exp_id)
+        for tid in checkpoint.outstanding_ids()
+    ]
+
+
+def drain_resumed(
+    eqsql: EQSQL,
+    checkpoint: MECheckpoint,
+    delay: float = 0.01,
+    timeout: float | None = 120.0,
+) -> MECheckpoint:
+    """Continue a checkpointed run to completion (no reordering).
+
+    Returns a new, fully-completed checkpoint; the caller extracts
+    ``done_X()`` / ``done_y()`` for analysis.  Reordering-aware
+    continuation composes from :func:`resume_futures` plus the usual
+    driver pieces.
+    """
+    from repro.util.serialization import json_loads
+
+    futures = resume_futures(eqsql, checkpoint)
+    done_ids = list(checkpoint.done_task_ids)
+    done_values = list(checkpoint.done_values)
+    for future in as_completed(futures, delay=delay, timeout=timeout):
+        _, raw = future.result(timeout=0)
+        value = json_loads(raw)
+        done_ids.append(future.eq_task_id)
+        done_values.append(float(value["y"] if isinstance(value, dict) else value))
+    return MECheckpoint(
+        exp_id=checkpoint.exp_id,
+        work_type=checkpoint.work_type,
+        points=checkpoint.points,
+        task_ids=checkpoint.task_ids,
+        done_task_ids=done_ids,
+        done_values=done_values,
+    )

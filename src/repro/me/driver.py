@@ -1,0 +1,149 @@
+"""The asynchronous ME driver — Fig 2's pseudocode as a reusable loop.
+
+    for each initial sample: submit the sample for evaluation
+    while stopping condition not reached:
+        wait for n evaluation results
+        re-sample, reorder, re-submit based on results
+
+:func:`run_async_optimization` implements the §VI instantiation: submit
+all points, then after every ``batch_completed`` completions retrain /
+reorder the remaining queue via a pluggable reprioritizer (local GPR, or
+a fabric-wrapped remote one).  It drives real worker pools through the
+blocking futures API; the discrete-event variant lives in
+:mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.eqsql import EQSQL
+from repro.core.futures import Future, as_completed, update_priority
+from repro.telemetry.events import EventKind, TraceCollector
+from repro.util.serialization import json_dumps, json_loads
+
+#: (X_done, y_done, X_remaining) -> integer priorities for X_remaining.
+Reprioritizer = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass
+class ReprioritizationRecord:
+    """One reorder step: when it ran and what it touched."""
+
+    time_start: float
+    time_stop: float
+    n_completed: int
+    n_reprioritized: int
+
+    @property
+    def duration(self) -> float:
+        return self.time_stop - self.time_start
+
+
+@dataclass
+class AsyncOptimizationResult:
+    """Outcome of one asynchronous optimization run."""
+
+    X: np.ndarray  # evaluated points, completion order
+    y: np.ndarray  # objective values, completion order
+    reprioritizations: list[ReprioritizationRecord] = field(default_factory=list)
+
+    @property
+    def best_y(self) -> float:
+        return float(np.min(self.y))
+
+    @property
+    def best_x(self) -> np.ndarray:
+        return self.X[int(np.argmin(self.y))]
+
+    def best_trajectory(self) -> np.ndarray:
+        """Best objective value after each completion (running min)."""
+        return np.minimum.accumulate(self.y)
+
+
+def decode_result(result: str) -> float:
+    """Objective value from a task result payload.
+
+    Accepts the conventional ``{"y": value}`` dict or a bare JSON
+    number; raises for failure payloads (``{"error": ...}``).
+    """
+    value = json_loads(result)
+    if isinstance(value, dict):
+        if "error" in value:
+            raise ValueError(f"task failed: {value['error']}")
+        value = value["y"]
+    return float(value)
+
+
+def run_async_optimization(
+    eqsql: EQSQL,
+    exp_id: str,
+    work_type: int,
+    points: np.ndarray,
+    reprioritizer: Reprioritizer | None = None,
+    batch_completed: int = 50,
+    delay: float = 0.01,
+    timeout: float | None = 120.0,
+    trace: TraceCollector | None = None,
+) -> AsyncOptimizationResult:
+    """Submit ``points`` and drive completions to exhaustion.
+
+    After every ``batch_completed`` results the ``reprioritizer`` (if
+    given) recomputes priorities for the still-queued tasks — exactly
+    the paper's loop, where "the reprioritization repeats for every new
+    50 completed tasks".  ``timeout`` bounds each wait for the next
+    batch (worker pools must be running).
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    payloads = [json_dumps({"x": list(map(float, p))}) for p in points]
+    futures = eqsql.submit_tasks(exp_id, work_type, payloads)
+    point_of = {f.eq_task_id: i for i, f in enumerate(futures)}
+
+    pending: list[Future] = list(futures)
+    done_X: list[np.ndarray] = []
+    done_y: list[float] = []
+    records: list[ReprioritizationRecord] = []
+
+    while pending:
+        want = min(batch_completed, len(pending))
+        for future in as_completed(pending, pop=True, n=want, delay=delay, timeout=timeout):
+            _, result = future.result(timeout=0)
+            done_X.append(points[point_of[future.eq_task_id]])
+            done_y.append(decode_result(result))
+        if reprioritizer is not None and pending:
+            t0 = eqsql.clock.now()
+            if trace is not None:
+                trace.record(
+                    EventKind.PHASE_START, t0, source="reprioritize",
+                    detail=str(len(done_y)),
+                )
+            X_remaining = np.array(
+                [points[point_of[f.eq_task_id]] for f in pending]
+            )
+            priorities = reprioritizer(
+                np.array(done_X), np.array(done_y), X_remaining
+            )
+            n_updated = update_priority(pending, [int(p) for p in priorities])
+            t1 = eqsql.clock.now()
+            if trace is not None:
+                trace.record(
+                    EventKind.PHASE_STOP, t1, source="reprioritize",
+                    detail=str(n_updated),
+                )
+            records.append(
+                ReprioritizationRecord(
+                    time_start=t0,
+                    time_stop=t1,
+                    n_completed=len(done_y),
+                    n_reprioritized=n_updated,
+                )
+            )
+
+    return AsyncOptimizationResult(
+        X=np.array(done_X),
+        y=np.array(done_y),
+        reprioritizations=records,
+    )

@@ -1,0 +1,50 @@
+"""Design-of-experiments samplers for initial task batches."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_bounds(bounds: np.ndarray | list) -> np.ndarray:
+    arr = np.asarray(bounds, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError("bounds must have shape (d, 2)")
+    if np.any(arr[:, 0] >= arr[:, 1]):
+        raise ValueError("each bound must satisfy low < high")
+    return arr
+
+
+def uniform_random(
+    rng: np.random.Generator, n: int, bounds: np.ndarray | list
+) -> np.ndarray:
+    """``n`` points uniform over an axis-aligned box.
+
+    ``bounds`` is (d, 2): per-dimension (low, high).  This is the
+    paper's initial design — "an initial sample set of 750
+    4-dimensional points".
+    """
+    arr = _check_bounds(bounds)
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    low, high = arr[:, 0], arr[:, 1]
+    return rng.uniform(low, high, size=(n, arr.shape[0]))
+
+
+def latin_hypercube(
+    rng: np.random.Generator, n: int, bounds: np.ndarray | list
+) -> np.ndarray:
+    """Latin hypercube sample: one point per axis stratum per dimension.
+
+    Better space coverage than i.i.d. uniform for the same budget —
+    the standard initial design for surrogate modeling.
+    """
+    arr = _check_bounds(bounds)
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    d = arr.shape[0]
+    # Stratified u in [0,1): one sample per cell, shuffled per dim.
+    u = (rng.random((n, d)) + np.arange(n)[:, None]) / n
+    for j in range(d):
+        u[:, j] = u[rng.permutation(n), j]
+    low, high = arr[:, 0], arr[:, 1]
+    return low + u * (high - low)

@@ -1,0 +1,164 @@
+"""Event-driven campaign steering (a Colmena-style "thinker").
+
+Related work §III: "Colmena is a Python-based framework designed to
+steer computational campaigns by enabling developers to wrap various
+fidelity tasks (e.g., simulations) and define functions to select which
+tasks to be executed next" — and the paper's §VI example "is based on a
+similar example problem provided as part of the Colmena documentation."
+
+:class:`Steering` is that programming model over the EQSQL substrate:
+the user registers a ``on_result`` policy that inspects each completed
+task and returns actions — submit new tasks, reprioritize, cancel, or
+stop the campaign — while the steering loop handles all queue mechanics.
+The Fig 2 pseudocode becomes a policy function instead of a hand-written
+loop.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.eqsql import EQSQL
+from repro.core.futures import Future, as_completed, cancel_futures, update_priority
+from repro.util.errors import TimeoutError_
+from repro.util.serialization import json_loads
+
+
+@dataclass
+class Actions:
+    """What a policy wants done after seeing a result.
+
+    - ``submit``: payload strings for new tasks (optionally with
+      priorities aligned to them);
+    - ``reprioritize``: priorities for *all currently pending* tasks
+      (aligned with :attr:`Steering.pending` order at callback time);
+    - ``cancel``: task ids to cancel;
+    - ``stop``: end the campaign after processing this result (pending
+      tasks are canceled).
+    """
+
+    submit: list[str] = field(default_factory=list)
+    submit_priorities: int | list[int] = 0
+    reprioritize: list[int] | None = None
+    cancel: list[int] = field(default_factory=list)
+    stop: bool = False
+
+
+@dataclass
+class CompletedTask:
+    """What the policy sees for each completion."""
+
+    eq_task_id: int
+    payload: Any  # decoded JSON of the submitted payload
+    result: Any  # decoded JSON of the result
+    index: int  # completion counter (1-based)
+
+
+#: Policy signature: inspect a completion, return actions (or None).
+Policy = Callable[[CompletedTask, "Steering"], Actions | None]
+
+
+@dataclass
+class SteeringResult:
+    """Campaign summary."""
+
+    completed: list[CompletedTask]
+    n_submitted: int
+    n_canceled: int
+    stopped_by_policy: bool
+
+
+class Steering:
+    """Run a steered campaign against live worker pools."""
+
+    def __init__(
+        self,
+        eqsql: EQSQL,
+        exp_id: str,
+        work_type: int,
+        delay: float = 0.01,
+        timeout: float | None = 120.0,
+    ) -> None:
+        self._eqsql = eqsql
+        self._exp_id = exp_id
+        self._work_type = work_type
+        self._delay = delay
+        self._timeout = timeout
+        self._pending: list[Future] = []
+        self._n_submitted = 0
+        self._n_canceled = 0
+
+    @property
+    def pending(self) -> list[Future]:
+        """Futures not yet completed, in submission order."""
+        return list(self._pending)
+
+    def submit(self, payloads: list[str], priority: int | list[int] = 0) -> list[Future]:
+        """Submit tasks into the campaign (usable before and during)."""
+        futures = self._eqsql.submit_tasks(
+            self._exp_id, self._work_type, payloads, priority=priority
+        )
+        self._pending.extend(futures)
+        self._n_submitted += len(futures)
+        return futures
+
+    def _apply(self, actions: Actions) -> None:
+        if actions.cancel:
+            victims = [f for f in self._pending if f.eq_task_id in set(actions.cancel)]
+            self._n_canceled += cancel_futures(victims)
+            self._pending = [f for f in self._pending if not f.cancelled]
+        if actions.reprioritize is not None:
+            if len(actions.reprioritize) != len(self._pending):
+                raise ValueError(
+                    f"reprioritize needs {len(self._pending)} priorities, "
+                    f"got {len(actions.reprioritize)}"
+                )
+            update_priority(self._pending, actions.reprioritize)
+        if actions.submit:
+            self.submit(actions.submit, priority=actions.submit_priorities)
+
+    def run(self, on_result: Policy, max_results: int | None = None) -> SteeringResult:
+        """Drive the campaign until pending is exhausted, the policy
+        stops it, or ``max_results`` completions arrive."""
+        completed: list[CompletedTask] = []
+        stopped = False
+        while self._pending and not stopped:
+            if max_results is not None and len(completed) >= max_results:
+                break
+            try:
+                got = list(
+                    as_completed(
+                        self._pending, pop=True, n=1,
+                        delay=self._delay, timeout=self._timeout,
+                    )
+                )
+            except TimeoutError_:
+                raise
+            if not got:
+                break  # everything left was canceled
+            future = got[0]
+            _, raw = future.result(timeout=0)
+            row = self._eqsql.task_info(future.eq_task_id)
+            task = CompletedTask(
+                eq_task_id=future.eq_task_id,
+                payload=json_loads(row.json_out),
+                result=json_loads(raw),
+                index=len(completed) + 1,
+            )
+            completed.append(task)
+            actions = on_result(task, self)
+            if actions is not None:
+                self._apply(actions)
+                if actions.stop:
+                    stopped = True
+        if stopped and self._pending:
+            self._n_canceled += cancel_futures(self._pending)
+            self._pending = [f for f in self._pending if not f.cancelled]
+        return SteeringResult(
+            completed=completed,
+            n_submitted=self._n_submitted,
+            n_canceled=self._n_canceled,
+            stopped_by_policy=stopped,
+        )

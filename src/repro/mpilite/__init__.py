@@ -1,0 +1,33 @@
+"""mpilite: a simulated MPI substrate (ranks as threads).
+
+The paper's canonical worker pool is a Swift/T application that
+"essentially distributes work among previously launched workers using
+MPI messages" (§IV-D).  mpilite reproduces the message-passing substrate
+so the pool driver can be written in genuine rank/message style:
+
+- :class:`Communicator` — point-to-point ``send``/``recv`` (+ the
+  nonblocking ``isend``/``irecv`` returning :class:`Request`), tag and
+  source matching with ``ANY_SOURCE``/``ANY_TAG``, and the classic
+  collectives (``barrier``, ``bcast``, ``scatter``, ``gather``,
+  ``allgather``, ``reduce``, ``allreduce``, ``alltoall``).
+- :func:`mpi_run` — launch an SPMD function across N ranks (threads) and
+  collect per-rank return values, like ``mpiexec -n N``.
+
+Messages are pickled on send, so ranks never share mutable state —
+the isolation property real MPI gives — and the collectives are built on
+the point-to-point layer with an internal tag space, as in a real
+implementation.
+"""
+
+from repro.mpilite.comm import ANY_SOURCE, ANY_TAG, Communicator, Status
+from repro.mpilite.launcher import mpi_run
+from repro.mpilite.request import Request
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "Status",
+    "Request",
+    "mpi_run",
+]

@@ -1,0 +1,369 @@
+"""Communicator: point-to-point messaging and collectives.
+
+Each rank runs on its own thread; messages are routed through per-rank
+mailboxes owned by a :class:`_World`.  Payloads are pickled on send and
+unpickled on delivery, so ranks observe value semantics (no shared
+mutable state), the isolation property real MPI provides.
+
+Collectives are implemented over the point-to-point layer using an
+internal tag space and a per-communicator collective epoch: as in MPI,
+all ranks of a communicator must call collectives in the same order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.mpilite.request import Request
+from repro.util.errors import TimeoutError_
+from repro.util.serialization import decode_object, encode_object
+
+#: Wildcard source/tag for receives (mirrors MPI.ANY_SOURCE/ANY_TAG).
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: Default bound on blocking receives; simulated runs that exceed it are
+#: deadlocked, and failing beats hanging the test suite.
+DEFAULT_RECV_TIMEOUT = 60.0
+
+
+class Status:
+    """Delivery metadata for a received message."""
+
+    __slots__ = ("source", "tag")
+
+    def __init__(self, source: int, tag: Any) -> None:
+        self.source = source
+        self.tag = tag
+
+    def __repr__(self) -> str:
+        return f"Status(source={self.source}, tag={self.tag!r})"
+
+
+def _matches(pattern_source: int, pattern_tag: Any, source: int, tag: Any) -> bool:
+    if pattern_source != ANY_SOURCE and pattern_source != source:
+        return False
+    if pattern_tag != ANY_TAG and pattern_tag != tag:
+        return False
+    return True
+
+
+class _Mailbox:
+    """One rank's incoming-message buffer with posted-receive matching."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._pending: deque[tuple[int, Any, bytes]] = deque()
+        self._posted: list[tuple[int, Any, Request]] = []
+
+    def put(self, source: int, tag: Any, data: bytes) -> None:
+        with self._cond:
+            for i, (p_source, p_tag, request) in enumerate(self._posted):
+                if _matches(p_source, p_tag, source, tag):
+                    del self._posted[i]
+                    request._fulfill((decode_object(data), Status(source, tag)))
+                    return
+            self._pending.append((source, tag, data))
+            self._cond.notify_all()
+
+    def _take_pending(self, source: int, tag: Any) -> tuple[int, Any, bytes] | None:
+        for i, (m_source, m_tag, data) in enumerate(self._pending):
+            if _matches(source, tag, m_source, m_tag):
+                del self._pending[i]
+                return (m_source, m_tag, data)
+        return None
+
+    def get(
+        self, source: int, tag: Any, timeout: float | None
+    ) -> tuple[Any, Status]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                found = self._take_pending(source, tag)
+                if found is not None:
+                    m_source, m_tag, data = found
+                    return (decode_object(data), Status(m_source, m_tag))
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError_(
+                        f"recv(source={source}, tag={tag!r}) timed out — "
+                        "likely a deadlock in the rank program"
+                    )
+                self._cond.wait(remaining)
+
+    def post(self, source: int, tag: Any) -> Request:
+        with self._cond:
+            found = self._take_pending(source, tag)
+            if found is not None:
+                m_source, m_tag, data = found
+                return Request.completed((decode_object(data), Status(m_source, m_tag)))
+            request = Request()
+            self._posted.append((source, tag, request))
+            return request
+
+    def probe(self, source: int, tag: Any) -> Status | None:
+        with self._cond:
+            for m_source, m_tag, _ in self._pending:
+                if _matches(source, tag, m_source, m_tag):
+                    return Status(m_source, m_tag)
+            return None
+
+
+class _World:
+    """Shared routing fabric for one SPMD run: mailboxes keyed by
+    (communicator id, rank), created lazily so split/dup communicators
+    allocate their own address space."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._mailboxes: dict[tuple[str, int], _Mailbox] = {}
+
+    def mailbox(self, comm_id: str, rank: int) -> _Mailbox:
+        key = (comm_id, rank)
+        with self._lock:
+            box = self._mailboxes.get(key)
+            if box is None:
+                box = _Mailbox()
+                self._mailboxes[key] = box
+            return box
+
+
+class Communicator:
+    """One rank's view of a communicator (mirrors ``MPI.Comm``)."""
+
+    def __init__(self, world: _World, comm_id: str, rank: int, size: int) -> None:
+        if not 0 <= rank < size:
+            raise ValueError(f"rank {rank} out of range for size {size}")
+        self._world = world
+        self._comm_id = comm_id
+        self._rank = rank
+        self._size = size
+        self._coll_epoch = 0
+
+    # -- rank info -----------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This process's rank within the communicator."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return self._size
+
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self._size:
+            raise ValueError(f"peer rank {peer} out of range [0, {self._size})")
+
+    # -- point-to-point --------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Eager (buffered) send: pickles ``obj`` and enqueues it."""
+        self._check_peer(dest)
+        data = encode_object(obj)
+        self._world.mailbox(self._comm_id, dest).put(self._rank, tag, data)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send; eager, so the request is complete at once."""
+        self.send(obj, dest, tag)
+        return Request.completed(None)
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = DEFAULT_RECV_TIMEOUT,
+        status: Status | None = None,
+    ) -> Any:
+        """Blocking receive; returns the received object.
+
+        Pass a :class:`Status` to capture the actual source/tag of the
+        matched message (mpi4py's ``status`` out-parameter idiom).
+        """
+        obj, delivered = self._world.mailbox(self._comm_id, self._rank).get(
+            source, tag, timeout
+        )
+        if status is not None:
+            status.source = delivered.source
+            status.tag = delivered.tag
+        return obj
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive; ``wait()`` returns the received object."""
+        inner = self._world.mailbox(self._comm_id, self._rank).post(source, tag)
+
+        # Wrap so wait()/test() yield just the payload, like mpi4py.
+        request = Request()
+
+        def adapt() -> None:
+            payload, _status = inner.wait(None)
+            request._fulfill(payload)
+
+        done, value = inner.test()
+        if done:
+            request._fulfill(value[0])
+        else:
+            threading.Thread(target=adapt, daemon=True).start()
+        return request
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status | None:
+        """Nonblocking probe: Status of a matching pending message, or None."""
+        return self._world.mailbox(self._comm_id, self._rank).probe(source, tag)
+
+    def sendrecv(
+        self,
+        sendobj: Any,
+        dest: int,
+        sendtag: int = 0,
+        source: int = ANY_SOURCE,
+        recvtag: int = ANY_TAG,
+        timeout: float | None = DEFAULT_RECV_TIMEOUT,
+    ) -> Any:
+        """Combined send + receive (deadlock-free pairwise exchange).
+
+        Eager sends make the naive send-then-recv ordering safe here,
+        but the combined call mirrors mpi4py's ``sendrecv`` so SPMD code
+        ports directly.
+        """
+        self.send(sendobj, dest, sendtag)
+        return self.recv(source=source, tag=recvtag, timeout=timeout)
+
+    # -- collectives --------------------------------------------------------------
+
+    def _coll_tag(self, name: str) -> tuple[str, str, int]:
+        tag = ("__coll", name, self._coll_epoch)
+        self._coll_epoch += 1
+        return tag
+
+    def _coll_send(self, obj: Any, dest: int, tag: Any) -> None:
+        data = encode_object(obj)
+        self._world.mailbox(self._comm_id, dest).put(self._rank, tag, data)
+
+    def _coll_recv(self, source: int, tag: Any) -> Any:
+        obj, _ = self._world.mailbox(self._comm_id, self._rank).get(
+            source, tag, DEFAULT_RECV_TIMEOUT
+        )
+        return obj
+
+    def barrier(self) -> None:
+        """Synchronize all ranks (gather-then-release through rank 0)."""
+        tag = self._coll_tag("barrier")
+        if self._rank == 0:
+            for source in range(1, self._size):
+                self._coll_recv(source, tag)
+            for dest in range(1, self._size):
+                self._coll_send(None, dest, tag)
+        else:
+            self._coll_send(None, 0, tag)
+            self._coll_recv(0, tag)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast from ``root``; every rank returns the object."""
+        self._check_peer(root)
+        tag = self._coll_tag("bcast")
+        if self._rank == root:
+            for dest in range(self._size):
+                if dest != root:
+                    self._coll_send(obj, dest, tag)
+            return obj
+        return self._coll_recv(root, tag)
+
+    def scatter(self, sendobj: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter one element per rank from ``root``'s sequence."""
+        self._check_peer(root)
+        tag = self._coll_tag("scatter")
+        if self._rank == root:
+            if sendobj is None or len(sendobj) != self._size:
+                raise ValueError(
+                    f"scatter needs exactly {self._size} elements at the root"
+                )
+            for dest in range(self._size):
+                if dest != root:
+                    self._coll_send(sendobj[dest], dest, tag)
+            return decode_object(encode_object(sendobj[root]))
+        return self._coll_recv(root, tag)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather one object per rank at ``root`` (rank order)."""
+        self._check_peer(root)
+        tag = self._coll_tag("gather")
+        if self._rank == root:
+            out: list[Any] = []
+            for source in range(self._size):
+                if source == root:
+                    out.append(decode_object(encode_object(obj)))
+                else:
+                    out.append(self._coll_recv(source, tag))
+            return out
+        self._coll_send(obj, root, tag)
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather at rank 0, then broadcast the list to everyone."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(
+        self, obj: Any, op: Callable[[Any, Any], Any], root: int = 0
+    ) -> Any | None:
+        """Reduce rank contributions with ``op`` at ``root``.
+
+        ``op`` must be associative; values are folded in rank order.
+        """
+        gathered = self.gather(obj, root=root)
+        if gathered is None:
+            return None
+        result = gathered[0]
+        for value in gathered[1:]:
+            result = op(result, value)
+        return result
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any]) -> Any:
+        """Reduce at rank 0 then broadcast the result."""
+        reduced = self.reduce(obj, op, root=0)
+        return self.bcast(reduced, root=0)
+
+    def alltoall(self, sendobjs: Sequence[Any]) -> list[Any]:
+        """Personalized all-to-all: element j of this rank's sequence
+        goes to rank j; returns the objects received from each rank."""
+        if len(sendobjs) != self._size:
+            raise ValueError(f"alltoall needs exactly {self._size} elements")
+        tag = self._coll_tag("alltoall")
+        for dest in range(self._size):
+            if dest != self._rank:
+                self._coll_send(sendobjs[dest], dest, tag)
+        out: list[Any] = []
+        for source in range(self._size):
+            if source == self._rank:
+                out.append(decode_object(encode_object(sendobjs[self._rank])))
+            else:
+                out.append(self._coll_recv(source, tag))
+        return out
+
+    # -- communicator management ------------------------------------------------------
+
+    def split(self, color: int, key: int | None = None) -> "Communicator":
+        """Partition the communicator by ``color``; ranks within each new
+        communicator are ordered by (key, old rank), as in MPI_Comm_split."""
+        key = self._rank if key is None else key
+        epoch = self._coll_epoch  # identical on all ranks at this call
+        triples = self.allgather((color, key, self._rank))
+        members = sorted(
+            (k, r) for c, k, r in triples if c == color
+        )
+        ranks = [r for _, r in members]
+        new_rank = ranks.index(self._rank)
+        new_id = f"{self._comm_id}/split@{epoch}:{color}"
+        return Communicator(self._world, new_id, new_rank, len(ranks))
+
+    def dup(self) -> "Communicator":
+        """A new communicator with the same group (separate tag space)."""
+        epoch = self._coll_epoch
+        self.barrier()  # keep epochs aligned, as dup is collective
+        new_id = f"{self._comm_id}/dup@{epoch}"
+        return Communicator(self._world, new_id, self._rank, self._size)

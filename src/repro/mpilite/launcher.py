@@ -1,0 +1,74 @@
+"""SPMD launcher: ``mpi_run`` is mpilite's ``mpiexec -n N``.
+
+Runs one Python callable on N rank threads, each handed its
+:class:`Communicator`, and collects per-rank return values.  A rank that
+raises aborts the whole run (like an MPI abort): the first exception is
+re-raised in the caller after all ranks have been joined.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from typing import Any
+
+from repro.mpilite.comm import Communicator, _World
+from repro.util.errors import ReproError
+
+
+class MpiAbortError(ReproError):
+    """A rank raised; carries the failing rank and original exception."""
+
+    def __init__(self, rank: int, original: BaseException) -> None:
+        super().__init__(f"rank {rank} failed: {original!r}")
+        self.rank = rank
+        self.original = original
+
+
+def mpi_run(
+    size: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float | None = 120.0,
+    **kwargs: Any,
+) -> list[Any]:
+    """Execute ``fn(comm, *args, **kwargs)`` on ``size`` rank threads.
+
+    Returns the per-rank return values in rank order.  Raises
+    :class:`MpiAbortError` wrapping the lowest-rank failure if any rank
+    raised, and :class:`ReproError` if ranks are still running at
+    ``timeout`` (a deadlocked program).
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    world = _World()
+    results: list[Any] = [None] * size
+    errors: list[tuple[int, BaseException]] = []
+    lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        comm = Communicator(world, "world", rank, size)
+        try:
+            value = fn(comm, *args, **kwargs)
+            with lock:
+                results[rank] = value
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            with lock:
+                errors.append((rank, exc))
+
+    threads = [
+        threading.Thread(target=runner, args=(rank,), name=f"mpilite-rank-{rank}", daemon=True)
+        for rank in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+    if any(t.is_alive() for t in threads):
+        raise ReproError(
+            f"mpi_run: ranks still running after {timeout}s — deadlock suspected"
+        )
+    if errors:
+        rank, original = min(errors, key=lambda e: e[0])
+        raise MpiAbortError(rank, original)
+    return results

@@ -1,0 +1,81 @@
+"""Nonblocking communication requests.
+
+Mirrors the mpi4py ``Request`` surface: ``test()`` polls for completion,
+``wait()`` blocks.  Send requests complete immediately (mpilite sends
+are eager/buffered); receive requests complete when a matching message
+arrives.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.util.errors import TimeoutError_
+
+_UNSET = object()
+
+
+class Request:
+    """Handle for a nonblocking send or receive."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Any = _UNSET
+
+    @classmethod
+    def completed(cls, value: Any = None) -> "Request":
+        """A request that is already complete (eager sends)."""
+        request = cls()
+        request._fulfill(value)
+        return request
+
+    def _fulfill(self, value: Any) -> None:
+        self._value = value
+        self._event.set()
+
+    def test(self) -> tuple[bool, Any]:
+        """(done, value) without blocking — mpi4py's ``Request.test``."""
+        if self._event.is_set():
+            return (True, self._value)
+        return (False, None)
+
+    def wait(self, timeout: float | None = None) -> Any:
+        """Block until complete; returns the received object (None for
+        send requests).  Raises TimeoutError_ on expiry."""
+        if not self._event.wait(timeout):
+            raise TimeoutError_("request did not complete within timeout")
+        return self._value
+
+    @staticmethod
+    def waitall(requests: list["Request"], timeout: float | None = None) -> list[Any]:
+        """Wait for every request; values in request order
+        (mpi4py's ``Request.waitall``)."""
+        import time
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        values = []
+        for request in requests:
+            remaining = None if deadline is None else max(deadline - time.monotonic(), 0)
+            values.append(request.wait(remaining))
+        return values
+
+    @staticmethod
+    def waitany(
+        requests: list["Request"], timeout: float | None = None, poll: float = 0.001
+    ) -> tuple[int, Any]:
+        """Wait until any request completes; returns (index, value)
+        (mpi4py's ``Request.waitany``)."""
+        import time
+
+        if not requests:
+            raise ValueError("waitany needs at least one request")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            for i, request in enumerate(requests):
+                done, value = request.test()
+                if done:
+                    return (i, value)
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError_("no request completed within timeout")
+            time.sleep(poll)

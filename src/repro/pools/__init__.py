@@ -1,0 +1,41 @@
+"""Heterogeneous worker pools (paper §IV-D).
+
+A worker pool queries the EMEWS DB output queue for tasks of its work
+type — using the batch/threshold discipline of
+:class:`repro.core.fetch.FetchPolicy` — executes them, and reports
+results to the input queue.  Two drivers share that logic:
+
+- :class:`ThreadedWorkerPool` — workers are threads (the pilot-job
+  worker set on one node).
+- :func:`run_mpi_pool` — a Swift/T-style driver over
+  :mod:`repro.mpilite`: rank 0 fetches and scatters tasks to worker
+  ranks with MPI messages, mirroring the paper's canonical pool.
+
+Task application types mirror Swift/T's: in-process Python callables,
+command-line apps (``app`` functions), and parallel ``@par`` tasks that
+themselves span mpilite ranks.
+"""
+
+from repro.pools.config import PoolConfig
+from repro.pools.handlers import (
+    AppTaskHandler,
+    HandlerRegistry,
+    ParTaskHandler,
+    PythonTaskHandler,
+    TaskExecutionError,
+    TaskHandler,
+)
+from repro.pools.pool import ThreadedWorkerPool
+from repro.pools.mpi_pool import run_mpi_pool
+
+__all__ = [
+    "PoolConfig",
+    "TaskHandler",
+    "PythonTaskHandler",
+    "AppTaskHandler",
+    "ParTaskHandler",
+    "HandlerRegistry",
+    "TaskExecutionError",
+    "ThreadedWorkerPool",
+    "run_mpi_pool",
+]

@@ -1,0 +1,43 @@
+"""Worker pool configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.fetch import FetchPolicy
+from repro.util.ids import short_id
+
+
+@dataclass
+class PoolConfig:
+    """Configuration for a worker pool.
+
+    ``batch_size`` defaults to ``n_workers`` (the Fig 3 middle-panel
+    regime: every owned task is immediately runnable); set it above
+    ``n_workers`` to oversubscribe (top panel), and raise ``threshold``
+    to delay fetching until a larger deficit accumulates (bottom panel).
+    """
+
+    work_type: int
+    n_workers: int = 4
+    batch_size: int | None = None
+    threshold: int = 1
+    name: str = field(default_factory=lambda: short_id("pool"))
+    #: Sleep between fetch attempts when the policy says not to fetch
+    #: or the queue is empty.
+    poll_delay: float = 0.02
+    #: Timeout for each individual batch query against the DB.
+    query_timeout: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.batch_size is None:
+            self.batch_size = self.n_workers
+        # Validates batch/threshold bounds.
+        self.policy()
+
+    def policy(self) -> FetchPolicy:
+        """The pool's fetch policy object."""
+        assert self.batch_size is not None
+        return FetchPolicy(batch_size=self.batch_size, threshold=self.threshold)

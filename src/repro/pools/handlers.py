@@ -1,0 +1,140 @@
+"""Task application handlers — the work a pool's workers run.
+
+Swift/T pools "can run a variety of task application types": code passed
+to the Python/R/Julia/Tcl interpreters, command-line programs via the
+``app`` function type, and MPI-parallel tasks via ``@par`` (§IV-D).
+Each gets a handler class here; a :class:`HandlerRegistry` maps work
+types to handlers for pools serving several task kinds.
+
+A handler maps a payload string (typically JSON) to a result string.
+Failures raise :class:`TaskExecutionError`; the pool reports a JSON
+error object so the ME algorithm sees the failure rather than a hang.
+"""
+
+from __future__ import annotations
+
+import shlex
+import subprocess
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+from typing import Any
+
+from repro.util.errors import ReproError
+from repro.util.serialization import json_dumps, json_loads
+
+
+class TaskExecutionError(ReproError):
+    """A task application failed; message carries the cause."""
+
+
+class TaskHandler(ABC):
+    """Maps one task payload to one result payload."""
+
+    @abstractmethod
+    def handle(self, payload: str) -> str:
+        """Execute the task; returns the result string."""
+
+    def __call__(self, payload: str) -> str:
+        return self.handle(payload)
+
+
+class PythonTaskHandler(TaskHandler):
+    """Run an in-process Python callable.
+
+    With ``json_io=True`` (default) the payload is JSON-decoded before
+    the call and the return value JSON-encoded after — the paper's
+    typical payload convention.  With ``json_io=False`` the callable
+    receives and must return raw strings.
+    """
+
+    def __init__(self, fn: Callable[[Any], Any], json_io: bool = True) -> None:
+        self._fn = fn
+        self._json_io = json_io
+
+    def handle(self, payload: str) -> str:
+        try:
+            arg: Any = json_loads(payload) if self._json_io else payload
+            result = self._fn(arg)
+            return json_dumps(result) if self._json_io else str(result)
+        except Exception as exc:
+            raise TaskExecutionError(f"python task failed: {exc}") from exc
+
+
+class AppTaskHandler(TaskHandler):
+    """Run a command-line program (Swift/T's ``app`` function type).
+
+    The command is a template whose ``{payload}`` placeholder is
+    replaced (shell-quoted) with the task payload; the program's stdout
+    (stripped) is the result.  Non-zero exit raises, carrying stderr.
+    """
+
+    def __init__(self, command: str, timeout: float | None = 60.0) -> None:
+        if "{payload}" not in command:
+            raise ValueError("app command must contain a {payload} placeholder")
+        self._command = command
+        self._timeout = timeout
+
+    def handle(self, payload: str) -> str:
+        command = self._command.replace("{payload}", shlex.quote(payload))
+        try:
+            proc = subprocess.run(
+                command,
+                shell=True,
+                capture_output=True,
+                text=True,
+                timeout=self._timeout,
+            )
+        except subprocess.TimeoutExpired as exc:
+            raise TaskExecutionError(f"app task timed out after {self._timeout}s") from exc
+        if proc.returncode != 0:
+            raise TaskExecutionError(
+                f"app task exited {proc.returncode}: {proc.stderr.strip()[:500]}"
+            )
+        return proc.stdout.strip()
+
+
+class ParTaskHandler(TaskHandler):
+    """Run an MPI-parallel task (Swift/T's ``@par`` keyword).
+
+    ``fn(comm, payload_obj)`` executes on ``procs`` mpilite ranks; the
+    rank-0 return value (JSON-encoded) is the task result.
+    """
+
+    def __init__(self, fn: Callable[..., Any], procs: int) -> None:
+        if procs < 1:
+            raise ValueError(f"procs must be >= 1, got {procs}")
+        self._fn = fn
+        self._procs = procs
+
+    def handle(self, payload: str) -> str:
+        from repro.mpilite import mpi_run
+
+        try:
+            arg = json_loads(payload)
+            results = mpi_run(self._procs, self._fn, arg)
+            return json_dumps(results[0])
+        except TaskExecutionError:
+            raise
+        except Exception as exc:
+            raise TaskExecutionError(f"@par task failed: {exc}") from exc
+
+
+class HandlerRegistry:
+    """Maps work types to handlers for multi-type deployments."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[int, TaskHandler] = {}
+
+    def register(self, work_type: int, handler: TaskHandler) -> None:
+        if work_type in self._handlers:
+            raise ValueError(f"work type {work_type} already registered")
+        self._handlers[work_type] = handler
+
+    def handler_for(self, work_type: int) -> TaskHandler:
+        try:
+            return self._handlers[work_type]
+        except KeyError:
+            raise KeyError(f"no handler registered for work type {work_type}") from None
+
+    def work_types(self) -> list[int]:
+        return sorted(self._handlers)

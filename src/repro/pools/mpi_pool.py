@@ -1,0 +1,176 @@
+"""Swift/T-style MPI worker pool over mpilite.
+
+The paper's canonical pool "distributes work among previously launched
+workers using MPI messages".  Here rank 0 plays the Swift/T engine: it
+queries the EMEWS DB with the batch/threshold policy, sends tasks to
+idle worker ranks, receives results, and reports them to the DB.  Ranks
+1..N-1 are workers: receive a task, run the handler, send the result
+back.  With ``size`` ranks the pool has ``size - 1`` workers.
+
+The driver returns per-pool statistics from rank 0, and stops when it
+pops an ``EQ_STOP`` sentinel task (reporting the sentinel so the
+submitter's future resolves), mirroring the threaded pool's shutdown
+convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constants import EQ_ABORT, EQ_STOP
+from repro.core.eqsql import EQSQL
+from repro.mpilite import ANY_SOURCE, Communicator, Status, mpi_run
+from repro.pools.config import PoolConfig
+from repro.pools.handlers import TaskExecutionError, TaskHandler
+from repro.telemetry.events import EventKind, TraceCollector
+from repro.util.errors import TimeoutError_
+from repro.util.serialization import json_dumps
+
+_TAG_TASK = 1
+_TAG_RESULT = 2
+_TAG_SHUTDOWN = 3
+
+
+@dataclass
+class MpiPoolStats:
+    """Rank-0 summary of one pool run."""
+
+    tasks_completed: int = 0
+    tasks_failed: int = 0
+
+
+def _worker_rank(comm: Communicator, handler: TaskHandler) -> None:
+    """Ranks 1..N-1: execute tasks until shutdown."""
+    status = Status(-1, -1)
+    while True:
+        message = comm.recv(source=0, timeout=None, status=status)
+        if status.tag == _TAG_SHUTDOWN:
+            return
+        eq_task_id, payload = message
+        try:
+            result = handler.handle(payload)
+            failed = False
+        except TaskExecutionError as exc:
+            result = json_dumps({"error": str(exc)})
+            failed = True
+        comm.send((eq_task_id, result, failed), dest=0, tag=_TAG_RESULT)
+
+
+def _engine_rank(
+    comm: Communicator,
+    eqsql: EQSQL,
+    config: PoolConfig,
+    trace: TraceCollector | None,
+) -> MpiPoolStats:
+    """Rank 0: fetch, distribute, collect, report."""
+    stats = MpiPoolStats()
+    policy = config.policy()
+    clock = eqsql.clock
+    idle = list(range(1, comm.size))
+    busy: dict[int, int] = {}  # worker rank -> eq_task_id
+    backlog: list[tuple[int, str]] = []  # fetched but no idle worker
+    stopping = False
+    status = Status(-1, -1)
+
+    if trace is not None:
+        trace.record(EventKind.POOL_START, clock.now(), source=config.name)
+
+    while True:
+        owned = len(busy) + len(backlog)
+        # Fetch when the policy says to and we are not stopping.
+        if not stopping:
+            want = policy.to_fetch(owned)
+            if want > 0:
+                messages = eqsql.query_task_batch(
+                    config.work_type,
+                    batch_size=config.batch_size or config.n_workers,
+                    threshold=config.threshold,
+                    owned=owned,
+                    worker_pool=config.name,
+                    delay=config.poll_delay,
+                    timeout=config.query_timeout,
+                )
+                if messages and trace is not None:
+                    trace.record(
+                        EventKind.FETCH,
+                        clock.now(),
+                        source=config.name,
+                        detail=str(len(messages)),
+                    )
+                for message in messages:
+                    if message["payload"] in (EQ_STOP, EQ_ABORT):
+                        eqsql.report_task(
+                            message["eq_task_id"], config.work_type, message["payload"]
+                        )
+                        stopping = True
+                    else:
+                        backlog.append((message["eq_task_id"], message["payload"]))
+
+        # Dispatch backlog to idle workers.
+        while backlog and idle:
+            worker = idle.pop()
+            eq_task_id, payload = backlog.pop(0)
+            busy[worker] = eq_task_id
+            if trace is not None:
+                trace.task_start(clock.now(), eq_task_id, source=config.name)
+            comm.send((eq_task_id, payload), dest=worker, tag=_TAG_TASK)
+
+        # Collect one result if any worker is busy.  The receive has a
+        # short timeout so the engine keeps refetching (and can keep an
+        # oversubscribed backlog warm) while workers run.
+        if busy:
+            try:
+                eq_task_id, result, failed = comm.recv(
+                    source=ANY_SOURCE,
+                    tag=_TAG_RESULT,
+                    timeout=config.poll_delay,
+                    status=status,
+                )
+            except TimeoutError_:
+                continue
+            worker = status.source
+            del busy[worker]
+            idle.append(worker)
+            eqsql.report_task(eq_task_id, config.work_type, result)
+            if trace is not None:
+                trace.task_stop(clock.now(), eq_task_id, source=config.name)
+            if failed:
+                stats.tasks_failed += 1
+            else:
+                stats.tasks_completed += 1
+        elif stopping and not backlog:
+            break
+        elif not backlog:
+            clock.sleep(config.poll_delay)
+
+    for worker in range(1, comm.size):
+        comm.send(None, dest=worker, tag=_TAG_SHUTDOWN)
+    if trace is not None:
+        trace.record(EventKind.POOL_STOP, clock.now(), source=config.name)
+    return stats
+
+
+def run_mpi_pool(
+    eqsql: EQSQL,
+    handler: TaskHandler,
+    config: PoolConfig,
+    trace: TraceCollector | None = None,
+    timeout: float = 300.0,
+) -> MpiPoolStats:
+    """Run a Swift/T-style pool across ``config.n_workers + 1`` ranks.
+
+    Blocks until the pool pops an EQ_STOP sentinel and drains; returns
+    rank 0's statistics.
+    """
+    size = config.n_workers + 1
+
+    def program(comm: Communicator):
+        if comm.rank == 0:
+            return _engine_rank(comm, eqsql, config, trace)
+        _worker_rank(comm, handler)
+        return None
+
+    results = mpi_run(size, program, timeout=timeout)
+    stats = results[0]
+    assert isinstance(stats, MpiPoolStats)
+    return stats

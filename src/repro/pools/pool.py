@@ -1,0 +1,218 @@
+"""Threaded worker pool.
+
+One fetcher thread applies the batch/threshold policy against the EMEWS
+DB output queue; N worker threads execute claimed tasks and report
+results to the input queue.  The owned-task count (claimed but not yet
+completed) drives the fetch policy exactly as in §IV-D, so this pool
+reproduces the utilization regimes of Figure 3 in real time.
+
+Shutdown follows the EQ_STOP convention: a task whose payload is the
+``EQ_STOP`` sentinel tells the pool to stop fetching, drain its owned
+tasks, and exit; the sentinel task itself is reported back (payload
+``EQ_STOP``) so the submitter's future completes.  ``stop()`` forces the
+same path locally.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any
+
+from repro.core.constants import EQ_ABORT, EQ_STOP
+from repro.core.eqsql import EQSQL
+from repro.pools.config import PoolConfig
+from repro.pools.handlers import TaskExecutionError, TaskHandler
+from repro.telemetry.events import EventKind, TraceCollector
+from repro.util.serialization import json_dumps
+
+
+class ThreadedWorkerPool:
+    """A pilot-job worker pool running on threads."""
+
+    def __init__(
+        self,
+        eqsql: EQSQL,
+        handler: TaskHandler,
+        config: PoolConfig,
+        trace: TraceCollector | None = None,
+    ) -> None:
+        self._eqsql = eqsql
+        self._handler = handler
+        self._config = config
+        self._trace = trace
+        self._policy = config.policy()
+
+        self._owned = 0
+        self._owned_lock = threading.Lock()
+        self._local: "queue.Queue[dict[str, Any] | None]" = queue.Queue()
+        self._stop_fetching = threading.Event()
+        self._abort = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._started = False
+
+        self._stats_lock = threading.Lock()
+        self.tasks_completed = 0
+        self.tasks_failed = 0
+
+    @property
+    def name(self) -> str:
+        return self._config.name
+
+    @property
+    def config(self) -> PoolConfig:
+        return self._config
+
+    def owned(self) -> int:
+        """Tasks claimed from the DB but not yet completed."""
+        with self._owned_lock:
+            return self._owned
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "ThreadedWorkerPool":
+        """Launch the fetcher and worker threads."""
+        if self._started:
+            raise RuntimeError("pool already started")
+        self._started = True
+        if self._trace is not None:
+            self._trace.record(
+                EventKind.POOL_START, self._eqsql.clock.now(), source=self.name
+            )
+        fetcher = threading.Thread(
+            target=self._fetch_loop, name=f"{self.name}-fetcher", daemon=True
+        )
+        workers = [
+            threading.Thread(
+                target=self._work_loop, name=f"{self.name}-worker-{i}", daemon=True
+            )
+            for i in range(self._config.n_workers)
+        ]
+        self._threads = [fetcher, *workers]
+        for t in self._threads:
+            t.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the pool.
+
+        ``drain=True`` lets owned tasks finish (EQ_STOP semantics);
+        ``drain=False`` abandons queued local work (EQ_ABORT semantics —
+        abandoned tasks stay RUNNING in the DB for fault-tolerance
+        tooling to re-queue).
+        """
+        self._stop_fetching.set()
+        if not drain:
+            self._abort.set()
+        self.join(timeout)
+
+    def join(self, timeout: float = 30.0) -> None:
+        """Wait for the pool's threads to exit."""
+        for t in self._threads:
+            t.join(timeout)
+        if self._trace is not None and self._started:
+            self._trace.record(
+                EventKind.POOL_STOP, self._eqsql.clock.now(), source=self.name
+            )
+            self._started = False
+
+    def is_alive(self) -> bool:
+        return any(t.is_alive() for t in self._threads)
+
+    # -- fetcher -----------------------------------------------------------------
+
+    def _fetch_loop(self) -> None:
+        config = self._config
+        clock = self._eqsql.clock
+        while not self._stop_fetching.is_set():
+            with self._owned_lock:
+                owned = self._owned
+            want = self._policy.to_fetch(owned)
+            if want == 0:
+                clock.sleep(config.poll_delay)
+                continue
+            messages = self._eqsql.query_task_batch(
+                config.work_type,
+                batch_size=config.batch_size or config.n_workers,
+                threshold=config.threshold,
+                owned=owned,
+                worker_pool=config.name,
+                delay=config.poll_delay,
+                timeout=config.query_timeout,
+            )
+            if not messages:
+                clock.sleep(config.poll_delay)
+                continue
+            if self._trace is not None:
+                self._trace.record(
+                    EventKind.FETCH,
+                    clock.now(),
+                    source=self.name,
+                    detail=str(len(messages)),
+                )
+            for message in messages:
+                if message["payload"] in (EQ_STOP, EQ_ABORT):
+                    # Report the sentinel so the submitter's future
+                    # resolves, then begin shutdown.
+                    self._eqsql.report_task(
+                        message["eq_task_id"], config.work_type, message["payload"]
+                    )
+                    self._stop_fetching.set()
+                    if message["payload"] == EQ_ABORT:
+                        self._abort.set()
+                    continue
+                with self._owned_lock:
+                    self._owned += 1
+                self._local.put(message)
+        # Drain: wait for owned tasks to complete, then release workers.
+        while not self._abort.is_set():
+            with self._owned_lock:
+                if self._owned == 0:
+                    break
+            clock.sleep(config.poll_delay)
+        for _ in range(config.n_workers):
+            self._local.put(None)
+
+    # -- workers --------------------------------------------------------------------
+
+    def _work_loop(self) -> None:
+        config = self._config
+        clock = self._eqsql.clock
+        while True:
+            if self._abort.is_set():
+                return
+            try:
+                message = self._local.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if message is None:
+                return
+            eq_task_id = message["eq_task_id"]
+            if self._trace is not None:
+                self._trace.task_start(clock.now(), eq_task_id, source=self.name)
+            try:
+                result = self._handler.handle(message["payload"])
+                failed = False
+            except TaskExecutionError as exc:
+                result = json_dumps({"error": str(exc)})
+                failed = True
+            try:
+                self._eqsql.report_task(eq_task_id, config.work_type, result)
+            finally:
+                if self._trace is not None:
+                    self._trace.task_stop(clock.now(), eq_task_id, source=self.name)
+                with self._owned_lock:
+                    self._owned -= 1
+                with self._stats_lock:
+                    if failed:
+                        self.tasks_failed += 1
+                    else:
+                        self.tasks_completed += 1
+
+    # -- context manager ----------------------------------------------------------------
+
+    def __enter__(self) -> "ThreadedWorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

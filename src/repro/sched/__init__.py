@@ -1,0 +1,28 @@
+"""Cluster scheduler substrate (Slurm/PBS stand-in).
+
+Worker pools in the paper run as *pilot jobs* submitted to HPC batch
+schedulers; Figure 4 explicitly notes pools "do not immediately start
+consuming tasks ... due to delays between submitting a worker pool job
+to Bebop and it actually beginning".  This package supplies that
+behaviour: a :class:`Cluster` of nodes, a :class:`Scheduler` running
+FIFO dispatch with EASY backfill, a pluggable queue-delay model for
+multi-user contention, and walltime enforcement.
+
+The real-time scheduler here drives examples and the fabric's
+:class:`~repro.fabric.providers.SchedulerProvider`; the discrete-event
+reproduction of Figure 4 uses the same queue-delay model under virtual
+time (:mod:`repro.sim`).
+"""
+
+from repro.sched.cluster import Cluster, ClusterSpec
+from repro.sched.job import Job, JobState
+from repro.sched.scheduler import QueueDelayModel, Scheduler
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "Job",
+    "JobState",
+    "Scheduler",
+    "QueueDelayModel",
+]

@@ -1,0 +1,69 @@
+"""Cluster resource model."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of a cluster partition.
+
+    Mirrors the paper's testbed at whatever scale an example needs,
+    e.g. ``ClusterSpec("bebop", n_nodes=3, cores_per_node=36)`` — Fig 3
+    runs one pool on "a single 36 core compute node on Bebop".
+    """
+
+    name: str
+    n_nodes: int
+    cores_per_node: int = 36
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.cores_per_node < 1:
+            raise ValueError("cores_per_node must be >= 1")
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_nodes * self.cores_per_node
+
+
+class Cluster:
+    """Node-count accounting for a cluster (thread-safe)."""
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self._lock = threading.Lock()
+        self._free = spec.n_nodes
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def free_nodes(self) -> int:
+        with self._lock:
+            return self._free
+
+    def try_allocate(self, nodes: int) -> bool:
+        """Claim ``nodes`` nodes if available; False otherwise."""
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if nodes > self.spec.n_nodes:
+            raise ValueError(
+                f"job requests {nodes} nodes; cluster {self.name!r} has "
+                f"{self.spec.n_nodes}"
+            )
+        with self._lock:
+            if self._free >= nodes:
+                self._free -= nodes
+                return True
+            return False
+
+    def release(self, nodes: int) -> None:
+        """Return nodes to the free pool."""
+        with self._lock:
+            if self._free + nodes > self.spec.n_nodes:
+                raise ValueError("releasing more nodes than were allocated")
+            self._free += nodes

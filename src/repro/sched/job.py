@@ -1,0 +1,57 @@
+"""Batch jobs."""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class JobState(enum.Enum):
+    """Batch job lifecycle."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    TIMEOUT = "timeout"
+
+    def is_terminal(self) -> bool:
+        return self not in (JobState.PENDING, JobState.RUNNING)
+
+
+@dataclass
+class Job:
+    """One batch job.
+
+    ``fn`` is the pilot-job body: called as ``fn()`` when the scheduler
+    starts the job.  ``walltime`` is the requested limit in seconds —
+    used both for backfill planning and for timeout enforcement.
+    """
+
+    job_id: int
+    name: str
+    nodes: int
+    walltime: float
+    fn: Callable[[], Any] | None = None
+    submit_time: float = 0.0
+    eligible_time: float = 0.0  # submit_time + queue-delay-model wait
+    start_time: float | None = None
+    end_time: float | None = None
+    state: JobState = JobState.PENDING
+    result: Any = None
+    error: str | None = None
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def queue_wait(self) -> float | None:
+        """Seconds from submission to start (the Fig 4 pool start lag)."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._done.wait(timeout)

@@ -1,0 +1,224 @@
+"""PSI/J-style portable job interaction layer (paper §VII future work).
+
+"...expand the funcX capabilities for more robust interactions with HPC
+schedulers, including active monitoring and termination of worker pools,
+through the PSI/J library."
+
+PSI/J's contribution is a *portable* job API over heterogeneous batch
+systems: one :class:`JobSpec`, one :class:`JobExecutor` interface,
+status callbacks instead of polling, and uniform cancel/terminate.  This
+module provides that layer over :class:`repro.sched.Scheduler` — and,
+because the interface is the abstraction, over anything else a deployer
+plugs in:
+
+- :class:`JobSpec` — scheduler-agnostic resource request;
+- :class:`JobHandle` — live status, attach callbacks, wait, cancel;
+- :class:`LocalSchedulerExecutor` — the binding to this repo's cluster
+  scheduler, including the active monitoring thread that fires
+  callbacks on every state transition;
+- :func:`managed_pool_job` — the paper's use case: launch a worker pool
+  as a monitored job and terminate it by name.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sched.job import Job, JobState
+from repro.sched.scheduler import Scheduler
+from repro.util.errors import InvalidStateError, NotFoundError
+
+#: Callback signature: (handle, new_state).
+StatusCallback = Callable[["JobHandle", JobState], None]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Portable batch-job request (the PSI/J ``JobSpec`` shape)."""
+
+    name: str = "job"
+    nodes: int = 1
+    walltime: float = 3600.0
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if self.walltime <= 0:
+            raise ValueError("walltime must be positive")
+
+
+class JobHandle:
+    """A submitted job with active status monitoring."""
+
+    def __init__(self, spec: JobSpec, native: Job, executor: "LocalSchedulerExecutor") -> None:
+        self.spec = spec
+        self._native = native
+        self._executor = executor
+        self._lock = threading.Lock()
+        self._callbacks: list[StatusCallback] = []
+        self._last_state = native.state
+
+    @property
+    def job_id(self) -> int:
+        """The native scheduler's job id."""
+        return self._native.job_id
+
+    @property
+    def state(self) -> JobState:
+        return self._native.state
+
+    @property
+    def native(self) -> Job:
+        """The underlying scheduler job (queue wait, result, error)."""
+        return self._native
+
+    def on_status(self, callback: StatusCallback) -> None:
+        """Register a callback fired on every state transition.
+
+        If the job already changed state, the callback fires immediately
+        with the current state (no transitions are missable).
+        """
+        fire_now = False
+        with self._lock:
+            self._callbacks.append(callback)
+            if self._native.state != JobState.PENDING:
+                fire_now = True
+        if fire_now:
+            callback(self, self._native.state)
+
+    def _notify(self, state: JobState) -> None:
+        with self._lock:
+            if state == self._last_state:
+                return
+            self._last_state = state
+            callbacks = list(self._callbacks)
+        for callback in callbacks:
+            callback(self, state)
+
+    def wait(self, timeout: float | None = None) -> JobState:
+        """Block until terminal; returns the final state."""
+        if not self._native.wait(timeout):
+            raise TimeoutError(f"job {self.job_id} not terminal after {timeout}s")
+        return self._native.state
+
+    def cancel(self) -> bool:
+        """Cancel if still pending (uniform cancel semantics)."""
+        return self._executor.cancel(self)
+
+
+class LocalSchedulerExecutor:
+    """PSI/J executor bound to a :class:`repro.sched.Scheduler`.
+
+    A monitor thread watches every submitted job and fires status
+    callbacks on transitions — the "active monitoring" capability the
+    paper plans to gain from PSI/J.
+    """
+
+    def __init__(self, scheduler: Scheduler, poll: float = 0.01) -> None:
+        self._scheduler = scheduler
+        self._poll = poll
+        self._lock = threading.Lock()
+        self._handles: dict[int, JobHandle] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "LocalSchedulerExecutor":
+        if self._thread is not None:
+            raise InvalidStateError("executor already started")
+        self._thread = threading.Thread(
+            target=self._monitor, name="psij-monitor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "LocalSchedulerExecutor":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    def submit(self, spec: JobSpec, fn: Callable[[], Any]) -> JobHandle:
+        """Submit ``fn`` under ``spec``; returns a monitored handle."""
+        native = self._scheduler.submit(
+            fn, nodes=spec.nodes, walltime=spec.walltime, name=spec.name
+        )
+        handle = JobHandle(spec, native, self)
+        with self._lock:
+            self._handles[native.job_id] = handle
+        return handle
+
+    def cancel(self, handle: JobHandle) -> bool:
+        return self._scheduler.cancel(handle.job_id)
+
+    def job(self, job_id: int) -> JobHandle:
+        with self._lock:
+            handle = self._handles.get(job_id)
+        if handle is None:
+            raise NotFoundError(f"executor does not manage job {job_id}")
+        return handle
+
+    def active_jobs(self) -> list[JobHandle]:
+        """Handles not yet in a terminal state."""
+        with self._lock:
+            return [
+                h for h in self._handles.values() if not h.state.is_terminal()
+            ]
+
+    def _monitor(self) -> None:
+        while not self._stop.is_set():
+            with self._lock:
+                handles = list(self._handles.values())
+            for handle in handles:
+                handle._notify(handle.state)
+            # Drop terminal handles that have delivered their callbacks.
+            with self._lock:
+                for job_id in [
+                    jid
+                    for jid, h in self._handles.items()
+                    if h.state.is_terminal() and h._last_state == h.state
+                ]:
+                    del self._handles[job_id]
+            self._stop.wait(self._poll)
+
+
+def managed_pool_job(
+    executor: LocalSchedulerExecutor,
+    eqsql,
+    handler,
+    pool_config,
+    spec: JobSpec | None = None,
+):
+    """Launch a worker pool as a monitored pilot job (paper use case).
+
+    Returns ``(handle, stop)`` where ``stop()`` terminates the pool —
+    the "termination of worker pools" capability.  The pool runs inside
+    the job's body and drains when stopped; the job then completes.
+    """
+    from repro.pools.pool import ThreadedWorkerPool
+
+    pool = ThreadedWorkerPool(eqsql, handler, pool_config)
+    done = threading.Event()
+
+    def body():
+        pool.start()
+        done.wait()
+        pool.stop()
+        return pool.tasks_completed
+
+    spec = spec if spec is not None else JobSpec(name=f"pool-{pool_config.name}")
+    handle = executor.submit(spec, body)
+
+    def stop() -> None:
+        done.set()
+
+    return handle, stop

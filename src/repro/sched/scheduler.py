@@ -1,0 +1,273 @@
+"""FIFO + EASY-backfill scheduler with a queue-delay model.
+
+Dispatch policy:
+
+1. Jobs are considered in submission order (FIFO).
+2. The head job starts as soon as it is *eligible* (its modelled queue
+   delay has elapsed) and enough nodes are free.
+3. While the head job waits for nodes, later eligible jobs may
+   *backfill* if starting them cannot delay the head job: either they
+   finish (by requested walltime) before the head's shadow start time,
+   or enough nodes remain at the shadow time anyway — the EASY-backfill
+   rule.
+
+The queue-delay model stands in for everything this simulation does not
+model (other users, priority aging, fair-share): a callable mapping a
+job to a minimum pending time.  Figure 4's staggered pool starts come
+from exactly this delay.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from collections.abc import Callable
+from typing import Any
+
+from repro.sched.cluster import Cluster
+from repro.sched.job import Job, JobState
+from repro.util.clock import Clock, SystemClock
+from repro.util.errors import NotFoundError, SchedulerError
+
+#: Maps a job to its modelled queue delay in seconds.
+QueueDelayModel = Callable[[Job], float]
+
+
+def no_delay(_job: Job) -> float:
+    """The empty-cluster queue-delay model."""
+    return 0.0
+
+
+class Scheduler:
+    """Real-time batch scheduler over a :class:`Cluster`.
+
+    Jobs' ``fn`` bodies run on daemon threads (pilot jobs).  A watchdog
+    enforces requested walltime: a job still running at its limit is
+    marked TIMEOUT and its nodes are reclaimed (the thread's eventual
+    return is ignored), matching how a batch system kills overrunning
+    allocations.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        clock: Clock | None = None,
+        queue_delay: QueueDelayModel = no_delay,
+        tick: float = 0.01,
+    ) -> None:
+        self._cluster = cluster
+        self._clock = clock if clock is not None else SystemClock()
+        self._queue_delay = queue_delay
+        self._tick = tick
+        self._lock = threading.Lock()
+        self._pending: list[Job] = []
+        self._running: dict[int, Job] = {}
+        self._jobs: dict[int, Job] = {}
+        self._next_id = 1
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "Scheduler":
+        if self._thread is not None:
+            raise RuntimeError("scheduler already started")
+        self._thread = threading.Thread(
+            target=self._loop, name=f"sched-{self._cluster.name}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop dispatching.  Pending jobs are cancelled; running jobs
+        are left to finish (their completion is still recorded)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        with self._lock:
+            for job in self._pending:
+                job.state = JobState.CANCELLED
+                job.end_time = self._clock.now()
+                job._done.set()
+            self._pending.clear()
+
+    def __enter__(self) -> "Scheduler":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(
+        self,
+        fn: Callable[[], Any],
+        nodes: int = 1,
+        walltime: float = 3600.0,
+        name: str = "job",
+    ) -> Job:
+        """Queue a pilot job; returns its :class:`Job` handle."""
+        if walltime <= 0:
+            raise SchedulerError("walltime must be positive")
+        if nodes > self._cluster.spec.n_nodes:
+            raise SchedulerError(
+                f"job requests {nodes} nodes; cluster has {self._cluster.spec.n_nodes}"
+            )
+        with self._lock:
+            now = self._clock.now()
+            job = Job(
+                job_id=self._next_id,
+                name=name,
+                nodes=nodes,
+                walltime=walltime,
+                fn=fn,
+                submit_time=now,
+            )
+            job.eligible_time = now + max(0.0, self._queue_delay(job))
+            self._next_id += 1
+            self._jobs[job.job_id] = job
+            self._pending.append(job)
+            return job
+
+    def cancel(self, job_id: int) -> bool:
+        """Cancel a pending job; running jobs cannot be cancelled."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise NotFoundError(f"unknown job {job_id}")
+            if job.state != JobState.PENDING:
+                return False
+            self._pending.remove(job)
+            job.state = JobState.CANCELLED
+            job.end_time = self._clock.now()
+            job._done.set()
+            return True
+
+    def job(self, job_id: int) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise NotFoundError(f"unknown job {job_id}")
+            return job
+
+    def queue_length(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def running_count(self) -> int:
+        with self._lock:
+            return len(self._running)
+
+    # -- dispatch loop ---------------------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self._dispatch_once()
+            self._clock.sleep(self._tick)
+
+    def _dispatch_once(self) -> None:
+        now = self._clock.now()
+        with self._lock:
+            self._enforce_walltime(now)
+            if not self._pending:
+                return
+            eligible = [j for j in self._pending if now >= j.eligible_time]
+            if not eligible:
+                return
+            head = self._pending[0]
+            started: list[Job] = []
+            if head in eligible and self._cluster.try_allocate(head.nodes):
+                started.append(head)
+            elif head in eligible:
+                # Head blocked on nodes: EASY backfill among the rest.
+                shadow = self._shadow_start_time(head, now)
+                free_at_shadow = self._free_nodes_at(shadow, now)
+                for job in eligible:
+                    if job is head:
+                        continue
+                    safe = (
+                        now + job.walltime <= shadow
+                        or free_at_shadow - job.nodes >= head.nodes
+                    )
+                    if safe and self._cluster.try_allocate(job.nodes):
+                        started.append(job)
+                        if now + job.walltime > shadow:
+                            free_at_shadow -= job.nodes
+            else:
+                # Head not yet eligible; dispatch other eligible jobs FIFO.
+                for job in eligible:
+                    if self._cluster.try_allocate(job.nodes):
+                        started.append(job)
+            for job in started:
+                self._pending.remove(job)
+                self._start_locked(job, now)
+
+    def _shadow_start_time(self, head: Job, now: float) -> float:
+        """Earliest time the head job could start, assuming running jobs
+        end at their walltime limits (the EASY reservation)."""
+        free = self._cluster.free_nodes()
+        if free >= head.nodes:
+            return now
+        releases = sorted(
+            ((j.start_time or now) + j.walltime, j.nodes)
+            for j in self._running.values()
+        )
+        for end, nodes in releases:
+            free += nodes
+            if free >= head.nodes:
+                return end
+        return float("inf")
+
+    def _free_nodes_at(self, t: float, now: float) -> int:
+        """Free nodes at time ``t`` given current running jobs' limits."""
+        free = self._cluster.free_nodes()
+        for j in self._running.values():
+            if (j.start_time or now) + j.walltime <= t:
+                free += j.nodes
+        return free
+
+    def _enforce_walltime(self, now: float) -> None:
+        for job in list(self._running.values()):
+            assert job.start_time is not None
+            if now - job.start_time > job.walltime:
+                del self._running[job.job_id]
+                job.state = JobState.TIMEOUT
+                job.end_time = now
+                job.error = f"walltime limit {job.walltime}s exceeded"
+                self._cluster.release(job.nodes)
+                job._done.set()
+
+    def _start_locked(self, job: Job, now: float) -> None:
+        job.state = JobState.RUNNING
+        job.start_time = now
+        self._running[job.job_id] = job
+        thread = threading.Thread(
+            target=self._run_job,
+            args=(job,),
+            name=f"pilot-{self._cluster.name}-{job.job_id}",
+            daemon=True,
+        )
+        thread.start()
+
+    def _run_job(self, job: Job) -> None:
+        try:
+            assert job.fn is not None
+            result = job.fn()
+            error = None
+        except Exception:  # noqa: BLE001 - recorded on the job
+            result = None
+            error = traceback.format_exc()
+        with self._lock:
+            if job.job_id not in self._running:
+                return  # already timed out; nodes reclaimed by watchdog
+            del self._running[job.job_id]
+            job.end_time = self._clock.now()
+            if error is None:
+                job.state = JobState.COMPLETED
+                job.result = result
+            else:
+                job.state = JobState.FAILED
+                job.error = error
+            self._cluster.release(job.nodes)
+            job._done.set()

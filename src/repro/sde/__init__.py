@@ -1,0 +1,33 @@
+"""Shared Development Environment (paper §II-B3).
+
+OSPREY's SDE makes it possible "to quickly share, validate, and scale
+models and workflows on HPC resources", "not based on hardware or
+Infrastructure-As-A-Service products, but rather on portable workflows".
+This package implements the two SDE requirements:
+
+- **Model and workflow sharing** (§II-B3a):
+  :class:`repro.sde.workflow.WorkflowSpec` — a declarative, fully
+  JSON-serializable description of a workflow (task functions referenced
+  by import path, work types, pool shapes, parameters) that runs
+  identically wherever the code is importable — the "works for me means
+  it will work for you" property at the systems level.
+- **Model validation and publishing** (§II-B3b):
+  :class:`repro.sde.registry.ModelRegistry` — publish a model version
+  *with the data used to validate it*; anyone can re-run the validation
+  suite later, and :func:`repro.sde.checks.compare_outputs` flags
+  correctness regressions within numeric tolerances.
+"""
+
+from repro.sde.checks import ComparisonResult, compare_outputs
+from repro.sde.registry import ModelRegistry, ModelVersion, ValidationReport
+from repro.sde.workflow import WorkflowSpec, run_workflow
+
+__all__ = [
+    "compare_outputs",
+    "ComparisonResult",
+    "ModelRegistry",
+    "ModelVersion",
+    "ValidationReport",
+    "WorkflowSpec",
+    "run_workflow",
+]

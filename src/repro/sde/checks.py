@@ -1,0 +1,83 @@
+"""Output comparison with numeric tolerances (regression detection).
+
+Model outputs are JSON-like structures (dicts, lists, numbers, strings).
+:func:`compare_outputs` walks expected and actual together and reports
+every mismatch with its path, so a validation failure says *where* the
+model regressed, not just that it did.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of one expected-vs-actual comparison."""
+
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def add(self, path: str, message: str) -> None:
+        self.mismatches.append(f"{path}: {message}")
+
+
+def _numbers_close(a: float, b: float, rtol: float, atol: float) -> bool:
+    if math.isnan(a) and math.isnan(b):
+        return True
+    return math.isclose(a, b, rel_tol=rtol, abs_tol=atol)
+
+
+def _compare(expected: Any, actual: Any, path: str, rtol: float, atol: float,
+             result: ComparisonResult) -> None:
+    # bool is an int subtype; compare it exactly, not numerically.
+    if isinstance(expected, bool) or isinstance(actual, bool):
+        if expected is not actual:
+            result.add(path, f"expected {expected!r}, got {actual!r}")
+        return
+    if isinstance(expected, (int, float)) and isinstance(actual, (int, float)):
+        if not _numbers_close(float(expected), float(actual), rtol, atol):
+            result.add(path, f"expected {expected!r}, got {actual!r}")
+        return
+    if type(expected) is not type(actual):
+        result.add(
+            path,
+            f"type mismatch: expected {type(expected).__name__}, "
+            f"got {type(actual).__name__}",
+        )
+        return
+    if isinstance(expected, dict):
+        for key in expected.keys() - actual.keys():
+            result.add(f"{path}.{key}", "missing from actual")
+        for key in actual.keys() - expected.keys():
+            result.add(f"{path}.{key}", "unexpected key in actual")
+        for key in expected.keys() & actual.keys():
+            _compare(expected[key], actual[key], f"{path}.{key}", rtol, atol, result)
+        return
+    if isinstance(expected, (list, tuple)):
+        if len(expected) != len(actual):
+            result.add(path, f"length {len(expected)} != {len(actual)}")
+            return
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            _compare(e, a, f"{path}[{i}]", rtol, atol, result)
+        return
+    if expected != actual:
+        result.add(path, f"expected {expected!r}, got {actual!r}")
+
+
+def compare_outputs(
+    expected: Any, actual: Any, rtol: float = 1e-6, atol: float = 1e-9
+) -> ComparisonResult:
+    """Structural comparison with per-number tolerances.
+
+    Returns a :class:`ComparisonResult`; ``result.ok`` is the verdict
+    and ``result.mismatches`` lists every divergence with its JSON path.
+    """
+    result = ComparisonResult()
+    _compare(expected, actual, "$", rtol, atol, result)
+    return result

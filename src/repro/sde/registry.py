@@ -1,0 +1,191 @@
+"""Model validation and publishing (paper §II-B3b).
+
+"We will employ best practices from the DevOps ecosystem to make it
+easier for modelers to post complete models with the data used to
+validate them for reproduction, extension, or scaling by others, with
+the capability to detect correctness regressions."
+
+A :class:`ModelRegistry` stores versioned models *together with their
+validation suite*: named cases of (input payload, expected output).
+``validate`` re-executes the model on every case and compares against
+the stored expectations within tolerances, producing a
+:class:`ValidationReport` that pinpoints regressions.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sde.checks import compare_outputs
+from repro.sde.workflow import fn_reference, resolve_fn
+from repro.util.clock import Clock, SystemClock
+from repro.util.errors import NotFoundError, ReproError
+
+
+class ValidationError(ReproError):
+    """A published model failed its validation suite."""
+
+
+@dataclass(frozen=True)
+class ValidationCase:
+    """One named validation input with its expected output."""
+
+    name: str
+    payload: Any
+    expected: Any
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One published model version."""
+
+    name: str
+    version: str
+    model_fn: str  # module:qualname
+    cases: tuple[ValidationCase, ...]
+    metadata: dict[str, Any] = field(default_factory=dict)
+    published_at: float = 0.0
+    rtol: float = 1e-6
+    atol: float = 1e-9
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one validation case."""
+
+    case: str
+    passed: bool
+    mismatches: list[str] = field(default_factory=list)
+    error: str | None = None
+
+
+@dataclass
+class ValidationReport:
+    """Full validation outcome for one model version."""
+
+    model: str
+    version: str
+    results: list[CaseResult]
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    @property
+    def regressions(self) -> list[CaseResult]:
+        return [r for r in self.results if not r.passed]
+
+    def summary(self) -> str:
+        ok = sum(r.passed for r in self.results)
+        return f"{self.model} v{self.version}: {ok}/{len(self.results)} cases passed"
+
+
+class ModelRegistry:
+    """Versioned model publication with replayable validation."""
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self._clock = clock if clock is not None else SystemClock()
+        self._lock = threading.Lock()
+        self._models: dict[tuple[str, str], ModelVersion] = {}
+
+    def publish(
+        self,
+        name: str,
+        version: str,
+        model_fn: Callable[[Any], Any] | str,
+        cases: list[tuple[str, Any, Any]],
+        metadata: dict[str, Any] | None = None,
+        rtol: float = 1e-6,
+        atol: float = 1e-9,
+        validate_now: bool = True,
+    ) -> ModelVersion:
+        """Publish a model version with its validation data.
+
+        ``cases`` is a list of (case name, input payload, expected
+        output).  By default the suite runs immediately and publication
+        is refused on failure — models enter the registry green.
+        """
+        if not cases:
+            raise ValidationError("a model must be published with validation cases")
+        reference = model_fn if isinstance(model_fn, str) else fn_reference(model_fn)
+        record = ModelVersion(
+            name=name,
+            version=version,
+            model_fn=reference,
+            cases=tuple(ValidationCase(n, p, e) for n, p, e in cases),
+            metadata=dict(metadata or {}),
+            published_at=self._clock.now(),
+            rtol=rtol,
+            atol=atol,
+        )
+        if validate_now:
+            report = self._run_validation(record)
+            if not report.passed:
+                raise ValidationError(
+                    f"refusing to publish {name} v{version}: "
+                    + "; ".join(
+                        f"{r.case} ({r.error or r.mismatches})" for r in report.regressions
+                    )
+                )
+        with self._lock:
+            key = (name, version)
+            if key in self._models:
+                raise ValidationError(f"{name} v{version} already published")
+            self._models[key] = record
+        return record
+
+    def get(self, name: str, version: str | None = None) -> ModelVersion:
+        """A specific version, or the latest published one."""
+        with self._lock:
+            if version is not None:
+                record = self._models.get((name, version))
+                if record is None:
+                    raise NotFoundError(f"no model {name} v{version}")
+                return record
+            candidates = [m for (n, _v), m in self._models.items() if n == name]
+        if not candidates:
+            raise NotFoundError(f"no model named {name!r}")
+        return max(candidates, key=lambda m: m.published_at)
+
+    def versions(self, name: str) -> list[str]:
+        with self._lock:
+            return sorted(v for (n, v) in self._models if n == name)
+
+    def models(self) -> list[str]:
+        with self._lock:
+            return sorted({n for (n, _v) in self._models})
+
+    # -- validation ------------------------------------------------------------
+
+    def _run_validation(self, record: ModelVersion) -> ValidationReport:
+        fn = resolve_fn(record.model_fn)
+        results: list[CaseResult] = []
+        for case in record.cases:
+            try:
+                actual = fn(case.payload)
+            except Exception as exc:  # noqa: BLE001 - a failing case, not a crash
+                results.append(
+                    CaseResult(case=case.name, passed=False, error=repr(exc))
+                )
+                continue
+            comparison = compare_outputs(
+                case.expected, actual, rtol=record.rtol, atol=record.atol
+            )
+            results.append(
+                CaseResult(
+                    case=case.name,
+                    passed=comparison.ok,
+                    mismatches=comparison.mismatches,
+                )
+            )
+        return ValidationReport(
+            model=record.name, version=record.version, results=results
+        )
+
+    def validate(self, name: str, version: str | None = None) -> ValidationReport:
+        """Re-run a published model's validation suite (anyone, later,
+        anywhere the code imports — regression detection)."""
+        return self._run_validation(self.get(name, version))

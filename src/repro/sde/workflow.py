@@ -1,0 +1,202 @@
+"""Portable workflow specifications (paper §II-B3a).
+
+A :class:`WorkflowSpec` captures everything needed to run a workflow —
+task functions (as ``module:qualname`` import paths), work types, pool
+shapes, and free-form parameters — in a JSON document.  Sharing the
+document plus an importable package is sharing the workflow: the
+receiving site materializes the same pools against its own EMEWS DB and
+gets the same behaviour, which is the SDE's "standardized OSPREY
+workflow structure" promise.
+"""
+
+from __future__ import annotations
+
+import importlib
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.eqsql import EQSQL
+from repro.core.futures import as_completed
+from repro.pools.config import PoolConfig
+from repro.pools.handlers import PythonTaskHandler
+from repro.pools.pool import ThreadedWorkerPool
+from repro.util.errors import ReproError
+from repro.util.serialization import json_dumps, json_loads
+
+
+class WorkflowSpecError(ReproError):
+    """The spec is malformed or references unresolvable code."""
+
+
+def fn_reference(fn: Callable[..., Any]) -> str:
+    """The portable ``module:qualname`` reference for a callable."""
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname or "<" in qualname:
+        raise WorkflowSpecError(
+            f"task function {fn!r} is not importable (lambdas and local "
+            "functions cannot be shared; use a module-level function)"
+        )
+    return f"{module}:{qualname}"
+
+
+def resolve_fn(reference: str) -> Callable[..., Any]:
+    """Import a callable from a ``module:qualname`` reference."""
+    try:
+        module_name, _, qualname = reference.partition(":")
+        obj: Any = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+    except (ImportError, AttributeError, ValueError) as exc:
+        raise WorkflowSpecError(f"cannot resolve task function {reference!r}: {exc}") from exc
+    if not callable(obj):
+        raise WorkflowSpecError(f"{reference!r} is not callable")
+    return obj
+
+
+@dataclass(frozen=True)
+class TaskTypeSpec:
+    """One work type: its task function and pool shape."""
+
+    work_type: int
+    task_fn: str  # module:qualname
+    n_workers: int = 4
+    batch_size: int | None = None
+    threshold: int = 1
+    json_io: bool = True
+
+
+@dataclass
+class WorkflowSpec:
+    """A shareable workflow description."""
+
+    name: str
+    version: str = "1"
+    task_types: list[TaskTypeSpec] = field(default_factory=list)
+    parameters: dict[str, Any] = field(default_factory=dict)
+
+    def add_task_type(
+        self,
+        work_type: int,
+        task_fn: Callable[..., Any] | str,
+        n_workers: int = 4,
+        batch_size: int | None = None,
+        threshold: int = 1,
+        json_io: bool = True,
+    ) -> "WorkflowSpec":
+        """Register a work type (callables are stored by import path)."""
+        if any(t.work_type == work_type for t in self.task_types):
+            raise WorkflowSpecError(f"work type {work_type} already declared")
+        reference = task_fn if isinstance(task_fn, str) else fn_reference(task_fn)
+        resolve_fn(reference)  # fail at authoring time, not at the receiving site
+        self.task_types.append(
+            TaskTypeSpec(
+                work_type=work_type,
+                task_fn=reference,
+                n_workers=n_workers,
+                batch_size=batch_size,
+                threshold=threshold,
+                json_io=json_io,
+            )
+        )
+        return self
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> str:
+        return json_dumps(
+            {
+                "name": self.name,
+                "version": self.version,
+                "task_types": [
+                    {
+                        "work_type": t.work_type,
+                        "task_fn": t.task_fn,
+                        "n_workers": t.n_workers,
+                        "batch_size": t.batch_size,
+                        "threshold": t.threshold,
+                        "json_io": t.json_io,
+                    }
+                    for t in self.task_types
+                ],
+                "parameters": self.parameters,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkflowSpec":
+        try:
+            data = json_loads(text)
+            spec = cls(
+                name=data["name"],
+                version=data.get("version", "1"),
+                parameters=dict(data.get("parameters", {})),
+            )
+            for t in data.get("task_types", []):
+                spec.task_types.append(
+                    TaskTypeSpec(
+                        work_type=int(t["work_type"]),
+                        task_fn=str(t["task_fn"]),
+                        n_workers=int(t.get("n_workers", 4)),
+                        batch_size=t.get("batch_size"),
+                        threshold=int(t.get("threshold", 1)),
+                        json_io=bool(t.get("json_io", True)),
+                    )
+                )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WorkflowSpecError(f"malformed workflow spec: {exc}") from exc
+        return spec
+
+    # -- materialization -----------------------------------------------------
+
+    def build_pools(self, eqsql: EQSQL) -> list[ThreadedWorkerPool]:
+        """Instantiate (but do not start) the spec's worker pools."""
+        if not self.task_types:
+            raise WorkflowSpecError("workflow declares no task types")
+        pools = []
+        for t in self.task_types:
+            handler = PythonTaskHandler(resolve_fn(t.task_fn), json_io=t.json_io)
+            config = PoolConfig(
+                work_type=t.work_type,
+                n_workers=t.n_workers,
+                batch_size=t.batch_size,
+                threshold=t.threshold,
+                name=f"{self.name}-wt{t.work_type}",
+            )
+            pools.append(ThreadedWorkerPool(eqsql, handler, config))
+        return pools
+
+
+def run_workflow(
+    spec: WorkflowSpec,
+    eqsql: EQSQL,
+    payloads: dict[int, list[str]],
+    exp_id: str | None = None,
+    timeout: float = 120.0,
+) -> dict[int, list[str]]:
+    """Execute a spec locally: start its pools, run payloads per work
+    type, return results per work type (in submission order)."""
+    exp_id = exp_id if exp_id is not None else f"{spec.name}-v{spec.version}"
+    declared = {t.work_type for t in spec.task_types}
+    unknown = set(payloads) - declared
+    if unknown:
+        raise WorkflowSpecError(f"payloads reference undeclared work types {sorted(unknown)}")
+    pools = spec.build_pools(eqsql)
+    futures_by_type = {
+        work_type: eqsql.submit_tasks(exp_id, work_type, batch)
+        for work_type, batch in payloads.items()
+    }
+    for pool in pools:
+        pool.start()
+    try:
+        results: dict[int, list[str]] = {}
+        for work_type, futures in futures_by_type.items():
+            ordered = list(futures)
+            for future in as_completed(ordered, delay=0.01, timeout=timeout):
+                pass  # results cached on the futures
+            results[work_type] = [f.result(timeout=0)[1] for f in futures]
+        return results
+    finally:
+        for pool in pools:
+            pool.stop()

@@ -1,0 +1,48 @@
+"""Discrete-event scenario models of the paper's evaluation (§VI).
+
+These models drive the *actual* platform code — the EQSQL task queue,
+the batch/threshold fetch policy, the GPR reprioritizer — under virtual
+time, with the paper's parameters: 750 4-D Ackley tasks with lognormal
+runtimes, 33-worker pools, reprioritization after every 50 completions,
+pools joining mid-run behind a scheduler queue delay.
+
+- :mod:`repro.sim.workload` — task sets and runtime models;
+- :mod:`repro.sim.pool_model` — the DES worker pool (same fetch policy
+  code as the threaded pool);
+- :mod:`repro.sim.me_model` — the DES ME algorithm process (the Fig 2
+  loop with GPR reprioritization);
+- :mod:`repro.sim.scenarios` — Figure 3 panels and the Figure 4
+  federated workflow, plus parameter-sweep ablations.
+"""
+
+from repro.sim.workload import AckleyWorkload, RuntimeModel
+from repro.sim.pool_model import SimPoolConfig, SimWorkerPool
+from repro.sim.me_model import SimMEAlgorithm
+from repro.sim.metrics import ReassignmentStats, ordering_stabilizes, reassignment_stats
+from repro.sim.scenarios import (
+    Fig3Config,
+    Fig4Config,
+    PanelResult,
+    Fig4Result,
+    run_fig3_panel,
+    run_fig3,
+    run_fig4,
+)
+
+__all__ = [
+    "AckleyWorkload",
+    "RuntimeModel",
+    "SimPoolConfig",
+    "SimWorkerPool",
+    "SimMEAlgorithm",
+    "Fig3Config",
+    "Fig4Config",
+    "PanelResult",
+    "Fig4Result",
+    "run_fig3_panel",
+    "run_fig3",
+    "run_fig4",
+    "ReassignmentStats",
+    "reassignment_stats",
+    "ordering_stabilizes",
+]

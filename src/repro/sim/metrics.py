@@ -1,0 +1,93 @@
+"""Derived metrics for the Figure 4 reprioritization panel.
+
+The very top of the paper's Figure 4 draws, for every reprioritization,
+a line from each task's current priority to its new priority.  These
+helpers reduce the recorded priority vectors to the quantities that
+panel communicates: how much the ordering churns per round, and whether
+the GPR is actually changing its mind as data accumulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.me_model import ReprioritizationTrace
+
+
+@dataclass(frozen=True)
+class ReassignmentStats:
+    """Churn summary for one reprioritization round."""
+
+    index: int
+    n_tasks: int
+    mean_abs_shift: float  # mean |new rank - old rank|
+    max_abs_shift: int
+    spearman_vs_previous: float  # rank correlation with previous round
+
+
+def _spearman(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation of two aligned rank vectors."""
+    if a.size < 2:
+        return 1.0
+    a = a.astype(float)
+    b = b.astype(float)
+    a_c = a - a.mean()
+    b_c = b - b.mean()
+    denom = float(np.sqrt(np.sum(a_c**2) * np.sum(b_c**2)))
+    if denom == 0:
+        return 1.0
+    return float(np.sum(a_c * b_c) / denom)
+
+
+def reassignment_stats(
+    reprioritizations: list[ReprioritizationTrace],
+) -> list[ReassignmentStats]:
+    """Per-round churn relative to the previous round's ordering.
+
+    Successive rounds cover shrinking task sets; the comparison aligns
+    on the suffix (the tasks still queued at the later round correspond
+    to the later entries of both priority vectors only approximately, so
+    alignment is by normalized rank: each vector is scaled to [0, 1]
+    before differencing the overlapping tail).
+    """
+    out: list[ReassignmentStats] = []
+    previous: np.ndarray | None = None
+    for record in reprioritizations:
+        current = np.asarray(record.priorities, dtype=float)
+        n = current.size
+        if n == 0:
+            continue
+        if previous is None or previous.size == 0:
+            mean_shift, max_shift, rho = 0.0, 0, 1.0
+        else:
+            # Compare the normalized ranks of the overlapping tail.
+            k = min(n, previous.size)
+            cur_norm = current[-k:] / max(n, 1)
+            prev_norm = previous[-k:] / max(previous.size, 1)
+            shifts = np.abs(cur_norm - prev_norm) * n
+            mean_shift = float(shifts.mean())
+            max_shift = int(round(shifts.max()))
+            rho = _spearman(cur_norm, prev_norm)
+        out.append(
+            ReassignmentStats(
+                index=record.index,
+                n_tasks=n,
+                mean_abs_shift=mean_shift,
+                max_abs_shift=max_shift,
+                spearman_vs_previous=rho,
+            )
+        )
+        previous = current
+    return out
+
+
+def ordering_stabilizes(stats: list[ReassignmentStats]) -> bool:
+    """True when later rounds agree with their predecessors more than
+    early rounds did — the GPR converging on an ordering."""
+    if len(stats) < 4:
+        return True
+    early = np.mean([s.spearman_vs_previous for s in stats[1:3]])
+    late = np.mean([s.spearman_vs_previous for s in stats[-2:]])
+    return bool(late >= early - 0.05)

@@ -1,0 +1,31 @@
+"""simt: a discrete-event simulation kernel.
+
+A compact generator-based DES (in the style of SimPy): processes are
+Python generators that ``yield`` events; the :class:`Environment` runs
+an event heap against a :class:`repro.util.clock.VirtualClock`.
+
+Why it exists here: the paper's figures come from wall-clock runs on
+real clusters (750 tasks, ~minutes).  Running the *same queueing logic*
+under virtual time reproduces the figures' shapes deterministically in
+milliseconds, which is what the benchmark harness needs.  The scenario
+models in :mod:`repro.sim` are simt processes that call the real
+:class:`repro.core.eqsql.EQSQL` code against the in-memory EMEWS DB.
+"""
+
+from repro.simt.events import AllOf, AnyOf, Event, Timeout
+from repro.simt.process import Interrupt, Process
+from repro.simt.environment import Environment
+from repro.simt.resources import Container, Resource, SimStore
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "Interrupt",
+    "Resource",
+    "SimStore",
+    "Container",
+]

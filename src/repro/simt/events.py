@@ -1,0 +1,140 @@
+"""DES events.
+
+An :class:`Event` is a one-shot occurrence: it is *triggered* with a
+value (or failure), then its callbacks run at its scheduled time.
+Processes wait on events by yielding them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
+
+from repro.util.errors import InvalidStateError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simt.environment import Environment
+
+#: Sentinel for "no value yet".
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    Two stages matter for correct time semantics: an event is
+    *triggered* once its value is known (succeed/fail called — for a
+    Timeout, at construction), and *processed* once the environment has
+    reached its scheduled time and run its callbacks.  Waiters attach to
+    any unprocessed event; only processed events are "in the past".
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = _PENDING
+        self._ok: bool | None = None
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once succeed/fail has been called."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's scheduled time has passed and its
+        callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid once triggered)."""
+        if self._ok is None:
+            raise InvalidStateError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise InvalidStateError("event not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger successfully; callbacks run after ``delay``."""
+        if self.triggered:
+            raise InvalidStateError("event already triggered")
+        self._value = value
+        self._ok = True
+        self.env.schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger as a failure; waiting processes get the exception
+        thrown into them."""
+        if self.triggered:
+            raise InvalidStateError("event already triggered")
+        self._value = exception
+        self._ok = False
+        self.env.schedule(self, delay)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        env.schedule(self, delay)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf: completes based on child events."""
+
+    def __init__(self, env: "Environment", events: list[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.processed:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e.value for e in self._events if e.processed and e.ok}
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Succeeds when every child succeeds; fails on the first failure."""
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        if all(e.processed and e.ok for e in self._events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Succeeds when the first child succeeds; fails if one fails first."""
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self.succeed(self._collect())

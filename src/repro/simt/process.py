@@ -1,0 +1,109 @@
+"""DES processes: generators that yield events.
+
+A :class:`Process` drives a generator: each yielded :class:`Event`
+suspends the generator until the event triggers, at which point the
+event's value is sent back in (or its exception thrown in).  A process
+is itself an event — it triggers with the generator's return value —
+so processes can wait on each other.  :meth:`Process.interrupt` throws
+:class:`Interrupt` into a waiting process, the mechanism the pool model
+uses to preempt idle waits.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import TYPE_CHECKING, Any
+
+from repro.simt.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simt.environment import Environment
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running generator within the simulation."""
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        # Bootstrap: resume on an immediately-scheduled internal event.
+        start = Event(env)
+        start.callbacks.append(self._resume)
+        start.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a no-op.
+        """
+        if self.triggered:
+            return
+        target = self._waiting_on
+        if target is not None and not target.processed:
+            # Detach from the event it was waiting on, then resume with
+            # the interrupt via a fresh immediate event.
+            if self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+            self._waiting_on = None
+        kick = Event(self.env)
+        kick.callbacks.append(lambda e: self._step(throw=Interrupt(cause)))
+        kick.succeed(None)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._step(send=event.value)
+        else:
+            self._step(throw=event.value)
+
+    def _step(self, send: Any = None, throw: BaseException | None = None) -> None:
+        if self.triggered:
+            return
+        try:
+            if throw is not None:
+                target = self._generator.throw(throw)
+            else:
+                target = self._generator.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagates to waiters
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            error = TypeError(
+                f"processes must yield Events, got {type(target).__name__}"
+            )
+            try:
+                self._generator.throw(error)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as exc:  # noqa: BLE001
+                self.fail(exc)
+            return
+        self._waiting_on = target
+        if target.processed:
+            # Already in the past: resume on the next scheduling round
+            # so ordering stays heap-driven.
+            relay = Event(self.env)
+            relay.callbacks.append(self._resume)
+            if target.ok:
+                relay.succeed(target.value)
+            else:
+                relay.fail(target.value)
+        else:
+            target.callbacks.append(self._resume)

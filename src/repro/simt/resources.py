@@ -1,0 +1,130 @@
+"""Shared DES resources: capacity-limited Resource, item Store, Container.
+
+These mirror the SimPy primitives the scenario models need: worker
+slots (Resource), task mailboxes (SimStore), and counted quantities
+(Container).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.simt.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simt.environment import Environment
+
+
+class Resource:
+    """A pool of identical capacity slots with a FIFO wait queue.
+
+    Usage pattern inside a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, env: "Environment", capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiting)
+
+    def request(self) -> Event:
+        """An event that triggers when a slot is granted."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(None)
+        else:
+            self._waiting.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one slot; grants the longest-waiting request if any."""
+        if self._in_use <= 0:
+            raise ValueError("release without matching request")
+        if self._waiting:
+            # Hand the slot straight to the next waiter.
+            self._waiting.popleft().succeed(None)
+        else:
+            self._in_use -= 1
+
+
+class SimStore:
+    """An unbounded FIFO item store (SimPy's ``Store``)."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking one waiting getter if present."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that triggers with the next available item."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+
+class Container:
+    """A counted quantity with blocking get (SimPy's ``Container``)."""
+
+    def __init__(self, env: "Environment", init: float = 0.0) -> None:
+        if init < 0:
+            raise ValueError("initial level must be nonnegative")
+        self.env = env
+        self._level = float(init)
+        self._getters: deque[tuple[float, Event]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> None:
+        if amount <= 0:
+            raise ValueError("put amount must be positive")
+        self._level += amount
+        self._drain()
+
+    def get(self, amount: float) -> Event:
+        """Triggers once ``amount`` can be withdrawn (FIFO)."""
+        if amount <= 0:
+            raise ValueError("get amount must be positive")
+        event = Event(self.env)
+        self._getters.append((amount, event))
+        self._drain()
+        return event
+
+    def _drain(self) -> None:
+        while self._getters and self._getters[0][0] <= self._level:
+            amount, event = self._getters.popleft()
+            self._level -= amount
+            event.succeed(None)

@@ -1,0 +1,45 @@
+"""Data sharing service: a ProxyStore-style lazy data fabric.
+
+Paper §IV-E: ProxyStore "passes 'Proxy' object references between
+participating entities ... and implements a lazy evaluation approach in
+which Proxies are resolved only when needed.  Thus, users are presented
+with a pure Python interface", with pluggable backends (shared
+filesystems, Redis, Globus).
+
+- :class:`Proxy` — a transparent object reference: every attribute
+  access, call, or operator resolves the target on first use.
+- :class:`Store` — ``put``/``get``/``proxy``/``evict`` over a
+  :class:`Connector`; proxies created by a store are picklable and
+  resolve through the process-local store registry, so they ride fabric
+  task payloads at pointer size while the data moves out of band.
+- Connectors: in-memory, filesystem, and Globus (backed by the
+  :mod:`repro.transfer` simulator) — the paper's GPR object travels
+  exactly this way, "passed as a ProxyStore proxy object, using
+  ProxyStore's Globus functionality".
+"""
+
+from repro.store.connectors import (
+    Connector,
+    FileConnector,
+    GlobusConnector,
+    MemoryConnector,
+)
+from repro.store.proxy import Proxy, extract, is_resolved, resolve
+from repro.store.registry import get_store, register_store, unregister_store
+from repro.store.store import Store, StoreFactory
+
+__all__ = [
+    "Connector",
+    "MemoryConnector",
+    "FileConnector",
+    "GlobusConnector",
+    "Proxy",
+    "extract",
+    "is_resolved",
+    "resolve",
+    "Store",
+    "StoreFactory",
+    "get_store",
+    "register_store",
+    "unregister_store",
+]

@@ -1,0 +1,213 @@
+"""Store connectors: where proxied bytes actually live.
+
+ProxyStore "implements a common data access/movement interface with
+plugins to support storage and movement via different methods, including
+shared file systems, Redis databases, or Globus" (§IV-E).  The three
+connectors here cover those regimes:
+
+- :class:`MemoryConnector` — a named in-process object space (the
+  Redis stand-in; instances reconnect to the same space by name, as a
+  Redis client reconnects by address).
+- :class:`FileConnector` — a shared-filesystem directory.
+- :class:`GlobusConnector` — site-aware storage over the
+  :mod:`repro.transfer` simulator: ``put`` writes to the local site's
+  endpoint and records the location; ``get`` from another site issues a
+  third-party transfer and caches the result locally.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+from repro.transfer.client import TransferClient
+from repro.util.errors import NotFoundError
+
+
+class Connector(ABC):
+    """Keyed byte storage beneath a Store."""
+
+    @abstractmethod
+    def put(self, key: str, data: bytes) -> None: ...
+
+    @abstractmethod
+    def get(self, key: str) -> bytes: ...
+
+    @abstractmethod
+    def exists(self, key: str) -> bool: ...
+
+    @abstractmethod
+    def evict(self, key: str) -> bool:
+        """Remove a key; True if it existed."""
+
+
+class MemoryConnector(Connector):
+    """A named in-memory object space.
+
+    All instances constructed with the same name — including instances
+    recreated by unpickling — share one space, mirroring how a Redis
+    connector reconnects to the same server.
+    """
+
+    _SPACES: dict[str, dict[str, bytes]] = {}
+    _LOCK = threading.Lock()
+
+    def __init__(self, name: str = "default") -> None:
+        self.name = name
+        with MemoryConnector._LOCK:
+            self._space = MemoryConnector._SPACES.setdefault(name, {})
+
+    def __reduce__(self):
+        return (MemoryConnector, (self.name,))
+
+    def put(self, key: str, data: bytes) -> None:
+        with MemoryConnector._LOCK:
+            self._space[key] = bytes(data)
+
+    def get(self, key: str) -> bytes:
+        with MemoryConnector._LOCK:
+            try:
+                return self._space[key]
+            except KeyError:
+                raise NotFoundError(f"no data under key {key!r}") from None
+
+    def exists(self, key: str) -> bool:
+        with MemoryConnector._LOCK:
+            return key in self._space
+
+    def evict(self, key: str) -> bool:
+        with MemoryConnector._LOCK:
+            return self._space.pop(key, None) is not None
+
+    @classmethod
+    def drop_space(cls, name: str) -> None:
+        """Test hook: delete a named space entirely."""
+        with cls._LOCK:
+            cls._SPACES.pop(name, None)
+
+
+class FileConnector(Connector):
+    """Shared-filesystem storage: one file per key."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+
+    def __reduce__(self):
+        return (FileConnector, (str(self._dir),))
+
+    def _path(self, key: str) -> Path:
+        # Keys are arbitrary strings; hash them into safe filenames.
+        return self._dir / hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+    def put(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_bytes(data)
+        tmp.replace(path)  # atomic publish
+
+    def get(self, key: str) -> bytes:
+        path = self._path(key)
+        if not path.exists():
+            raise NotFoundError(f"no data under key {key!r}")
+        return path.read_bytes()
+
+    def exists(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def evict(self, key: str) -> bool:
+        path = self._path(key)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+
+class GlobusConnector(Connector):
+    """Wide-area storage with third-party transfer on remote reads.
+
+    One *fabric* (transfer client + shared location map) is shared by
+    the per-site connector instances created with :meth:`at_site`.  A
+    read at the owning site is local; a read elsewhere triggers a
+    transfer from the owner to the reading site and caches the bytes
+    there.  Instances reconnect by (fabric name, site) on unpickling.
+    """
+
+    _FABRICS: dict[str, tuple[TransferClient, dict[str, str], threading.Lock]] = {}
+    _LOCK = threading.Lock()
+
+    def __init__(self, fabric_name: str, client: TransferClient, site: str) -> None:
+        self.fabric_name = fabric_name
+        self.site = site
+        with GlobusConnector._LOCK:
+            if fabric_name not in GlobusConnector._FABRICS:
+                GlobusConnector._FABRICS[fabric_name] = (client, {}, threading.Lock())
+            stored_client, locations, lock = GlobusConnector._FABRICS[fabric_name]
+        self._client = stored_client
+        self._locations = locations
+        self._loc_lock = lock
+        # Validate the site now, not at first use.
+        self._client.endpoint(site)
+
+    @classmethod
+    def connect(cls, fabric_name: str, site: str) -> "GlobusConnector":
+        """Attach to an already-initialized fabric from another site —
+        what a remote process does before resolving proxies locally."""
+        return cls._reconnect(fabric_name, site)
+
+    @classmethod
+    def _reconnect(cls, fabric_name: str, site: str) -> "GlobusConnector":
+        with cls._LOCK:
+            if fabric_name not in cls._FABRICS:
+                raise NotFoundError(
+                    f"globus fabric {fabric_name!r} not initialized in this process"
+                )
+            client = cls._FABRICS[fabric_name][0]
+        return cls(fabric_name, client, site)
+
+    def __reduce__(self):
+        return (GlobusConnector._reconnect, (self.fabric_name, self.site))
+
+    def at_site(self, site: str) -> "GlobusConnector":
+        """A sibling connector bound to another site on the same fabric."""
+        return GlobusConnector(self.fabric_name, self._client, site)
+
+    def put(self, key: str, data: bytes) -> None:
+        self._client.endpoint(self.site).put(key, data)
+        with self._loc_lock:
+            self._locations[key] = self.site
+
+    def get(self, key: str) -> bytes:
+        local = self._client.endpoint(self.site)
+        if local.exists(key):
+            return local.get(key)
+        with self._loc_lock:
+            owner = self._locations.get(key)
+        if owner is None:
+            raise NotFoundError(f"no data under key {key!r} on fabric {self.fabric_name!r}")
+        task = self._client.submit_transfer(owner, self.site, src_key=key, dst_key=key)
+        task.wait()
+        return local.get(key)
+
+    def exists(self, key: str) -> bool:
+        if self._client.endpoint(self.site).exists(key):
+            return True
+        with self._loc_lock:
+            return key in self._locations
+
+    def evict(self, key: str) -> bool:
+        """Evict from every site holding the key."""
+        removed = False
+        with self._loc_lock:
+            self._locations.pop(key, None)
+        for name in self._client.endpoints():
+            removed |= self._client.endpoint(name).delete(key)
+        return removed
+
+    @classmethod
+    def drop_fabric(cls, fabric_name: str) -> None:
+        """Test hook: forget a fabric registration."""
+        with cls._LOCK:
+            cls._FABRICS.pop(fabric_name, None)

@@ -1,0 +1,187 @@
+"""Transparent lazy object proxies.
+
+A :class:`Proxy` wraps a zero-argument *factory*; the first operation
+that needs the target invokes the factory exactly once and caches the
+result.  Thereafter the proxy forwards everything — attributes, calls,
+operators, iteration — so downstream code (a scikit-style GPR, a numpy
+array consumer) never knows it holds a proxy.
+
+Pickling a proxy serializes only its factory and yields an *unresolved*
+proxy on the other side: the data itself never rides the pickle stream.
+That is the mechanism that lets large objects cross the fabric's payload
+cap as pointer-sized references.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+_UNRESOLVED = object()
+
+
+class Proxy:
+    """A transparent, lazily resolved reference to another object."""
+
+    __slots__ = ("_proxy_factory", "_proxy_target")
+
+    def __init__(self, factory: Callable[[], Any]) -> None:
+        object.__setattr__(self, "_proxy_factory", factory)
+        object.__setattr__(self, "_proxy_target", _UNRESOLVED)
+
+    # -- resolution core ----------------------------------------------------
+
+    def _proxy_resolve(self) -> Any:
+        target = object.__getattribute__(self, "_proxy_target")
+        if target is _UNRESOLVED:
+            factory = object.__getattribute__(self, "_proxy_factory")
+            target = factory()
+            object.__setattr__(self, "_proxy_target", target)
+        return target
+
+    # -- pickling: ship the factory, not the data ------------------------------
+
+    def __reduce__(self):
+        return (Proxy, (object.__getattribute__(self, "_proxy_factory"),))
+
+    # -- attribute protocol ------------------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._proxy_resolve(), name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        setattr(self._proxy_resolve(), name, value)
+
+    def __delattr__(self, name: str) -> None:
+        delattr(self._proxy_resolve(), name)
+
+    # -- call / container / iteration -----------------------------------------------
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self._proxy_resolve()(*args, **kwargs)
+
+    def __len__(self) -> int:
+        return len(self._proxy_resolve())
+
+    def __getitem__(self, key: Any) -> Any:
+        return self._proxy_resolve()[key]
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._proxy_resolve()[key] = value
+
+    def __delitem__(self, key: Any) -> None:
+        del self._proxy_resolve()[key]
+
+    def __iter__(self):
+        return iter(self._proxy_resolve())
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._proxy_resolve()
+
+    # -- display / truthiness ------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        target = object.__getattribute__(self, "_proxy_target")
+        if target is _UNRESOLVED:
+            return "Proxy(<unresolved>)"
+        return repr(target)
+
+    def __str__(self) -> str:
+        return str(self._proxy_resolve())
+
+    def __bool__(self) -> bool:
+        return bool(self._proxy_resolve())
+
+    def __hash__(self) -> int:
+        return hash(self._proxy_resolve())
+
+    # -- comparisons ----------------------------------------------------------------------
+
+    def __eq__(self, other: Any) -> Any:
+        return self._proxy_resolve() == _unwrap(other)
+
+    def __ne__(self, other: Any) -> Any:
+        return self._proxy_resolve() != _unwrap(other)
+
+    def __lt__(self, other: Any) -> Any:
+        return self._proxy_resolve() < _unwrap(other)
+
+    def __le__(self, other: Any) -> Any:
+        return self._proxy_resolve() <= _unwrap(other)
+
+    def __gt__(self, other: Any) -> Any:
+        return self._proxy_resolve() > _unwrap(other)
+
+    def __ge__(self, other: Any) -> Any:
+        return self._proxy_resolve() >= _unwrap(other)
+
+    # -- arithmetic -------------------------------------------------------------------------
+
+    def __add__(self, other: Any) -> Any:
+        return self._proxy_resolve() + _unwrap(other)
+
+    def __radd__(self, other: Any) -> Any:
+        return _unwrap(other) + self._proxy_resolve()
+
+    def __sub__(self, other: Any) -> Any:
+        return self._proxy_resolve() - _unwrap(other)
+
+    def __rsub__(self, other: Any) -> Any:
+        return _unwrap(other) - self._proxy_resolve()
+
+    def __mul__(self, other: Any) -> Any:
+        return self._proxy_resolve() * _unwrap(other)
+
+    def __rmul__(self, other: Any) -> Any:
+        return _unwrap(other) * self._proxy_resolve()
+
+    def __truediv__(self, other: Any) -> Any:
+        return self._proxy_resolve() / _unwrap(other)
+
+    def __rtruediv__(self, other: Any) -> Any:
+        return _unwrap(other) / self._proxy_resolve()
+
+    def __floordiv__(self, other: Any) -> Any:
+        return self._proxy_resolve() // _unwrap(other)
+
+    def __mod__(self, other: Any) -> Any:
+        return self._proxy_resolve() % _unwrap(other)
+
+    def __pow__(self, other: Any) -> Any:
+        return self._proxy_resolve() ** _unwrap(other)
+
+    def __neg__(self) -> Any:
+        return -self._proxy_resolve()
+
+    def __abs__(self) -> Any:
+        return abs(self._proxy_resolve())
+
+    # -- numpy interop ------------------------------------------------------------------------
+
+    def __array__(self, dtype: Any = None, copy: Any = None) -> Any:
+        import numpy as np
+
+        target = self._proxy_resolve()
+        return np.asarray(target, dtype=dtype)
+
+
+def _unwrap(value: Any) -> Any:
+    """Resolve ``value`` if it is a proxy, else return it unchanged."""
+    if isinstance(value, Proxy):
+        return value._proxy_resolve()
+    return value
+
+
+def is_resolved(proxy: Proxy) -> bool:
+    """True once the proxy's factory has run."""
+    return object.__getattribute__(proxy, "_proxy_target") is not _UNRESOLVED
+
+
+def resolve(proxy: Proxy) -> None:
+    """Force resolution without using the value."""
+    proxy._proxy_resolve()
+
+
+def extract(proxy: Proxy) -> Any:
+    """The wrapped target object (resolving if necessary)."""
+    return proxy._proxy_resolve()

@@ -1,0 +1,46 @@
+"""Process-local store registry.
+
+Proxies serialize as ``(store name, key)`` factories; on resolution the
+factory looks the store up here.  Each participating process (in this
+reproduction: each simulated site sharing the interpreter) registers the
+store instance that can reach the named data — exactly how ProxyStore
+factories reconnect to their backend on the resolving side.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from repro.util.errors import NotFoundError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.store import Store
+
+_lock = threading.Lock()
+_stores: dict[str, "Store"] = {}
+
+
+def register_store(store: "Store", replace: bool = False) -> None:
+    """Make a store resolvable by name in this process."""
+    with _lock:
+        if not replace and store.name in _stores:
+            raise ValueError(f"store {store.name!r} already registered")
+        _stores[store.name] = store
+
+
+def get_store(name: str) -> "Store":
+    """The registered store for ``name``; raises NotFoundError if absent."""
+    with _lock:
+        store = _stores.get(name)
+    if store is None:
+        raise NotFoundError(
+            f"no store registered under {name!r}; call register_store first"
+        )
+    return store
+
+
+def unregister_store(name: str) -> bool:
+    """Remove a registration; True if it existed."""
+    with _lock:
+        return _stores.pop(name, None) is not None

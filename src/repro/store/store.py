@@ -1,0 +1,109 @@
+"""The Store: put/get/proxy/evict over a connector.
+
+``Store.proxy(obj)`` is the paper's central data-sharing move: the
+object is serialized into the connector and a pointer-sized
+:class:`~repro.store.proxy.Proxy` comes back, safe to embed in fabric
+task payloads.  The factory inside the proxy references the store *by
+name* through the process registry, so a proxy resolved "at another
+site" (another registered store instance over the same fabric) pulls the
+bytes through whatever movement the connector implements.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.store.connectors import Connector
+from repro.store.proxy import Proxy
+from repro.store.registry import get_store
+from repro.util.ids import short_id
+from repro.util.serialization import decode_object, encode_object
+
+
+@dataclass(frozen=True)
+class StoreFactory:
+    """Picklable proxy factory: (store name, key) -> object.
+
+    ``evict`` makes the factory a consume-once reference: the data is
+    evicted after the first resolution (useful for large one-shot
+    intermediates).
+    """
+
+    store_name: str
+    key: str
+    evict: bool = False
+
+    def __call__(self) -> Any:
+        store = get_store(self.store_name)
+        value = store.get(self.key)
+        if self.evict:
+            store.evict(self.key)
+        return value
+
+
+@dataclass
+class StoreMetrics:
+    """Operation counters for benchmarking and tests."""
+
+    puts: int = 0
+    gets: int = 0
+    evicts: int = 0
+    bytes_put: int = 0
+    bytes_got: int = 0
+
+
+class Store:
+    """Object store over a connector."""
+
+    def __init__(self, name: str, connector: Connector) -> None:
+        self.name = name
+        self._connector = connector
+        self._lock = threading.Lock()
+        self.metrics = StoreMetrics()
+
+    @property
+    def connector(self) -> Connector:
+        return self._connector
+
+    # -- raw object interface ---------------------------------------------------
+
+    def put(self, obj: Any, key: str | None = None) -> str:
+        """Serialize and store an object; returns its key."""
+        key = key if key is not None else short_id("obj")
+        data = encode_object(obj)
+        self._connector.put(key, data)
+        with self._lock:
+            self.metrics.puts += 1
+            self.metrics.bytes_put += len(data)
+        return key
+
+    def get(self, key: str) -> Any:
+        """Fetch and deserialize an object."""
+        data = self._connector.get(key)
+        with self._lock:
+            self.metrics.gets += 1
+            self.metrics.bytes_got += len(data)
+        return decode_object(data)
+
+    def exists(self, key: str) -> bool:
+        return self._connector.exists(key)
+
+    def evict(self, key: str) -> bool:
+        removed = self._connector.evict(key)
+        if removed:
+            with self._lock:
+                self.metrics.evicts += 1
+        return removed
+
+    # -- proxies ---------------------------------------------------------------------
+
+    def proxy(self, obj: Any, evict: bool = False) -> Proxy:
+        """Store ``obj`` and return a lazy, picklable Proxy to it."""
+        key = self.put(obj)
+        return Proxy(StoreFactory(self.name, key, evict=evict))
+
+    def proxy_from_key(self, key: str, evict: bool = False) -> Proxy:
+        """A Proxy for data already stored under ``key``."""
+        return Proxy(StoreFactory(self.name, key, evict=evict))

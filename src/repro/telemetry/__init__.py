@@ -1,0 +1,37 @@
+"""Task execution tracing and time-series extraction.
+
+The paper's evaluation figures are built from task start/stop events:
+Figure 3 plots the number of concurrently executing tasks over time for
+one pool under different fetch policies; Figure 4 plots per-pool
+concurrency plus the GPR reprioritization timeline.  This package
+records those events (:class:`TraceCollector`), reduces them to step
+functions and utilization statistics (:mod:`repro.telemetry.timeseries`),
+and renders compact text charts for benchmark output
+(:mod:`repro.telemetry.report`).
+"""
+
+from repro.telemetry.events import EventKind, TaskEvent, TraceCollector
+from repro.telemetry.timeseries import (
+    ConcurrencySeries,
+    concurrency_series,
+    mean_concurrency,
+    sample_series,
+    utilization_stats,
+)
+from repro.telemetry.report import ascii_chart, render_table
+from repro.telemetry.export import load_trace, save_trace
+
+__all__ = [
+    "load_trace",
+    "save_trace",
+    "EventKind",
+    "TaskEvent",
+    "TraceCollector",
+    "ConcurrencySeries",
+    "concurrency_series",
+    "mean_concurrency",
+    "sample_series",
+    "utilization_stats",
+    "ascii_chart",
+    "render_table",
+]

@@ -1,0 +1,98 @@
+"""Task lifecycle events and their thread-safe collector."""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass
+
+
+class EventKind(enum.Enum):
+    """What happened to a task (or workflow phase) at an instant."""
+
+    TASK_START = "task_start"
+    TASK_STOP = "task_stop"
+    FETCH = "fetch"
+    POOL_START = "pool_start"
+    POOL_STOP = "pool_stop"
+    PHASE_START = "phase_start"
+    PHASE_STOP = "phase_stop"
+
+
+@dataclass(frozen=True)
+class TaskEvent:
+    """One timestamped event.
+
+    ``source`` identifies the emitting component (worker pool name,
+    algorithm phase); ``detail`` carries event-specific data such as a
+    fetch's task count or a phase label.
+    """
+
+    kind: EventKind
+    time: float
+    task_id: int | None = None
+    source: str = ""
+    detail: str = ""
+
+
+class TraceCollector:
+    """Thread-safe, append-only event sink.
+
+    Pools and algorithm drivers share one collector per run; analysis
+    code takes immutable snapshots.  Events need not arrive in time
+    order (pools race); consumers sort.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[TaskEvent] = []
+
+    def record(
+        self,
+        kind: EventKind,
+        time: float,
+        task_id: int | None = None,
+        source: str = "",
+        detail: str = "",
+    ) -> None:
+        """Append one event."""
+        event = TaskEvent(kind=kind, time=time, task_id=task_id, source=source, detail=detail)
+        with self._lock:
+            self._events.append(event)
+
+    def task_start(self, time: float, task_id: int, source: str = "") -> None:
+        self.record(EventKind.TASK_START, time, task_id, source)
+
+    def task_stop(self, time: float, task_id: int, source: str = "") -> None:
+        self.record(EventKind.TASK_STOP, time, task_id, source)
+
+    def snapshot(self) -> list[TaskEvent]:
+        """A time-sorted copy of all events so far."""
+        with self._lock:
+            events = list(self._events)
+        events.sort(key=lambda e: e.time)
+        return events
+
+    def filter(
+        self, kind: EventKind | None = None, source: str | None = None
+    ) -> list[TaskEvent]:
+        """Time-sorted events matching a kind and/or source."""
+        return [
+            e
+            for e in self.snapshot()
+            if (kind is None or e.kind == kind)
+            and (source is None or e.source == source)
+        ]
+
+    def sources(self) -> list[str]:
+        """Distinct event sources, in first-seen order."""
+        seen: dict[str, None] = {}
+        with self._lock:
+            for event in self._events:
+                if event.source:
+                    seen.setdefault(event.source, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

@@ -1,0 +1,85 @@
+"""Trace import/export.
+
+Traces are valuable beyond a single process: the examples produce them
+under wall-clock time, the benchmarks under virtual time, and users will
+want to plot either with their own tooling.  Events serialize to a
+line-oriented JSON format (one event per line, header first) that
+round-trips exactly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.telemetry.events import EventKind, TaskEvent, TraceCollector
+from repro.util.errors import SerializationError
+from repro.util.serialization import json_dumps, json_loads
+
+FORMAT_VERSION = 1
+
+
+def events_to_lines(events: list[TaskEvent]) -> list[str]:
+    """Serialize events to JSON lines (header line first)."""
+    lines = [json_dumps({"format": "repro-trace", "version": FORMAT_VERSION})]
+    for event in events:
+        lines.append(
+            json_dumps(
+                {
+                    "kind": event.kind.value,
+                    "time": event.time,
+                    "task_id": event.task_id,
+                    "source": event.source,
+                    "detail": event.detail,
+                }
+            )
+        )
+    return lines
+
+
+def events_from_lines(lines: list[str]) -> list[TaskEvent]:
+    """Parse events written by :func:`events_to_lines`."""
+    if not lines:
+        raise SerializationError("empty trace")
+    header = json_loads(lines[0])
+    if not isinstance(header, dict) or header.get("format") != "repro-trace":
+        raise SerializationError("not a repro trace (bad header)")
+    if header.get("version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported trace version {header.get('version')!r}"
+        )
+    events: list[TaskEvent] = []
+    for i, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        data = json_loads(line)
+        try:
+            events.append(
+                TaskEvent(
+                    kind=EventKind(data["kind"]),
+                    time=float(data["time"]),
+                    task_id=data.get("task_id"),
+                    source=data.get("source", ""),
+                    detail=data.get("detail", ""),
+                )
+            )
+        except (KeyError, ValueError) as exc:
+            raise SerializationError(f"bad trace event on line {i}: {exc}") from exc
+    return events
+
+
+def save_trace(trace: TraceCollector, path: str | Path) -> int:
+    """Write a collector's events to a file; returns the event count."""
+    events = trace.snapshot()
+    Path(path).write_text("\n".join(events_to_lines(events)) + "\n")
+    return len(events)
+
+
+def load_trace(path: str | Path) -> TraceCollector:
+    """Read a trace file into a fresh collector."""
+    lines = Path(path).read_text().splitlines()
+    trace = TraceCollector()
+    for event in events_from_lines(lines):
+        trace.record(
+            event.kind, event.time, event.task_id, event.source, event.detail
+        )
+    return trace

@@ -1,0 +1,24 @@
+"""Wide-area data transfer substrate (Globus stand-in).
+
+Paper §IV-E: "Globus provides high-performance and reliable third-party
+data transfer ... The third-party nature of Globus transfers allows
+OSPREY (via ProxyStore) to easily move data between locations without
+needing to maintain open connections to those locations."
+
+This package reproduces that contract: named
+:class:`TransferEndpoint`\\ s hold keyed data with per-endpoint bandwidth
+and latency; a :class:`TransferClient` submits asynchronous third-party
+transfers (data moves endpoint-to-endpoint, the submitting client holds
+no connection), with retry on transient endpoint outages and transfer
+durations derived from payload size and the slower endpoint's bandwidth.
+"""
+
+from repro.transfer.endpoint import TransferEndpoint
+from repro.transfer.client import TransferClient, TransferState, TransferTask
+
+__all__ = [
+    "TransferEndpoint",
+    "TransferClient",
+    "TransferState",
+    "TransferTask",
+]

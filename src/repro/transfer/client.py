@@ -1,0 +1,185 @@
+"""Third-party transfer client.
+
+A transfer runs on its own thread between two endpoints — the submitter
+holds no connection to either, which is the property that lets proxies
+cross sites without client babysitting.  The simulated duration is::
+
+    latency(src) + latency(dst) + size / min(bandwidth(src), bandwidth(dst))
+
+A transfer whose endpoint is offline retries with exponential backoff up
+to ``max_retries`` times, then fails; an endpoint coming back online in
+the window lets the transfer succeed — Globus's reliable-delivery
+behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+
+from repro.transfer.endpoint import TransferEndpoint
+from repro.util.clock import Clock, SystemClock
+from repro.util.errors import NotFoundError, TimeoutError_, TransferError
+from repro.util.ids import short_id
+
+
+class TransferState(enum.Enum):
+    """Transfer task lifecycle (mirrors the Globus task states)."""
+
+    ACTIVE = "active"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+@dataclass
+class TransferTask:
+    """Handle for one asynchronous transfer."""
+
+    task_id: str
+    source: str
+    destination: str
+    items: list[tuple[str, str]]  # (src_key, dst_key)
+    state: TransferState = TransferState.ACTIVE
+    bytes_transferred: int = 0
+    error: str | None = None
+    started_at: float = 0.0
+    finished_at: float | None = None
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def wait(self, timeout: float | None = 60.0) -> "TransferTask":
+        """Block until the transfer finishes; raises on timeout or
+        failure so callers never consume half-delivered data."""
+        if not self._done.wait(timeout):
+            raise TimeoutError_(f"transfer {self.task_id} still active after {timeout}s")
+        if self.state == TransferState.FAILED:
+            raise TransferError(f"transfer {self.task_id} failed: {self.error}")
+        return self
+
+    def duration(self) -> float | None:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+class TransferClient:
+    """Submits and tracks third-party transfers between named endpoints."""
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        max_retries: int = 3,
+        retry_delay: float = 0.05,
+        speedup: float = 1.0,
+    ) -> None:
+        """``speedup`` divides simulated durations — examples model
+        multi-GB transfers without multi-minute test runs."""
+        self._clock = clock if clock is not None else SystemClock()
+        self._max_retries = max_retries
+        self._retry_delay = retry_delay
+        self._speedup = speedup
+        self._lock = threading.Lock()
+        self._endpoints: dict[str, TransferEndpoint] = {}
+        self._tasks: dict[str, TransferTask] = {}
+
+    # -- endpoint registry ----------------------------------------------------
+
+    def register_endpoint(self, endpoint: TransferEndpoint) -> None:
+        with self._lock:
+            if endpoint.name in self._endpoints:
+                raise ValueError(f"endpoint {endpoint.name!r} already registered")
+            self._endpoints[endpoint.name] = endpoint
+
+    def endpoint(self, name: str) -> TransferEndpoint:
+        with self._lock:
+            try:
+                return self._endpoints[name]
+            except KeyError:
+                raise NotFoundError(f"unknown transfer endpoint {name!r}") from None
+
+    def endpoints(self) -> list[str]:
+        with self._lock:
+            return sorted(self._endpoints)
+
+    # -- transfers ----------------------------------------------------------------
+
+    def transfer_duration(self, source: str, destination: str, size: int) -> float:
+        """The modelled wall-clock cost of moving ``size`` bytes."""
+        src = self.endpoint(source)
+        dst = self.endpoint(destination)
+        link = min(src.bandwidth, dst.bandwidth)
+        return (src.latency + dst.latency + size / link) / self._speedup
+
+    def submit_transfer(
+        self,
+        source: str,
+        destination: str,
+        items: list[tuple[str, str]] | None = None,
+        src_key: str | None = None,
+        dst_key: str | None = None,
+    ) -> TransferTask:
+        """Start an asynchronous transfer of one or many keys.
+
+        Either pass ``items`` (a batch of (src_key, dst_key) pairs) or
+        the single-pair ``src_key``/``dst_key`` form.
+        """
+        if items is None:
+            if src_key is None:
+                raise ValueError("provide items or src_key")
+            items = [(src_key, dst_key if dst_key is not None else src_key)]
+        # Unknown endpoints are a caller error: fail at submission, not
+        # asynchronously inside the transfer thread.
+        self.endpoint(source)
+        self.endpoint(destination)
+        task = TransferTask(
+            task_id=short_id("xfer"),
+            source=source,
+            destination=destination,
+            items=list(items),
+            started_at=self._clock.now(),
+        )
+        with self._lock:
+            self._tasks[task.task_id] = task
+        thread = threading.Thread(
+            target=self._run_transfer, args=(task,), name=task.task_id, daemon=True
+        )
+        thread.start()
+        return task
+
+    def task(self, task_id: str) -> TransferTask:
+        with self._lock:
+            try:
+                return self._tasks[task_id]
+            except KeyError:
+                raise NotFoundError(f"unknown transfer task {task_id!r}") from None
+
+    def _run_transfer(self, task: TransferTask) -> None:
+        try:
+            src = self.endpoint(task.source)
+            dst = self.endpoint(task.destination)
+            self._await_online(src, dst, task)
+            total = sum(src.size(key) for key, _ in task.items)
+            # One simulated wire time for the batch.
+            self._clock.sleep(self.transfer_duration(task.source, task.destination, total))
+            for src_key, dst_key in task.items:
+                dst.put(dst_key, src.get(src_key))
+            task.bytes_transferred = total
+            task.state = TransferState.SUCCEEDED
+        except Exception as exc:  # noqa: BLE001 - surfaces through the task
+            task.state = TransferState.FAILED
+            task.error = str(exc)
+        finally:
+            task.finished_at = self._clock.now()
+            task._done.set()
+
+    def _await_online(
+        self, src: TransferEndpoint, dst: TransferEndpoint, task: TransferTask
+    ) -> None:
+        delay = self._retry_delay
+        for _attempt in range(self._max_retries + 1):
+            if src.online and dst.online:
+                return
+            self._clock.sleep(delay)
+            delay *= 2
+        offline = [ep.name for ep in (src, dst) if not ep.online]
+        raise TransferError(f"endpoints offline after retries: {offline}")

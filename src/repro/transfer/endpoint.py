@@ -1,0 +1,83 @@
+"""Transfer endpoints: named, keyed byte stores with link properties."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.util.errors import NotFoundError
+
+
+class TransferEndpoint:
+    """One site's data endpoint.
+
+    ``bandwidth`` (bytes/second) and ``latency`` (seconds) describe the
+    site's WAN link and determine simulated transfer durations.  An
+    endpoint can be taken offline to exercise retry paths.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        bandwidth: float = 1e9,
+        latency: float = 0.0,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency < 0:
+            raise ValueError("latency must be nonnegative")
+        self.name = name
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self._lock = threading.Lock()
+        self._data: dict[str, bytes] = {}
+        self._online = True
+
+    # -- availability ---------------------------------------------------------
+
+    @property
+    def online(self) -> bool:
+        with self._lock:
+            return self._online
+
+    def set_online(self, online: bool) -> None:
+        with self._lock:
+            self._online = online
+
+    # -- data ---------------------------------------------------------------------
+
+    def put(self, key: str, data: bytes) -> None:
+        with self._lock:
+            self._data[key] = bytes(data)
+
+    def get(self, key: str) -> bytes:
+        with self._lock:
+            try:
+                return self._data[key]
+            except KeyError:
+                raise NotFoundError(
+                    f"no data under key {key!r} at endpoint {self.name!r}"
+                ) from None
+
+    def exists(self, key: str) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def size(self, key: str) -> int:
+        with self._lock:
+            if key not in self._data:
+                raise NotFoundError(
+                    f"no data under key {key!r} at endpoint {self.name!r}"
+                )
+            return len(self._data[key])
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            return self._data.pop(key, None) is not None
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self._data)
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._data.values())

@@ -1,0 +1,45 @@
+"""Shared utilities: clocks, identifiers, serialization, errors.
+
+These are the lowest layer of the OSPREY reproduction; every other
+subpackage may depend on :mod:`repro.util` but :mod:`repro.util` depends
+on nothing else in the package.
+"""
+
+from repro.util.clock import Clock, SystemClock, VirtualClock
+from repro.util.errors import (
+    ReproError,
+    TimeoutError_,
+    PayloadTooLargeError,
+    SerializationError,
+    AuthenticationError,
+    NotFoundError,
+    InvalidStateError,
+)
+from repro.util.ids import IdGenerator, uuid_hex
+from repro.util.serialization import (
+    json_dumps,
+    json_loads,
+    encode_object,
+    decode_object,
+    payload_size,
+)
+
+__all__ = [
+    "Clock",
+    "SystemClock",
+    "VirtualClock",
+    "ReproError",
+    "TimeoutError_",
+    "PayloadTooLargeError",
+    "SerializationError",
+    "AuthenticationError",
+    "NotFoundError",
+    "InvalidStateError",
+    "IdGenerator",
+    "uuid_hex",
+    "json_dumps",
+    "json_loads",
+    "encode_object",
+    "decode_object",
+    "payload_size",
+]

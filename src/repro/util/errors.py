@@ -1,0 +1,77 @@
+"""Exception hierarchy for the OSPREY reproduction.
+
+Every component raises subclasses of :class:`ReproError` so callers can
+catch platform errors distinctly from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class TimeoutError_(ReproError):
+    """An operation exceeded its timeout.
+
+    Named with a trailing underscore to avoid shadowing the builtin;
+    it still subclasses :class:`ReproError` only, because platform code
+    treats timeouts as recoverable polling outcomes, not as fatal errors.
+    """
+
+
+class PayloadTooLargeError(ReproError):
+    """A payload exceeded a transport's size limit.
+
+    The compute fabric caps task inputs/outputs (the paper cites funcX's
+    10 MB limit); larger data must move out-of-band through the data
+    sharing service (:mod:`repro.store` / :mod:`repro.transfer`).
+    """
+
+    def __init__(self, size: int, limit: int, what: str = "payload") -> None:
+        super().__init__(
+            f"{what} of {size} bytes exceeds transport limit of {limit} bytes; "
+            "stage it through the data sharing service instead"
+        )
+        self.size = size
+        self.limit = limit
+
+
+class SerializationError(ReproError):
+    """An object could not be serialized or deserialized."""
+
+
+class AuthenticationError(ReproError):
+    """A fabric request carried a missing, invalid, or expired credential."""
+
+
+class AuthorizationError(AuthenticationError):
+    """A valid identity attempted an operation it is not permitted."""
+
+
+class NotFoundError(ReproError):
+    """A referenced entity (task, endpoint, key, job) does not exist."""
+
+
+class InvalidStateError(ReproError):
+    """An operation is not valid in the entity's current state."""
+
+
+class CancelledError_(ReproError):
+    """The awaited work was cancelled before producing a result."""
+
+
+class EndpointUnavailableError(ReproError):
+    """The target fabric endpoint is offline or unregistered."""
+
+
+class SchedulerError(ReproError):
+    """A cluster scheduler rejected or failed a job operation."""
+
+
+class TransferError(ReproError):
+    """A wide-area data transfer failed permanently."""
+
+
+class DataError(ReproError):
+    """A data ingestion/curation pipeline rejected its input."""

@@ -1,0 +1,64 @@
+"""Identifier generation.
+
+Task identifiers in the EMEWS DB are integers allocated by the database
+(the paper: "the API creates a unique task identifier (an integer)").
+Other entities — fabric tasks, transfers, store keys — use opaque hex
+strings.  :class:`IdGenerator` provides thread-safe monotonically
+increasing integers for the former; :func:`uuid_hex` for the latter.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+
+
+class IdGenerator:
+    """Thread-safe monotonically increasing integer ids.
+
+    The first id issued is ``start``; ids never repeat within one
+    generator.  Backends persist their high-water mark so ids remain
+    unique across reconnects to the same database file.
+    """
+
+    def __init__(self, start: int = 1) -> None:
+        if start < 0:
+            raise ValueError("start must be nonnegative")
+        self._next = start
+        self._lock = threading.Lock()
+
+    def next_id(self) -> int:
+        with self._lock:
+            value = self._next
+            self._next += 1
+            return value
+
+    def peek(self) -> int:
+        """The id that the next call to :meth:`next_id` will return."""
+        with self._lock:
+            return self._next
+
+    def reserve(self, n: int) -> range:
+        """Atomically reserve ``n`` consecutive ids (for batch inserts)."""
+        if n < 0:
+            raise ValueError("cannot reserve a negative count")
+        with self._lock:
+            first = self._next
+            self._next += n
+            return range(first, first + n)
+
+    def bump_to(self, floor: int) -> None:
+        """Ensure future ids are >= ``floor`` (used on DB reattach)."""
+        with self._lock:
+            if floor > self._next:
+                self._next = floor
+
+
+def uuid_hex() -> str:
+    """A 32-character random hex identifier."""
+    return uuid.uuid4().hex
+
+
+def short_id(prefix: str) -> str:
+    """A short, prefixed, human-scannable identifier, e.g. ``ep-3fa9c1d2``."""
+    return f"{prefix}-{uuid.uuid4().hex[:8]}"

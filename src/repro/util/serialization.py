@@ -1,0 +1,115 @@
+"""Serialization helpers with explicit size accounting.
+
+Task payloads in OSPREY are JSON strings ("typically a JSON formatted
+string, either a JSON dictionary or in less complex cases a simple JSON
+list").  The compute fabric additionally moves arbitrary Python objects
+(functions, arguments, results) and enforces a payload size cap, so
+object encoding reports its encoded size for limit checks.
+
+Pickle is used only for fabric-internal object transport between
+components we control, mirroring funcX's use of serialized callables.
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+import json
+import pickle
+from typing import Any
+
+from repro.util.errors import SerializationError
+
+
+def json_dumps(obj: Any) -> str:
+    """Serialize ``obj`` to a compact JSON string.
+
+    Raises :class:`SerializationError` for non-JSON-serializable input so
+    callers surface payload bugs at submission time, not at execution.
+    """
+    try:
+        return json.dumps(obj, separators=(",", ":"), sort_keys=False)
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"payload is not JSON-serializable: {exc}") from exc
+
+
+def json_loads(text: str) -> Any:
+    """Deserialize a JSON string, wrapping errors."""
+    try:
+        return json.loads(text)
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"invalid JSON payload: {exc}") from exc
+
+
+def encode_object(obj: Any) -> bytes:
+    """Encode an arbitrary Python object for fabric transport."""
+    try:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # pickle raises many concrete types
+        raise SerializationError(f"object is not picklable: {exc}") from exc
+
+
+def decode_object(data: bytes) -> Any:
+    """Decode an object previously produced by :func:`encode_object`."""
+    try:
+        return pickle.loads(data)
+    except Exception as exc:
+        raise SerializationError(f"corrupt object encoding: {exc}") from exc
+
+
+def encode_object_b64(obj: Any) -> str:
+    """Encode an object to a base64 string (for JSON-framed transports)."""
+    return base64.b64encode(encode_object(obj)).decode("ascii")
+
+
+def decode_object_b64(text: str) -> Any:
+    """Inverse of :func:`encode_object_b64`."""
+    try:
+        raw = base64.b64decode(text.encode("ascii"), validate=True)
+    except Exception as exc:
+        raise SerializationError(f"invalid base64 object encoding: {exc}") from exc
+    return decode_object(raw)
+
+
+def payload_size(payload: Any) -> int:
+    """Size in bytes of a payload as it would cross a transport.
+
+    Strings are measured UTF-8 encoded; bytes as-is; other objects by
+    their pickle encoding.  Used by the fabric to enforce its input /
+    output caps (the 10 MB funcX limit the paper works around with the
+    data sharing service).
+    """
+    if isinstance(payload, bytes):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    return len(encode_object(payload))
+
+
+class SizeCountingWriter(io.RawIOBase):
+    """A write-only stream that counts bytes without storing them.
+
+    Useful to measure the serialized size of very large objects without
+    materializing a second copy in memory.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def writable(self) -> bool:  # pragma: no cover - io protocol
+        return True
+
+    def write(self, b: Any) -> int:
+        n = len(b)
+        self.count += n
+        return n
+
+
+def pickled_size(obj: Any) -> int:
+    """Serialized size of ``obj`` computed streamingly (no copy kept)."""
+    writer = SizeCountingWriter()
+    try:
+        pickle.dump(obj, writer, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise SerializationError(f"object is not picklable: {exc}") from exc
+    return writer.count

@@ -1,0 +1,29 @@
+"""Shared fixtures: both EMEWS DB backends behind one parametrized fixture."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import MemoryTaskStore, SqliteTaskStore
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request):
+    """A fresh TaskStore of each backend flavor."""
+    if request.param == "memory":
+        s = MemoryTaskStore()
+    else:
+        s = SqliteTaskStore(":memory:")
+    yield s
+    s.close()
+
+
+@pytest.fixture(params=["memory", "sqlite-file"])
+def durable_store(request, tmp_path):
+    """A store whose sqlite flavor is file-backed (for reattach tests)."""
+    if request.param == "memory":
+        s = MemoryTaskStore()
+    else:
+        s = SqliteTaskStore(str(tmp_path / "emews.db"))
+    yield s
+    s.close()

@@ -1,0 +1,82 @@
+"""Tests of the batch/threshold fetch policy (paper §IV-D)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.fetch import FetchPolicy, fetch_count
+
+
+class TestFetchCount:
+    def test_paper_example(self):
+        # "if a worker pool is configured to possess 33 tasks at a time,
+        # if it owns 30 uncompleted tasks ... it will only obtain 3".
+        assert fetch_count(33, 1, 30) == 3
+
+    def test_full_batch_when_empty(self):
+        assert fetch_count(33, 1, 0) == 33
+
+    def test_threshold_blocks_small_deficit(self):
+        # Threshold 15: with 20 owned (deficit 13 < 15) fetch nothing.
+        assert fetch_count(33, 15, 20) == 0
+        # With 18 owned (deficit 15 >= 15) fetch the whole deficit.
+        assert fetch_count(33, 15, 18) == 15
+
+    def test_at_capacity_fetches_nothing(self):
+        assert fetch_count(33, 1, 33) == 0
+
+    def test_over_capacity_fetches_nothing(self):
+        # Owned can transiently exceed batch after a config change.
+        assert fetch_count(33, 1, 40) == 0
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            fetch_count(0, 1, 0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            fetch_count(10, 0, 0)
+        with pytest.raises(ValueError):
+            fetch_count(10, 11, 0)
+
+    def test_invalid_owned(self):
+        with pytest.raises(ValueError):
+            fetch_count(10, 1, -1)
+
+    @given(
+        batch=st.integers(min_value=1, max_value=200),
+        threshold_frac=st.floats(min_value=0, max_value=1),
+        owned=st.integers(min_value=0, max_value=250),
+    )
+    def test_invariants(self, batch, threshold_frac, owned):
+        threshold = max(1, min(batch, int(round(threshold_frac * batch))))
+        n = fetch_count(batch, threshold, owned)
+        # Never exceed capacity.
+        assert owned + n <= batch or n == 0
+        # Either fetch nothing or at least the threshold.
+        assert n == 0 or n >= threshold
+        # Fetching is exactly the deficit when it happens.
+        if n > 0:
+            assert n == batch - owned
+
+
+class TestFetchPolicy:
+    def test_to_fetch_delegates(self):
+        policy = FetchPolicy(batch_size=50, threshold=1)
+        assert policy.to_fetch(0) == 50
+        assert policy.to_fetch(49) == 1
+
+    def test_validates_at_construction(self):
+        with pytest.raises(ValueError):
+            FetchPolicy(batch_size=5, threshold=6)
+
+    def test_oversubscription_detection(self):
+        # Fig 3 top panel: batch 50 against 33 workers oversubscribes.
+        assert FetchPolicy(50, 1).oversubscribes(33)
+        assert not FetchPolicy(33, 1).oversubscribes(33)
+
+    def test_frozen(self):
+        policy = FetchPolicy(10, 2)
+        with pytest.raises(AttributeError):
+            policy.batch_size = 20  # type: ignore[misc]

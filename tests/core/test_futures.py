@@ -1,0 +1,226 @@
+"""Tests for Future and the asynchronous collection functions (§V-B)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import (
+    EQSQL,
+    ResultStatus,
+    TaskStatus,
+    as_completed,
+    cancel_futures,
+    pop_completed,
+    update_priority,
+)
+from repro.util.errors import TimeoutError_
+
+
+@pytest.fixture
+def eq(store):
+    return EQSQL(store)
+
+
+def run_tasks(eq, eq_type=0, n=None):
+    """Execute queued tasks inline: pop, evaluate len(payload), report."""
+    count = 0
+    while True:
+        message = eq.query_task(eq_type, timeout=0)
+        if message["type"] == "status":
+            break
+        eq.report_task(message["eq_task_id"], eq_type, f"len={len(message['payload'])}")
+        count += 1
+        if n is not None and count >= n:
+            break
+    return count
+
+
+class TestFuture:
+    def test_lifecycle(self, eq):
+        future = eq.submit_task("e", 0, "abc")
+        assert future.status == TaskStatus.QUEUED
+        assert not future.done()
+        message = eq.query_task(0, timeout=0)
+        assert future.status == TaskStatus.RUNNING
+        eq.report_task(message["eq_task_id"], 0, "r")
+        assert future.done()
+        assert future.status == TaskStatus.COMPLETE
+
+    def test_result_cached(self, eq):
+        future = eq.submit_task("e", 0, "abc")
+        run_tasks(eq)
+        status, result = future.result(timeout=0)
+        assert status == ResultStatus.SUCCESS
+        # Second call served from the cache even though the input-queue
+        # row was consumed.
+        assert future.result(timeout=0) == (ResultStatus.SUCCESS, result)
+
+    def test_result_timeout(self, eq):
+        future = eq.submit_task("e", 0, "abc")
+        assert future.result(timeout=0) == (ResultStatus.FAILURE, "TIMEOUT")
+
+    def test_cancel_queued(self, eq):
+        future = eq.submit_task("e", 0, "abc")
+        assert future.cancel()
+        assert future.cancelled
+        assert future.status == TaskStatus.CANCELED
+        assert future.done()
+
+    def test_cancel_running_fails(self, eq):
+        future = eq.submit_task("e", 0, "abc")
+        eq.query_task(0, timeout=0)
+        assert not future.cancel()
+        assert future.status == TaskStatus.RUNNING
+
+    def test_cancel_idempotent(self, eq):
+        future = eq.submit_task("e", 0, "abc")
+        assert future.cancel()
+        assert future.cancel()
+
+    def test_priority_get_set(self, eq):
+        future = eq.submit_task("e", 0, "abc", priority=5)
+        assert future.priority == 5
+        future.priority = 9
+        assert future.priority == 9
+
+    def test_priority_none_after_pop(self, eq):
+        future = eq.submit_task("e", 0, "abc")
+        eq.query_task(0, timeout=0)
+        assert future.priority is None
+
+    def test_repr(self, eq):
+        future = eq.submit_task("e", 0, "abc")
+        assert "queued" in repr(future)
+
+
+class TestAsCompleted:
+    def test_yields_all(self, eq):
+        futures = eq.submit_tasks("e", 0, ["a", "bb", "ccc"])
+        run_tasks(eq)
+        done = list(as_completed(futures, timeout=1))
+        assert {f.eq_task_id for f in done} == {f.eq_task_id for f in futures}
+        # Results are cached on each yielded future.
+        assert all(f.result(timeout=0)[0] == ResultStatus.SUCCESS for f in done)
+
+    def test_yields_n_and_stops(self, eq):
+        futures = eq.submit_tasks("e", 0, ["a", "b", "c", "d"])
+        run_tasks(eq)
+        done = list(as_completed(futures, n=2, timeout=1))
+        assert len(done) == 2
+
+    def test_pop_removes_from_list(self, eq):
+        futures = eq.submit_tasks("e", 0, ["a", "b", "c"])
+        run_tasks(eq)
+        done = list(as_completed(futures, pop=True, n=2, timeout=1))
+        assert len(done) == 2
+        assert len(futures) == 1
+        assert futures[0] not in done
+
+    def test_completion_order_not_submission_order(self, eq):
+        futures = eq.submit_tasks("e", 0, ["a", "b", "c"])
+        # Complete the last-submitted task first.
+        for want in (futures[2], futures[0], futures[1]):
+            messages = eq.query_task(0, n=1, timeout=0)
+            # pop order is FIFO, so force specific completion by
+            # reporting the specific id we want regardless of pop.
+        # Simpler: pop all three, then report in reverse order.
+        eq2_ids = [f.eq_task_id for f in futures]
+        for tid in reversed(eq2_ids):
+            eq.report_task(tid, 0, f"r{tid}")
+        done = list(as_completed(futures, timeout=1))
+        assert len(done) == 3
+
+    def test_empty_input(self, eq):
+        assert list(as_completed([], timeout=0)) == []
+
+    def test_timeout_raises(self, eq):
+        futures = eq.submit_tasks("e", 0, ["a", "b"])
+        with pytest.raises(TimeoutError_):
+            list(as_completed(futures, timeout=0, delay=0.01))
+
+    def test_skips_cancelled(self, eq):
+        futures = eq.submit_tasks("e", 0, ["a", "b", "c"])
+        futures[1].cancel()
+        # Complete the two live tasks.
+        run_tasks(eq)
+        done = list(as_completed(futures, timeout=1))
+        assert {f.eq_task_id for f in done} == {
+            futures[0].eq_task_id,
+            futures[2].eq_task_id,
+        }
+
+    def test_all_cancelled_ends_generator(self, eq):
+        futures = eq.submit_tasks("e", 0, ["a", "b"])
+        cancel_futures(futures)
+        assert list(as_completed(futures, timeout=0)) == []
+
+    def test_cached_results_yield_without_db(self, eq):
+        futures = eq.submit_tasks("e", 0, ["a", "b"])
+        run_tasks(eq)
+        for f in futures:
+            f.result(timeout=0)
+        done = list(as_completed(futures, timeout=0))
+        assert len(done) == 2
+
+
+class TestPopCompleted:
+    def test_pops_first_completed(self, eq):
+        futures = eq.submit_tasks("e", 0, ["a", "b", "c"])
+        ids = [f.eq_task_id for f in futures]
+        eq.query_task(0, n=3, timeout=0)
+        eq.report_task(ids[1], 0, "first-done")
+        future = pop_completed(futures, timeout=1)
+        assert future.eq_task_id == ids[1]
+        assert len(futures) == 2
+        assert future.result(timeout=0) == (ResultStatus.SUCCESS, "first-done")
+
+    def test_concurrent_completion(self, eq):
+        futures = eq.submit_tasks("e", 0, ["a", "b"])
+
+        def worker():
+            message = eq.query_task(0, timeout=1)
+            eq.report_task(message["eq_task_id"], 0, "done")
+
+        t = threading.Thread(target=worker)
+        t.start()
+        future = pop_completed(futures, delay=0.01, timeout=5)
+        t.join()
+        assert future.result(timeout=0)[0] == ResultStatus.SUCCESS
+
+    def test_timeout(self, eq):
+        futures = eq.submit_tasks("e", 0, ["a"])
+        with pytest.raises(TimeoutError_):
+            pop_completed(futures, timeout=0, delay=0.01)
+
+
+class TestBatchPriorityAndCancel:
+    def test_update_priority_scalar(self, eq):
+        futures = eq.submit_tasks("e", 0, ["a", "b", "c"])
+        assert update_priority(futures, 7) == 3
+        assert all(f.priority == 7 for f in futures)
+
+    def test_update_priority_sequence(self, eq):
+        futures = eq.submit_tasks("e", 0, ["a", "b"])
+        assert update_priority(futures, [4, 8]) == 2
+        assert futures[0].priority == 4
+        assert futures[1].priority == 8
+
+    def test_update_priority_skips_popped(self, eq):
+        futures = eq.submit_tasks("e", 0, ["a", "b"])
+        eq.query_task(0, timeout=0)
+        assert update_priority(futures, 9) == 1
+
+    def test_update_priority_empty(self):
+        assert update_priority([], 5) == 0
+
+    def test_cancel_futures_batch(self, eq):
+        futures = eq.submit_tasks("e", 0, ["a", "b", "c"])
+        eq.query_task(0, timeout=0)  # first is running
+        assert cancel_futures(futures) == 2
+        assert not futures[0].cancelled
+        assert futures[1].cancelled and futures[2].cancelled
+
+    def test_cancel_futures_empty(self):
+        assert cancel_futures([]) == 0

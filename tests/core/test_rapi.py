@@ -1,0 +1,67 @@
+"""Tests for the R-style functional API facade (Listing 1 parity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import rapi
+from repro.core.eqsql import init_eqsql
+from repro.util.errors import InvalidStateError
+
+
+@pytest.fixture(autouse=True)
+def clean_module():
+    rapi.eq_shutdown()
+    yield
+    rapi.eq_shutdown()
+
+
+class TestLifecycle:
+    def test_requires_init(self):
+        with pytest.raises(InvalidStateError):
+            rapi.eq_submit_task("e", 0, "p")
+
+    def test_double_init_rejected(self):
+        rapi.eq_init()
+        with pytest.raises(InvalidStateError):
+            rapi.eq_init()
+
+    def test_shutdown_then_reinit(self):
+        rapi.eq_init()
+        rapi.eq_shutdown(close=True)
+        rapi.eq_init()
+        assert rapi.eq_submit_task("e", 0, "p") == 1
+
+    def test_shared_connection(self):
+        eq = init_eqsql()
+        rapi.eq_init(eqsql=eq)
+        tid = rapi.eq_submit_task("e", 0, "shared")
+        # Visible through the Python-side handle too.
+        assert eq.queue_lengths(0)[0] == 1
+        assert eq.task_info(tid).json_out == "shared"
+        rapi.eq_shutdown()
+        eq.close()
+
+
+class TestRoundTrip:
+    def test_listing1_workflow(self):
+        rapi.eq_init()
+        tid = rapi.eq_submit_task("exp1", 0, '{"sample": [1, 2]}', priority=3)
+        work = rapi.eq_query_task(0, timeout=0)
+        assert work["type"] == "work"
+        assert work["eq_task_id"] == tid
+        rapi.eq_report_task(tid, 0, '{"value": 42}')
+        result = rapi.eq_query_result(tid, timeout=0)
+        assert result == {"type": "result", "eq_task_id": tid, "payload": '{"value": 42}'}
+
+    def test_query_task_timeout(self):
+        rapi.eq_init()
+        assert rapi.eq_query_task(0, timeout=0) == {"type": "status", "payload": "TIMEOUT"}
+
+    def test_query_result_timeout(self):
+        rapi.eq_init()
+        tid = rapi.eq_submit_task("e", 0, "p")
+        assert rapi.eq_query_result(tid, timeout=0) == {
+            "type": "status",
+            "payload": "TIMEOUT",
+        }

@@ -1,0 +1,95 @@
+"""Tests for the R-style asynchronous API extensions (§VII future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import rapi
+
+
+@pytest.fixture(autouse=True)
+def fresh_connection():
+    rapi.eq_shutdown()
+    rapi.eq_init()
+    yield
+    rapi.eq_shutdown(close=True)
+
+
+def submit(n, priority=0):
+    return [rapi.eq_submit_task("exp", 0, f"p{i}", priority=priority) for i in range(n)]
+
+
+def run_one():
+    work = rapi.eq_query_task(0, timeout=0)
+    assert work["type"] == "work"
+    rapi.eq_report_task(work["eq_task_id"], 0, f"r{work['eq_task_id']}")
+    return work["eq_task_id"]
+
+
+class TestAsCompleted:
+    def test_collects_completed(self):
+        ids = submit(3)
+        done = [run_one(), run_one()]
+        results = rapi.eq_as_completed(ids, timeout=0)
+        assert [r["eq_task_id"] for r in results] == done
+        assert all(r["type"] == "result" for r in results)
+
+    def test_n_limits_collection(self):
+        ids = submit(3)
+        for _ in range(3):
+            run_one()
+        results = rapi.eq_as_completed(ids, n=2, timeout=0)
+        assert len(results) == 2
+        # The rest remain poppable later.
+        rest = rapi.eq_as_completed(ids, timeout=0)
+        assert len(rest) == 1
+
+    def test_timeout_returns_partial(self):
+        ids = submit(2)
+        run_one()
+        results = rapi.eq_as_completed(ids, timeout=0)
+        assert len(results) == 1
+
+    def test_duplicate_ids_deduped(self):
+        ids = submit(1)
+        run_one()
+        results = rapi.eq_as_completed(ids + ids, timeout=0)
+        assert len(results) == 1
+
+
+class TestPopCompleted:
+    def test_returns_first_completed(self):
+        ids = submit(2)
+        done = run_one()
+        result = rapi.eq_pop_completed(ids, timeout=0)
+        assert result == {"type": "result", "eq_task_id": done, "payload": f"r{done}"}
+
+    def test_timeout_status(self):
+        ids = submit(1)
+        assert rapi.eq_pop_completed(ids, timeout=0) == {
+            "type": "status",
+            "payload": "TIMEOUT",
+        }
+
+
+class TestPriorityAndCancel:
+    def test_update_priority_scalar_and_vector(self):
+        ids = submit(3)
+        assert rapi.eq_update_priority(ids, 5) == 3
+        assert rapi.eq_update_priority(ids, [3, 2, 1]) == 3
+        # Highest priority pops first.
+        work = rapi.eq_query_task(0, timeout=0)
+        assert work["eq_task_id"] == ids[0]
+
+    def test_cancel(self):
+        ids = submit(2)
+        assert rapi.eq_cancel_tasks([ids[0]]) == 1
+        statuses = {s["eq_task_id"]: s["status"] for s in rapi.eq_query_status(ids)}
+        assert statuses[ids[0]] == "canceled"
+        assert statuses[ids[1]] == "queued"
+
+    def test_query_status_labels(self):
+        ids = submit(1)
+        run_one()
+        (status,) = rapi.eq_query_status(ids)
+        assert status == {"eq_task_id": ids[0], "status": "complete"}

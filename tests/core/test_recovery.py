@@ -1,0 +1,118 @@
+"""Tests for fault-tolerant task recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EQSQL, TaskStatus, as_completed
+from repro.core.recovery import find_orphaned_tasks, recover_pool, requeue_tasks
+from repro.pools import PoolConfig, PythonTaskHandler, ThreadedWorkerPool
+from repro.util.clock import VirtualClock
+from repro.util.errors import NotFoundError
+
+
+@pytest.fixture
+def eq(store):
+    return EQSQL(store)
+
+
+def submit_and_claim(eq, n=4, pool="dead-pool", claim=None):
+    futures = eq.submit_tasks("exp", 0, [f"p{i}" for i in range(n)])
+    eq.query_task(0, n=claim if claim is not None else n, worker_pool=pool, timeout=0)
+    return futures
+
+
+class TestRequeueStoreOp:
+    def test_requeue_running_task(self, eq):
+        futures = submit_and_claim(eq, n=1)
+        tid = futures[0].eq_task_id
+        assert eq.store.requeue(tid, priority=5)
+        row = eq.task_info(tid)
+        assert row.eq_status == TaskStatus.QUEUED
+        assert row.worker_pool is None
+        assert row.time_start is None
+        # Back on the queue at the requested priority.
+        assert dict(eq.query_priorities([tid])) == {tid: 5}
+        message = eq.query_task(0, timeout=0)
+        assert message["eq_task_id"] == tid
+
+    def test_requeue_non_running_is_noop(self, eq):
+        future = eq.submit_task("exp", 0, "p")
+        assert not eq.store.requeue(future.eq_task_id)
+        message = eq.query_task(0, timeout=0)
+        eq.report_task(message["eq_task_id"], 0, "r")
+        assert not eq.store.requeue(future.eq_task_id)
+
+    def test_requeue_unknown_raises(self, eq):
+        with pytest.raises(NotFoundError):
+            eq.store.requeue(999)
+
+
+class TestFindOrphans:
+    def test_finds_running_tasks_of_dead_pool(self, eq):
+        submit_and_claim(eq, n=3, pool="dead-pool")
+        orphans = find_orphaned_tasks(eq, "exp", worker_pool="dead-pool")
+        assert len(orphans) == 3
+        assert all(o.worker_pool == "dead-pool" for o in orphans)
+
+    def test_other_pools_not_flagged(self, eq):
+        eq.submit_tasks("exp", 0, ["a", "b"])
+        eq.query_task(0, worker_pool="alive", timeout=0)
+        eq.query_task(0, worker_pool="dead", timeout=0)
+        orphans = find_orphaned_tasks(eq, "exp", worker_pool="dead")
+        assert len(orphans) == 1
+
+    def test_queued_and_complete_not_flagged(self, eq):
+        futures = submit_and_claim(eq, n=2, claim=1)
+        running_id = futures[0].eq_task_id
+        eq.report_task(running_id, 0, "r")  # now COMPLETE
+        orphans = find_orphaned_tasks(eq, "exp")
+        assert orphans == []
+
+    def test_stuck_after_heuristic(self, store):
+        clock = VirtualClock()
+        eq = EQSQL(store, clock=clock)
+        eq.submit_tasks("exp", 0, ["a", "b"])
+        eq.query_task(0, timeout=0)  # starts at t=0
+        clock.advance(100)
+        eq.query_task(0, timeout=0)  # starts at t=100
+        orphans = find_orphaned_tasks(eq, "exp", stuck_after=50)
+        assert len(orphans) == 1
+
+    def test_unknown_experiment_empty(self, eq):
+        assert find_orphaned_tasks(eq, "no-such-exp") == []
+
+
+class TestRequeueAndRecover:
+    def test_requeue_tasks_skips_since_completed(self, eq):
+        futures = submit_and_claim(eq, n=2)
+        orphans = find_orphaned_tasks(eq, "exp")
+        # One of them reports late, after detection.
+        eq.report_task(futures[0].eq_task_id, 0, "late-result")
+        assert requeue_tasks(eq, orphans) == 1
+        assert eq.task_info(futures[1].eq_task_id).eq_status == TaskStatus.QUEUED
+        assert eq.task_info(futures[0].eq_task_id).eq_status == TaskStatus.COMPLETE
+
+    def test_recover_pool_one_call(self, eq):
+        submit_and_claim(eq, n=3, pool="preempted")
+        assert recover_pool(eq, "exp", "preempted") == 3
+        assert eq.queue_lengths(0)[0] == 3
+
+    def test_future_resolves_after_recovery(self, eq):
+        """The paper's fault-tolerance promise end-to-end: a task lost
+        with its pool is re-executed and the original future resolves."""
+        futures = submit_and_claim(eq, n=2, pool="crashed")
+        assert recover_pool(eq, "exp", "crashed") == 2
+        # A live pool picks the work up.
+        pool = ThreadedWorkerPool(
+            eq,
+            PythonTaskHandler(lambda s: f"done:{s}", json_io=False),
+            PoolConfig(work_type=0, n_workers=2, name="replacement"),
+        ).start()
+        done = list(as_completed(futures, timeout=20, delay=0.01))
+        pool.stop()
+        assert len(done) == 2
+        for f in done:
+            _, result = f.result(timeout=0)
+            assert result.startswith("done:")
+            assert eq.task_info(f.eq_task_id).worker_pool == "replacement"

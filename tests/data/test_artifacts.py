@@ -1,0 +1,81 @@
+"""Tests for the model/algorithm artifact manager."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ArtifactManager, ProvenanceLog
+from repro.store import MemoryConnector, Store, is_resolved, register_store, unregister_store
+from repro.util.errors import NotFoundError
+from repro.util.ids import short_id
+
+
+@pytest.fixture
+def manager():
+    name = short_id("ckpt-store")
+    store = Store(name, MemoryConnector(name))
+    register_store(store)
+    yield ArtifactManager(store, provenance=ProvenanceLog())
+    unregister_store(name)
+    MemoryConnector.drop_space(name)
+
+
+class TestArtifactManager:
+    def test_save_and_load(self, manager):
+        model = {"weights": list(range(10)), "kernel": "rbf"}
+        record = manager.save(model, kind="gpr-model", tags={"round": 3})
+        assert manager.load(record.artifact_id) == model
+        assert manager.get_record(record.artifact_id).tags == {"round": 3}
+
+    def test_stage_returns_lazy_proxy(self, manager):
+        arr = np.arange(100.0)
+        record = manager.save(arr, kind="me-state")
+        proxy = manager.stage(record.artifact_id)
+        assert not is_resolved(proxy)
+        assert float(np.sum(proxy)) == float(np.sum(arr))
+
+    def test_list_filters_by_kind_and_tags(self, manager):
+        manager.save({"v": 1}, kind="gpr-model", tags={"exp": "a"})
+        manager.save({"v": 2}, kind="gpr-model", tags={"exp": "b"})
+        manager.save({"v": 3}, kind="me-state", tags={"exp": "a"})
+        assert len(manager.list("gpr-model")) == 2
+        assert len(manager.list("gpr-model", exp="a")) == 1
+        assert len(manager.list()) == 3
+        assert len(manager.list(exp="a")) == 2
+
+    def test_latest_newest_first(self, manager):
+        manager.save({"v": 1}, kind="gpr-model")
+        second = manager.save({"v": 2}, kind="gpr-model")
+        assert manager.latest("gpr-model").artifact_id == second.artifact_id
+
+    def test_latest_missing_raises(self, manager):
+        with pytest.raises(NotFoundError):
+            manager.latest("nonexistent-kind")
+
+    def test_delete(self, manager):
+        record = manager.save("bytes", kind="blob")
+        assert manager.delete(record.artifact_id)
+        assert not manager.delete(record.artifact_id)
+        with pytest.raises(NotFoundError):
+            manager.load(record.artifact_id)
+
+    def test_provenance_chain(self, manager):
+        first = manager.save({"round": 1}, kind="gpr-model")
+        second = manager.save(
+            {"round": 2}, kind="gpr-model", parents=(first.artifact_id,)
+        )
+        lineage = manager._provenance.lineage(second.artifact_id)
+        assert [r.artifact_id for r in lineage] == [
+            first.artifact_id,
+            second.artifact_id,
+        ]
+
+    def test_rerun_from_checkpoint_flow(self, manager):
+        """§II-B2c: select a checkpoint, stage it, continue the run."""
+        state = {"completed": 400, "best": 1.7}
+        manager.save(state, kind="me-state", tags={"exp": "exp1"})
+        # Later (possibly on another resource): select and resume.
+        chosen = manager.latest("me-state", exp="exp1")
+        resumed = manager.load(chosen.artifact_id)
+        assert resumed["completed"] == 400

@@ -1,0 +1,159 @@
+"""Tests for data stream ingestion and curation pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CurationPipeline,
+    DataSource,
+    ProvenanceLog,
+    StreamIngestor,
+    clip_outliers,
+    debias_reporting,
+    fill_missing,
+    rolling_mean,
+)
+from repro.store import MemoryConnector, Store
+from repro.util.errors import DataError, NotFoundError
+from repro.util.ids import short_id
+
+
+@pytest.fixture
+def staging_store():
+    name = short_id("staging")
+    store = Store(name, MemoryConnector(name))
+    yield store
+    MemoryConnector.drop_space(name)
+
+
+class TestDataSource:
+    def test_publish_versions(self):
+        source = DataSource("chicago-portal")
+        v1 = source.publish("cases", [1, 2, 3])
+        v2 = source.publish("cases", [1, 2, 3, 4])
+        assert (v1.version, v2.version) == (1, 2)
+        assert source.latest("cases").version == 2
+        assert source.datasets() == ["cases"]
+        assert len(source.history("cases")) == 2
+
+    def test_identical_republish_is_noop(self):
+        source = DataSource("portal")
+        v1 = source.publish("cases", [1, 2])
+        v2 = source.publish("cases", [1, 2])
+        assert v2.version == v1.version
+        assert len(source.history("cases")) == 1
+
+    def test_unknown_dataset(self):
+        with pytest.raises(NotFoundError):
+            DataSource("portal").latest("nope")
+
+
+class TestStreamIngestor:
+    def test_poll_ingests_new_versions(self, staging_store):
+        source = DataSource("portal")
+        ingestor = StreamIngestor(source, staging_store)
+        source.publish("cases", [5, 6])
+        new = ingestor.poll()
+        assert [v.key for v in new] == ["cases@v1"]
+        assert ingestor.staged_payload("cases") == [5, 6]
+        # Second poll with no update: nothing ingested.
+        assert ingestor.poll() == []
+        # Portal revises: next poll picks up v2 only.
+        source.publish("cases", [5, 6, 7])
+        assert [v.key for v in ingestor.poll()] == ["cases@v2"]
+        assert ingestor.staged_payload("cases", version=2) == [5, 6, 7]
+
+    def test_provenance_recorded(self, staging_store):
+        source = DataSource("portal")
+        provenance = ProvenanceLog()
+        ingestor = StreamIngestor(source, staging_store, provenance=provenance)
+        source.publish("deaths", [1])
+        ingestor.poll()
+        record = provenance.get("deaths@v1")
+        assert record.operation == "ingest"
+        assert record.params["source"] == "portal"
+
+    def test_multiple_datasets(self, staging_store):
+        source = DataSource("portal")
+        ingestor = StreamIngestor(source, staging_store)
+        source.publish("cases", [1])
+        source.publish("hospitalizations", [2])
+        keys = sorted(v.key for v in ingestor.poll())
+        assert keys == ["cases@v1", "hospitalizations@v1"]
+
+    def test_not_ingested_payload(self, staging_store):
+        ingestor = StreamIngestor(DataSource("p"), staging_store)
+        with pytest.raises(NotFoundError):
+            ingestor.staged_payload("cases")
+
+
+class TestCurationSteps:
+    def test_fill_missing_interpolates(self):
+        series = np.array([1.0, np.nan, 3.0, np.nan, np.nan, 6.0])
+        filled = fill_missing(series)
+        assert np.allclose(filled, [1, 2, 3, 4, 5, 6])
+
+    def test_fill_missing_all_nan_rejected(self):
+        with pytest.raises(DataError):
+            fill_missing(np.array([np.nan, np.nan]))
+
+    def test_fill_missing_no_nan_identity(self):
+        series = np.array([1.0, 2.0])
+        assert np.array_equal(fill_missing(series), series)
+
+    def test_debias_scales(self):
+        step = debias_reporting(0.25)
+        assert np.allclose(step(np.array([1.0, 2.0])), [4.0, 8.0])
+        with pytest.raises(ValueError):
+            debias_reporting(0)
+
+    def test_clip_outliers_caps_spike(self):
+        series = np.array([10.0] * 30 + [10_000.0])
+        clipped = clip_outliers(z=4.0)(series)
+        assert clipped[-1] < 100
+        assert np.allclose(clipped[:30], 10.0)
+
+    def test_rolling_mean_smooths(self):
+        rng = np.random.default_rng(0)
+        noisy = 100 + rng.normal(0, 10, size=200)
+        smoothed = rolling_mean(7)(noisy)
+        assert np.std(smoothed) < np.std(noisy)
+        assert np.mean(smoothed) == pytest.approx(np.mean(noisy), rel=0.02)
+
+    def test_rolling_mean_window_validation(self):
+        with pytest.raises(ValueError):
+            rolling_mean(0)
+        with pytest.raises(DataError):
+            rolling_mean(10)(np.ones(3))
+
+
+class TestCurationPipeline:
+    def test_end_to_end_with_provenance(self):
+        provenance = ProvenanceLog()
+        provenance.record("ingest", artifact_id="cases@v1")
+        pipeline = (
+            CurationPipeline()
+            .add(fill_missing)
+            .add(clip_outliers(4.0))
+            .add(debias_reporting(0.5))
+            .add(rolling_mean(3))
+        )
+        series = np.array([10.0, np.nan, 12.0, 500.0, 11.0, 9.0, 10.0, 11.0])
+        result = pipeline.run(series, provenance, "cases@v1")
+        assert result.series.shape == series.shape
+        assert not np.any(np.isnan(result.series))
+        # Four steps -> four chained artifacts rooted at the input.
+        assert len(result.artifact_ids) == 4
+        lineage = provenance.lineage(result.final_artifact)
+        assert [r.artifact_id for r in lineage][0] == "cases@v1"
+        assert len(lineage) == 5
+
+    def test_step_names(self):
+        pipeline = CurationPipeline([fill_missing, rolling_mean(7)])
+        assert pipeline.step_names == ["fill_missing", "rolling_mean(window=7)"]
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(DataError):
+            CurationPipeline().run(np.ones(3), ProvenanceLog(), "x")

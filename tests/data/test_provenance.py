@@ -1,0 +1,67 @@
+"""Tests for the provenance DAG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import ProvenanceLog
+from repro.util.errors import NotFoundError
+
+
+class TestProvenanceLog:
+    def test_record_and_get(self):
+        log = ProvenanceLog()
+        record = log.record("ingest", params={"source": "portal"})
+        fetched = log.get(record.artifact_id)
+        assert fetched.operation == "ingest"
+        assert fetched.params == {"source": "portal"}
+        assert len(log) == 1
+
+    def test_explicit_artifact_id(self):
+        log = ProvenanceLog()
+        record = log.record("ingest", artifact_id="cases@v1")
+        assert record.artifact_id == "cases@v1"
+        with pytest.raises(ValueError):
+            log.record("ingest", artifact_id="cases@v1")
+
+    def test_unknown_parent_rejected(self):
+        log = ProvenanceLog()
+        with pytest.raises(NotFoundError):
+            log.record("derive", parents=("ghost",))
+
+    def test_unknown_artifact(self):
+        with pytest.raises(NotFoundError):
+            ProvenanceLog().get("missing")
+
+    def test_lineage_oldest_first(self):
+        log = ProvenanceLog()
+        raw = log.record("ingest")
+        cleaned = log.record("clean", parents=(raw.artifact_id,))
+        model = log.record("fit", parents=(cleaned.artifact_id,))
+        lineage = log.lineage(model.artifact_id)
+        assert [r.artifact_id for r in lineage] == [
+            raw.artifact_id,
+            cleaned.artifact_id,
+            model.artifact_id,
+        ]
+
+    def test_lineage_diamond(self):
+        log = ProvenanceLog()
+        raw = log.record("ingest")
+        a = log.record("branch-a", parents=(raw.artifact_id,))
+        b = log.record("branch-b", parents=(raw.artifact_id,))
+        join = log.record("merge", parents=(a.artifact_id, b.artifact_id))
+        lineage = log.lineage(join.artifact_id)
+        ids = [r.artifact_id for r in lineage]
+        assert ids[0] == raw.artifact_id  # root first, no duplicates
+        assert len(ids) == len(set(ids)) == 4
+
+    def test_descendants(self):
+        log = ProvenanceLog()
+        raw = log.record("ingest")
+        child = log.record("clean", parents=(raw.artifact_id,))
+        grandchild = log.record("fit", parents=(child.artifact_id,))
+        unrelated = log.record("ingest")
+        descendant_ids = {r.artifact_id for r in log.descendants(raw.artifact_id)}
+        assert descendant_ids == {child.artifact_id, grandchild.artifact_id}
+        assert unrelated.artifact_id not in descendant_ids

@@ -1,0 +1,137 @@
+"""Tests for the dataflow engine."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.dataflow import DataflowEngine, NodeFailedError, NodeState, TaskGraph
+
+
+class TestExecution:
+    def test_results_flow_through_deps(self):
+        g = TaskGraph()
+        g.add("two", lambda: 2)
+        g.add("three", lambda: 3)
+        g.add("product", lambda a, b: a * b, deps=["two", "three"])
+        g.add("square", lambda p: p * p, deps=["product"])
+        run = DataflowEngine().run(g)
+        assert run.results["product"] == 6
+        assert run.results["square"] == 36
+        assert run.ok()
+
+    def test_empty_graph(self):
+        run = DataflowEngine().run(TaskGraph())
+        assert run.results == {}
+        assert run.ok()
+
+    def test_single_node(self):
+        g = TaskGraph()
+        g.add("only", lambda: "v")
+        assert DataflowEngine(max_workers=1).run(g).results == {"only": "v"}
+
+    def test_independent_nodes_run_concurrently(self):
+        barrier = threading.Barrier(3, timeout=5)
+
+        def rendezvous():
+            barrier.wait()
+            return True
+
+        g = TaskGraph()
+        for i in range(3):
+            g.add(f"n{i}", rendezvous)
+        run = DataflowEngine(max_workers=4).run(g)
+        assert all(run.results.values())
+
+    def test_dependency_ordering_observed(self):
+        events: list[str] = []
+        lock = threading.Lock()
+
+        def logged(name, delay=0.0):
+            def fn(*_args):
+                time.sleep(delay)
+                with lock:
+                    events.append(name)
+                return name
+
+            return fn
+
+        g = TaskGraph()
+        g.add("slow-root", logged("slow-root", 0.05))
+        g.add("child", logged("child"), deps=["slow-root"])
+        DataflowEngine(max_workers=4).run(g)
+        assert events == ["slow-root", "child"]
+
+    def test_diamond_fanin(self):
+        g = TaskGraph()
+        g.add("src", lambda: 1)
+        g.add("l", lambda x: x + 10, deps=["src"])
+        g.add("r", lambda x: x + 100, deps=["src"])
+        g.add("sink", lambda a, b: a + b, deps=["l", "r"])
+        assert DataflowEngine().run(g).results["sink"] == 112
+
+    def test_invalid_max_workers(self):
+        with pytest.raises(ValueError):
+            DataflowEngine(max_workers=0)
+
+
+class TestFailure:
+    def build_failing_graph(self):
+        g = TaskGraph()
+        g.add("ok", lambda: 1)
+        g.add("boom", lambda: 1 / 0)
+        g.add("downstream", lambda v: v, deps=["boom"])
+        g.add("transitive", lambda v: v, deps=["downstream"])
+        g.add("independent", lambda: "fine")
+        return g
+
+    def test_failure_raises_by_default(self):
+        with pytest.raises(NodeFailedError) as info:
+            DataflowEngine().run(self.build_failing_graph())
+        assert set(info.value.errors) == {"boom"}
+
+    def test_failure_states_without_raise(self):
+        run = DataflowEngine().run(self.build_failing_graph(), raise_on_failure=False)
+        assert run.states["boom"] == NodeState.FAILED
+        assert run.states["downstream"] == NodeState.SKIPPED
+        assert run.states["transitive"] == NodeState.SKIPPED
+        assert run.states["ok"] == NodeState.DONE
+        assert run.states["independent"] == NodeState.DONE
+        assert isinstance(run.errors["boom"], ZeroDivisionError)
+        assert not run.ok()
+
+    def test_partial_dep_failure_skips_join_node(self):
+        g = TaskGraph()
+        g.add("good", lambda: 1)
+        g.add("bad", lambda: 1 / 0)
+        g.add("join", lambda a, b: a + b, deps=["good", "bad"])
+        run = DataflowEngine().run(g, raise_on_failure=False)
+        assert run.states["join"] == NodeState.SKIPPED
+        assert "join" not in run.results
+
+    def test_two_failures(self):
+        g = TaskGraph()
+        g.add("f1", lambda: 1 / 0)
+        g.add("f2", lambda: [][1])
+        run = DataflowEngine().run(g, raise_on_failure=False)
+        assert run.states == {"f1": NodeState.FAILED, "f2": NodeState.FAILED}
+
+
+class TestScale:
+    def test_wide_graph(self):
+        g = TaskGraph()
+        for i in range(200):
+            g.add(f"n{i}", lambda i=i: i)
+        g.add("sum", lambda *vals: sum(vals), deps=[f"n{i}" for i in range(200)])
+        run = DataflowEngine(max_workers=16).run(g)
+        assert run.results["sum"] == sum(range(200))
+
+    def test_deep_chain(self):
+        g = TaskGraph()
+        g.add("n0", lambda: 0)
+        for i in range(1, 150):
+            g.add(f"n{i}", lambda x: x + 1, deps=[f"n{i-1}"])
+        run = DataflowEngine(max_workers=2).run(g)
+        assert run.results["n149"] == 149

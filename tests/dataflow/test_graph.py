@@ -1,0 +1,100 @@
+"""Tests for dataflow task graphs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow import CycleError, TaskGraph
+
+
+def noop():
+    return None
+
+
+class TestBuild:
+    def test_add_and_lookup(self):
+        g = TaskGraph()
+        node = g.add("a", noop)
+        assert g.node("a") is node
+        assert "a" in g
+        assert len(g) == 1
+
+    def test_duplicate_name_rejected(self):
+        g = TaskGraph()
+        g.add("a", noop)
+        with pytest.raises(ValueError):
+            g.add("a", noop)
+
+    def test_unknown_dep_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            g.add("b", noop, deps=["missing"])
+
+    def test_roots_and_leaves(self):
+        g = TaskGraph()
+        g.add("a", noop)
+        g.add("b", noop)
+        g.add("c", noop, deps=["a", "b"])
+        assert sorted(g.roots()) == ["a", "b"]
+        assert g.leaves() == ["c"]
+
+    def test_merge_with_prefix(self):
+        inner = TaskGraph()
+        inner.add("x", noop)
+        inner.add("y", noop, deps=["x"])
+        g = TaskGraph()
+        g.add("x", noop)
+        g.merge(inner, prefix="sub.")
+        assert "sub.x" in g and "sub.y" in g
+        assert g.node("sub.y").deps == ("sub.x",)
+
+    def test_merge_collision_rejected(self):
+        inner = TaskGraph()
+        inner.add("x", noop)
+        g = TaskGraph()
+        g.add("x", noop)
+        with pytest.raises(ValueError):
+            g.merge(inner)
+
+
+class TestTopology:
+    def test_topological_order_respects_deps(self):
+        g = TaskGraph()
+        g.add("a", noop)
+        g.add("b", noop, deps=["a"])
+        g.add("c", noop, deps=["a"])
+        g.add("d", noop, deps=["b", "c"])
+        order = g.topological_order()
+        pos = {name: i for i, name in enumerate(order)}
+        assert pos["a"] < pos["b"] < pos["d"]
+        assert pos["a"] < pos["c"] < pos["d"]
+
+    def test_cycle_detected_after_merge(self):
+        # add() cannot form cycles, but merge() can stitch them.
+        a = TaskGraph()
+        a.add("x", noop)
+        a.add("y", noop, deps=["x"])
+        # Manually wire a back-edge to simulate a corrupt merge source.
+        a._nodes["x"].deps = ("y",)  # type: ignore[attr-defined]
+        with pytest.raises(CycleError):
+            a.topological_order()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=25),
+        edge_seed=st.randoms(use_true_random=False),
+    )
+    def test_random_dags_always_sort(self, n, edge_seed):
+        g = TaskGraph()
+        names = [f"n{i}" for i in range(n)]
+        for i, name in enumerate(names):
+            candidates = names[:i]
+            k = edge_seed.randint(0, min(3, len(candidates)))
+            deps = edge_seed.sample(candidates, k)
+            g.add(name, noop, deps=deps)
+        order = g.topological_order()
+        pos = {name: i for i, name in enumerate(order)}
+        for node in g.nodes():
+            for dep in node.deps:
+                assert pos[dep] < pos[node.name]

@@ -1,0 +1,113 @@
+"""Tests for the SEIR particle filter (data assimilation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.epi import (
+    ParticleFilter,
+    ParticleFilterConfig,
+    SEIRParams,
+    simulate_stochastic_seir,
+)
+from repro.epi.assimilation import AssimilationError
+
+
+def synthetic_observations(beta=0.55, days=60, population=100_000, seed=5,
+                           reporting_rate=0.3):
+    """Daily reported cases from a known-truth stochastic epidemic."""
+    params = SEIRParams(beta=beta, sigma=0.25, gamma=0.2, population=population)
+    rng = np.random.default_rng(seed)
+    truth = simulate_stochastic_seir(params, rng, initial_infected=10, days=days)
+    return rng.binomial(truth.incidence[1:].astype(int), reporting_rate).astype(float)
+
+
+def make_filter(seed=0, **overrides):
+    config = ParticleFilterConfig(
+        n_particles=400,
+        population=100_000,
+        sigma=0.25,
+        gamma=0.2,
+        reporting_rate=0.3,
+        initial_infected=10,
+        **overrides,
+    )
+    return ParticleFilter(config, np.random.default_rng(seed))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(AssimilationError):
+            ParticleFilterConfig(n_particles=1)
+        with pytest.raises(AssimilationError):
+            ParticleFilterConfig(reporting_rate=0)
+        with pytest.raises(AssimilationError):
+            ParticleFilterConfig(beta_prior=(1.0, 0.5))
+
+
+class TestFilter:
+    def test_population_conserved_across_particles(self):
+        pf = make_filter()
+        pf.run(synthetic_observations(days=20))
+        total = pf.S + pf.E + pf.I + pf.R
+        assert np.all(total == pf.config.population)
+
+    def test_beta_posterior_concentrates_near_truth(self):
+        observations = synthetic_observations(beta=0.55, days=60)
+        pf = make_filter(seed=1)
+        prior_mean, prior_std = pf.beta_posterior()
+        pf.run(observations)
+        post_mean, post_std = pf.beta_posterior()
+        # The posterior tightens and moves toward the truth.
+        assert post_std < prior_std
+        assert abs(post_mean - 0.55) < abs(prior_mean - 0.55) + 0.05
+        assert 0.35 < post_mean < 0.8
+
+    def test_steps_recorded(self):
+        observations = synthetic_observations(days=15)
+        pf = make_filter()
+        steps = pf.run(observations)
+        assert len(steps) == 15
+        assert [s.day for s in steps] == list(range(1, 16))
+        assert all(s.ess > 1 for s in steps)
+        assert all(np.isfinite(s.beta_mean) for s in steps)
+
+    def test_filtered_expectation_tracks_observations(self):
+        observations = synthetic_observations(beta=0.55, days=60, seed=9)
+        pf = make_filter(seed=2)
+        steps = pf.run(observations)
+        # Over the epidemic's growth phase the one-step-ahead
+        # expectations should correlate strongly with the data.
+        expected = np.array([s.expected_mean for s in steps])
+        observed = np.array([s.observed for s in steps])
+        mask = observed > 0
+        corr = np.corrcoef(expected[mask], observed[mask])[0, 1]
+        assert corr > 0.8
+
+    def test_forecast_shape_and_state_preserved(self):
+        pf = make_filter()
+        pf.run(synthetic_observations(days=20))
+        before = pf.S.copy()
+        forecast = pf.forecast(7)
+        assert forecast.shape == (7,)
+        assert np.all(forecast >= 0)
+        assert np.array_equal(pf.S, before)  # forecasting is side-effect free
+
+    def test_forecast_validation(self):
+        with pytest.raises(AssimilationError):
+            make_filter().forecast(0)
+
+    def test_deterministic_given_seed(self):
+        observations = synthetic_observations(days=25)
+        a = make_filter(seed=7).run(observations)
+        b = make_filter(seed=7).run(observations)
+        assert [s.beta_mean for s in a] == [s.beta_mean for s in b]
+
+    def test_resampling_keeps_ess_healthy(self):
+        observations = synthetic_observations(days=50)
+        pf = make_filter(seed=3)
+        steps = pf.run(observations)
+        # With per-day resampling the ESS should rarely collapse to ~1.
+        ess = np.array([s.ess for s in steps])
+        assert np.median(ess) > pf.config.n_particles * 0.05

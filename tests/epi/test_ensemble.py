@@ -1,0 +1,136 @@
+"""Tests for multi-resolution ensembles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.epi import MultiResolutionEnsemble, inverse_error_weights
+from repro.epi.ensemble import EnsembleError
+
+
+def constant_member(value):
+    return lambda days: np.full(days, float(value))
+
+
+class TestWeights:
+    def test_better_fit_gets_more_weight(self):
+        weights = inverse_error_weights(np.array([1.0, 4.0]))
+        assert weights[0] > weights[1]
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_perfect_fit_dominates(self):
+        weights = inverse_error_weights(np.array([0.0, 1.0]))
+        assert weights[0] > 0.999
+
+    def test_equal_scores_equal_weights(self):
+        weights = inverse_error_weights(np.array([2.0, 2.0, 2.0]))
+        assert np.allclose(weights, 1 / 3)
+
+
+class TestEnsemble:
+    def make_observed(self, value=10.0, days=20):
+        return np.full(days, value)
+
+    def test_weighted_mean_tracks_best_member(self):
+        ensemble = (
+            MultiResolutionEnsemble()
+            .add_member("good", constant_member(10.0))
+            .add_member("bad", constant_member(50.0))
+        )
+        forecast = ensemble.forecast(self.make_observed(10.0), horizon=5)
+        # The good member fits perfectly and dominates the mean.
+        assert np.allclose(forecast.mean, 10.0, atol=0.5)
+        weights = forecast.weights()
+        assert weights["good"] > 0.99
+
+    def test_interval_spans_members(self):
+        ensemble = (
+            MultiResolutionEnsemble()
+            .add_member("low", constant_member(8.0))
+            .add_member("mid", constant_member(10.0))
+            .add_member("high", constant_member(12.0))
+        )
+        forecast = ensemble.forecast(self.make_observed(10.0), horizon=3, interval=0.9)
+        assert np.all(forecast.lower <= forecast.mean)
+        assert np.all(forecast.mean <= forecast.upper)
+        assert np.all(forecast.lower >= 8.0 - 1e-9)
+        assert np.all(forecast.upper <= 12.0 + 1e-9)
+
+    def test_member_scores_recorded(self):
+        ensemble = (
+            MultiResolutionEnsemble()
+            .add_member("exact", constant_member(10.0))
+            .add_member("off", constant_member(13.0))
+        )
+        forecast = ensemble.forecast(self.make_observed(10.0), horizon=2)
+        by_name = {m.name: m for m in forecast.members}
+        assert by_name["exact"].score == pytest.approx(0.0)
+        assert by_name["off"].score == pytest.approx(9.0)
+
+    def test_heterogeneous_real_members(self):
+        """ODE, stochastic, and ABM members forecasting one epidemic."""
+        from repro.epi import (
+            ABMParams,
+            NetworkABM,
+            SEIRParams,
+            simulate_seir,
+            simulate_stochastic_seir,
+        )
+        import networkx as nx
+
+        params = SEIRParams(beta=0.5, sigma=0.25, gamma=0.2, population=5000)
+
+        def ode_member(days):
+            result = simulate_seir(params, initial_infected=10, t_end=float(days), dt=0.5)
+            return result.incidence[1:].reshape(days, 2).sum(axis=1)
+
+        def stochastic_member(days):
+            result = simulate_stochastic_seir(
+                params, np.random.default_rng(3), initial_infected=10, days=days
+            )
+            return result.incidence[1:]
+
+        def abm_member(days):
+            graph = nx.watts_strogatz_graph(5000, 8, 0.1, seed=0)
+            abm = NetworkABM(graph, ABMParams(p_transmit=0.07, sigma=0.25, gamma=0.2))
+            rng = np.random.default_rng(4)
+            abm.seed(rng, 10)
+            result = abm.run(rng, days=days, stop_when_extinct=False)
+            s = result.counts[:, 0].astype(float)
+            return -np.diff(s)
+
+        observed = ode_member(40)[:30]  # "truth" = the ODE's first 30 days
+        ensemble = (
+            MultiResolutionEnsemble()
+            .add_member("ode", lambda d: ode_member(d))
+            .add_member("stochastic", lambda d: stochastic_member(d))
+            .add_member("abm", lambda d: abm_member(d))
+        )
+        forecast = ensemble.forecast(observed, horizon=10)
+        weights = forecast.weights()
+        assert set(weights) == {"ode", "stochastic", "abm"}
+        # The member matching the data generator dominates.
+        assert weights["ode"] == max(weights.values())
+        assert forecast.mean.shape == (10,)
+
+    def test_errors(self):
+        ensemble = MultiResolutionEnsemble()
+        with pytest.raises(EnsembleError):
+            ensemble.forecast(np.ones(10), horizon=5)  # no members
+        ensemble.add_member("m", constant_member(1.0))
+        with pytest.raises(EnsembleError):
+            ensemble.add_member("m", constant_member(2.0))
+        with pytest.raises(EnsembleError):
+            ensemble.forecast(np.ones(1), horizon=5)
+        with pytest.raises(EnsembleError):
+            ensemble.forecast(np.ones(10), horizon=0)
+        with pytest.raises(EnsembleError):
+            ensemble.forecast(np.ones(10), horizon=2, interval=1.5)
+
+    def test_wrong_length_member_rejected(self):
+        ensemble = MultiResolutionEnsemble().add_member(
+            "short", lambda days: np.ones(days - 1)
+        )
+        with pytest.raises(EnsembleError, match="returned"):
+            ensemble.forecast(np.ones(5), horizon=2)

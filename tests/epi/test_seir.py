@@ -1,0 +1,103 @@
+"""Tests for the deterministic SEIR model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.epi import SEIRParams, simulate_seir
+
+
+def params(beta=0.5, sigma=0.25, gamma=0.2, population=1e5):
+    return SEIRParams(beta=beta, sigma=sigma, gamma=gamma, population=population)
+
+
+class TestParams:
+    def test_r0(self):
+        assert params(beta=0.6, gamma=0.2).r0 == pytest.approx(3.0)
+
+    def test_r0_zero_gamma(self):
+        assert params(gamma=0.0).r0 == float("inf")
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            SEIRParams(beta=-1, sigma=0.1, gamma=0.1, population=100)
+        with pytest.raises(ValueError):
+            SEIRParams(beta=0.5, sigma=0.1, gamma=0.1, population=0)
+
+
+class TestDynamics:
+    def test_population_conserved(self):
+        result = simulate_seir(params(), t_end=100, dt=0.1)
+        total = result.S + result.E + result.I + result.R
+        assert np.allclose(total, 1e5, rtol=1e-9)
+
+    def test_susceptibles_monotone_decreasing(self):
+        result = simulate_seir(params(), t_end=150)
+        assert np.all(np.diff(result.S) <= 1e-9)
+
+    def test_recovered_monotone_increasing(self):
+        result = simulate_seir(params(), t_end=150)
+        assert np.all(np.diff(result.R) >= -1e-9)
+
+    def test_supercritical_epidemic_takes_off(self):
+        result = simulate_seir(params(beta=0.6, gamma=0.2), t_end=300)
+        assert result.attack_rate() > 0.5
+        _, peak = result.peak_infected()
+        assert peak > 100
+
+    def test_subcritical_epidemic_dies_out(self):
+        result = simulate_seir(params(beta=0.1, gamma=0.2), t_end=300)
+        assert result.attack_rate() < 0.01
+
+    def test_higher_r0_larger_attack_rate(self):
+        low = simulate_seir(params(beta=0.3), t_end=400).attack_rate()
+        high = simulate_seir(params(beta=0.9), t_end=400).attack_rate()
+        assert high > low
+
+    def test_final_size_relation(self):
+        """Attack rate z solves z = 1 - exp(-R0 z) for SEIR too."""
+        p = params(beta=0.5, gamma=0.25)  # R0 = 2
+        z = simulate_seir(p, t_end=1000, dt=0.1).attack_rate()
+        assert z == pytest.approx(1 - np.exp(-p.r0 * z), abs=1e-3)
+
+    def test_incidence_nonnegative_sums_to_s_drop(self):
+        result = simulate_seir(params(), t_end=200)
+        assert np.all(result.incidence >= 0)
+        assert result.incidence.sum() == pytest.approx(
+            result.S[0] - result.S[-1], rel=1e-9
+        )
+
+    def test_no_seed_no_epidemic(self):
+        result = simulate_seir(params(), initial_infected=0.0, t_end=50)
+        assert result.attack_rate() == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            simulate_seir(params(), t_end=0)
+        with pytest.raises(ValueError):
+            simulate_seir(params(), dt=0)
+        with pytest.raises(ValueError):
+            simulate_seir(params(), t_end=1.0, dt=2.0)
+
+    def test_overseeded_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_seir(params(population=10), initial_infected=11)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        beta=st.floats(min_value=0.05, max_value=1.5),
+        sigma=st.floats(min_value=0.05, max_value=1.0),
+        gamma=st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_conservation_and_nonnegativity_hold_generally(self, beta, sigma, gamma):
+        result = simulate_seir(
+            SEIRParams(beta=beta, sigma=sigma, gamma=gamma, population=1e4),
+            t_end=120,
+            dt=0.25,
+        )
+        total = result.S + result.E + result.I + result.R
+        assert np.allclose(total, 1e4, rtol=1e-6)
+        for series in (result.S, result.E, result.I, result.R):
+            assert np.all(series >= 0)

@@ -1,0 +1,135 @@
+"""Tests for the stochastic SEIR and the network ABM."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.epi import ABMParams, NetworkABM, SEIRParams, simulate_stochastic_seir
+
+
+def params(beta=0.5, sigma=0.25, gamma=0.2, population=5000):
+    return SEIRParams(beta=beta, sigma=sigma, gamma=gamma, population=population)
+
+
+class TestStochasticSEIR:
+    def test_population_conserved(self):
+        rng = np.random.default_rng(0)
+        result = simulate_stochastic_seir(params(), rng, days=150)
+        total = result.S + result.E + result.I + result.R
+        assert np.all(total == 5000)
+
+    def test_counts_are_nonnegative_integers(self):
+        rng = np.random.default_rng(1)
+        result = simulate_stochastic_seir(params(), rng, days=100)
+        for series in (result.S, result.E, result.I, result.R, result.incidence):
+            assert np.all(series >= 0)
+            assert np.all(series == np.round(series))
+
+    def test_reproducible_with_seed(self):
+        a = simulate_stochastic_seir(params(), np.random.default_rng(42), days=80)
+        b = simulate_stochastic_seir(params(), np.random.default_rng(42), days=80)
+        assert np.array_equal(a.incidence, b.incidence)
+
+    def test_matches_ode_attack_rate_in_large_population(self):
+        from repro.epi import simulate_seir
+
+        p = params(population=200_000)
+        ode = simulate_seir(p, initial_infected=50, t_end=400).attack_rate()
+        rng = np.random.default_rng(7)
+        stoch = simulate_stochastic_seir(
+            p, rng, initial_infected=50, days=400
+        ).attack_rate()
+        assert stoch == pytest.approx(ode, abs=0.05)
+
+    def test_die_out_possible_with_single_seed(self):
+        """With one seed and moderate R0, some runs go extinct early."""
+        p = params(beta=0.3, gamma=0.25, population=2000)
+        outcomes = [
+            simulate_stochastic_seir(
+                p, np.random.default_rng(seed), days=250
+            ).died_out_early()
+            for seed in range(30)
+        ]
+        assert any(outcomes)
+        assert not all(outcomes)
+
+    def test_incidence_accounts_for_s_decrease(self):
+        rng = np.random.default_rng(3)
+        result = simulate_stochastic_seir(params(), rng, days=120)
+        assert result.incidence.sum() == result.S[0] - result.S[-1]
+
+    def test_invalid_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            simulate_stochastic_seir(params(), rng, days=0)
+        with pytest.raises(ValueError):
+            simulate_stochastic_seir(params(), rng, dt=0)
+        with pytest.raises(ValueError):
+            simulate_stochastic_seir(params(population=5), rng, initial_infected=10)
+
+
+class TestNetworkABM:
+    def make_abm(self, p_transmit=0.08, n=800, k=8, seed=0):
+        graph = nx.watts_strogatz_graph(n, k, 0.1, seed=seed)
+        return NetworkABM(graph, ABMParams(p_transmit=p_transmit, sigma=0.3, gamma=0.15))
+
+    def test_counts_conserved(self):
+        abm = self.make_abm()
+        rng = np.random.default_rng(0)
+        abm.seed(rng, 5)
+        result = abm.run(rng, days=100)
+        assert np.all(result.counts.sum(axis=1) == 800)
+
+    def test_epidemic_spreads_on_connected_graph(self):
+        abm = self.make_abm(p_transmit=0.15)
+        rng = np.random.default_rng(1)
+        abm.seed(rng, 10)
+        result = abm.run(rng, days=200)
+        assert result.attack_rate() > 0.3
+
+    def test_no_transmission_no_spread(self):
+        abm = self.make_abm(p_transmit=0.0)
+        rng = np.random.default_rng(0)
+        abm.seed(rng, 5)
+        result = abm.run(rng, days=60)
+        # Only the seeds ever leave S.
+        assert result.counts[-1, 0] == 800 - 5
+
+    def test_isolated_nodes_never_infected(self):
+        graph = nx.empty_graph(50)
+        abm = NetworkABM(graph, ABMParams(p_transmit=1.0, sigma=1.0, gamma=0.1))
+        rng = np.random.default_rng(0)
+        abm.seed(rng, 3)
+        result = abm.run(rng, days=50)
+        assert result.attack_rate() == pytest.approx(3 / 50)
+
+    def test_stops_when_extinct(self):
+        abm = self.make_abm(p_transmit=0.0)
+        rng = np.random.default_rng(0)
+        abm.seed(rng, 2)
+        result = abm.run(rng, days=500)
+        # gamma=0.15: extinct long before 500 days; tail is frozen.
+        assert np.array_equal(result.counts[-1], result.counts[-2])
+
+    def test_denser_graph_spreads_more(self):
+        rates = []
+        for k in (4, 16):
+            graph = nx.watts_strogatz_graph(600, k, 0.1, seed=3)
+            abm = NetworkABM(graph, ABMParams(p_transmit=0.08, sigma=0.3, gamma=0.15))
+            rng = np.random.default_rng(5)
+            abm.seed(rng, 10)
+            rates.append(abm.run(rng, days=200).attack_rate())
+        assert rates[1] > rates[0]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            NetworkABM(nx.empty_graph(0), ABMParams(0.1, 0.3, 0.2))
+        with pytest.raises(ValueError):
+            ABMParams(p_transmit=1.5, sigma=0.3, gamma=0.2)
+        abm = self.make_abm()
+        with pytest.raises(ValueError):
+            abm.seed(np.random.default_rng(0), 0)
+        with pytest.raises(ValueError):
+            abm.run(np.random.default_rng(0), days=0)

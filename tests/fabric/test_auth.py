@@ -1,0 +1,83 @@
+"""Tests for the OAuth2-style auth server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric import AuthServer, NullAuthServer
+from repro.fabric.auth import SCOPE_COMPUTE, SCOPE_ENDPOINT
+from repro.util.clock import VirtualClock
+from repro.util.errors import AuthenticationError
+from repro.util.errors import AuthorizationError
+
+
+@pytest.fixture
+def auth():
+    server = AuthServer()
+    server.register_client("alice", "s3cret", {SCOPE_COMPUTE, SCOPE_ENDPOINT})
+    return server
+
+
+class TestTokenIssue:
+    def test_issue_and_validate(self, auth):
+        token = auth.issue_token("alice", "s3cret")
+        validated = auth.validate(token.value, SCOPE_COMPUTE)
+        assert validated.client_id == "alice"
+
+    def test_scoped_token(self, auth):
+        token = auth.issue_token("alice", "s3cret", scopes={SCOPE_COMPUTE})
+        auth.validate(token.value, SCOPE_COMPUTE)
+        with pytest.raises(AuthorizationError):
+            auth.validate(token.value, SCOPE_ENDPOINT)
+
+    def test_unknown_client(self, auth):
+        with pytest.raises(AuthenticationError):
+            auth.issue_token("mallory", "pw")
+
+    def test_wrong_secret(self, auth):
+        with pytest.raises(AuthenticationError):
+            auth.issue_token("alice", "wrong")
+
+    def test_scope_escalation_rejected(self, auth):
+        auth.register_client("bob", "pw", {SCOPE_COMPUTE})
+        with pytest.raises(AuthorizationError):
+            auth.issue_token("bob", "pw", scopes={SCOPE_ENDPOINT})
+
+    def test_duplicate_registration(self, auth):
+        with pytest.raises(ValueError):
+            auth.register_client("alice", "x", set())
+
+
+class TestTokenLifecycle:
+    def test_expiry(self):
+        clock = VirtualClock()
+        server = AuthServer(clock=clock, token_lifetime=100.0)
+        server.register_client("a", "pw", {SCOPE_COMPUTE})
+        token = server.issue_token("a", "pw")
+        server.validate(token.value, SCOPE_COMPUTE)
+        clock.advance(101)
+        with pytest.raises(AuthenticationError, match="expired"):
+            server.validate(token.value, SCOPE_COMPUTE)
+
+    def test_revocation(self, auth):
+        token = auth.issue_token("alice", "s3cret")
+        assert auth.revoke(token.value)
+        with pytest.raises(AuthenticationError):
+            auth.validate(token.value, SCOPE_COMPUTE)
+        assert not auth.revoke(token.value)
+
+    def test_unknown_token(self, auth):
+        with pytest.raises(AuthenticationError):
+            auth.validate("bogus", SCOPE_COMPUTE)
+
+    def test_tokens_are_opaque_and_unique(self, auth):
+        a = auth.issue_token("alice", "s3cret")
+        b = auth.issue_token("alice", "s3cret")
+        assert a.value != b.value
+        assert "s3cret" not in a.value
+
+
+def test_null_auth_accepts_everything():
+    server = NullAuthServer()
+    token = server.validate("anything", SCOPE_COMPUTE)
+    assert token.has_scope(SCOPE_COMPUTE)

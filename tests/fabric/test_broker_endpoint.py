@@ -1,0 +1,186 @@
+"""Tests for the broker/endpoint/client stack."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.fabric import (
+    AuthServer,
+    CloudBroker,
+    Endpoint,
+    FabricClient,
+    FabricTaskState,
+    LocalProvider,
+    RemoteExecutionError,
+)
+from repro.fabric.auth import SCOPE_COMPUTE, SCOPE_ENDPOINT
+from repro.util.errors import (
+    AuthenticationError,
+    NotFoundError,
+    PayloadTooLargeError,
+    TimeoutError_,
+)
+
+
+def double(x):
+    return 2 * x
+
+
+def power(base, exp=2):
+    return base**exp
+
+
+def fail_loudly():
+    raise ValueError("remote boom")
+
+
+@pytest.fixture
+def stack():
+    """Broker + one running endpoint + client, with real auth."""
+    auth = AuthServer()
+    auth.register_client("user", "pw", {SCOPE_COMPUTE})
+    auth.register_client("site", "pw", {SCOPE_ENDPOINT})
+    broker = CloudBroker(auth=auth)
+    ep_token = auth.issue_token("site", "pw")
+    endpoint = Endpoint(broker, "bebop", ep_token, provider=LocalProvider(2)).start()
+    client = FabricClient(broker, auth.issue_token("user", "pw"))
+    yield broker, endpoint, client
+    endpoint.stop()
+
+
+class TestExecution:
+    def test_submit_and_result(self, stack):
+        _, endpoint, client = stack
+        future = client.submit(double, 21, endpoint=endpoint.endpoint_id)
+        assert future.result(timeout=10) == 42
+        # Cached after retrieval (broker storage freed).
+        assert future.result(timeout=0) == 42
+        assert future.state() == FabricTaskState.SUCCESS
+
+    def test_kwargs(self, stack):
+        _, endpoint, client = stack
+        assert client.run(power, 3, exp=3, endpoint=endpoint.endpoint_id, timeout=10) == 27
+
+    def test_map_preserves_order(self, stack):
+        _, endpoint, client = stack
+        results = client.map(double, [1, 2, 3, 4], endpoint=endpoint.endpoint_id, timeout=10)
+        assert results == [2, 4, 6, 8]
+
+    def test_remote_failure_raises_with_traceback(self, stack):
+        _, endpoint, client = stack
+        future = client.submit(fail_loudly, endpoint=endpoint.endpoint_id)
+        with pytest.raises(RemoteExecutionError, match="remote boom"):
+            future.result(timeout=10)
+        assert future.state() == FabricTaskState.FAILED
+
+    def test_endpoint_status(self, stack):
+        _, endpoint, client = stack
+        status = client.endpoint_status(endpoint.endpoint_id)
+        assert status["name"] == "bebop"
+        assert status["online"] is True
+
+    def test_unknown_endpoint(self, stack):
+        _, _, client = stack
+        with pytest.raises(NotFoundError):
+            client.submit(double, 1, endpoint="ep-nonexistent")
+
+
+class TestFireAndForget:
+    def test_submit_while_offline_runs_after_start(self):
+        broker = CloudBroker()
+        endpoint = Endpoint(broker, "late-site", "tok")
+        client = FabricClient(broker, "tok")
+        # Endpoint registered but not started: task queues at broker.
+        future = client.submit(double, 5, endpoint=endpoint.endpoint_id)
+        time.sleep(0.05)
+        assert future.state() == FabricTaskState.PENDING
+        endpoint.start()
+        try:
+            assert future.result(timeout=10) == 10
+        finally:
+            endpoint.stop()
+
+    def test_restart_redelivers_leased_tasks(self):
+        broker = CloudBroker()
+        client = FabricClient(broker, "tok")
+
+        # An endpoint that dies before reporting: we simulate by leasing
+        # manually and taking the endpoint offline.
+        endpoint_id = broker.register_endpoint("tok", "flaky")
+        broker.endpoint_online("tok", endpoint_id)
+        future = client.submit(double, 4, endpoint=endpoint_id)
+        leased = broker.fetch_tasks("tok", endpoint_id, max_tasks=1)
+        assert len(leased) == 1
+        broker.endpoint_offline("tok", endpoint_id)  # crash: task requeued
+        assert future.state() == FabricTaskState.PENDING
+
+        # A restarted endpoint process re-attaches to the same identity.
+        endpoint = Endpoint(broker, "flaky", "tok", endpoint_id=endpoint_id)
+        endpoint.start()
+        try:
+            assert future.result(timeout=10) == 8
+        finally:
+            endpoint.stop()
+
+    def test_retry_budget_exhausts_to_failure(self):
+        broker = CloudBroker(max_attempts=2)
+        client = FabricClient(broker, "tok")
+        endpoint_id = broker.register_endpoint("tok", "crashy")
+        future = client.submit(double, 1, endpoint=endpoint_id)
+        for _ in range(2):
+            broker.endpoint_online("tok", endpoint_id)
+            assert broker.fetch_tasks("tok", endpoint_id, max_tasks=1)
+            broker.endpoint_offline("tok", endpoint_id)
+        assert future.state() == FabricTaskState.FAILED
+        with pytest.raises(RemoteExecutionError, match="gave up after 2 attempts"):
+            future.result(timeout=1)
+
+
+class TestPayloadLimit:
+    def test_oversized_input_rejected_at_submit(self):
+        broker = CloudBroker(payload_limit=1024)
+        client = FabricClient(broker, "tok")
+        endpoint_id = broker.register_endpoint("tok", "site")
+        big = bytes(2048)
+        with pytest.raises(PayloadTooLargeError):
+            client.submit(double, big, endpoint=endpoint_id)
+
+    def test_oversized_result_fails_task(self):
+        broker = CloudBroker(payload_limit=4096)
+        client = FabricClient(broker, "tok")
+        endpoint = Endpoint(broker, "site", "tok").start()
+        try:
+            future = client.submit(bytes, 100_000, endpoint=endpoint.endpoint_id)
+            with pytest.raises(RemoteExecutionError, match="PayloadTooLarge"):
+                future.result(timeout=10)
+        finally:
+            endpoint.stop()
+
+
+class TestSecurity:
+    def test_client_scope_cannot_register_endpoints(self):
+        auth = AuthServer()
+        auth.register_client("user", "pw", {SCOPE_COMPUTE})
+        broker = CloudBroker(auth=auth)
+        token = auth.issue_token("user", "pw")
+        with pytest.raises(Exception) as info:
+            broker.register_endpoint(token.value, "rogue")
+        assert isinstance(info.value, AuthenticationError)
+
+    def test_bogus_token_rejected(self):
+        auth = AuthServer()
+        broker = CloudBroker(auth=auth)
+        with pytest.raises(AuthenticationError):
+            broker.list_endpoints("bogus")
+
+
+class TestTimeouts:
+    def test_result_timeout(self):
+        broker = CloudBroker()
+        client = FabricClient(broker, "tok")
+        endpoint_id = broker.register_endpoint("tok", "never-online")
+        future = client.submit(double, 1, endpoint=endpoint_id)
+        with pytest.raises(TimeoutError_):
+            future.result(timeout=0.05)

@@ -1,0 +1,121 @@
+"""Tests for endpoint execution providers."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.fabric import CloudBroker, Endpoint, FabricClient, LocalProvider, SchedulerProvider
+from repro.sched import Cluster, ClusterSpec, Scheduler
+from repro.util.errors import InvalidStateError
+
+
+def add_one(x):
+    return x + 1
+
+
+class TestLocalProvider:
+    def test_bounded_concurrency(self):
+        provider = LocalProvider(max_workers=2)
+        active = []
+        peak = []
+        lock = threading.Lock()
+        done = threading.Event()
+        count = [0]
+
+        def body():
+            with lock:
+                active.append(1)
+                peak.append(len(active))
+            time.sleep(0.02)
+            with lock:
+                active.pop()
+                count[0] += 1
+                if count[0] == 6:
+                    done.set()
+
+        for _ in range(6):
+            provider.submit(body)
+        assert done.wait(10)
+        assert max(peak) <= 2
+        provider.shutdown()
+
+    def test_submit_after_shutdown_rejected(self):
+        provider = LocalProvider(1)
+        provider.shutdown()
+        with pytest.raises(InvalidStateError):
+            provider.submit(lambda: None)
+
+    def test_double_shutdown_ok(self):
+        provider = LocalProvider(1)
+        provider.shutdown()
+        provider.shutdown()
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            LocalProvider(0)
+
+
+class TestSchedulerProvider:
+    @pytest.fixture
+    def scheduler(self):
+        sched = Scheduler(Cluster(ClusterSpec("c", n_nodes=2)), tick=0.005).start()
+        yield sched
+        sched.shutdown()
+
+    def test_tasks_run_as_pilot_jobs(self, scheduler):
+        provider = SchedulerProvider(scheduler, walltime=30)
+        results = []
+        lock = threading.Lock()
+        done = threading.Event()
+
+        def body():
+            with lock:
+                results.append(1)
+                if len(results) == 3:
+                    done.set()
+
+        for _ in range(3):
+            provider.submit(body)
+        assert done.wait(10)
+        provider.shutdown(wait=True)
+
+    def test_node_contention_queues_tasks(self, scheduler):
+        """More tasks than nodes: they serialize through the scheduler."""
+        provider = SchedulerProvider(scheduler, nodes_per_task=2, walltime=30)
+        order = []
+        lock = threading.Lock()
+        done = threading.Event()
+
+        def body(k):
+            with lock:
+                order.append(k)
+                if len(order) == 3:
+                    done.set()
+            time.sleep(0.03)
+
+        for k in range(3):
+            provider.submit(lambda k=k: body(k))
+        assert done.wait(15)
+        assert order == [0, 1, 2]  # whole-cluster jobs run FIFO
+        provider.shutdown(wait=True)
+
+    def test_submit_after_shutdown_rejected(self, scheduler):
+        provider = SchedulerProvider(scheduler)
+        provider.shutdown()
+        with pytest.raises(InvalidStateError):
+            provider.submit(lambda: None)
+
+    def test_endpoint_on_scheduler_provider_end_to_end(self, scheduler):
+        broker = CloudBroker()
+        endpoint = Endpoint(
+            broker, "cluster-site", "tok",
+            provider=SchedulerProvider(scheduler, walltime=30),
+        ).start()
+        client = FabricClient(broker, "tok")
+        try:
+            assert client.run(add_one, 41, endpoint=endpoint.endpoint_id, timeout=30) == 42
+        finally:
+            endpoint.stop()

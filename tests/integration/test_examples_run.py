@@ -1,0 +1,44 @@
+"""Every shipped example must run clean (examples never rot).
+
+Each example is executed as a real subprocess — exactly how a user runs
+it — and must exit 0 with its expected landmark output.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", ["pool done: 10 completed, 0 failed"]),
+    ("ackley_gpr_workflow.py", ["best Ackley value", "repri #1"]),
+    ("epi_calibration.py", ["curation lineage", "implied R0"]),
+    ("federated_sites.py", ["direct submission rejected", "remote summary via proxy"]),
+    ("multi_language.py", ["R-style API result", "OSPREY", "weighted_sum"]),
+    ("shared_development.py", ["workflow spec", "beta posterior", "0/1 cases passed"]),
+]
+
+
+@pytest.mark.parametrize("script,landmarks", CASES, ids=[c[0] for c in CASES])
+def test_example_runs_clean(script, landmarks):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, (
+        f"{script} exited {proc.returncode}\nstdout:\n{proc.stdout[-2000:]}"
+        f"\nstderr:\n{proc.stderr[-2000:]}"
+    )
+    for landmark in landmarks:
+        assert landmark in proc.stdout, (
+            f"{script} output missing {landmark!r}\n{proc.stdout[-2000:]}"
+        )

@@ -1,0 +1,102 @@
+"""Tests for benchmark objective functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.me import ackley, griewank, lognormal_runtime, rastrigin, rosenbrock, sphere
+
+points = st.lists(
+    st.floats(min_value=-30, max_value=30, allow_nan=False), min_size=2, max_size=6
+)
+
+
+class TestGlobalMinima:
+    def test_ackley_minimum_at_origin(self):
+        assert ackley(np.zeros(4)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_sphere_minimum(self):
+        assert sphere(np.zeros(3)) == 0.0
+
+    def test_rastrigin_minimum(self):
+        assert rastrigin(np.zeros(5)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_rosenbrock_minimum_at_ones(self):
+        assert rosenbrock(np.ones(4)) == pytest.approx(0.0)
+
+    def test_griewank_minimum(self):
+        assert griewank(np.zeros(4)) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestShapes:
+    def test_scalar_for_single_point(self):
+        assert isinstance(ackley([1.0, 2.0]), float)
+
+    def test_vector_for_batch(self):
+        batch = np.random.default_rng(0).uniform(-2, 2, size=(10, 4))
+        values = ackley(batch)
+        assert values.shape == (10,)
+
+    def test_batch_matches_pointwise(self):
+        rng = np.random.default_rng(1)
+        batch = rng.uniform(-5, 5, size=(20, 3))
+        for fn in (ackley, sphere, rastrigin, rosenbrock, griewank):
+            values = fn(batch)
+            for i in range(20):
+                assert values[i] == pytest.approx(fn(batch[i]), rel=1e-12)
+
+    def test_rosenbrock_needs_2d(self):
+        with pytest.raises(ValueError):
+            rosenbrock([1.0])
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(x=points)
+    def test_all_nonnegative_near_origin_bounds(self, x):
+        # These benchmarks are all >= 0 on their standard domains.
+        for fn in (ackley, sphere, rastrigin, griewank):
+            assert fn(x) >= -1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(x=points)
+    def test_ackley_bounded_above(self, x):
+        # -a e^{-b r} - e^{cos} + a + e <= a + e.
+        assert ackley(x) <= 20 + np.e + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(x=points, scale=st.floats(min_value=1.5, max_value=4))
+    def test_sphere_monotone_under_scaling(self, x, scale):
+        if any(abs(v) > 1e-6 for v in x):
+            assert sphere([v * scale for v in x]) > sphere(x)
+
+
+class TestLognormalRuntime:
+    def test_mean_parameterization(self):
+        rng = np.random.default_rng(42)
+        samples = lognormal_runtime(rng, mean=3.0, sigma=0.5, size=200_000)
+        assert float(np.mean(samples)) == pytest.approx(3.0, rel=0.02)
+
+    def test_positive(self):
+        rng = np.random.default_rng(0)
+        samples = lognormal_runtime(rng, mean=1.0, sigma=1.0, size=1000)
+        assert np.all(samples > 0)
+
+    def test_heterogeneous(self):
+        rng = np.random.default_rng(0)
+        samples = lognormal_runtime(rng, mean=1.0, sigma=0.5, size=1000)
+        assert float(np.std(samples)) > 0.1
+
+    def test_sigma_zero_is_constant(self):
+        rng = np.random.default_rng(0)
+        samples = lognormal_runtime(rng, mean=2.0, sigma=0.0, size=10)
+        assert np.allclose(samples, 2.0)
+
+    def test_invalid_params(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            lognormal_runtime(rng, mean=0)
+        with pytest.raises(ValueError):
+            lognormal_runtime(rng, mean=1, sigma=-1)

@@ -1,0 +1,145 @@
+"""Tests for the from-scratch Gaussian process regressor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.me import GaussianProcessRegressor, Matern52Kernel, RBFKernel
+
+
+def make_data(n=30, d=2, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-2, 2, size=(n, d))
+    y = np.sin(X[:, 0]) + 0.5 * np.cos(2 * X[:, 1 % d]) + noise * rng.normal(size=n)
+    return X, y
+
+
+class TestKernels:
+    def test_rbf_diagonal_is_variance(self):
+        k = RBFKernel(lengthscale=0.7, variance=2.0)
+        X = np.random.default_rng(0).normal(size=(5, 3))
+        K = k(X, X)
+        assert np.allclose(np.diag(K), 2.0)
+
+    def test_rbf_decays_with_distance(self):
+        k = RBFKernel()
+        a = np.array([[0.0]])
+        near, far = np.array([[0.1]]), np.array([[3.0]])
+        assert k(a, near)[0, 0] > k(a, far)[0, 0]
+
+    def test_matern_diagonal_is_variance(self):
+        k = Matern52Kernel(lengthscale=1.0, variance=1.5)
+        X = np.random.default_rng(0).normal(size=(4, 2))
+        assert np.allclose(np.diag(k(X, X)), 1.5)
+
+    def test_kernels_symmetric_psd(self):
+        X = np.random.default_rng(1).normal(size=(20, 3))
+        for k in (RBFKernel(0.5, 1.0), Matern52Kernel(0.8, 2.0)):
+            K = k(X, X)
+            assert np.allclose(K, K.T)
+            eigvals = np.linalg.eigvalsh(K)
+            assert eigvals.min() > -1e-8
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            RBFKernel(lengthscale=0)
+        with pytest.raises(ValueError):
+            Matern52Kernel(variance=-1)
+
+
+class TestFitPredict:
+    def test_interpolates_training_points_low_noise(self):
+        X, y = make_data(n=25)
+        model = GaussianProcessRegressor(
+            noise=1e-8, optimize_hyperparameters=False,
+            kernel=RBFKernel(lengthscale=1.0),
+        )
+        model.fit(X, y)
+        pred = model.predict(X)
+        assert np.allclose(pred, y, atol=1e-3)
+
+    def test_predictive_std_small_at_train_large_far(self):
+        X, y = make_data(n=20, d=1)
+        model = GaussianProcessRegressor(noise=1e-6, optimize_hyperparameters=False)
+        model.fit(X, y)
+        _, std_train = model.predict(X, return_std=True)
+        _, std_far = model.predict(np.array([[10.0]]), return_std=True)
+        assert std_far[0] > 10 * np.max(std_train)
+
+    def test_hyperparameter_fit_improves_lml(self):
+        X, y = make_data(n=40, noise=0.05)
+        fixed = GaussianProcessRegressor(
+            kernel=RBFKernel(lengthscale=10.0), noise=0.5,
+            optimize_hyperparameters=False,
+        ).fit(X, y)
+        tuned = GaussianProcessRegressor(
+            kernel=RBFKernel(lengthscale=10.0), noise=0.5,
+            optimize_hyperparameters=True,
+        ).fit(X, y)
+        assert tuned.log_marginal_likelihood() >= fixed.log_marginal_likelihood()
+
+    def test_generalization_on_smooth_function(self):
+        X, y = make_data(n=60, d=2, seed=2)
+        model = GaussianProcessRegressor().fit(X, y)
+        Xt, yt = make_data(n=30, d=2, seed=9)
+        pred = model.predict(Xt)
+        rmse = float(np.sqrt(np.mean((pred - yt) ** 2)))
+        assert rmse < 0.15
+
+    def test_single_observation(self):
+        model = GaussianProcessRegressor(optimize_hyperparameters=False)
+        model.fit([[0.0]], [3.0])
+        assert model.predict([[0.0]])[0] == pytest.approx(3.0, abs=1e-3)
+
+    def test_constant_targets(self):
+        X = np.linspace(0, 1, 10)[:, None]
+        model = GaussianProcessRegressor(optimize_hyperparameters=False)
+        model.fit(X, np.full(10, 7.0))
+        assert model.predict([[0.5]])[0] == pytest.approx(7.0, abs=1e-6)
+
+    def test_duplicate_inputs_jitter(self):
+        X = np.zeros((8, 2))
+        y = np.random.default_rng(0).normal(size=8)
+        model = GaussianProcessRegressor(optimize_hyperparameters=False, noise=1e-8)
+        model.fit(X, y)  # must not raise despite a singular kernel
+        assert np.isfinite(model.predict([[0.0, 0.0]])[0])
+
+    def test_errors(self):
+        model = GaussianProcessRegressor()
+        with pytest.raises(RuntimeError):
+            model.predict([[0.0]])
+        with pytest.raises(ValueError):
+            model.fit([[0.0], [1.0]], [1.0])
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(noise=0)
+
+    def test_matern_model_also_works(self):
+        X, y = make_data(n=30, d=1)
+        model = GaussianProcessRegressor(
+            kernel=Matern52Kernel(), optimize_hyperparameters=False, noise=1e-6
+        ).fit(X, y)
+        assert np.allclose(model.predict(X), y, atol=1e-2)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_mean_reverts_to_prior_far_away(self, seed):
+        X, y = make_data(n=15, d=1, seed=seed)
+        model = GaussianProcessRegressor(optimize_hyperparameters=False)
+        model.fit(X, y)
+        far = model.predict(np.array([[1e3]]))[0]
+        assert far == pytest.approx(float(np.mean(y)), rel=1e-3, abs=1e-3)
+
+
+class TestExpectedImprovement:
+    def test_ei_nonnegative_and_zero_where_certainly_worse(self):
+        X = np.linspace(-2, 2, 15)[:, None]
+        y = (X[:, 0]) ** 2
+        model = GaussianProcessRegressor(noise=1e-6, optimize_hyperparameters=False)
+        model.fit(X, y)
+        grid = np.linspace(-2, 2, 50)[:, None]
+        ei = model.expected_improvement(grid)
+        assert np.all(ei >= 0)
+        # EI should peak near the observed minimum (x=0), not the edges.
+        assert abs(grid[int(np.argmax(ei)), 0]) < 1.0

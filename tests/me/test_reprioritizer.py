@@ -1,0 +1,81 @@
+"""Tests for rank-based priorities and the GPR reprioritizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.me import GPRReprioritizer, ackley, ranks_to_priorities
+
+
+class TestRanksToPriorities:
+    def test_best_score_gets_highest_priority(self):
+        scores = np.array([3.0, 1.0, 2.0])
+        priorities = ranks_to_priorities(scores)
+        assert list(priorities) == [1, 3, 2]
+
+    def test_priorities_are_permutation_of_1_to_n(self):
+        scores = np.random.default_rng(0).normal(size=100)
+        priorities = ranks_to_priorities(scores)
+        assert sorted(priorities) == list(range(1, 101))
+
+    def test_empty(self):
+        assert ranks_to_priorities(np.array([])).shape == (0,)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=50,
+            unique=True,
+        )
+    )
+    def test_priority_order_matches_score_order(self, scores):
+        arr = np.array(scores)
+        priorities = ranks_to_priorities(arr)
+        # Lower score => higher priority, elementwise.
+        order_by_priority = np.argsort(-priorities)
+        assert np.all(np.diff(arr[order_by_priority]) >= 0)
+
+
+class TestGPRReprioritizer:
+    def test_promotes_points_near_observed_minimum(self):
+        rng = np.random.default_rng(0)
+        X_done = rng.uniform(-30, 30, size=(80, 2))
+        y_done = np.asarray(ackley(X_done))
+        # Remaining: one point at the origin (true optimum), others far.
+        X_remaining = np.vstack([[0.5, 0.5], rng.uniform(20, 30, size=(30, 2))])
+        repri = GPRReprioritizer(seed=1)
+        priorities = repri(X_done, y_done, X_remaining)
+        assert priorities.shape == (31,)
+        # The near-origin candidate should land in the top quartile.
+        assert priorities[0] > 31 * 0.75
+        assert repri.fit_count == 1
+        assert repri.last_model is not None
+
+    def test_empty_remaining(self):
+        repri = GPRReprioritizer()
+        out = repri(np.zeros((3, 2)), np.zeros(3), np.empty((0, 2)))
+        assert out.shape == (0,)
+        assert repri.fit_count == 0
+
+    def test_max_train_caps_training_set(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(60, 2))
+        y = rng.normal(size=60)
+        repri = GPRReprioritizer(max_train=20, optimize_hyperparameters=False)
+        repri(X, y, rng.uniform(-1, 1, size=(5, 2)))
+        assert repri.last_model is not None
+        assert repri.last_model._X.shape[0] == 20
+
+    def test_priorities_valid_permutation(self):
+        rng = np.random.default_rng(3)
+        X_done = rng.uniform(-5, 5, size=(30, 3))
+        y_done = np.asarray(ackley(X_done))
+        X_rem = rng.uniform(-5, 5, size=(40, 3))
+        priorities = GPRReprioritizer(optimize_hyperparameters=False)(
+            X_done, y_done, X_rem
+        )
+        assert sorted(priorities) == list(range(1, 41))

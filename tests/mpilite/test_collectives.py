@@ -1,0 +1,202 @@
+"""Collective-operation tests for mpilite, including hypothesis checks
+that collectives agree with their sequential definitions."""
+
+from __future__ import annotations
+
+import operator
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpilite import mpi_run
+
+
+SIZES = [1, 2, 3, 5]
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_barrier_orders_phases(self, size):
+        import threading
+
+        phase_one = []
+        lock = threading.Lock()
+
+        def program(comm):
+            with lock:
+                phase_one.append(comm.rank)
+            comm.barrier()
+            # After the barrier every rank must have registered.
+            with lock:
+                assert len(phase_one) == size
+
+        mpi_run(size, program)
+
+    def test_repeated_barriers(self):
+        def program(comm):
+            for _ in range(10):
+                comm.barrier()
+            return comm.rank
+
+        assert mpi_run(3, program) == [0, 1, 2]
+
+
+class TestBcast:
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.parametrize("root", [0, -1])
+    def test_bcast_reaches_all(self, size, root):
+        root = root % size
+
+        def program(comm):
+            data = {"key": [1, 2.5, "x"]} if comm.rank == root else None
+            return comm.bcast(data, root=root)
+
+        results = mpi_run(size, program)
+        assert all(r == {"key": [1, 2.5, "x"]} for r in results)
+
+    def test_bcast_isolated_copies(self):
+        def program(comm):
+            data = [0] if comm.rank == 0 else None
+            received = comm.bcast(data, root=0)
+            received.append(comm.rank)  # private copy on non-roots
+            return received
+
+        results = mpi_run(3, program)
+        assert results[1] == [0, 1]
+        assert results[2] == [0, 2]
+
+
+class TestScatterGather:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_scatter(self, size):
+        def program(comm):
+            data = [(i + 1) ** 2 for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(data, root=0)
+
+        assert mpi_run(size, program) == [(i + 1) ** 2 for i in range(size)]
+
+    def test_scatter_wrong_length(self):
+        def program(comm):
+            if comm.rank == 0:
+                # Validation fires before any message is sent, so only
+                # the root needs to participate.
+                with pytest.raises(ValueError):
+                    comm.scatter([1], root=0)
+            return "checked"
+
+        assert mpi_run(2, program, timeout=5) == ["checked", "checked"]
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_gather(self, size):
+        def program(comm):
+            return comm.gather(comm.rank * 10, root=0)
+
+        results = mpi_run(size, program)
+        assert results[0] == [r * 10 for r in range(size)]
+        assert all(r is None for r in results[1:])
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allgather(self, size):
+        def program(comm):
+            return comm.allgather(chr(ord("a") + comm.rank))
+
+        expected = [chr(ord("a") + r) for r in range(size)]
+        assert mpi_run(size, program) == [expected] * size
+
+
+class TestReduce:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_reduce_sum(self, size):
+        def program(comm):
+            return comm.reduce(comm.rank + 1, operator.add, root=0)
+
+        results = mpi_run(size, program)
+        assert results[0] == size * (size + 1) // 2
+        assert all(r is None for r in results[1:])
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allreduce_max(self, size):
+        def program(comm):
+            return comm.allreduce(comm.rank, max)
+
+        assert mpi_run(size, program) == [size - 1] * size
+
+    @settings(max_examples=20, deadline=None)
+    @given(values=st.lists(st.integers(-100, 100), min_size=1, max_size=6))
+    def test_allreduce_matches_sequential_fold(self, values):
+        size = len(values)
+
+        def program(comm):
+            return comm.allreduce(values[comm.rank], operator.add)
+
+        assert mpi_run(size, program) == [sum(values)] * size
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_alltoall_transpose(self, size):
+        def program(comm):
+            send = [f"{comm.rank}->{j}" for j in range(comm.size)]
+            return comm.alltoall(send)
+
+        results = mpi_run(size, program)
+        for j in range(size):
+            assert results[j] == [f"{i}->{j}" for i in range(size)]
+
+    def test_alltoall_wrong_length(self):
+        from repro.mpilite.launcher import MpiAbortError
+
+        def program(comm):
+            return comm.alltoall([1])
+
+        with pytest.raises(MpiAbortError):
+            mpi_run(2, program, timeout=5)
+
+
+class TestSplitDup:
+    def test_split_even_odd(self):
+        def program(comm):
+            sub = comm.split(color=comm.rank % 2)
+            return (sub.rank, sub.size, sub.allgather(comm.rank))
+
+        results = mpi_run(4, program)
+        # Even ranks {0, 2} form one comm, odd {1, 3} the other.
+        assert results[0] == (0, 2, [0, 2])
+        assert results[2] == (1, 2, [0, 2])
+        assert results[1] == (0, 2, [1, 3])
+        assert results[3] == (1, 2, [1, 3])
+
+    def test_split_key_reorders(self):
+        def program(comm):
+            # Reverse rank order within the new communicator.
+            sub = comm.split(color=0, key=-comm.rank)
+            return sub.allgather(comm.rank)
+
+        results = mpi_run(3, program)
+        assert results[0] == [2, 1, 0]
+
+    def test_split_isolation_from_parent(self):
+        def program(comm):
+            sub = comm.split(color=0)
+            # A message on the parent comm must not satisfy a recv on
+            # the child communicator's tag space (different mailbox).
+            if comm.rank == 0:
+                comm.send("parent-msg", dest=1, tag=1)
+                sub.send("child-msg", dest=1, tag=1)
+                return None
+            if comm.rank == 1:
+                child = sub.recv(source=0, tag=1, timeout=5)
+                parent = comm.recv(source=0, tag=1, timeout=5)
+                return (child, parent)
+            return None
+
+        results = mpi_run(2, program)
+        assert results[1] == ("child-msg", "parent-msg")
+
+    def test_dup_same_group(self):
+        def program(comm):
+            dup = comm.dup()
+            assert (dup.rank, dup.size) == (comm.rank, comm.size)
+            return dup.allreduce(1, operator.add)
+
+        assert mpi_run(3, program) == [3, 3, 3]

@@ -1,0 +1,190 @@
+"""Point-to-point messaging tests for mpilite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpilite import ANY_SOURCE, ANY_TAG, Status, mpi_run
+from repro.mpilite.launcher import MpiAbortError
+from repro.util.errors import ReproError, TimeoutError_
+
+
+class TestSendRecv:
+    def test_two_rank_exchange(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+                return None
+            return comm.recv(source=0, tag=11)
+
+        results = mpi_run(2, program)
+        assert results[1] == {"a": 7, "b": 3.14}
+
+    def test_value_semantics_no_shared_mutation(self):
+        def program(comm):
+            if comm.rank == 0:
+                payload = [1, 2, 3]
+                comm.send(payload, dest=1)
+                payload.append(99)  # must not be visible at rank 1
+                return payload
+            received = comm.recv(source=0)
+            return received
+
+        results = mpi_run(2, program)
+        assert results[0] == [1, 2, 3, 99]
+        assert results[1] == [1, 2, 3]
+
+    def test_tag_matching(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("tag5", dest=1, tag=5)
+                comm.send("tag9", dest=1, tag=9)
+                return None
+            # Receive out of order by tag.
+            first = comm.recv(source=0, tag=9)
+            second = comm.recv(source=0, tag=5)
+            return (first, second)
+
+        results = mpi_run(2, program)
+        assert results[1] == ("tag9", "tag5")
+
+    def test_any_source_any_tag_with_status(self):
+        def program(comm):
+            if comm.rank == 0:
+                got = []
+                for _ in range(2):
+                    status = Status(-2, -2)
+                    value = comm.recv(source=ANY_SOURCE, tag=ANY_TAG, status=status)
+                    got.append((value, status.source, status.tag))
+                return sorted(got, key=lambda x: x[1])
+            comm.send(f"from-{comm.rank}", dest=0, tag=comm.rank * 10)
+            return None
+
+        results = mpi_run(3, program)
+        assert results[0] == [("from-1", 1, 10), ("from-2", 2, 20)]
+
+    def test_fifo_per_source_same_tag(self):
+        def program(comm):
+            if comm.rank == 0:
+                for i in range(20):
+                    comm.send(i, dest=1, tag=0)
+                return None
+            return [comm.recv(source=0, tag=0) for _ in range(20)]
+
+        results = mpi_run(2, program)
+        assert results[1] == list(range(20))
+
+    def test_send_to_bad_rank_raises(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=5)
+            return None
+
+        with pytest.raises(MpiAbortError) as info:
+            mpi_run(2, program)
+        assert info.value.rank == 0
+        assert isinstance(info.value.original, ValueError)
+
+    def test_recv_timeout_is_deadlock_guard(self):
+        def program(comm):
+            if comm.rank == 0:
+                with pytest.raises(TimeoutError_):
+                    comm.recv(source=1, timeout=0.05)
+            return None
+
+        mpi_run(2, program)
+
+
+class TestNonblocking:
+    def test_isend_completes_immediately(self):
+        def program(comm):
+            if comm.rank == 0:
+                request = comm.isend("payload", dest=1)
+                done, _ = request.test()
+                assert done
+                request.wait(1)
+                return None
+            return comm.recv(source=0)
+
+        assert mpi_run(2, program)[1] == "payload"
+
+    def test_irecv_before_send(self):
+        def program(comm):
+            if comm.rank == 1:
+                request = comm.irecv(source=0, tag=3)
+                comm.send("ready", dest=0)
+                return request.wait(timeout=5)
+            comm.recv(source=1)  # wait until rank 1 has posted
+            comm.send("late-message", dest=1, tag=3)
+            return None
+
+        assert mpi_run(2, program)[1] == "late-message"
+
+    def test_irecv_after_send(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(42, dest=1)
+                return None
+            request = comm.irecv(source=0)
+            return request.wait(timeout=5)
+
+        assert mpi_run(2, program)[1] == 42
+
+    def test_probe_empty_mailbox(self):
+        def program(comm):
+            if comm.rank == 0:
+                assert comm.probe() is None
+            return None
+
+        mpi_run(2, program)
+
+    def test_probe_sees_pending_message_without_consuming(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("m", dest=1, tag=4)
+                return None
+            # Wait for the message to arrive, then probe without consuming.
+            while comm.probe(source=0, tag=4) is None:
+                pass
+            status = comm.probe(source=0, tag=4)
+            value = comm.recv(source=0, tag=4)
+            return (status.source, status.tag, value)
+
+        assert mpi_run(2, program)[1] == (0, 4, "m")
+
+
+class TestLauncher:
+    def test_results_in_rank_order(self):
+        results = mpi_run(4, lambda comm: comm.rank ** 2)
+        assert results == [0, 1, 4, 9]
+
+    def test_size_one(self):
+        assert mpi_run(1, lambda comm: comm.size) == [1]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            mpi_run(0, lambda comm: None)
+
+    def test_kwargs_forwarded(self):
+        def program(comm, base, scale=1):
+            return base + comm.rank * scale
+
+        assert mpi_run(3, program, 10, scale=5) == [10, 15, 20]
+
+    def test_deadlock_detection(self):
+        def program(comm):
+            # Both ranks wait forever on each other (no timeout).
+            comm.recv(source=1 - comm.rank, timeout=None)
+
+        with pytest.raises(ReproError):
+            mpi_run(2, program, timeout=0.2)
+
+    def test_lowest_failing_rank_reported(self):
+        def program(comm):
+            if comm.rank in (1, 2):
+                raise RuntimeError(f"boom-{comm.rank}")
+            return "ok"
+
+        with pytest.raises(MpiAbortError) as info:
+            mpi_run(3, program)
+        assert info.value.rank == 1

@@ -1,0 +1,75 @@
+"""Tests for waitall/waitany and sendrecv."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpilite import Request, mpi_run
+from repro.util.errors import TimeoutError_
+
+
+class TestWaitHelpers:
+    def test_waitall_collects_in_order(self):
+        def program(comm):
+            if comm.rank == 0:
+                requests = [comm.irecv(source=s, tag=s) for s in (1, 2, 3)]
+                return Request.waitall(requests, timeout=10)
+            comm.send(f"from-{comm.rank}", dest=0, tag=comm.rank)
+            return None
+
+        results = mpi_run(4, program)
+        assert results[0] == ["from-1", "from-2", "from-3"]
+
+    def test_waitany_returns_first_done(self):
+        def program(comm):
+            if comm.rank == 0:
+                slow = comm.irecv(source=1, tag=1)
+                fast = comm.irecv(source=2, tag=2)
+                index, value = Request.waitany([slow, fast], timeout=10)
+                # Ack rank 1 so it can send (keeps determinism).
+                comm.send("go", dest=1)
+                slow.wait(10)
+                return (index, value)
+            if comm.rank == 2:
+                comm.send("fast-message", dest=0, tag=2)
+            else:
+                comm.recv(source=0, timeout=10)  # wait for the ack
+                comm.send("slow-message", dest=0, tag=1)
+            return None
+
+        results = mpi_run(3, program)
+        assert results[0] == (1, "fast-message")
+
+    def test_waitany_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Request.waitany([])
+
+    def test_waitany_timeout(self):
+        with pytest.raises(TimeoutError_):
+            Request.waitany([Request()], timeout=0.05)
+
+    def test_waitall_timeout(self):
+        with pytest.raises(TimeoutError_):
+            Request.waitall([Request.completed(1), Request()], timeout=0.05)
+
+
+class TestSendrecv:
+    def test_pairwise_exchange(self):
+        def program(comm):
+            partner = 1 - comm.rank
+            return comm.sendrecv(
+                f"hello-from-{comm.rank}", dest=partner, sendtag=5,
+                source=partner, recvtag=5, timeout=10,
+            )
+
+        results = mpi_run(2, program)
+        assert results == ["hello-from-1", "hello-from-0"]
+
+    def test_ring_rotation(self):
+        def program(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=right, source=left, timeout=10)
+
+        results = mpi_run(4, program)
+        assert results == [3, 0, 1, 2]

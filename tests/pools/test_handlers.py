@@ -1,0 +1,121 @@
+"""Tests for task application handlers."""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import pytest
+
+from repro.pools import (
+    AppTaskHandler,
+    HandlerRegistry,
+    ParTaskHandler,
+    PythonTaskHandler,
+    TaskExecutionError,
+)
+
+
+class TestPythonTaskHandler:
+    def test_json_io(self):
+        handler = PythonTaskHandler(lambda d: {"sum": d["a"] + d["b"]})
+        assert json.loads(handler.handle('{"a": 2, "b": 3}')) == {"sum": 5}
+
+    def test_raw_io(self):
+        handler = PythonTaskHandler(lambda s: s.upper(), json_io=False)
+        assert handler.handle("abc") == "ABC"
+
+    def test_callable_sugar(self):
+        handler = PythonTaskHandler(lambda d: d)
+        assert handler('{"x": 1}') == '{"x":1}'
+
+    def test_function_error_wrapped(self):
+        handler = PythonTaskHandler(lambda d: 1 / 0)
+        with pytest.raises(TaskExecutionError, match="python task failed"):
+            handler.handle("{}")
+
+    def test_bad_json_payload_wrapped(self):
+        handler = PythonTaskHandler(lambda d: d)
+        with pytest.raises(TaskExecutionError):
+            handler.handle("{bad json")
+
+
+class TestAppTaskHandler:
+    def test_runs_command_and_captures_stdout(self):
+        handler = AppTaskHandler(
+            f"{sys.executable} -c \"import sys; print(len(sys.argv[1]))\" {{payload}}"
+        )
+        assert handler.handle("hello") == "5"
+
+    def test_payload_is_shell_quoted(self):
+        handler = AppTaskHandler(
+            f"{sys.executable} -c \"import sys; print(sys.argv[1])\" {{payload}}"
+        )
+        tricky = "a b; echo injected"
+        assert handler.handle(tricky) == tricky
+
+    def test_missing_placeholder_rejected(self):
+        with pytest.raises(ValueError):
+            AppTaskHandler("echo hi")
+
+    def test_nonzero_exit_raises_with_stderr(self):
+        handler = AppTaskHandler(
+            f"{sys.executable} -c \"import sys; sys.exit('bad input')\" {{payload}}"
+        )
+        with pytest.raises(TaskExecutionError, match="bad input"):
+            handler.handle("x")
+
+    def test_timeout(self):
+        handler = AppTaskHandler(
+            f"{sys.executable} -c \"import time; time.sleep(5)\" {{payload}}",
+            timeout=0.2,
+        )
+        with pytest.raises(TaskExecutionError, match="timed out"):
+            handler.handle("x")
+
+
+class TestParTaskHandler:
+    def test_parallel_reduction(self):
+        import operator
+
+        def program(comm, payload):
+            # Each rank contributes payload["x"] * rank; rank 0 reports.
+            total = comm.allreduce(payload["x"] * comm.rank, operator.add)
+            return {"total": total}
+
+        handler = ParTaskHandler(program, procs=4)
+        result = json.loads(handler.handle('{"x": 2}'))
+        assert result == {"total": 2 * (0 + 1 + 2 + 3)}
+
+    def test_invalid_procs(self):
+        with pytest.raises(ValueError):
+            ParTaskHandler(lambda comm, p: None, procs=0)
+
+    def test_rank_failure_wrapped(self):
+        def program(comm, payload):
+            if comm.rank == 1:
+                raise RuntimeError("rank exploded")
+            return None
+
+        handler = ParTaskHandler(program, procs=2)
+        with pytest.raises(TaskExecutionError, match="@par task failed"):
+            handler.handle("{}")
+
+
+class TestHandlerRegistry:
+    def test_register_and_lookup(self):
+        registry = HandlerRegistry()
+        h = PythonTaskHandler(lambda d: d)
+        registry.register(3, h)
+        assert registry.handler_for(3) is h
+        assert registry.work_types() == [3]
+
+    def test_duplicate_rejected(self):
+        registry = HandlerRegistry()
+        registry.register(0, PythonTaskHandler(lambda d: d))
+        with pytest.raises(ValueError):
+            registry.register(0, PythonTaskHandler(lambda d: d))
+
+    def test_missing_type(self):
+        with pytest.raises(KeyError):
+            HandlerRegistry().handler_for(9)

@@ -1,0 +1,177 @@
+"""End-to-end tests for the threaded worker pool."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import EQSQL, EQ_STOP, ResultStatus, as_completed
+from repro.core.constants import EQ_ABORT, TaskStatus
+from repro.db import MemoryTaskStore
+from repro.pools import PoolConfig, PythonTaskHandler, ThreadedWorkerPool
+from repro.telemetry import EventKind, TraceCollector
+
+
+@pytest.fixture
+def eq():
+    eqsql = EQSQL(MemoryTaskStore())
+    yield eqsql
+    eqsql.close()
+
+
+def square_handler():
+    return PythonTaskHandler(lambda d: {"y": d["x"] ** 2})
+
+
+def submit_squares(eq, n, eq_type=0):
+    payloads = [json.dumps({"x": i}) for i in range(n)]
+    return eq.submit_tasks("exp", eq_type, payloads)
+
+
+class TestExecution:
+    def test_executes_all_tasks(self, eq):
+        futures = submit_squares(eq, 25)
+        config = PoolConfig(work_type=0, n_workers=4)
+        pool = ThreadedWorkerPool(eq, square_handler(), config).start()
+        done = list(as_completed(futures, timeout=20, delay=0.01))
+        assert len(done) == 25
+        for f in done:
+            status, result = f.result(timeout=0)
+            assert status == ResultStatus.SUCCESS
+            x = json.loads(eq.task_info(f.eq_task_id).json_out)["x"]
+            assert json.loads(result) == {"y": x**2}
+        pool.stop()
+        assert pool.tasks_completed == 25
+        assert pool.tasks_failed == 0
+
+    def test_only_consumes_own_work_type(self, eq):
+        mine = submit_squares(eq, 3, eq_type=1)
+        theirs = submit_squares(eq, 3, eq_type=2)
+        config = PoolConfig(work_type=1, n_workers=2)
+        with ThreadedWorkerPool(eq, square_handler(), config):
+            done = list(as_completed(mine, timeout=10, delay=0.01))
+            assert len(done) == 3
+        # Other work type untouched.
+        assert eq.queue_lengths(2)[0] == 3
+        assert all(not f.done() for f in theirs)
+
+    def test_failed_task_reports_error_payload(self, eq):
+        def sometimes_fail(d):
+            if d["x"] % 2 == 0:
+                raise ValueError("even input")
+            return {"ok": d["x"]}
+
+        futures = submit_squares(eq, 6)
+        config = PoolConfig(work_type=0, n_workers=2)
+        pool = ThreadedWorkerPool(eq, PythonTaskHandler(sometimes_fail), config).start()
+        done = list(as_completed(futures, timeout=10, delay=0.01))
+        pool.stop()
+        errors = 0
+        for f in done:
+            _, result = f.result(timeout=0)
+            if "error" in json.loads(result):
+                errors += 1
+        assert errors == 3
+        assert pool.tasks_failed == 3
+        assert pool.tasks_completed == 3
+
+    def test_worker_pool_name_recorded(self, eq):
+        futures = submit_squares(eq, 2)
+        config = PoolConfig(work_type=0, n_workers=1, name="bebop-pool")
+        with ThreadedWorkerPool(eq, square_handler(), config):
+            list(as_completed(futures, timeout=10, delay=0.01))
+        assert eq.task_info(futures[0].eq_task_id).worker_pool == "bebop-pool"
+
+
+class TestShutdown:
+    def test_eq_stop_drains_and_stops(self, eq):
+        futures = submit_squares(eq, 10)
+        stop_future = eq.submit_task("exp", 0, EQ_STOP, priority=-100)
+        config = PoolConfig(work_type=0, n_workers=3)
+        pool = ThreadedWorkerPool(eq, square_handler(), config).start()
+        # EQ_STOP has the lowest priority: all real tasks complete first.
+        done = list(as_completed(futures, timeout=20, delay=0.01))
+        assert len(done) == 10
+        assert stop_future.result(timeout=10, delay=0.01) == (
+            ResultStatus.SUCCESS,
+            EQ_STOP,
+        )
+        pool.join(timeout=10)
+        assert not pool.is_alive()
+
+    def test_eq_abort_stops_quickly(self, eq):
+        eq.submit_task("exp", 0, EQ_ABORT, priority=100)
+        submit_squares(eq, 5)
+        config = PoolConfig(work_type=0, n_workers=2)
+        pool = ThreadedWorkerPool(eq, square_handler(), config).start()
+        pool.join(timeout=10)
+        assert not pool.is_alive()
+
+    def test_explicit_stop(self, eq):
+        config = PoolConfig(work_type=0, n_workers=2)
+        pool = ThreadedWorkerPool(eq, square_handler(), config).start()
+        pool.stop(timeout=10)
+        assert not pool.is_alive()
+
+    def test_double_start_rejected(self, eq):
+        config = PoolConfig(work_type=0, n_workers=1)
+        pool = ThreadedWorkerPool(eq, square_handler(), config).start()
+        with pytest.raises(RuntimeError):
+            pool.start()
+        pool.stop()
+
+
+class TestPolicyBehaviour:
+    def test_owned_never_exceeds_batch(self, eq):
+        import threading
+
+        observed_max = 0
+        lock = threading.Lock()
+
+        def slow(d):
+            nonlocal observed_max
+            with lock:
+                observed_max = max(observed_max, pool.owned())
+            return d
+
+        submit_squares(eq, 30)
+        config = PoolConfig(work_type=0, n_workers=2, batch_size=5)
+        pool = ThreadedWorkerPool(eq, PythonTaskHandler(slow), config).start()
+        while eq.queue_lengths(0)[0] > 0 or pool.owned() > 0:
+            eq.clock.sleep(0.01)
+        pool.stop()
+        assert observed_max <= 5
+
+    def test_trace_events_recorded(self, eq):
+        trace = TraceCollector()
+        futures = submit_squares(eq, 8)
+        config = PoolConfig(work_type=0, n_workers=2, name="traced")
+        pool = ThreadedWorkerPool(eq, square_handler(), config, trace=trace).start()
+        list(as_completed(futures, timeout=10, delay=0.01))
+        pool.stop()
+        starts = trace.filter(kind=EventKind.TASK_START, source="traced")
+        stops = trace.filter(kind=EventKind.TASK_STOP, source="traced")
+        assert len(starts) == 8 and len(stops) == 8
+        fetches = trace.filter(kind=EventKind.FETCH)
+        assert sum(int(e.detail) for e in fetches) >= 8
+        kinds = {e.kind for e in trace.snapshot()}
+        assert EventKind.POOL_START in kinds and EventKind.POOL_STOP in kinds
+
+
+class TestMultiplePools:
+    def test_two_pools_share_queue_equitably(self, eq):
+        futures = submit_squares(eq, 40)
+        pool_a = ThreadedWorkerPool(
+            eq, square_handler(), PoolConfig(work_type=0, n_workers=2, name="a")
+        ).start()
+        pool_b = ThreadedWorkerPool(
+            eq, square_handler(), PoolConfig(work_type=0, n_workers=2, name="b")
+        ).start()
+        done = list(as_completed(futures, timeout=20, delay=0.01))
+        pool_a.stop()
+        pool_b.stop()
+        assert len(done) == 40
+        pools = {eq.task_info(f.eq_task_id).worker_pool for f in done}
+        assert pools == {"a", "b"}  # both pools did work
+        assert pool_a.tasks_completed + pool_b.tasks_completed == 40

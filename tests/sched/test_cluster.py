@@ -1,0 +1,47 @@
+"""Tests for the cluster resource model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sched import Cluster, ClusterSpec
+
+
+class TestClusterSpec:
+    def test_total_cores(self):
+        spec = ClusterSpec("bebop", n_nodes=3, cores_per_node=36)
+        assert spec.total_cores == 108
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            ClusterSpec("x", n_nodes=0)
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            ClusterSpec("x", n_nodes=1, cores_per_node=0)
+
+
+class TestCluster:
+    def test_allocate_and_release(self):
+        cluster = Cluster(ClusterSpec("c", n_nodes=4))
+        assert cluster.free_nodes() == 4
+        assert cluster.try_allocate(3)
+        assert cluster.free_nodes() == 1
+        assert not cluster.try_allocate(2)
+        cluster.release(3)
+        assert cluster.free_nodes() == 4
+
+    def test_over_release_rejected(self):
+        cluster = Cluster(ClusterSpec("c", n_nodes=2))
+        with pytest.raises(ValueError):
+            cluster.release(1)
+
+    def test_request_exceeding_cluster_rejected(self):
+        cluster = Cluster(ClusterSpec("c", n_nodes=2))
+        with pytest.raises(ValueError):
+            cluster.try_allocate(3)
+
+    def test_zero_request_rejected(self):
+        cluster = Cluster(ClusterSpec("c", n_nodes=2))
+        with pytest.raises(ValueError):
+            cluster.try_allocate(0)

@@ -1,0 +1,194 @@
+"""Tests for the batch scheduler (FIFO + EASY backfill + queue delays)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.sched import Cluster, ClusterSpec, JobState, Scheduler
+from repro.util.errors import NotFoundError, SchedulerError
+
+
+@pytest.fixture
+def sched2():
+    cluster = Cluster(ClusterSpec("test", n_nodes=2))
+    scheduler = Scheduler(cluster, tick=0.005).start()
+    yield scheduler
+    scheduler.shutdown()
+
+
+class TestBasicDispatch:
+    def test_job_runs_and_completes(self, sched2):
+        job = sched2.submit(lambda: 41 + 1, name="answer")
+        assert job.wait(timeout=5)
+        assert job.state == JobState.COMPLETED
+        assert job.result == 42
+        assert job.queue_wait() is not None and job.queue_wait() < 2.0
+
+    def test_failure_recorded(self, sched2):
+        job = sched2.submit(lambda: 1 / 0)
+        assert job.wait(timeout=5)
+        assert job.state == JobState.FAILED
+        assert "ZeroDivisionError" in (job.error or "")
+
+    def test_concurrent_jobs_share_nodes(self, sched2):
+        barrier = threading.Barrier(2, timeout=5)
+        jobs = [sched2.submit(barrier.wait, nodes=1) for _ in range(2)]
+        for job in jobs:
+            assert job.wait(timeout=5)
+            assert job.state == JobState.COMPLETED
+
+    def test_nodes_contention_serializes(self, sched2):
+        order: list[int] = []
+        lock = threading.Lock()
+
+        def body(k):
+            with lock:
+                order.append(k)
+            time.sleep(0.05)
+
+        jobs = [sched2.submit(lambda k=k: body(k), nodes=2) for k in range(3)]
+        for job in jobs:
+            assert job.wait(timeout=10)
+        # Whole-cluster jobs run one at a time, FIFO.
+        assert order == [0, 1, 2]
+
+    def test_invalid_walltime(self, sched2):
+        with pytest.raises(SchedulerError):
+            sched2.submit(lambda: None, walltime=0)
+
+    def test_too_many_nodes(self, sched2):
+        with pytest.raises(SchedulerError):
+            sched2.submit(lambda: None, nodes=3)
+
+    def test_unknown_job(self, sched2):
+        with pytest.raises(NotFoundError):
+            sched2.job(999)
+
+
+class TestCancelAndShutdown:
+    def test_cancel_pending(self):
+        cluster = Cluster(ClusterSpec("c", n_nodes=1))
+        # Large queue delay keeps the job pending.
+        scheduler = Scheduler(cluster, queue_delay=lambda j: 60.0, tick=0.005).start()
+        try:
+            job = scheduler.submit(lambda: None)
+            assert scheduler.cancel(job.job_id)
+            assert job.state == JobState.CANCELLED
+        finally:
+            scheduler.shutdown()
+
+    def test_cancel_running_returns_false(self, sched2):
+        release = threading.Event()
+        job = sched2.submit(release.wait)
+        while job.state == JobState.PENDING:
+            time.sleep(0.005)
+        assert not sched2.cancel(job.job_id)
+        release.set()
+        assert job.wait(timeout=5)
+
+    def test_shutdown_cancels_pending(self):
+        cluster = Cluster(ClusterSpec("c", n_nodes=1))
+        scheduler = Scheduler(cluster, queue_delay=lambda j: 60.0, tick=0.005).start()
+        job = scheduler.submit(lambda: None)
+        scheduler.shutdown()
+        assert job.state == JobState.CANCELLED
+
+
+class TestQueueDelay:
+    def test_delay_model_delays_start(self):
+        cluster = Cluster(ClusterSpec("c", n_nodes=1))
+        scheduler = Scheduler(cluster, queue_delay=lambda j: 0.15, tick=0.005).start()
+        try:
+            job = scheduler.submit(lambda: "done")
+            assert job.wait(timeout=5)
+            assert job.queue_wait() >= 0.14
+        finally:
+            scheduler.shutdown()
+
+    def test_later_eligible_job_runs_before_delayed_head(self):
+        cluster = Cluster(ClusterSpec("c", n_nodes=1))
+        delays = {"slow": 0.5, "fast": 0.0}
+        scheduler = Scheduler(
+            cluster, queue_delay=lambda j: delays[j.name], tick=0.005
+        ).start()
+        try:
+            order: list[str] = []
+            lock = threading.Lock()
+
+            def body(name):
+                with lock:
+                    order.append(name)
+
+            slow = scheduler.submit(lambda: body("slow"), name="slow")
+            fast = scheduler.submit(lambda: body("fast"), name="fast")
+            assert slow.wait(timeout=5) and fast.wait(timeout=5)
+            assert order == ["fast", "slow"]
+        finally:
+            scheduler.shutdown()
+
+
+class TestWalltime:
+    def test_timeout_enforced(self):
+        cluster = Cluster(ClusterSpec("c", n_nodes=1))
+        scheduler = Scheduler(cluster, tick=0.005).start()
+        try:
+            release = threading.Event()
+            job = scheduler.submit(release.wait, walltime=0.1)
+            assert job.wait(timeout=5)
+            assert job.state == JobState.TIMEOUT
+            # Nodes were reclaimed: the next job can run.
+            follow = scheduler.submit(lambda: "ran")
+            assert follow.wait(timeout=5)
+            assert follow.state == JobState.COMPLETED
+            release.set()
+        finally:
+            scheduler.shutdown()
+
+
+class TestBackfill:
+    def test_small_job_backfills_around_blocked_head(self):
+        cluster = Cluster(ClusterSpec("c", n_nodes=2))
+        scheduler = Scheduler(cluster, tick=0.005).start()
+        try:
+            hold = threading.Event()
+            # Occupies 1 node for a while (declared walltime 10).
+            long_job = scheduler.submit(hold.wait, nodes=1, walltime=10, name="long")
+            while long_job.state == JobState.PENDING:
+                time.sleep(0.005)
+            # Head needs 2 nodes: blocked until long_job finishes.
+            head = scheduler.submit(lambda: "head", nodes=2, walltime=1, name="head")
+            # Small short job fits the free node and ends before the
+            # head could possibly start -> backfills.
+            small = scheduler.submit(lambda: "small", nodes=1, walltime=0.5, name="small")
+            assert small.wait(timeout=5)
+            assert small.state == JobState.COMPLETED
+            assert head.state == JobState.PENDING  # still blocked
+            hold.set()
+            assert head.wait(timeout=10)
+            assert head.state == JobState.COMPLETED
+        finally:
+            scheduler.shutdown()
+
+    def test_backfill_never_delays_head(self):
+        cluster = Cluster(ClusterSpec("c", n_nodes=2))
+        scheduler = Scheduler(cluster, tick=0.005).start()
+        try:
+            hold = threading.Event()
+            long_job = scheduler.submit(hold.wait, nodes=1, walltime=0.6, name="long")
+            while long_job.state == JobState.PENDING:
+                time.sleep(0.005)
+            head = scheduler.submit(lambda: "head", nodes=2, walltime=1, name="head")
+            # This job's walltime (10) exceeds the head's shadow start
+            # (~0.6s away) and it would eat the head's second node, so
+            # EASY must NOT backfill it.
+            greedy = scheduler.submit(lambda: "greedy", nodes=1, walltime=10, name="greedy")
+            time.sleep(0.2)
+            assert greedy.state == JobState.PENDING
+            hold.set()
+            assert head.wait(timeout=10)
+            assert greedy.wait(timeout=10)
+        finally:
+            scheduler.shutdown()

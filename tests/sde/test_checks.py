@@ -1,0 +1,79 @@
+"""Tests for tolerance-aware output comparison."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.sde import compare_outputs
+
+
+class TestScalars:
+    def test_exact_match(self):
+        assert compare_outputs(1, 1).ok
+        assert compare_outputs("a", "a").ok
+        assert compare_outputs(None, None).ok
+
+    def test_numeric_tolerance(self):
+        assert compare_outputs(1.0, 1.0 + 1e-9).ok
+        assert not compare_outputs(1.0, 1.1).ok
+
+    def test_int_float_comparable(self):
+        assert compare_outputs(2, 2.0).ok
+
+    def test_bool_not_numeric(self):
+        # True == 1 numerically, but a bool/int swap is a regression.
+        assert not compare_outputs(True, 1).ok
+        assert not compare_outputs(0, False).ok
+        assert compare_outputs(True, True).ok
+
+    def test_nan_equals_nan(self):
+        assert compare_outputs(math.nan, math.nan).ok
+
+    def test_string_mismatch_reported(self):
+        result = compare_outputs("high", "low")
+        assert not result.ok
+        assert "expected 'high'" in result.mismatches[0]
+
+
+class TestStructures:
+    def test_nested_ok(self):
+        expected = {"a": [1.0, 2.0], "b": {"c": "x"}}
+        actual = {"a": [1.0, 2.0 + 1e-10], "b": {"c": "x"}}
+        assert compare_outputs(expected, actual).ok
+
+    def test_missing_and_extra_keys(self):
+        result = compare_outputs({"a": 1, "b": 2}, {"a": 1, "c": 3})
+        messages = "\n".join(result.mismatches)
+        assert "$.b: missing" in messages
+        assert "$.c: unexpected" in messages
+
+    def test_length_mismatch(self):
+        result = compare_outputs([1, 2, 3], [1, 2])
+        assert "length 3 != 2" in result.mismatches[0]
+
+    def test_path_reported_for_deep_mismatch(self):
+        result = compare_outputs({"a": [{"b": 1.0}]}, {"a": [{"b": 9.0}]})
+        assert result.mismatches[0].startswith("$.a[0].b")
+
+    def test_type_mismatch(self):
+        result = compare_outputs([1], {"0": 1})
+        assert "type mismatch" in result.mismatches[0]
+
+    def test_multiple_mismatches_all_reported(self):
+        result = compare_outputs({"a": 1, "b": 2}, {"a": 9, "b": 8})
+        assert len(result.mismatches) == 2
+
+    @given(
+        st.recursive(
+            st.none() | st.booleans() | st.integers(-100, 100)
+            | st.floats(allow_nan=False, allow_infinity=False, width=32)
+            | st.text(max_size=10),
+            lambda children: st.lists(children, max_size=4)
+            | st.dictionaries(st.text(max_size=5), children, max_size=4),
+            max_leaves=15,
+        )
+    )
+    def test_reflexive(self, value):
+        assert compare_outputs(value, value).ok

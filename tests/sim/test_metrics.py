@@ -1,0 +1,79 @@
+"""Tests for reprioritization churn metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim import ordering_stabilizes, reassignment_stats
+from repro.sim.me_model import ReprioritizationTrace
+
+
+def make_record(index, priorities):
+    priorities = np.asarray(priorities)
+    return ReprioritizationTrace(
+        index=index,
+        time_start=float(index),
+        time_stop=float(index) + 0.5,
+        n_completed=index * 10,
+        n_reprioritized=len(priorities),
+        priorities=priorities,
+    )
+
+
+class TestReassignmentStats:
+    def test_first_round_is_baseline(self):
+        stats = reassignment_stats([make_record(1, [3, 1, 2])])
+        assert len(stats) == 1
+        assert stats[0].mean_abs_shift == 0.0
+        assert stats[0].spearman_vs_previous == 1.0
+
+    def test_identical_orderings_no_churn(self):
+        records = [make_record(1, [3, 2, 1]), make_record(2, [3, 2, 1])]
+        stats = reassignment_stats(records)
+        assert stats[1].mean_abs_shift == 0.0
+        assert stats[1].spearman_vs_previous == 1.0
+
+    def test_reversed_ordering_max_churn(self):
+        records = [make_record(1, [1, 2, 3, 4]), make_record(2, [4, 3, 2, 1])]
+        stats = reassignment_stats(records)
+        assert stats[1].mean_abs_shift > 1.0
+        assert stats[1].spearman_vs_previous < 0
+
+    def test_shrinking_sets_aligned_on_tail(self):
+        records = [
+            make_record(1, [5, 4, 3, 2, 1]),
+            make_record(2, [3, 2, 1]),  # same relative order on the tail
+        ]
+        stats = reassignment_stats(records)
+        assert stats[1].spearman_vs_previous > 0.9
+
+    def test_empty_round_skipped(self):
+        records = [make_record(1, [2, 1]), make_record(2, [])]
+        stats = reassignment_stats(records)
+        assert len(stats) == 1
+
+    def test_stabilization_detector(self):
+        # Chaotic early, consistent late.
+        rng = np.random.default_rng(0)
+        records = [make_record(1, rng.permutation(50) + 1)]
+        records.append(make_record(2, rng.permutation(50) + 1))
+        records.append(make_record(3, rng.permutation(40) + 1))
+        stable = np.arange(30, 0, -1)
+        records.append(make_record(4, stable))
+        records.append(make_record(5, stable[:25] - 0))
+        assert ordering_stabilizes(reassignment_stats(records))
+
+    def test_fig4_records_work(self):
+        from repro.sim import Fig4Config, run_fig4
+        from repro.sim.workload import RuntimeModel
+
+        result = run_fig4(
+            Fig4Config(
+                n_tasks=150, n_workers=10, batch_size=10, repri_every=25,
+                pool_submissions=(1,), queue_delay_mean=5.0,
+                runtime=RuntimeModel(mean=8.0, sigma=0.4),
+            )
+        )
+        stats = reassignment_stats(result.reprioritizations)
+        assert len(stats) == len(result.reprioritizations)
+        assert all(np.isfinite(s.spearman_vs_previous) for s in stats)

@@ -1,0 +1,58 @@
+"""Tests for workload generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.me import ackley
+from repro.sim import AckleyWorkload, RuntimeModel
+from repro.sim.workload import ACKLEY_BOUND
+
+
+class TestRuntimeModel:
+    def test_sample_count_and_positivity(self):
+        model = RuntimeModel(mean=3.0, sigma=0.5)
+        samples = model.sample(np.random.default_rng(0), 500)
+        assert samples.shape == (500,)
+        assert np.all(samples > 0)
+
+    def test_sigma_zero_constant(self):
+        samples = RuntimeModel(mean=2.0, sigma=0.0).sample(np.random.default_rng(0), 5)
+        assert np.allclose(samples, 2.0)
+
+    def test_mean_approached(self):
+        samples = RuntimeModel(mean=5.0, sigma=0.5).sample(
+            np.random.default_rng(1), 100_000
+        )
+        assert float(samples.mean()) == pytest.approx(5.0, rel=0.03)
+
+
+class TestAckleyWorkload:
+    def test_sizes_and_domain(self):
+        wl = AckleyWorkload(n_tasks=100, dim=4).generate()
+        assert len(wl) == 100
+        assert wl.points.shape == (100, 4)
+        assert np.all(np.abs(wl.points) <= ACKLEY_BOUND)
+        assert wl.values.shape == (100,)
+        assert wl.runtimes.shape == (100,)
+
+    def test_values_match_function(self):
+        wl = AckleyWorkload(n_tasks=50, dim=3).generate()
+        assert np.allclose(wl.values, np.asarray(ackley(wl.points)))
+
+    def test_deterministic_in_seed(self):
+        a = AckleyWorkload(n_tasks=20, seed=7).generate()
+        b = AckleyWorkload(n_tasks=20, seed=7).generate()
+        assert np.array_equal(a.points, b.points)
+        assert np.array_equal(a.runtimes, b.runtimes)
+        c = AckleyWorkload(n_tasks=20, seed=8).generate()
+        assert not np.array_equal(a.points, c.points)
+
+    def test_payloads_decode_to_points(self):
+        import json
+
+        wl = AckleyWorkload(n_tasks=10).generate()
+        for i, payload in enumerate(wl.payloads):
+            decoded = json.loads(payload)
+            assert np.allclose(decoded["x"], wl.points[i])

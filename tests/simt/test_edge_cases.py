@@ -1,0 +1,160 @@
+"""Edge-case tests for the DES kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simt import AllOf, AnyOf, Environment
+from repro.util.errors import InvalidStateError
+
+
+class TestEventLifecycle:
+    def test_double_succeed_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(1)
+        with pytest.raises(InvalidStateError):
+            event.succeed(2)
+        with pytest.raises(InvalidStateError):
+            event.fail(RuntimeError("late"))
+
+    def test_value_before_trigger_rejected(self):
+        env = Environment()
+        event = env.event()
+        with pytest.raises(InvalidStateError):
+            _ = event.value
+        with pytest.raises(InvalidStateError):
+            _ = event.ok
+
+    def test_timeout_carries_value(self):
+        env = Environment()
+
+        def proc():
+            value = yield env.timeout(2, value="payload")
+            return (env.now, value)
+
+        assert env.run(until=env.process(proc())) == (2.0, "payload")
+
+    def test_delayed_succeed(self):
+        env = Environment()
+        event = env.event()
+        log = []
+
+        def waiter():
+            value = yield event
+            log.append((env.now, value))
+
+        env.process(waiter())
+        event.succeed("later", delay=7.5)
+        env.run()
+        assert log == [(7.5, "later")]
+
+
+class TestConditionFailures:
+    def test_allof_fails_on_first_child_failure(self):
+        env = Environment()
+
+        def proc():
+            good = env.timeout(5, value="ok")
+            bad = env.event()
+            bad.fail(ValueError("child broke"))
+            try:
+                yield AllOf(env, [good, bad])
+            except ValueError as exc:
+                return (env.now, str(exc))
+
+        # Failure propagates before the slow child would complete.
+        assert env.run(until=env.process(proc())) == (0.0, "child broke")
+
+    def test_anyof_failure_first_wins(self):
+        env = Environment()
+
+        def proc():
+            slow = env.timeout(10, value="slow")
+            bad = env.event()
+            bad.fail(RuntimeError("boom"))
+            try:
+                yield AnyOf(env, [slow, bad])
+            except RuntimeError:
+                return "failed-fast"
+
+        assert env.run(until=env.process(proc())) == "failed-fast"
+
+    def test_anyof_success_first_ignores_later_failure(self):
+        env = Environment()
+
+        def failer(event):
+            yield env.timeout(5)
+            event.fail(RuntimeError("too late"))
+
+        def proc():
+            fast = env.timeout(1, value="fast")
+            doomed = env.event()
+            env.process(failer(doomed))
+            results = yield AnyOf(env, [fast, doomed])
+            return list(results.values())
+
+        p = env.process(proc())
+        env.run()  # run to exhaustion: the late failure must not blow up
+        assert p.value == ["fast"]
+
+    def test_nested_conditions(self):
+        env = Environment()
+
+        def proc():
+            inner = AllOf(env, [env.timeout(1), env.timeout(2)])
+            outer = AnyOf(env, [inner, env.timeout(10)])
+            yield outer
+            return env.now
+
+        assert env.run(until=env.process(proc())) == 2.0
+
+
+class TestRunSemantics:
+    def test_run_until_time_with_pending_events(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            while True:
+                yield env.timeout(3)
+                log.append(env.now)
+
+        env.process(proc())
+        env.run(until=4)
+        assert log == [3.0]
+        assert env.now == 4.0
+        env.run(until=7)
+        assert log == [3.0, 6.0]
+
+    def test_processes_waiting_on_each_other_chain(self):
+        env = Environment()
+
+        def leaf():
+            yield env.timeout(2)
+            return 1
+
+        def middle():
+            value = yield env.process(leaf())
+            yield env.timeout(1)
+            return value + 1
+
+        def root():
+            value = yield env.process(middle())
+            return value + 1
+
+        assert env.run(until=env.process(root())) == 3
+        assert env.now == 3.0
+
+    def test_many_simultaneous_events_fifo(self):
+        env = Environment()
+        order = []
+
+        def proc(k):
+            yield env.timeout(5)
+            order.append(k)
+
+        for k in range(50):
+            env.process(proc(k))
+        env.run()
+        assert order == list(range(50))

@@ -1,0 +1,285 @@
+"""Tests for the DES kernel: environment, events, processes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simt import AllOf, AnyOf, Environment, Interrupt
+from repro.util.errors import InvalidStateError
+
+
+class TestTimeAdvancement:
+    def test_timeouts_advance_clock(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(5)
+            log.append(env.now)
+            yield env.timeout(2.5)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [5.0, 7.5]
+
+    def test_run_until_time(self):
+        env = Environment()
+        log = []
+
+        def ticker():
+            while True:
+                yield env.timeout(1)
+                log.append(env.now)
+
+        env.process(ticker())
+        env.run(until=3.5)
+        assert log == [1.0, 2.0, 3.0]
+        assert env.now == 3.5
+
+    def test_run_until_past_rejected(self):
+        env = Environment()
+        env.process(iter([]))  # no-op
+        env.run(until=5)
+        with pytest.raises(ValueError):
+            env.run(until=1)
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_zero_delay_events_run_in_fifo_order(self):
+        env = Environment()
+        order = []
+
+        def make(name):
+            def proc():
+                yield env.timeout(0)
+                order.append(name)
+
+            return proc
+
+        for name in "abc":
+            env.process(make(name)())
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_step_without_events(self):
+        with pytest.raises(InvalidStateError):
+            Environment().step()
+
+    def test_peek(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+        env.timeout(3)
+        assert env.peek() == 3.0
+
+
+class TestProcesses:
+    def test_process_return_value(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1)
+            return "done"
+
+        p = env.process(proc())
+        assert env.run(until=p) == "done"
+
+    def test_process_waits_on_process(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(3)
+            return 42
+
+        def parent():
+            value = yield env.process(child())
+            return value * 2
+
+        assert env.run(until=env.process(parent())) == 84
+        assert env.now == 3.0
+
+    def test_process_exception_propagates_to_run(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1)
+            raise RuntimeError("sim boom")
+
+        with pytest.raises(RuntimeError, match="sim boom"):
+            env.run(until=env.process(proc()))
+
+    def test_failed_event_thrown_into_waiter(self):
+        env = Environment()
+        caught = []
+
+        def proc():
+            event = env.event()
+            event.fail(ValueError("bad"))
+            try:
+                yield event
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        env.run(until=env.process(proc()))
+        assert caught == ["bad"]
+
+    def test_yield_non_event_fails_process(self):
+        env = Environment()
+
+        def proc():
+            yield 42  # type: ignore[misc]
+
+        with pytest.raises(TypeError):
+            env.run(until=env.process(proc()))
+
+    def test_deadlock_detected_when_awaiting(self):
+        env = Environment()
+
+        def proc():
+            yield env.event()  # never triggered
+
+        with pytest.raises(InvalidStateError, match="deadlock"):
+            env.run(until=env.process(proc()))
+
+    def test_manual_event_wakeup(self):
+        env = Environment()
+        gate = env.event()
+        log = []
+
+        def waiter():
+            value = yield gate
+            log.append((env.now, value))
+
+        def opener():
+            yield env.timeout(4)
+            gate.succeed("open")
+
+        env.process(waiter())
+        env.process(opener())
+        env.run()
+        assert log == [(4.0, "open")]
+
+
+class TestInterrupt:
+    def test_interrupt_waiting_process(self):
+        env = Environment()
+        log = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                log.append((env.now, interrupt.cause))
+
+        def interrupter(target):
+            yield env.timeout(2)
+            target.interrupt("wake up")
+
+        p = env.process(sleeper())
+        env.process(interrupter(p))
+        env.run()
+        assert log == [(2.0, "wake up")]
+
+    def test_interrupt_finished_process_is_noop(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(1)
+
+        p = env.process(quick())
+        env.run()
+        p.interrupt()  # must not raise
+
+    def test_interrupted_process_can_continue(self):
+        env = Environment()
+        log = []
+
+        def worker():
+            while True:
+                try:
+                    yield env.timeout(10)
+                    log.append(("slept", env.now))
+                    return
+                except Interrupt:
+                    log.append(("interrupted", env.now))
+
+        def nudger(target):
+            yield env.timeout(1)
+            target.interrupt()
+
+        p = env.process(worker())
+        env.process(nudger(p))
+        env.run()
+        assert log == [("interrupted", 1.0), ("slept", 11.0)]
+
+
+class TestConditions:
+    def test_all_of(self):
+        env = Environment()
+
+        def proc():
+            t1 = env.timeout(1, value="a")
+            t2 = env.timeout(3, value="b")
+            results = yield AllOf(env, [t1, t2])
+            return (env.now, sorted(results.values()))
+
+        assert env.run(until=env.process(proc())) == (3.0, ["a", "b"])
+
+    def test_any_of(self):
+        env = Environment()
+
+        def proc():
+            t1 = env.timeout(5, value="slow")
+            t2 = env.timeout(1, value="fast")
+            results = yield AnyOf(env, [t1, t2])
+            return (env.now, list(results.values()))
+
+        assert env.run(until=env.process(proc())) == (1.0, ["fast"])
+
+    def test_empty_all_of_succeeds_immediately(self):
+        env = Environment()
+
+        def proc():
+            yield AllOf(env, [])
+            return env.now
+
+        assert env.run(until=env.process(proc())) == 0.0
+
+
+class TestDeterminism:
+    @settings(max_examples=20, deadline=None)
+    @given(delays=st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=20))
+    def test_same_delays_same_trace(self, delays):
+        def simulate():
+            env = Environment()
+            trace = []
+
+            def proc(d, k):
+                yield env.timeout(d)
+                trace.append((env.now, k))
+
+            for k, d in enumerate(delays):
+                env.process(proc(d, k))
+            env.run()
+            return trace
+
+        assert simulate() == simulate()
+
+    @settings(max_examples=20, deadline=None)
+    @given(delays=st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=20))
+    def test_events_fire_in_time_order(self, delays):
+        env = Environment()
+        times = []
+
+        def proc(d):
+            yield env.timeout(d)
+            times.append(env.now)
+
+        for d in delays:
+            env.process(proc(d))
+        env.run()
+        assert times == sorted(times)

@@ -1,0 +1,192 @@
+"""Tests for DES resources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simt import Container, Environment, Resource, SimStore
+
+
+class TestResource:
+    def test_capacity_limits_concurrency(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        active = []
+        peak = []
+
+        def worker(k):
+            req = resource.request()
+            yield req
+            active.append(k)
+            peak.append(len(active))
+            yield env.timeout(1)
+            active.remove(k)
+            resource.release()
+
+        for k in range(5):
+            env.process(worker(k))
+        env.run()
+        assert max(peak) == 2
+        # 5 tasks of 1s at capacity 2 -> makespan ceil(5/2) = 3.
+        assert env.now == 3.0
+
+    def test_fifo_grant_order(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def worker(k):
+            yield resource.request()
+            order.append(k)
+            yield env.timeout(1)
+            resource.release()
+
+        for k in range(4):
+            env.process(worker(k))
+        env.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_release_without_request(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Resource(env, capacity=1).release()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Environment(), capacity=0)
+
+    def test_counters(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+
+        def holder():
+            yield resource.request()
+            yield env.timeout(5)
+            resource.release()
+
+        def waiter():
+            yield env.timeout(1)
+            yield resource.request()
+            resource.release()
+
+        env.process(holder())
+        env.process(waiter())
+        env.run(until=2)
+        assert resource.in_use == 1
+        assert resource.queued == 1
+        env.run()
+
+
+class TestSimStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = SimStore(env)
+        store.put("item")
+        results = []
+
+        def getter():
+            value = yield store.get()
+            results.append(value)
+
+        env.process(getter())
+        env.run()
+        assert results == ["item"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = SimStore(env)
+        results = []
+
+        def getter():
+            value = yield store.get()
+            results.append((env.now, value))
+
+        def putter():
+            yield env.timeout(3)
+            store.put("late")
+
+        env.process(getter())
+        env.process(putter())
+        env.run()
+        assert results == [(3.0, "late")]
+
+    def test_fifo_items_and_getters(self):
+        env = Environment()
+        store = SimStore(env)
+        got = []
+
+        def getter(k):
+            value = yield store.get()
+            got.append((k, value))
+
+        for k in range(2):
+            env.process(getter(k))
+
+        def putter():
+            yield env.timeout(1)
+            store.put("first")
+            store.put("second")
+
+        env.process(putter())
+        env.run()
+        assert got == [(0, "first"), (1, "second")]
+
+    def test_len(self):
+        env = Environment()
+        store = SimStore(env)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestContainer:
+    def test_get_blocks_until_level(self):
+        env = Environment()
+        tank = Container(env, init=1)
+        times = []
+
+        def consumer():
+            yield tank.get(3)
+            times.append(env.now)
+
+        def producer():
+            yield env.timeout(2)
+            tank.put(2)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert times == [2.0]
+        assert tank.level == 0.0
+
+    def test_fifo_draining(self):
+        env = Environment()
+        tank = Container(env)
+        order = []
+
+        def consumer(k, amount):
+            yield tank.get(amount)
+            order.append(k)
+
+        env.process(consumer("big", 5))
+        env.process(consumer("small", 1))
+
+        def producer():
+            yield env.timeout(1)
+            tank.put(2)  # not enough for 'big'; 'small' must wait FIFO
+            yield env.timeout(1)
+            tank.put(4)
+
+        env.process(producer())
+        env.run()
+        assert order == ["big", "small"]
+
+    def test_invalid_amounts(self):
+        env = Environment()
+        tank = Container(env)
+        with pytest.raises(ValueError):
+            tank.put(0)
+        with pytest.raises(ValueError):
+            tank.get(-1)
+        with pytest.raises(ValueError):
+            Container(env, init=-1)

@@ -1,0 +1,156 @@
+"""Tests for the transparent lazy proxy."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.store import Proxy, extract, is_resolved, resolve
+
+
+def counting_factory(value):
+    calls = {"n": 0}
+
+    def factory():
+        calls["n"] += 1
+        return value
+
+    return factory, calls
+
+
+class TestLaziness:
+    def test_not_resolved_until_used(self):
+        factory, calls = counting_factory([1, 2, 3])
+        proxy = Proxy(factory)
+        assert not is_resolved(proxy)
+        assert calls["n"] == 0
+        assert len(proxy) == 3
+        assert is_resolved(proxy)
+        assert calls["n"] == 1
+
+    def test_factory_called_exactly_once(self):
+        factory, calls = counting_factory({"a": 1})
+        proxy = Proxy(factory)
+        _ = proxy["a"]
+        _ = proxy.keys()
+        _ = len(proxy)
+        assert calls["n"] == 1
+
+    def test_explicit_resolve_and_extract(self):
+        target = {"x": 1}
+        proxy = Proxy(lambda: target)
+        resolve(proxy)
+        assert is_resolved(proxy)
+        assert extract(proxy) is target
+
+    def test_repr_before_resolution_does_not_resolve(self):
+        factory, calls = counting_factory(42)
+        proxy = Proxy(factory)
+        assert repr(proxy) == "Proxy(<unresolved>)"
+        assert calls["n"] == 0
+
+
+class TestTransparency:
+    def test_attribute_access(self):
+        proxy = Proxy(lambda: complex(3, 4))
+        assert proxy.real == 3.0
+        assert proxy.imag == 4.0
+        assert proxy.conjugate() == complex(3, -4)
+
+    def test_method_mutation_visible(self):
+        target: list = []
+        proxy = Proxy(lambda: target)
+        proxy.append(7)
+        assert target == [7]
+
+    def test_setattr_forwards(self):
+        class Box:
+            pass
+
+        box = Box()
+        proxy = Proxy(lambda: box)
+        proxy.value = 9
+        assert box.value == 9
+
+    def test_item_protocol(self):
+        proxy = Proxy(lambda: {"a": 1})
+        proxy["b"] = 2
+        assert proxy["b"] == 2
+        assert "b" in proxy
+        del proxy["a"]
+        assert "a" not in proxy
+
+    def test_iteration(self):
+        proxy = Proxy(lambda: [1, 2, 3])
+        assert [x * 2 for x in proxy] == [2, 4, 6]
+
+    def test_call(self):
+        proxy = Proxy(lambda: (lambda a, b: a + b))
+        assert proxy(2, 3) == 5
+
+    def test_arithmetic_both_sides(self):
+        proxy = Proxy(lambda: 10)
+        assert proxy + 5 == 15
+        assert 5 + proxy == 15
+        assert proxy - 3 == 7
+        assert 3 - proxy == -7
+        assert proxy * 2 == 20
+        assert 2 * proxy == 20
+        assert proxy / 4 == 2.5
+        assert 100 / proxy == 10
+        assert proxy // 3 == 3
+        assert proxy % 3 == 1
+        assert proxy**2 == 100
+        assert -proxy == -10
+        assert abs(Proxy(lambda: -5)) == 5
+
+    def test_comparisons(self):
+        proxy = Proxy(lambda: 10)
+        assert proxy == 10
+        assert proxy != 11
+        assert proxy < 11
+        assert proxy <= 10
+        assert proxy > 9
+        assert proxy >= 10
+
+    def test_proxy_vs_proxy_comparison(self):
+        assert Proxy(lambda: 1) < Proxy(lambda: 2)
+        assert Proxy(lambda: "a") == Proxy(lambda: "a")
+
+    def test_bool_str_hash(self):
+        assert bool(Proxy(lambda: []))is False
+        assert str(Proxy(lambda: 42)) == "42"
+        assert hash(Proxy(lambda: "key")) == hash("key")
+
+    def test_numpy_asarray(self):
+        proxy = Proxy(lambda: [1.0, 2.0, 3.0])
+        arr = np.asarray(proxy)
+        assert arr.shape == (3,)
+        assert arr.sum() == 6.0
+
+    def test_numpy_math_on_proxied_array(self):
+        proxy = Proxy(lambda: np.arange(4.0))
+        assert float(np.sum(proxy + 1)) == 10.0
+
+
+class TestPickling:
+    def test_pickle_ships_factory_not_data(self):
+        # A module-level factory stand-in: use a picklable callable.
+        proxy = Proxy(_module_factory)
+        resolve(proxy)
+        data = pickle.dumps(proxy)
+        clone = pickle.loads(data)
+        assert isinstance(clone, Proxy)
+        assert not is_resolved(clone)  # resolution does not travel
+        assert extract(clone) == {"payload": "from-module-factory"}
+
+    def test_unpicklable_factory_fails_at_pickle_time(self):
+        proxy = Proxy(lambda: 1)
+        with pytest.raises(Exception):
+            pickle.dumps(proxy)
+
+
+def _module_factory():
+    return {"payload": "from-module-factory"}

@@ -1,0 +1,232 @@
+"""Tests for Store, connectors, and the registry."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    FileConnector,
+    GlobusConnector,
+    MemoryConnector,
+    Proxy,
+    Store,
+    extract,
+    get_store,
+    is_resolved,
+    register_store,
+    unregister_store,
+)
+from repro.transfer import TransferClient, TransferEndpoint
+from repro.util.errors import NotFoundError
+from repro.util.ids import short_id
+
+
+@pytest.fixture
+def memory_store():
+    name = short_id("store")
+    store = Store(name, MemoryConnector(name))
+    register_store(store)
+    yield store
+    unregister_store(name)
+    MemoryConnector.drop_space(name)
+
+
+class TestConnectors:
+    def test_memory_round_trip(self):
+        conn = MemoryConnector(short_id("space"))
+        conn.put("k", b"v")
+        assert conn.get("k") == b"v"
+        assert conn.exists("k")
+        assert conn.evict("k")
+        assert not conn.exists("k")
+        assert not conn.evict("k")
+
+    def test_memory_shared_by_name(self):
+        name = short_id("space")
+        a = MemoryConnector(name)
+        b = MemoryConnector(name)
+        a.put("k", b"v")
+        assert b.get("k") == b"v"
+        MemoryConnector.drop_space(name)
+
+    def test_memory_pickles_reconnect(self):
+        name = short_id("space")
+        conn = MemoryConnector(name)
+        conn.put("k", b"v")
+        clone = pickle.loads(pickle.dumps(conn))
+        assert clone.get("k") == b"v"
+        MemoryConnector.drop_space(name)
+
+    def test_memory_missing_key(self):
+        with pytest.raises(NotFoundError):
+            MemoryConnector(short_id("s")).get("nope")
+
+    def test_file_round_trip(self, tmp_path):
+        conn = FileConnector(tmp_path / "store")
+        conn.put("some/key with spaces", b"bytes")
+        assert conn.get("some/key with spaces") == b"bytes"
+        assert conn.exists("some/key with spaces")
+        assert conn.evict("some/key with spaces")
+        assert not conn.exists("some/key with spaces")
+
+    def test_file_pickles_by_path(self, tmp_path):
+        conn = FileConnector(tmp_path)
+        conn.put("k", b"v")
+        clone = pickle.loads(pickle.dumps(conn))
+        assert clone.get("k") == b"v"
+
+    def test_file_missing_key(self, tmp_path):
+        with pytest.raises(NotFoundError):
+            FileConnector(tmp_path).get("ghost")
+
+
+class TestStore:
+    def test_put_get(self, memory_store):
+        key = memory_store.put({"a": [1, 2]})
+        assert memory_store.get(key) == {"a": [1, 2]}
+        assert memory_store.exists(key)
+
+    def test_explicit_key(self, memory_store):
+        memory_store.put(42, key="answer")
+        assert memory_store.get("answer") == 42
+
+    def test_evict(self, memory_store):
+        key = memory_store.put("x")
+        assert memory_store.evict(key)
+        with pytest.raises(NotFoundError):
+            memory_store.get(key)
+
+    def test_metrics(self, memory_store):
+        key = memory_store.put(np.zeros(100))
+        memory_store.get(key)
+        memory_store.get(key)
+        memory_store.evict(key)
+        m = memory_store.metrics
+        assert m.puts == 1 and m.gets == 2 and m.evicts == 1
+        assert m.bytes_put > 0 and m.bytes_got == 2 * m.bytes_put
+
+    def test_registry(self, memory_store):
+        assert get_store(memory_store.name) is memory_store
+        with pytest.raises(NotFoundError):
+            get_store("missing-store")
+
+    def test_duplicate_registration(self, memory_store):
+        with pytest.raises(ValueError):
+            register_store(memory_store)
+        register_store(memory_store, replace=True)  # replace allowed
+
+
+class TestStoreProxies:
+    def test_proxy_round_trip(self, memory_store):
+        data = {"weights": list(range(50))}
+        proxy = memory_store.proxy(data)
+        assert not is_resolved(proxy)
+        assert proxy["weights"][0] == 0
+        assert extract(proxy) == data
+
+    def test_proxy_survives_pickle(self, memory_store):
+        proxy = memory_store.proxy(np.arange(10.0))
+        clone = pickle.loads(pickle.dumps(proxy))
+        assert isinstance(clone, Proxy)
+        assert not is_resolved(clone)
+        assert float(np.sum(clone)) == 45.0
+
+    def test_pickled_proxy_is_small(self, memory_store):
+        """The whole point: proxies fit where the data would not."""
+        big = np.zeros(1_000_000)  # ~8 MB
+        proxy = memory_store.proxy(big)
+        assert len(pickle.dumps(proxy)) < 1000
+
+    def test_evict_on_resolve(self, memory_store):
+        proxy = memory_store.proxy("one-shot", evict=True)
+        key = proxy  # resolving via equality consumes the data
+        assert key == "one-shot"
+        # The backing entry is gone; a fresh proxy to the same key fails.
+        assert memory_store.metrics.evicts == 1
+
+    def test_proxy_from_key(self, memory_store):
+        key = memory_store.put([1, 2, 3])
+        proxy = memory_store.proxy_from_key(key)
+        assert list(proxy) == [1, 2, 3]
+
+    def test_unregistered_store_resolution_fails(self):
+        name = short_id("gone")
+        store = Store(name, MemoryConnector(name))
+        register_store(store)
+        proxy = store.proxy("data")
+        unregister_store(name)
+        with pytest.raises(NotFoundError):
+            extract(proxy)
+        MemoryConnector.drop_space(name)
+
+
+class TestGlobusConnector:
+    @pytest.fixture
+    def fabric(self):
+        client = TransferClient(retry_delay=0.01)
+        client.register_endpoint(TransferEndpoint("site-a", bandwidth=1e9))
+        client.register_endpoint(TransferEndpoint("site-b", bandwidth=1e9))
+        name = short_id("fabric")
+        conn_a = GlobusConnector(name, client, "site-a")
+        yield name, client, conn_a
+        GlobusConnector.drop_fabric(name)
+
+    def test_local_read_no_transfer(self, fabric):
+        _, client, conn_a = fabric
+        conn_a.put("k", b"v")
+        assert conn_a.get("k") == b"v"
+        assert client.endpoint("site-b").exists("k") is False
+
+    def test_remote_read_triggers_transfer_and_caches(self, fabric):
+        _, client, conn_a = fabric
+        conn_a.put("model", b"weights")
+        conn_b = conn_a.at_site("site-b")
+        assert conn_b.get("model") == b"weights"
+        # Cached at site-b now: second read is local.
+        assert client.endpoint("site-b").exists("model")
+
+    def test_exists_sees_remote_keys(self, fabric):
+        _, _, conn_a = fabric
+        conn_a.put("k", b"v")
+        assert conn_a.at_site("site-b").exists("k")
+        assert not conn_a.at_site("site-b").exists("ghost")
+
+    def test_evict_clears_all_sites(self, fabric):
+        _, client, conn_a = fabric
+        conn_a.put("k", b"v")
+        conn_a.at_site("site-b").get("k")  # replicate
+        assert conn_a.evict("k")
+        assert not client.endpoint("site-a").exists("k")
+        assert not client.endpoint("site-b").exists("k")
+
+    def test_missing_key(self, fabric):
+        _, _, conn_a = fabric
+        with pytest.raises(NotFoundError):
+            conn_a.get("nothing")
+
+    def test_pickle_reconnects_to_fabric(self, fabric):
+        name, _, conn_a = fabric
+        conn_a.put("k", b"v")
+        clone = pickle.loads(pickle.dumps(conn_a))
+        assert clone.fabric_name == name
+        assert clone.get("k") == b"v"
+
+    def test_cross_site_proxy_flow(self, fabric):
+        """The paper's GPR flow: proxy made at site A, resolved at B."""
+        name, _, conn_a = fabric
+        store_a = Store(short_id("gstore"), conn_a)
+        register_store(store_a)
+        try:
+            model = {"kernel": "rbf", "theta": [0.1, 0.2]}
+            proxy = store_a.proxy(model)
+            shipped = pickle.dumps(proxy)  # rides a fabric payload
+            # "At site B": re-register the name against site B's connector.
+            store_b = Store(store_a.name, conn_a.at_site("site-b"))
+            register_store(store_b, replace=True)
+            received = pickle.loads(shipped)
+            assert extract(received) == model
+        finally:
+            unregister_store(store_a.name)

@@ -1,0 +1,101 @@
+"""Concurrency tests for the data sharing service.
+
+Stores are shared by ME algorithms, endpoints, and pools on threads;
+puts, gets, and proxy resolutions must be safe under contention, and a
+proxy resolved from many threads must invoke its factory exactly once
+per proxy instance's first resolution (cached thereafter).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.store import MemoryConnector, Proxy, Store, extract, register_store, unregister_store
+from repro.util.ids import short_id
+
+
+def test_concurrent_put_get_distinct_keys():
+    name = short_id("conc")
+    store = Store(name, MemoryConnector(name))
+    errors: list[Exception] = []
+
+    def worker(k):
+        try:
+            for i in range(50):
+                key = store.put({"worker": k, "i": i})
+                assert store.get(key) == {"worker": k, "i": i}
+                store.evict(key)
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(k,)) for k in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert store.metrics.puts == 400
+    assert store.metrics.evicts == 400
+    MemoryConnector.drop_space(name)
+
+
+def test_many_threads_resolving_one_proxy():
+    name = short_id("conc")
+    store = Store(name, MemoryConnector(name))
+    register_store(store)
+    try:
+        payload = np.arange(1000.0)
+        proxy = store.proxy(payload)
+        sums: list[float] = []
+        lock = threading.Lock()
+
+        def resolver():
+            value = float(np.sum(np.asarray(extract(proxy))))
+            with lock:
+                sums.append(value)
+
+        threads = [threading.Thread(target=resolver) for _ in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(sums) == 12
+        assert all(s == float(payload.sum()) for s in sums)
+    finally:
+        unregister_store(name)
+        MemoryConnector.drop_space(name)
+
+
+def test_counting_factory_under_contention():
+    """Concurrent first-touch may race the factory, but the cached
+    target must be consistent for every caller thereafter."""
+    calls = {"n": 0}
+    lock = threading.Lock()
+
+    def factory():
+        with lock:
+            calls["n"] += 1
+        return {"value": 42}
+
+    proxy = Proxy(factory)
+    results = []
+    res_lock = threading.Lock()
+
+    def touch():
+        v = proxy["value"]
+        with res_lock:
+            results.append(v)
+
+    threads = [threading.Thread(target=touch) for _ in range(10)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert results == [42] * 10
+    # After the racy first touch, everything is served from cache.
+    before = calls["n"]
+    for _ in range(100):
+        assert proxy["value"] == 42
+    assert calls["n"] == before

@@ -1,0 +1,60 @@
+"""Tests for the trace collector."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.telemetry import EventKind, TraceCollector
+
+
+class TestTraceCollector:
+    def test_record_and_snapshot_sorted(self):
+        trace = TraceCollector()
+        trace.task_stop(5.0, 2, source="p1")
+        trace.task_start(1.0, 1, source="p1")
+        trace.task_start(3.0, 2, source="p2")
+        snap = trace.snapshot()
+        assert [e.time for e in snap] == [1.0, 3.0, 5.0]
+        assert len(trace) == 3
+
+    def test_filter_by_kind_and_source(self):
+        trace = TraceCollector()
+        trace.task_start(1.0, 1, source="a")
+        trace.task_stop(2.0, 1, source="a")
+        trace.task_start(3.0, 2, source="b")
+        starts = trace.filter(kind=EventKind.TASK_START)
+        assert [e.task_id for e in starts] == [1, 2]
+        a_events = trace.filter(source="a")
+        assert len(a_events) == 2
+        assert trace.filter(kind=EventKind.TASK_STOP, source="b") == []
+
+    def test_sources_first_seen_order(self):
+        trace = TraceCollector()
+        trace.task_start(1.0, 1, source="z")
+        trace.task_start(2.0, 2, source="a")
+        trace.task_start(3.0, 3, source="z")
+        assert trace.sources() == ["z", "a"]
+
+    def test_generic_record_with_detail(self):
+        trace = TraceCollector()
+        trace.record(EventKind.FETCH, 1.5, source="pool", detail="33")
+        event = trace.snapshot()[0]
+        assert event.kind == EventKind.FETCH
+        assert event.detail == "33"
+        assert event.task_id is None
+
+    def test_thread_safety(self):
+        trace = TraceCollector()
+
+        def writer(base):
+            for i in range(500):
+                trace.task_start(float(i), base + i, source=f"s{base}")
+
+        threads = [threading.Thread(target=writer, args=(k * 1000,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(trace) == 2000
+        ids = [e.task_id for e in trace.snapshot()]
+        assert len(set(ids)) == 2000

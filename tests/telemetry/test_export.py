@@ -1,0 +1,74 @@
+"""Tests for trace import/export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import EventKind, TraceCollector
+from repro.telemetry.export import (
+    events_from_lines,
+    events_to_lines,
+    load_trace,
+    save_trace,
+)
+from repro.util.errors import SerializationError
+
+
+def sample_trace():
+    trace = TraceCollector()
+    trace.task_start(1.0, 1, source="pool-1")
+    trace.task_stop(3.5, 1, source="pool-1")
+    trace.record(EventKind.FETCH, 2.0, source="pool-1", detail="5")
+    trace.record(EventKind.PHASE_START, 4.0, source="reprioritize", detail="50")
+    return trace
+
+
+class TestRoundTrip:
+    def test_lines_round_trip(self):
+        events = sample_trace().snapshot()
+        assert events_from_lines(events_to_lines(events)) == events
+
+    def test_file_round_trip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        count = save_trace(trace, path)
+        assert count == 4
+        loaded = load_trace(path)
+        assert loaded.snapshot() == trace.snapshot()
+
+    def test_empty_trace_round_trip(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        save_trace(TraceCollector(), path)
+        assert load_trace(path).snapshot() == []
+
+    def test_loaded_trace_feeds_timeseries(self, tmp_path):
+        from repro.telemetry import concurrency_series
+
+        path = tmp_path / "trace.jsonl"
+        save_trace(sample_trace(), path)
+        series = concurrency_series(load_trace(path).snapshot(), source="pool-1")
+        assert series.value_at(2.0) == 1
+
+
+class TestValidation:
+    def test_bad_header(self):
+        with pytest.raises(SerializationError, match="bad header"):
+            events_from_lines(['{"format": "something-else"}'])
+
+    def test_bad_version(self):
+        with pytest.raises(SerializationError, match="version"):
+            events_from_lines(['{"format": "repro-trace", "version": 99}'])
+
+    def test_empty_input(self):
+        with pytest.raises(SerializationError):
+            events_from_lines([])
+
+    def test_bad_event_line(self):
+        lines = ['{"format": "repro-trace", "version": 1}', '{"kind": "bogus-kind", "time": 1}']
+        with pytest.raises(SerializationError, match="line 2"):
+            events_from_lines(lines)
+
+    def test_blank_lines_skipped(self):
+        lines = events_to_lines(sample_trace().snapshot())
+        lines.insert(2, "")
+        assert len(events_from_lines(lines)) == 4

@@ -1,0 +1,49 @@
+"""Tests for text rendering helpers."""
+
+from __future__ import annotations
+
+from repro.telemetry import ascii_chart, render_table
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        assert "(no data)" in ascii_chart([])
+
+    def test_scaling_to_max(self):
+        chart = ascii_chart([0, 5, 10], max_value=10)
+        assert chart.startswith("|")
+        assert chart.endswith("max=10")
+        # Highest value maps to the full block.
+        assert "█" in chart
+
+    def test_label(self):
+        assert ascii_chart([1], label="pool-1").startswith("pool-1 ")
+
+    def test_resampling_long_series(self):
+        chart = ascii_chart(list(range(1000)), width=40)
+        body = chart.split("|")[1]
+        assert len(body) == 40
+
+    def test_all_zero_series(self):
+        chart = ascii_chart([0, 0, 0])
+        assert "█" not in chart
+
+
+class TestRenderTable:
+    def test_alignment_and_formatting(self):
+        table = render_table(
+            ["name", "value"], [["alpha", 1.23456], ["b", 2.0]]
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in table  # default .3f
+        assert "2.000" in table
+
+    def test_empty_rows(self):
+        table = render_table(["a", "b"], [])
+        assert len(table.splitlines()) == 2
+
+    def test_wide_cells_win(self):
+        table = render_table(["x"], [["longer-than-header"]])
+        header, sep, row = table.splitlines()
+        assert len(sep) == len("longer-than-header")

@@ -1,0 +1,159 @@
+"""Tests for concurrency series and utilization statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry import (
+    TraceCollector,
+    concurrency_series,
+    mean_concurrency,
+    sample_series,
+    utilization_stats,
+)
+from repro.telemetry.timeseries import completion_counts, time_at_or_above
+
+
+def make_trace(intervals, source="p"):
+    """intervals: list of (start, stop) per task."""
+    trace = TraceCollector()
+    for i, (start, stop) in enumerate(intervals):
+        trace.task_start(start, i, source=source)
+        trace.task_stop(stop, i, source=source)
+    return trace
+
+
+class TestConcurrencySeries:
+    def test_single_task(self):
+        series = concurrency_series(make_trace([(1.0, 3.0)]).snapshot())
+        assert series.value_at(0.5) == 0
+        assert series.value_at(1.0) == 1
+        assert series.value_at(2.9) == 1
+        assert series.value_at(3.0) == 0
+
+    def test_overlapping_tasks(self):
+        series = concurrency_series(
+            make_trace([(0.0, 4.0), (1.0, 3.0), (2.0, 5.0)]).snapshot()
+        )
+        assert series.value_at(0.5) == 1
+        assert series.value_at(1.5) == 2
+        assert series.value_at(2.5) == 3
+        assert series.value_at(3.5) == 2
+        assert series.value_at(4.5) == 1
+
+    def test_empty(self):
+        series = concurrency_series([])
+        assert series.duration() == 0.0
+        assert mean_concurrency(series) == 0.0
+
+    def test_source_filter(self):
+        trace = TraceCollector()
+        trace.task_start(0.0, 1, source="a")
+        trace.task_stop(2.0, 1, source="a")
+        trace.task_start(0.0, 2, source="b")
+        trace.task_stop(4.0, 2, source="b")
+        series_a = concurrency_series(trace.snapshot(), source="a")
+        assert series_a.value_at(1.0) == 1
+        assert series_a.value_at(3.0) == 0
+
+    def test_end_extension(self):
+        series = concurrency_series(make_trace([(0.0, 1.0)]).snapshot(), end=10.0)
+        assert series.end == 10.0
+        assert series.duration() == 10.0
+
+    def test_simultaneous_events_coalesce(self):
+        series = concurrency_series(make_trace([(0.0, 1.0), (1.0, 2.0)]).snapshot())
+        # At t=1 one task stops and another starts: net concurrency 1.
+        assert series.value_at(1.0) == 1
+
+
+class TestMeanConcurrency:
+    def test_rectangle(self):
+        # One task for 10s: mean is 1.
+        series = concurrency_series(make_trace([(0.0, 10.0)]).snapshot())
+        assert mean_concurrency(series) == pytest.approx(1.0)
+
+    def test_half_busy(self):
+        series = concurrency_series(make_trace([(0.0, 5.0)]).snapshot(), end=10.0)
+        assert mean_concurrency(series) == pytest.approx(0.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=50, allow_nan=False),
+                st.floats(min_value=0.1, max_value=10, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_mean_equals_total_work_over_span(self, raw):
+        intervals = [(s, s + d) for s, d in raw]
+        series = concurrency_series(make_trace(intervals).snapshot())
+        total_work = sum(d for _, d in raw)
+        span = series.duration()
+        assert mean_concurrency(series) * span == pytest.approx(total_work, rel=1e-9)
+
+
+class TestUtilizationStats:
+    def test_fully_busy_pool(self):
+        # 3 tasks always running on 3 workers.
+        intervals = [(0.0, 10.0)] * 3
+        series = concurrency_series(make_trace(intervals).snapshot())
+        stats = utilization_stats(series, n_workers=3)
+        assert stats["utilization"] == pytest.approx(1.0)
+        assert stats["idle_fraction"] == pytest.approx(0.0)
+        assert stats["full_fraction"] == pytest.approx(1.0)
+
+    def test_oversubscription_capped(self):
+        # 6 concurrent tasks on 3 workers cannot exceed 3 running.
+        intervals = [(0.0, 10.0)] * 6
+        series = concurrency_series(make_trace(intervals).snapshot())
+        stats = utilization_stats(series, n_workers=3)
+        assert stats["mean_concurrency"] == pytest.approx(3.0)
+        assert stats["utilization"] == pytest.approx(1.0)
+
+    def test_sawtooth_dip(self):
+        # Full for 5s, empty for 5s: half utilization, dip depth 2.
+        intervals = [(0.0, 5.0), (0.0, 5.0)]
+        series = concurrency_series(make_trace(intervals).snapshot(), end=10.0)
+        stats = utilization_stats(series, n_workers=2)
+        assert stats["utilization"] == pytest.approx(0.5)
+        assert stats["full_fraction"] == pytest.approx(0.5)
+        assert stats["dip_depth_mean"] == pytest.approx(2.0)
+
+    def test_empty_series(self):
+        stats = utilization_stats(concurrency_series([]), n_workers=4)
+        assert stats["utilization"] == 0.0
+        assert stats["idle_fraction"] == 1.0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            utilization_stats(concurrency_series([]), n_workers=0)
+
+    def test_time_at_or_above(self):
+        intervals = [(0.0, 4.0), (0.0, 2.0)]
+        series = concurrency_series(make_trace(intervals).snapshot())
+        assert time_at_or_above(series, 2) == pytest.approx(0.5)
+        assert time_at_or_above(series, 1) == pytest.approx(1.0)
+
+
+class TestSampling:
+    def test_sample_grid(self):
+        series = concurrency_series(make_trace([(0.0, 10.0)]).snapshot())
+        grid, values = sample_series(series, n_samples=11)
+        assert len(grid) == 11
+        assert np.all(values[:-1] == 1)
+
+    def test_sample_empty(self):
+        grid, values = sample_series(concurrency_series([]))
+        assert grid.size == 0 and values.size == 0
+
+    def test_completion_counts(self):
+        trace = make_trace([(0.0, 3.0), (0.0, 1.0), (0.0, 2.0)])
+        times, counts = completion_counts(trace.snapshot())
+        assert list(times) == [1.0, 2.0, 3.0]
+        assert list(counts) == [1, 2, 3]

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface (reduced task counts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_fig3(self, capsys):
+        assert main(["fig3", "--tasks", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "batch=50 threshold=1" in out
+        assert "utilization" in out
+        assert "█" in out  # the concurrency chart rendered
+
+    def test_fig4_small(self, capsys):
+        # At reduced scale later pools may still be queued when the
+        # workload drains; pool-1 and the repri table must always show.
+        assert main(["fig4", "--tasks", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "pool-1" in out
+        assert "reprioritized" in out
+
+    def test_fig4_full_scale_shows_all_pools(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "pool-1" in out and "pool-2" in out and "pool-3" in out
+
+    def test_sweep_batch(self, capsys):
+        assert main(["sweep-batch", "--tasks", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "cache surplus" in out
+
+    def test_sweep_threshold(self, capsys):
+        assert main(["sweep-threshold", "--tasks", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "dip_depth" in out
+
+    def test_gpr_ablation(self, capsys):
+        assert main(["gpr-ablation", "--tasks", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "best-so-far (GPR)" in out
+        assert "repri count" in out
+
+    def test_seed_changes_output(self, capsys):
+        main(["fig4", "--tasks", "120", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["fig4", "--tasks", "120", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])

@@ -1,0 +1,143 @@
+"""Tests for the third-party transfer simulator."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.transfer import TransferClient, TransferEndpoint, TransferState
+from repro.util.errors import NotFoundError, TransferError
+
+
+@pytest.fixture
+def client():
+    client = TransferClient(retry_delay=0.01)
+    client.register_endpoint(TransferEndpoint("laptop", bandwidth=1e8, latency=0.0))
+    client.register_endpoint(TransferEndpoint("bebop", bandwidth=1e9, latency=0.0))
+    client.register_endpoint(
+        TransferEndpoint("theta", bandwidth=5e8, latency=0.005)
+    )
+    return client
+
+
+class TestEndpoint:
+    def test_put_get_delete(self):
+        ep = TransferEndpoint("x")
+        ep.put("k", b"data")
+        assert ep.get("k") == b"data"
+        assert ep.exists("k")
+        assert ep.size("k") == 4
+        assert ep.delete("k")
+        assert not ep.exists("k")
+        assert not ep.delete("k")
+
+    def test_get_missing_raises(self):
+        with pytest.raises(NotFoundError):
+            TransferEndpoint("x").get("nope")
+
+    def test_size_missing_raises(self):
+        with pytest.raises(NotFoundError):
+            TransferEndpoint("x").size("nope")
+
+    def test_invalid_link_params(self):
+        with pytest.raises(ValueError):
+            TransferEndpoint("x", bandwidth=0)
+        with pytest.raises(ValueError):
+            TransferEndpoint("x", latency=-1)
+
+    def test_keys_and_total(self):
+        ep = TransferEndpoint("x")
+        ep.put("b", b"22")
+        ep.put("a", b"1")
+        assert ep.keys() == ["a", "b"]
+        assert ep.total_bytes() == 3
+
+
+class TestTransfers:
+    def test_third_party_transfer(self, client):
+        client.endpoint("laptop").put("model.bin", b"\x01" * 1000)
+        task = client.submit_transfer("laptop", "bebop", src_key="model.bin")
+        task.wait(timeout=10)
+        assert task.state == TransferState.SUCCEEDED
+        assert task.bytes_transferred == 1000
+        assert client.endpoint("bebop").get("model.bin") == b"\x01" * 1000
+        # Source retains its copy (transfer, not move).
+        assert client.endpoint("laptop").exists("model.bin")
+
+    def test_rename_on_transfer(self, client):
+        client.endpoint("laptop").put("a", b"x")
+        client.submit_transfer("laptop", "bebop", src_key="a", dst_key="b").wait(10)
+        assert client.endpoint("bebop").get("b") == b"x"
+        assert not client.endpoint("bebop").exists("a")
+
+    def test_batch_transfer(self, client):
+        for i in range(3):
+            client.endpoint("laptop").put(f"f{i}", bytes([i]))
+        task = client.submit_transfer(
+            "laptop", "theta", items=[(f"f{i}", f"f{i}") for i in range(3)]
+        )
+        task.wait(10)
+        assert task.bytes_transferred == 3
+        assert client.endpoint("theta").keys() == ["f0", "f1", "f2"]
+
+    def test_missing_source_fails(self, client):
+        task = client.submit_transfer("laptop", "bebop", src_key="ghost")
+        with pytest.raises(TransferError):
+            task.wait(10)
+        assert task.state == TransferState.FAILED
+
+    def test_unknown_endpoint(self, client):
+        with pytest.raises(NotFoundError):
+            client.submit_transfer("laptop", "nowhere", src_key="k")
+
+    def test_duration_model(self, client):
+        # 1e8 bytes over min(1e8, 1e9) B/s = 1 second + latencies.
+        assert client.transfer_duration("laptop", "bebop", int(1e8)) == pytest.approx(1.0)
+        # theta adds 5 ms latency and is slower than bebop.
+        assert client.transfer_duration("theta", "bebop", int(5e8)) == pytest.approx(
+            1.005
+        )
+
+    def test_speedup_scales_duration(self):
+        client = TransferClient(speedup=10.0)
+        client.register_endpoint(TransferEndpoint("a", bandwidth=1e6))
+        client.register_endpoint(TransferEndpoint("b", bandwidth=1e6))
+        assert client.transfer_duration("a", "b", int(1e6)) == pytest.approx(0.1)
+
+    def test_task_lookup(self, client):
+        client.endpoint("laptop").put("k", b"v")
+        task = client.submit_transfer("laptop", "bebop", src_key="k")
+        assert client.task(task.task_id) is task
+        with pytest.raises(NotFoundError):
+            client.task("xfer-unknown")
+
+    def test_duplicate_endpoint_rejected(self, client):
+        with pytest.raises(ValueError):
+            client.register_endpoint(TransferEndpoint("laptop"))
+
+
+class TestRetry:
+    def test_offline_destination_retries_then_succeeds(self, client):
+        client.endpoint("laptop").put("k", b"v")
+        client.endpoint("bebop").set_online(False)
+        task = client.submit_transfer("laptop", "bebop", src_key="k")
+
+        def bring_back():
+            client.endpoint("bebop").set_online(True)
+
+        timer = threading.Timer(0.02, bring_back)
+        timer.start()
+        task.wait(timeout=10)
+        timer.join()
+        assert task.state == TransferState.SUCCEEDED
+
+    def test_offline_exhausts_retries(self):
+        client = TransferClient(max_retries=1, retry_delay=0.01)
+        client.register_endpoint(TransferEndpoint("a"))
+        client.register_endpoint(TransferEndpoint("b"))
+        client.endpoint("a").put("k", b"v")
+        client.endpoint("b").set_online(False)
+        task = client.submit_transfer("a", "b", src_key="k")
+        with pytest.raises(TransferError, match="offline"):
+            task.wait(timeout=10)

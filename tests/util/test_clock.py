@@ -1,0 +1,89 @@
+"""Tests for the clock abstraction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.clock import SystemClock, VirtualClock
+
+
+class TestSystemClock:
+    def test_starts_near_zero(self):
+        clock = SystemClock()
+        assert 0.0 <= clock.now() < 1.0
+
+    def test_monotonic(self):
+        clock = SystemClock()
+        samples = [clock.now() for _ in range(100)]
+        assert samples == sorted(samples)
+
+    def test_sleep_advances(self):
+        clock = SystemClock()
+        t0 = clock.now()
+        clock.sleep(0.01)
+        assert clock.now() - t0 >= 0.009
+
+    def test_sleep_zero_and_negative_are_noops(self):
+        clock = SystemClock()
+        clock.sleep(0)
+        clock.sleep(-1)  # must not raise
+
+    def test_deadline_none(self):
+        clock = SystemClock()
+        assert clock.deadline(None) is None
+        assert not clock.expired(None)
+
+    def test_deadline_expiry(self):
+        clock = SystemClock()
+        deadline = clock.deadline(0.0)
+        assert clock.expired(deadline)
+
+    def test_future_deadline_not_expired(self):
+        clock = SystemClock()
+        assert not clock.expired(clock.deadline(60.0))
+
+
+class TestVirtualClock:
+    def test_starts_at_given_time(self):
+        assert VirtualClock(5.0).now() == 5.0
+        assert VirtualClock().now() == 0.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+        clock.advance_to(10.0)
+        assert clock.now() == 10.0
+
+    def test_cannot_move_backwards(self):
+        clock = VirtualClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_advance_to_same_time_ok(self):
+        clock = VirtualClock(5.0)
+        clock.advance_to(5.0)
+        assert clock.now() == 5.0
+
+    def test_sleep_forbidden(self):
+        with pytest.raises(RuntimeError):
+            VirtualClock().sleep(1.0)
+
+    def test_deadline_uses_virtual_time(self):
+        clock = VirtualClock()
+        deadline = clock.deadline(10.0)
+        assert not clock.expired(deadline)
+        clock.advance(10.0)
+        assert clock.expired(deadline)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=50))
+    def test_monotonic_under_any_advances(self, deltas):
+        clock = VirtualClock()
+        last = clock.now()
+        for dt in deltas:
+            clock.advance(dt)
+            assert clock.now() >= last
+            last = clock.now()

@@ -1,0 +1,47 @@
+"""Tests for the exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util import errors
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for name in (
+            "TimeoutError_",
+            "PayloadTooLargeError",
+            "SerializationError",
+            "AuthenticationError",
+            "AuthorizationError",
+            "NotFoundError",
+            "InvalidStateError",
+            "CancelledError_",
+            "EndpointUnavailableError",
+            "SchedulerError",
+            "TransferError",
+            "DataError",
+        ):
+            exc_type = getattr(errors, name)
+            assert issubclass(exc_type, errors.ReproError), name
+
+    def test_authorization_is_authentication(self):
+        # Catching AuthenticationError covers both credential and scope
+        # failures — the coarse check services perform.
+        assert issubclass(errors.AuthorizationError, errors.AuthenticationError)
+
+    def test_one_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.TransferError("x")
+
+
+class TestPayloadTooLarge:
+    def test_message_carries_sizes_and_remedy(self):
+        exc = errors.PayloadTooLargeError(2048, 1024, what="task result")
+        assert exc.size == 2048
+        assert exc.limit == 1024
+        text = str(exc)
+        assert "2048" in text and "1024" in text
+        assert "task result" in text
+        assert "data sharing service" in text  # points at the fix

@@ -1,0 +1,82 @@
+"""Tests for identifier generation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.util.ids import IdGenerator, short_id, uuid_hex
+
+
+class TestIdGenerator:
+    def test_sequential_from_start(self):
+        gen = IdGenerator(start=10)
+        assert [gen.next_id() for _ in range(3)] == [10, 11, 12]
+
+    def test_default_starts_at_one(self):
+        assert IdGenerator().next_id() == 1
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            IdGenerator(start=-1)
+
+    def test_peek_does_not_consume(self):
+        gen = IdGenerator()
+        assert gen.peek() == 1
+        assert gen.peek() == 1
+        assert gen.next_id() == 1
+
+    def test_reserve_block(self):
+        gen = IdGenerator()
+        block = gen.reserve(5)
+        assert list(block) == [1, 2, 3, 4, 5]
+        assert gen.next_id() == 6
+
+    def test_reserve_zero(self):
+        gen = IdGenerator()
+        assert list(gen.reserve(0)) == []
+        assert gen.next_id() == 1
+
+    def test_reserve_negative_rejected(self):
+        with pytest.raises(ValueError):
+            IdGenerator().reserve(-1)
+
+    def test_bump_to(self):
+        gen = IdGenerator()
+        gen.bump_to(100)
+        assert gen.next_id() == 100
+
+    def test_bump_to_lower_is_noop(self):
+        gen = IdGenerator(start=50)
+        gen.bump_to(10)
+        assert gen.next_id() == 50
+
+    def test_thread_safety_no_duplicates(self):
+        gen = IdGenerator()
+        seen: list[int] = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [gen.next_id() for _ in range(500)]
+            with lock:
+                seen.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == len(set(seen)) == 4000
+
+
+def test_uuid_hex_unique_and_shaped():
+    values = {uuid_hex() for _ in range(100)}
+    assert len(values) == 100
+    assert all(len(v) == 32 for v in values)
+
+
+def test_short_id_prefix():
+    value = short_id("ep")
+    assert value.startswith("ep-")
+    assert len(value) == 3 + 8

@@ -1,0 +1,89 @@
+"""Tests for serialization helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.errors import SerializationError
+from repro.util.serialization import (
+    decode_object,
+    decode_object_b64,
+    encode_object,
+    encode_object_b64,
+    json_dumps,
+    json_loads,
+    payload_size,
+    pickled_size,
+)
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=30),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=10), children, max_size=5),
+    max_leaves=20,
+)
+
+
+class TestJson:
+    @given(json_values)
+    def test_round_trip(self, value):
+        assert json_loads(json_dumps(value)) == value
+
+    def test_non_serializable_raises(self):
+        with pytest.raises(SerializationError):
+            json_dumps(object())
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(SerializationError):
+            json_loads("{not json")
+
+    def test_compact_output(self):
+        assert json_dumps({"a": [1, 2]}) == '{"a":[1,2]}'
+
+
+class TestObjectEncoding:
+    @given(json_values)
+    def test_pickle_round_trip(self, value):
+        assert decode_object(encode_object(value)) == value
+
+    def test_b64_round_trip(self):
+        data = {"fn": "ackley", "x": [1.0, 2.0]}
+        assert decode_object_b64(encode_object_b64(data)) == data
+
+    def test_unpicklable_raises(self):
+        with pytest.raises(SerializationError):
+            encode_object(lambda x: x)  # local lambda is unpicklable
+
+    def test_corrupt_bytes_raise(self):
+        with pytest.raises(SerializationError):
+            decode_object(b"\x00garbage")
+
+    def test_bad_base64_raises(self):
+        with pytest.raises(SerializationError):
+            decode_object_b64("!!not base64!!")
+
+
+class TestPayloadSize:
+    def test_bytes(self):
+        assert payload_size(b"abcd") == 4
+
+    def test_str_utf8(self):
+        assert payload_size("abc") == 3
+        assert payload_size("é") == 2  # two bytes in UTF-8
+
+    def test_object_uses_pickle_size(self):
+        value = list(range(100))
+        assert payload_size(value) == len(encode_object(value))
+
+    @given(json_values)
+    def test_pickled_size_matches_encode(self, value):
+        assert pickled_size(value) == len(encode_object(value))
+
+    def test_pickled_size_unpicklable_raises(self):
+        with pytest.raises(SerializationError):
+            pickled_size(lambda: None)
