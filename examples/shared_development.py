@@ -25,7 +25,7 @@ import numpy as np
 from repro.core import EQSQL
 from repro.db import MemoryTaskStore
 from repro.epi import ParticleFilter, ParticleFilterConfig, SEIRParams, simulate_stochastic_seir
-from repro.sched import Cluster, ClusterSpec, JobState, Scheduler
+from repro.sched import Cluster, ClusterSpec, Scheduler
 from repro.sched.psij import JobSpec, LocalSchedulerExecutor, managed_pool_job
 from repro.sde import ModelRegistry, WorkflowSpec, run_workflow
 from repro.pools import PoolConfig, PythonTaskHandler

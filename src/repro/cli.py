@@ -7,10 +7,16 @@ Usage::
     python -m repro sweep-batch
     python -m repro sweep-threshold
     python -m repro gpr-ablation
+    python -m repro trace [--tasks N] [--out trace.json] [--spans spans.jsonl]
+    python -m repro metrics [--tasks N]
 
 Every command prints the same text series the benchmark harness writes
 to ``benchmarks/reports/``, so a user can eyeball the reproduced figures
-without running pytest.
+without running pytest.  ``trace`` runs a fully instrumented ME →
+service → pool workload and exports the spans (Chrome ``trace_event``
+JSON for Perfetto, optional JSONL, and a latency-breakdown table);
+``metrics`` runs the same workload and prints the always-on counter /
+histogram registry.
 """
 
 from __future__ import annotations
@@ -134,6 +140,116 @@ def _cmd_gpr_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_instrumented_workload(n_tasks: int, n_workers: int) -> None:
+    """Drive tasks through the full ME → service → pool pipeline.
+
+    The workload crosses the real service wire (TCP loopback) so the
+    RTT decomposition — client RPC spans on one side, service/DB spans
+    on the other — appears in the trace, and runs a threaded pool with
+    an in-process Python handler.  Uses whatever global tracer/metrics
+    are installed; callers configure those first.
+    """
+    import json
+
+    from repro.core.constants import EQ_STOP
+    from repro.core.eqsql import EQSQL
+    from repro.core.futures import as_completed
+    from repro.core.service import TaskService
+    from repro.core.service_client import RemoteTaskStore
+    from repro.db.memory_backend import MemoryTaskStore
+    from repro.pools.config import PoolConfig
+    from repro.pools.handlers import PythonTaskHandler
+    from repro.pools.pool import ThreadedWorkerPool
+    from repro.telemetry.tracing import get_tracer
+
+    tracer = get_tracer()
+    service = TaskService(MemoryTaskStore()).start()
+    host, port = service.address
+    remote = RemoteTaskStore(host, port)
+    eq = EQSQL(remote, clock=tracer.clock)
+    pool = ThreadedWorkerPool(
+        eq,
+        PythonTaskHandler(lambda params: {"y": params["x"] ** 2}),
+        PoolConfig(
+            work_type=0,
+            n_workers=n_workers,
+            batch_size=n_workers,
+            threshold=1,
+            name="trace-pool",
+            poll_delay=0.005,
+        ),
+    )
+    try:
+        with tracer.span("driver.run", component="driver", n_tasks=n_tasks):
+            futures = eq.submit_tasks(
+                "trace-demo", 0, [json.dumps({"x": x}) for x in range(n_tasks)]
+            )
+            pool.start()
+            with tracer.span("driver.wait_batch", component="driver"):
+                for future in as_completed(futures, timeout=60):
+                    future.result(timeout=0)
+            stop = eq.submit_task("trace-demo", 0, EQ_STOP, priority=-100)
+            stop.result(timeout=15, delay=0.01)
+        pool.join(timeout=15)
+    finally:
+        remote.close()
+        service.stop()
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry.metrics import MetricsRegistry, set_metrics
+    from repro.telemetry.trace_export import (
+        render_latency_breakdown,
+        save_chrome_trace,
+        save_spans,
+    )
+    from repro.telemetry.tracing import Tracer, set_tracer
+    from repro.util.clock import SystemClock
+
+    # One clock instance shared by the tracer and (via EQSQL) every
+    # component timestamp, so retroactive spans align with live ones.
+    tracer = Tracer(clock=SystemClock(), enabled=True)
+    previous_tracer = set_tracer(tracer)
+    previous_metrics = set_metrics(MetricsRegistry())
+    try:
+        _run_instrumented_workload(args.tasks, args.workers)
+    finally:
+        set_tracer(previous_tracer)
+        set_metrics(previous_metrics)
+
+    events = save_chrome_trace(tracer, args.out)
+    print(
+        f"traced {args.tasks} tasks: {len(tracer)} spans across "
+        f"{len(tracer.components())} components "
+        f"({', '.join(sorted(tracer.components()))})"
+    )
+    print(f"chrome trace ({events} events) -> {args.out}  "
+          f"[open in Perfetto / about:tracing]")
+    if args.spans is not None:
+        count = save_spans(tracer, args.spans)
+        print(f"span JSONL ({count} spans) -> {args.spans}")
+    print()
+    print("latency breakdown (per component/operation, total time desc):\n")
+    print(render_latency_breakdown(tracer))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.telemetry.metrics import MetricsRegistry, get_metrics, set_metrics
+
+    # Metrics are always on; tracing stays at the (disabled) default so
+    # this also demonstrates the zero-overhead instrumentation path.
+    previous = set_metrics(MetricsRegistry())
+    try:
+        _run_instrumented_workload(args.tasks, args.workers)
+        registry = get_metrics()
+    finally:
+        set_metrics(previous)
+    print(f"metrics after {args.tasks} tasks through the service + pool pipeline:\n")
+    print(registry.render_text())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -165,6 +281,26 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("gpr-ablation", help="ablation: GPR vs no reprioritization")
     common(p, 400)
     p.set_defaults(fn=_cmd_gpr_ablation)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a traced ME → service → pool workload, export spans",
+    )
+    p.add_argument("--tasks", type=int, default=25, help="tasks to run (default 25)")
+    p.add_argument("--workers", type=int, default=3, help="pool workers (default 3)")
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome trace_event output path (default trace.json)")
+    p.add_argument("--spans", default=None,
+                   help="also write raw spans as JSONL to this path")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run the workload untraced, print the metrics registry",
+    )
+    p.add_argument("--tasks", type=int, default=25, help="tasks to run (default 25)")
+    p.add_argument("--workers", type=int, default=3, help="pool workers (default 3)")
+    p.set_defaults(fn=_cmd_metrics)
 
     return parser
 

@@ -15,10 +15,18 @@ from typing import Any, TypeVar
 
 from repro.core.constants import EQ_TIMEOUT, ResultStatus, TaskStatus
 from repro.core.fetch import fetch_count
+from repro.core.task import _TRACE_PREFIX, unwrap_payload, wrap_payload
 from repro.db.backend import TaskStore
 from repro.db.memory_backend import MemoryTaskStore
 from repro.db.schema import TaskRow
 from repro.db.sqlite_backend import SqliteTaskStore
+from repro.telemetry.metrics import (
+    BYTE_BUCKETS,
+    COUNT_BUCKETS,
+    MetricsRegistry,
+    get_metrics,
+)
+from repro.telemetry.tracing import Tracer, get_tracer
 from repro.util.clock import Clock, SystemClock
 
 T = TypeVar("T")
@@ -28,10 +36,36 @@ T = TypeVar("T")
 TIMEOUT_MESSAGE: dict[str, str] = {"type": "status", "payload": EQ_TIMEOUT}
 
 
-def _work_message(eq_task_id: int, payload: str) -> dict[str, Any]:
+def _work_message(
+    eq_task_id: int, payload: str, trace: list[str] | None = None
+) -> dict[str, Any]:
     """The task message format of §IV-C:
-    ``{'type': 'work', 'eq_task_id': id, 'payload': payload}``."""
-    return {"type": "work", "eq_task_id": eq_task_id, "payload": payload}
+    ``{'type': 'work', 'eq_task_id': id, 'payload': payload}``.
+
+    Messages for tasks submitted under tracing additionally carry the
+    originating span context under ``'trace'`` (wire form), extracted
+    from the payload envelope during unwrapping.
+    """
+    message = {"type": "work", "eq_task_id": eq_task_id, "payload": payload}
+    if trace is not None:
+        message["trace"] = trace
+    return message
+
+
+def _unwrap_popped(popped: list[tuple[int, str]]) -> list[dict[str, Any]]:
+    """Popped (id, payload) pairs → work messages, shedding envelopes."""
+    messages = []
+    for eq_task_id, payload in popped:
+        # Fast path: plain (untraced) payloads skip the unwrap call —
+        # the marker is always the envelope's literal string prefix.
+        if payload.startswith(_TRACE_PREFIX):
+            inner, ctx = unwrap_payload(payload)
+            messages.append(
+                _work_message(eq_task_id, inner, None if ctx is None else ctx.to_wire())
+            )
+        else:
+            messages.append({"type": "work", "eq_task_id": eq_task_id, "payload": payload})
+    return messages
 
 
 class EQSQL:
@@ -45,12 +79,42 @@ class EQSQL:
         Time source for timestamps and polling sleeps.  Inject a
         :class:`repro.util.clock.VirtualClock` (and use ``timeout=0``
         non-blocking calls) under discrete-event simulation.
+    tracer:
+        Span recorder; defaults to the process-wide tracer (disabled
+        out of the box).  When enabled, submissions embed their span
+        context in the payload envelope so pool-side execution spans
+        parent under the submit span.
+    metrics:
+        Metrics registry; defaults to the process-wide registry.
     """
 
-    def __init__(self, store: TaskStore, clock: Clock | None = None) -> None:
+    def __init__(
+        self,
+        store: TaskStore,
+        clock: Clock | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self._store = store
         self._clock = clock if clock is not None else SystemClock()
         self._closed = False
+        self._tracer = tracer
+        registry = metrics if metrics is not None else get_metrics()
+        self._m_submitted = registry.counter(
+            "eqsql.tasks_submitted", "tasks created in the EMEWS DB"
+        )
+        self._m_fetched = registry.counter(
+            "eqsql.tasks_fetched", "tasks popped off the output queue"
+        )
+        self._m_reported = registry.counter(
+            "eqsql.tasks_reported", "results pushed onto the input queue"
+        )
+        self._m_payload_bytes = registry.histogram(
+            "eqsql.payload_bytes", BYTE_BUCKETS, "submitted payload sizes"
+        )
+        self._m_batch_size = registry.histogram(
+            "eqsql.fetch_batch_size", COUNT_BUCKETS, "tasks returned per batch query"
+        )
 
     @property
     def store(self) -> TaskStore:
@@ -61,6 +125,11 @@ class EQSQL:
     def clock(self) -> Clock:
         """The time source used for timestamps and polling."""
         return self._clock
+
+    @property
+    def tracer(self) -> Tracer:
+        """The span recorder (instance-injected or process default)."""
+        return self._tracer if self._tracer is not None else get_tracer()
 
     # -- polling core -------------------------------------------------------
 
@@ -100,14 +169,31 @@ class EQSQL:
         The payload must carry sufficient information for a worker pool
         to execute the task — typically a JSON string.
         """
-        eq_task_id = self._store.create_task(
-            exp_id,
-            eq_type,
-            payload,
-            priority=priority,
-            tag=tag,
-            time_created=self._clock.now(),
-        )
+        self._m_submitted.inc()
+        self._m_payload_bytes.observe(len(payload))
+        tracer = self.tracer
+        # Hot path: skip the span machinery entirely when tracing is off —
+        # no handle, no kwargs dict, no payload envelope.
+        if tracer.enabled:
+            with tracer.span("eqsql.submit", component="eqsql", eq_type=eq_type) as sp:
+                eq_task_id = self._store.create_task(
+                    exp_id,
+                    eq_type,
+                    wrap_payload(payload, sp.context),
+                    priority=priority,
+                    tag=tag,
+                    time_created=self._clock.now(),
+                )
+                sp.set_attr("eq_task_id", eq_task_id)
+        else:
+            eq_task_id = self._store.create_task(
+                exp_id,
+                eq_type,
+                payload,
+                priority=priority,
+                tag=tag,
+                time_created=self._clock.now(),
+            )
         from repro.core.futures import Future
 
         return Future(self, eq_task_id, eq_type, exp_id=exp_id, tag=tag)
@@ -121,14 +207,34 @@ class EQSQL:
         tag: str | None = None,
     ) -> list["Future"]:
         """Batch submission: one store transaction, many futures."""
-        ids = self._store.create_tasks(
-            exp_id,
-            eq_type,
-            payloads,
-            priority=priority,
-            tag=tag,
-            time_created=self._clock.now(),
-        )
+        self._m_submitted.inc(len(payloads))
+        for payload in payloads:
+            self._m_payload_bytes.observe(len(payload))
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "eqsql.submit_batch", component="eqsql", eq_type=eq_type, n=len(payloads)
+            ) as sp:
+                # Every task in the batch parents under the one
+                # submit-batch span; per-task identity rides in the
+                # pool-side execution spans' eq_task_id attrs.
+                ids = self._store.create_tasks(
+                    exp_id,
+                    eq_type,
+                    [wrap_payload(p, sp.context) for p in payloads],
+                    priority=priority,
+                    tag=tag,
+                    time_created=self._clock.now(),
+                )
+        else:
+            ids = self._store.create_tasks(
+                exp_id,
+                eq_type,
+                payloads,
+                priority=priority,
+                tag=tag,
+                time_created=self._clock.now(),
+            )
         from repro.core.futures import Future
 
         return [
@@ -159,10 +265,23 @@ class EQSQL:
             )
             return popped if popped else None
 
+        tracer = self.tracer
+        t0 = self._clock.now() if tracer.enabled else 0.0
         popped = self._poll(attempt, delay, timeout)
         if popped is None:
             return dict(TIMEOUT_MESSAGE)
-        messages = [_work_message(tid, payload) for tid, payload in popped]
+        self._m_fetched.inc(len(popped))
+        self._m_batch_size.observe(len(popped))
+        if tracer.enabled:
+            tracer.add_span(
+                "eqsql.query_task",
+                "eqsql",
+                t0,
+                self._clock.now(),
+                parent=tracer.current_context(),
+                attrs={"n": len(popped), "worker_pool": worker_pool},
+            )
+        messages = _unwrap_popped(popped)
         if n == 1:
             return messages[0]
         return messages
@@ -195,15 +314,35 @@ class EQSQL:
             )
             return popped if popped else None
 
+        tracer = self.tracer
+        t0 = self._clock.now() if tracer.enabled else 0.0
         popped = self._poll(attempt, delay, timeout)
         if popped is None:
             return []
-        return [_work_message(tid, payload) for tid, payload in popped]
+        self._m_fetched.inc(len(popped))
+        self._m_batch_size.observe(len(popped))
+        if tracer.enabled:
+            tracer.add_span(
+                "eqsql.query_task_batch",
+                "eqsql",
+                t0,
+                self._clock.now(),
+                parent=tracer.current_context(),
+                attrs={"n": len(popped), "want": want, "worker_pool": worker_pool},
+            )
+        return _unwrap_popped(popped)
 
     def report_task(self, eq_task_id: int, eq_type: int, result: str) -> None:
         """Report a completed task's result, pushing it onto the input
         queue where the ME algorithm can retrieve it."""
-        self._store.report(eq_task_id, eq_type, result, now=self._clock.now())
+        self._m_reported.inc()
+        tracer = self.tracer
+        if not tracer.enabled:
+            # Hot path: one report per task; skip the span machinery.
+            self._store.report(eq_task_id, eq_type, result, now=self._clock.now())
+            return
+        with tracer.span("eqsql.report", component="eqsql", eq_task_id=eq_task_id):
+            self._store.report(eq_task_id, eq_type, result, now=self._clock.now())
 
     # -- result retrieval (ME algorithm side) --------------------------------------
 
@@ -217,7 +356,11 @@ class EQSQL:
 
         Returns ``(SUCCESS, result_payload)`` or ``(FAILURE, 'TIMEOUT')``.
         """
-        result = self._poll(lambda: self._store.pop_in(eq_task_id), delay, timeout)
+        with self.tracer.span(
+            "eqsql.query_result", component="eqsql", eq_task_id=eq_task_id
+        ) as sp:
+            result = self._poll(lambda: self._store.pop_in(eq_task_id), delay, timeout)
+            sp.set_attr("found", result is not None)
         if result is None:
             return (ResultStatus.FAILURE, EQ_TIMEOUT)
         return (ResultStatus.SUCCESS, result)
@@ -251,11 +394,21 @@ class EQSQL:
         self, eq_task_ids: Sequence[int], priorities: int | Sequence[int]
     ) -> int:
         """Re-prioritize queued tasks; returns the number updated."""
-        return self._store.update_priorities(eq_task_ids, priorities)
+        with self.tracer.span(
+            "eqsql.update_priorities", component="eqsql", n=len(eq_task_ids)
+        ) as sp:
+            updated = self._store.update_priorities(eq_task_ids, priorities)
+            sp.set_attr("updated", updated)
+        return updated
 
     def cancel_tasks(self, eq_task_ids: Sequence[int]) -> int:
         """Cancel queued tasks; returns the number canceled."""
-        return self._store.cancel_tasks(eq_task_ids)
+        with self.tracer.span(
+            "eqsql.cancel", component="eqsql", n=len(eq_task_ids)
+        ) as sp:
+            canceled = self._store.cancel_tasks(eq_task_ids)
+            sp.set_attr("canceled", canceled)
+        return canceled
 
     # -- introspection ------------------------------------------------------------------
 
@@ -290,7 +443,10 @@ class EQSQL:
 
 
 def init_eqsql(
-    db_path: str | None = None, clock: Clock | None = None
+    db_path: str | None = None,
+    clock: Clock | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> EQSQL:
     """Create an :class:`EQSQL` instance (the paper's ``init_esql``).
 
@@ -302,4 +458,4 @@ def init_eqsql(
         store = MemoryTaskStore()
     else:
         store = SqliteTaskStore(db_path)
-    return EQSQL(store, clock=clock)
+    return EQSQL(store, clock=clock, tracer=tracer, metrics=metrics)

@@ -143,7 +143,20 @@ def _drain_completed(
         return []
     eqsql = pending[0].eqsql
     by_id = {f.eq_task_id: f for f in pending}
+    tracer = eqsql.tracer
+    t0 = eqsql.clock.now() if tracer.enabled else 0.0
     popped = eqsql.pop_completed_ids(list(by_id), limit=limit)
+    if popped:
+        # Only drains that actually landed results are interesting;
+        # empty polls would swamp the trace at one span per delay tick.
+        tracer.add_span(
+            "futures.drain",
+            "eqsql",
+            t0,
+            eqsql.clock.now(),
+            parent=tracer.current_context(),
+            attrs={"watched": len(pending), "landed": len(popped)},
+        )
     landed: list[Future] = []
     for eq_task_id, result in popped:
         future = by_id[eq_task_id]

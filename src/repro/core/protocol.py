@@ -17,6 +17,7 @@ import json
 from typing import Any, BinaryIO
 
 from repro.db.schema import TaskRow, TaskStatus
+from repro.telemetry.tracing import SpanContext
 from repro.util.errors import (
     AuthenticationError,
     NotFoundError,
@@ -60,6 +61,21 @@ def read_message(stream: BinaryIO) -> dict[str, Any] | None:
     if not isinstance(message, dict):
         raise SerializationError("protocol frame is not a JSON object")
     return message
+
+
+def inject_trace(message: dict[str, Any], ctx: SpanContext | None) -> None:
+    """Attach a span context to a request frame (no-op for None).
+
+    The ``trace`` field is optional and ignored by older peers, so
+    traced and untraced clients interoperate freely.
+    """
+    if ctx is not None:
+        message["trace"] = ctx.to_wire()
+
+
+def extract_trace(message: dict[str, Any]) -> SpanContext | None:
+    """The span context carried by a frame, if any (malformed → None)."""
+    return SpanContext.from_wire(message.get("trace"))
 
 
 def error_response(request_id: Any, exc: Exception) -> dict[str, Any]:

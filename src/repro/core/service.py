@@ -20,7 +20,12 @@ from typing import Any
 
 from repro.core import protocol
 from repro.db.backend import TaskStore
+from repro.telemetry.metrics import MetricsRegistry, get_metrics
+from repro.telemetry.tracing import Tracer, get_tracer
 from repro.util.errors import AuthenticationError
+from repro.util.logging import get_logger, log_event
+
+_log = get_logger(__name__)
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -30,8 +35,10 @@ class _Handler(socketserver.StreamRequestHandler):
         while True:
             try:
                 message = protocol.read_message(self.rfile)
-            except Exception:
-                break  # malformed frame: drop the connection
+            except Exception as exc:
+                # Malformed frame: drop the connection.
+                log_event(_log, "service.bad_frame", level=10, error=str(exc))
+                break
             if message is None:
                 break
             response = self._dispatch(message)
@@ -51,9 +58,24 @@ class _Handler(socketserver.StreamRequestHandler):
             params = message.get("params") or {}
             if not isinstance(params, dict):
                 raise ValueError("request params must be an object")
-            result = service.call(method, params)
+            tracer = service.tracer
+            if not tracer.enabled:
+                result = service.call(method, params)
+            else:
+                # Parent under the client's RPC span (propagated in the
+                # frame) so the wire hop decomposes: service handling
+                # and DB time nest inside the client-observed RTT.
+                with tracer.span(
+                    f"service.{method}",
+                    component="service",
+                    parent=protocol.extract_trace(message),
+                ):
+                    with tracer.span(f"db.{method}", component="db"):
+                        result = service.call(method, params)
+            service.m_requests.inc()
             return protocol.ok_response(request_id, result)
         except Exception as exc:
+            service.m_errors.inc()
             return protocol.error_response(request_id, exc)
 
 
@@ -75,6 +97,12 @@ class TaskService:
         :attr:`address` after :meth:`start`).
     auth_token:
         When set, every request must carry this bearer token.
+    tracer:
+        Span recorder for server-side request handling; defaults to the
+        process-wide tracer.  Request frames carrying a ``trace`` field
+        get their handling spans parented under the client's RPC span.
+    metrics:
+        Metrics registry; defaults to the process-wide registry.
     """
 
     #: Store methods callable over the wire, with result encoders where
@@ -109,12 +137,26 @@ class TaskService:
         host: str = "127.0.0.1",
         port: int = 0,
         auth_token: str | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._store = store
         self._auth_token = auth_token
+        self._tracer = tracer
+        registry = metrics if metrics is not None else get_metrics()
+        self.m_requests = registry.counter(
+            "service.requests", "requests handled by the EMEWS service"
+        )
+        self.m_errors = registry.counter(
+            "service.errors", "requests that raised (returned an error frame)"
+        )
         self._server = _Server((host, port), _Handler)
         self._server.service = self
         self._thread: threading.Thread | None = None
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
 
     @property
     def store(self) -> TaskStore:

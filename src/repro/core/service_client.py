@@ -16,12 +16,15 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from collections.abc import Iterable, Sequence
 from typing import Any
 
 from repro.core import protocol
 from repro.db.backend import TaskStore
 from repro.db.schema import TaskRow, TaskStatus
+from repro.telemetry.metrics import MetricsRegistry, get_metrics
+from repro.telemetry.tracing import Span, Tracer, get_tracer
 from repro.util.errors import ReproError
 
 
@@ -34,9 +37,19 @@ class RemoteTaskStore(TaskStore):
         port: int,
         auth_token: str | None = None,
         connect_timeout: float = 10.0,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._token = auth_token
         self._lock = threading.Lock()
+        self._tracer = tracer
+        registry = metrics if metrics is not None else get_metrics()
+        self._m_rpcs = registry.counter(
+            "service.client.rpcs", "requests sent to the EMEWS service"
+        )
+        self._m_rtt = registry.histogram(
+            "service.client.rtt_seconds", help="request/response round-trip time"
+        )
         self._sock = socket.create_connection((host, port), timeout=connect_timeout)
         # Blocking I/O after connect; polling timeouts live in EQSQL.
         self._sock.settimeout(None)
@@ -47,7 +60,28 @@ class RemoteTaskStore(TaskStore):
         # Fail fast on version/auth problems.
         self._call("ping", {})
 
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
+
     def _call(self, method: str, params: dict[str, Any]) -> Any:
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._call_raw(method, params, tracer, None)
+        # The RPC span is the client-side half of the wire hop; the
+        # service opens its child span from the propagated context, so
+        # RTT decomposes into client wait vs server handling vs DB time.
+        with tracer.span(f"rpc.{method}", component="service_client") as sp:
+            return self._call_raw(method, params, tracer, sp)
+
+    def _call_raw(
+        self,
+        method: str,
+        params: dict[str, Any],
+        tracer: Tracer,
+        span: Span | None,
+    ) -> Any:
+        t0 = time.monotonic()
         with self._lock:
             if self._closed:
                 raise RuntimeError("remote store is closed")
@@ -59,8 +93,17 @@ class RemoteTaskStore(TaskStore):
             }
             if self._token is not None:
                 request["token"] = self._token
-            protocol.write_message(self._wfile, request)
-            response = protocol.read_message(self._rfile)
+            if span is not None:
+                protocol.inject_trace(request, span.context)
+                with tracer.span("rpc.send", component="service_client"):
+                    protocol.write_message(self._wfile, request)
+                with tracer.span("rpc.recv", component="service_client"):
+                    response = protocol.read_message(self._rfile)
+            else:
+                protocol.write_message(self._wfile, request)
+                response = protocol.read_message(self._rfile)
+        self._m_rpcs.inc()
+        self._m_rtt.observe(time.monotonic() - t0)
         if response is None:
             raise ReproError("service closed the connection")
         if response.get("id") != request["id"]:

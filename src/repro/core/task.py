@@ -1,0 +1,85 @@
+"""Task records and trace-context propagation along the payload path.
+
+The EMEWS DB stores a task's payload as an opaque string; nothing else
+about a task survives the submit → queue → fetch → execute journey.  To
+correlate a worker pool's execution span with the ME-side submit span,
+the submit path wraps the payload in a one-key JSON envelope carrying
+the :class:`~repro.telemetry.tracing.SpanContext`::
+
+    {"__repro_trace__": [trace_id, span_id], "p": "<original payload>"}
+
+and the fetch path (``EQSQL.query_task*``) unwraps it before the payload
+reaches any handler, so task applications never see the envelope.  The
+envelope rides unchanged through every store backend and across the
+service wire — the DB needs no schema change and the propagation
+survives requeue/recovery, because the context lives *in* the payload.
+
+When tracing is disabled nothing is wrapped, and unwrapping is a single
+string-prefix check per task — the near-zero-overhead discipline of
+:mod:`repro.telemetry.tracing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.telemetry.tracing import SpanContext
+from repro.util.serialization import json_dumps, json_loads
+
+#: Envelope marker key.  Must stay the first key emitted by
+#: :func:`wrap_payload` — the fast path detects envelopes by prefix.
+TRACE_KEY = "__repro_trace__"
+
+_TRACE_PREFIX = '{"' + TRACE_KEY + '"'
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One claimed task as a worker pool sees it: identity, payload,
+    and (when the submitter traced) the originating span context."""
+
+    eq_task_id: int
+    eq_type: int
+    payload: str
+    trace: SpanContext | None = None
+
+
+def wrap_payload(payload: str, ctx: SpanContext) -> str:
+    """Embed ``ctx`` in ``payload`` (returns the envelope string)."""
+    return json_dumps({TRACE_KEY: ctx.to_wire(), "p": payload})
+
+
+def unwrap_payload(payload: str) -> tuple[str, SpanContext | None]:
+    """Split an enveloped payload into (original payload, context).
+
+    Non-enveloped payloads pass through untouched at the cost of one
+    ``str.startswith``.  A payload that *looks* enveloped but fails to
+    parse is returned unchanged — a user payload colliding with the
+    marker must never be corrupted by telemetry.
+    """
+    if not payload.startswith(_TRACE_PREFIX):
+        return payload, None
+    try:
+        data = json_loads(payload)
+        inner = data["p"]
+        if not isinstance(inner, str):
+            return payload, None
+        return inner, SpanContext.from_wire(data.get(TRACE_KEY))
+    except Exception:
+        return payload, None
+
+
+def record_from_message(message: dict[str, Any], eq_type: int) -> TaskRecord:
+    """Build a :class:`TaskRecord` from an EQSQL work message.
+
+    Work messages produced by a tracing submitter carry a ``trace`` key
+    (the wire form of the context) that ``EQSQL.query_task*`` attached
+    while unwrapping the payload envelope.
+    """
+    return TaskRecord(
+        eq_task_id=message["eq_task_id"],
+        eq_type=eq_type,
+        payload=message["payload"],
+        trace=SpanContext.from_wire(message.get("trace")),
+    )

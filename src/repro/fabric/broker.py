@@ -30,6 +30,13 @@ from repro.fabric.auth import (
     AuthServer,
     NullAuthServer,
 )
+from repro.telemetry.metrics import BYTE_BUCKETS, MetricsRegistry, get_metrics
+from repro.telemetry.tracing import (
+    STATUS_ERROR,
+    SpanContext,
+    Tracer,
+    get_tracer,
+)
 from repro.util.clock import Clock, SystemClock
 from repro.util.errors import (
     EndpointUnavailableError,
@@ -82,16 +89,39 @@ class CloudBroker:
         clock: Clock | None = None,
         payload_limit: int = DEFAULT_PAYLOAD_LIMIT,
         max_attempts: int = 3,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._auth = auth if auth is not None else NullAuthServer()
         self._clock = clock if clock is not None else SystemClock()
         self._payload_limit = payload_limit
         self._max_attempts = max_attempts
+        self._tracer = tracer
+        registry = metrics if metrics is not None else get_metrics()
+        self._m_submitted = registry.counter(
+            "fabric.tasks_submitted", "tasks accepted by the broker"
+        )
+        self._m_completed = registry.counter(
+            "fabric.tasks_completed", "tasks that reached SUCCESS"
+        )
+        self._m_failed = registry.counter(
+            "fabric.tasks_failed", "tasks that reached FAILED"
+        )
+        self._m_payload_bytes = registry.histogram(
+            "fabric.payload_bytes", BYTE_BUCKETS, "submitted task payload sizes"
+        )
         self._lock = threading.Lock()
         self._endpoints: dict[str, _EndpointRecord] = {}
         self._tasks: dict[str, _BrokerTask] = {}
         # task_id -> endpoint that leased it (for put_result validation).
         self._leases: dict[str, str] = {}
+        # task_id -> submitter's span context, for the retroactive
+        # fabric.task span emitted when the task reaches a terminal state.
+        self._task_traces: dict[str, SpanContext | None] = {}
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
 
     @property
     def payload_limit(self) -> int:
@@ -139,11 +169,38 @@ class CloudBroker:
                 self._leases.pop(task_id, None)
                 self._requeue_locked(record, self._tasks[task_id])
 
+    def _finish_locked(self, task: _BrokerTask, failed: bool) -> None:
+        """Terminal-state bookkeeping: span + counters (call under lock).
+
+        Records the task's whole broker residency (submit to finish) as
+        a ``fabric.task`` span parented under the submitter's span, so
+        fire-and-forget retries and result latency show up per task.
+        """
+        (self._m_failed if failed else self._m_completed).inc()
+        tracer = self.tracer
+        parent = self._task_traces.pop(task.task_id, None)
+        if not tracer.enabled or task.finished_at is None:
+            return
+        tracer.add_span(
+            "fabric.task",
+            "fabric",
+            task.submitted_at,
+            task.finished_at,
+            parent=parent,
+            attrs={
+                "task_id": task.task_id,
+                "endpoint": task.endpoint_id,
+                "attempts": task.attempts,
+            },
+            status=STATUS_ERROR if failed else "ok",
+        )
+
     def _requeue_locked(self, record: _EndpointRecord, task: _BrokerTask) -> None:
         if task.attempts >= self._max_attempts:
             task.state = FabricTaskState.FAILED
             task.error = f"gave up after {task.attempts} attempts (endpoint failures)"
             task.finished_at = self._clock.now()
+            self._finish_locked(task, failed=True)
         else:
             task.state = FabricTaskState.PENDING
             record.queue.appendleft(task.task_id)  # retry before new work
@@ -190,6 +247,7 @@ class CloudBroker:
                 task.state = FabricTaskState.FAILED
                 task.error = data.decode("utf-8", errors="replace")
             task.finished_at = self._clock.now()
+            self._finish_locked(task, failed=not success)
 
     # -- client side ----------------------------------------------------------
 
@@ -197,6 +255,9 @@ class CloudBroker:
         """Queue a task for an endpoint (online or not); returns task id."""
         self._auth.validate(token, SCOPE_COMPUTE)
         self._check_size(payload, "task payload")
+        self._m_submitted.inc()
+        self._m_payload_bytes.observe(len(payload))
+        tracer = self.tracer
         with self._lock:
             record = self._record(endpoint_id)
             task = _BrokerTask(
@@ -207,6 +268,10 @@ class CloudBroker:
             )
             self._tasks[task.task_id] = task
             record.queue.append(task.task_id)
+            if tracer.enabled:
+                # Remember who submitted; the fabric.task span parents
+                # under the submit-side span once the task finishes.
+                self._task_traces[task.task_id] = tracer.current_context()
             return task.task_id
 
     def task_state(self, token: str, task_id: str) -> FabricTaskState:

@@ -16,6 +16,7 @@ from typing import Any
 
 from repro.fabric.auth import Token
 from repro.fabric.broker import CloudBroker, FabricTaskState
+from repro.telemetry.tracing import get_tracer
 from repro.util.errors import ReproError, TimeoutError_
 from repro.util.serialization import decode_object, encode_object
 
@@ -48,6 +49,9 @@ class FabricFuture:
         """The remote return value; raises :class:`RemoteExecutionError`
         if the function failed, TimeoutError_ if not done in time."""
         if self._outcome is None:
+            tracer = get_tracer()
+            wait_parent = tracer.current_context() if tracer.enabled else None
+            t0 = tracer.clock.now() if tracer.enabled else 0.0
             deadline = None if timeout is None else time.monotonic() + timeout
             while True:
                 stored = self._broker.get_result(self._token, self.task_id)
@@ -61,6 +65,15 @@ class FabricFuture:
                         f"fabric task {self.task_id} not done after {timeout}s"
                     )
                 time.sleep(poll)
+            # Retroactive: the client-observed wait for this result.
+            tracer.add_span(
+                "fabric.wait",
+                "fabric_client",
+                t0,
+                tracer.clock.now(),
+                parent=wait_parent,
+                attrs={"task_id": self.task_id},
+            )
         success, value = self._outcome
         if not success:
             raise RemoteExecutionError(str(value))
@@ -87,8 +100,13 @@ class FabricClient:
         broker's payload cap — large inputs belong in the data sharing
         service, passed as proxies.
         """
-        payload = encode_object((fn, args, kwargs))
-        task_id = self._broker.submit(self._token, endpoint, payload)
+        tracer = get_tracer()
+        with tracer.span("fabric.submit", component="fabric_client") as sp:
+            payload = encode_object((fn, args, kwargs))
+            sp.set_attr("endpoint", endpoint)
+            sp.set_attr("payload_bytes", len(payload))
+            task_id = self._broker.submit(self._token, endpoint, payload)
+            sp.set_attr("task_id", task_id)
         return FabricFuture(self._broker, self._token, task_id)
 
     def run(

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.eqsql import EQSQL
 from repro.core.futures import Future, as_completed, update_priority
 from repro.telemetry.events import EventKind, TraceCollector
+from repro.telemetry.tracing import get_tracer
 from repro.util.serialization import json_dumps, json_loads
 
 #: (X_done, y_done, X_remaining) -> integer priorities for X_remaining.
@@ -99,48 +100,64 @@ def run_async_optimization(
     """
     points = np.atleast_2d(np.asarray(points, dtype=float))
     payloads = [json_dumps({"x": list(map(float, p))}) for p in points]
-    futures = eqsql.submit_tasks(exp_id, work_type, payloads)
-    point_of = {f.eq_task_id: i for i, f in enumerate(futures)}
+    tracer = get_tracer()
+    # The run span is the root of the whole trace: submissions open
+    # inside it, so task payloads carry its trace id end to end.
+    run_span = tracer.span(
+        "driver.run", component="driver", exp_id=exp_id, n_points=len(points)
+    )
+    with run_span:
+        futures = eqsql.submit_tasks(exp_id, work_type, payloads)
+        point_of = {f.eq_task_id: i for i, f in enumerate(futures)}
 
-    pending: list[Future] = list(futures)
-    done_X: list[np.ndarray] = []
-    done_y: list[float] = []
-    records: list[ReprioritizationRecord] = []
+        pending: list[Future] = list(futures)
+        done_X: list[np.ndarray] = []
+        done_y: list[float] = []
+        records: list[ReprioritizationRecord] = []
 
-    while pending:
-        want = min(batch_completed, len(pending))
-        for future in as_completed(pending, pop=True, n=want, delay=delay, timeout=timeout):
-            _, result = future.result(timeout=0)
-            done_X.append(points[point_of[future.eq_task_id]])
-            done_y.append(decode_result(result))
-        if reprioritizer is not None and pending:
-            t0 = eqsql.clock.now()
-            if trace is not None:
-                trace.record(
-                    EventKind.PHASE_START, t0, source="reprioritize",
-                    detail=str(len(done_y)),
-                )
-            X_remaining = np.array(
-                [points[point_of[f.eq_task_id]] for f in pending]
-            )
-            priorities = reprioritizer(
-                np.array(done_X), np.array(done_y), X_remaining
-            )
-            n_updated = update_priority(pending, [int(p) for p in priorities])
-            t1 = eqsql.clock.now()
-            if trace is not None:
-                trace.record(
-                    EventKind.PHASE_STOP, t1, source="reprioritize",
-                    detail=str(n_updated),
-                )
-            records.append(
-                ReprioritizationRecord(
-                    time_start=t0,
-                    time_stop=t1,
+        while pending:
+            want = min(batch_completed, len(pending))
+            with tracer.span("driver.wait_batch", component="driver", want=want):
+                for future in as_completed(
+                    pending, pop=True, n=want, delay=delay, timeout=timeout
+                ):
+                    _, result = future.result(timeout=0)
+                    done_X.append(points[point_of[future.eq_task_id]])
+                    done_y.append(decode_result(result))
+            if reprioritizer is not None and pending:
+                t0 = eqsql.clock.now()
+                if trace is not None:
+                    trace.record(
+                        EventKind.PHASE_START, t0, source="reprioritize",
+                        detail=str(len(done_y)),
+                    )
+                with tracer.span(
+                    "driver.reprioritize",
+                    component="driver",
                     n_completed=len(done_y),
-                    n_reprioritized=n_updated,
+                ) as sp:
+                    X_remaining = np.array(
+                        [points[point_of[f.eq_task_id]] for f in pending]
+                    )
+                    priorities = reprioritizer(
+                        np.array(done_X), np.array(done_y), X_remaining
+                    )
+                    n_updated = update_priority(pending, [int(p) for p in priorities])
+                    sp.set_attr("n_reprioritized", n_updated)
+                t1 = eqsql.clock.now()
+                if trace is not None:
+                    trace.record(
+                        EventKind.PHASE_STOP, t1, source="reprioritize",
+                        detail=str(n_updated),
+                    )
+                records.append(
+                    ReprioritizationRecord(
+                        time_start=t0,
+                        time_stop=t1,
+                        n_completed=len(done_y),
+                        n_reprioritized=n_updated,
+                    )
                 )
-            )
 
     return AsyncOptimizationResult(
         X=np.array(done_X),

@@ -19,6 +19,7 @@ from abc import ABC, abstractmethod
 from collections.abc import Callable
 from typing import Any
 
+from repro.telemetry.tracing import get_tracer
 from repro.util.errors import ReproError
 from repro.util.serialization import json_dumps, json_loads
 
@@ -34,8 +35,26 @@ class TaskHandler(ABC):
     def handle(self, payload: str) -> str:
         """Execute the task; returns the result string."""
 
+    def run(self, payload: str) -> str:
+        """Execute the task inside a ``handler`` span.
+
+        Pools call this instead of :meth:`handle` so that, under an
+        enabled tracer, application time separates from pool overhead
+        in the latency breakdown.  Nests under the caller's open span
+        (the pool's per-task span) via the thread-local stack.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self.handle(payload)
+        with tracer.span(
+            f"handler.{type(self).__name__}",
+            component="handler",
+            payload_bytes=len(payload),
+        ):
+            return self.handle(payload)
+
     def __call__(self, payload: str) -> str:
-        return self.handle(payload)
+        return self.run(payload)
 
 
 class PythonTaskHandler(TaskHandler):

@@ -23,6 +23,7 @@ from repro.mpilite import ANY_SOURCE, Communicator, Status, mpi_run
 from repro.pools.config import PoolConfig
 from repro.pools.handlers import TaskExecutionError, TaskHandler
 from repro.telemetry.events import EventKind, TraceCollector
+from repro.telemetry.tracing import Span, SpanContext, get_tracer
 from repro.util.errors import TimeoutError_
 from repro.util.serialization import json_dumps
 
@@ -42,17 +43,38 @@ class MpiPoolStats:
 def _worker_rank(comm: Communicator, handler: TaskHandler) -> None:
     """Ranks 1..N-1: execute tasks until shutdown."""
     status = Status(-1, -1)
+    tracer = get_tracer()
     while True:
         message = comm.recv(source=0, timeout=None, status=status)
         if status.tag == _TAG_SHUTDOWN:
             return
-        eq_task_id, payload = message
-        try:
-            result = handler.handle(payload)
-            failed = False
-        except TaskExecutionError as exc:
-            result = json_dumps({"error": str(exc)})
-            failed = True
+        eq_task_id, payload, trace_wire = message
+        # The engine forwards the task's span context inside the MPI
+        # message, so worker-rank execution parents under it even
+        # though ranks run on their own threads.  The span machinery is
+        # only paid when tracing is on (this is the per-task hot path).
+        if tracer.enabled:
+            with tracer.span(
+                "pool.worker",
+                component="pool",
+                parent=SpanContext.from_wire(trace_wire),
+                eq_task_id=eq_task_id,
+                rank=comm.rank,
+            ) as sp:
+                try:
+                    result = handler.run(payload)
+                    failed = False
+                except TaskExecutionError as exc:
+                    result = json_dumps({"error": str(exc)})
+                    failed = True
+                    sp.set_attr("failed", True)
+        else:
+            try:
+                result = handler.handle(payload)
+                failed = False
+            except TaskExecutionError as exc:
+                result = json_dumps({"error": str(exc)})
+                failed = True
         comm.send((eq_task_id, result, failed), dest=0, tag=_TAG_RESULT)
 
 
@@ -66,9 +88,13 @@ def _engine_rank(
     stats = MpiPoolStats()
     policy = config.policy()
     clock = eqsql.clock
+    tracer = get_tracer()
     idle = list(range(1, comm.size))
     busy: dict[int, int] = {}  # worker rank -> eq_task_id
-    backlog: list[tuple[int, str]] = []  # fetched but no idle worker
+    # Fetched but no idle worker: (eq_task_id, payload, trace wire form).
+    backlog: list[tuple[int, str, list[str] | None]] = []
+    # Open dispatch spans, eq_task_id -> Span (ends at result receive).
+    dispatch_spans: dict[int, Span] = {}
     stopping = False
     status = Status(-1, -1)
 
@@ -81,6 +107,7 @@ def _engine_rank(
         if not stopping:
             want = policy.to_fetch(owned)
             if want > 0:
+                t0 = clock.now() if tracer.enabled else 0.0
                 messages = eqsql.query_task_batch(
                     config.work_type,
                     batch_size=config.batch_size or config.n_workers,
@@ -90,6 +117,14 @@ def _engine_rank(
                     delay=config.poll_delay,
                     timeout=config.query_timeout,
                 )
+                if messages and tracer.enabled:
+                    tracer.add_span(
+                        "pool.fetch",
+                        "pool",
+                        t0,
+                        clock.now(),
+                        attrs={"pool": config.name, "n": len(messages)},
+                    )
                 if messages and trace is not None:
                     trace.record(
                         EventKind.FETCH,
@@ -104,16 +139,34 @@ def _engine_rank(
                         )
                         stopping = True
                     else:
-                        backlog.append((message["eq_task_id"], message["payload"]))
+                        backlog.append(
+                            (
+                                message["eq_task_id"],
+                                message["payload"],
+                                message.get("trace"),
+                            )
+                        )
 
         # Dispatch backlog to idle workers.
         while backlog and idle:
             worker = idle.pop()
-            eq_task_id, payload = backlog.pop(0)
+            eq_task_id, payload, trace_wire = backlog.pop(0)
             busy[worker] = eq_task_id
             if trace is not None:
                 trace.task_start(clock.now(), eq_task_id, source=config.name)
-            comm.send((eq_task_id, payload), dest=worker, tag=_TAG_TASK)
+            if tracer.enabled:
+                span = tracer.start_span(
+                    "pool.task",
+                    component="pool",
+                    parent=SpanContext.from_wire(trace_wire),
+                    eq_task_id=eq_task_id,
+                    pool=config.name,
+                    rank=worker,
+                )
+                if span is not None:
+                    dispatch_spans[eq_task_id] = span
+                    trace_wire = span.context.to_wire()
+            comm.send((eq_task_id, payload, trace_wire), dest=worker, tag=_TAG_TASK)
 
         # Collect one result if any worker is busy.  The receive has a
         # short timeout so the engine keeps refetching (and can keep an
@@ -132,6 +185,12 @@ def _engine_rank(
             del busy[worker]
             idle.append(worker)
             eqsql.report_task(eq_task_id, config.work_type, result)
+            if dispatch_spans:
+                span = dispatch_spans.pop(eq_task_id, None)
+                if span is not None:
+                    if failed:
+                        span.set_attr("failed", True)
+                    tracer.end_span(span)
             if trace is not None:
                 trace.task_stop(clock.now(), eq_task_id, source=config.name)
             if failed:

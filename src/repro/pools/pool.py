@@ -24,11 +24,24 @@ from repro.core.eqsql import EQSQL
 from repro.pools.config import PoolConfig
 from repro.pools.handlers import TaskExecutionError, TaskHandler
 from repro.telemetry.events import EventKind, TraceCollector
+from repro.telemetry.metrics import (
+    COUNT_BUCKETS,
+    MetricsRegistry,
+    get_metrics,
+)
+from repro.telemetry.tracing import SpanContext, Tracer, get_tracer
 from repro.util.serialization import json_dumps
 
 
 class ThreadedWorkerPool:
-    """A pilot-job worker pool running on threads."""
+    """A pilot-job worker pool running on threads.
+
+    Under an enabled tracer, each fetch that returns work records a
+    ``pool.fetch`` span and each task executes inside a ``pool.task``
+    span parented to the submitter's span (the context rides the task
+    payload), with ``pool.report`` nested for the result write — the
+    queue-wait / run / report decomposition of the task lifecycle.
+    """
 
     def __init__(
         self,
@@ -36,11 +49,33 @@ class ThreadedWorkerPool:
         handler: TaskHandler,
         config: PoolConfig,
         trace: TraceCollector | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._eqsql = eqsql
         self._handler = handler
         self._config = config
         self._trace = trace
+        self._tracer = tracer
+        registry = metrics if metrics is not None else get_metrics()
+        self._m_completed = registry.counter(
+            "pool.tasks_completed", "tasks executed and reported"
+        )
+        self._m_failed = registry.counter(
+            "pool.tasks_failed", "tasks whose handler raised"
+        )
+        self._m_fetch_size = registry.histogram(
+            "pool.fetch_batch_size", COUNT_BUCKETS, "tasks per non-empty fetch"
+        )
+        self._m_queue_wait = registry.histogram(
+            "pool.queue_wait_seconds", help="local-queue wait: fetch to execution start"
+        )
+        self._m_run = registry.histogram(
+            "pool.run_seconds", help="handler execution time"
+        )
+        self._m_report = registry.histogram(
+            "pool.report_seconds", help="result report round trip"
+        )
         self._policy = config.policy()
 
         self._owned = 0
@@ -67,6 +102,10 @@ class ThreadedWorkerPool:
         """Tasks claimed from the DB but not yet completed."""
         with self._owned_lock:
             return self._owned
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -124,6 +163,7 @@ class ThreadedWorkerPool:
     def _fetch_loop(self) -> None:
         config = self._config
         clock = self._eqsql.clock
+        tracer = self.tracer
         while not self._stop_fetching.is_set():
             with self._owned_lock:
                 owned = self._owned
@@ -131,6 +171,7 @@ class ThreadedWorkerPool:
             if want == 0:
                 clock.sleep(config.poll_delay)
                 continue
+            t0 = clock.now() if tracer.enabled else 0.0
             messages = self._eqsql.query_task_batch(
                 config.work_type,
                 batch_size=config.batch_size or config.n_workers,
@@ -143,6 +184,18 @@ class ThreadedWorkerPool:
             if not messages:
                 clock.sleep(config.poll_delay)
                 continue
+            fetched_at = clock.now()
+            self._m_fetch_size.observe(len(messages))
+            if tracer.enabled:
+                tracer.add_span(
+                    "pool.fetch",
+                    "pool",
+                    t0,
+                    fetched_at,
+                    attrs={"pool": self.name, "n": len(messages)},
+                )
+            for message in messages:
+                message["_fetched_at"] = fetched_at
             if self._trace is not None:
                 self._trace.record(
                     EventKind.FETCH,
@@ -176,8 +229,8 @@ class ThreadedWorkerPool:
     # -- workers --------------------------------------------------------------------
 
     def _work_loop(self) -> None:
-        config = self._config
         clock = self._eqsql.clock
+        tracer = self.tracer
         while True:
             if self._abort.is_set():
                 return
@@ -188,26 +241,74 @@ class ThreadedWorkerPool:
             if message is None:
                 return
             eq_task_id = message["eq_task_id"]
+            started_at = clock.now()
+            fetched_at = message.get("_fetched_at")
+            if fetched_at is not None:
+                self._m_queue_wait.observe(started_at - fetched_at)
             if self._trace is not None:
-                self._trace.task_start(clock.now(), eq_task_id, source=self.name)
-            try:
+                self._trace.task_start(started_at, eq_task_id, source=self.name)
+            # Hot path: the span machinery (context construction, kwargs,
+            # handle) is only paid when tracing is on.
+            if tracer.enabled:
+                with tracer.span(
+                    "pool.task",
+                    component="pool",
+                    parent=SpanContext.from_wire(message.get("trace")),
+                    eq_task_id=eq_task_id,
+                    pool=self.name,
+                ) as sp:
+                    self._run_one(message, eq_task_id, started_at, sp)
+            else:
+                self._run_one(message, eq_task_id, started_at, None)
+
+    def _run_one(
+        self,
+        message: dict[str, Any],
+        eq_task_id: int,
+        started_at: float,
+        sp: Any,
+    ) -> None:
+        """Execute one fetched task and report its result.
+
+        ``sp`` is the open ``pool.task`` span, or None when tracing is
+        disabled.
+        """
+        config = self._config
+        clock = self._eqsql.clock
+        try:
+            # run() opens the handler span; skip it when untraced.
+            if sp is not None:
+                result = self._handler.run(message["payload"])
+            else:
                 result = self._handler.handle(message["payload"])
-                failed = False
-            except TaskExecutionError as exc:
-                result = json_dumps({"error": str(exc)})
-                failed = True
-            try:
+            failed = False
+        except TaskExecutionError as exc:
+            result = json_dumps({"error": str(exc)})
+            failed = True
+            if sp is not None:
+                sp.set_attr("failed", True)
+        ran_at = clock.now()
+        self._m_run.observe(ran_at - started_at)
+        try:
+            if sp is not None:
+                with self.tracer.span(
+                    "pool.report", component="pool", eq_task_id=eq_task_id
+                ):
+                    self._eqsql.report_task(eq_task_id, config.work_type, result)
+            else:
                 self._eqsql.report_task(eq_task_id, config.work_type, result)
-            finally:
-                if self._trace is not None:
-                    self._trace.task_stop(clock.now(), eq_task_id, source=self.name)
-                with self._owned_lock:
-                    self._owned -= 1
-                with self._stats_lock:
-                    if failed:
-                        self.tasks_failed += 1
-                    else:
-                        self.tasks_completed += 1
+            self._m_report.observe(clock.now() - ran_at)
+        finally:
+            if self._trace is not None:
+                self._trace.task_stop(clock.now(), eq_task_id, source=self.name)
+            with self._owned_lock:
+                self._owned -= 1
+            with self._stats_lock:
+                if failed:
+                    self.tasks_failed += 1
+                else:
+                    self.tasks_completed += 1
+            (self._m_failed if failed else self._m_completed).inc()
 
     # -- context manager ----------------------------------------------------------------
 

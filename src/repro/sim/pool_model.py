@@ -26,6 +26,7 @@ from repro.core.fetch import FetchPolicy
 from repro.simt.environment import Environment
 from repro.simt.resources import Resource
 from repro.telemetry.events import EventKind, TraceCollector
+from repro.telemetry.tracing import SpanContext, get_tracer
 
 #: Maps (eq_task_id, payload) to the task's execution time.
 RuntimeFn = Callable[[int, str], float]
@@ -113,6 +114,7 @@ class SimWorkerPool:
                 continue
             # The claim round trip costs virtual time; completions that
             # land during it increase the next deficit.
+            fetch_t0 = self.env.now
             yield self.env.timeout(config.query_cost)
             messages = self.eqsql.query_task_batch(
                 config.work_type,
@@ -125,6 +127,16 @@ class SimWorkerPool:
             if not messages:
                 yield self.env.timeout(config.poll_delay)
                 continue
+            # Retroactive only: DES processes interleave on one thread,
+            # so implicit (stack-based) spans would cross-nest.  The
+            # tracer must share the simulation clock for this to align.
+            get_tracer().add_span(
+                "pool.fetch",
+                "sim_pool",
+                fetch_t0,
+                self.env.now,
+                attrs={"pool": self.name, "n": len(messages)},
+            )
             if self._trace is not None:
                 self._trace.record(
                     EventKind.FETCH,
@@ -148,8 +160,9 @@ class SimWorkerPool:
         eq_task_id = message["eq_task_id"]
         request = self._workers.request()
         yield request
+        started_at = self.env.now
         if self._trace is not None:
-            self._trace.task_start(self.env.now, eq_task_id, source=self.name)
+            self._trace.task_start(started_at, eq_task_id, source=self.name)
         runtime = self._runtime_fn(eq_task_id, message["payload"])
         yield self.env.timeout(runtime)
         # Result payload: the scenario's runtime_fn owns the mapping to
@@ -157,6 +170,14 @@ class SimWorkerPool:
         self.eqsql.report_task(eq_task_id, self.config.work_type, message["payload"])
         if self._trace is not None:
             self._trace.task_stop(self.env.now, eq_task_id, source=self.name)
+        get_tracer().add_span(
+            "pool.task",
+            "sim_pool",
+            started_at,
+            self.env.now,
+            parent=SpanContext.from_wire(message.get("trace")),
+            attrs={"pool": self.name, "eq_task_id": eq_task_id},
+        )
         self._workers.release()
         self._owned -= 1
         self.tasks_completed += 1

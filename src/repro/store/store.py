@@ -18,6 +18,7 @@ from typing import Any
 from repro.store.connectors import Connector
 from repro.store.proxy import Proxy
 from repro.store.registry import get_store
+from repro.telemetry.tracing import get_tracer
 from repro.util.ids import short_id
 from repro.util.serialization import decode_object, encode_object
 
@@ -36,11 +37,17 @@ class StoreFactory:
     evict: bool = False
 
     def __call__(self) -> Any:
-        store = get_store(self.store_name)
-        value = store.get(self.key)
-        if self.evict:
-            store.evict(self.key)
-        return value
+        # Resolution often happens "at another site" (inside a handler
+        # on a pool thread); the span nests under whatever task span is
+        # open there, exposing proxy-pull cost inside task time.
+        with get_tracer().span(
+            "proxy.resolve", component="store", store=self.store_name, key=self.key
+        ):
+            store = get_store(self.store_name)
+            value = store.get(self.key)
+            if self.evict:
+                store.evict(self.key)
+            return value
 
 
 @dataclass
@@ -72,8 +79,12 @@ class Store:
     def put(self, obj: Any, key: str | None = None) -> str:
         """Serialize and store an object; returns its key."""
         key = key if key is not None else short_id("obj")
-        data = encode_object(obj)
-        self._connector.put(key, data)
+        with get_tracer().span(
+            "store.put", component="store", store=self.name, key=key
+        ) as sp:
+            data = encode_object(obj)
+            sp.set_attr("bytes", len(data))
+            self._connector.put(key, data)
         with self._lock:
             self.metrics.puts += 1
             self.metrics.bytes_put += len(data)
@@ -81,11 +92,16 @@ class Store:
 
     def get(self, key: str) -> Any:
         """Fetch and deserialize an object."""
-        data = self._connector.get(key)
+        with get_tracer().span(
+            "store.get", component="store", store=self.name, key=key
+        ) as sp:
+            data = self._connector.get(key)
+            sp.set_attr("bytes", len(data))
+            value = decode_object(data)
         with self._lock:
             self.metrics.gets += 1
             self.metrics.bytes_got += len(data)
-        return decode_object(data)
+        return value
 
     def exists(self, key: str) -> bool:
         return self._connector.exists(key)

@@ -1,4 +1,4 @@
-"""Task execution tracing and time-series extraction.
+"""Task execution tracing, distributed spans, metrics, and reporting.
 
 The paper's evaluation figures are built from task start/stop events:
 Figure 3 plots the number of concurrently executing tasks over time for
@@ -8,6 +8,14 @@ records those events (:class:`TraceCollector`), reduces them to step
 functions and utilization statistics (:mod:`repro.telemetry.timeseries`),
 and renders compact text charts for benchmark output
 (:mod:`repro.telemetry.report`).
+
+Beyond the flat event stream, :mod:`repro.telemetry.tracing` provides
+distributed spans correlated across the ME → service → fabric → pool
+pipeline (trace ids ride the task payload path and the service wire),
+:mod:`repro.telemetry.metrics` aggregates counters/gauges/histograms on
+the same hot paths, and :mod:`repro.telemetry.trace_export` emits JSONL,
+Chrome ``trace_event`` JSON (Perfetto/about:tracing), and per-hop
+latency-breakdown tables.
 """
 
 from repro.telemetry.events import EventKind, TaskEvent, TraceCollector
@@ -20,6 +28,33 @@ from repro.telemetry.timeseries import (
 )
 from repro.telemetry.report import ascii_chart, render_table
 from repro.telemetry.export import load_trace, save_trace
+from repro.telemetry.tracing import (
+    Span,
+    SpanContext,
+    Tracer,
+    configure_tracing,
+    get_tracer,
+    set_tracer,
+)
+from repro.telemetry.metrics import (
+    BYTE_BUCKETS,
+    COUNT_BUCKETS,
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+from repro.telemetry.trace_export import (
+    chrome_trace,
+    latency_breakdown,
+    load_spans,
+    render_latency_breakdown,
+    save_chrome_trace,
+    save_spans,
+)
 
 __all__ = [
     "load_trace",
@@ -34,4 +69,25 @@ __all__ = [
     "utilization_stats",
     "ascii_chart",
     "render_table",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "configure_tracing",
+    "get_tracer",
+    "set_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "DEFAULT_BUCKETS",
+    "BYTE_BUCKETS",
+    "COUNT_BUCKETS",
+    "chrome_trace",
+    "latency_breakdown",
+    "load_spans",
+    "render_latency_breakdown",
+    "save_chrome_trace",
+    "save_spans",
 ]

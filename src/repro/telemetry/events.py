@@ -76,13 +76,29 @@ class TraceCollector:
     def filter(
         self, kind: EventKind | None = None, source: str | None = None
     ) -> list[TaskEvent]:
-        """Time-sorted events matching a kind and/or source."""
-        return [
+        """Time-sorted events matching a kind and/or source.
+
+        Filters the raw snapshot first and sorts only the matches —
+        sorting the full event list per call made repeated per-source
+        extraction (one call per pool per figure series) quadratic-ish
+        on large traces.
+        """
+        with self._lock:
+            events = list(self._events)
+        matched = [
             e
-            for e in self.snapshot()
+            for e in events
             if (kind is None or e.kind == kind)
             and (source is None or e.source == source)
         ]
+        matched.sort(key=lambda e: e.time)
+        return matched
+
+    def clear(self) -> None:
+        """Drop all recorded events, allowing collector reuse between
+        runs without re-plumbing a fresh instance."""
+        with self._lock:
+            self._events.clear()
 
     def sources(self) -> list[str]:
         """Distinct event sources, in first-seen order."""

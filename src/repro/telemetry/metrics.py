@@ -1,0 +1,364 @@
+"""Thread-safe metrics: counters, gauges, fixed-bucket histograms.
+
+The registry instruments the same hot paths the tracer does — queue
+wait, run time, report time, service RTT, fetch batch size, payload
+bytes — but aggregates instead of recording per-operation, so metrics
+stay cheap enough to leave on permanently.  Bucket layouts are fixed at
+histogram creation (Prometheus-style), which keeps ``observe`` to a
+bisect plus two adds under a lock and makes quantile estimates
+mergeable across runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from collections.abc import Sequence
+from typing import Any
+
+#: Default latency buckets (seconds): half-millisecond to a minute.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Payload / transfer size buckets (bytes): 64 B to 10 MB (the fabric cap).
+BYTE_BUCKETS: tuple[float, ...] = (
+    64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 10485760,
+)
+
+#: Small-count buckets (fetch batch sizes, queue depths).
+COUNT_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+#: Pending-buffer size at which hot-path writes fold into the aggregate.
+_FLUSH_AT = 512
+
+
+class Counter:
+    """A monotonically increasing count.
+
+    ``inc`` stays off the lock on the hot path: the amount is appended
+    to a pending list (``list.append`` is a single atomic bytecode under
+    the GIL) and folded into the total under the lock when the buffer
+    fills or a reader asks for the value.  Folds consume a fixed prefix
+    of the list, so appends racing with a fold are kept for the next
+    one — totals are exact at every read.
+    """
+
+    __slots__ = ("name", "help", "_value", "_pending", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._pending: list[float] = []
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: cannot decrease (got {amount})")
+        pending = self._pending
+        pending.append(amount)
+        if len(pending) >= _FLUSH_AT:
+            with self._lock:
+                self._fold()
+
+    def _fold(self) -> None:
+        """Fold buffered increments into the total (call under the lock)."""
+        pending = self._pending
+        n = len(pending)
+        if n:
+            chunk = pending[:n]
+            del pending[:n]
+            self._value += sum(chunk)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            self._fold()
+            return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, owned tasks)."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max.
+
+    ``bounds`` are inclusive upper bounds of each bucket; one implicit
+    overflow bucket catches everything larger.  Quantiles interpolate
+    linearly within the winning bucket (the overflow bucket reports the
+    observed max), which is the usual fixed-bucket estimate: exact
+    enough for latency reporting, O(buckets) memory forever.
+    """
+
+    __slots__ = ("name", "help", "_bounds", "_counts", "_sum", "_count",
+                 "_min", "_max", "_pending", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+    ) -> None:
+        if not bounds:
+            raise ValueError(f"histogram {name}: needs at least one bucket bound")
+        ordered = tuple(float(b) for b in bounds)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError(f"histogram {name}: bounds must be strictly increasing")
+        self.name = name
+        self.help = help
+        self._bounds = ordered
+        self._counts = [0] * (len(ordered) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._pending: list[float] = []
+        self._lock = threading.Lock()
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        return self._bounds
+
+    def observe(self, value: float) -> None:
+        # Hot path: same lock-free pending-buffer discipline as
+        # :meth:`Counter.inc`; bucketing happens at fold time.
+        pending = self._pending
+        pending.append(value)
+        if len(pending) >= _FLUSH_AT:
+            with self._lock:
+                self._fold()
+
+    def _fold(self) -> None:
+        """Fold buffered observations into the buckets (call under the lock)."""
+        pending = self._pending
+        n = len(pending)
+        if not n:
+            return
+        chunk = pending[:n]
+        del pending[:n]
+        bounds = self._bounds
+        counts = self._counts
+        total = 0.0
+        low = self._min
+        high = self._max
+        for value in chunk:
+            counts[bisect_left(bounds, value)] += 1
+            total += value
+            if value < low:
+                low = value
+            if value > high:
+                high = value
+        self._sum += total
+        self._count += n
+        self._min = low
+        self._max = high
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            self._fold()
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            self._fold()
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            self._fold()
+            return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        with self._lock:
+            self._fold()
+            return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        with self._lock:
+            self._fold()
+            return self._max if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1) from the buckets."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            self._fold()
+            if self._count == 0:
+                return 0.0
+            target = q * self._count
+            seen = 0.0
+            for index, bucket_count in enumerate(self._counts):
+                if bucket_count == 0:
+                    continue
+                if seen + bucket_count >= target:
+                    if index == len(self._bounds):
+                        return self._max  # overflow bucket
+                    upper = self._bounds[index]
+                    lower = self._bounds[index - 1] if index > 0 else min(self._min, upper)
+                    fraction = (target - seen) / bucket_count
+                    # Clamp to the observed range: wide buckets would
+                    # otherwise interpolate past the true extremes.
+                    return min(max(lower + (upper - lower) * fraction, self._min), self._max)
+                seen += bucket_count
+            return self._max
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            self._fold()
+            return {
+                "type": "histogram",
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min if self._count else 0.0,
+                "max": self._max if self._count else 0.0,
+                "bounds": list(self._bounds),
+                "counts": list(self._counts),
+            }
+
+
+Metric = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics.
+
+    Creation is idempotent — components instantiated repeatedly (pools
+    per benchmark round, EQSQL per test) share the process-wide series —
+    but re-registering a name as a different metric type is an error, as
+    is re-registering a histogram with different buckets.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Metric] = {}
+
+    def _get_or_create(self, name: str, kind: type, factory: Any) -> Any:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif type(metric) is not kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {type(metric).__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name, help))
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        histogram = self._get_or_create(
+            name, Histogram, lambda: Histogram(name, bounds, help)
+        )
+        if histogram.bounds != tuple(float(b) for b in bounds):
+            raise ValueError(f"histogram {name!r} already registered with other buckets")
+        return histogram
+
+    def get(self, name: str) -> Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """JSON-ready state of every metric."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: metric.snapshot() for name, metric in sorted(metrics.items())}
+
+    def render_text(self) -> str:
+        """Human-readable exposition of every metric."""
+        lines: list[str] = []
+        for name, metric in sorted(self.snapshot().items()):
+            if metric["type"] == "histogram":
+                live = self.get(name)
+                assert isinstance(live, Histogram)
+                lines.append(
+                    f"{name}: count={metric['count']} sum={metric['sum']:.6g} "
+                    f"min={metric['min']:.6g} mean={live.mean:.6g} "
+                    f"p50={live.quantile(0.5):.6g} p95={live.quantile(0.95):.6g} "
+                    f"max={metric['max']:.6g}"
+                )
+            else:
+                lines.append(f"{name}: {metric['value']:.6g}")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+
+# -- global default registry --------------------------------------------------
+
+_global_registry = MetricsRegistry()
+_global_lock = threading.Lock()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _global_registry
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the default; returns the previous one."""
+    global _global_registry
+    with _global_lock:
+        previous = _global_registry
+        _global_registry = registry
+        return previous

@@ -1,0 +1,230 @@
+"""Span exporters: JSONL, Chrome ``trace_event`` JSON, latency report.
+
+Three consumers, three formats:
+
+- :func:`save_spans` / :func:`load_spans` — line-oriented JSON that
+  round-trips exactly (archival, cross-run diffing);
+- :func:`chrome_trace` / :func:`save_chrome_trace` — the Chrome
+  ``trace_event`` format, loadable in ``about:tracing`` or Perfetto,
+  with one "process" lane per component and one "thread" lane per
+  OS thread, so the ME → service → fabric → pool pipeline reads as a
+  swimlane diagram;
+- :func:`latency_breakdown` / :func:`render_latency_breakdown` — the
+  per-hop decomposition table (count, mean, p50, p95, max, total per
+  component/operation) that the funcX papers use to explain federated
+  performance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Any
+
+from repro.telemetry.tracing import Span, Tracer
+from repro.util.errors import SerializationError
+from repro.util.logging import get_logger, log_event
+from repro.util.serialization import json_dumps, json_loads
+
+SPAN_FORMAT_VERSION = 1
+
+_log = get_logger(__name__)
+
+
+def _as_spans(source: Tracer | Sequence[Span]) -> list[Span]:
+    if isinstance(source, Tracer):
+        return source.spans()
+    return sorted(source, key=lambda s: s.start)
+
+
+# -- JSONL ---------------------------------------------------------------------
+
+
+def spans_to_lines(spans: Sequence[Span]) -> list[str]:
+    """Serialize spans to JSON lines (header line first)."""
+    lines = [json_dumps({"format": "repro-spans", "version": SPAN_FORMAT_VERSION})]
+    lines.extend(json_dumps(span.to_dict()) for span in spans)
+    return lines
+
+
+def spans_from_lines(lines: Sequence[str]) -> list[Span]:
+    """Parse spans written by :func:`spans_to_lines`."""
+    if not lines:
+        raise SerializationError("empty span trace")
+    header = json_loads(lines[0])
+    if not isinstance(header, dict) or header.get("format") != "repro-spans":
+        raise SerializationError("not a repro span trace (bad header)")
+    if header.get("version") != SPAN_FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported span trace version {header.get('version')!r}"
+        )
+    spans: list[Span] = []
+    for i, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            spans.append(Span.from_dict(json_loads(line)))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"bad span on line {i}: {exc}") from exc
+    return spans
+
+
+def save_spans(source: Tracer | Sequence[Span], path: str | Path) -> int:
+    """Write spans to a JSONL file; returns the span count."""
+    spans = _as_spans(source)
+    Path(path).write_text("\n".join(spans_to_lines(spans)) + "\n")
+    log_event(_log, "trace.spans_saved", path=str(path), spans=len(spans))
+    return len(spans)
+
+
+def load_spans(path: str | Path) -> list[Span]:
+    """Read spans from a JSONL file."""
+    return spans_from_lines(Path(path).read_text().splitlines())
+
+
+# -- Chrome trace_event --------------------------------------------------------
+
+
+def chrome_trace(source: Tracer | Sequence[Span]) -> dict[str, Any]:
+    """Spans as a Chrome ``trace_event`` document.
+
+    Components map to trace "processes" and threads to trace "threads"
+    (named via metadata events); each finished span becomes one complete
+    ("X") event with microsecond timestamps.  Span/trace/parent ids ride
+    in ``args`` so the tree stays recoverable from the exported file.
+    """
+    spans = _as_spans(source)
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+    events: list[dict[str, Any]] = []
+
+    for span in spans:
+        component = span.component or "unknown"
+        if component not in pids:
+            pids[component] = len(pids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pids[component],
+                    "tid": 0,
+                    "args": {"name": component},
+                }
+            )
+        thread_key = (component, span.thread or "main")
+        if thread_key not in tids:
+            tids[thread_key] = len(tids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pids[component],
+                    "tid": tids[thread_key],
+                    "args": {"name": span.thread or "main"},
+                }
+            )
+        if span.end is None:
+            continue
+        args: dict[str, Any] = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+        }
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.status != "ok":
+            args["status"] = span.status
+        args.update(span.attrs)
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": component,
+                "pid": pids[component],
+                "tid": tids[thread_key],
+                "ts": span.start * 1e6,
+                "dur": (span.end - span.start) * 1e6,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_chrome_trace(source: Tracer | Sequence[Span], path: str | Path) -> int:
+    """Write the Chrome trace document; returns the event count."""
+    document = chrome_trace(source)
+    Path(path).write_text(json_dumps(document))
+    log_event(
+        _log, "trace.chrome_saved", path=str(path), events=len(document["traceEvents"])
+    )
+    return len(document["traceEvents"])
+
+
+# -- latency breakdown ---------------------------------------------------------
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = q * (len(sorted_values) - 1)
+    low = int(index)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = index - low
+    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+
+
+def latency_breakdown(
+    source: Tracer | Sequence[Span],
+) -> list[dict[str, Any]]:
+    """Per (component, operation) latency statistics.
+
+    Exact percentiles (spans carry raw durations, unlike the bucketed
+    metrics), sorted by total time descending — the hop eating the run
+    appears first.
+    """
+    groups: dict[tuple[str, str], list[float]] = {}
+    for span in _as_spans(source):
+        if span.end is None:
+            continue
+        groups.setdefault((span.component, span.name), []).append(span.duration())
+    rows: list[dict[str, Any]] = []
+    for (component, name), durations in groups.items():
+        durations.sort()
+        total = sum(durations)
+        rows.append(
+            {
+                "component": component,
+                "operation": name,
+                "count": len(durations),
+                "total_s": total,
+                "mean_s": total / len(durations),
+                "p50_s": _percentile(durations, 0.5),
+                "p95_s": _percentile(durations, 0.95),
+                "max_s": durations[-1],
+            }
+        )
+    rows.sort(key=lambda row: row["total_s"], reverse=True)
+    return rows
+
+
+def render_latency_breakdown(source: Tracer | Sequence[Span]) -> str:
+    """The breakdown as an aligned text table."""
+    from repro.telemetry.report import render_table
+
+    rows = latency_breakdown(source)
+    return render_table(
+        ["component", "operation", "count", "total_s", "mean_s", "p50_s", "p95_s", "max_s"],
+        [
+            [
+                row["component"],
+                row["operation"],
+                row["count"],
+                row["total_s"],
+                row["mean_s"],
+                row["p50_s"],
+                row["p95_s"],
+                row["max_s"],
+            ]
+            for row in rows
+        ],
+        floatfmt=".6f",
+    )

@@ -1,0 +1,506 @@
+"""Distributed tracing: spans, a tracer, and trace-context propagation.
+
+The paper's evaluation is an observability exercise — every series in
+Figures 3 and 4 is derived from task lifecycle timing — and the funcX
+line of work explains federated performance through per-hop latency
+decomposition (serialization, queueing, dispatch, execution).  This
+module provides the substrate for both: a :class:`Span` records one
+timed operation in one component; spans link into trees via parent ids
+and into end-to-end task journeys via a shared trace id that rides the
+task payload path (:mod:`repro.core.task`) and the service wire
+(:mod:`repro.core.protocol`).
+
+Design constraints:
+
+- **Near-zero overhead when disabled.**  ``tracer.span(...)`` returns a
+  shared no-op context manager without allocating when tracing is off,
+  so instrumentation can stay inline on hot paths.  The global default
+  tracer starts disabled.
+- **Virtual or wall time.**  The tracer reads time through the injected
+  :class:`repro.util.clock.Clock`, so discrete-event simulation runs
+  produce spans in virtual time.  Components that timestamp events with
+  their own clock should share one clock instance with the tracer so
+  retroactive spans (:meth:`Tracer.add_span`) align.
+- **Thread-local implicit parenting.**  ``with tracer.span(...)`` nests
+  within the innermost open span *of the same thread*; hops across
+  threads, sockets, or task queues pass an explicit
+  :class:`SpanContext`.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any, TypeVar
+
+from repro.util.clock import Clock, SystemClock
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Span status values.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+def _new_id() -> str:
+    """A 16-character random hex identifier (span / trace ids)."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagatable part of a span: which trace, which span.
+
+    This is what crosses component boundaries — embedded in task
+    payloads, protocol frames, and MPI messages — so that work done on
+    the far side parents correctly under the originating span.
+    """
+
+    trace_id: str
+    span_id: str
+
+    def to_wire(self) -> list[str]:
+        """Wire form: a two-element JSON-ready list."""
+        return [self.trace_id, self.span_id]
+
+    @classmethod
+    def from_wire(cls, data: Any) -> "SpanContext | None":
+        """Parse the wire form; None for anything malformed."""
+        if (
+            isinstance(data, (list, tuple))
+            and len(data) == 2
+            and all(isinstance(part, str) and part for part in data)
+        ):
+            return cls(trace_id=data[0], span_id=data[1])
+        return None
+
+
+class Span:
+    """One timed operation in one component.
+
+    ``start``/``end`` are clock timestamps (seconds); ``end`` is None
+    while the span is open.  ``attrs`` carries operation-specific data
+    (task ids, batch sizes, byte counts).
+    """
+
+    __slots__ = (
+        "name",
+        "component",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start",
+        "end",
+        "attrs",
+        "status",
+        "thread",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        component: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: str | None,
+        start: float,
+        end: float | None = None,
+        attrs: dict[str, Any] | None = None,
+        status: str = STATUS_OK,
+        thread: str = "",
+    ) -> None:
+        self.name = name
+        self.component = component
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end = end
+        self.attrs = attrs if attrs is not None else {}
+        self.status = status
+        self.thread = thread
+
+    @property
+    def context(self) -> SpanContext:
+        """This span's propagatable context."""
+        return SpanContext(self.trace_id, self.span_id)
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def duration(self) -> float:
+        """Elapsed seconds; 0.0 while still open."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (used by the exporters)."""
+        return {
+            "name": self.name,
+            "component": self.component,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "attrs": self.attrs,
+            "status": self.status,
+            "thread": self.thread,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        return cls(
+            name=data["name"],
+            component=data.get("component", ""),
+            trace_id=data["trace_id"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            start=float(data["start"]),
+            end=None if data.get("end") is None else float(data["end"]),
+            attrs=dict(data.get("attrs", {})),
+            status=data.get("status", STATUS_OK),
+            thread=data.get("thread", ""),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, component={self.component!r}, "
+            f"start={self.start:.6f}, dur={self.duration():.6f})"
+        )
+
+
+class _NoopSpan:
+    """Stand-in yielded by a disabled tracer: absorbs attribute writes."""
+
+    __slots__ = ()
+
+    context: SpanContext | None = None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _NoopHandle:
+    """Reusable no-op context manager (stateless, hence shareable)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NOOP_HANDLE = _NoopHandle()
+
+
+class _SpanHandle:
+    """Context manager for one live span: finishes it on exit and
+    records an error status when the body raises."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if exc is not None:
+            self._span.status = STATUS_ERROR
+            self._span.attrs.setdefault("error", f"{type(exc).__name__}: {exc}")
+        self._tracer.end_span(self._span)
+        return False
+
+
+class Tracer:
+    """Records spans against an injected clock.
+
+    Thread-safe: any number of threads may open spans concurrently; each
+    thread gets its own implicit-parent stack.  ``max_spans`` bounds
+    memory — spans beyond it are counted in :attr:`dropped` rather than
+    stored, so a forgotten enabled tracer cannot exhaust memory.
+    """
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        enabled: bool = True,
+        max_spans: int = 200_000,
+    ) -> None:
+        self._clock = clock if clock is not None else SystemClock()
+        self._enabled = enabled
+        self._max_spans = max_spans
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._local = threading.local()
+        self.dropped = 0
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    @property
+    def clock(self) -> Clock:
+        return self._clock
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current_context(self) -> SpanContext | None:
+        """The innermost open span's context on this thread, if any."""
+        stack = self._stack()
+        return stack[-1].context if stack else None
+
+    # -- span creation ----------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        component: str = "",
+        parent: SpanContext | None = None,
+        **attrs: Any,
+    ) -> _SpanHandle | _NoopHandle:
+        """Open a span as a context manager.
+
+        ``parent`` overrides the implicit (thread-local) parent — pass
+        the propagated context when the logical parent lives in another
+        thread or process.  When tracing is disabled this returns a
+        shared no-op handle without allocating.
+        """
+        if not self._enabled:
+            return _NOOP_HANDLE
+        span = self.start_span(name, component, parent=parent, _push=True, **attrs)
+        assert span is not None
+        return _SpanHandle(self, span)
+
+    def start_span(
+        self,
+        name: str,
+        component: str = "",
+        parent: SpanContext | None = None,
+        _push: bool = False,
+        **attrs: Any,
+    ) -> Span | None:
+        """Open a span without a context manager (for spans whose end is
+        observed in a different callback, e.g. an async dispatch).
+
+        The caller must pass the span to :meth:`end_span`.  Returns None
+        when tracing is disabled (``end_span(None)`` is a no-op, so call
+        sites stay branch-free).  Spans opened this way do NOT become
+        the implicit parent of nested spans unless opened via
+        :meth:`span`.
+        """
+        if not self._enabled:
+            return None
+        if parent is None:
+            stack = self._stack()
+            parent = stack[-1].context if stack else None
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            trace_id, parent_id = _new_id(), None
+        span = Span(
+            name=name,
+            component=component,
+            trace_id=trace_id,
+            span_id=_new_id(),
+            parent_id=parent_id,
+            start=self._clock.now(),
+            attrs=dict(attrs) if attrs else {},
+            thread=threading.current_thread().name,
+        )
+        if _push:
+            self._stack().append(span)
+        return span
+
+    def end_span(self, span: Span | None) -> None:
+        """Close and record a span (None is ignored; double-end is too)."""
+        if span is None or span.end is not None:
+            return
+        span.end = self._clock.now()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        self._record(span)
+
+    def add_span(
+        self,
+        name: str,
+        component: str,
+        start: float,
+        end: float,
+        parent: SpanContext | None = None,
+        trace_id: str | None = None,
+        attrs: dict[str, Any] | None = None,
+        status: str = STATUS_OK,
+    ) -> Span | None:
+        """Record an already-completed span retroactively.
+
+        Used where instrumented code only learns after the fact that an
+        interval was interesting (a fetch that actually returned tasks,
+        a finished transfer).  Timestamps must come from the same clock
+        the tracer uses for live spans to keep exports aligned.
+        """
+        if not self._enabled:
+            return None
+        if parent is not None:
+            tid, parent_id = parent.trace_id, parent.span_id
+        else:
+            tid, parent_id = (trace_id if trace_id is not None else _new_id()), None
+        span = Span(
+            name=name,
+            component=component,
+            trace_id=tid,
+            span_id=_new_id(),
+            parent_id=parent_id,
+            start=start,
+            end=end,
+            attrs=dict(attrs) if attrs else {},
+            status=status,
+            thread=threading.current_thread().name,
+        )
+        self._record(span)
+        return span
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) >= self._max_spans:
+                self.dropped += 1
+                return
+            self._spans.append(span)
+
+    # -- decorator --------------------------------------------------------
+
+    def traced(self, name: str | None = None, component: str = "") -> Callable[[F], F]:
+        """Decorator form: ``@tracer.traced(component="store")``."""
+
+        def decorate(fn: F) -> F:
+            span_name = name if name is not None else fn.__qualname__
+
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                if not self._enabled:
+                    return fn(*args, **kwargs)
+                with self.span(span_name, component):
+                    return fn(*args, **kwargs)
+
+            wrapper.__name__ = fn.__name__
+            wrapper.__qualname__ = fn.__qualname__
+            wrapper.__doc__ = fn.__doc__
+            return wrapper  # type: ignore[return-value]
+
+        return decorate
+
+    # -- inspection -------------------------------------------------------
+
+    def spans(self, component: str | None = None) -> list[Span]:
+        """A start-time-sorted snapshot of recorded (finished) spans."""
+        with self._lock:
+            spans = list(self._spans)
+        if component is not None:
+            spans = [s for s in spans if s.component == component]
+        spans.sort(key=lambda s: s.start)
+        return spans
+
+    def components(self) -> list[str]:
+        """Distinct components seen, in first-recorded order."""
+        seen: dict[str, None] = {}
+        with self._lock:
+            for span in self._spans:
+                seen.setdefault(span.component, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        """Drop all recorded spans (multi-run reuse)."""
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+# -- context propagation helpers ----------------------------------------------
+
+
+def inject(ctx: SpanContext | None) -> list[str] | None:
+    """Wire form of a context (None passes through)."""
+    return None if ctx is None else ctx.to_wire()
+
+
+def extract(data: Any) -> SpanContext | None:
+    """Context from wire form (None / malformed → None)."""
+    return SpanContext.from_wire(data)
+
+
+# -- global default tracer ----------------------------------------------------
+
+#: The process-wide default tracer.  Disabled out of the box so that all
+#: inline instrumentation is free until a run opts in.
+_global_tracer = Tracer(enabled=False)
+_global_lock = threading.Lock()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return _global_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the default; returns the previous one."""
+    global _global_tracer
+    with _global_lock:
+        previous = _global_tracer
+        _global_tracer = tracer
+        return previous
+
+
+def configure_tracing(
+    clock: Clock | None = None,
+    enabled: bool = True,
+    max_spans: int = 200_000,
+) -> Tracer:
+    """Create and install a fresh default tracer; returns it.
+
+    Pass the same ``clock`` instance to the components under trace
+    (EQSQL, pools, broker, transfer client) so every timestamp in the
+    run shares one timebase.
+    """
+    tracer = Tracer(clock=clock, enabled=enabled, max_spans=max_spans)
+    set_tracer(tracer)
+    return tracer
+
+
+def span_tree(spans: Sequence[Span]) -> dict[str | None, list[Span]]:
+    """Index spans by parent id (None key = roots) for tree walks."""
+    children: dict[str | None, list[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+    return children

@@ -19,6 +19,12 @@ import threading
 from dataclasses import dataclass, field
 
 from repro.transfer.endpoint import TransferEndpoint
+from repro.telemetry.tracing import (
+    STATUS_ERROR,
+    STATUS_OK,
+    SpanContext,
+    get_tracer,
+)
 from repro.util.clock import Clock, SystemClock
 from repro.util.errors import NotFoundError, TimeoutError_, TransferError
 from repro.util.ids import short_id
@@ -140,8 +146,15 @@ class TransferClient:
         )
         with self._lock:
             self._tasks[task.task_id] = task
+        # The transfer runs on its own thread; capture the submitter's
+        # span context here so the transfer.run span parents under it.
+        tracer = get_tracer()
+        parent = tracer.current_context() if tracer.enabled else None
         thread = threading.Thread(
-            target=self._run_transfer, args=(task,), name=task.task_id, daemon=True
+            target=self._run_transfer,
+            args=(task, parent),
+            name=task.task_id,
+            daemon=True,
         )
         thread.start()
         return task
@@ -153,7 +166,9 @@ class TransferClient:
             except KeyError:
                 raise NotFoundError(f"unknown transfer task {task_id!r}") from None
 
-    def _run_transfer(self, task: TransferTask) -> None:
+    def _run_transfer(
+        self, task: TransferTask, parent: SpanContext | None = None
+    ) -> None:
         try:
             src = self.endpoint(task.source)
             dst = self.endpoint(task.destination)
@@ -170,6 +185,27 @@ class TransferClient:
             task.error = str(exc)
         finally:
             task.finished_at = self._clock.now()
+            # Retroactive: the task's own timestamps (shared clock with
+            # the tracer) make the staging interval a first-class span.
+            get_tracer().add_span(
+                "transfer.run",
+                "transfer",
+                task.started_at,
+                task.finished_at,
+                parent=parent,
+                attrs={
+                    "task_id": task.task_id,
+                    "source": task.source,
+                    "destination": task.destination,
+                    "bytes": task.bytes_transferred,
+                    "items": len(task.items),
+                },
+                status=(
+                    STATUS_ERROR
+                    if task.state == TransferState.FAILED
+                    else STATUS_OK
+                ),
+            )
             task._done.set()
 
     def _await_online(

@@ -1,0 +1,118 @@
+"""Structured logging helpers (the DESIGN.md §3 logging utility).
+
+All repro diagnostics flow through loggers beneath the ``repro`` root:
+``get_logger(__name__)`` in a module, :func:`log_event` at call sites.
+An *event* is a dotted name plus key=value fields — grep-able as text,
+machine-parseable as JSON lines when configured with ``json_lines=True``
+— so tracer/metrics diagnostics ("trace saved", "spans dropped") read
+the same way as any other subsystem's.
+
+The library attaches no handlers on import (standard library-style
+hygiene): applications and the CLI call :func:`configure_logging`;
+everything stays silent otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, TextIO
+
+#: The root of the package's logger hierarchy.
+ROOT_LOGGER = "repro"
+
+#: Attribute carrying structured fields on a LogRecord.
+_FIELDS_ATTR = "repro_fields"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    ``get_logger("repro.telemetry.export")`` and
+    ``get_logger("telemetry.export")`` name the same logger, so modules
+    can pass ``__name__`` unchanged.
+    """
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    if " " in text or "=" in text or '"' in text:
+        return json.dumps(text)
+    return text
+
+
+class StructuredFormatter(logging.Formatter):
+    """``time level event key=value ...`` text lines."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = f"{self.formatTime(record)} {record.levelname} {record.getMessage()}"
+        fields: dict[str, Any] | None = getattr(record, _FIELDS_ATTR, None)
+        if fields:
+            pairs = " ".join(f"{k}={_format_value(v)}" for k, v in fields.items())
+            base = f"{base} {pairs}"
+        if record.exc_info:
+            base = f"{base}\n{self.formatException(record.exc_info)}"
+        return base
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record: ``{"level", "logger", "event", ...}``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "time": self.formatTime(record),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields: dict[str, Any] | None = getattr(record, _FIELDS_ATTR, None)
+        if fields:
+            for key, value in fields.items():
+                payload.setdefault(key, value)
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def configure_logging(
+    level: int | str = logging.INFO,
+    stream: TextIO | None = None,
+    json_lines: bool = False,
+) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` root logger.
+
+    Idempotent: reconfiguring replaces the previously attached handler
+    rather than stacking duplicates.  Returns the root logger.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(level)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLinesFormatter() if json_lines else StructuredFormatter())
+    for existing in list(root.handlers):
+        root.removeHandler(existing)
+    root.addHandler(handler)
+    root.propagate = False
+    return root
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    level: int = logging.INFO,
+    **fields: Any,
+) -> None:
+    """Emit one structured event: a dotted name plus key=value fields.
+
+    ``log_event(log, "trace.saved", path=path, spans=n)`` renders as
+    ``... INFO trace.saved path=trace.json spans=412`` (or as a JSON
+    line under ``json_lines=True``).  Cheap when the level is off: the
+    usual ``isEnabledFor`` short-circuit applies.
+    """
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={_FIELDS_ATTR: fields})

@@ -1,0 +1,156 @@
+"""Tests for trace-context propagation along the task payload path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.eqsql import init_eqsql
+from repro.core.task import (
+    TRACE_KEY,
+    TaskRecord,
+    record_from_message,
+    unwrap_payload,
+    wrap_payload,
+)
+from repro.telemetry.tracing import SpanContext, Tracer
+from repro.util.clock import SystemClock
+
+
+class TestEnvelope:
+    def test_round_trip(self):
+        ctx = SpanContext("trace-1", "span-1")
+        payload = json.dumps({"x": 3})
+        inner, restored = unwrap_payload(wrap_payload(payload, ctx))
+        assert inner == payload
+        assert restored == ctx
+
+    def test_plain_payload_passes_through(self):
+        for payload in ('{"x": 1}', "EQ_STOP", "", "plain text"):
+            assert unwrap_payload(payload) == (payload, None)
+
+    def test_envelope_lookalike_not_corrupted(self):
+        # A payload starting with the marker but not parseable as an
+        # envelope must come back byte-identical.
+        lookalike = '{"' + TRACE_KEY + '": "not json...'
+        assert unwrap_payload(lookalike) == (lookalike, None)
+
+    def test_envelope_with_non_string_inner_untouched(self):
+        weird = json.dumps({TRACE_KEY: ["a", "b"], "p": 42})
+        assert unwrap_payload(weird) == (weird, None)
+
+    def test_envelope_with_bad_context_still_unwraps(self):
+        enveloped = json.dumps({TRACE_KEY: ["only-one"], "p": "data"})
+        inner, ctx = unwrap_payload(enveloped)
+        assert inner == "data"
+        assert ctx is None
+
+    def test_wrap_emits_marker_first(self):
+        # The unwrap fast path depends on the marker being the literal
+        # prefix of the envelope string.
+        enveloped = wrap_payload("x", SpanContext("t", "s"))
+        assert enveloped.startswith('{"' + TRACE_KEY + '"')
+
+
+class TestRecordFromMessage:
+    def test_with_trace(self):
+        message = {"eq_task_id": 5, "payload": "data", "trace": ["t", "s"]}
+        record = record_from_message(message, eq_type=2)
+        assert record == TaskRecord(5, 2, "data", SpanContext("t", "s"))
+
+    def test_without_trace(self):
+        record = record_from_message({"eq_task_id": 1, "payload": "p"}, eq_type=0)
+        assert record.trace is None
+
+
+class TestEqsqlPropagation:
+    def test_disabled_tracer_leaves_payload_bare(self):
+        eq = init_eqsql()
+        future = eq.submit_task("exp", 0, '{"x": 1}')
+        row = eq.task_info(future.eq_task_id)
+        assert row.json_out == '{"x": 1}'
+        message = eq.query_task(0, timeout=0)
+        assert message["payload"] == '{"x": 1}'
+        assert "trace" not in message
+        eq.close()
+
+    def test_enabled_tracer_wraps_and_unwraps(self):
+        tracer = Tracer(clock=SystemClock())
+        eq = init_eqsql(tracer=tracer)
+        with tracer.span("driver.run", component="driver") as root:
+            future = eq.submit_task("exp", 0, '{"x": 1}')
+        # The stored payload is the envelope (context rides in the DB)…
+        stored = eq.task_info(future.eq_task_id).json_out
+        assert stored.startswith('{"' + TRACE_KEY + '"')
+        # …but consumers get the original payload plus the wire context.
+        message = eq.query_task(0, timeout=0)
+        assert message["payload"] == '{"x": 1}'
+        ctx = SpanContext.from_wire(message["trace"])
+        assert ctx is not None
+        assert ctx.trace_id == root.trace_id
+        eq.close()
+
+    def test_submit_span_is_the_message_parent(self):
+        tracer = Tracer(clock=SystemClock())
+        eq = init_eqsql(tracer=tracer)
+        eq.submit_task("exp", 0, "payload")
+        (submit_span,) = [s for s in tracer.spans() if s.name == "eqsql.submit"]
+        message = eq.query_task(0, timeout=0)
+        assert message["trace"] == [submit_span.trace_id, submit_span.span_id]
+        eq.close()
+
+    def test_batch_submission_shares_one_context(self):
+        tracer = Tracer(clock=SystemClock())
+        eq = init_eqsql(tracer=tracer)
+        eq.submit_tasks("exp", 0, ["a", "b", "c"])
+        messages = eq.query_task(0, n=3, timeout=0)
+        contexts = {tuple(m["trace"]) for m in messages}
+        assert len(contexts) == 1
+        assert {m["payload"] for m in messages} == {"a", "b", "c"}
+        eq.close()
+
+    def test_sqlite_round_trip(self, tmp_path):
+        # The envelope is just payload bytes: it must survive a real
+        # file-backed store identically.
+        tracer = Tracer(clock=SystemClock())
+        eq = init_eqsql(str(tmp_path / "tasks.db"), tracer=tracer)
+        eq.submit_task("exp", 0, '{"deep": {"nested": [1, 2]}}')
+        message = eq.query_task(0, timeout=0)
+        assert json.loads(message["payload"]) == {"deep": {"nested": [1, 2]}}
+        assert SpanContext.from_wire(message["trace"]) is not None
+        eq.close()
+
+    def test_report_and_result_unaffected(self):
+        tracer = Tracer(clock=SystemClock())
+        eq = init_eqsql(tracer=tracer)
+        future = eq.submit_task("exp", 0, "in")
+        message = eq.query_task(0, timeout=0)
+        eq.report_task(message["eq_task_id"], 0, "out")
+        status, result = future.result(timeout=1)
+        assert result == "out"
+        eq.close()
+
+    def test_priority_ops_traced(self):
+        tracer = Tracer(clock=SystemClock())
+        eq = init_eqsql(tracer=tracer)
+        futures = eq.submit_tasks("exp", 0, ["a", "b"])
+        ids = [f.eq_task_id for f in futures]
+        eq.update_priorities(ids, 5)
+        eq.cancel_tasks(ids)
+        names = {s.name for s in tracer.spans()}
+        assert "eqsql.update_priorities" in names
+        assert "eqsql.cancel" in names
+        eq.close()
+
+    @pytest.mark.parametrize("payload", ["EQ_STOP", "EQ_ABORT"])
+    def test_sentinels_never_wrapped(self, payload):
+        # Pools compare the fetched payload against the sentinel string;
+        # wrapping would break shutdown.  Sentinels are submitted like
+        # any payload, so this documents that unwrapping restores them.
+        tracer = Tracer(clock=SystemClock())
+        eq = init_eqsql(tracer=tracer)
+        eq.submit_task("exp", 0, payload)
+        message = eq.query_task(0, timeout=0)
+        assert message["payload"] == payload
+        eq.close()

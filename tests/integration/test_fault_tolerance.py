@@ -12,8 +12,6 @@ from __future__ import annotations
 
 import json
 
-import pytest
-
 from repro.core import EQSQL, as_completed
 from repro.core.recovery import recover_pool
 from repro.db import MemoryTaskStore, SqliteTaskStore

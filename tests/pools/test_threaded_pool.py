@@ -7,7 +7,7 @@ import json
 import pytest
 
 from repro.core import EQSQL, EQ_STOP, ResultStatus, as_completed
-from repro.core.constants import EQ_ABORT, TaskStatus
+from repro.core.constants import EQ_ABORT
 from repro.db import MemoryTaskStore
 from repro.pools import PoolConfig, PythonTaskHandler, ThreadedWorkerPool
 from repro.telemetry import EventKind, TraceCollector

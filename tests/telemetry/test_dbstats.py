@@ -72,9 +72,6 @@ class TestTaskTimingStats:
 
     def test_matches_des_scenario(self):
         """DB stats over a full DES run agree with the runtime model."""
-        from repro.sim import Fig3Config, run_fig3_panel
-        from repro.sim.workload import RuntimeModel
-
         # A dedicated run we can introspect: rebuild the pieces inline.
         from repro.db import MemoryTaskStore as Store_
         from repro.sim import SimPoolConfig, SimWorkerPool

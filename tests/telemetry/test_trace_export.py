@@ -1,0 +1,156 @@
+"""Tests for span exporters: JSONL, Chrome trace_event, breakdown."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.trace_export import (
+    chrome_trace,
+    latency_breakdown,
+    load_spans,
+    render_latency_breakdown,
+    save_chrome_trace,
+    save_spans,
+    spans_from_lines,
+    spans_to_lines,
+)
+from repro.telemetry.tracing import SpanContext, Tracer
+from repro.util.clock import VirtualClock
+from repro.util.errors import SerializationError
+
+
+def _sample_tracer() -> Tracer:
+    clock = VirtualClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("driver.run", component="driver"):
+        clock.advance(1.0)
+        with tracer.span("eqsql.submit", component="eqsql", eq_task_id=1):
+            clock.advance(0.5)
+        clock.advance(2.0)
+    tracer.add_span(
+        "pool.fetch", "pool", 1.5, 2.0, parent=SpanContext("t1", "s1"), attrs={"n": 3}
+    )
+    return tracer
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        tracer = _sample_tracer()
+        spans = tracer.spans()
+        restored = spans_from_lines(spans_to_lines(spans))
+        assert [s.to_dict() for s in restored] == [s.to_dict() for s in spans]
+
+    def test_file_round_trip(self, tmp_path):
+        tracer = _sample_tracer()
+        path = tmp_path / "spans.jsonl"
+        count = save_spans(tracer, path)
+        assert count == 3
+        assert [s.to_dict() for s in load_spans(path)] == [
+            s.to_dict() for s in tracer.spans()
+        ]
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SerializationError):
+            spans_from_lines([])
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(SerializationError):
+            spans_from_lines(['{"format": "something-else"}'])
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(SerializationError):
+            spans_from_lines(['{"format": "repro-spans", "version": 99}'])
+
+    def test_bad_span_line_rejected(self):
+        lines = ['{"format": "repro-spans", "version": 1}', '{"nope": true}']
+        with pytest.raises(SerializationError, match="line 2"):
+            spans_from_lines(lines)
+
+    def test_blank_lines_skipped(self):
+        lines = spans_to_lines(_sample_tracer().spans())
+        lines.insert(1, "")
+        assert len(spans_from_lines(lines)) == 3
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        document = chrome_trace(_sample_tracer())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == 3
+        # One process_name per component + one thread_name per thread.
+        assert {e["name"] for e in metadata} == {"process_name", "thread_name"}
+        process_names = {
+            e["args"]["name"] for e in metadata if e["name"] == "process_name"
+        }
+        assert process_names == {"driver", "eqsql", "pool"}
+
+    def test_timestamps_in_microseconds(self):
+        document = chrome_trace(_sample_tracer())
+        submit = next(
+            e for e in document["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "eqsql.submit"
+        )
+        assert submit["ts"] == pytest.approx(1.0 * 1e6)
+        assert submit["dur"] == pytest.approx(0.5 * 1e6)
+
+    def test_args_carry_span_identity(self):
+        document = chrome_trace(_sample_tracer())
+        events = {e["name"]: e for e in document["traceEvents"] if e["ph"] == "X"}
+        run = events["driver.run"]
+        submit = events["eqsql.submit"]
+        assert submit["args"]["parent_id"] == run["args"]["span_id"]
+        assert submit["args"]["trace_id"] == run["args"]["trace_id"]
+        assert submit["args"]["eq_task_id"] == 1
+        fetch = events["pool.fetch"]
+        assert fetch["args"]["parent_id"] == "s1"
+        assert fetch["args"]["n"] == 3
+
+    def test_components_get_distinct_pids(self):
+        document = chrome_trace(_sample_tracer())
+        pids = {
+            e["cat"]: e["pid"] for e in document["traceEvents"] if e["ph"] == "X"
+        }
+        assert len(set(pids.values())) == len(pids)
+
+    def test_save_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = save_chrome_trace(_sample_tracer(), path)
+        document = json.loads(path.read_text())
+        assert len(document["traceEvents"]) == count
+
+    def test_open_spans_excluded(self):
+        tracer = Tracer(clock=VirtualClock())
+        open_span = tracer.start_span("open", component="c")
+        assert open_span is not None
+        document = chrome_trace([open_span])
+        assert [e for e in document["traceEvents"] if e["ph"] == "X"] == []
+
+
+class TestLatencyBreakdown:
+    def test_grouping_and_order(self):
+        tracer = Tracer(clock=VirtualClock())
+        for duration in (1.0, 3.0):
+            tracer.add_span("op.slow", "a", 0.0, duration)
+        tracer.add_span("op.fast", "b", 0.0, 0.5)
+        rows = latency_breakdown(tracer)
+        assert [r["operation"] for r in rows] == ["op.slow", "op.fast"]
+        slow = rows[0]
+        assert slow["count"] == 2
+        assert slow["total_s"] == pytest.approx(4.0)
+        assert slow["mean_s"] == pytest.approx(2.0)
+        assert slow["p50_s"] == pytest.approx(2.0)
+        assert slow["max_s"] == pytest.approx(3.0)
+
+    def test_render_contains_all_columns(self):
+        text = render_latency_breakdown(_sample_tracer())
+        for column in ("component", "operation", "count", "p95_s"):
+            assert column in text
+        assert "driver.run" in text
+
+    def test_empty_source(self):
+        assert latency_breakdown([]) == []

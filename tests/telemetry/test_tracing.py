@@ -1,0 +1,309 @@
+"""Tests for the span/tracer core: nesting, propagation, overhead."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.tracing import (
+    STATUS_ERROR,
+    STATUS_OK,
+    Span,
+    SpanContext,
+    Tracer,
+    configure_tracing,
+    extract,
+    get_tracer,
+    inject,
+    set_tracer,
+    span_tree,
+)
+from repro.util.clock import VirtualClock
+
+
+class TestSpanContext:
+    def test_wire_round_trip(self):
+        ctx = SpanContext("t" * 16, "s" * 16)
+        assert SpanContext.from_wire(ctx.to_wire()) == ctx
+
+    @pytest.mark.parametrize(
+        "bad",
+        [None, [], ["only-one"], ["a", "b", "c"], ["", "b"], [1, 2], "ab", {"a": 1}],
+    )
+    def test_malformed_wire_is_none(self, bad):
+        assert SpanContext.from_wire(bad) is None
+
+    def test_inject_extract(self):
+        ctx = SpanContext("abc", "def")
+        assert extract(inject(ctx)) == ctx
+        assert inject(None) is None
+        assert extract(None) is None
+
+
+class TestSpanLifecycle:
+    def test_context_manager_records_span(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("op", component="test", k=1) as sp:
+            clock.advance(2.0)
+            sp.set_attr("extra", "v")
+        spans = tracer.spans()
+        assert len(spans) == 1
+        span = spans[0]
+        assert span.name == "op"
+        assert span.component == "test"
+        assert span.duration() == pytest.approx(2.0)
+        assert span.attrs == {"k": 1, "extra": "v"}
+        assert span.status == STATUS_OK
+
+    def test_exception_marks_error_status(self):
+        tracer = Tracer(clock=VirtualClock())
+        with pytest.raises(ValueError):
+            with tracer.span("boom", component="test"):
+                raise ValueError("bad")
+        (span,) = tracer.spans()
+        assert span.status == STATUS_ERROR
+        assert "ValueError" in span.attrs["error"]
+
+    def test_implicit_nesting_same_thread(self):
+        tracer = Tracer(clock=VirtualClock())
+        with tracer.span("outer", component="a") as outer:
+            with tracer.span("inner", component="b") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert inner.trace_id == outer.trace_id
+
+    def test_explicit_parent_overrides_stack(self):
+        tracer = Tracer(clock=VirtualClock())
+        remote = SpanContext("remote-trace", "remote-span")
+        with tracer.span("local", component="a"):
+            with tracer.span("child", component="b", parent=remote) as child:
+                pass
+        assert child.trace_id == "remote-trace"
+        assert child.parent_id == "remote-span"
+
+    def test_start_end_span_without_stack(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock)
+        span = tracer.start_span("dispatch", component="pool")
+        clock.advance(1.0)
+        # Not pushed: a concurrent span must not nest under it.
+        with tracer.span("unrelated", component="x") as other:
+            pass
+        assert other.parent_id is None
+        tracer.end_span(span)
+        assert span.duration() == pytest.approx(1.0)
+        tracer.end_span(span)  # double-end is a no-op
+        assert len(tracer.spans()) == 2
+
+    def test_add_span_retroactive(self):
+        tracer = Tracer(clock=VirtualClock())
+        parent = SpanContext("tid", "pid")
+        span = tracer.add_span("fetch", "pool", 1.0, 3.5, parent=parent, attrs={"n": 4})
+        assert span.duration() == pytest.approx(2.5)
+        assert span.trace_id == "tid" and span.parent_id == "pid"
+        assert tracer.spans()[0] is span
+
+    def test_traced_decorator(self):
+        tracer = Tracer(clock=VirtualClock())
+
+        @tracer.traced(component="math")
+        def double(x):
+            return 2 * x
+
+        assert double(4) == 8
+        (span,) = tracer.spans()
+        assert span.component == "math"
+        assert "double" in span.name
+
+    def test_span_dict_round_trip(self):
+        tracer = Tracer(clock=VirtualClock())
+        with tracer.span("op", component="c", n=3):
+            pass
+        (span,) = tracer.spans()
+        clone = Span.from_dict(span.to_dict())
+        assert clone.to_dict() == span.to_dict()
+
+
+class TestDisabledTracer:
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("op", component="c") as sp:
+            sp.set_attr("ignored", 1)
+        assert tracer.start_span("x") is None
+        tracer.end_span(None)
+        assert tracer.add_span("y", "c", 0.0, 1.0) is None
+        assert len(tracer) == 0
+
+    def test_disabled_span_handle_is_shared(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_noop_span_context_is_none(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("a") as sp:
+            assert sp.context is None
+
+    def test_global_default_disabled(self):
+        assert get_tracer().enabled is False
+
+
+class TestBounds:
+    def test_max_spans_drops_overflow(self):
+        tracer = Tracer(clock=VirtualClock(), max_spans=3)
+        for i in range(5):
+            tracer.add_span(f"s{i}", "c", 0.0, 1.0)
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+    def test_components_in_first_seen_order(self):
+        tracer = Tracer(clock=VirtualClock())
+        for component in ("b", "a", "b", "c"):
+            tracer.add_span("op", component, 0.0, 1.0)
+        assert tracer.components() == ["b", "a", "c"]
+
+
+class TestThreadIsolation:
+    def test_stacks_are_per_thread(self):
+        tracer = Tracer(clock=VirtualClock())
+        seen: dict[str, str | None] = {}
+        barrier = threading.Barrier(2)
+
+        def worker(name: str):
+            with tracer.span(f"root-{name}", component="t") as root:
+                barrier.wait()
+                with tracer.span(f"child-{name}", component="t") as child:
+                    seen[name] = (child.parent_id, root.span_id)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for parent_id, root_id in seen.values():
+            assert parent_id == root_id
+
+    def test_cross_thread_context_handoff(self):
+        tracer = Tracer(clock=VirtualClock())
+        results = {}
+
+        def worker(ctx):
+            with tracer.span("remote", component="pool", parent=ctx) as sp:
+                results["trace_id"] = sp.trace_id
+                results["parent_id"] = sp.parent_id
+
+        with tracer.span("submit", component="eqsql") as sp:
+            ctx = sp.context
+        t = threading.Thread(target=worker, args=(ctx,))
+        t.start()
+        t.join()
+        assert results["trace_id"] == ctx.trace_id
+        assert results["parent_id"] == ctx.span_id
+
+
+class TestGlobals:
+    def test_set_tracer_returns_previous(self):
+        original = get_tracer()
+        replacement = Tracer(enabled=False)
+        try:
+            assert set_tracer(replacement) is original
+            assert get_tracer() is replacement
+        finally:
+            set_tracer(original)
+
+    def test_configure_tracing_installs(self):
+        original = get_tracer()
+        try:
+            clock = VirtualClock()
+            tracer = configure_tracing(clock=clock, enabled=True, max_spans=10)
+            assert get_tracer() is tracer
+            assert tracer.clock is clock
+        finally:
+            set_tracer(original)
+
+
+class TestSpanTree:
+    def test_tree_indexing(self):
+        tracer = Tracer(clock=VirtualClock())
+        with tracer.span("root", component="a") as root:
+            with tracer.span("child1", component="a"):
+                pass
+            with tracer.span("child2", component="a"):
+                pass
+        tree = span_tree(tracer.spans())
+        assert {s.name for s in tree[root.span_id]} == {"child1", "child2"}
+        assert [s.name for s in tree[None]] == ["root"]
+
+
+# -- property-based: nesting and monotonicity under virtual time --------------
+
+# Each action: (advance dt, depth delta). The interpreter keeps depth
+# valid (never closes below zero) and closes remaining spans at the end.
+_ACTIONS = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        st.sampled_from([1, 1, 1, -1, -1, 0]),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestTracingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(actions=_ACTIONS)
+    def test_nesting_and_timestamps_are_consistent(self, actions):
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock)
+        open_handles = []
+        counter = 0
+        for dt, delta in actions:
+            clock.advance(dt)
+            if delta == 1:
+                handle = tracer.span(f"op-{counter}", component="prop")
+                handle.__enter__()
+                open_handles.append(handle)
+                counter += 1
+            elif delta == -1 and open_handles:
+                open_handles.pop().__exit__(None, None, None)
+        while open_handles:
+            clock.advance(0.5)
+            open_handles.pop().__exit__(None, None, None)
+
+        spans = tracer.spans()
+        assert len(spans) == counter
+        by_id = {s.span_id: s for s in spans}
+        for span in spans:
+            # Timestamps are monotone under the virtual clock.
+            assert span.end is not None
+            assert span.end >= span.start
+            if span.parent_id is not None:
+                parent = by_id[span.parent_id]
+                # A child opens no earlier and closes no later than its
+                # parent (stack discipline on one thread).
+                assert parent.start <= span.start
+                assert span.end <= parent.end
+                assert span.trace_id == parent.trace_id
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        intervals=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+            ),
+            max_size=20,
+        )
+    )
+    def test_spans_snapshot_sorted_by_start(self, intervals):
+        tracer = Tracer(clock=VirtualClock())
+        for start, duration in intervals:
+            tracer.add_span("op", "c", start, start + duration)
+        starts = [s.start for s in tracer.spans()]
+        assert starts == sorted(starts)

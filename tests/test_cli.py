@@ -53,6 +53,44 @@ class TestCli:
         second = capsys.readouterr().out
         assert first != second
 
+    def test_trace_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        spans_path = tmp_path / "spans.jsonl"
+        assert main(
+            ["trace", "--tasks", "8", "--out", str(out_path),
+             "--spans", str(spans_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chrome trace" in out
+        assert "latency breakdown" in out
+        document = json.loads(out_path.read_text())
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        components = {e["cat"] for e in events}
+        # The acceptance bar: the pipeline's major hops all appear.
+        assert {"driver", "eqsql", "service", "pool", "handler"} <= components
+        # Every parent reference resolves within the trace.
+        span_ids = {e["args"]["span_id"] for e in events}
+        for event in events:
+            parent = event["args"].get("parent_id")
+            assert parent is None or parent in span_ids
+        assert spans_path.exists()
+
+    def test_trace_restores_global_tracer(self):
+        from repro.telemetry.tracing import get_tracer
+
+        before = get_tracer()
+        main(["trace", "--tasks", "4", "--out", "/dev/null"])
+        assert get_tracer() is before
+
+    def test_metrics_prints_registry(self, capsys):
+        assert main(["metrics", "--tasks", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "pool.tasks_completed: 8" in out
+        assert "service.client.rtt_seconds" in out
+        assert "eqsql.tasks_submitted" in out
+
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             main([])

@@ -1,0 +1,124 @@
+"""Tests for the structured logging helper."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.util.logging import (
+    ROOT_LOGGER,
+    JsonLinesFormatter,
+    StructuredFormatter,
+    configure_logging,
+    get_logger,
+    log_event,
+)
+
+
+def _teardown_root() -> None:
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+class TestGetLogger:
+    def test_prefixes_bare_names(self):
+        assert get_logger("telemetry.export").name == "repro.telemetry.export"
+
+    def test_keeps_qualified_names(self):
+        assert get_logger("repro.core.service").name == "repro.core.service"
+        assert get_logger("repro").name == "repro"
+
+    def test_same_logger_both_spellings(self):
+        assert get_logger("core.x") is get_logger("repro.core.x")
+
+
+class TestConfigureLogging:
+    def test_text_output(self):
+        stream = io.StringIO()
+        try:
+            configure_logging(stream=stream)
+            log_event(get_logger("test.mod"), "task.done", eq_task_id=7, pool="p1")
+            line = stream.getvalue().strip()
+            assert "INFO task.done" in line
+            assert "eq_task_id=7" in line
+            assert "pool=p1" in line
+        finally:
+            _teardown_root()
+
+    def test_json_lines_output(self):
+        stream = io.StringIO()
+        try:
+            configure_logging(stream=stream, json_lines=True)
+            log_event(get_logger("test.mod"), "trace.saved", spans=3, path="t.json")
+            record = json.loads(stream.getvalue().strip())
+            assert record["event"] == "trace.saved"
+            assert record["spans"] == 3
+            assert record["level"] == "INFO"
+            assert record["logger"] == "repro.test.mod"
+        finally:
+            _teardown_root()
+
+    def test_reconfigure_does_not_stack_handlers(self):
+        try:
+            configure_logging(stream=io.StringIO())
+            configure_logging(stream=io.StringIO())
+            assert len(logging.getLogger(ROOT_LOGGER).handlers) == 1
+        finally:
+            _teardown_root()
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        try:
+            configure_logging(level=logging.WARNING, stream=stream)
+            log_event(get_logger("test.mod"), "quiet.event", level=logging.DEBUG)
+            assert stream.getvalue() == ""
+            log_event(get_logger("test.mod"), "loud.event", level=logging.ERROR)
+            assert "loud.event" in stream.getvalue()
+        finally:
+            _teardown_root()
+
+
+class TestFormatters:
+    def _record(self, **fields):
+        record = logging.LogRecord(
+            "repro.test", logging.INFO, __file__, 1, "my.event", (), None
+        )
+        if fields:
+            record.repro_fields = fields
+        return record
+
+    def test_structured_quotes_awkward_values(self):
+        text = StructuredFormatter().format(
+            self._record(message="two words", path="a=b")
+        )
+        assert 'message="two words"' in text
+        assert 'path="a=b"' in text
+
+    def test_structured_formats_floats_compactly(self):
+        text = StructuredFormatter().format(self._record(seconds=0.123456789))
+        assert "seconds=0.123457" in text
+
+    def test_json_formatter_event_key_wins(self):
+        # A field named "event" must not clobber the event name itself.
+        record = self._record(event="field-value")
+        payload = json.loads(JsonLinesFormatter().format(record))
+        assert payload["event"] == "my.event"
+
+    def test_json_formatter_serializes_unjsonable(self):
+        payload = json.loads(
+            JsonLinesFormatter().format(self._record(obj=object()))
+        )
+        assert "object" in payload["obj"]
+
+
+class TestSilentByDefault:
+    def test_no_handlers_from_import(self):
+        # The library must not attach handlers on import; only
+        # configure_logging does.
+        import repro  # noqa: F401
+
+        assert logging.getLogger(ROOT_LOGGER).handlers == []
