@@ -9,6 +9,7 @@ Usage::
     python -m repro gpr-ablation
     python -m repro trace [--tasks N] [--out trace.json] [--spans spans.jsonl]
     python -m repro metrics [--tasks N]
+    python -m repro chaos [--tasks N] [--sever-rate R] [--kill-pool]
 
 Every command prints the same text series the benchmark harness writes
 to ``benchmarks/reports/``, so a user can eyeball the reproduced figures
@@ -16,7 +17,9 @@ without running pytest.  ``trace`` runs a fully instrumented ME →
 service → pool workload and exports the spans (Chrome ``trace_event``
 JSON for Perfetto, optional JSONL, and a latency-breakdown table);
 ``metrics`` runs the same workload and prints the always-on counter /
-histogram registry.
+histogram registry; ``chaos`` runs the workload through a
+fault-injecting TCP proxy (random severs, optional mid-batch pool
+kill) and verifies zero lost or duplicated results.
 """
 
 from __future__ import annotations
@@ -234,6 +237,154 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the full pipeline through a fault-injecting proxy.
+
+    Everything the resilience layer claims is exercised at once: the
+    ME and the pool talk to the service through a :class:`ChaosProxy`
+    that randomly severs connections (plus periodic sever-all storms),
+    tasks are claimed under leases, the service runs a lease reaper,
+    and (with ``--kill-pool``) the first pool is killed mid-batch and a
+    replacement picks up the reaped tasks.  Exits non-zero if any
+    result was lost or duplicated.
+    """
+    import json
+    import random
+    import time
+
+    from repro.core.constants import TaskStatus
+    from repro.core.eqsql import EQSQL
+    from repro.core.service import TaskService
+    from repro.core.service_client import RemoteTaskStore, RetryPolicy
+    from repro.db.memory_backend import MemoryTaskStore
+    from repro.pools.config import PoolConfig
+    from repro.pools.handlers import PythonTaskHandler
+    from repro.pools.pool import ThreadedWorkerPool
+    from repro.telemetry.metrics import MetricsRegistry, set_metrics
+    from repro.testing.chaos import ChaosProxy
+
+    registry = MetricsRegistry()
+    previous_metrics = set_metrics(registry)
+    rng = random.Random(args.seed)
+    retry = RetryPolicy(max_attempts=12, base_delay=0.02, max_delay=0.25)
+
+    def make_pool(name: str, eq: EQSQL) -> ThreadedWorkerPool:
+        return ThreadedWorkerPool(
+            eq,
+            PythonTaskHandler(
+                lambda params: (time.sleep(0.02), {"y": params["x"] ** 2})[1]
+            ),
+            PoolConfig(
+                work_type=0,
+                n_workers=args.workers,
+                # Oversubscribe so a killed pool abandons claimed-but-
+                # unstarted tasks — the lease reaper's job to recover.
+                batch_size=args.workers * 2,
+                threshold=1,
+                name=name,
+                poll_delay=0.005,
+                lease_duration=args.lease,
+            ),
+        )
+
+    service = TaskService(
+        MemoryTaskStore(), lease_reaper_interval=args.lease / 4
+    ).start()
+    proxy = ChaosProxy(*service.address, rng=rng).start()
+    host, port = proxy.address
+    me_store = RemoteTaskStore(host, port, retry=retry, rng=rng)
+    pool_store = RemoteTaskStore(host, port, retry=retry, rng=rng)
+    me = EQSQL(me_store)
+    pools = [make_pool("chaos-pool-1", EQSQL(pool_store))]
+    lost = duplicated = severed_storms = 0
+    killed = False
+    try:
+        # Submission runs clean: create_tasks is non-idempotent, so a
+        # real ME would not blind-retry it (see DESIGN.md).  The chaos
+        # window covers claiming, execution, reporting, and collection.
+        futures = me.submit_tasks(
+            "chaos-demo", 0, [json.dumps({"x": x}) for x in range(args.tasks)]
+        )
+        task_ids = [f.eq_task_id for f in futures]
+        pools[0].start()
+        proxy.set_sever_rate(args.sever_rate)
+        deadline = time.time() + args.timeout
+        next_storm = time.time() + args.sever_every
+        while True:
+            statuses = me.query_status(task_ids)
+            n_complete = sum(
+                1 for _, s in statuses if s == TaskStatus.COMPLETE
+            )
+            if n_complete == len(task_ids):
+                break
+            if time.time() > deadline:
+                print(
+                    f"TIMEOUT: {n_complete}/{len(task_ids)} complete after "
+                    f"{args.timeout:.0f}s"
+                )
+                return 1
+            if args.kill_pool and not killed and n_complete >= args.tasks // 3:
+                # Abandon the first pool mid-batch: its unfinished tasks
+                # stay RUNNING until their leases lapse and the reaper
+                # requeues them for the replacement pool.
+                pools[0].stop(drain=False)
+                killed = True
+                replacement = make_pool("chaos-pool-2", EQSQL(me_store))
+                pools.append(replacement)
+                replacement.start()
+                print(
+                    f"killed chaos-pool-1 at {n_complete}/{args.tasks} "
+                    "complete; started chaos-pool-2"
+                )
+            if time.time() >= next_storm:
+                severed_storms += proxy.sever_all()
+                next_storm = time.time() + args.sever_every
+            time.sleep(0.05)
+        # Collect with chaos off: pop_in_any consumes results, and a
+        # lost response there is the one ambiguity retry cannot fix.
+        proxy.set_sever_rate(0.0)
+        results = me.store.pop_in_any(task_ids)
+        got = [task_id for task_id, _ in results]
+        lost = len(task_ids) - len(set(got))
+        duplicated = len(got) - len(set(got))
+    finally:
+        for pool in pools:
+            pool.stop(drain=False, timeout=5)
+        me_store.close()
+        pool_store.close()
+        proxy.stop()
+        service.stop()
+        set_metrics(previous_metrics)
+
+    def count(name: str) -> int:
+        metric = registry.get(name)
+        return int(metric.value) if metric is not None else 0
+
+    print(f"\n{args.tasks} tasks through a chaos proxy "
+          f"(sever_rate={args.sever_rate}, storm every {args.sever_every}s)\n")
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["results collected", len(set(got))],
+            ["results lost", lost],
+            ["results duplicated", duplicated],
+            ["proxy connections", proxy.connections_total],
+            ["connections severed", proxy.connections_severed],
+            ["client retries", count("service.client.retries")],
+            ["client reconnects", count("service.client.reconnects")],
+            ["leases requeued", count("leases.tasks_requeued")],
+            ["lease renewals", count("pool.lease_renewals")],
+            ["pool fetch errors", count("pool.fetch_errors")],
+            ["pool reports lost", count("pool.report_errors")],
+        ],
+    ))
+    if lost or duplicated:
+        print("\nFAIL: results lost or duplicated under chaos")
+        return 1
+    print("\nOK: zero lost, zero duplicated")
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.telemetry.metrics import MetricsRegistry, get_metrics, set_metrics
 
@@ -301,6 +452,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tasks", type=int, default=25, help="tasks to run (default 25)")
     p.add_argument("--workers", type=int, default=3, help="pool workers (default 3)")
     p.set_defaults(fn=_cmd_metrics)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run the workload through a fault-injecting proxy, verify no loss",
+    )
+    p.add_argument("--tasks", type=int, default=40, help="tasks to run (default 40)")
+    p.add_argument("--workers", type=int, default=4, help="pool workers (default 4)")
+    p.add_argument("--seed", type=int, default=2023, help="chaos seed")
+    p.add_argument("--sever-rate", type=float, default=0.02,
+                   help="per-chunk probability of severing a connection")
+    p.add_argument("--sever-every", type=float, default=0.75,
+                   help="seconds between sever-all storms (default 0.75)")
+    p.add_argument("--lease", type=float, default=1.0,
+                   help="task lease duration in seconds (default 1.0)")
+    p.add_argument("--kill-pool", action="store_true",
+                   help="kill the pool mid-batch and recover via the lease reaper")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="overall deadline in seconds (default 120)")
+    p.set_defaults(fn=_cmd_chaos)
 
     return parser
 

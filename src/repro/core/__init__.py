@@ -33,10 +33,13 @@ from repro.core.futures import (
     pop_completed,
     update_priority,
 )
+from repro.core.leases import LeaseReaper
 from repro.core.service import TaskService
-from repro.core.service_client import RemoteTaskStore
+from repro.core.service_client import RemoteTaskStore, RetryPolicy
 
 __all__ = [
+    "LeaseReaper",
+    "RetryPolicy",
     "DEFAULT_WORK_TYPE",
     "EQ_ABORT",
     "EQ_STOP",

@@ -251,6 +251,7 @@ class EQSQL:
         worker_pool: str = "default",
         delay: float = 0.5,
         timeout: float = 2.0,
+        lease: float | None = None,
     ) -> dict[str, Any] | list[dict[str, Any]]:
         """Pop up to ``n`` tasks of ``eq_type`` off the output queue.
 
@@ -258,10 +259,13 @@ class EQSQL:
         ``timeout`` expires.  Returns a single work message when
         ``n == 1``, a list of work messages when ``n > 1``, or the
         TIMEOUT status message when polling fails (paper §IV-C).
+        ``lease`` claims the tasks under a fault-tolerance lease of that
+        many seconds (see :meth:`repro.db.backend.TaskStore.pop_out`).
         """
         def attempt() -> list[tuple[int, str]] | None:
             popped = self._store.pop_out(
-                eq_type, n, worker_pool=worker_pool, now=self._clock.now()
+                eq_type, n, worker_pool=worker_pool, now=self._clock.now(),
+                lease=lease,
             )
             return popped if popped else None
 
@@ -295,6 +299,7 @@ class EQSQL:
         worker_pool: str = "default",
         delay: float = 0.5,
         timeout: float = 2.0,
+        lease: float | None = None,
     ) -> list[dict[str, Any]]:
         """Worker-pool batch query (paper §IV-D).
 
@@ -303,6 +308,7 @@ class EQSQL:
         until the deficit reaches ``threshold``; never more than
         ``batch_size - owned`` tasks are claimed.  Returns an empty list
         when the policy says not to fetch or the queue stays empty.
+        ``lease`` claims the batch under a fault-tolerance lease.
         """
         want = fetch_count(batch_size, threshold, owned)
         if want == 0:
@@ -310,7 +316,8 @@ class EQSQL:
 
         def attempt() -> list[tuple[int, str]] | None:
             popped = self._store.pop_out(
-                eq_type, want, worker_pool=worker_pool, now=self._clock.now()
+                eq_type, want, worker_pool=worker_pool, now=self._clock.now(),
+                lease=lease,
             )
             return popped if popped else None
 

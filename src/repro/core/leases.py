@@ -1,0 +1,121 @@
+"""Continuous recovery of lost RUNNING tasks via lease expiry.
+
+Paper §IV-B promises that tasks "are not lost when a resource fails".
+The queued set is durable by construction; the *running* set is
+protected by leases: :meth:`~repro.db.backend.TaskStore.pop_out` stamps
+each claimed task with a lease expiry, pools renew their leases on a
+heartbeat (:class:`repro.pools.pool.ThreadedWorkerPool`), and the
+:class:`LeaseReaper` here periodically requeues any RUNNING task whose
+lease lapsed — a pool that dies simply stops heartbeating and its tasks
+flow back onto the output queue for live pools to claim.
+
+This generalizes :mod:`repro.core.recovery` from a manual, one-shot
+administrative action into an automatic background process, the model
+funcX / Globus Compute use for task re-dispatch.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.db.backend import TaskStore
+from repro.telemetry.metrics import MetricsRegistry, get_metrics
+from repro.util.clock import Clock, SystemClock
+from repro.util.logging import get_logger, log_event
+
+_log = get_logger(__name__)
+
+
+class LeaseReaper:
+    """Requeues expired-lease RUNNING tasks, continuously or on demand.
+
+    Parameters
+    ----------
+    store:
+        The task store to reap (the service passes its backing store).
+    clock:
+        Source of ``now`` for expiry comparison.  Tests drive a
+        :class:`~repro.util.clock.VirtualClock` and call
+        :meth:`run_once`; the threaded mode is wall-clock.
+    interval:
+        Seconds between sweeps in threaded mode.  Sensible values are a
+        fraction of the lease duration: a task is detected as lost at
+        most ``lease + interval`` after its last renewal.
+    priority:
+        Output-queue priority for requeued tasks.  The default of 0
+        re-inserts at normal priority; raise it so recovered tasks jump
+        the queue (they have already waited once).
+    """
+
+    def __init__(
+        self,
+        store: TaskStore,
+        clock: Clock | None = None,
+        interval: float = 1.0,
+        priority: int = 0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"reaper interval must be positive, got {interval}")
+        self._store = store
+        self._clock = clock if clock is not None else SystemClock()
+        self._interval = interval
+        self._priority = priority
+        registry = metrics if metrics is not None else get_metrics()
+        self._m_requeued = registry.counter(
+            "leases.tasks_requeued", "expired-lease tasks returned to the queue"
+        )
+        self._m_sweeps = registry.counter(
+            "leases.reaper_sweeps", "lease-reaper scans of the running set"
+        )
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def run_once(self) -> list[int]:
+        """One sweep: requeue every expired lease; returns requeued ids."""
+        self._m_sweeps.inc()
+        requeued = self._store.requeue_expired(
+            now=self._clock.now(), priority=self._priority
+        )
+        if requeued:
+            self._m_requeued.inc(len(requeued))
+            log_event(
+                _log,
+                "leases.requeued",
+                n=len(requeued),
+                eq_task_ids=requeued,
+            )
+        return requeued
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self.run_once()
+            except Exception as exc:  # noqa: BLE001 - reaper must outlive faults
+                # A transient store error (e.g. the DB restarting) must
+                # not kill continuous recovery; log and sweep again.
+                log_event(_log, "leases.reaper_error", level=30, error=str(exc))
+
+    def start(self) -> "LeaseReaper":
+        """Begin sweeping on a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("lease reaper already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="lease-reaper", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the sweep thread (idempotent)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "LeaseReaper":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

@@ -111,6 +111,7 @@ def task_row_to_dict(row: TaskRow) -> dict[str, Any]:
         "time_created": row.time_created,
         "time_start": row.time_start,
         "time_stop": row.time_stop,
+        "lease_expiry": row.lease_expiry,
         "tags": row.tags,
     }
 
@@ -127,5 +128,6 @@ def task_row_from_dict(data: dict[str, Any]) -> TaskRow:
         time_created=data["time_created"],
         time_start=data.get("time_start"),
         time_stop=data.get("time_stop"),
+        lease_expiry=data.get("lease_expiry"),
         tags=list(data.get("tags", [])),
     )

@@ -13,6 +13,12 @@ reported.  :func:`find_orphaned_tasks` identifies them by pool name
 and/or stuck-time heuristic; :func:`requeue_tasks` pushes them back onto
 the output queue (status → QUEUED, fresh priority), after which any live
 pool will pick them up.
+
+These are the *manual* recovery tools for an operator who knows a pool
+is dead.  The continuous, automatic form is the lease system
+(:mod:`repro.core.leases`): leased tasks whose pool stops heartbeating
+are requeued by the reaper without anyone calling :func:`recover_pool`.
+:func:`reap_expired` exposes one reaper sweep through the EQSQL API.
 """
 
 from __future__ import annotations
@@ -56,9 +62,11 @@ def find_orphaned_tasks(
             continue
         if worker_pool is not None and row.worker_pool != worker_pool:
             continue
-        if stuck_after is not None:
-            started = row.time_start if row.time_start is not None else now
-            if now - started < stuck_after:
+        if stuck_after is not None and row.time_start is not None:
+            # A RUNNING row with no recorded start time is infinitely
+            # stuck (it can only mean a half-applied claim); substituting
+            # ``now`` would compute age 0 and hide it forever.
+            if now - row.time_start < stuck_after:
                 continue
         orphans.append(
             OrphanedTask(
@@ -82,15 +90,15 @@ def requeue_tasks(
     Each task keeps its identity (id, payload, experiment links) — a
     future already held against it will still resolve when a live pool
     re-executes and reports it.  Tasks that completed between detection
-    and requeue (a slow pool finally reported) are skipped.
+    and requeue (a slow pool finally reported) are skipped: ``requeue``
+    itself atomically refuses non-RUNNING rows, so there is no window in
+    which a racing report can be overwritten (and no extra status
+    round-trip per task over a remote store).
     """
     requeued = 0
     for orphan in orphans:
-        row = eqsql.task_info(orphan.eq_task_id)
-        if row.eq_status != TaskStatus.RUNNING:
-            continue  # it finished (or was canceled) after detection
-        eqsql.store.requeue(orphan.eq_task_id, priority=priority)
-        requeued += 1
+        if eqsql.store.requeue(orphan.eq_task_id, priority=priority):
+            requeued += 1
     return requeued
 
 
@@ -100,3 +108,13 @@ def recover_pool(
     """One-call recovery of a known-dead pool's tasks."""
     orphans = find_orphaned_tasks(eqsql, exp_id, worker_pool=worker_pool)
     return requeue_tasks(eqsql, orphans, priority=priority)
+
+
+def reap_expired(eqsql: EQSQL, priority: int = 0) -> list[int]:
+    """One lease-reaper sweep at the EQSQL clock's ``now``.
+
+    Requeues every RUNNING task whose lease expired; returns their ids.
+    Unlike :func:`recover_pool` this needs no pool name — any leased
+    task that stopped being renewed is recovered, whatever killed it.
+    """
+    return eqsql.store.requeue_expired(now=eqsql.clock.now(), priority=priority)

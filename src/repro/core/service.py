@@ -19,9 +19,11 @@ import threading
 from typing import Any
 
 from repro.core import protocol
+from repro.core.leases import LeaseReaper
 from repro.db.backend import TaskStore
 from repro.telemetry.metrics import MetricsRegistry, get_metrics
 from repro.telemetry.tracing import Tracer, get_tracer
+from repro.util.clock import Clock
 from repro.util.errors import AuthenticationError
 from repro.util.logging import get_logger, log_event
 
@@ -103,6 +105,17 @@ class TaskService:
         get their handling spans parented under the client's RPC span.
     metrics:
         Metrics registry; defaults to the process-wide registry.
+    lease_reaper_interval:
+        When set, the service runs a :class:`repro.core.leases.LeaseReaper`
+        for its store's lifetime: every ``lease_reaper_interval`` seconds
+        any RUNNING task whose lease expired is requeued automatically —
+        continuous recovery instead of manual ``recover_pool`` calls.
+    clock:
+        Time source for the lease reaper's ``now``; defaults to a
+        :class:`~repro.util.clock.SystemClock`.  Must agree with the
+        clock clients stamp ``pop_out(now=...)`` with.
+    lease_requeue_priority:
+        Output-queue priority the reaper requeues expired tasks at.
     """
 
     #: Store methods callable over the wire, with result encoders where
@@ -123,6 +136,8 @@ class TaskService:
             "update_priorities",
             "cancel_tasks",
             "requeue",
+            "renew_leases",
+            "requeue_expired",
             "tasks_for_experiment",
             "tasks_for_tag",
             "max_task_id",
@@ -139,6 +154,9 @@ class TaskService:
         auth_token: str | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        lease_reaper_interval: float | None = None,
+        clock: Clock | None = None,
+        lease_requeue_priority: int = 0,
     ) -> None:
         self._store = store
         self._auth_token = auth_token
@@ -153,6 +171,15 @@ class TaskService:
         self._server = _Server((host, port), _Handler)
         self._server.service = self
         self._thread: threading.Thread | None = None
+        self._reaper: LeaseReaper | None = None
+        if lease_reaper_interval is not None:
+            self._reaper = LeaseReaper(
+                store,
+                clock=clock,
+                interval=lease_reaper_interval,
+                priority=lease_requeue_priority,
+                metrics=registry,
+            )
 
     @property
     def tracer(self) -> Tracer:
@@ -187,6 +214,11 @@ class TaskService:
             return [[tid, int(status)] for tid, status in result]
         return result
 
+    @property
+    def lease_reaper(self) -> LeaseReaper | None:
+        """The embedded lease reaper, when continuous recovery is on."""
+        return self._reaper
+
     def start(self) -> "TaskService":
         """Begin serving on a daemon thread; returns self for chaining."""
         if self._thread is not None:
@@ -197,10 +229,14 @@ class TaskService:
             daemon=True,
         )
         self._thread.start()
+        if self._reaper is not None:
+            self._reaper.start()
         return self
 
     def stop(self) -> None:
         """Stop serving and release the socket (idempotent)."""
+        if self._reaper is not None:
+            self._reaper.stop()
         if self._thread is not None:
             self._server.shutdown()
             self._thread.join(timeout=5)

@@ -1,4 +1,4 @@
-"""Client-side remote task store.
+"""Client-side remote task store with automatic reconnection.
 
 :class:`RemoteTaskStore` implements the full :class:`repro.db.TaskStore`
 contract over a TCP connection to a :class:`repro.core.service.TaskService`.
@@ -10,14 +10,37 @@ deployment (local Python script, EMEWS DB on Bebop, SSH tunnel between).
 One socket is shared behind a lock; requests are strictly
 request/response so pipelining is unnecessary, and worker pools that
 want concurrency open one client each.
+
+Resilience (paper §IV-B: tasks "are not lost when a resource fails"):
+a dropped connection no longer kills the store.  Every RPC classifies
+itself as idempotent or not:
+
+- **Idempotent** methods (reads, ``report``, ``requeue``, lease
+  renewal, ...) are retried transparently — the client tears down the
+  broken socket, reconnects with exponential backoff + jitter,
+  re-handshakes (ping + auth), and re-sends.
+- **Non-idempotent** methods (``create_task[s]``, ``pop_out``,
+  ``pop_in[_any]``) are retried only while the failure is provably
+  pre-send (the connect itself failed).  Once the request may have
+  reached the server, retrying could double-apply it, so the client
+  raises :class:`~repro.util.errors.ConnectionBrokenError` and leaves
+  recovery to the caller — for popped-but-lost tasks, the server-side
+  lease reaper requeues them automatically.
+
+After any mid-request failure the socket is torn down rather than
+reused: a connection that died between write and read is desynced (the
+next read could pair a stale response with a new request id), and the
+only safe move is a fresh connection.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
 import time
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
 from typing import Any
 
 from repro.core import protocol
@@ -25,7 +48,70 @@ from repro.db.backend import TaskStore
 from repro.db.schema import TaskRow, TaskStatus
 from repro.telemetry.metrics import MetricsRegistry, get_metrics
 from repro.telemetry.tracing import Span, Tracer, get_tracer
-from repro.util.errors import ReproError
+from repro.util.errors import (
+    ConnectionBrokenError,
+    ReproError,
+    ServiceUnavailableError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Reconnect/retry schedule: exponential backoff with full jitter.
+
+    ``max_attempts`` bounds the total tries per RPC (first attempt
+    included).  The delay before retry ``k`` is
+    ``min(max_delay, base_delay * multiplier**k)`` scaled by a uniform
+    random factor in ``[1 - jitter, 1]`` so a fleet of pools severed by
+    the same network event does not reconnect in lockstep.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        if self.jitter <= 0:
+            return raw
+        return raw * (1.0 - self.jitter * rng.random())
+
+
+#: Methods safe to re-send after an ambiguous failure: reads, and writes
+#: whose double application converges to the same state (``report`` is
+#: first-write-wins in every backend; ``requeue``/``renew_leases``/
+#: ``requeue_expired`` check state server-side; ``update_priorities`` /
+#: ``cancel_tasks`` / ``clear`` set absolute state).
+IDEMPOTENT_METHODS: frozenset[str] = frozenset(
+    {
+        "ping",
+        "queue_out_length",
+        "queue_in_length",
+        "report",
+        "get_task",
+        "get_statuses",
+        "get_priorities",
+        "update_priorities",
+        "cancel_tasks",
+        "requeue",
+        "renew_leases",
+        "requeue_expired",
+        "tasks_for_experiment",
+        "tasks_for_tag",
+        "max_task_id",
+        "clear",
+    }
+)
+
+#: Methods that must not be blindly re-sent: creation would duplicate
+#: rows; pops would claim extra tasks (``pop_out``) or silently consume
+#: a result whose response was lost (``pop_in``/``pop_in_any``).
+NON_IDEMPOTENT_METHODS: frozenset[str] = frozenset(
+    {"create_task", "create_tasks", "pop_out", "pop_in", "pop_in_any"}
+)
 
 
 class RemoteTaskStore(TaskStore):
@@ -37,10 +123,19 @@ class RemoteTaskStore(TaskStore):
         port: int,
         auth_token: str | None = None,
         connect_timeout: float = 10.0,
+        io_timeout: float | None = None,
+        retry: RetryPolicy | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        rng: random.Random | None = None,
     ) -> None:
+        self._host = host
+        self._port = port
         self._token = auth_token
+        self._connect_timeout = connect_timeout
+        self._io_timeout = io_timeout
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._rng = rng if rng is not None else random.Random()
         self._lock = threading.Lock()
         self._tracer = tracer
         registry = metrics if metrics is not None else get_metrics()
@@ -50,19 +145,105 @@ class RemoteTaskStore(TaskStore):
         self._m_rtt = registry.histogram(
             "service.client.rtt_seconds", help="request/response round-trip time"
         )
-        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
-        # Blocking I/O after connect; polling timeouts live in EQSQL.
-        self._sock.settimeout(None)
-        self._rfile = self._sock.makefile("rb")
-        self._wfile = self._sock.makefile("wb")
+        self._m_retries = registry.counter(
+            "service.client.retries", "RPC attempts repeated after a connection failure"
+        )
+        self._m_reconnects = registry.counter(
+            "service.client.reconnects", "successful reconnections after a drop"
+        )
+        self._sock: socket.socket | None = None
+        self._rfile: Any = None
+        self._wfile: Any = None
         self._next_id = 0
         self._closed = False
-        # Fail fast on version/auth problems.
-        self._call("ping", {})
+        self._ever_connected = False
+        with self._lock:
+            # Fail fast on unreachable service / version / auth problems.
+            self._connect_locked()
 
     @property
     def tracer(self) -> Tracer:
         return self._tracer if self._tracer is not None else get_tracer()
+
+    @property
+    def connected(self) -> bool:
+        """Whether a live socket is currently held (no probe is sent)."""
+        with self._lock:
+            return self._sock is not None
+
+    # -- connection management ---------------------------------------------
+
+    def _connect_locked(self) -> None:
+        """Open a fresh socket and handshake; caller holds the lock."""
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._connect_timeout
+        )
+        try:
+            # Blocking I/O after connect (polling timeouts live in EQSQL)
+            # unless the caller bounded per-RPC I/O with io_timeout.
+            sock.settimeout(self._io_timeout)
+            rfile = sock.makefile("rb")
+            wfile = sock.makefile("wb")
+            # Handshake: ping carries the auth token and returns the
+            # protocol version, so a bad token or an incompatible server
+            # surfaces here as a typed remote error, not mid-workload.
+            self._next_id += 1
+            request: dict[str, Any] = {
+                "id": self._next_id,
+                "method": "ping",
+                "params": {},
+            }
+            if self._token is not None:
+                request["token"] = self._token
+            tracer = self.tracer
+            if tracer.enabled:
+                # Trace the handshake like any other RPC so the server's
+                # service.ping span parents under it across the wire.
+                with tracer.span("rpc.ping", component="service_client") as sp:
+                    protocol.inject_trace(request, sp.context)
+                    protocol.write_message(wfile, request)
+                    response = protocol.read_message(rfile)
+            else:
+                protocol.write_message(wfile, request)
+                response = protocol.read_message(rfile)
+            if response is None:
+                raise ConnectionError("service closed the connection during handshake")
+            if not response.get("ok"):
+                protocol.raise_remote_error(response.get("error", {}))
+            version = (response.get("result") or {}).get("version")
+            if version != protocol.PROTOCOL_VERSION:
+                raise ReproError(
+                    f"protocol version mismatch: client {protocol.PROTOCOL_VERSION},"
+                    f" server {version}"
+                )
+        except BaseException:
+            sock.close()
+            raise
+        self._sock = sock
+        self._rfile = rfile
+        self._wfile = wfile
+        if self._ever_connected:
+            self._m_reconnects.inc()
+        self._ever_connected = True
+
+    def _teardown_locked(self) -> None:
+        """Drop the (possibly desynced) socket; caller holds the lock.
+
+        After a partial write or read the stream can hold a stale frame
+        that would answer the *next* request; the connection is
+        unrecoverable and must be replaced, never reused.
+        """
+        for f in (self._rfile, self._wfile, self._sock):
+            if f is not None:
+                try:
+                    f.close()
+                except OSError:
+                    pass
+        self._sock = None
+        self._rfile = None
+        self._wfile = None
+
+    # -- RPC core ----------------------------------------------------------
 
     def _call(self, method: str, params: dict[str, Any]) -> Any:
         tracer = self.tracer
@@ -82,33 +263,91 @@ class RemoteTaskStore(TaskStore):
         span: Span | None,
     ) -> Any:
         t0 = time.monotonic()
+        retryable = method in IDEMPOTENT_METHODS
+        attempt = 0
+        while True:
+            try:
+                result = self._attempt_once(method, params, tracer, span, retryable)
+            except _RetryableFailure as failure:
+                attempt += 1
+                if span is not None:
+                    span.set_attr("retries", attempt)
+                if attempt >= self._retry.max_attempts:
+                    raise ServiceUnavailableError(
+                        f"rpc {method!r} failed after {attempt} attempts:"
+                        f" {failure.cause}"
+                    ) from failure.cause
+                self._m_retries.inc()
+                time.sleep(self._retry.delay(attempt - 1, self._rng))
+                continue
+            self._m_rpcs.inc()
+            self._m_rtt.observe(time.monotonic() - t0)
+            return result
+
+    def _attempt_once(
+        self,
+        method: str,
+        params: dict[str, Any],
+        tracer: Tracer,
+        span: Span | None,
+        retryable: bool,
+    ) -> Any:
+        """One connect-if-needed + send + receive cycle.
+
+        Raises :class:`_RetryableFailure` when the RPC may be retried
+        (connect failure, or mid-request failure of an idempotent
+        method) and :class:`ConnectionBrokenError` when a
+        non-idempotent request's fate is unknown.
+        """
         with self._lock:
             if self._closed:
                 raise RuntimeError("remote store is closed")
+            if self._sock is None:
+                try:
+                    self._connect_locked()
+                except (OSError, ConnectionError) as exc:
+                    # Nothing was sent: always safe to retry.
+                    raise _RetryableFailure(exc) from exc
             self._next_id += 1
-            request = {
+            request: dict[str, Any] = {
                 "id": self._next_id,
                 "method": method,
                 "params": params,
             }
             if self._token is not None:
                 request["token"] = self._token
-            if span is not None:
-                protocol.inject_trace(request, span.context)
-                with tracer.span("rpc.send", component="service_client"):
+            try:
+                if span is not None:
+                    protocol.inject_trace(request, span.context)
+                    with tracer.span("rpc.send", component="service_client"):
+                        protocol.write_message(self._wfile, request)
+                    with tracer.span("rpc.recv", component="service_client"):
+                        response = protocol.read_message(self._rfile)
+                else:
                     protocol.write_message(self._wfile, request)
-                with tracer.span("rpc.recv", component="service_client"):
                     response = protocol.read_message(self._rfile)
-            else:
-                protocol.write_message(self._wfile, request)
-                response = protocol.read_message(self._rfile)
-        self._m_rpcs.inc()
-        self._m_rtt.observe(time.monotonic() - t0)
-        if response is None:
-            raise ReproError("service closed the connection")
-        if response.get("id") != request["id"]:
-            raise ReproError("service response id mismatch")
+                if response is None:
+                    raise ConnectionError("service closed the connection")
+                if response.get("id") != request["id"]:
+                    # Stale frame from a previous, interrupted exchange:
+                    # the stream is desynced beyond repair.
+                    raise ConnectionError("service response id mismatch (desynced)")
+            except (OSError, ConnectionError, ReproError) as exc:
+                # The request may or may not have been applied (the
+                # ReproError arm is framing/serialization trouble from
+                # the protocol layer — same desync).  Either way this
+                # socket is done: a later read could return this
+                # request's stale response paired with a new id.
+                self._teardown_locked()
+                if retryable:
+                    raise _RetryableFailure(exc) from exc
+                raise ConnectionBrokenError(
+                    f"connection lost during non-idempotent rpc {method!r};"
+                    " not retried (the request may have been applied)"
+                ) from exc
         if not response.get("ok"):
+            # A typed error response is a *successful* exchange: the
+            # server handled the request; no connection fault occurred.
             protocol.raise_remote_error(response.get("error", {}))
         return response.get("result")
 
@@ -168,10 +407,17 @@ class RemoteTaskStore(TaskStore):
         *,
         worker_pool: str = "default",
         now: float = 0.0,
+        lease: float | None = None,
     ) -> list[tuple[int, str]]:
         result = self._call(
             "pop_out",
-            {"eq_type": eq_type, "n": n, "worker_pool": worker_pool, "now": now},
+            {
+                "eq_type": eq_type,
+                "n": n,
+                "worker_pool": worker_pool,
+                "now": now,
+                "lease": lease,
+            },
         )
         return [(tid, payload) for tid, payload in result]
 
@@ -242,6 +488,19 @@ class RemoteTaskStore(TaskStore):
             "requeue", {"eq_task_id": eq_task_id, "priority": priority}
         )
 
+    def renew_leases(
+        self, eq_task_ids: Sequence[int], *, now: float, lease: float
+    ) -> int:
+        return self._call(
+            "renew_leases",
+            {"eq_task_ids": list(eq_task_ids), "now": now, "lease": lease},
+        )
+
+    def requeue_expired(self, *, now: float, priority: int = 0) -> list[int]:
+        return list(
+            self._call("requeue_expired", {"now": now, "priority": priority})
+        )
+
     def tasks_for_experiment(self, exp_id: str) -> list[int]:
         return list(self._call("tasks_for_experiment", {"exp_id": exp_id}))
 
@@ -259,8 +518,12 @@ class RemoteTaskStore(TaskStore):
             if self._closed:
                 return
             self._closed = True
-            for closer in (self._rfile.close, self._wfile.close, self._sock.close):
-                try:
-                    closer()
-                except OSError:
-                    pass
+            self._teardown_locked()
+
+
+class _RetryableFailure(Exception):
+    """Internal: an attempt failed in a way the retry loop may repeat."""
+
+    def __init__(self, cause: BaseException) -> None:
+        super().__init__(str(cause))
+        self.cause = cause

@@ -70,6 +70,7 @@ class TaskStore(ABC):
         *,
         worker_pool: str = "default",
         now: float = 0.0,
+        lease: float | None = None,
     ) -> list[tuple[int, str]]:
         """Atomically pop up to ``n`` tasks of ``eq_type`` for execution.
 
@@ -78,6 +79,11 @@ class TaskStore(ABC):
         ``now`` as its start time, and assigned to ``worker_pool``.
         Returns ``(eq_task_id, json_out)`` pairs; an empty list when no
         matching tasks are queued (callers poll).
+
+        ``lease`` (seconds) stamps ``lease_expiry = now + lease`` on each
+        popped row; the pool must renew via :meth:`renew_leases` before
+        expiry or a lease reaper may requeue the task.  ``None`` pops
+        the task unleased (never reaped), the pre-lease behavior.
         """
 
     @abstractmethod
@@ -96,9 +102,15 @@ class TaskStore(ABC):
         now: float = 0.0,
     ) -> None:
         """Record a result: set ``json_in``, mark COMPLETE, stamp the stop
-        time, and push (id, type) onto ``emews_queue_in``.
+        time, clear any lease, and push (id, type) onto ``emews_queue_in``.
 
         Raises :class:`repro.util.errors.NotFoundError` for an unknown id.
+
+        Idempotent: reporting an already-COMPLETE task is a no-op (first
+        write wins, no duplicate input-queue row).  This makes ``report``
+        safe to retry over a lossy connection and absorbs the duplicate
+        execution that follows a lease-expiry requeue of a task whose
+        original pool was slow rather than dead.
         """
 
     @abstractmethod
@@ -163,9 +175,36 @@ class TaskStore(ABC):
     def requeue(self, eq_task_id: int, *, priority: int = 0) -> bool:
         """Return a RUNNING task to the output queue (fault recovery).
 
-        Resets the row to QUEUED, clears its worker pool and start time,
-        and re-inserts it into ``emews_queue_out`` at ``priority``.
+        Resets the row to QUEUED, clears its worker pool, start time and
+        lease, and re-inserts it into ``emews_queue_out`` at ``priority``.
         Returns False (and changes nothing) unless the task is RUNNING.
+        The check-and-requeue is one atomic operation, so a racing
+        ``report`` can never be overwritten: whichever lands first wins
+        and the loser is a no-op.
+        """
+
+    # -- leases (fault recovery) -------------------------------------------
+
+    @abstractmethod
+    def renew_leases(
+        self, eq_task_ids: Sequence[int], *, now: float, lease: float
+    ) -> int:
+        """Extend the leases of RUNNING tasks to ``now + lease``.
+
+        The worker-pool heartbeat: ids that are no longer RUNNING (they
+        completed, were canceled, or were already reaped and requeued)
+        are skipped.  Returns how many leases were renewed.  Idempotent —
+        safe to retry over a lossy connection.
+        """
+
+    @abstractmethod
+    def requeue_expired(self, *, now: float, priority: int = 0) -> list[int]:
+        """Requeue every RUNNING task whose lease expired before ``now``.
+
+        The lease-reaper primitive: atomically moves each expired task
+        back to QUEUED (clearing pool, start time, and lease) and
+        re-inserts it into the output queue at ``priority``.  Unleased
+        RUNNING tasks are never touched.  Returns the requeued ids.
         """
 
     # -- experiment / tag queries ------------------------------------------

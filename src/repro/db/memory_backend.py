@@ -147,6 +147,7 @@ class MemoryTaskStore(TaskStore):
         *,
         worker_pool: str = "default",
         now: float = 0.0,
+        lease: float | None = None,
     ) -> list[tuple[int, str]]:
         if n < 1:
             return []
@@ -163,6 +164,7 @@ class MemoryTaskStore(TaskStore):
                 row.eq_status = TaskStatus.RUNNING
                 row.time_start = now
                 row.worker_pool = worker_pool
+                row.lease_expiry = None if lease is None else now + lease
                 popped.append((entry.eq_task_id, row.json_out))
             return popped
 
@@ -191,9 +193,20 @@ class MemoryTaskStore(TaskStore):
             row = self._tasks.get(eq_task_id)
             if row is None:
                 raise NotFoundError(f"no task with id {eq_task_id}")
+            if row.eq_status == TaskStatus.COMPLETE:
+                return  # idempotent: first report wins, no duplicate queue row
             row.json_in = result
             row.eq_status = TaskStatus.COMPLETE
             row.time_stop = now
+            row.lease_expiry = None
+            # If the task was requeued (lease expiry racing a slow pool's
+            # report), withdraw the queued copy: the result is in, so
+            # re-execution would only waste a worker — and a re-claim
+            # would flip the row back to RUNNING, breaking the invariant
+            # that the output queue holds only QUEUED tasks.
+            entry = self._out_entries.pop(eq_task_id, None)
+            if entry is not None:
+                entry.alive = False
             self._in_queue[eq_task_id] = eq_type
 
     def pop_in(self, eq_task_id: int) -> str | None:
@@ -242,6 +255,7 @@ class MemoryTaskStore(TaskStore):
                 time_created=row.time_created,
                 time_start=row.time_start,
                 time_stop=row.time_stop,
+                lease_expiry=row.lease_expiry,
                 tags=list(row.tags),
             )
 
@@ -300,11 +314,46 @@ class MemoryTaskStore(TaskStore):
                 raise NotFoundError(f"no task with id {eq_task_id}")
             if row.eq_status != TaskStatus.RUNNING:
                 return False
-            row.eq_status = TaskStatus.QUEUED
-            row.worker_pool = None
-            row.time_start = None
-            self._enqueue_out(eq_task_id, row.eq_task_type, priority)
+            self._requeue_row(row, priority)
             return True
+
+    def _requeue_row(self, row: TaskRow, priority: int) -> None:
+        """Move a RUNNING row back to QUEUED (call under the lock)."""
+        row.eq_status = TaskStatus.QUEUED
+        row.worker_pool = None
+        row.time_start = None
+        row.lease_expiry = None
+        self._enqueue_out(row.eq_task_id, row.eq_task_type, priority)
+
+    # -- leases ------------------------------------------------------------------
+
+    def renew_leases(
+        self, eq_task_ids: Sequence[int], *, now: float, lease: float
+    ) -> int:
+        with self._lock:
+            self._check_open()
+            renewed = 0
+            for tid in eq_task_ids:
+                row = self._tasks.get(tid)
+                if row is None or row.eq_status != TaskStatus.RUNNING:
+                    continue
+                row.lease_expiry = now + lease
+                renewed += 1
+            return renewed
+
+    def requeue_expired(self, *, now: float, priority: int = 0) -> list[int]:
+        with self._lock:
+            self._check_open()
+            expired = [
+                row
+                for row in self._tasks.values()
+                if row.eq_status == TaskStatus.RUNNING
+                and row.lease_expiry is not None
+                and row.lease_expiry <= now
+            ]
+            for row in expired:
+                self._requeue_row(row, priority)
+            return [row.eq_task_id for row in expired]
 
     # -- experiment / tag queries ------------------------------------------------
 

@@ -52,6 +52,10 @@ class TaskRow:
     time_created: float = 0.0
     time_start: float | None = None
     time_stop: float | None = None
+    #: Fault-tolerance lease: a RUNNING task whose lease expires without
+    #: renewal is presumed lost with its pool and eligible for automatic
+    #: requeue.  ``None`` means the task runs unleased (never reaped).
+    lease_expiry: float | None = None
     tags: list[str] = field(default_factory=list)
 
     def runtime(self) -> float | None:
@@ -74,7 +78,8 @@ SCHEMA_STATEMENTS: tuple[str, ...] = (
         json_in      TEXT,
         time_created REAL NOT NULL,
         time_start   REAL,
-        time_stop    REAL
+        time_stop    REAL,
+        lease_expiry REAL
     )
     """,
     """
@@ -119,6 +124,13 @@ SCHEMA_STATEMENTS: tuple[str, ...] = (
     """
     CREATE INDEX IF NOT EXISTS idx_task_tags
         ON eq_task_tags (tag)
+    """,
+    # The lease reaper scans for expired RUNNING tasks; the partial
+    # index keeps that scan proportional to the leased set, not the
+    # full task table.
+    """
+    CREATE INDEX IF NOT EXISTS idx_lease_expiry
+        ON eq_tasks (lease_expiry) WHERE lease_expiry IS NOT NULL
     """,
 )
 

@@ -34,6 +34,13 @@ class SqliteTaskStore(TaskStore):
         self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.isolation_level = None  # explicit transaction control
         with self._txn() as cur:
+            # Pre-lease database files lack the lease_expiry column;
+            # CREATE TABLE IF NOT EXISTS won't add it, so migrate first
+            # (reattaching to a durable file is a supported fault path).
+            cur.execute("PRAGMA table_info(eq_tasks)")
+            columns = {row[1] for row in cur.fetchall()}
+            if columns and "lease_expiry" not in columns:
+                cur.execute("ALTER TABLE eq_tasks ADD COLUMN lease_expiry REAL")
             for stmt in SCHEMA_STATEMENTS:
                 cur.execute(stmt)
         self._closed = False
@@ -148,10 +155,12 @@ class SqliteTaskStore(TaskStore):
         *,
         worker_pool: str = "default",
         now: float = 0.0,
+        lease: float | None = None,
     ) -> list[tuple[int, str]]:
         self._check_open()
         if n < 1:
             return []
+        lease_expiry = None if lease is None else now + lease
         with self._txn() as cur:
             cur.execute(
                 "SELECT eq_task_id FROM emews_queue_out WHERE eq_task_type = ?"
@@ -166,9 +175,9 @@ class SqliteTaskStore(TaskStore):
                 f"DELETE FROM emews_queue_out WHERE eq_task_id IN ({marks})", ids
             )
             cur.execute(
-                f"UPDATE eq_tasks SET eq_status = ?, time_start = ?, worker_pool = ?"
-                f" WHERE eq_task_id IN ({marks})",
-                [int(TaskStatus.RUNNING), now, worker_pool, *ids],
+                f"UPDATE eq_tasks SET eq_status = ?, time_start = ?, worker_pool = ?,"
+                f" lease_expiry = ? WHERE eq_task_id IN ({marks})",
+                [int(TaskStatus.RUNNING), now, worker_pool, lease_expiry, *ids],
             )
             cur.execute(
                 f"SELECT eq_task_id, json_out FROM eq_tasks WHERE eq_task_id IN ({marks})"
@@ -202,13 +211,30 @@ class SqliteTaskStore(TaskStore):
     ) -> None:
         self._check_open()
         with self._txn() as cur:
+            # Idempotent: only a not-yet-COMPLETE row accepts a result
+            # (first report wins), so a retried or duplicate report can
+            # neither overwrite the stored result nor enqueue a second
+            # input-queue row.
             cur.execute(
-                "UPDATE eq_tasks SET json_in = ?, eq_status = ?, time_stop = ?"
-                " WHERE eq_task_id = ?",
-                (result, int(TaskStatus.COMPLETE), now, eq_task_id),
+                "UPDATE eq_tasks SET json_in = ?, eq_status = ?, time_stop = ?,"
+                " lease_expiry = NULL WHERE eq_task_id = ? AND eq_status != ?",
+                (result, int(TaskStatus.COMPLETE), now, eq_task_id,
+                 int(TaskStatus.COMPLETE)),
             )
             if cur.rowcount == 0:
-                raise NotFoundError(f"no task with id {eq_task_id}")
+                cur.execute(
+                    "SELECT 1 FROM eq_tasks WHERE eq_task_id = ?", (eq_task_id,)
+                )
+                if cur.fetchone() is None:
+                    raise NotFoundError(f"no task with id {eq_task_id}")
+                return  # duplicate report of a COMPLETE task: no-op
+            # If the task was requeued (lease expiry racing a slow pool's
+            # report), withdraw the queued copy — the output queue must
+            # hold only QUEUED tasks, and this result makes re-execution
+            # pointless.
+            cur.execute(
+                "DELETE FROM emews_queue_out WHERE eq_task_id = ?", (eq_task_id,)
+            )
             cur.execute(
                 "INSERT INTO emews_queue_in (eq_task_id, eq_task_type) VALUES (?, ?)",
                 (eq_task_id, eq_type),
@@ -274,8 +300,8 @@ class SqliteTaskStore(TaskStore):
         with self._read() as cur:
             cur.execute(
                 "SELECT eq_task_id, eq_task_type, eq_status, worker_pool, json_out,"
-                " json_in, time_created, time_start, time_stop FROM eq_tasks"
-                " WHERE eq_task_id = ?",
+                " json_in, time_created, time_start, time_stop, lease_expiry"
+                " FROM eq_tasks WHERE eq_task_id = ?",
                 (eq_task_id,),
             )
             row = cur.fetchone()
@@ -295,6 +321,7 @@ class SqliteTaskStore(TaskStore):
             time_created=row[6],
             time_start=row[7],
             time_stop=row[8],
+            lease_expiry=row[9],
             tags=tags,
         )
 
@@ -379,17 +406,55 @@ class SqliteTaskStore(TaskStore):
             eq_type, status = row
             if TaskStatus(status) != TaskStatus.RUNNING:
                 return False
-            cur.execute(
-                "UPDATE eq_tasks SET eq_status = ?, worker_pool = NULL,"
-                " time_start = NULL WHERE eq_task_id = ?",
-                (int(TaskStatus.QUEUED), eq_task_id),
-            )
-            cur.execute(
-                "INSERT INTO emews_queue_out (eq_task_id, eq_task_type, eq_priority)"
-                " VALUES (?, ?, ?)",
-                (eq_task_id, eq_type, priority),
-            )
+            self._requeue_in_txn(cur, eq_task_id, eq_type, priority)
             return True
+
+    def _requeue_in_txn(
+        self, cur: sqlite3.Cursor, eq_task_id: int, eq_type: int, priority: int
+    ) -> None:
+        """Move a RUNNING row back to QUEUED (call inside a transaction)."""
+        cur.execute(
+            "UPDATE eq_tasks SET eq_status = ?, worker_pool = NULL,"
+            " time_start = NULL, lease_expiry = NULL WHERE eq_task_id = ?",
+            (int(TaskStatus.QUEUED), eq_task_id),
+        )
+        cur.execute(
+            "INSERT INTO emews_queue_out (eq_task_id, eq_task_type, eq_priority)"
+            " VALUES (?, ?, ?)",
+            (eq_task_id, eq_type, priority),
+        )
+
+    # -- leases ------------------------------------------------------------------
+
+    def renew_leases(
+        self, eq_task_ids: Sequence[int], *, now: float, lease: float
+    ) -> int:
+        self._check_open()
+        ids = list(eq_task_ids)
+        if not ids:
+            return 0
+        marks = ",".join("?" for _ in ids)
+        with self._txn() as cur:
+            cur.execute(
+                f"UPDATE eq_tasks SET lease_expiry = ?"
+                f" WHERE eq_task_id IN ({marks}) AND eq_status = ?",
+                [now + lease, *ids, int(TaskStatus.RUNNING)],
+            )
+            return cur.rowcount
+
+    def requeue_expired(self, *, now: float, priority: int = 0) -> list[int]:
+        self._check_open()
+        with self._txn() as cur:
+            cur.execute(
+                "SELECT eq_task_id, eq_task_type FROM eq_tasks"
+                " WHERE eq_status = ? AND lease_expiry IS NOT NULL"
+                " AND lease_expiry <= ? ORDER BY eq_task_id",
+                (int(TaskStatus.RUNNING), now),
+            )
+            expired = cur.fetchall()
+            for eq_task_id, eq_type in expired:
+                self._requeue_in_txn(cur, eq_task_id, eq_type, priority)
+            return [eq_task_id for eq_task_id, _ in expired]
 
     # -- experiment / tag queries ------------------------------------------------
 

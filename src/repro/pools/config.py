@@ -28,12 +28,36 @@ class PoolConfig:
     poll_delay: float = 0.02
     #: Timeout for each individual batch query against the DB.
     query_timeout: float = 0.0
+    #: Fault-tolerance lease (seconds) the pool claims tasks under.
+    #: ``None`` claims unleased (a crashed pool's tasks then need manual
+    #: ``recover_pool``); with a lease, the pool heartbeats renewals and
+    #: a lease reaper requeues its tasks automatically if it dies.
+    #: Must comfortably exceed ``heartbeat_interval``.
+    lease_duration: float | None = None
+    #: Seconds between lease-renewal heartbeats; defaults to a third of
+    #: ``lease_duration`` so two consecutive heartbeats can be lost
+    #: before the lease lapses.
+    heartbeat_interval: float | None = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
         if self.batch_size is None:
             self.batch_size = self.n_workers
+        if self.lease_duration is not None:
+            if self.lease_duration <= 0:
+                raise ValueError(
+                    f"lease_duration must be positive, got {self.lease_duration}"
+                )
+            if self.heartbeat_interval is None:
+                self.heartbeat_interval = self.lease_duration / 3.0
+            if not 0 < self.heartbeat_interval < self.lease_duration:
+                raise ValueError(
+                    f"heartbeat_interval ({self.heartbeat_interval}) must be in"
+                    f" (0, lease_duration={self.lease_duration})"
+                )
+        elif self.heartbeat_interval is not None:
+            raise ValueError("heartbeat_interval requires lease_duration")
         # Validates batch/threshold bounds.
         self.policy()
 

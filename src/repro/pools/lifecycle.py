@@ -60,15 +60,28 @@ def stop_emews_db(name: str) -> bool:
 
 
 def start_emews_service(
-    db_name: str, host: str = "127.0.0.1", port: int = 0, auth_token: str | None = None
+    db_name: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    auth_token: str | None = None,
+    lease_reaper_interval: float | None = None,
 ) -> tuple[str, int]:
     """Start the EMEWS service fronting a running DB; returns (host, port).
 
     The returned address is what a remote ME algorithm connects its
     :class:`repro.core.RemoteTaskStore` to (the paper's SSH-tunnel hop).
+    ``lease_reaper_interval`` turns on continuous recovery: expired-lease
+    tasks are requeued automatically every that-many seconds.
     """
     eqsql = get_eqsql(db_name)
-    service = TaskService(eqsql.store, host=host, port=port, auth_token=auth_token)
+    service = TaskService(
+        eqsql.store,
+        host=host,
+        port=port,
+        auth_token=auth_token,
+        lease_reaper_interval=lease_reaper_interval,
+        clock=eqsql.clock,
+    )
     service.start()
     with _lock:
         if db_name in _services:
@@ -96,11 +109,15 @@ def start_worker_pool(
     batch_size: int | None = None,
     threshold: int = 1,
     json_io: bool = True,
+    lease_duration: float | None = None,
+    heartbeat_interval: float | None = None,
 ) -> str:
     """Start a threaded worker pool against a running DB.
 
     ``task_fn`` must be picklable (module-level) since this function is
-    meant to travel through the fabric.
+    meant to travel through the fabric.  ``lease_duration`` claims tasks
+    under fault-tolerance leases the pool heartbeats; pair it with a
+    service-side lease reaper for automatic crashed-pool recovery.
     """
     eqsql = get_eqsql(db_name)
     config = PoolConfig(
@@ -109,6 +126,8 @@ def start_worker_pool(
         batch_size=batch_size,
         threshold=threshold,
         name=pool_name,
+        lease_duration=lease_duration,
+        heartbeat_interval=heartbeat_interval,
     )
     pool = ThreadedWorkerPool(
         eqsql, PythonTaskHandler(task_fn, json_io=json_io), config
@@ -142,6 +161,7 @@ def pool_status(pool_name: str) -> dict[str, Any]:
         "owned": pool.owned(),
         "completed": pool.tasks_completed,
         "failed": pool.tasks_failed,
+        "reports_lost": pool.reports_lost,
         "alive": pool.is_alive(),
     }
 

@@ -30,7 +30,11 @@ from repro.telemetry.metrics import (
     get_metrics,
 )
 from repro.telemetry.tracing import SpanContext, Tracer, get_tracer
+from repro.util.errors import ReproError
+from repro.util.logging import get_logger, log_event
 from repro.util.serialization import json_dumps
+
+_log = get_logger(__name__)
 
 
 class ThreadedWorkerPool:
@@ -76,19 +80,34 @@ class ThreadedWorkerPool:
         self._m_report = registry.histogram(
             "pool.report_seconds", help="result report round trip"
         )
+        self._m_lease_renewals = registry.counter(
+            "pool.lease_renewals", "task leases renewed by the heartbeat"
+        )
+        self._m_fetch_errors = registry.counter(
+            "pool.fetch_errors", "batch queries that failed on a connection fault"
+        )
+        self._m_report_errors = registry.counter(
+            "pool.report_errors", "result reports lost to a connection fault"
+        )
         self._policy = config.policy()
 
         self._owned = 0
+        self._owned_ids: set[int] = set()
         self._owned_lock = threading.Lock()
         self._local: "queue.Queue[dict[str, Any] | None]" = queue.Queue()
         self._stop_fetching = threading.Event()
+        self._stop_heartbeat = threading.Event()
         self._abort = threading.Event()
         self._threads: list[threading.Thread] = []
+        self._heartbeat: threading.Thread | None = None
         self._started = False
 
         self._stats_lock = threading.Lock()
         self.tasks_completed = 0
         self.tasks_failed = 0
+        #: Executions whose report never reached the DB (connection lost
+        #: past retry); the lease reaper re-dispatches these elsewhere.
+        self.reports_lost = 0
 
     @property
     def name(self) -> str:
@@ -130,6 +149,13 @@ class ThreadedWorkerPool:
         self._threads = [fetcher, *workers]
         for t in self._threads:
             t.start()
+        if self._config.lease_duration is not None:
+            self._heartbeat = threading.Thread(
+                target=self._heartbeat_loop,
+                name=f"{self.name}-heartbeat",
+                daemon=True,
+            )
+            self._heartbeat.start()
         return self
 
     def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
@@ -137,8 +163,9 @@ class ThreadedWorkerPool:
 
         ``drain=True`` lets owned tasks finish (EQ_STOP semantics);
         ``drain=False`` abandons queued local work (EQ_ABORT semantics —
-        abandoned tasks stay RUNNING in the DB for fault-tolerance
-        tooling to re-queue).
+        abandoned tasks stay RUNNING in the DB; if they were claimed
+        under a lease the reaper requeues them automatically, otherwise
+        manual ``recover_pool`` is required).
         """
         self._stop_fetching.set()
         if not drain:
@@ -149,6 +176,14 @@ class ThreadedWorkerPool:
         """Wait for the pool's threads to exit."""
         for t in self._threads:
             t.join(timeout)
+        # The heartbeat outlives the fetcher so leases stay fresh while
+        # owned tasks drain; it only stops once the workers are done (or
+        # on abort, where renewing would keep abandoned tasks from the
+        # reaper).
+        self._stop_heartbeat.set()
+        if self._heartbeat is not None:
+            self._heartbeat.join(timeout)
+            self._heartbeat = None
         if self._trace is not None and self._started:
             self._trace.record(
                 EventKind.POOL_STOP, self._eqsql.clock.now(), source=self.name
@@ -172,15 +207,28 @@ class ThreadedWorkerPool:
                 clock.sleep(config.poll_delay)
                 continue
             t0 = clock.now() if tracer.enabled else 0.0
-            messages = self._eqsql.query_task_batch(
-                config.work_type,
-                batch_size=config.batch_size or config.n_workers,
-                threshold=config.threshold,
-                owned=owned,
-                worker_pool=config.name,
-                delay=config.poll_delay,
-                timeout=config.query_timeout,
-            )
+            try:
+                messages = self._eqsql.query_task_batch(
+                    config.work_type,
+                    batch_size=config.batch_size or config.n_workers,
+                    threshold=config.threshold,
+                    owned=owned,
+                    worker_pool=config.name,
+                    delay=config.poll_delay,
+                    timeout=config.query_timeout,
+                    lease=config.lease_duration,
+                )
+            except (ReproError, OSError) as exc:
+                # A lost connection must not kill the fetcher: tasks
+                # popped server-side but never received are leased, so
+                # the reaper requeues them; we just poll again.
+                self._m_fetch_errors.inc()
+                log_event(
+                    _log, "pool.fetch_error", level=30,
+                    pool=self.name, error=str(exc),
+                )
+                clock.sleep(config.poll_delay)
+                continue
             if not messages:
                 clock.sleep(config.poll_delay)
                 continue
@@ -207,15 +255,19 @@ class ThreadedWorkerPool:
                 if message["payload"] in (EQ_STOP, EQ_ABORT):
                     # Report the sentinel so the submitter's future
                     # resolves, then begin shutdown.
-                    self._eqsql.report_task(
-                        message["eq_task_id"], config.work_type, message["payload"]
-                    )
+                    try:
+                        self._eqsql.report_task(
+                            message["eq_task_id"], config.work_type, message["payload"]
+                        )
+                    except (ReproError, OSError):
+                        pass  # shutdown proceeds; the lease reaper requeues it
                     self._stop_fetching.set()
                     if message["payload"] == EQ_ABORT:
                         self._abort.set()
                     continue
                 with self._owned_lock:
                     self._owned += 1
+                    self._owned_ids.add(message["eq_task_id"])
                 self._local.put(message)
         # Drain: wait for owned tasks to complete, then release workers.
         while not self._abort.is_set():
@@ -225,6 +277,48 @@ class ThreadedWorkerPool:
             clock.sleep(config.poll_delay)
         for _ in range(config.n_workers):
             self._local.put(None)
+
+    # -- lease heartbeat ----------------------------------------------------------
+
+    def _heartbeat_loop(self) -> None:
+        interval = self._config.heartbeat_interval
+        assert interval is not None
+        while not self._stop_heartbeat.wait(interval):
+            if self._abort.is_set():
+                # Abandoned tasks must NOT be kept alive: stop renewing
+                # so their leases lapse and the reaper requeues them.
+                return
+            self.renew_leases()
+
+    def renew_leases(self) -> int:
+        """Renew the leases of every currently owned task (one heartbeat).
+
+        Runs on the heartbeat thread in live pools; tests drive it
+        directly under a :class:`~repro.util.clock.VirtualClock`.
+        Returns the number of leases renewed.  Connection faults are
+        absorbed (the client already retried — renewal is idempotent):
+        missing one beat is survivable by design, the lease outlasting
+        several intervals.
+        """
+        lease = self._config.lease_duration
+        if lease is None:
+            return 0
+        with self._owned_lock:
+            ids = list(self._owned_ids)
+        if not ids:
+            return 0
+        try:
+            renewed = self._eqsql.store.renew_leases(
+                ids, now=self._eqsql.clock.now(), lease=lease
+            )
+        except (ReproError, OSError) as exc:
+            log_event(
+                _log, "pool.heartbeat_error", level=30,
+                pool=self.name, error=str(exc),
+            )
+            return 0
+        self._m_lease_renewals.inc(renewed)
+        return renewed
 
     # -- workers --------------------------------------------------------------------
 
@@ -289,26 +383,44 @@ class ThreadedWorkerPool:
                 sp.set_attr("failed", True)
         ran_at = clock.now()
         self._m_run.observe(ran_at - started_at)
+        lost = False
         try:
-            if sp is not None:
-                with self.tracer.span(
-                    "pool.report", component="pool", eq_task_id=eq_task_id
-                ):
+            try:
+                if sp is not None:
+                    with self.tracer.span(
+                        "pool.report", component="pool", eq_task_id=eq_task_id
+                    ):
+                        self._eqsql.report_task(eq_task_id, config.work_type, result)
+                else:
                     self._eqsql.report_task(eq_task_id, config.work_type, result)
-            else:
-                self._eqsql.report_task(eq_task_id, config.work_type, result)
-            self._m_report.observe(clock.now() - ran_at)
+                self._m_report.observe(clock.now() - ran_at)
+            except (ReproError, OSError) as exc:
+                # The connection died beyond the client's retries and the
+                # result could not be recorded.  The worker must survive:
+                # the task's lease lapses without renewal (it leaves the
+                # owned set below), the reaper requeues it, and another
+                # pool re-executes — the result is recovered, not lost.
+                lost = True
+                self._m_report_errors.inc()
+                log_event(
+                    _log, "pool.report_error", level=30,
+                    pool=self.name, eq_task_id=eq_task_id, error=str(exc),
+                )
         finally:
             if self._trace is not None:
                 self._trace.task_stop(clock.now(), eq_task_id, source=self.name)
             with self._owned_lock:
                 self._owned -= 1
+                self._owned_ids.discard(eq_task_id)
             with self._stats_lock:
-                if failed:
+                if lost:
+                    self.reports_lost += 1
+                elif failed:
                     self.tasks_failed += 1
                 else:
                     self.tasks_completed += 1
-            (self._m_failed if failed else self._m_completed).inc()
+            if not lost:
+                (self._m_failed if failed else self._m_completed).inc()
 
     # -- context manager ----------------------------------------------------------------
 

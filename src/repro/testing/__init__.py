@@ -1,0 +1,12 @@
+"""Fault-injection utilities for exercising the platform's resilience.
+
+Nothing in here runs in production paths; integration tests (and the
+``python -m repro chaos`` demo) import :class:`ChaosProxy` and
+:class:`FlakyTaskStore` to prove the ME → service → pool pipeline
+survives dropped connections, delayed frames, and crashed pools with
+zero lost tasks.
+"""
+
+from repro.testing.chaos import ChaosProxy, FlakyTaskStore
+
+__all__ = ["ChaosProxy", "FlakyTaskStore"]

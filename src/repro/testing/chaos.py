@@ -1,0 +1,432 @@
+"""Fault injection: a chaos TCP proxy and a flaky store wrapper.
+
+The paper's robustness claim (§IV-B) is only credible if the stack is
+exercised under the failures it claims to absorb.  Two injectors:
+
+- :class:`ChaosProxy` sits between a :class:`~repro.core.RemoteTaskStore`
+  and the EMEWS service, forwarding bytes while dropping, delaying, or
+  severing connections — the network-level faults of an SSH tunnel over
+  a flaky WAN.  Tests point clients at the proxy's address instead of
+  the service's.
+- :class:`FlakyTaskStore` wraps any :class:`~repro.db.TaskStore` and
+  raises ``ConnectionError`` around real operations with a configured
+  probability — including *after* the operation applied, the ambiguous
+  "request landed, response lost" case that separates idempotent from
+  non-idempotent retry handling.
+
+Both take an injected :class:`random.Random` so chaos runs are
+reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from collections.abc import Iterable, Sequence
+from typing import Any, Callable
+
+from repro.db.backend import TaskStore
+from repro.db.schema import TaskRow, TaskStatus
+
+_CHUNK = 65536
+
+
+class _Pipe:
+    """One client <-> upstream connection pair being forwarded."""
+
+    def __init__(self, client: socket.socket, upstream: socket.socket) -> None:
+        self.client = client
+        self.upstream = upstream
+        self._closed = threading.Event()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def close(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        for sock in (self.client, self.upstream):
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class ChaosProxy:
+    """A byte-forwarding TCP proxy that injects network faults.
+
+    Parameters
+    ----------
+    upstream_host, upstream_port:
+        The real service address to forward to.
+    host, port:
+        Bind address for the proxy's listener (port 0 picks a free
+        port; read :attr:`address` after :meth:`start`).
+    sever_rate:
+        Probability, evaluated per forwarded chunk, of severing the
+        connection pair instead of forwarding — the mid-request drop
+        that desyncs a request/response stream.
+    delay:
+        Seconds to sleep before forwarding each chunk (crude WAN
+        latency; applied in both directions).
+    rng:
+        Seedable randomness source for reproducible chaos.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        sever_rate: float = 0.0,
+        delay: float = 0.0,
+        rng: random.Random | None = None,
+    ) -> None:
+        self._upstream = (upstream_host, upstream_port)
+        self._sever_rate = sever_rate
+        self._delay = delay
+        self._rng = rng if rng is not None else random.Random()
+        self._rng_lock = threading.Lock()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._paused = threading.Event()
+        self._stopped = threading.Event()
+        self._pipes: list[_Pipe] = []
+        self._pipes_lock = threading.Lock()
+        self._accept_thread: threading.Thread | None = None
+        self.connections_total = 0
+        self.connections_severed = 0
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) clients should connect to instead of the service."""
+        host, port = self._listener.getsockname()[:2]
+        return (str(host), int(port))
+
+    # -- fault controls ----------------------------------------------------
+
+    def sever_all(self) -> int:
+        """Hard-close every in-flight connection pair; returns the count.
+
+        Models the tunnel collapsing: every client sees a reset mid-
+        conversation and must reconnect (through the proxy) to continue.
+        """
+        with self._pipes_lock:
+            live = [p for p in self._pipes if not p.closed]
+        for pipe in live:
+            pipe.close()
+        self.connections_severed += len(live)
+        return len(live)
+
+    def pause(self) -> None:
+        """Refuse new connections (existing ones keep flowing).
+
+        With :meth:`sever_all` this models a full outage; clients retry
+        against a dead address until :meth:`resume`.
+        """
+        self._paused.set()
+
+    def resume(self) -> None:
+        self._paused.clear()
+
+    def set_sever_rate(self, rate: float) -> None:
+        """Adjust the per-chunk sever probability at runtime."""
+        self._sever_rate = rate
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ChaosProxy":
+        if self._accept_thread is not None:
+            raise RuntimeError("chaos proxy already started")
+        self._listener.listen(32)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-proxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopped.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._pipes_lock:
+            pipes = list(self._pipes)
+        for pipe in pipes:
+            pipe.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+            self._accept_thread = None
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- forwarding --------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopped.is_set():
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            if self._paused.is_set():
+                client.close()
+                continue
+            try:
+                upstream = socket.create_connection(self._upstream, timeout=5)
+            except OSError:
+                client.close()
+                continue
+            pipe = _Pipe(client, upstream)
+            with self._pipes_lock:
+                self._pipes = [p for p in self._pipes if not p.closed]
+                self._pipes.append(pipe)
+            self.connections_total += 1
+            for src, dst in ((client, upstream), (upstream, client)):
+                threading.Thread(
+                    target=self._pump,
+                    args=(pipe, src, dst),
+                    name="chaos-proxy-pump",
+                    daemon=True,
+                ).start()
+
+    def _chaos_says_sever(self) -> bool:
+        if self._sever_rate <= 0:
+            return False
+        with self._rng_lock:
+            return self._rng.random() < self._sever_rate
+
+    def _pump(self, pipe: _Pipe, src: socket.socket, dst: socket.socket) -> None:
+        while not pipe.closed:
+            try:
+                chunk = src.recv(_CHUNK)
+            except OSError:
+                break
+            if not chunk:
+                break
+            if self._chaos_says_sever():
+                self.connections_severed += 1
+                pipe.close()
+                return
+            if self._delay > 0:
+                time.sleep(self._delay)
+            try:
+                dst.sendall(chunk)
+            except OSError:
+                break
+        pipe.close()
+
+
+class FlakyTaskStore(TaskStore):
+    """A TaskStore wrapper that injects connection faults around calls.
+
+    ``failure_rate`` is the per-call probability of raising
+    ``ConnectionError``.  When a fault fires, ``lost_response_rate``
+    decides *where*: with that probability the real operation executes
+    first and the fault hits on the way back (the applied-but-unacked
+    ambiguity); otherwise the fault fires before the operation runs.
+    ``methods`` optionally restricts injection to named methods.
+
+    The wrapper counts faults per method in :attr:`faults_injected`, so
+    tests can assert chaos actually happened (a chaos test that injected
+    nothing proves nothing).
+    """
+
+    def __init__(
+        self,
+        inner: TaskStore,
+        failure_rate: float = 0.1,
+        lost_response_rate: float = 0.5,
+        methods: Iterable[str] | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self._inner = inner
+        self._failure_rate = failure_rate
+        self._lost_response_rate = lost_response_rate
+        self._methods = frozenset(methods) if methods is not None else None
+        self._rng = rng if rng is not None else random.Random()
+        self._rng_lock = threading.Lock()
+        self.faults_injected: dict[str, int] = {}
+
+    @property
+    def inner(self) -> TaskStore:
+        """The wrapped store (for assertions on true state)."""
+        return self._inner
+
+    def _invoke(self, method: str, op: Callable[[], Any]) -> Any:
+        if self._methods is not None and method not in self._methods:
+            return op()
+        with self._rng_lock:
+            fault = self._rng.random() < self._failure_rate
+            after = fault and self._rng.random() < self._lost_response_rate
+        if fault and not after:
+            self.faults_injected[method] = self.faults_injected.get(method, 0) + 1
+            raise ConnectionError(f"injected fault before {method}")
+        result = op()
+        if fault:
+            self.faults_injected[method] = self.faults_injected.get(method, 0) + 1
+            raise ConnectionError(f"injected fault after {method} (response lost)")
+        return result
+
+    # -- delegated TaskStore contract --------------------------------------
+
+    def create_task(
+        self,
+        exp_id: str,
+        eq_type: int,
+        payload: str,
+        *,
+        priority: int = 0,
+        tag: str | None = None,
+        time_created: float = 0.0,
+    ) -> int:
+        return self._invoke(
+            "create_task",
+            lambda: self._inner.create_task(
+                exp_id, eq_type, payload,
+                priority=priority, tag=tag, time_created=time_created,
+            ),
+        )
+
+    def create_tasks(
+        self,
+        exp_id: str,
+        eq_type: int,
+        payloads: Sequence[str],
+        *,
+        priority: int | Sequence[int] = 0,
+        tag: str | None = None,
+        time_created: float = 0.0,
+    ) -> list[int]:
+        return self._invoke(
+            "create_tasks",
+            lambda: self._inner.create_tasks(
+                exp_id, eq_type, payloads,
+                priority=priority, tag=tag, time_created=time_created,
+            ),
+        )
+
+    def pop_out(
+        self,
+        eq_type: int,
+        n: int = 1,
+        *,
+        worker_pool: str = "default",
+        now: float = 0.0,
+        lease: float | None = None,
+    ) -> list[tuple[int, str]]:
+        return self._invoke(
+            "pop_out",
+            lambda: self._inner.pop_out(
+                eq_type, n, worker_pool=worker_pool, now=now, lease=lease
+            ),
+        )
+
+    def queue_out_length(self, eq_type: int | None = None) -> int:
+        return self._invoke(
+            "queue_out_length", lambda: self._inner.queue_out_length(eq_type)
+        )
+
+    def report(
+        self,
+        eq_task_id: int,
+        eq_type: int,
+        result: str,
+        *,
+        now: float = 0.0,
+    ) -> None:
+        return self._invoke(
+            "report",
+            lambda: self._inner.report(eq_task_id, eq_type, result, now=now),
+        )
+
+    def pop_in(self, eq_task_id: int) -> str | None:
+        return self._invoke("pop_in", lambda: self._inner.pop_in(eq_task_id))
+
+    def pop_in_any(
+        self, eq_task_ids: Iterable[int], limit: int | None = None
+    ) -> list[tuple[int, str]]:
+        ids = list(eq_task_ids)
+        return self._invoke(
+            "pop_in_any", lambda: self._inner.pop_in_any(ids, limit=limit)
+        )
+
+    def queue_in_length(self) -> int:
+        return self._invoke("queue_in_length", self._inner.queue_in_length)
+
+    def get_task(self, eq_task_id: int) -> TaskRow:
+        return self._invoke("get_task", lambda: self._inner.get_task(eq_task_id))
+
+    def get_statuses(self, eq_task_ids: Sequence[int]) -> list[tuple[int, TaskStatus]]:
+        return self._invoke(
+            "get_statuses", lambda: self._inner.get_statuses(eq_task_ids)
+        )
+
+    def get_priorities(self, eq_task_ids: Sequence[int]) -> list[tuple[int, int]]:
+        return self._invoke(
+            "get_priorities", lambda: self._inner.get_priorities(eq_task_ids)
+        )
+
+    def update_priorities(
+        self, eq_task_ids: Sequence[int], priorities: int | Sequence[int]
+    ) -> int:
+        return self._invoke(
+            "update_priorities",
+            lambda: self._inner.update_priorities(eq_task_ids, priorities),
+        )
+
+    def cancel_tasks(self, eq_task_ids: Sequence[int]) -> int:
+        return self._invoke(
+            "cancel_tasks", lambda: self._inner.cancel_tasks(eq_task_ids)
+        )
+
+    def requeue(self, eq_task_id: int, *, priority: int = 0) -> bool:
+        return self._invoke(
+            "requeue", lambda: self._inner.requeue(eq_task_id, priority=priority)
+        )
+
+    def renew_leases(
+        self, eq_task_ids: Sequence[int], *, now: float, lease: float
+    ) -> int:
+        return self._invoke(
+            "renew_leases",
+            lambda: self._inner.renew_leases(eq_task_ids, now=now, lease=lease),
+        )
+
+    def requeue_expired(self, *, now: float, priority: int = 0) -> list[int]:
+        return self._invoke(
+            "requeue_expired",
+            lambda: self._inner.requeue_expired(now=now, priority=priority),
+        )
+
+    def tasks_for_experiment(self, exp_id: str) -> list[int]:
+        return self._invoke(
+            "tasks_for_experiment", lambda: self._inner.tasks_for_experiment(exp_id)
+        )
+
+    def tasks_for_tag(self, tag: str) -> list[int]:
+        return self._invoke("tasks_for_tag", lambda: self._inner.tasks_for_tag(tag))
+
+    def max_task_id(self) -> int:
+        return self._invoke("max_task_id", self._inner.max_task_id)
+
+    def clear(self) -> None:
+        return self._invoke("clear", self._inner.clear)
+
+    def close(self) -> None:
+        # Never inject on close: cleanup must always succeed.
+        self._inner.close()

@@ -61,6 +61,23 @@ class CancelledError_(ReproError):
     """The awaited work was cancelled before producing a result."""
 
 
+class ConnectionBrokenError(ReproError):
+    """A service connection died mid-request and the request's fate is
+    unknown.
+
+    Raised by :class:`repro.core.service_client.RemoteTaskStore` when a
+    non-idempotent RPC fails after the request may have reached the
+    server: retrying could double-apply it, so the client tears the
+    socket down, surfaces this, and lets the caller (or the lease
+    reaper, for popped tasks) decide.  The next call on the store
+    reconnects automatically.
+    """
+
+
+class ServiceUnavailableError(ReproError):
+    """The EMEWS service could not be reached after exhausting retries."""
+
+
 class EndpointUnavailableError(ReproError):
     """The target fabric endpoint is offline or unregistered."""
 

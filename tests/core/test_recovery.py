@@ -79,6 +79,31 @@ class TestFindOrphans:
         orphans = find_orphaned_tasks(eq, "exp", stuck_after=50)
         assert len(orphans) == 1
 
+    def test_none_time_start_is_infinitely_stuck(self, store):
+        # Regression: a RUNNING row with no recorded start time (a
+        # half-applied claim) used to slip past the stuck_after
+        # heuristic; it must be flagged no matter the window.
+        from repro.db import SqliteTaskStore
+
+        clock = VirtualClock()
+        eq = EQSQL(store, clock=clock)
+        eq.submit_task("exp", 0, "p")
+        message = eq.query_task(0, timeout=0)
+        tid = message["eq_task_id"]
+        if isinstance(store, SqliteTaskStore):
+            with store._txn() as cur:
+                cur.execute(
+                    "UPDATE eq_tasks SET time_start = NULL WHERE eq_task_id = ?",
+                    (tid,),
+                )
+        else:
+            store._tasks[tid].time_start = None
+        clock.advance(10)
+        orphans = find_orphaned_tasks(eq, "exp", stuck_after=1_000_000)
+        assert [o.eq_task_id for o in orphans] == [tid]
+        assert orphans[0].time_start is None
+        assert requeue_tasks(eq, orphans) == 1
+
     def test_unknown_experiment_empty(self, eq):
         assert find_orphaned_tasks(eq, "no-such-exp") == []
 

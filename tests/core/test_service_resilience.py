@@ -1,0 +1,244 @@
+"""RemoteTaskStore resilience: reconnect, retry classification, desync.
+
+The client promises: idempotent RPCs survive any connection fault
+transparently (teardown, backoff, re-handshake, re-send); non-idempotent
+RPCs are retried only when the request provably never left (connect
+failure), and otherwise raise ConnectionBrokenError; a desynced socket
+is never reused.  The chaos proxy provides the faults.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.core import RemoteTaskStore, TaskService
+from repro.core import protocol
+from repro.core.service_client import (
+    IDEMPOTENT_METHODS,
+    NON_IDEMPOTENT_METHODS,
+    RetryPolicy,
+)
+from repro.db import MemoryTaskStore
+from repro.db.backend import TaskStore
+from repro.telemetry.metrics import MetricsRegistry
+from repro.testing import ChaosProxy
+from repro.util.errors import ConnectionBrokenError, ServiceUnavailableError
+
+FAST_RETRY = RetryPolicy(max_attempts=6, base_delay=0.01, max_delay=0.05)
+
+
+@pytest.fixture
+def service():
+    backing = MemoryTaskStore()
+    svc = TaskService(backing).start()
+    yield svc
+    svc.stop()
+    backing.close()
+
+
+@pytest.fixture
+def proxy(service):
+    with ChaosProxy(*service.address, rng=random.Random(7)) as p:
+        yield p
+
+
+@pytest.fixture
+def client(proxy):
+    metrics = MetricsRegistry()
+    store = RemoteTaskStore(
+        *proxy.address, retry=FAST_RETRY, metrics=metrics, rng=random.Random(7)
+    )
+    store.test_metrics = metrics
+    yield store
+    store.close()
+
+
+class TestRetryClassification:
+    def test_every_store_method_is_classified(self):
+        # A new TaskStore method must be placed in exactly one bucket —
+        # an unclassified method would silently default to non-retry.
+        rpc_methods = {
+            name
+            for name in TaskStore.__abstractmethods__
+            if name != "close"
+        }
+        classified = IDEMPOTENT_METHODS | NON_IDEMPOTENT_METHODS
+        assert rpc_methods <= classified
+        assert not (IDEMPOTENT_METHODS & NON_IDEMPOTENT_METHODS)
+
+    def test_mutating_but_convergent_methods_are_idempotent(self):
+        for method in ("report", "requeue", "renew_leases", "requeue_expired"):
+            assert method in IDEMPOTENT_METHODS
+
+    def test_pops_and_creates_are_not(self):
+        for method in ("create_task", "create_tasks", "pop_out", "pop_in"):
+            assert method in NON_IDEMPOTENT_METHODS
+
+
+class TestReconnectAndRetry:
+    def test_idempotent_call_survives_sever(self, proxy, client):
+        client.create_task("exp", 0, "p")
+        assert proxy.sever_all() >= 1
+        # The read fails on the dead socket; the client reconnects
+        # (through the proxy) and re-sends transparently.
+        assert client.queue_out_length(0) == 1
+        assert client.connected
+        assert client.test_metrics.get("service.client.reconnects").value >= 1
+
+    def test_report_survives_sever(self, proxy, client):
+        tid = client.create_task("exp", 0, "p")
+        client.pop_out(0, worker_pool="w")
+        proxy.sever_all()
+        client.report(tid, 0, "result")  # idempotent: retried
+        assert client.pop_in(tid) == "result"
+
+    def test_lease_calls_survive_sever(self, proxy, client):
+        tid = client.create_task("exp", 0, "p")
+        client.pop_out(0, worker_pool="w", now=0.0, lease=10.0)
+        proxy.sever_all()
+        assert client.renew_leases([tid], now=5.0, lease=10.0) == 1
+        proxy.sever_all()
+        assert client.requeue_expired(now=30.0) == [tid]
+
+    def test_non_idempotent_mid_request_raises_connection_broken(
+        self, proxy, client
+    ):
+        proxy.sever_all()  # client holds a socket the proxy just killed
+        with pytest.raises(ConnectionBrokenError):
+            client.create_task("exp", 0, "p")
+        # The desynced socket was torn down, not kept.
+        assert not client.connected
+        # The caller decides to retry; a fresh connection serves it.
+        assert client.create_task("exp", 0, "p2") >= 1
+
+    def test_retries_exhausted_raises_service_unavailable(self, proxy, client):
+        client.queue_in_length()  # establish
+        proxy.pause()  # outage: new connections are refused
+        proxy.sever_all()
+        with pytest.raises(ServiceUnavailableError):
+            client.queue_in_length()
+        # Outage ends; the same client recovers on the next call.
+        proxy.resume()
+        assert client.queue_in_length() == 0
+
+    def test_constructor_fails_fast_when_unreachable(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises((OSError, ConnectionError)):
+            RemoteTaskStore("127.0.0.1", port)
+
+    def test_closed_client_refuses_calls(self, client):
+        client.close()
+        with pytest.raises(RuntimeError):
+            client.queue_in_length()
+
+
+class _MisbehavingServer:
+    """A fake service that handshakes correctly, then answers every
+    subsequent request with a mismatched response id (a stale frame)."""
+
+    def __init__(self):
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.address = self._listener.getsockname()
+        self._stop = False
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while not self._stop:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._handle, args=(conn,), daemon=True
+            ).start()
+
+    def _handle(self, conn):
+        rfile = conn.makefile("rb")
+        wfile = conn.makefile("wb")
+        try:
+            first = True
+            while True:
+                request = protocol.read_message(rfile)
+                if request is None:
+                    return
+                if first:
+                    protocol.write_message(wfile, {
+                        "id": request["id"], "ok": True,
+                        "result": {"version": protocol.PROTOCOL_VERSION},
+                    })
+                    first = False
+                else:
+                    protocol.write_message(wfile, {
+                        "id": request["id"] + 1000, "ok": True, "result": None,
+                    })
+        except (OSError, ValueError):
+            pass
+        finally:
+            conn.close()
+
+    def close(self):
+        self._stop = True
+        self._listener.close()
+
+
+class TestDesyncDetection:
+    # Regression for the stale-frame hazard: a response whose id does
+    # not match the request must never be returned as the result, and
+    # the connection must be replaced, not reused.
+
+    def test_mismatched_id_on_non_idempotent_breaks_connection(self):
+        server = _MisbehavingServer()
+        try:
+            client = RemoteTaskStore(*server.address, retry=FAST_RETRY)
+            with pytest.raises(ConnectionBrokenError):
+                client.create_task("exp", 0, "p")
+            assert not client.connected
+            client.close()
+        finally:
+            server.close()
+
+    def test_mismatched_id_on_idempotent_retries_then_gives_up(self):
+        server = _MisbehavingServer()
+        try:
+            client = RemoteTaskStore(
+                *server.address,
+                retry=RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.02),
+            )
+            # Every attempt gets a fresh connection and a fresh stale
+            # frame; the client must keep discarding, never pair the
+            # wrong response with the request.
+            with pytest.raises(ServiceUnavailableError, match="desynced"):
+                client.queue_in_length()
+            client.close()
+        finally:
+            server.close()
+
+
+class TestRetryPolicy:
+    def test_delay_grows_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0, multiplier=2.0,
+                             jitter=0.0)
+        rng = random.Random(0)
+        assert policy.delay(0, rng) == pytest.approx(0.1)
+        assert policy.delay(1, rng) == pytest.approx(0.2)
+        assert policy.delay(10, rng) == pytest.approx(1.0)  # capped
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0, multiplier=2.0,
+                             jitter=0.5)
+        rng = random.Random(42)
+        for attempt in range(6):
+            raw = min(1.0, 0.1 * 2.0**attempt)
+            for _ in range(50):
+                d = policy.delay(attempt, rng)
+                assert raw * 0.5 <= d <= raw
