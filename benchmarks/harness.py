@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Runnable wrapper for the benchmark-regression harness.
+
+Equivalent to ``python -m repro bench``; kept here so the benchmarks
+directory is self-contained:
+
+    PYTHONPATH=src python benchmarks/harness.py --smoke
+    PYTHONPATH=src python benchmarks/harness.py --baseline benchmarks/baseline.json
+
+The real logic lives in :mod:`repro.bench` so it is importable (and
+unit-tested) wherever the package is installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import BENCHES, DEFAULT_TOLERANCE, run_harness  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "names", nargs="*", help=f"benches to run (default all: {', '.join(BENCHES)})"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workloads: exercise every code path quickly")
+    parser.add_argument("--out-dir", default="benchmarks/reports",
+                        help="directory for BENCH_<name>.json results")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON to compare against (exit 1 on regression)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional degradation vs baseline")
+    args = parser.parse_args(argv)
+    return run_harness(
+        names=args.names or None,
+        smoke=args.smoke,
+        out_dir=args.out_dir,
+        baseline_path=args.baseline,
+        tolerance=args.tolerance,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

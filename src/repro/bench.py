@@ -1,0 +1,395 @@
+"""Benchmark-regression harness: curated benches, versioned results.
+
+``python -m repro bench`` runs a small curated subset of the repo's
+performance surface — DB backend throughput, remote-store RPC, service
+round trips, end-to-end pool throughput — and writes one
+schema-versioned ``BENCH_<name>.json`` per bench, stamped with an
+environment fingerprint.  Given a committed baseline it compares each
+metric within a tolerance and exits nonzero on regression, which is the
+guard-rail the paper's scaling claims need: a refactor that silently
+halves tasks/s fails the harness, not a reviewer's eyeball.
+
+Result schema (``SCHEMA_VERSION`` = 1)::
+
+    {"schema_version": 1, "name": "...", "smoke": bool,
+     "unix_time": float, "env": {...}, "params": {...},
+     "metrics": {"<metric>": float, ...}}
+
+Metric-direction convention: names ending ``_per_s`` are
+higher-is-better; names ending ``_seconds`` are lower-is-better.  The
+comparison only fails on change in the *bad* direction beyond the
+tolerance — getting faster never fails.
+
+Pure stdlib + the repo itself (no pytest-benchmark), so the harness runs
+anywhere the package imports — including the CI ``bench-smoke`` job and
+a login node.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from collections.abc import Callable, Iterable
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+#: Default relative tolerance: fail only when a metric degrades by more
+#: than this fraction vs the baseline.  Generous because CI machines and
+#: laptops differ wildly; tighten per-invocation with ``--tolerance``.
+DEFAULT_TOLERANCE = 0.5
+
+_REQUIRED_KEYS = ("schema_version", "name", "smoke", "unix_time", "env", "metrics")
+
+
+# ---------------------------------------------------------------------------
+# result plumbing
+
+
+def environment_fingerprint() -> dict:
+    """Where this result came from — enough to judge comparability."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def make_result(
+    name: str, metrics: dict[str, float], smoke: bool, params: dict
+) -> dict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": name,
+        "smoke": smoke,
+        "unix_time": time.time(),
+        "env": environment_fingerprint(),
+        "params": params,
+        "metrics": {k: float(v) for k, v in metrics.items()},
+    }
+
+
+def validate_result(obj: object) -> list[str]:
+    """Schema violations in one result object ([] when valid)."""
+    errors: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"result must be an object, got {type(obj).__name__}"]
+    for key in _REQUIRED_KEYS:
+        if key not in obj:
+            errors.append(f"missing key {key!r}")
+    if errors:
+        return errors
+    if obj["schema_version"] != SCHEMA_VERSION:
+        errors.append(
+            f"schema_version {obj['schema_version']!r} != {SCHEMA_VERSION}"
+        )
+    if not isinstance(obj["name"], str) or not obj["name"]:
+        errors.append("name must be a non-empty string")
+    if not isinstance(obj["metrics"], dict) or not obj["metrics"]:
+        errors.append("metrics must be a non-empty object")
+    else:
+        for metric, value in obj["metrics"].items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"metric {metric!r} must be numeric, got {value!r}")
+    if not isinstance(obj["env"], dict):
+        errors.append("env must be an object")
+    return errors
+
+
+def write_results(results: Iterable[dict], out_dir: str | Path) -> list[Path]:
+    """One ``BENCH_<name>.json`` per result; returns the paths."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for result in results:
+        path = out_dir / f"BENCH_{result['name']}.json"
+        path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        paths.append(path)
+    return paths
+
+
+def metric_direction(metric: str) -> int:
+    """+1 when higher is better, -1 when lower is better, 0 if unknown
+    (unknown metrics are informational and never fail the comparison)."""
+    if metric.endswith("_per_s"):
+        return 1
+    if metric.endswith("_seconds"):
+        return -1
+    return 0
+
+
+def compare_result(
+    result: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> list[str]:
+    """Regression messages for one result vs its baseline ([] if clean)."""
+    problems: list[str] = []
+    base_metrics = baseline.get("metrics", {})
+    for metric, value in result["metrics"].items():
+        if metric not in base_metrics:
+            continue
+        base = float(base_metrics[metric])
+        direction = metric_direction(metric)
+        if direction == 0 or base == 0:
+            continue
+        change = (float(value) - base) / abs(base)
+        if direction * change < -tolerance:
+            problems.append(
+                f"{result['name']}.{metric}: {value:.4g} vs baseline "
+                f"{base:.4g} ({change:+.1%}, tolerance {tolerance:.0%})"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# the curated benches
+
+
+def _rate(n: int, elapsed: float) -> float:
+    return n / elapsed if elapsed > 0 else 0.0
+
+
+def bench_db_throughput(smoke: bool = False) -> dict:
+    """Raw backend ops/s: create, pop_out, report, for both backends."""
+    from repro.db import MemoryTaskStore, SqliteTaskStore
+
+    n = 200 if smoke else 2000
+    metrics: dict[str, float] = {}
+    for label, store in (
+        ("memory", MemoryTaskStore()),
+        ("sqlite", SqliteTaskStore(":memory:")),
+    ):
+        t0 = time.perf_counter()
+        ids = store.create_tasks("bench", 0, ["{}"] * n)
+        t1 = time.perf_counter()
+        popped = []
+        while len(popped) < n:
+            popped.extend(store.pop_out(0, n=50))
+        t2 = time.perf_counter()
+        for eq_task_id, _payload in popped:
+            store.report(eq_task_id, 0, "{}")
+        t3 = time.perf_counter()
+        assert len(ids) == n
+        metrics[f"{label}_create_per_s"] = _rate(n, t1 - t0)
+        metrics[f"{label}_pop_per_s"] = _rate(n, t2 - t1)
+        metrics[f"{label}_report_per_s"] = _rate(n, t3 - t2)
+        store.close()
+    return make_result("db_throughput", metrics, smoke, {"n_tasks": n})
+
+
+def bench_store_rpc(smoke: bool = False) -> dict:
+    """RemoteTaskStore over loopback: the full create → pop → report
+    cycle through the TCP service, plus stats() round-trip time."""
+    from repro.core.service import TaskService
+    from repro.core.service_client import RemoteTaskStore
+    from repro.db import MemoryTaskStore
+
+    n = 50 if smoke else 500
+    service = TaskService(MemoryTaskStore(), port=0)
+    service.start()
+    try:
+        host, port = service.address
+        remote = RemoteTaskStore(host, port)
+        try:
+            t0 = time.perf_counter()
+            remote.create_tasks("bench", 0, ["{}"] * n)
+            t1 = time.perf_counter()
+            popped = []
+            while len(popped) < n:
+                popped.extend(remote.pop_out(0, n=50))
+            t2 = time.perf_counter()
+            for eq_task_id, _payload in popped:
+                remote.report(eq_task_id, 0, "{}")
+            t3 = time.perf_counter()
+            n_stats = 20 if smoke else 100
+            t4 = time.perf_counter()
+            for _ in range(n_stats):
+                remote.stats()
+            t5 = time.perf_counter()
+            metrics = {
+                "create_per_s": _rate(n, t1 - t0),
+                "pop_per_s": _rate(n, t2 - t1),
+                "report_per_s": _rate(n, t3 - t2),
+                "stats_rtt_seconds": (t5 - t4) / n_stats,
+            }
+        finally:
+            remote.close()
+    finally:
+        service.stop()
+    return make_result("store_rpc", metrics, smoke, {"n_tasks": n})
+
+
+def bench_service_rpc(smoke: bool = False) -> dict:
+    """Service request throughput on the cheapest call (queue length)."""
+    from repro.core.service import TaskService
+    from repro.core.service_client import RemoteTaskStore
+    from repro.db import MemoryTaskStore
+
+    n = 100 if smoke else 2000
+    service = TaskService(MemoryTaskStore(), port=0)
+    service.start()
+    try:
+        host, port = service.address
+        remote = RemoteTaskStore(host, port)
+        try:
+            remote.queue_in_length()  # connect + handshake outside the clock
+            t0 = time.perf_counter()
+            for _ in range(n):
+                remote.queue_in_length()
+            t1 = time.perf_counter()
+            metrics = {
+                "requests_per_s": _rate(n, t1 - t0),
+                "rtt_seconds": (t1 - t0) / n,
+            }
+        finally:
+            remote.close()
+    finally:
+        service.stop()
+    return make_result("service_rpc", metrics, smoke, {"n_requests": n})
+
+
+def bench_pool_throughput(
+    smoke: bool = False, with_monitoring: bool = False
+) -> dict:
+    """End-to-end tasks/s through a threaded pool on trivial tasks.
+
+    With ``with_monitoring`` the same workload runs behind a service
+    carrying an active StoreSampler — the number the <5% monitoring
+    overhead budget is judged against.
+    """
+    from repro.core import EQSQL, as_completed
+    from repro.db import MemoryTaskStore
+    from repro.pools import PoolConfig, PythonTaskHandler, ThreadedWorkerPool
+    from repro.telemetry.metrics import MetricsRegistry
+
+    n = 50 if smoke else 400
+    store = MemoryTaskStore()
+    sampler = None
+    if with_monitoring:
+        from repro.telemetry.monitor import StoreSampler
+
+        sampler = StoreSampler(store, metrics=MetricsRegistry(), interval=0.05)
+        sampler.start()
+    eq = EQSQL(store)
+    pool = ThreadedWorkerPool(
+        eq,
+        PythonTaskHandler(lambda d: d),
+        PoolConfig(work_type=0, n_workers=4, batch_size=8, poll_delay=0.001),
+    ).start()
+    try:
+        t0 = time.perf_counter()
+        futures = eq.submit_tasks("bench", 0, ["{}"] * n)
+        done = list(as_completed(futures, delay=0.001, timeout=120))
+        t1 = time.perf_counter()
+        assert len(done) == n
+    finally:
+        pool.stop()
+        if sampler is not None:
+            sampler.stop()
+        eq.close()
+    name = "pool_throughput_monitored" if with_monitoring else "pool_throughput"
+    return make_result(
+        name,
+        {"tasks_per_s": _rate(n, t1 - t0)},
+        smoke,
+        {"n_tasks": n, "n_workers": 4, "with_monitoring": with_monitoring},
+    )
+
+
+BENCHES: dict[str, Callable[[bool], dict]] = {
+    "db_throughput": bench_db_throughput,
+    "store_rpc": bench_store_rpc,
+    "service_rpc": bench_service_rpc,
+    "pool_throughput": bench_pool_throughput,
+    "pool_throughput_monitored": lambda smoke: bench_pool_throughput(
+        smoke, with_monitoring=True
+    ),
+}
+
+
+# ---------------------------------------------------------------------------
+# harness driver
+
+
+def load_baseline(path: str | Path) -> dict[str, dict]:
+    """A committed baseline file: ``{"<bench name>": {result...}}``."""
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, dict):
+        raise ValueError("baseline must be a JSON object keyed by bench name")
+    return data
+
+
+def run_harness(
+    names: Iterable[str] | None = None,
+    smoke: bool = False,
+    out_dir: str | Path = "benchmarks/reports",
+    baseline_path: str | Path | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    out=sys.stdout,
+) -> int:
+    """Run the curated benches; returns the process exit code.
+
+    0 — all ran, schema valid, no regressions; 1 — regression vs
+    baseline; 2 — schema violation or unknown bench name.
+    """
+    selected = list(names) if names else list(BENCHES)
+    unknown = [n for n in selected if n not in BENCHES]
+    if unknown:
+        print(f"bench: unknown bench(es): {', '.join(unknown)}", file=out)
+        print(f"bench: available: {', '.join(BENCHES)}", file=out)
+        return 2
+
+    results = []
+    for name in selected:
+        print(f"bench: running {name}{' (smoke)' if smoke else ''} ...", file=out)
+        result = BENCHES[name](smoke)
+        errors = validate_result(result)
+        if errors:
+            print(f"bench: {name}: schema violation: {'; '.join(errors)}", file=out)
+            return 2
+        for metric, value in sorted(result["metrics"].items()):
+            print(f"  {metric} = {value:.4g}", file=out)
+        results.append(result)
+
+    paths = write_results(results, out_dir)
+    for path in paths:
+        print(f"bench: wrote {path}", file=out)
+
+    if baseline_path is not None:
+        baseline = load_baseline(baseline_path)
+        problems: list[str] = []
+        for result in results:
+            base = baseline.get(result["name"])
+            if base is None:
+                print(f"bench: no baseline for {result['name']}; skipping", file=out)
+                continue
+            if bool(base.get("smoke")) != bool(result["smoke"]):
+                print(
+                    f"bench: warning: comparing a "
+                    f"{'smoke' if result['smoke'] else 'full'} run against a "
+                    f"{'smoke' if base.get('smoke') else 'full'} baseline for "
+                    f"{result['name']} — smaller workloads amortize less, "
+                    "expect pessimistic numbers",
+                    file=out,
+                )
+            base_errors = validate_result(base)
+            if base_errors:
+                print(
+                    f"bench: baseline for {result['name']} invalid: "
+                    f"{'; '.join(base_errors)}",
+                    file=out,
+                )
+                return 2
+            problems.extend(compare_result(result, base, tolerance))
+        if problems:
+            print("bench: REGRESSIONS:", file=out)
+            for problem in problems:
+                print(f"  {problem}", file=out)
+            return 1
+        print("bench: no regressions vs baseline", file=out)
+    return 0

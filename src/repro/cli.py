@@ -10,6 +10,8 @@ Usage::
     python -m repro trace [--tasks N] [--out trace.json] [--spans spans.jsonl]
     python -m repro metrics [--tasks N]
     python -m repro chaos [--tasks N] [--sever-rate R] [--kill-pool]
+    python -m repro monitor URL [--interval S] [--once] [--json]
+    python -m repro bench [NAME ...] [--smoke] [--baseline FILE]
 
 Every command prints the same text series the benchmark harness writes
 to ``benchmarks/reports/``, so a user can eyeball the reproduced figures
@@ -19,7 +21,10 @@ JSON for Perfetto, optional JSONL, and a latency-breakdown table);
 ``metrics`` runs the same workload and prints the always-on counter /
 histogram registry; ``chaos`` runs the workload through a
 fault-injecting TCP proxy (random severs, optional mid-batch pool
-kill) and verifies zero lost or duplicated results.
+kill) and verifies zero lost or duplicated results; ``monitor`` renders
+a live terminal view of a running service's ``/status`` endpoint; and
+``bench`` runs the benchmark-regression harness (see
+:mod:`repro.bench`).
 """
 
 from __future__ import annotations
@@ -267,6 +272,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     previous_metrics = set_metrics(registry)
     rng = random.Random(args.seed)
     retry = RetryPolicy(max_attempts=12, base_delay=0.02, max_delay=0.25)
+    final_status: dict = {}
 
     def make_pool(name: str, eq: EQSQL) -> ThreadedWorkerPool:
         return ThreadedWorkerPool(
@@ -287,8 +293,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             ),
         )
 
+    # status_port=0 embeds the monitoring endpoint on an ephemeral
+    # port; the final report below reads queue/lease state from its
+    # /status JSON — the same payload `repro monitor` renders live.
     service = TaskService(
-        MemoryTaskStore(), lease_reaper_interval=args.lease / 4
+        MemoryTaskStore(metrics=registry),
+        lease_reaper_interval=args.lease / 4,
+        metrics=registry,
+        status_port=0,
+        sampler_interval=0.25,
     ).start()
     proxy = ChaosProxy(*service.address, rng=rng).start()
     host, port = proxy.address
@@ -347,6 +360,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         got = [task_id for task_id, _ in results]
         lost = len(task_ids) - len(set(got))
         duplicated = len(got) - len(set(got))
+        # Final queue/lease state via the embedded status endpoint —
+        # the same JSON `repro monitor` polls.
+        from repro.telemetry.monitor import fetch_json
+
+        final_status = fetch_json(service.status_url + "/status")
     finally:
         for pool in pools:
             pool.stop(drain=False, timeout=5)
@@ -376,8 +394,25 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             ["lease renewals", count("pool.lease_renewals")],
             ["pool fetch errors", count("pool.fetch_errors")],
             ["pool reports lost", count("pool.report_errors")],
+            ["db lease renewals", count("db.lease_renewals")],
+            ["db lease requeues", count("db.lease_requeues")],
+            ["report withdrawals", count("db.report_withdrawals")],
         ],
     ))
+    store_state = final_status.get("store", {})
+    if store_state:
+        tasks_state = store_state.get("tasks", {})
+        leases_state = store_state.get("leases", {})
+        print("\nfinal /status (queue + lease state at collection time):\n")
+        print(render_table(
+            ["state", "value"],
+            [
+                *[[f"tasks {k}", v] for k, v in tasks_state.items()],
+                ["queue_out depth", store_state.get("queue_out_total", 0)],
+                ["queue_in depth", store_state.get("queue_in", 0)],
+                *[[f"leases {k}", v] for k, v in leases_state.items()],
+            ],
+        ))
     if lost or duplicated:
         print("\nFAIL: results lost or duplicated under chaos")
         return 1
@@ -399,6 +434,29 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     print(f"metrics after {args.tasks} tasks through the service + pool pipeline:\n")
     print(registry.render_text())
     return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.telemetry.monitor import run_monitor
+
+    return run_monitor(
+        args.url,
+        interval=args.interval,
+        once=args.once,
+        json_mode=args.json,
+    )
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_harness
+
+    return run_harness(
+        names=args.names or None,
+        smoke=args.smoke,
+        out_dir=args.out_dir,
+        baseline_path=args.baseline,
+        tolerance=args.tolerance,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -471,6 +529,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=120.0,
                    help="overall deadline in seconds (default 120)")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "monitor",
+        help="live terminal view of a running service's /status endpoint",
+    )
+    p.add_argument("url", help="status server address (host:port or http URL)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between polls (default 2)")
+    p.add_argument("--once", action="store_true",
+                   help="take a single snapshot and exit")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw /status JSON instead of tables")
+    p.set_defaults(fn=_cmd_monitor)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark-regression harness: run curated benches, compare baseline",
+    )
+    p.add_argument("names", nargs="*",
+                   help="benches to run (default: all; see repro.bench.BENCHES)")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny workloads: exercise every path quickly")
+    p.add_argument("--out-dir", default="benchmarks/reports",
+                   help="directory for BENCH_<name>.json results")
+    p.add_argument("--baseline", default=None,
+                   help="baseline JSON to compare against (exit 1 on regression)")
+    p.add_argument("--tolerance", type=float, default=0.5,
+                   help="allowed fractional degradation vs baseline (default 0.5)")
+    p.set_defaults(fn=_cmd_bench)
 
     return parser
 

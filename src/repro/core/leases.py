@@ -107,6 +107,11 @@ class LeaseReaper:
         self._thread.start()
         return self
 
+    def is_alive(self) -> bool:
+        """Whether the sweep thread is currently running (liveness probe)."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
     def stop(self) -> None:
         """Stop the sweep thread (idempotent)."""
         self._stop.set()

@@ -38,8 +38,12 @@ _ERROR_TYPES: dict[str, type[Exception]] = {
 }
 
 
-def write_message(stream: BinaryIO, message: dict[str, Any]) -> None:
-    """Write one newline-delimited JSON message and flush."""
+def write_message(stream: BinaryIO, message: dict[str, Any]) -> int:
+    """Write one newline-delimited JSON message and flush.
+
+    Returns the frame size in bytes (newline included) so callers can
+    keep wire-traffic counters without re-serializing.
+    """
     data = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if b"\n" in data:
         # json.dumps never emits raw newlines, but guard the invariant
@@ -47,20 +51,26 @@ def write_message(stream: BinaryIO, message: dict[str, Any]) -> None:
         raise SerializationError("protocol message contains a newline")
     stream.write(data + b"\n")
     stream.flush()
+    return len(data) + 1
 
 
-def read_message(stream: BinaryIO) -> dict[str, Any] | None:
-    """Read one message; None on clean EOF."""
+def read_frame(stream: BinaryIO) -> tuple[dict[str, Any] | None, int]:
+    """Read one message plus its wire size; ``(None, 0)`` on clean EOF."""
     line = stream.readline()
     if not line:
-        return None
+        return None, 0
     try:
         message = json.loads(line.decode("utf-8"))
     except (ValueError, UnicodeDecodeError) as exc:
         raise SerializationError(f"malformed protocol frame: {exc}") from exc
     if not isinstance(message, dict):
         raise SerializationError("protocol frame is not a JSON object")
-    return message
+    return message, len(line)
+
+
+def read_message(stream: BinaryIO) -> dict[str, Any] | None:
+    """Read one message; None on clean EOF."""
+    return read_frame(stream)[0]
 
 
 def inject_trace(message: dict[str, Any], ctx: SpanContext | None) -> None:

@@ -23,7 +23,7 @@ from repro.core.leases import LeaseReaper
 from repro.db.backend import TaskStore
 from repro.telemetry.metrics import MetricsRegistry, get_metrics
 from repro.telemetry.tracing import Tracer, get_tracer
-from repro.util.clock import Clock
+from repro.util.clock import Clock, SystemClock
 from repro.util.errors import AuthenticationError
 from repro.util.logging import get_logger, log_event
 
@@ -34,24 +34,33 @@ class _Handler(socketserver.StreamRequestHandler):
     """One connected client; dispatches requests to the store."""
 
     def handle(self) -> None:
-        while True:
-            try:
-                message = protocol.read_message(self.rfile)
-            except Exception as exc:
-                # Malformed frame: drop the connection.
-                log_event(_log, "service.bad_frame", level=10, error=str(exc))
-                break
-            if message is None:
-                break
-            response = self._dispatch(message)
-            try:
-                protocol.write_message(self.wfile, response)
-            except (BrokenPipeError, ConnectionResetError, ValueError):
-                break
-
-    def _dispatch(self, message: dict[str, Any]) -> dict[str, Any]:
-        request_id = message.get("id")
         service: "TaskService" = self.server.service  # type: ignore[attr-defined]
+        service.m_connections.inc()
+        service.g_connections.inc()
+        try:
+            while True:
+                try:
+                    message, n_read = protocol.read_frame(self.rfile)
+                except Exception as exc:
+                    # Malformed frame: drop the connection.
+                    log_event(_log, "service.bad_frame", level=10, error=str(exc))
+                    break
+                if message is None:
+                    break
+                service.m_bytes_received.inc(n_read)
+                response = self._dispatch(service, message)
+                try:
+                    n_sent = protocol.write_message(self.wfile, response)
+                except (BrokenPipeError, ConnectionResetError, ValueError):
+                    break
+                service.m_bytes_sent.inc(n_sent)
+        finally:
+            service.g_connections.dec()
+
+    def _dispatch(
+        self, service: "TaskService", message: dict[str, Any]
+    ) -> dict[str, Any]:
+        request_id = message.get("id")
         try:
             service.check_token(message.get("token"))
             method = message.get("method")
@@ -75,6 +84,9 @@ class _Handler(socketserver.StreamRequestHandler):
                     with tracer.span(f"db.{method}", component="db"):
                         result = service.call(method, params)
             service.m_requests.inc()
+            method_counter = service.m_method_requests.get(method)
+            if method_counter is not None:
+                method_counter.inc()
             return protocol.ok_response(request_id, result)
         except Exception as exc:
             service.m_errors.inc()
@@ -116,6 +128,20 @@ class TaskService:
         clock clients stamp ``pop_out(now=...)`` with.
     lease_requeue_priority:
         Output-queue priority the reaper requeues expired tasks at.
+    status_port:
+        When set, the service embeds a :class:`~repro.telemetry.monitor.
+        StatusServer` (separate daemon thread, stdlib ``http.server``)
+        exposing ``/healthz``, ``/readyz``, ``/metrics`` (Prometheus
+        text), and ``/status`` (JSON snapshot).  Port 0 picks a free
+        port (read it back from :attr:`status_address`).  ``None``
+        (the default) disables the endpoint entirely — no thread, no
+        socket, no per-request cost.
+    status_host:
+        Bind address for the status endpoint.
+    sampler_interval:
+        Seconds between background store snapshots when the status
+        server is enabled; the sampler keeps queue-depth/lease gauges
+        fresh between scrapes and feeds the ``/status`` depth history.
     """
 
     #: Store methods callable over the wire, with result encoders where
@@ -141,6 +167,7 @@ class TaskService:
             "tasks_for_experiment",
             "tasks_for_tag",
             "max_task_id",
+            "stats",
             "clear",
             "ping",
         }
@@ -157,20 +184,46 @@ class TaskService:
         lease_reaper_interval: float | None = None,
         clock: Clock | None = None,
         lease_requeue_priority: int = 0,
+        status_port: int | None = None,
+        status_host: str = "127.0.0.1",
+        sampler_interval: float = 1.0,
     ) -> None:
         self._store = store
         self._auth_token = auth_token
         self._tracer = tracer
+        self._clock: Clock = clock if clock is not None else SystemClock()
         registry = metrics if metrics is not None else get_metrics()
+        self._registry = registry
         self.m_requests = registry.counter(
             "service.requests", "requests handled by the EMEWS service"
         )
         self.m_errors = registry.counter(
             "service.errors", "requests that raised (returned an error frame)"
         )
+        self.m_connections = registry.counter(
+            "service.connections_total", "client connections accepted"
+        )
+        self.g_connections = registry.gauge(
+            "service.connections_active", "currently connected clients"
+        )
+        self.m_bytes_received = registry.counter(
+            "service.bytes_received", "request bytes read off the wire"
+        )
+        self.m_bytes_sent = registry.counter(
+            "service.bytes_sent", "response bytes written to the wire"
+        )
+        #: Per-method request counters, pre-registered so the dispatch
+        #: hot path is a dict lookup, not a registry get-or-create.
+        self.m_method_requests = {
+            method: registry.counter(
+                f"service.requests.{method}", f"{method} requests handled"
+            )
+            for method in self._METHODS
+        }
         self._server = _Server((host, port), _Handler)
         self._server.service = self
         self._thread: threading.Thread | None = None
+        self._started_at: float | None = None
         self._reaper: LeaseReaper | None = None
         if lease_reaper_interval is not None:
             self._reaper = LeaseReaper(
@@ -179,6 +232,30 @@ class TaskService:
                 interval=lease_reaper_interval,
                 priority=lease_requeue_priority,
                 metrics=registry,
+            )
+        self._status_server = None
+        self._sampler = None
+        if status_port is not None:
+            # Lazy import: the monitor package pulls in http.server and
+            # the exposition renderer, none of which the plain service
+            # path needs.
+            from repro.telemetry.monitor import StatusServer, StoreSampler
+
+            self._sampler = StoreSampler(
+                store,
+                metrics=registry,
+                clock=self._clock,
+                interval=sampler_interval,
+            )
+            self._status_server = StatusServer(
+                host=status_host,
+                port=status_port,
+                metrics=registry,
+                status_fn=self.status_snapshot,
+                readiness_checks={
+                    "store": self._check_store_ready,
+                    "reaper": self._check_reaper_ready,
+                },
             )
 
     @property
@@ -219,6 +296,69 @@ class TaskService:
         """The embedded lease reaper, when continuous recovery is on."""
         return self._reaper
 
+    # -- monitoring -----------------------------------------------------------
+
+    @property
+    def status_address(self) -> tuple[str, int] | None:
+        """(host, port) of the status endpoint, when enabled."""
+        if self._status_server is None:
+            return None
+        return self._status_server.address
+
+    @property
+    def status_url(self) -> str | None:
+        """Base URL of the status endpoint, when enabled."""
+        if self._status_server is None:
+            return None
+        return self._status_server.url
+
+    def _check_store_ready(self) -> tuple[bool, str]:
+        """Readiness probe: one cheap store round trip."""
+        try:
+            depth = self._store.queue_in_length()
+        except Exception as exc:  # noqa: BLE001 - probe must report, not raise
+            return False, f"store unreachable: {exc}"
+        return True, f"store ok (queue_in={depth})"
+
+    def _check_reaper_ready(self) -> tuple[bool, str]:
+        """Readiness probe: the lease reaper thread, if configured."""
+        if self._reaper is None:
+            return True, "no reaper configured"
+        if self._started_at is not None and not self._reaper.is_alive():
+            return False, "lease reaper thread is not running"
+        return True, "reaper alive"
+
+    def status_snapshot(self) -> dict[str, Any]:
+        """The ``/status`` JSON document: queues, leases, service counters.
+
+        Also callable directly (tests, the chaos command) — the HTTP
+        endpoint is a transport, not the source of truth.
+        """
+        now = self._clock.now()
+        snapshot: dict[str, Any] = {
+            "service": {
+                "address": list(self.address),
+                "uptime_seconds": (
+                    now - self._started_at if self._started_at is not None else 0.0
+                ),
+                "requests": int(self.m_requests.value),
+                "errors": int(self.m_errors.value),
+                "connections_total": int(self.m_connections.value),
+                "connections_active": int(self.g_connections.value),
+                "bytes_received": int(self.m_bytes_received.value),
+                "bytes_sent": int(self.m_bytes_sent.value),
+                "reaper": {
+                    "configured": self._reaper is not None,
+                    "running": self._reaper is not None
+                    and self._reaper.is_alive(),
+                },
+            },
+            "store": self._store.stats(now=now),
+        }
+        if self._sampler is not None:
+            snapshot["sampler"] = self._sampler.summary()
+        return snapshot
+
     def start(self) -> "TaskService":
         """Begin serving on a daemon thread; returns self for chaining."""
         if self._thread is not None:
@@ -229,12 +369,21 @@ class TaskService:
             daemon=True,
         )
         self._thread.start()
+        self._started_at = self._clock.now()
         if self._reaper is not None:
             self._reaper.start()
+        if self._sampler is not None:
+            self._sampler.start()
+        if self._status_server is not None:
+            self._status_server.start()
         return self
 
     def stop(self) -> None:
         """Stop serving and release the socket (idempotent)."""
+        if self._status_server is not None:
+            self._status_server.stop()
+        if self._sampler is not None:
+            self._sampler.stop()
         if self._reaper is not None:
             self._reaper.stop()
         if self._thread is not None:

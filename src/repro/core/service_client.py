@@ -102,6 +102,7 @@ IDEMPOTENT_METHODS: frozenset[str] = frozenset(
         "tasks_for_experiment",
         "tasks_for_tag",
         "max_task_id",
+        "stats",
         "clear",
     }
 )
@@ -506,6 +507,9 @@ class RemoteTaskStore(TaskStore):
 
     def tasks_for_tag(self, tag: str) -> list[int]:
         return list(self._call("tasks_for_tag", {"tag": tag}))
+
+    def stats(self, *, now: float = 0.0) -> dict:
+        return self._call("stats", {"now": now})
 
     def max_task_id(self) -> int:
         return self._call("max_task_id", {})

@@ -217,6 +217,32 @@ class TaskStore(ABC):
     def tasks_for_tag(self, tag: str) -> list[int]:
         """All task ids carrying a tag, in creation order."""
 
+    # -- monitoring --------------------------------------------------------
+
+    @abstractmethod
+    def stats(self, *, now: float = 0.0) -> dict:
+        """One consistent snapshot of queue and lease state.
+
+        The monitoring primitive behind samplers and the ``/status``
+        endpoint: everything an operator needs to judge "is the queue
+        draining, are pools starving, are leases expiring" in a single
+        store round trip.  Returns a JSON-ready dict::
+
+            {
+              "tasks":   {"queued": n, "running": n, "complete": n,
+                          "canceled": n, "total": n},
+              "queue_out":       {"<eq_type>": n, ...},   # per work type
+              "queue_out_total": n,
+              "queue_in":        n,
+              "leases":  {"active": n, "expired": n,
+                          "unleased_running": n},
+            }
+
+        ``queue_out`` keys are *strings* (work types cross JSON
+        boundaries).  ``now`` splits leased RUNNING tasks into active
+        (``lease_expiry > now``) and expired (reapable) counts.
+        """
+
     # -- maintenance -------------------------------------------------------
 
     @abstractmethod

@@ -22,6 +22,7 @@ from collections.abc import Iterable, Sequence
 
 from repro.db.backend import TaskStore, normalize_priorities
 from repro.db.schema import TaskRow, TaskStatus
+from repro.telemetry.metrics import MetricsRegistry, get_metrics
 from repro.util.errors import NotFoundError
 
 
@@ -48,7 +49,18 @@ class _HeapEntry:
 class MemoryTaskStore(TaskStore):
     """In-memory implementation of the EMEWS DB."""
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        registry = metrics if metrics is not None else get_metrics()
+        self._m_lease_renewals = registry.counter(
+            "db.lease_renewals", "task leases extended by a heartbeat"
+        )
+        self._m_lease_requeues = registry.counter(
+            "db.lease_requeues", "expired-lease tasks requeued by a reaper sweep"
+        )
+        self._m_report_withdrawals = registry.counter(
+            "db.report_withdrawals",
+            "requeued copies withdrawn because the original report landed",
+        )
         self._lock = threading.RLock()
         self._tasks: dict[int, TaskRow] = {}
         self._exp_tasks: dict[str, list[int]] = {}
@@ -207,6 +219,7 @@ class MemoryTaskStore(TaskStore):
             entry = self._out_entries.pop(eq_task_id, None)
             if entry is not None:
                 entry.alive = False
+                self._m_report_withdrawals.inc()
             self._in_queue[eq_task_id] = eq_type
 
     def pop_in(self, eq_task_id: int) -> str | None:
@@ -339,6 +352,8 @@ class MemoryTaskStore(TaskStore):
                     continue
                 row.lease_expiry = now + lease
                 renewed += 1
+            if renewed:
+                self._m_lease_renewals.inc(renewed)
             return renewed
 
     def requeue_expired(self, *, now: float, priority: int = 0) -> list[int]:
@@ -353,7 +368,44 @@ class MemoryTaskStore(TaskStore):
             ]
             for row in expired:
                 self._requeue_row(row, priority)
+            if expired:
+                self._m_lease_requeues.inc(len(expired))
             return [row.eq_task_id for row in expired]
+
+    # -- monitoring ---------------------------------------------------------------
+
+    def stats(self, *, now: float = 0.0) -> dict:
+        with self._lock:
+            self._check_open()
+            by_status = dict.fromkeys(TaskStatus, 0)
+            active = expired = unleased = 0
+            for row in self._tasks.values():
+                by_status[row.eq_status] += 1
+                if row.eq_status == TaskStatus.RUNNING:
+                    if row.lease_expiry is None:
+                        unleased += 1
+                    elif row.lease_expiry > now:
+                        active += 1
+                    else:
+                        expired += 1
+            queue_out: dict[str, int] = {}
+            for entry in self._out_entries.values():
+                key = str(self._tasks[entry.eq_task_id].eq_task_type)
+                queue_out[key] = queue_out.get(key, 0) + 1
+            return {
+                "tasks": {
+                    **{s.label(): n for s, n in by_status.items()},
+                    "total": len(self._tasks),
+                },
+                "queue_out": queue_out,
+                "queue_out_total": len(self._out_entries),
+                "queue_in": len(self._in_queue),
+                "leases": {
+                    "active": active,
+                    "expired": expired,
+                    "unleased_running": unleased,
+                },
+            }
 
     # -- experiment / tag queries ------------------------------------------------
 

@@ -22,13 +22,27 @@ from contextlib import contextmanager
 
 from repro.db.backend import TaskStore, normalize_priorities
 from repro.db.schema import SCHEMA_STATEMENTS, TABLE_NAMES, TaskRow, TaskStatus
+from repro.telemetry.metrics import MetricsRegistry, get_metrics
 from repro.util.errors import NotFoundError
 
 
 class SqliteTaskStore(TaskStore):
     """EMEWS DB on SQLite (file-backed or ``:memory:``)."""
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(
+        self, path: str = ":memory:", metrics: MetricsRegistry | None = None
+    ) -> None:
+        registry = metrics if metrics is not None else get_metrics()
+        self._m_lease_renewals = registry.counter(
+            "db.lease_renewals", "task leases extended by a heartbeat"
+        )
+        self._m_lease_requeues = registry.counter(
+            "db.lease_requeues", "expired-lease tasks requeued by a reaper sweep"
+        )
+        self._m_report_withdrawals = registry.counter(
+            "db.report_withdrawals",
+            "requeued copies withdrawn because the original report landed",
+        )
         self._path = path
         self._lock = threading.RLock()
         self._conn = sqlite3.connect(path, check_same_thread=False)
@@ -235,6 +249,8 @@ class SqliteTaskStore(TaskStore):
             cur.execute(
                 "DELETE FROM emews_queue_out WHERE eq_task_id = ?", (eq_task_id,)
             )
+            if cur.rowcount:
+                self._m_report_withdrawals.inc(cur.rowcount)
             cur.execute(
                 "INSERT INTO emews_queue_in (eq_task_id, eq_task_type) VALUES (?, ?)",
                 (eq_task_id, eq_type),
@@ -440,7 +456,10 @@ class SqliteTaskStore(TaskStore):
                 f" WHERE eq_task_id IN ({marks}) AND eq_status = ?",
                 [now + lease, *ids, int(TaskStatus.RUNNING)],
             )
-            return cur.rowcount
+            renewed = cur.rowcount
+            if renewed:
+                self._m_lease_renewals.inc(renewed)
+            return renewed
 
     def requeue_expired(self, *, now: float, priority: int = 0) -> list[int]:
         self._check_open()
@@ -454,7 +473,49 @@ class SqliteTaskStore(TaskStore):
             expired = cur.fetchall()
             for eq_task_id, eq_type in expired:
                 self._requeue_in_txn(cur, eq_task_id, eq_type, priority)
+            if expired:
+                self._m_lease_requeues.inc(len(expired))
             return [eq_task_id for eq_task_id, _ in expired]
+
+    # -- monitoring ---------------------------------------------------------------
+
+    def stats(self, *, now: float = 0.0) -> dict:
+        self._check_open()
+        with self._read() as cur:
+            cur.execute("SELECT eq_status, COUNT(*) FROM eq_tasks GROUP BY eq_status")
+            raw_status = dict(cur.fetchall())
+            cur.execute(
+                "SELECT eq_task_type, COUNT(*) FROM emews_queue_out"
+                " GROUP BY eq_task_type"
+            )
+            queue_out = {str(eq_type): int(n) for eq_type, n in cur.fetchall()}
+            cur.execute("SELECT COUNT(*) FROM emews_queue_in")
+            queue_in = int(cur.fetchone()[0])
+            cur.execute(
+                "SELECT"
+                " SUM(CASE WHEN lease_expiry IS NULL THEN 1 ELSE 0 END),"
+                " SUM(CASE WHEN lease_expiry > ? THEN 1 ELSE 0 END),"
+                " SUM(CASE WHEN lease_expiry IS NOT NULL AND lease_expiry <= ?"
+                "      THEN 1 ELSE 0 END)"
+                " FROM eq_tasks WHERE eq_status = ?",
+                (now, now, int(TaskStatus.RUNNING)),
+            )
+            unleased, active, expired = (int(v or 0) for v in cur.fetchone())
+        by_status = {
+            status.label(): int(raw_status.get(int(status), 0))
+            for status in TaskStatus
+        }
+        return {
+            "tasks": {**by_status, "total": sum(by_status.values())},
+            "queue_out": queue_out,
+            "queue_out_total": sum(queue_out.values()),
+            "queue_in": queue_in,
+            "leases": {
+                "active": active,
+                "expired": expired,
+                "unleased_running": unleased,
+            },
+        }
 
     # -- experiment / tag queries ------------------------------------------------
 

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.eqsql import EQSQL
 from repro.core.futures import Future, as_completed, update_priority
 from repro.telemetry.events import EventKind, TraceCollector
+from repro.telemetry.metrics import get_metrics
 from repro.telemetry.tracing import get_tracer
 from repro.util.serialization import json_dumps, json_loads
 
@@ -101,6 +102,14 @@ def run_async_optimization(
     points = np.atleast_2d(np.asarray(points, dtype=float))
     payloads = [json_dumps({"x": list(map(float, p))}) for p in points]
     tracer = get_tracer()
+    # Live progress gauges: the monitor's ME-driver view.  Gauge writes
+    # are two locked floats per batch — negligible next to the DB round
+    # trips in the same loop.
+    registry = get_metrics()
+    g_total = registry.gauge("me.points_total", "points submitted by the driver")
+    g_done = registry.gauge("me.points_completed", "points whose result arrived")
+    g_pending = registry.gauge("me.points_pending", "points still queued or running")
+    m_repri = registry.counter("me.reprioritizations", "GPR reorder passes applied")
     # The run span is the root of the whole trace: submissions open
     # inside it, so task payloads carry its trace id end to end.
     run_span = tracer.span(
@@ -111,6 +120,9 @@ def run_async_optimization(
         point_of = {f.eq_task_id: i for i, f in enumerate(futures)}
 
         pending: list[Future] = list(futures)
+        g_total.set(len(futures))
+        g_done.set(0)
+        g_pending.set(len(pending))
         done_X: list[np.ndarray] = []
         done_y: list[float] = []
         records: list[ReprioritizationRecord] = []
@@ -124,6 +136,8 @@ def run_async_optimization(
                     _, result = future.result(timeout=0)
                     done_X.append(points[point_of[future.eq_task_id]])
                     done_y.append(decode_result(result))
+            g_done.set(len(done_y))
+            g_pending.set(len(pending))
             if reprioritizer is not None and pending:
                 t0 = eqsql.clock.now()
                 if trace is not None:
@@ -144,6 +158,7 @@ def run_async_optimization(
                     )
                     n_updated = update_priority(pending, [int(p) for p in priorities])
                     sp.set_attr("n_reprioritized", n_updated)
+                m_repri.inc()
                 t1 = eqsql.clock.now()
                 if trace is not None:
                     trace.record(

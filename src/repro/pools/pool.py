@@ -103,6 +103,7 @@ class ThreadedWorkerPool:
         self._started = False
 
         self._stats_lock = threading.Lock()
+        self._busy = 0
         self.tasks_completed = 0
         self.tasks_failed = 0
         #: Executions whose report never reached the DB (connection lost
@@ -121,6 +122,16 @@ class ThreadedWorkerPool:
         """Tasks claimed from the DB but not yet completed."""
         with self._owned_lock:
             return self._owned
+
+    def busy(self) -> int:
+        """Workers currently executing (or reporting) a task."""
+        with self._stats_lock:
+            return self._busy
+
+    def busy_fraction(self) -> float:
+        """Fraction of workers currently occupied — the live analogue of
+        the utilization statistic the Fig 3 benchmarks compute offline."""
+        return self.busy() / self._config.n_workers
 
     @property
     def tracer(self) -> Tracer:
@@ -341,19 +352,25 @@ class ThreadedWorkerPool:
                 self._m_queue_wait.observe(started_at - fetched_at)
             if self._trace is not None:
                 self._trace.task_start(started_at, eq_task_id, source=self.name)
-            # Hot path: the span machinery (context construction, kwargs,
-            # handle) is only paid when tracing is on.
-            if tracer.enabled:
-                with tracer.span(
-                    "pool.task",
-                    component="pool",
-                    parent=SpanContext.from_wire(message.get("trace")),
-                    eq_task_id=eq_task_id,
-                    pool=self.name,
-                ) as sp:
-                    self._run_one(message, eq_task_id, started_at, sp)
-            else:
-                self._run_one(message, eq_task_id, started_at, None)
+            with self._stats_lock:
+                self._busy += 1
+            try:
+                # Hot path: the span machinery (context construction,
+                # kwargs, handle) is only paid when tracing is on.
+                if tracer.enabled:
+                    with tracer.span(
+                        "pool.task",
+                        component="pool",
+                        parent=SpanContext.from_wire(message.get("trace")),
+                        eq_task_id=eq_task_id,
+                        pool=self.name,
+                    ) as sp:
+                        self._run_one(message, eq_task_id, started_at, sp)
+                else:
+                    self._run_one(message, eq_task_id, started_at, None)
+            finally:
+                with self._stats_lock:
+                    self._busy -= 1
 
     def _run_one(
         self,

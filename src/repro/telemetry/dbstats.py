@@ -27,7 +27,10 @@ class TimingSummary:
     max: float
 
     @classmethod
-    def from_values(cls, values: np.ndarray) -> "TimingSummary":
+    def from_values(cls, values) -> "TimingSummary":
+        # Accept any sequence, not just ndarrays — callers pass plain
+        # lists, and an empty list has no .size.
+        values = np.asarray(values, dtype=float)
         if values.size == 0:
             return cls(count=0, mean=0.0, median=0.0, p95=0.0, max=0.0)
         return cls(

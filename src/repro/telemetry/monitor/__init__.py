@@ -1,0 +1,42 @@
+"""Live operational monitoring: samplers, HTTP endpoints, terminal view.
+
+The pieces compose into the observability loop the platform papers
+describe for long-running campaigns: background :mod:`samplers
+<repro.telemetry.monitor.samplers>` publish queue/lease/pool levels as
+gauges, the :mod:`status server <repro.telemetry.monitor.server>`
+exposes them (plus liveness/readiness and Prometheus text) over HTTP,
+and the :mod:`terminal view <repro.telemetry.monitor.view>` polls the
+JSON route for an operator's-eye live display.
+
+Imported lazily by :class:`~repro.core.service.TaskService` so the
+monitoring stack costs nothing unless a status port is requested.
+"""
+
+from repro.telemetry.monitor.prometheus import (
+    CONTENT_TYPE,
+    metric_name,
+    render_prometheus,
+)
+from repro.telemetry.monitor.samplers import (
+    CallbackSampler,
+    PoolSampler,
+    Sampler,
+    StoreSampler,
+)
+from repro.telemetry.monitor.server import StatusServer
+from repro.telemetry.monitor.view import fetch_json, parse_url, render_status, run_monitor
+
+__all__ = [
+    "CONTENT_TYPE",
+    "CallbackSampler",
+    "PoolSampler",
+    "Sampler",
+    "StatusServer",
+    "StoreSampler",
+    "fetch_json",
+    "metric_name",
+    "parse_url",
+    "render_prometheus",
+    "render_status",
+    "run_monitor",
+]

@@ -1,0 +1,96 @@
+"""Prometheus text exposition (format version 0.0.4).
+
+Renders the :class:`~repro.telemetry.metrics.MetricsRegistry` as the
+``/metrics`` scrape document: ``# HELP`` / ``# TYPE`` headers, counters
+with the ``_total`` suffix convention, and histograms as *cumulative*
+``_bucket{le="..."}`` series ending in ``+Inf`` plus ``_sum`` and
+``_count`` — exactly what a Prometheus server (or funcX-style endpoint
+monitor) expects to pull from a long-running service.
+
+The registry's internal names use dots (``service.requests``); the
+exposition format only permits ``[a-zA-Z_:][a-zA-Z0-9_:]*``, so names
+are sanitized here and only here — the registry stays the single
+source of truth for instrumented code.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.telemetry.metrics import MetricsRegistry, get_metrics
+
+#: Content-Type a compliant scraper expects for this document.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str) -> str:
+    """Sanitize a registry name into a legal Prometheus metric name."""
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def escape_help(text: str) -> str:
+    """Escape a HELP string (backslash and newline)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(text: str) -> str:
+    """Escape a label value (backslash, newline, double quote)."""
+    return (
+        text.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def format_value(value: float) -> str:
+    """Shortest exact decimal for a sample value (ints stay integral)."""
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        return {float("inf"): "+Inf", float("-inf"): "-Inf"}.get(value, "NaN")
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _render_histogram(name: str, snap: dict, lines: list[str]) -> None:
+    cumulative = 0
+    for bound, count in zip(snap["bounds"], snap["counts"]):
+        cumulative += count
+        lines.append(
+            f'{name}_bucket{{le="{format_value(bound)}"}} {cumulative}'
+        )
+    # The implicit overflow bucket: le="+Inf" must equal _count.
+    lines.append(f'{name}_bucket{{le="+Inf"}} {snap["count"]}')
+    lines.append(f"{name}_sum {format_value(snap['sum'])}")
+    lines.append(f"{name}_count {snap['count']}")
+
+
+def render_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """The full scrape document for every metric in ``registry``.
+
+    Metrics render in sorted registry order; each one snapshots
+    atomically (per metric), which is the consistency Prometheus
+    itself guarantees per scrape.
+    """
+    registry = registry if registry is not None else get_metrics()
+    lines: list[str] = []
+    for raw_name in registry.names():
+        metric = registry.get(raw_name)
+        if metric is None:  # raced a clear(); skip
+            continue
+        name = metric_name(raw_name)
+        snap = metric.snapshot()
+        kind = snap["type"]
+        if kind == "counter" and not name.endswith("_total"):
+            name += "_total"
+        if metric.help:
+            lines.append(f"# HELP {name} {escape_help(metric.help)}")
+        lines.append(f"# TYPE {name} {kind}")
+        if kind == "histogram":
+            _render_histogram(name, snap, lines)
+        else:
+            lines.append(f"{name} {format_value(snap['value'])}")
+    return "\n".join(lines) + "\n" if lines else ""

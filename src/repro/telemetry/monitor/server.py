@@ -1,0 +1,163 @@
+"""Embeddable HTTP status server: health, readiness, metrics, status.
+
+A tiny stdlib-only (``http.server``) endpoint meant to ride inside a
+long-running process — most importantly :class:`~repro.core.service.
+TaskService` — on its own daemon thread.  Four routes:
+
+- ``GET /healthz``  — liveness: 200 whenever the thread serves at all.
+- ``GET /readyz``   — readiness: runs the registered checks (DB
+  reachable, reaper thread alive, ...); 200 if all pass, 503 otherwise,
+  with per-check detail in the JSON body either way.
+- ``GET /metrics``  — Prometheus text exposition of the shared registry.
+- ``GET /status``   — a JSON snapshot from the owning component
+  (queue depths, lease counts, uptime, RPC counters); what
+  ``python -m repro monitor`` polls.
+
+The server binds before :meth:`start` returns, so ``port=0`` (ephemeral)
+is safe: read the real port from :attr:`address` afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections.abc import Callable, Mapping
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.telemetry.metrics import MetricsRegistry, get_metrics
+from repro.telemetry.monitor.prometheus import CONTENT_TYPE, render_prometheus
+from repro.util.logging import get_logger, log_event
+
+_log = get_logger(__name__)
+
+#: A readiness probe: () -> (ok, human-readable detail).
+ReadinessCheck = Callable[[], tuple[bool, str]]
+
+
+class _StatusHandler(BaseHTTPRequestHandler):
+    # BaseHTTPRequestHandler logs every request to stderr by default;
+    # a 1 Hz monitor poll would drown real service logs.
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+    server: "_StatusHTTPServer"
+
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+        self._send(code, body, "application/json; charset=utf-8")
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        owner = self.server.owner
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/healthz":
+                self._send_json(200, {"ok": True})
+            elif path == "/readyz":
+                ok, checks = owner.run_readiness_checks()
+                self._send_json(200 if ok else 503, {"ok": ok, "checks": checks})
+            elif path == "/metrics":
+                body = render_prometheus(owner.metrics).encode("utf-8")
+                self._send(200, body, CONTENT_TYPE)
+            elif path == "/status":
+                self._send_json(200, owner.status())
+            else:
+                self._send_json(404, {"ok": False, "error": f"no route {path}"})
+        except Exception as exc:  # noqa: BLE001 - a probe must never kill serving
+            log_event(_log, "monitor.endpoint_error", level=30,
+                      path=path, error=str(exc))
+            try:
+                self._send_json(500, {"ok": False, "error": str(exc)})
+            except OSError:
+                pass  # client already gone
+
+
+class _StatusHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    owner: "StatusServer"
+
+
+class StatusServer:
+    """The embeddable endpoint; see module docstring for routes.
+
+    ``status_fn`` supplies the ``/status`` body; ``readiness_checks``
+    maps check names to probes for ``/readyz``.  Both are optional —
+    with neither, the server still serves ``/healthz`` and ``/metrics``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: MetricsRegistry | None = None,
+        status_fn: Callable[[], dict] | None = None,
+        readiness_checks: Mapping[str, ReadinessCheck] | None = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self._status_fn = status_fn
+        self._checks = dict(readiness_checks) if readiness_checks else {}
+        self._httpd = _StatusHTTPServer((host, port), _StatusHandler)
+        self._httpd.owner = self
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) actually bound — resolves ``port=0``."""
+        addr = self._httpd.server_address
+        return str(addr[0]), int(addr[1])
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def run_readiness_checks(self) -> tuple[bool, dict[str, dict]]:
+        """Run every registered probe; a probe that raises counts as
+        failed (its exception text becomes the detail)."""
+        results: dict[str, dict] = {}
+        all_ok = True
+        for name, check in self._checks.items():
+            try:
+                ok, detail = check()
+            except Exception as exc:  # noqa: BLE001 - failed probe, not a crash
+                ok, detail = False, str(exc)
+            results[name] = {"ok": ok, "detail": detail}
+            all_ok = all_ok and ok
+        return all_ok, results
+
+    def status(self) -> dict:
+        return self._status_fn() if self._status_fn is not None else {}
+
+    def start(self) -> "StatusServer":
+        if self._thread is not None:
+            raise RuntimeError("status server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="status-server",
+            daemon=True,
+        )
+        self._thread.start()
+        log_event(_log, "monitor.status_server_started", url=self.url)
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._thread.join(timeout=5)
+        self._httpd.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "StatusServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

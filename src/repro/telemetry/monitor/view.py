@@ -1,0 +1,176 @@
+"""``python -m repro monitor`` — a terminal view over ``/status``.
+
+Polls a :class:`~repro.telemetry.monitor.server.StatusServer`'s
+``/status`` route and renders queue depths, lease health, and RPC
+counters as aligned tables, with per-second deltas computed between
+consecutive polls (completed/s, bytes/s).  ``--once`` takes a single
+snapshot; ``--once --json`` prints the raw JSON payload verbatim, which
+makes the endpoint scriptable (``repro monitor URL --once --json | jq``).
+
+Only stdlib networking (``urllib.request``) — the monitor must work on a
+login node with nothing but the repo installed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import TextIO
+
+from repro.telemetry.report import render_table
+
+
+def parse_url(target: str) -> str:
+    """Normalize a monitor target into a base URL.
+
+    Accepts ``host:port``, ``http://host:port``, or a full ``/status``
+    URL; returns the base (no trailing slash, no route).
+    """
+    if "://" not in target:
+        target = "http://" + target
+    target = target.rstrip("/")
+    for route in ("/status", "/metrics", "/healthz", "/readyz"):
+        if target.endswith(route):
+            target = target[: -len(route)]
+            break
+    return target
+
+
+def fetch_json(url: str, timeout: float = 5.0) -> dict:
+    """GET ``url`` and decode the JSON body."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:  # noqa: S310
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _rate(current: dict, previous: dict | None, path: list[str],
+          elapsed: float) -> float | None:
+    """Per-second delta of a nested counter between two snapshots."""
+    if previous is None or elapsed <= 0:
+        return None
+
+    def dig(snapshot: dict) -> float | None:
+        node: object = snapshot
+        for key in path:
+            if not isinstance(node, dict) or key not in node:
+                return None
+            node = node[key]
+        return float(node) if isinstance(node, (int, float)) else None
+
+    now_v, prev_v = dig(current), dig(previous)
+    if now_v is None or prev_v is None:
+        return None
+    return (now_v - prev_v) / elapsed
+
+
+def _fmt_rate(value: float | None) -> str:
+    return "-" if value is None else f"{value:+.1f}/s"
+
+
+def render_status(
+    status: dict, previous: dict | None = None, elapsed: float = 0.0
+) -> str:
+    """The human-readable monitor frame for one ``/status`` snapshot."""
+    lines: list[str] = []
+    service = status.get("service", {})
+    if service:
+        address = service.get("address")
+        if isinstance(address, (list, tuple)) and len(address) == 2:
+            address = f"{address[0]}:{address[1]}"
+        uptime = service.get("uptime_seconds", 0.0)
+        lines.append(
+            f"service {address}  up {uptime:.1f}s  "
+            f"clients {service.get('connections_active', 0)} active / "
+            f"{service.get('connections_total', 0)} total"
+        )
+        rows = [
+            ["requests", service.get("requests", 0),
+             _fmt_rate(_rate(status, previous, ["service", "requests"], elapsed))],
+            ["errors", service.get("errors", 0),
+             _fmt_rate(_rate(status, previous, ["service", "errors"], elapsed))],
+            ["bytes in", service.get("bytes_received", 0),
+             _fmt_rate(_rate(status, previous,
+                             ["service", "bytes_received"], elapsed))],
+            ["bytes out", service.get("bytes_sent", 0),
+             _fmt_rate(_rate(status, previous, ["service", "bytes_sent"], elapsed))],
+        ]
+        lines.append(render_table(["rpc", "count", "rate"], rows))
+
+    store = status.get("store", {})
+    if store:
+        tasks = store.get("tasks", {})
+        task_rows = [
+            [name, count,
+             _fmt_rate(_rate(status, previous, ["store", "tasks", name], elapsed))]
+            for name, count in tasks.items()
+        ]
+        lines.append(render_table(["tasks", "count", "rate"], task_rows))
+
+        queue_rows = [
+            [f"out type {eq_type}", depth, ""]
+            for eq_type, depth in store.get("queue_out", {}).items()
+        ]
+        queue_rows.append(["out total", store.get("queue_out_total", 0), ""])
+        queue_rows.append(["in", store.get("queue_in", 0), ""])
+        lines.append(render_table(["queue", "depth", ""], queue_rows))
+
+        leases = store.get("leases", {})
+        lease_rows = [[name, count] for name, count in leases.items()]
+        if lease_rows:
+            lines.append(render_table(["leases", "count"], lease_rows))
+
+    sampler = status.get("sampler")
+    if sampler:
+        lines.append(
+            "sampler: "
+            + "  ".join(
+                f"{k}={v:.2f}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in sampler.items()
+            )
+        )
+    if not lines:
+        lines.append("(empty status payload)")
+    return "\n\n".join(lines)
+
+
+def run_monitor(
+    target: str,
+    interval: float = 2.0,
+    once: bool = False,
+    json_mode: bool = False,
+    iterations: int | None = None,
+    out: TextIO | None = None,
+) -> int:
+    """Poll ``target`` and render frames until interrupted.
+
+    ``iterations`` bounds the number of polls (tests use it; the CLI
+    leaves it unbounded).  Returns a process exit code.
+    """
+    out = out if out is not None else sys.stdout
+    base = parse_url(target)
+    previous: dict | None = None
+    previous_at = 0.0
+    n = 0
+    try:
+        while True:
+            try:
+                status = fetch_json(base + "/status")
+            except (urllib.error.URLError, OSError, json.JSONDecodeError) as exc:
+                print(f"monitor: cannot reach {base}/status: {exc}", file=sys.stderr)
+                return 1
+            now = time.monotonic()
+            if json_mode:
+                print(json.dumps(status, indent=2, sort_keys=True), file=out)
+            else:
+                frame = render_status(status, previous, now - previous_at)
+                stamp = time.strftime("%H:%M:%S")
+                print(f"=== {base}  {stamp} ===\n{frame}\n", file=out)
+            previous, previous_at = status, now
+            n += 1
+            if once or (iterations is not None and n >= iterations):
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0

@@ -421,6 +421,9 @@ class FlakyTaskStore(TaskStore):
     def tasks_for_tag(self, tag: str) -> list[int]:
         return self._invoke("tasks_for_tag", lambda: self._inner.tasks_for_tag(tag))
 
+    def stats(self, *, now: float = 0.0) -> dict:
+        return self._invoke("stats", lambda: self._inner.stats(now=now))
+
     def max_task_id(self) -> int:
         return self._invoke("max_task_id", self._inner.max_task_id)
 

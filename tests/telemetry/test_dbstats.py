@@ -92,3 +92,37 @@ class TestTaskTimingStats:
         # Later waves wait longer than the first.
         assert stats.queue_wait.max > stats.queue_wait.median
         eqsql.close()
+
+
+class TestTimingSummaryEmptyInputs:
+    """Regression: from_values must accept any sequence, including an
+    empty plain list (it used to require an ndarray with .size)."""
+
+    def test_empty_list(self):
+        summary = TimingSummary.from_values([])
+        assert summary == TimingSummary(count=0, mean=0.0, median=0.0,
+                                        p95=0.0, max=0.0)
+
+    def test_empty_array(self):
+        assert TimingSummary.from_values(np.array([])).count == 0
+
+    def test_plain_list(self):
+        summary = TimingSummary.from_values([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.max == 3.0
+
+    def test_tuple_and_generator_free_sequences(self):
+        assert TimingSummary.from_values((5.0,)).count == 1
+
+    def test_empty_tasks_table(self):
+        """dbstats over a store with zero tasks: all-zero summaries."""
+        eqsql = EQSQL(MemoryTaskStore())
+        try:
+            stats = task_timing_stats(eqsql, "never-ran")
+            assert stats.queue_wait.count == 0
+            assert stats.runtime == TimingSummary(count=0, mean=0.0,
+                                                  median=0.0, p95=0.0, max=0.0)
+            assert stats.n_incomplete == 0
+        finally:
+            eqsql.close()

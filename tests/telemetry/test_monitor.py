@@ -1,0 +1,295 @@
+"""Monitor subsystem units: samplers, status server, terminal view."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.db import MemoryTaskStore
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.monitor import (
+    CallbackSampler,
+    StatusServer,
+    StoreSampler,
+    parse_url,
+    render_status,
+)
+from repro.telemetry.monitor.samplers import PoolSampler, Sampler
+from repro.util.clock import VirtualClock
+
+
+def get_json(url: str):
+    with urllib.request.urlopen(url, timeout=5) as r:
+        return r.status, json.loads(r.read().decode())
+
+
+class TestSamplerBase:
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            Sampler(interval=0)
+
+    def test_empty_history_summary_is_zeroes(self):
+        s = Sampler(clock=VirtualClock())
+        assert s.summary() == {
+            "samples": 0, "level_last": 0.0, "level_mean": 0.0, "level_max": 0.0,
+        }
+
+    def test_level_series_is_time_weighted(self):
+        clock = VirtualClock()
+        s = Sampler(clock=clock)
+        s.record_level(10)
+        clock.advance_to(1.0)
+        s.record_level(0)
+        clock.advance_to(3.0)
+        s.record_level(0)
+        # level 10 for 1s, then 0 for 2s -> mean 10/3
+        assert s.summary()["level_mean"] == pytest.approx(10 / 3)
+        assert s.summary()["level_max"] == 10.0
+        assert s.summary()["samples"] == 3
+
+    def test_history_is_bounded(self):
+        clock = VirtualClock()
+        s = Sampler(clock=clock, history=4)
+        for i in range(10):
+            clock.advance_to(float(i))
+            s.record_level(i)
+        series = s.level_series()
+        assert len(series.times) == 4
+        assert list(series.counts) == [6, 7, 8, 9]
+
+    def test_threaded_loop_survives_exceptions(self):
+        class Exploding(Sampler):
+            def __init__(self):
+                super().__init__(interval=0.01)
+                self.calls = 0
+
+            def sample_once(self):
+                self.calls += 1
+                raise RuntimeError("boom")
+
+        s = Exploding()
+        with s:
+            import time
+
+            deadline = time.monotonic() + 5
+            while s.calls < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert s.calls >= 3  # kept sampling after raising
+
+    def test_double_start_rejected(self):
+        s = Sampler(interval=10)
+        s.start()
+        try:
+            with pytest.raises(RuntimeError):
+                s.start()
+        finally:
+            s.stop()
+        assert not s.is_alive()
+
+
+class TestStoreSampler:
+    def test_gauges_reflect_store_state(self):
+        clock = VirtualClock()
+        reg = MetricsRegistry()
+        store = MemoryTaskStore()
+        store.create_tasks("exp", 0, ["{}"] * 3)
+        store.create_tasks("exp", 7, ["{}"] * 2)
+        popped = store.pop_out(0, n=1, now=clock.now(), lease=10.0)
+        sampler = StoreSampler(store, metrics=reg, clock=clock)
+
+        sampler.sample_once()
+        assert reg.get("store.tasks.queued").value == 4
+        assert reg.get("store.tasks.running").value == 1
+        assert reg.get("store.queue_out_depth").value == 4
+        assert reg.get("store.queue_out_depth.type_0").value == 2
+        assert reg.get("store.queue_out_depth.type_7").value == 2
+        assert reg.get("leases.active").value == 1
+        assert reg.get("leases.expired").value == 0
+
+        # Let the lease lapse: active -> expired.
+        clock.advance_to(11.0)
+        sampler.sample_once()
+        assert reg.get("leases.active").value == 0
+        assert reg.get("leases.expired").value == 1
+
+        # Complete the task: running -> complete, queue_in grows.
+        store.report(popped[0][0], 0, "{}")
+        sampler.sample_once()
+        assert reg.get("store.tasks.complete").value == 1
+        assert reg.get("store.queue_in_depth").value == 1
+        store.close()
+
+    def test_summary_uses_queue_depth_keys(self):
+        clock = VirtualClock()
+        store = MemoryTaskStore()
+        store.create_tasks("exp", 0, ["{}"] * 5)
+        sampler = StoreSampler(store, metrics=MetricsRegistry(), clock=clock)
+        sampler.sample_once()
+        clock.advance_to(2.0)
+        sampler.sample_once()
+        summary = sampler.summary()
+        assert summary["samples"] == 2
+        assert summary["queue_out_last_depth"] == 5.0
+        assert summary["queue_out_max_depth"] == 5.0
+        store.close()
+
+
+class TestPoolSampler:
+    def test_reads_pool_probes(self):
+        class FakePool:
+            name = "p1"
+
+            class config:  # noqa: N801 - mimics PoolConfig attribute
+                n_workers = 4
+
+            def owned(self):
+                return 6
+
+            def busy(self):
+                return 3
+
+            def busy_fraction(self):
+                return 0.75
+
+        reg = MetricsRegistry()
+        sampler = PoolSampler(FakePool(), metrics=reg, clock=VirtualClock())
+        sampler.sample_once()
+        assert reg.get("pool.p1.owned").value == 6
+        assert reg.get("pool.p1.busy").value == 3
+        assert reg.get("pool.p1.busy_fraction").value == 0.75
+        assert "utilization" in sampler.summary()
+
+
+class TestCallbackSampler:
+    def test_publishes_probe_values(self):
+        reg = MetricsRegistry()
+        state = {"done": 0}
+        sampler = CallbackSampler(
+            {"me.points_completed": lambda: state["done"],
+             "me.points_pending": lambda: 10 - state["done"]},
+            metrics=reg,
+            clock=VirtualClock(),
+        )
+        sampler.sample_once()
+        state["done"] = 4
+        sampler.sample_once()
+        assert reg.get("me.points_completed").value == 4
+        assert reg.get("me.points_pending").value == 6
+        # headline = first probe
+        assert sampler.summary()["level_last"] == 4.0
+
+    def test_requires_probes(self):
+        with pytest.raises(ValueError):
+            CallbackSampler({})
+
+
+class TestStatusServer:
+    def test_routes(self):
+        reg = MetricsRegistry()
+        reg.counter("service.requests", "req").inc(3)
+        server = StatusServer(
+            port=0,
+            metrics=reg,
+            status_fn=lambda: {"store": {"queue_in": 0}},
+            readiness_checks={"db": lambda: (True, "ok")},
+        )
+        with server:
+            base = server.url
+            code, body = get_json(base + "/healthz")
+            assert (code, body) == (200, {"ok": True})
+
+            code, body = get_json(base + "/readyz")
+            assert code == 200
+            assert body["checks"]["db"] == {"ok": True, "detail": "ok"}
+
+            code, body = get_json(base + "/status")
+            assert code == 200
+            assert body == {"store": {"queue_in": 0}}
+
+            with urllib.request.urlopen(base + "/metrics", timeout=5) as r:
+                assert r.status == 200
+                assert "version=0.0.4" in r.headers["Content-Type"]
+                assert "service_requests_total 3" in r.read().decode()
+
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(base + "/nope", timeout=5)
+            assert exc.value.code == 404
+
+    def test_readyz_fails_when_a_check_fails(self):
+        server = StatusServer(
+            port=0,
+            metrics=MetricsRegistry(),
+            readiness_checks={
+                "good": lambda: (True, "fine"),
+                "bad": lambda: (False, "db unreachable"),
+            },
+        )
+        with server:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(server.url + "/readyz", timeout=5)
+            assert exc.value.code == 503
+            body = json.loads(exc.value.read().decode())
+            assert body["ok"] is False
+            assert body["checks"]["bad"]["detail"] == "db unreachable"
+
+    def test_raising_check_counts_as_failed(self):
+        def explode():
+            raise OSError("connection refused")
+
+        server = StatusServer(
+            port=0, metrics=MetricsRegistry(),
+            readiness_checks={"db": explode},
+        )
+        ok, checks = server.run_readiness_checks()
+        assert ok is False
+        assert checks["db"]["ok"] is False
+        assert "connection refused" in checks["db"]["detail"]
+
+    def test_ephemeral_port_resolved(self):
+        server = StatusServer(port=0, metrics=MetricsRegistry())
+        host, port = server.address
+        assert port != 0
+        assert server.url == f"http://{host}:{port}"
+        server.stop()  # stop before start is a no-op
+
+
+class TestView:
+    def test_parse_url_variants(self):
+        assert parse_url("localhost:8080") == "http://localhost:8080"
+        assert parse_url("http://h:1/") == "http://h:1"
+        assert parse_url("http://h:1/status") == "http://h:1"
+        assert parse_url("https://h:1/metrics") == "https://h:1"
+
+    def test_render_status_smoke(self):
+        status = {
+            "service": {
+                "address": ["127.0.0.1", 1234], "uptime_seconds": 5.0,
+                "requests": 100, "errors": 1, "bytes_received": 10,
+                "bytes_sent": 20, "connections_active": 2,
+                "connections_total": 3,
+            },
+            "store": {
+                "tasks": {"queued": 4, "running": 1, "complete": 5,
+                          "canceled": 0, "total": 10},
+                "queue_out": {"0": 4}, "queue_out_total": 4, "queue_in": 2,
+                "leases": {"active": 1, "expired": 0, "unleased_running": 0},
+            },
+            "sampler": {"samples": 9, "queue_out_mean_depth": 3.5},
+        }
+        text = render_status(status)
+        assert "127.0.0.1:1234" in text
+        assert "queued" in text and "4" in text
+        assert "leases" in text
+        assert "samples=9" in text
+
+    def test_render_status_deltas(self):
+        prev = {"service": {"address": "a", "requests": 100}}
+        cur = {"service": {"address": "a", "requests": 150}}
+        text = render_status(cur, prev, elapsed=10.0)
+        assert "+5.0/s" in text
+
+    def test_render_empty_payload(self):
+        assert "empty" in render_status({})

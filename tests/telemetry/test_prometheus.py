@@ -1,0 +1,139 @@
+"""Prometheus text exposition: names, escaping, histogram semantics."""
+
+from __future__ import annotations
+
+import math
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.monitor.prometheus import (
+    CONTENT_TYPE,
+    escape_help,
+    escape_label_value,
+    format_value,
+    metric_name,
+    render_prometheus,
+)
+
+
+class TestMetricName:
+    def test_dots_become_underscores(self):
+        assert metric_name("service.requests") == "service_requests"
+
+    def test_dashes_and_spaces(self):
+        assert metric_name("pool.chaos-pool-1.busy") == "pool_chaos_pool_1_busy"
+        assert metric_name("a b") == "a_b"
+
+    def test_leading_digit_gets_prefix(self):
+        assert metric_name("1xx") == "_1xx"
+
+    def test_colon_allowed(self):
+        assert metric_name("ns:metric") == "ns:metric"
+
+    def test_valid_name_unchanged(self):
+        assert metric_name("already_fine_name") == "already_fine_name"
+
+
+class TestEscaping:
+    def test_help_escapes_backslash_and_newline(self):
+        assert escape_help("a\\b\nc") == "a\\\\b\\nc"
+
+    def test_label_value_also_escapes_quote(self):
+        assert escape_label_value('say "hi"\n') == 'say \\"hi\\"\\n'
+
+
+class TestFormatValue:
+    def test_integral_floats_render_as_ints(self):
+        assert format_value(3.0) == "3"
+        assert format_value(0) == "0"
+
+    def test_fractional(self):
+        assert format_value(0.5) == "0.5"
+
+    def test_special_values(self):
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+        assert format_value(float("nan")) == "NaN"
+
+
+class TestRender:
+    def test_counter_gets_total_suffix(self):
+        reg = MetricsRegistry()
+        reg.counter("service.requests", "requests handled").inc(7)
+        text = render_prometheus(reg)
+        assert "# TYPE service_requests_total counter" in text
+        assert "service_requests_total 7" in text
+        assert "# HELP service_requests_total requests handled" in text
+
+    def test_counter_already_named_total_not_doubled(self):
+        reg = MetricsRegistry()
+        reg.counter("service.connections_total", "conns").inc()
+        text = render_prometheus(reg)
+        assert "connections_total_total" not in text
+        assert "service_connections_total 1" in text
+
+    def test_gauge_no_suffix(self):
+        reg = MetricsRegistry()
+        reg.gauge("store.queue_out_depth", "depth").set(12)
+        text = render_prometheus(reg)
+        assert "# TYPE store_queue_out_depth gauge" in text
+        assert "store_queue_out_depth 12" in text
+        assert "_total" not in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("rpc.latency", bounds=(0.1, 1.0, 10.0), help="seconds")
+        for v in (0.05, 0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        text = render_prometheus(reg)
+        lines = [ln for ln in text.splitlines() if ln.startswith("rpc_latency")]
+        # per-bound counts are 2, 1, 1 raw -> 2, 3, 4 cumulative, +Inf = 5
+        assert 'rpc_latency_bucket{le="0.1"} 2' in lines
+        assert 'rpc_latency_bucket{le="1"} 3' in lines
+        assert 'rpc_latency_bucket{le="10"} 4' in lines
+        assert 'rpc_latency_bucket{le="+Inf"} 5' in lines
+        assert "rpc_latency_count 5" in lines
+        sum_line = next(ln for ln in lines if ln.startswith("rpc_latency_sum"))
+        assert math.isclose(float(sum_line.split()[-1]), 55.6)
+
+    def test_bucket_counts_never_decrease(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", bounds=(1, 2, 3, 4))
+        for v in (0.5, 1.5, 3.5, 2.5, 9.0):
+            h.observe(v)
+        text = render_prometheus(reg)
+        counts = [
+            int(ln.split()[-1])
+            for ln in text.splitlines()
+            if ln.startswith("h_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5  # +Inf bucket equals _count
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_multiline_help_escaped(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", "line one\nline two").set(1)
+        text = render_prometheus(reg)
+        assert "# HELP g line one\\nline two" in text
+        # Exactly one physical line per logical line.
+        assert len([ln for ln in text.splitlines() if ln.startswith("# HELP g")]) == 1
+
+    def test_content_type_names_the_format_version(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+    def test_document_scrapable(self):
+        """Every non-comment line must be `name[{labels}] value`."""
+        reg = MetricsRegistry()
+        reg.counter("c.x", "a counter").inc(2)
+        reg.gauge("g.y", "a gauge").set(-1.5)
+        reg.histogram("h.z", bounds=(1.0,), help="a histogram").observe(0.5)
+        for line in render_prometheus(reg).splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value.replace("+Inf", "inf"))  # parseable
+            bare = name_part.split("{", 1)[0]
+            assert bare[0].isalpha() or bare[0] in "_:"
+            assert all(c.isalnum() or c in "_:" for c in bare)

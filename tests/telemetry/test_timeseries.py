@@ -157,3 +157,40 @@ class TestSampling:
         times, counts = completion_counts(trace.snapshot())
         assert list(times) == [1.0, 2.0, 3.0]
         assert list(counts) == [1, 2, 3]
+
+
+class TestEmptyInputs:
+    """Every reducer must return well-defined zeros on an empty stream —
+    live monitoring summarizes series that often start out empty."""
+
+    def test_empty_concurrency_series(self):
+        series = concurrency_series([])
+        assert series.times.size == 0
+        assert series.duration() == 0.0
+        assert series.value_at(123.0) == 0
+
+    def test_mean_concurrency_empty(self):
+        assert mean_concurrency(concurrency_series([])) == 0.0
+
+    def test_time_at_or_above_empty(self):
+        assert time_at_or_above(concurrency_series([]), 1) == 0.0
+
+    def test_utilization_stats_empty(self):
+        stats = utilization_stats(concurrency_series([]), n_workers=4)
+        assert stats["mean_concurrency"] == 0.0
+        assert stats["utilization"] == 0.0
+        assert stats["idle_fraction"] == 1.0
+        assert stats["full_fraction"] == 0.0
+
+    def test_completion_counts_empty(self):
+        times, counts = completion_counts([])
+        assert times.size == 0 and counts.size == 0
+
+    def test_single_instant_series(self):
+        """All events at one instant: zero duration, no division blowup."""
+        trace = make_trace([(2.0, 2.0)])
+        series = concurrency_series(trace.snapshot())
+        assert series.duration() == 0.0
+        assert mean_concurrency(series) == 0.0
+        stats = utilization_stats(series, n_workers=2)
+        assert stats["utilization"] == 0.0

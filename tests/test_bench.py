@@ -1,0 +1,191 @@
+"""Benchmark-regression harness: schema, comparison logic, smoke runs."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCHES,
+    SCHEMA_VERSION,
+    compare_result,
+    environment_fingerprint,
+    make_result,
+    metric_direction,
+    run_harness,
+    validate_result,
+    write_results,
+)
+
+
+class TestSchema:
+    def test_make_result_validates(self):
+        result = make_result("x", {"tasks_per_s": 10.0}, smoke=True, params={})
+        assert validate_result(result) == []
+        assert result["schema_version"] == SCHEMA_VERSION
+
+    def test_env_fingerprint_fields(self):
+        env = environment_fingerprint()
+        assert set(env) >= {"python", "platform", "machine", "cpu_count"}
+        assert env["cpu_count"] >= 1
+
+    def test_missing_key_detected(self):
+        result = make_result("x", {"m_per_s": 1.0}, True, {})
+        del result["env"]
+        assert any("env" in e for e in validate_result(result))
+
+    def test_wrong_schema_version_detected(self):
+        result = make_result("x", {"m_per_s": 1.0}, True, {})
+        result["schema_version"] = 999
+        assert validate_result(result)
+
+    def test_non_numeric_metric_detected(self):
+        result = make_result("x", {"m_per_s": 1.0}, True, {})
+        result["metrics"]["bad"] = "fast"
+        assert any("bad" in e for e in validate_result(result))
+
+    def test_empty_metrics_detected(self):
+        result = make_result("x", {}, True, {})
+        assert validate_result(result)
+
+    def test_non_dict_rejected(self):
+        assert validate_result([1, 2]) != []
+
+
+class TestComparison:
+    def base(self, **metrics):
+        return make_result("b", metrics, False, {})
+
+    def test_direction_convention(self):
+        assert metric_direction("tasks_per_s") == 1
+        assert metric_direction("rtt_seconds") == -1
+        assert metric_direction("dip_depth") == 0
+
+    def test_throughput_regression_fails(self):
+        baseline = self.base(tasks_per_s=100.0)
+        current = self.base(tasks_per_s=40.0)  # -60% < -50% tolerance
+        problems = compare_result(current, baseline, tolerance=0.5)
+        assert len(problems) == 1
+        assert "tasks_per_s" in problems[0]
+
+    def test_within_tolerance_passes(self):
+        baseline = self.base(tasks_per_s=100.0)
+        current = self.base(tasks_per_s=60.0)  # -40% within 50%
+        assert compare_result(current, baseline, tolerance=0.5) == []
+
+    def test_improvement_never_fails(self):
+        baseline = self.base(tasks_per_s=100.0, rtt_seconds=0.01)
+        current = self.base(tasks_per_s=1000.0, rtt_seconds=0.0001)
+        assert compare_result(current, baseline, tolerance=0.1) == []
+
+    def test_latency_regression_fails(self):
+        baseline = self.base(rtt_seconds=0.01)
+        current = self.base(rtt_seconds=0.1)  # 10x slower
+        assert compare_result(current, baseline, tolerance=0.5)
+
+    def test_unknown_direction_ignored(self):
+        baseline = self.base(some_count=100.0)
+        current = self.base(some_count=1.0)
+        assert compare_result(current, baseline, tolerance=0.1) == []
+
+    def test_metric_missing_from_baseline_ignored(self):
+        baseline = self.base(tasks_per_s=10.0)
+        current = self.base(tasks_per_s=10.0, new_per_s=5.0)
+        assert compare_result(current, baseline, tolerance=0.5) == []
+
+
+class TestWriteResults:
+    def test_one_file_per_bench(self, tmp_path):
+        results = [
+            make_result("alpha", {"a_per_s": 1.0}, True, {}),
+            make_result("beta", {"b_per_s": 2.0}, True, {}),
+        ]
+        paths = write_results(results, tmp_path)
+        assert [p.name for p in paths] == ["BENCH_alpha.json", "BENCH_beta.json"]
+        loaded = json.loads(paths[0].read_text())
+        assert validate_result(loaded) == []
+
+
+class TestHarness:
+    def test_unknown_bench_exits_2(self, tmp_path):
+        out = io.StringIO()
+        rc = run_harness(names=["nonsense"], out_dir=tmp_path, out=out)
+        assert rc == 2
+        assert "unknown" in out.getvalue()
+
+    def test_smoke_run_produces_valid_results(self, tmp_path):
+        out = io.StringIO()
+        rc = run_harness(
+            names=["db_throughput"], smoke=True, out_dir=tmp_path, out=out
+        )
+        assert rc == 0
+        path = tmp_path / "BENCH_db_throughput.json"
+        result = json.loads(path.read_text())
+        assert validate_result(result) == []
+        assert result["smoke"] is True
+        assert result["metrics"]["memory_create_per_s"] > 0
+
+    def test_doctored_baseline_exits_1(self, tmp_path):
+        """An impossible baseline (1e12 tasks/s) must fail the harness."""
+        baseline = {
+            "db_throughput": make_result(
+                "db_throughput", {"memory_create_per_s": 1e12}, False, {}
+            )
+        }
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(baseline))
+        out = io.StringIO()
+        rc = run_harness(
+            names=["db_throughput"], smoke=True, out_dir=tmp_path,
+            baseline_path=baseline_path, tolerance=0.5, out=out,
+        )
+        assert rc == 1
+        assert "REGRESSIONS" in out.getvalue()
+
+    def test_honest_baseline_passes(self, tmp_path):
+        out = io.StringIO()
+        rc = run_harness(
+            names=["db_throughput"], smoke=True, out_dir=tmp_path, out=out
+        )
+        assert rc == 0
+        result = json.loads((tmp_path / "BENCH_db_throughput.json").read_text())
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps({"db_throughput": result}))
+        rc = run_harness(
+            names=["db_throughput"], smoke=True, out_dir=tmp_path,
+            baseline_path=baseline_path, tolerance=0.99, out=io.StringIO(),
+        )
+        assert rc == 0
+
+    def test_invalid_baseline_exits_2(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps({"db_throughput": {"nope": 1}}))
+        rc = run_harness(
+            names=["db_throughput"], smoke=True, out_dir=tmp_path,
+            baseline_path=baseline_path, out=io.StringIO(),
+        )
+        assert rc == 2
+
+    def test_committed_baseline_is_schema_valid(self):
+        """The baseline checked into the repo must itself pass the schema."""
+        from pathlib import Path
+
+        baseline_path = (
+            Path(__file__).resolve().parent.parent / "benchmarks" / "baseline.json"
+        )
+        baseline = json.loads(baseline_path.read_text())
+        assert set(baseline) == set(BENCHES)
+        for name, result in baseline.items():
+            assert validate_result(result) == [], name
+            assert result["name"] == name
+
+
+@pytest.mark.slow
+class TestAllBenchesSmoke:
+    def test_every_bench_runs_in_smoke_mode(self, tmp_path):
+        rc = run_harness(smoke=True, out_dir=tmp_path, out=io.StringIO())
+        assert rc == 0
+        written = sorted(p.name for p in tmp_path.glob("BENCH_*.json"))
+        assert written == sorted(f"BENCH_{n}.json" for n in BENCHES)
