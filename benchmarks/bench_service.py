@@ -65,3 +65,52 @@ def test_remote_single_op_latency(benchmark, remote_eq):
 def test_remote_batch_submit_amortizes(benchmark, remote_eq):
     """One request carrying 100 tasks: the batch API's advantage."""
     benchmark(lambda: remote_eq.submit_tasks("bench", 2, ["{}"] * 100))
+
+
+def test_remote_rpc_lockstep(benchmark, remote_eq):
+    """N requests, N round trips: the pre-pipelining wire behaviour."""
+    store = remote_eq.store
+    benchmark(lambda: [store.queue_in_length() for _ in range(N)])
+
+
+def test_remote_rpc_pipelined(benchmark, remote_eq):
+    """The same N requests with 64 in flight: one coalesced send per
+    batch, responses matched by id — vs test_remote_rpc_lockstep."""
+    store = remote_eq.store
+
+    def run():
+        with store.pipeline(max_in_flight=64) as pipe:
+            calls = [pipe.call("queue_in_length", {}) for _ in range(N)]
+        return [c.result() for c in calls]
+
+    benchmark(run)
+
+
+def _claimed_ids(eq, eq_type):
+    eq.submit_tasks("bench", eq_type, ["{}"] * N)
+    messages = eq.query_task(eq_type, n=N, timeout=5)
+    return ([m["eq_task_id"] for m in messages],), {}
+
+
+def test_remote_report_single(benchmark, remote_eq):
+    """N results, one report RPC each: the pre-batching hot path."""
+
+    def run(ids):
+        for tid in ids:
+            remote_eq.report_task(tid, 3, "r")
+
+    benchmark.pedantic(
+        run, setup=lambda: _claimed_ids(remote_eq, 3), rounds=3, iterations=1
+    )
+
+
+def test_remote_report_batched(benchmark, remote_eq):
+    """The same N results in a single report_batch RPC — vs
+    test_remote_report_single."""
+
+    def run(ids):
+        remote_eq.report_tasks([(tid, 4, "r") for tid in ids])
+
+    benchmark.pedantic(
+        run, setup=lambda: _claimed_ids(remote_eq, 4), rounds=3, iterations=1
+    )

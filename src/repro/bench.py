@@ -154,7 +154,13 @@ def _rate(n: int, elapsed: float) -> float:
 
 
 def bench_db_throughput(smoke: bool = False) -> dict:
-    """Raw backend ops/s: create, pop_out, report, for both backends."""
+    """Raw backend ops/s: create, pop_out, report, for both backends.
+
+    The report phase uses ``report_batch`` in pop-sized chunks — the
+    store-level hot path after the batching overhaul (the pool's shared
+    reporter and the service's batch RPC both land here); the per-item
+    ``report`` rate is kept as ``<label>_report_single_per_s``.
+    """
     from repro.db import MemoryTaskStore, SqliteTaskStore
 
     n = 200 if smoke else 2000
@@ -170,13 +176,27 @@ def bench_db_throughput(smoke: bool = False) -> dict:
         while len(popped) < n:
             popped.extend(store.pop_out(0, n=50))
         t2 = time.perf_counter()
-        for eq_task_id, _payload in popped:
-            store.report(eq_task_id, 0, "{}")
+        for i in range(0, n, 50):
+            store.report_batch(
+                [(tid, 0, "{}") for tid, _payload in popped[i : i + 50]]
+            )
         t3 = time.perf_counter()
         assert len(ids) == n
+        # Second round for the per-item report rate (the first round's
+        # tasks are already COMPLETE).
+        ids2 = store.create_tasks("bench2", 0, ["{}"] * n)
+        popped2 = []
+        while len(popped2) < n:
+            popped2.extend(store.pop_out(0, n=50))
+        t4 = time.perf_counter()
+        for eq_task_id, _payload in popped2:
+            store.report(eq_task_id, 0, "{}")
+        t5 = time.perf_counter()
+        assert len(ids2) == n
         metrics[f"{label}_create_per_s"] = _rate(n, t1 - t0)
         metrics[f"{label}_pop_per_s"] = _rate(n, t2 - t1)
         metrics[f"{label}_report_per_s"] = _rate(n, t3 - t2)
+        metrics[f"{label}_report_single_per_s"] = _rate(n, t5 - t4)
         store.close()
     return make_result("db_throughput", metrics, smoke, {"n_tasks": n})
 
@@ -205,15 +225,31 @@ def bench_store_rpc(smoke: bool = False) -> dict:
             for eq_task_id, _payload in popped:
                 remote.report(eq_task_id, 0, "{}")
             t3 = time.perf_counter()
+            # stats before the second task round so its RTT is measured
+            # over the same store population as the committed baseline.
             n_stats = 20 if smoke else 100
             t4 = time.perf_counter()
             for _ in range(n_stats):
                 remote.stats()
             t5 = time.perf_counter()
+            # Batched report round trip: the same n results in n/50
+            # report_batch RPCs (fresh tasks — the first round's are
+            # already COMPLETE and would dedup to no-ops).
+            remote.create_tasks("bench2", 0, ["{}"] * n)
+            popped2 = []
+            while len(popped2) < n:
+                popped2.extend(remote.pop_out(0, n=50))
+            t6 = time.perf_counter()
+            for i in range(0, n, 50):
+                remote.report_batch(
+                    [(tid, 0, "{}") for tid, _payload in popped2[i : i + 50]]
+                )
+            t7 = time.perf_counter()
             metrics = {
                 "create_per_s": _rate(n, t1 - t0),
                 "pop_per_s": _rate(n, t2 - t1),
                 "report_per_s": _rate(n, t3 - t2),
+                "report_batch_per_s": _rate(n, t7 - t6),
                 "stats_rtt_seconds": (t5 - t4) / n_stats,
             }
         finally:
@@ -224,7 +260,8 @@ def bench_store_rpc(smoke: bool = False) -> dict:
 
 
 def bench_service_rpc(smoke: bool = False) -> dict:
-    """Service request throughput on the cheapest call (queue length)."""
+    """Service request throughput on the cheapest call (queue length):
+    lockstep (one round trip per request) vs pipelined (64 in flight)."""
     from repro.core.service import TaskService
     from repro.core.service_client import RemoteTaskStore
     from repro.db import MemoryTaskStore
@@ -241,9 +278,17 @@ def bench_service_rpc(smoke: bool = False) -> dict:
             for _ in range(n):
                 remote.queue_in_length()
             t1 = time.perf_counter()
+            t2 = time.perf_counter()
+            with remote.pipeline(max_in_flight=64) as pipe:
+                calls = [
+                    pipe.call("queue_in_length", {}) for _ in range(n)
+                ]
+            assert all(c.result() == 0 for c in calls)
+            t3 = time.perf_counter()
             metrics = {
                 "requests_per_s": _rate(n, t1 - t0),
                 "rtt_seconds": (t1 - t0) / n,
+                "pipelined_requests_per_s": _rate(n, t3 - t2),
             }
         finally:
             remote.close()

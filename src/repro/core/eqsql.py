@@ -351,6 +351,26 @@ class EQSQL:
         with tracer.span("eqsql.report", component="eqsql", eq_task_id=eq_task_id):
             self._store.report(eq_task_id, eq_type, result, now=self._clock.now())
 
+    def report_tasks(self, reports: Sequence[tuple[int, int, str]]) -> None:
+        """Report many completed tasks in one store operation.
+
+        ``reports`` is a sequence of ``(eq_task_id, eq_type, result)``
+        triples.  Against a remote store this is a single RPC — the
+        round trip is paid once per batch instead of once per task —
+        and against SQLite a single transaction.  Semantics are
+        per-item identical to :meth:`report_task` (first-write-wins;
+        already-complete tasks are skipped).
+        """
+        if not reports:
+            return
+        self._m_reported.inc(len(reports))
+        tracer = self.tracer
+        if not tracer.enabled:
+            self._store.report_batch(reports, now=self._clock.now())
+            return
+        with tracer.span("eqsql.report_batch", component="eqsql", n=len(reports)):
+            self._store.report_batch(reports, now=self._clock.now())
+
     # -- result retrieval (ME algorithm side) --------------------------------------
 
     def query_result(

@@ -14,6 +14,7 @@ transport detail beneath the unchanged EQSQL API.
 from __future__ import annotations
 
 import json
+from collections.abc import Iterable
 from typing import Any, BinaryIO
 
 from repro.db.schema import TaskRow, TaskStatus
@@ -28,6 +29,14 @@ from repro.util.errors import (
 #: Protocol version, checked at connection time by the handshake.
 PROTOCOL_VERSION = 1
 
+#: Default upper bound on a single frame's wire size.  A peer that sends
+#: a longer line (malicious, buggy, or simply not speaking this
+#: protocol) would otherwise make ``readline`` buffer without limit;
+#: past this the reader raises :class:`SerializationError` instead.
+#: Generous relative to real payloads (the fabric caps task payloads at
+#: 10 MB, funcX-style) while still bounding memory per connection.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
 #: Exception types that cross the wire by name.
 _ERROR_TYPES: dict[str, type[Exception]] = {
     "NotFoundError": NotFoundError,
@@ -38,34 +47,74 @@ _ERROR_TYPES: dict[str, type[Exception]] = {
 }
 
 
+def encode_message(message: dict[str, Any]) -> bytes:
+    """Serialize one message to its wire frame (newline included)."""
+    data = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if b"\n" in data:
+        # json.dumps never emits raw newlines, but guard the invariant
+        # the framing depends on.
+        raise SerializationError("protocol message contains a newline")
+    return data + b"\n"
+
+
 def write_message(stream: BinaryIO, message: dict[str, Any]) -> int:
     """Write one newline-delimited JSON message and flush.
 
     Returns the frame size in bytes (newline included) so callers can
     keep wire-traffic counters without re-serializing.
     """
-    data = json.dumps(message, separators=(",", ":")).encode("utf-8")
-    if b"\n" in data:
-        # json.dumps never emits raw newlines, but guard the invariant
-        # the framing depends on.
-        raise SerializationError("protocol message contains a newline")
-    stream.write(data + b"\n")
+    frame = encode_message(message)
+    stream.write(frame)
     stream.flush()
-    return len(data) + 1
+    return len(frame)
 
 
-def read_frame(stream: BinaryIO) -> tuple[dict[str, Any] | None, int]:
-    """Read one message plus its wire size; ``(None, 0)`` on clean EOF."""
-    line = stream.readline()
-    if not line:
-        return None, 0
+def write_messages(stream: BinaryIO, messages: Iterable[dict[str, Any]]) -> int:
+    """Write many frames as one coalesced send with a single flush.
+
+    The pipelining primitive: N lockstep ``write_message`` calls cost N
+    syscalls (and, without TCP_NODELAY, N Nagle stalls); coalescing puts
+    the whole batch in one segment train.  Returns total bytes written.
+    """
+    buf = b"".join(encode_message(m) for m in messages)
+    if buf:
+        stream.write(buf)
+        stream.flush()
+    return len(buf)
+
+
+def parse_frame(line: bytes) -> dict[str, Any]:
+    """Decode one newline-delimited frame (the bytes of a single line).
+
+    Shared by the stream reader and byte-buffer readers (the service's
+    batch-per-recv loop) so framing errors are classified identically.
+    """
     try:
         message = json.loads(line.decode("utf-8"))
     except (ValueError, UnicodeDecodeError) as exc:
         raise SerializationError(f"malformed protocol frame: {exc}") from exc
     if not isinstance(message, dict):
         raise SerializationError("protocol frame is not a JSON object")
-    return message, len(line)
+    return message
+
+
+def read_frame(
+    stream: BinaryIO, max_frame: int = MAX_FRAME_BYTES
+) -> tuple[dict[str, Any] | None, int]:
+    """Read one message plus its wire size; ``(None, 0)`` on clean EOF.
+
+    ``max_frame`` bounds the bytes buffered for a single frame; an
+    overlong line raises :class:`SerializationError` rather than growing
+    the buffer without limit.
+    """
+    line = stream.readline(max_frame + 1)
+    if not line:
+        return None, 0
+    if len(line) > max_frame and not line.endswith(b"\n"):
+        raise SerializationError(
+            f"protocol frame exceeds max frame size ({max_frame} bytes)"
+        )
+    return parse_frame(line), len(line)
 
 
 def read_message(stream: BinaryIO) -> dict[str, Any] | None:
@@ -102,11 +151,16 @@ def ok_response(request_id: Any, result: Any) -> dict[str, Any]:
     return {"id": request_id, "ok": True, "result": result}
 
 
-def raise_remote_error(error: dict[str, Any]) -> None:
-    """Re-raise a server-side error client-side, preserving its type
-    where the type is part of the store contract."""
+def remote_error(error: dict[str, Any]) -> Exception:
+    """Build the client-side exception for a server-side error frame,
+    preserving its type where the type is part of the store contract."""
     exc_type = _ERROR_TYPES.get(error.get("type", ""), ReproError)
-    raise exc_type(error.get("message", "remote error"))
+    return exc_type(error.get("message", "remote error"))
+
+
+def raise_remote_error(error: dict[str, Any]) -> None:
+    """Re-raise a server-side error client-side (see :func:`remote_error`)."""
+    raise remote_error(error)
 
 
 def task_row_to_dict(row: TaskRow) -> dict[str, Any]:

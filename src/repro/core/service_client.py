@@ -7,9 +7,13 @@ class runs against it — an ME algorithm on a laptop drives a database on
 a cluster exactly as it drives a local one, which is the paper's
 deployment (local Python script, EMEWS DB on Bebop, SSH tunnel between).
 
-One socket is shared behind a lock; requests are strictly
-request/response so pipelining is unnecessary, and worker pools that
-want concurrency open one client each.
+One socket is shared behind a lock.  Requests are request/response by
+default; throughput-bound callers open an :meth:`RemoteTaskStore.pipeline`
+to keep N requests in flight on the same connection — frames are
+coalesced into one buffered send (a single flush per batch, with
+``TCP_NODELAY`` set so nothing waits on Nagle) and responses are matched
+back to their calls by request id.  Worker pools that want concurrency
+still open one client each.
 
 Resilience (paper §IV-B: tasks "are not lost when a resource fails"):
 a dropped connection no longer kills the store.  Every RPC classifies
@@ -26,6 +30,11 @@ itself as idempotent or not:
   raises :class:`~repro.util.errors.ConnectionBrokenError` and leaves
   recovery to the caller — for popped-but-lost tasks, the server-side
   lease reaper requeues them automatically.
+
+The same classification governs a pipeline broken mid-batch: calls
+whose responses never arrived are transparently replayed when
+idempotent, and surface ``ConnectionBrokenError`` (exactly once, on
+:meth:`PipelinedCall.result`) when not.
 
 After any mid-request failure the socket is torn down rather than
 reused: a connection that died between write and read is desynced (the
@@ -46,7 +55,7 @@ from typing import Any
 from repro.core import protocol
 from repro.db.backend import TaskStore
 from repro.db.schema import TaskRow, TaskStatus
-from repro.telemetry.metrics import MetricsRegistry, get_metrics
+from repro.telemetry.metrics import COUNT_BUCKETS, MetricsRegistry, get_metrics
 from repro.telemetry.tracing import Span, Tracer, get_tracer
 from repro.util.errors import (
     ConnectionBrokenError,
@@ -91,6 +100,7 @@ IDEMPOTENT_METHODS: frozenset[str] = frozenset(
         "queue_out_length",
         "queue_in_length",
         "report",
+        "report_batch",
         "get_task",
         "get_statuses",
         "get_priorities",
@@ -113,6 +123,120 @@ IDEMPOTENT_METHODS: frozenset[str] = frozenset(
 NON_IDEMPOTENT_METHODS: frozenset[str] = frozenset(
     {"create_task", "create_tasks", "pop_out", "pop_in", "pop_in_any"}
 )
+
+
+class PipelinedCall:
+    """Handle for one RPC issued through an :class:`RpcPipeline`.
+
+    The call is unresolved until the pipeline flushes the batch it rode
+    in; :meth:`result` then returns the RPC's result or raises exactly
+    what the lockstep call would have raised (typed remote errors,
+    :class:`~repro.util.errors.ConnectionBrokenError` for a
+    non-idempotent call lost mid-pipeline, ...).
+    """
+
+    __slots__ = ("method", "params", "request_id", "_result", "_error", "_done")
+
+    def __init__(self, method: str, params: dict[str, Any]) -> None:
+        self.method = method
+        self.params = params
+        self.request_id: int | None = None
+        self._result: Any = None
+        self._error: Exception | None = None
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        """Whether the call has been resolved (result or error)."""
+        return self._done
+
+    def result(self) -> Any:
+        """The RPC result; raises the call's error if it failed."""
+        if not self._done:
+            raise RuntimeError(
+                f"pipelined call {self.method!r} has not been flushed"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def _set_result(self, result: Any) -> None:
+        self._result = result
+        self._done = True
+
+    def _set_error(self, error: Exception) -> None:
+        self._error = error
+        self._done = True
+
+    def _resolve(self, response: dict[str, Any]) -> None:
+        """Resolve from a matched response frame (a typed error frame is
+        a *successful* exchange — the server handled the request)."""
+        if response.get("ok"):
+            self._set_result(response.get("result"))
+        else:
+            self._set_error(protocol.remote_error(response.get("error", {})))
+
+
+class RpcPipeline:
+    """Pipelined client mode: keep up to N requests in flight.
+
+    Obtained from :meth:`RemoteTaskStore.pipeline`.  Calls are buffered
+    and flushed as one coalesced send (a single ``write``/``flush`` for
+    the whole batch) followed by a response-matching read, whenever
+    ``max_in_flight`` calls are pending — and at context exit::
+
+        with store.pipeline(max_in_flight=64) as pipe:
+            calls = [pipe.call("report", {...}) for ... in work]
+        results = [c.result() for c in calls]
+
+    This turns K round trips into ~K/N, which is the funcX move: the
+    wire format already carries request ids, so the stream needs no
+    per-request synchronization.  ``max_in_flight`` also bounds the
+    bytes parked in socket buffers in each direction (the server
+    answers frame-by-frame, so an unbounded burst of large requests
+    could deadlock both windows); the default suits small control
+    frames.
+
+    Failure semantics match the lockstep client: when the connection
+    breaks mid-batch, already-answered calls keep their results,
+    unanswered *idempotent* calls are replayed through the normal
+    reconnect/backoff path, and unanswered non-idempotent calls resolve
+    to :class:`~repro.util.errors.ConnectionBrokenError`.
+
+    A pipeline instance is not thread-safe; other threads may keep
+    using the owning store's lockstep methods concurrently (flushes and
+    lockstep RPCs serialize on the store's connection lock).
+    """
+
+    def __init__(self, store: "RemoteTaskStore", max_in_flight: int = 64) -> None:
+        if max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        self._store = store
+        self._max_in_flight = max_in_flight
+        self._pending: list[PipelinedCall] = []
+
+    def call(self, method: str, params: dict[str, Any]) -> PipelinedCall:
+        """Queue one RPC; flushes automatically at ``max_in_flight``."""
+        call = PipelinedCall(method, params)
+        self._pending.append(call)
+        if len(self._pending) >= self._max_in_flight:
+            self.flush()
+        return call
+
+    def flush(self) -> None:
+        """Send every pending request in one batch and resolve them."""
+        batch, self._pending = self._pending, []
+        if batch:
+            self._store._flush_pipeline(batch)
+
+    def __enter__(self) -> "RpcPipeline":
+        return self
+
+    def __exit__(self, exc_type: object, *exc: object) -> None:
+        # Flush on clean exit only: after an exception in the body the
+        # caller is abandoning the batch, not awaiting its results.
+        if exc_type is None:
+            self.flush()
 
 
 class RemoteTaskStore(TaskStore):
@@ -152,6 +276,14 @@ class RemoteTaskStore(TaskStore):
         self._m_reconnects = registry.counter(
             "service.client.reconnects", "successful reconnections after a drop"
         )
+        self._m_pipeline_flushes = registry.counter(
+            "service.client.pipeline_flushes", "coalesced pipeline batches sent"
+        )
+        self._m_pipeline_batch = registry.histogram(
+            "service.client.pipeline_batch_size",
+            COUNT_BUCKETS,
+            "requests per pipeline flush",
+        )
         self._sock: socket.socket | None = None
         self._rfile: Any = None
         self._wfile: Any = None
@@ -183,6 +315,13 @@ class RemoteTaskStore(TaskStore):
             # Blocking I/O after connect (polling timeouts live in EQSQL)
             # unless the caller bounded per-RPC I/O with io_timeout.
             sock.settimeout(self._io_timeout)
+            try:
+                # Small frames must not wait out Nagle coalescing: every
+                # lockstep RPC's request is the last bytes the connection
+                # will send until the response arrives.
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
             rfile = sock.makefile("rb")
             wfile = sock.makefile("wb")
             # Handshake: ping carries the auth token and returns the
@@ -352,6 +491,117 @@ class RemoteTaskStore(TaskStore):
             protocol.raise_remote_error(response.get("error", {}))
         return response.get("result")
 
+    # -- pipelining ---------------------------------------------------------
+
+    def pipeline(self, max_in_flight: int = 64) -> RpcPipeline:
+        """Open a pipelined view of this connection.
+
+        See :class:`RpcPipeline`; the returned pipeline shares this
+        store's socket, auth token, and reconnect semantics.
+        """
+        return RpcPipeline(self, max_in_flight)
+
+    def _flush_pipeline(self, batch: list[PipelinedCall]) -> None:
+        """Send a batch as one coalesced write, then match responses.
+
+        Every call in ``batch`` is resolved by the time this returns:
+        with its result, with a typed remote error, or — after a
+        mid-batch connection break — by transparent lockstep replay
+        (idempotent calls) or :class:`ConnectionBrokenError`
+        (non-idempotent calls whose fate is unknown).
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            self._flush_pipeline_raw(batch, None)
+            return
+        with tracer.span(
+            "rpc.pipeline", component="service_client", batch=len(batch)
+        ) as sp:
+            self._flush_pipeline_raw(batch, sp)
+
+    def _flush_pipeline_raw(
+        self, batch: list[PipelinedCall], span: Span | None
+    ) -> None:
+        t0 = time.monotonic()
+        to_replay: list[PipelinedCall] = []
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("remote store is closed")
+            if self._sock is None:
+                try:
+                    self._connect_locked()
+                except (OSError, ConnectionError):
+                    # Nothing was sent: every call — non-idempotent ones
+                    # included — is provably unapplied, so all of them go
+                    # through the lockstep path, which retries connecting
+                    # with backoff.
+                    to_replay = list(batch)
+            if self._sock is not None:
+                requests: list[dict[str, Any]] = []
+                pending: dict[int, PipelinedCall] = {}
+                for call in batch:
+                    self._next_id += 1
+                    call.request_id = self._next_id
+                    request: dict[str, Any] = {
+                        "id": call.request_id,
+                        "method": call.method,
+                        "params": call.params,
+                    }
+                    if self._token is not None:
+                        request["token"] = self._token
+                    if span is not None:
+                        protocol.inject_trace(request, span.context)
+                    requests.append(request)
+                    pending[call.request_id] = call
+                try:
+                    protocol.write_messages(self._wfile, requests)
+                    for _ in range(len(batch)):
+                        response = protocol.read_message(self._rfile)
+                        if response is None:
+                            raise ConnectionError("service closed the connection")
+                        call = pending.pop(response.get("id"), None)  # type: ignore[arg-type]
+                        if call is None:
+                            # A frame answering no in-flight request:
+                            # the stream is desynced beyond repair.
+                            raise ConnectionError(
+                                "service response id mismatch (desynced)"
+                            )
+                        call._resolve(response)
+                except (OSError, ConnectionError, ReproError) as exc:
+                    # Same teardown rule as the lockstep path: the socket
+                    # may hold stale frames and is never reused.  Calls
+                    # already resolved keep their results; the rest split
+                    # by idempotency.
+                    self._teardown_locked()
+                    for call in batch:
+                        if call.done:
+                            continue
+                        if call.method in IDEMPOTENT_METHODS:
+                            to_replay.append(call)
+                        else:
+                            call._set_error(
+                                ConnectionBrokenError(
+                                    f"connection lost during non-idempotent rpc"
+                                    f" {call.method!r} in a pipeline; not retried"
+                                    " (the request may have been applied)"
+                                )
+                            )
+                            call._error.__cause__ = exc  # type: ignore[union-attr]
+                else:
+                    self._m_rpcs.inc(len(batch))
+                    self._m_rtt.observe(time.monotonic() - t0)
+                    self._m_pipeline_flushes.inc()
+                    self._m_pipeline_batch.observe(len(batch))
+        # Replay outside the connection lock: _call takes it per attempt
+        # (and it is not reentrant).
+        for call in to_replay:
+            try:
+                call._set_result(self._call(call.method, call.params))
+            except Exception as exc:  # noqa: BLE001 - stored, raised on result()
+                call._set_error(exc)
+        if span is not None and to_replay:
+            span.set_attr("replayed", len(to_replay))
+
     # -- TaskStore implementation -------------------------------------------
 
     def create_task(
@@ -441,6 +691,21 @@ class RemoteTaskStore(TaskStore):
                 "result": result,
                 "now": now,
             },
+        )
+
+    def report_batch(
+        self,
+        reports: Sequence[tuple[int, int, str]],
+        *,
+        now: float = 0.0,
+    ) -> None:
+        # One RPC for the whole batch (not the base class's report loop):
+        # this is the wire-level win the shared pool reporter rides on.
+        if not reports:
+            return
+        self._call(
+            "report_batch",
+            {"reports": [list(r) for r in reports], "now": now},
         )
 
     def pop_in(self, eq_task_id: int) -> str | None:

@@ -18,6 +18,7 @@ from abc import ABC, abstractmethod
 from collections.abc import Iterable, Sequence
 
 from repro.db.schema import TaskRow, TaskStatus
+from repro.util.errors import NotFoundError
 
 
 class TaskStore(ABC):
@@ -112,6 +113,37 @@ class TaskStore(ABC):
         execution that follows a lease-expiry requeue of a task whose
         original pool was slow rather than dead.
         """
+
+    def report_batch(
+        self, reports: Sequence[tuple[int, int, str]], *, now: float = 0.0
+    ) -> None:
+        """Record many results in one store operation.
+
+        ``reports`` is a sequence of ``(eq_task_id, eq_type, result)``
+        triples; each is applied with :meth:`report` semantics (first
+        write wins, requeued copies withdrawn, input-queue row pushed).
+        The batch is a *performance* primitive, not an atomicity one:
+        items are individually idempotent, so a retried batch — or a
+        batch replayed after a partial failure — converges to the same
+        state as single reports.
+
+        Unknown ids raise :class:`repro.util.errors.NotFoundError`
+        naming them; known ids in the same batch may or may not have
+        been applied when it raises (retrying the whole batch is safe).
+
+        The default implementation loops :meth:`report`; backends
+        override it to collapse the batch into one critical section /
+        transaction, which is what lifts the wire- and fsync-bound
+        report path (one RPC and one commit per batch, not per task).
+        """
+        missing: list[int] = []
+        for eq_task_id, eq_type, result in reports:
+            try:
+                self.report(eq_task_id, eq_type, result, now=now)
+            except NotFoundError:
+                missing.append(eq_task_id)
+        if missing:
+            raise NotFoundError(f"no task(s) with id(s) {missing}")
 
     @abstractmethod
     def pop_in(self, eq_task_id: int) -> str | None:

@@ -222,6 +222,36 @@ class MemoryTaskStore(TaskStore):
                 self._m_report_withdrawals.inc()
             self._in_queue[eq_task_id] = eq_type
 
+    def report_batch(
+        self, reports: Sequence[tuple[int, int, str]], *, now: float = 0.0
+    ) -> None:
+        # One lock acquisition for the whole batch; per-item semantics
+        # identical to report() (first write wins, withdraw requeues).
+        with self._lock:
+            self._check_open()
+            missing: list[int] = []
+            withdrawals = 0
+            for eq_task_id, eq_type, result in reports:
+                row = self._tasks.get(eq_task_id)
+                if row is None:
+                    missing.append(eq_task_id)
+                    continue
+                if row.eq_status == TaskStatus.COMPLETE:
+                    continue  # idempotent duplicate
+                row.json_in = result
+                row.eq_status = TaskStatus.COMPLETE
+                row.time_stop = now
+                row.lease_expiry = None
+                entry = self._out_entries.pop(eq_task_id, None)
+                if entry is not None:
+                    entry.alive = False
+                    withdrawals += 1
+                self._in_queue[eq_task_id] = eq_type
+            if withdrawals:
+                self._m_report_withdrawals.inc(withdrawals)
+        if missing:
+            raise NotFoundError(f"no task(s) with id(s) {missing}")
+
     def pop_in(self, eq_task_id: int) -> str | None:
         with self._lock:
             self._check_open()

@@ -11,6 +11,27 @@ additional contention cost.
 Every public operation is one transaction; the pop path uses
 ``DELETE ... RETURNING``-free portable SQL (select + delete + update in
 one ``BEGIN IMMEDIATE`` block) so two pools can never pop the same task.
+
+Throughput tuning (documented trade-offs):
+
+- File-backed stores default to ``PRAGMA journal_mode=WAL`` with
+  ``synchronous=NORMAL``: commits append to the write-ahead log instead
+  of rewriting pages through a rollback journal, and fsyncs happen at
+  WAL checkpoints rather than per transaction.  WAL mode is durable
+  against *process* crashes; an OS/power failure can lose the most
+  recent commits (the database never corrupts — it rolls back to the
+  last checkpointed state).  Task rows are recoverable work, not
+  financial ledger entries, so this is the right default; pass
+  ``durable=True`` for rollback-journal + ``synchronous=FULL``
+  semantics where every commit must survive power loss.
+- Batch operations (``create_tasks``, ``report_batch``,
+  ``update_priorities``) run set-based SQL / ``executemany`` inside a
+  single transaction — one commit per batch, not per row.
+- One cursor is cached and reused for every operation (the connection
+  and cursor live behind the store lock anyway), keeping the hot
+  pop/report path free of per-call cursor allocation; sqlite3's
+  per-connection statement cache then makes repeated SQL a lookup, not
+  a re-parse.
 """
 
 from __future__ import annotations
@@ -30,7 +51,11 @@ class SqliteTaskStore(TaskStore):
     """EMEWS DB on SQLite (file-backed or ``:memory:``)."""
 
     def __init__(
-        self, path: str = ":memory:", metrics: MetricsRegistry | None = None
+        self,
+        path: str = ":memory:",
+        metrics: MetricsRegistry | None = None,
+        *,
+        durable: bool = False,
     ) -> None:
         registry = metrics if metrics is not None else get_metrics()
         self._m_lease_renewals = registry.counter(
@@ -44,9 +69,23 @@ class SqliteTaskStore(TaskStore):
             "requeued copies withdrawn because the original report landed",
         )
         self._path = path
+        self._durable = durable
         self._lock = threading.RLock()
         self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.isolation_level = None  # explicit transaction control
+        # One cached cursor serves every operation: all access is
+        # serialized behind the store lock and every query fetches
+        # eagerly, so reuse is safe and the hot pop/report path skips a
+        # cursor allocation per call.
+        self._cursor = self._conn.cursor()
+        if not durable and path != ":memory:":
+            # WAL + NORMAL: commit = one WAL append, fsync deferred to
+            # checkpoints.  See the module docstring for the durability
+            # trade-off; ``durable=True`` opts back out.  ``:memory:``
+            # databases have no journal to tune.
+            self._cursor.execute("PRAGMA journal_mode=WAL")
+            self._cursor.fetchall()
+            self._cursor.execute("PRAGMA synchronous=NORMAL")
         with self._txn() as cur:
             # Pre-lease database files lack the lease_expiry column;
             # CREATE TABLE IF NOT EXISTS won't add it, so migrate first
@@ -64,11 +103,17 @@ class SqliteTaskStore(TaskStore):
         """The database file path (``:memory:`` for transient stores)."""
         return self._path
 
+    @property
+    def durable(self) -> bool:
+        """True when the store runs rollback-journal + synchronous=FULL
+        (the ``durable=True`` opt-out of the WAL default)."""
+        return self._durable
+
     @contextmanager
     def _txn(self):
         """One locked transaction; rolls back on error, commits on success."""
         with self._lock:
-            cur = self._conn.cursor()
+            cur = self._cursor
             try:
                 cur.execute("BEGIN IMMEDIATE")
                 yield cur
@@ -76,18 +121,12 @@ class SqliteTaskStore(TaskStore):
             except BaseException:
                 cur.execute("ROLLBACK")
                 raise
-            finally:
-                cur.close()
 
     @contextmanager
     def _read(self):
         """A locked read-only cursor (no transaction frame needed)."""
         with self._lock:
-            cur = self._conn.cursor()
-            try:
-                yield cur
-            finally:
-                cur.close()
+            yield self._cursor
 
     def _check_open(self) -> None:
         if self._closed:
@@ -154,11 +193,39 @@ class SqliteTaskStore(TaskStore):
     ) -> list[int]:
         self._check_open()
         priorities = normalize_priorities(len(payloads), priority)
+        if not payloads:
+            return []
         with self._txn() as cur:
-            return [
-                self._insert_task(cur, exp_id, eq_type, p, pr, tag, time_created)
-                for p, pr in zip(payloads, priorities)
-            ]
+            # Pre-allocate the id range so every table loads via one
+            # executemany instead of four round trips per task.
+            # eq_task_id is the rowid (INTEGER PRIMARY KEY), so explicit
+            # MAX+1.. ids keep later implicit allocation consistent.
+            cur.execute("SELECT COALESCE(MAX(eq_task_id), 0) FROM eq_tasks")
+            next_id = int(cur.fetchone()[0]) + 1
+            ids = list(range(next_id, next_id + len(payloads)))
+            cur.executemany(
+                "INSERT INTO eq_tasks (eq_task_id, eq_task_type, eq_status,"
+                " json_out, time_created) VALUES (?, ?, ?, ?, ?)",
+                [
+                    (tid, eq_type, int(TaskStatus.QUEUED), p, time_created)
+                    for tid, p in zip(ids, payloads)
+                ],
+            )
+            cur.executemany(
+                "INSERT INTO eq_exp_id_tasks (exp_id, eq_task_id) VALUES (?, ?)",
+                [(exp_id, tid) for tid in ids],
+            )
+            if tag is not None:
+                cur.executemany(
+                    "INSERT INTO eq_task_tags (eq_task_id, tag) VALUES (?, ?)",
+                    [(tid, tag) for tid in ids],
+                )
+            cur.executemany(
+                "INSERT INTO emews_queue_out (eq_task_id, eq_task_type, eq_priority)"
+                " VALUES (?, ?, ?)",
+                [(tid, eq_type, pr) for tid, pr in zip(ids, priorities)],
+            )
+            return ids
 
     # -- output queue --------------------------------------------------------
 
@@ -255,6 +322,58 @@ class SqliteTaskStore(TaskStore):
                 "INSERT INTO emews_queue_in (eq_task_id, eq_task_type) VALUES (?, ?)",
                 (eq_task_id, eq_type),
             )
+
+    def report_batch(
+        self, reports: Sequence[tuple[int, int, str]], *, now: float = 0.0
+    ) -> None:
+        self._check_open()
+        if not reports:
+            return
+        ids = [tid for tid, _, _ in reports]
+        marks = ",".join("?" for _ in ids)
+        with self._txn() as cur:
+            cur.execute(
+                f"SELECT eq_task_id, eq_status FROM eq_tasks"
+                f" WHERE eq_task_id IN ({marks})",
+                ids,
+            )
+            status_by_id = dict(cur.fetchall())
+            missing = sorted({tid for tid in ids if tid not in status_by_id})
+            missing_set = set(missing)
+            # First write wins — across the batch and within it: skip
+            # already-COMPLETE rows and duplicate ids after their first
+            # occurrence, mirroring N sequential report() calls.
+            fresh: list[tuple[int, int, str]] = []
+            seen: set[int] = set()
+            for tid, eq_type, result in reports:
+                if tid in seen or tid in missing_set:
+                    continue
+                seen.add(tid)
+                if status_by_id[tid] != int(TaskStatus.COMPLETE):
+                    fresh.append((tid, eq_type, result))
+            if fresh:
+                cur.executemany(
+                    "UPDATE eq_tasks SET json_in = ?, eq_status = ?,"
+                    " time_stop = ?, lease_expiry = NULL WHERE eq_task_id = ?",
+                    [
+                        (result, int(TaskStatus.COMPLETE), now, tid)
+                        for tid, _, result in fresh
+                    ],
+                )
+                fmarks = ",".join("?" for _ in fresh)
+                cur.execute(
+                    f"DELETE FROM emews_queue_out WHERE eq_task_id IN ({fmarks})",
+                    [tid for tid, _, _ in fresh],
+                )
+                if cur.rowcount:
+                    self._m_report_withdrawals.inc(cur.rowcount)
+                cur.executemany(
+                    "INSERT INTO emews_queue_in (eq_task_id, eq_task_type)"
+                    " VALUES (?, ?)",
+                    [(tid, eq_type) for tid, eq_type, _ in fresh],
+                )
+        if missing:
+            raise NotFoundError(f"no task(s) with id(s) {missing}")
 
     def pop_in(self, eq_task_id: int) -> str | None:
         self._check_open()
@@ -376,14 +495,14 @@ class SqliteTaskStore(TaskStore):
         if not eq_task_ids:
             return 0
         with self._txn() as cur:
-            changed = 0
-            for tid, priority in zip(eq_task_ids, values):
-                cur.execute(
-                    "UPDATE emews_queue_out SET eq_priority = ? WHERE eq_task_id = ?",
-                    (priority, tid),
-                )
-                changed += cur.rowcount
-            return changed
+            # executemany accumulates rowcount across the parameter set,
+            # so one statement replaces the per-task UPDATE loop (the
+            # GPR reprioritization touches hundreds of tasks at a time).
+            cur.executemany(
+                "UPDATE emews_queue_out SET eq_priority = ? WHERE eq_task_id = ?",
+                [(priority, tid) for tid, priority in zip(eq_task_ids, values)],
+            )
+            return max(cur.rowcount, 0)
 
     def cancel_tasks(self, eq_task_ids: Sequence[int]) -> int:
         self._check_open()

@@ -38,6 +38,17 @@ class PoolConfig:
     #: ``lease_duration`` so two consecutive heartbeats can be lost
     #: before the lease lapses.
     heartbeat_interval: float | None = None
+    #: Results per shared-reporter flush.  At the default of 1 each
+    #: worker reports its own result synchronously (the pre-batching
+    #: behaviour); above 1 workers enqueue results and a single flusher
+    #: thread reports them in one ``report_batch`` RPC — the round trip
+    #: is paid once per flush, not once per task.
+    report_batch_size: int = 1
+    #: Max seconds the reporter lingers waiting to fill a batch before
+    #: flushing what it has, so single-task latency stays bounded even
+    #: when results trickle in.  Only meaningful with
+    #: ``report_batch_size > 1``.
+    report_linger: float = 0.05
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -58,6 +69,14 @@ class PoolConfig:
                 )
         elif self.heartbeat_interval is not None:
             raise ValueError("heartbeat_interval requires lease_duration")
+        if self.report_batch_size < 1:
+            raise ValueError(
+                f"report_batch_size must be >= 1, got {self.report_batch_size}"
+            )
+        if self.report_linger <= 0:
+            raise ValueError(
+                f"report_linger must be positive, got {self.report_linger}"
+            )
         # Validates batch/threshold bounds.
         self.policy()
 

@@ -11,12 +11,20 @@ Shutdown follows the EQ_STOP convention: a task whose payload is the
 tasks, and exit; the sentinel task itself is reported back (payload
 ``EQ_STOP``) so the submitter's future completes.  ``stop()`` forces the
 same path locally.
+
+With ``report_batch_size > 1`` the pool runs a shared reporter: workers
+enqueue completed results instead of reporting them inline, and a single
+flusher thread pushes each batch to the DB in one ``report_batch`` store
+operation — flushing at K results or after a bounded linger, whichever
+comes first, so a remote store's round trip is paid per batch while a
+lone result still reports promptly.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Any
 
 from repro.core.constants import EQ_ABORT, EQ_STOP
@@ -101,6 +109,9 @@ class ThreadedWorkerPool:
         self._threads: list[threading.Thread] = []
         self._heartbeat: threading.Thread | None = None
         self._started = False
+        self._reporter: _BatchReporter | None = (
+            _BatchReporter(self) if config.report_batch_size > 1 else None
+        )
 
         self._stats_lock = threading.Lock()
         self._busy = 0
@@ -160,6 +171,8 @@ class ThreadedWorkerPool:
         self._threads = [fetcher, *workers]
         for t in self._threads:
             t.start()
+        if self._reporter is not None:
+            self._reporter.start()
         if self._config.lease_duration is not None:
             self._heartbeat = threading.Thread(
                 target=self._heartbeat_loop,
@@ -187,6 +200,13 @@ class ThreadedWorkerPool:
         """Wait for the pool's threads to exit."""
         for t in self._threads:
             t.join(timeout)
+        # The reporter outlives the workers: the fetcher's drain waits
+        # for the owned count to reach zero, which only happens once the
+        # flusher has reported every enqueued result.  On abort pending
+        # results are discarded (their tasks stay RUNNING for the lease
+        # reaper, like any abandoned work).
+        if self._reporter is not None:
+            self._reporter.stop(discard=self._abort.is_set(), timeout=timeout)
         # The heartbeat outlives the fetcher so leases stay fresh while
         # owned tasks drain; it only stops once the workers are done (or
         # on abort, where renewing would keep abandoned tasks from the
@@ -400,6 +420,15 @@ class ThreadedWorkerPool:
                 sp.set_attr("failed", True)
         ran_at = clock.now()
         self._m_run.observe(ran_at - started_at)
+        if self._reporter is not None:
+            # Batched mode: hand the result to the shared reporter and
+            # release this worker immediately.  Finalization (owned
+            # decrement, stats, task-stop trace) happens on the flusher
+            # thread once the result actually reaches the DB, so the
+            # fetch policy never double-counts capacity for a task whose
+            # report is still in flight.
+            self._reporter.submit(eq_task_id, result, failed, ran_at)
+            return
         lost = False
         try:
             try:
@@ -424,20 +453,31 @@ class ThreadedWorkerPool:
                     pool=self.name, eq_task_id=eq_task_id, error=str(exc),
                 )
         finally:
-            if self._trace is not None:
-                self._trace.task_stop(clock.now(), eq_task_id, source=self.name)
-            with self._owned_lock:
-                self._owned -= 1
-                self._owned_ids.discard(eq_task_id)
-            with self._stats_lock:
-                if lost:
-                    self.reports_lost += 1
-                elif failed:
-                    self.tasks_failed += 1
-                else:
-                    self.tasks_completed += 1
-            if not lost:
-                (self._m_failed if failed else self._m_completed).inc()
+            self._finalize(eq_task_id, failed=failed, lost=lost)
+
+    def _finalize(self, eq_task_id: int, *, failed: bool, lost: bool) -> None:
+        """Book-keeping after a task's report settles (or is lost).
+
+        Shared by the synchronous report path and the batch reporter;
+        the owned count must only drop here, after the report, because
+        it drives the fetch policy.
+        """
+        if self._trace is not None:
+            self._trace.task_stop(
+                self._eqsql.clock.now(), eq_task_id, source=self.name
+            )
+        with self._owned_lock:
+            self._owned -= 1
+            self._owned_ids.discard(eq_task_id)
+        with self._stats_lock:
+            if lost:
+                self.reports_lost += 1
+            elif failed:
+                self.tasks_failed += 1
+            else:
+                self.tasks_completed += 1
+        if not lost:
+            (self._m_failed if failed else self._m_completed).inc()
 
     # -- context manager ----------------------------------------------------------------
 
@@ -446,3 +486,108 @@ class ThreadedWorkerPool:
 
     def __exit__(self, *exc: object) -> None:
         self.stop()
+
+
+class _BatchReporter:
+    """Shared result reporter: workers enqueue, one flusher reports.
+
+    Batches are flushed at ``report_batch_size`` results or after
+    ``report_linger`` seconds, whichever comes first — the linger bounds
+    how long a lone result waits, the size bounds memory and RPC-frame
+    growth.  The linger uses wall-clock time (not the pool's injected
+    clock): it paces a real background thread, and a virtual clock would
+    make ``queue.Queue`` timeouts meaningless.
+
+    If the batch RPC fails, the flusher falls back to per-item reports
+    (``report`` is first-write-wins idempotent, so items the broken
+    batch may already have applied re-send safely); only items whose
+    individual report also fails count as lost.
+    """
+
+    def __init__(self, pool: ThreadedWorkerPool) -> None:
+        self._pool = pool
+        self._batch_size = pool.config.report_batch_size
+        self._linger = pool.config.report_linger
+        self._q: "queue.Queue[tuple[int, str, bool, float]]" = queue.Queue()
+        self._stop_event = threading.Event()
+        self._discard = False
+        self._started = False
+        self._thread = threading.Thread(
+            target=self._run, name=f"{pool.name}-reporter", daemon=True
+        )
+
+    def start(self) -> None:
+        self._started = True
+        self._thread.start()
+
+    def submit(
+        self, eq_task_id: int, result: str, failed: bool, ran_at: float
+    ) -> None:
+        """Enqueue one completed task's result for the next flush."""
+        self._q.put((eq_task_id, result, failed, ran_at))
+
+    def stop(self, discard: bool = False, timeout: float = 30.0) -> None:
+        """Stop the flusher; drains the queue first unless ``discard``."""
+        self._discard = discard
+        self._stop_event.set()
+        if self._started:
+            self._thread.join(timeout)
+
+    def _run(self) -> None:
+        while True:
+            if self._discard:
+                return
+            try:
+                first = self._q.get(timeout=0.05)
+            except queue.Empty:
+                if self._stop_event.is_set():
+                    return
+                continue
+            batch = [first]
+            # Linger for more results unless shutting down (then flush
+            # whatever arrived immediately).
+            deadline = time.monotonic() + self._linger
+            while len(batch) < self._batch_size and not self._stop_event.is_set():
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(self._q.get(timeout=remaining))
+                except queue.Empty:
+                    break
+            self._flush(batch)
+
+    def _flush(self, batch: list[tuple[int, str, bool, float]]) -> None:
+        pool = self._pool
+        work_type = pool.config.work_type
+        tracer = pool.tracer
+        reports = [(tid, work_type, result) for tid, result, _f, _r in batch]
+        lost_ids: set[int] = set()
+        try:
+            if tracer.enabled:
+                with tracer.span(
+                    "pool.report_batch",
+                    component="pool",
+                    pool=pool.name,
+                    n=len(batch),
+                ):
+                    pool._eqsql.report_tasks(reports)
+            else:
+                pool._eqsql.report_tasks(reports)
+        except (ReproError, OSError):
+            for tid, result, _failed, _ran in batch:
+                try:
+                    pool._eqsql.report_task(tid, work_type, result)
+                except (ReproError, OSError) as exc:
+                    lost_ids.add(tid)
+                    pool._m_report_errors.inc()
+                    log_event(
+                        _log, "pool.report_error", level=30,
+                        pool=pool.name, eq_task_id=tid, error=str(exc),
+                    )
+        now = pool._eqsql.clock.now()
+        for tid, _result, failed, ran_at in batch:
+            lost = tid in lost_ids
+            if not lost:
+                pool._m_report.observe(now - ran_at)
+            pool._finalize(tid, failed=failed, lost=lost)

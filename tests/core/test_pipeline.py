@@ -1,0 +1,227 @@
+"""Pipelined RPC mode: batching, id matching, and break semantics.
+
+The pipeline must be semantically transparent — every call resolves to
+exactly what its lockstep twin would have produced — while collapsing N
+round trips into one.  Under chaos it must preserve the PR 2 contract:
+idempotent calls are replayed after a mid-pipeline break; non-idempotent
+in-flight calls surface ``ConnectionBrokenError`` exactly once.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import RemoteTaskStore, TaskService
+from repro.core.service_client import RetryPolicy
+from repro.db import MemoryTaskStore
+from repro.telemetry.metrics import MetricsRegistry
+from repro.testing import ChaosProxy
+from repro.util.errors import (
+    ConnectionBrokenError,
+    NotFoundError,
+    ServiceUnavailableError,
+)
+
+FAST_RETRY = RetryPolicy(max_attempts=6, base_delay=0.01, max_delay=0.05)
+
+
+@pytest.fixture
+def service():
+    backing = MemoryTaskStore()
+    svc = TaskService(backing).start()
+    yield svc
+    svc.stop()
+    backing.close()
+
+
+@pytest.fixture
+def client(service):
+    metrics = MetricsRegistry()
+    store = RemoteTaskStore(*service.address, metrics=metrics)
+    store.test_metrics = metrics
+    yield store
+    store.close()
+
+
+@pytest.fixture
+def proxy(service):
+    with ChaosProxy(*service.address, rng=random.Random(7)) as p:
+        yield p
+
+
+@pytest.fixture
+def chaos_client(proxy):
+    metrics = MetricsRegistry()
+    store = RemoteTaskStore(
+        *proxy.address, retry=FAST_RETRY, metrics=metrics, rng=random.Random(7)
+    )
+    store.test_metrics = metrics
+    yield store
+    store.close()
+
+
+class TestPipelineHappyPath:
+    def test_results_match_lockstep(self, client):
+        ids = client.create_tasks("exp", 0, [f"p{i}" for i in range(10)])
+        popped = client.pop_out(0, n=10)
+        assert len(popped) == 10
+        with client.pipeline() as pipe:
+            calls = [
+                pipe.call(
+                    "report",
+                    {"eq_task_id": tid, "eq_type": 0, "result": f"r{tid}"},
+                )
+                for tid, _payload in popped
+            ]
+        assert all(c.result() is None for c in calls)
+        for tid in ids:
+            assert client.pop_in(tid) == f"r{tid}"
+
+    def test_single_flush_resolves_all(self, client):
+        with client.pipeline(max_in_flight=64) as pipe:
+            calls = [pipe.call("queue_in_length", {}) for _ in range(20)]
+            assert not any(c.done for c in calls)
+            pipe.flush()
+            assert all(c.done for c in calls)
+        assert [c.result() for c in calls] == [0] * 20
+        flushes = client.test_metrics.get("service.client.pipeline_flushes")
+        assert flushes.value == 1
+
+    def test_auto_flush_at_max_in_flight(self, client):
+        with client.pipeline(max_in_flight=4) as pipe:
+            calls = [pipe.call("queue_out_length", {"eq_type": None}) for _ in range(4)]
+            # The 4th call crossed the threshold: flushed without help.
+            assert all(c.done for c in calls)
+
+    def test_context_exit_flushes_remainder(self, client):
+        pipe = client.pipeline(max_in_flight=64)
+        with pipe:
+            call = pipe.call("max_task_id", {})
+        assert call.result() == 0
+
+    def test_unflushed_result_raises(self, client):
+        pipe = client.pipeline()
+        call = pipe.call("queue_in_length", {})
+        with pytest.raises(RuntimeError, match="not been flushed"):
+            call.result()
+        pipe.flush()
+        assert call.result() == 0
+
+    def test_typed_error_resolves_only_its_call(self, client):
+        tid = client.create_task("exp", 0, "p")
+        with client.pipeline() as pipe:
+            good = pipe.call("get_task", {"eq_task_id": tid})
+            bad = pipe.call("get_task", {"eq_task_id": 9999})
+            also_good = pipe.call("queue_out_length", {"eq_type": None})
+        # The server answered all three; only the missing id fails, and
+        # with the same typed error a lockstep call raises.
+        assert good.result()["eq_task_id"] == tid
+        with pytest.raises(NotFoundError):
+            bad.result()
+        assert also_good.result() == 1
+
+    def test_interleaves_with_lockstep_calls(self, client):
+        pipe = client.pipeline(max_in_flight=64)
+        pipe.call("queue_in_length", {})
+        # A lockstep call between pipeline calls must not steal the
+        # pipelined responses (ids keep requests and responses paired).
+        assert client.max_task_id() == 0
+        call = pipe.call("queue_out_length", {"eq_type": None})
+        pipe.flush()
+        assert call.result() == 0
+
+    def test_rejects_bad_max_in_flight(self, client):
+        with pytest.raises(ValueError):
+            client.pipeline(max_in_flight=0)
+
+    def test_exception_in_body_abandons_batch(self, client):
+        with pytest.raises(RuntimeError, match="boom"):
+            with client.pipeline() as pipe:
+                call = pipe.call("queue_in_length", {})
+                raise RuntimeError("boom")
+        assert not call.done  # never flushed; results were abandoned
+
+
+class TestPipelineChaos:
+    def test_sever_mid_pipeline_idempotent_calls_replay(
+        self, proxy, chaos_client
+    ):
+        chaos_client.create_task("exp", 0, "p")
+        assert proxy.sever_all() >= 1
+        with chaos_client.pipeline() as pipe:
+            calls = [
+                pipe.call("queue_out_length", {"eq_type": None})
+                for _ in range(5)
+            ]
+        # Every call was replayed on a fresh connection.
+        assert [c.result() for c in calls] == [1] * 5
+        assert (
+            chaos_client.test_metrics.get("service.client.reconnects").value >= 1
+        )
+
+    def test_sever_mid_pipeline_non_idempotent_breaks_exactly_once(
+        self, proxy, chaos_client
+    ):
+        proxy.sever_all()  # the client now holds a dead socket
+        with chaos_client.pipeline() as pipe:
+            idem = pipe.call("queue_out_length", {"eq_type": None})
+            non_idem = pipe.call(
+                "create_task", {"exp_id": "exp", "eq_type": 0, "payload": "p"}
+            )
+        # The idempotent call replayed; the non-idempotent one must
+        # surface ConnectionBrokenError — once per result() call, the
+        # same stored error, never a re-send.
+        assert idem.result() == 0
+        with pytest.raises(ConnectionBrokenError):
+            non_idem.result()
+        with pytest.raises(ConnectionBrokenError):
+            non_idem.result()  # same stored error; nothing re-executed
+        # The request never went out through the dead socket.
+        assert chaos_client.queue_out_length(None) == 0
+        # The client is healthy for the caller's own retry.
+        assert chaos_client.create_task("exp", 0, "p2") >= 1
+
+    def test_full_outage_mid_pipeline_exhausts_retries(
+        self, proxy, chaos_client
+    ):
+        chaos_client.queue_in_length()  # establish through the proxy
+        proxy.pause()  # refuse new connections ...
+        proxy.sever_all()  # ... and kill the existing one
+        with chaos_client.pipeline() as pipe:
+            idem = pipe.call("queue_in_length", {})
+            non_idem = pipe.call(
+                "create_task", {"exp_id": "exp", "eq_type": 0, "payload": "p"}
+            )
+        # Idempotent: replayed until the retry budget ran out.
+        with pytest.raises(ServiceUnavailableError):
+            idem.result()
+        with pytest.raises(ConnectionBrokenError):
+            non_idem.result()
+        # Outage ends; the same client recovers.
+        proxy.resume()
+        assert chaos_client.queue_in_length() == 0
+
+    def test_connect_failure_replays_everything(self, proxy, chaos_client):
+        # Tear the connection down *and* make the first reconnect fail:
+        # the flush's own connect attempt fails pre-send, so even
+        # non-idempotent calls are provably unapplied and replay.
+        proxy.sever_all()
+        chaos_client._teardown_locked()  # no socket held at flush time
+        proxy.pause()
+
+        import threading
+        import time
+
+        def lift_outage():
+            time.sleep(0.05)
+            proxy.resume()
+
+        threading.Thread(target=lift_outage, daemon=True).start()
+        with chaos_client.pipeline() as pipe:
+            non_idem = pipe.call(
+                "create_task", {"exp_id": "exp", "eq_type": 0, "payload": "p"}
+            )
+        assert non_idem.result() >= 1
+        assert chaos_client.queue_out_length(None) == 1

@@ -1,0 +1,68 @@
+"""Protocol framing limits and batch writes.
+
+The reader must bound per-frame memory (a peer streaming an endless
+line would otherwise grow ``readline``'s buffer without limit), and the
+batch writer must emit byte-identical frames to N single writes — the
+pipelining primitive is purely a syscall/flush optimization.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core import protocol
+from repro.util.errors import SerializationError
+
+
+class TestMaxFrame:
+    def test_oversized_frame_raises(self):
+        stream = io.BytesIO(b"x" * 100 + b"\n")
+        with pytest.raises(SerializationError, match="max frame size"):
+            protocol.read_frame(stream, max_frame=50)
+
+    def test_oversized_frame_without_newline_raises(self):
+        # A never-terminated line must fail at the cap, not at EOF.
+        stream = io.BytesIO(b"x" * 1000)
+        with pytest.raises(SerializationError, match="max frame size"):
+            protocol.read_frame(stream, max_frame=50)
+
+    def test_frame_at_limit_passes(self):
+        frame = protocol.encode_message({"id": 1})
+        message, size = protocol.read_frame(
+            io.BytesIO(frame), max_frame=len(frame)
+        )
+        assert message == {"id": 1}
+        assert size == len(frame)
+
+    def test_default_limit_is_generous(self):
+        # Real payloads (fabric cap: 10 MB) fit far under the default.
+        assert protocol.MAX_FRAME_BYTES >= 32 * 1024 * 1024
+
+    def test_eof_still_returns_none(self):
+        assert protocol.read_frame(io.BytesIO(b""), max_frame=10) == (None, 0)
+
+
+class TestWriteMessages:
+    def test_coalesced_bytes_match_single_writes(self):
+        messages = [{"id": i, "method": "ping", "params": {}} for i in range(5)]
+        single = io.BytesIO()
+        for message in messages:
+            protocol.write_message(single, message)
+        batch = io.BytesIO()
+        written = protocol.write_messages(batch, messages)
+        assert batch.getvalue() == single.getvalue()
+        assert written == len(batch.getvalue())
+
+    def test_empty_batch_writes_nothing(self):
+        stream = io.BytesIO()
+        assert protocol.write_messages(stream, []) == 0
+        assert stream.getvalue() == b""
+
+    def test_frames_round_trip(self):
+        messages = [{"id": i, "ok": True, "result": i * 2} for i in range(3)]
+        stream = io.BytesIO()
+        protocol.write_messages(stream, messages)
+        stream.seek(0)
+        assert [protocol.read_message(stream) for _ in range(3)] == messages

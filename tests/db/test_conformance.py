@@ -171,6 +171,61 @@ class TestReportAndPopIn:
         assert store.queue_in_length() == 2
 
 
+class TestReportBatch:
+    def test_batch_matches_single_reports(self, store):
+        ids = submit(store, 3)
+        store.pop_out(0, 3)
+        store.report_batch([(tid, 0, f"r{tid}") for tid in ids], now=9.0)
+        for tid in ids:
+            row = store.get_task(tid)
+            assert row.eq_status == TaskStatus.COMPLETE
+            assert row.json_in == f"r{tid}"
+            assert row.time_stop == 9.0
+        assert store.pop_in_any(ids) == [(tid, f"r{tid}") for tid in ids]
+
+    def test_empty_batch_is_noop(self, store):
+        store.report_batch([])
+        assert store.queue_in_length() == 0
+
+    def test_first_write_wins_within_batch(self, store):
+        (tid,) = submit(store, 1)
+        store.pop_out(0, 1)
+        store.report_batch([(tid, 0, "first"), (tid, 0, "second")])
+        assert store.get_task(tid).json_in == "first"
+        assert store.queue_in_length() == 1
+
+    def test_already_complete_task_is_skipped(self, store):
+        (tid,) = submit(store, 1)
+        store.pop_out(0, 1)
+        store.report(tid, 0, "original", now=1.0)
+        store.report_batch([(tid, 0, "duplicate")], now=2.0)
+        row = store.get_task(tid)
+        assert row.json_in == "original"
+        assert row.time_stop == 1.0
+        assert store.queue_in_length() == 1
+
+    def test_missing_ids_raise_after_applying_rest(self, store):
+        ids = submit(store, 2)
+        store.pop_out(0, 2)
+        with pytest.raises(NotFoundError):
+            store.report_batch([(ids[0], 0, "r"), (999, 0, "x"), (ids[1], 0, "r")])
+        # Present items were applied: report_batch is a performance
+        # primitive, per-item idempotent, not an atomic transaction.
+        statuses = dict(store.get_statuses(ids))
+        assert statuses[ids[0]] == TaskStatus.COMPLETE
+        assert statuses[ids[1]] == TaskStatus.COMPLETE
+
+    def test_withdraws_requeued_copy_from_out_queue(self, store):
+        (tid,) = submit(store, 1)
+        store.pop_out(0, 1)
+        store.requeue(tid)  # a second pool could now claim the task
+        assert store.queue_out_length(0) == 1
+        store.report_batch([(tid, 0, "r")])
+        # The report must pull the stale copy so no one re-runs it.
+        assert store.queue_out_length(0) == 0
+        assert store.pop_out(0, 1) == []
+
+
 class TestStatusPriorityCancel:
     def test_get_statuses_batch(self, store):
         ids = submit(store, 3)

@@ -1,0 +1,124 @@
+"""The pool's shared batch reporter.
+
+With ``report_batch_size > 1`` workers hand results to one flusher that
+reports them in ``report_batch`` store operations — results must still
+all arrive, single results must not stall past the linger, and a broken
+batch path must degrade to per-item reports rather than lose results.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import EQSQL, RemoteTaskStore, TaskService, as_completed
+from repro.db import MemoryTaskStore
+from repro.pools import PoolConfig, PythonTaskHandler, ThreadedWorkerPool
+
+
+def batched_config(**overrides):
+    defaults = dict(
+        work_type=0,
+        n_workers=4,
+        batch_size=8,
+        poll_delay=0.001,
+        report_batch_size=8,
+        report_linger=0.01,
+    )
+    defaults.update(overrides)
+    return PoolConfig(**defaults)
+
+
+class TestBatchedReporting:
+    def test_all_results_arrive(self):
+        eq = EQSQL(MemoryTaskStore())
+        pool = ThreadedWorkerPool(
+            eq, PythonTaskHandler(lambda d: d), batched_config()
+        ).start()
+        try:
+            futures = eq.submit_tasks("exp", 0, [f'{{"i": {i}}}' for i in range(40)])
+            done = list(as_completed(futures, delay=0.001, timeout=30))
+            assert len(done) == 40
+        finally:
+            pool.stop()
+            eq.close()
+        assert pool.tasks_completed == 40
+        assert pool.reports_lost == 0
+        assert pool.owned() == 0
+
+    def test_single_result_beats_linger_stall(self):
+        # One lone task must flush at the linger bound, not wait for a
+        # full batch that will never fill.
+        eq = EQSQL(MemoryTaskStore())
+        pool = ThreadedWorkerPool(
+            eq,
+            PythonTaskHandler(lambda d: d),
+            batched_config(report_batch_size=64, report_linger=0.02),
+        ).start()
+        try:
+            future = eq.submit_task("exp", 0, "{}")
+            t0 = time.monotonic()
+            status, _result = future.result(timeout=10)
+            elapsed = time.monotonic() - t0
+            assert status.value == "success"
+            assert elapsed < 5.0
+        finally:
+            pool.stop()
+            eq.close()
+
+    def test_failed_batch_falls_back_to_single_reports(self):
+        class BatchPathDown(MemoryTaskStore):
+            def report_batch(self, reports, *, now=0.0):
+                raise ConnectionError("batch path down")
+
+        eq = EQSQL(BatchPathDown())
+        pool = ThreadedWorkerPool(
+            eq, PythonTaskHandler(lambda d: d), batched_config()
+        ).start()
+        try:
+            futures = eq.submit_tasks("exp", 0, ["{}"] * 16)
+            done = list(as_completed(futures, delay=0.001, timeout=30))
+            assert len(done) == 16
+        finally:
+            pool.stop()
+            eq.close()
+        assert pool.tasks_completed == 16
+        assert pool.reports_lost == 0
+
+    def test_batched_pool_over_remote_store(self):
+        backing = MemoryTaskStore()
+        service = TaskService(backing).start()
+        store = RemoteTaskStore(*service.address)
+        eq = EQSQL(store)
+        pool = ThreadedWorkerPool(
+            eq, PythonTaskHandler(lambda d: d), batched_config()
+        ).start()
+        try:
+            futures = eq.submit_tasks("exp", 0, ["{}"] * 32)
+            done = list(as_completed(futures, delay=0.001, timeout=30))
+            assert len(done) == 32
+        finally:
+            pool.stop()
+            eq.close()
+            service.stop()
+            backing.close()
+        assert pool.tasks_completed == 32
+
+
+class TestConfigValidation:
+    def test_rejects_zero_batch_size(self):
+        with pytest.raises(ValueError, match="report_batch_size"):
+            PoolConfig(work_type=0, report_batch_size=0)
+
+    def test_rejects_nonpositive_linger(self):
+        with pytest.raises(ValueError, match="report_linger"):
+            PoolConfig(work_type=0, report_linger=0.0)
+
+    def test_default_stays_synchronous(self):
+        pool = ThreadedWorkerPool(
+            EQSQL(MemoryTaskStore()),
+            PythonTaskHandler(lambda d: d),
+            PoolConfig(work_type=0),
+        )
+        assert pool._reporter is None  # the pre-batching path, unchanged
