@@ -345,6 +345,39 @@ def bench_pool_throughput(
     )
 
 
+def bench_journal_overhead(smoke: bool = False) -> dict:
+    """Flight-recorder cost on the store report hot path.
+
+    Runs the memory backend's per-item ``report`` loop (the pool's
+    result path) twice over identical workloads: once with a journal
+    attached but disabled — the default production configuration, which
+    must stay free — and once recording.  ``disabled_report_per_s`` is
+    the number the "near-zero cost when off" claim is judged against;
+    ``enabled_report_per_s`` prices turning forensics on.
+    """
+    from repro.db import MemoryTaskStore
+    from repro.telemetry.journal import Journal
+
+    n = 200 if smoke else 2000
+    metrics: dict[str, float] = {}
+    for label, enabled in (("disabled", False), ("enabled", True)):
+        journal = Journal(enabled=enabled, capacity=8 * n)
+        store = MemoryTaskStore(journal=journal)
+        store.create_tasks("bench", 0, ["{}"] * n)
+        popped = []
+        while len(popped) < n:
+            popped.extend(store.pop_out(0, n=50))
+        t0 = time.perf_counter()
+        for eq_task_id, _payload in popped:
+            store.report(eq_task_id, 0, "{}")
+        t1 = time.perf_counter()
+        assert len(popped) == n
+        metrics[f"{label}_report_per_s"] = _rate(n, t1 - t0)
+        store.close()
+        journal.close()
+    return make_result("journal_overhead", metrics, smoke, {"n_tasks": n})
+
+
 BENCHES: dict[str, Callable[[bool], dict]] = {
     "db_throughput": bench_db_throughput,
     "store_rpc": bench_store_rpc,
@@ -353,6 +386,7 @@ BENCHES: dict[str, Callable[[bool], dict]] = {
     "pool_throughput_monitored": lambda smoke: bench_pool_throughput(
         smoke, with_monitoring=True
     ),
+    "journal_overhead": bench_journal_overhead,
 }
 
 

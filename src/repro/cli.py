@@ -11,6 +11,8 @@ Usage::
     python -m repro metrics [--tasks N]
     python -m repro chaos [--tasks N] [--sever-rate R] [--kill-pool]
     python -m repro monitor URL [--interval S] [--once] [--json]
+    python -m repro timeline TASK_ID --journal FILE [--journal FILE ...]
+    python -m repro stragglers URL [--interval S] [--once] [--json]
     python -m repro bench [NAME ...] [--smoke] [--baseline FILE]
 
 Every command prints the same text series the benchmark harness writes
@@ -22,9 +24,11 @@ JSON for Perfetto, optional JSONL, and a latency-breakdown table);
 histogram registry; ``chaos`` runs the workload through a
 fault-injecting TCP proxy (random severs, optional mid-batch pool
 kill) and verifies zero lost or duplicated results; ``monitor`` renders
-a live terminal view of a running service's ``/status`` endpoint; and
-``bench`` runs the benchmark-regression harness (see
-:mod:`repro.bench`).
+a live terminal view of a running service's ``/status`` endpoint;
+``timeline`` merges flight-recorder journal files from any number of
+roles into one task's causally-ordered lifecycle; ``stragglers`` is the
+live view over a service's ``/events`` route; and ``bench`` runs the
+benchmark-regression harness (see :mod:`repro.bench`).
 """
 
 from __future__ import annotations
@@ -447,6 +451,51 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.telemetry.journal import load_journal, render_timeline, task_timeline
+
+    records = []
+    for path in args.journal:
+        try:
+            records.extend(load_journal(path))
+        except OSError as exc:
+            print(f"timeline: cannot read {path}: {exc}", file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            print(f"timeline: {exc}", file=sys.stderr)
+            return 1
+    timeline = task_timeline(records, args.task_id)
+    if not timeline:
+        task_ids = sorted({r.task_id for r in records})
+        preview = ", ".join(str(t) for t in task_ids[:20])
+        if len(task_ids) > 20:
+            preview += ", ..."
+        print(
+            f"timeline: no records for task {args.task_id} "
+            f"({len(records)} records, task ids: {preview or 'none'})",
+            file=sys.stderr,
+        )
+        return 1
+    roles = sorted({r.role for r in timeline})
+    print(
+        f"task {args.task_id}: {len(timeline)} lifecycle records across "
+        f"{len(roles)} role(s) ({', '.join(roles)})\n"
+    )
+    print(render_timeline(timeline))
+    return 0
+
+
+def _cmd_stragglers(args: argparse.Namespace) -> int:
+    from repro.telemetry.monitor import run_stragglers
+
+    return run_stragglers(
+        args.url,
+        interval=args.interval,
+        once=args.once,
+        json_mode=args.json,
+    )
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import run_harness
 
@@ -542,6 +591,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print the raw /status JSON instead of tables")
     p.set_defaults(fn=_cmd_monitor)
+
+    p = sub.add_parser(
+        "timeline",
+        help="merge flight-recorder journals into one task's lifecycle view",
+    )
+    p.add_argument("task_id", type=int, help="the eq_task_id to reconstruct")
+    p.add_argument(
+        "--journal", action="append", required=True, metavar="FILE",
+        help="journal JSONL file (repeat for multiple roles)",
+    )
+    p.set_defaults(fn=_cmd_timeline)
+
+    p = sub.add_parser(
+        "stragglers",
+        help="live straggler view of a running service's /events endpoint",
+    )
+    p.add_argument("url", help="status server address (host:port or http URL)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between polls (default 2)")
+    p.add_argument("--once", action="store_true",
+                   help="take a single snapshot and exit")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw /events JSON instead of tables")
+    p.set_defaults(fn=_cmd_stragglers)
 
     p = sub.add_parser(
         "bench",

@@ -22,6 +22,17 @@ from typing import Any
 from repro.core import protocol
 from repro.core.leases import LeaseReaper
 from repro.db.backend import TaskStore
+from repro.telemetry.journal import (
+    EV_CANCEL,
+    EV_ENQUEUE,
+    EV_LEASE_RENEW,
+    EV_POP,
+    EV_REPORT,
+    EV_REQUEUE,
+    ROLE_SERVICE,
+    Journal,
+    get_journal,
+)
 from repro.telemetry.metrics import MetricsRegistry, get_metrics
 from repro.telemetry.tracing import Tracer, get_tracer
 from repro.util.clock import Clock, SystemClock
@@ -130,6 +141,9 @@ class _Handler(socketserver.StreamRequestHandler):
                 ):
                     with tracer.span(f"db.{method}", component="db"):
                         result = service.call(method, params)
+            journal = service.journal
+            if journal.enabled:
+                service.journal_request(journal, method, params, result, message)
             service.m_requests.inc()
             method_counter = service.m_method_requests.get(method)
             if method_counter is not None:
@@ -200,6 +214,15 @@ class TaskService:
         Seconds between background store snapshots when the status
         server is enabled; the sampler keeps queue-depth/lease gauges
         fresh between scrapes and feeds the ``/status`` depth history.
+    journal:
+        Flight recorder the service emits per-task lifecycle records
+        into; defaults to the process-wide journal (disabled out of the
+        box, so the dispatch hot path pays one attribute check).
+    straggler_multiple, straggler_min_seconds:
+        Straggler detector tuning when the status server is enabled: a
+        task is flagged once it exceeds ``straggler_multiple`` × the
+        rolling median queue/run time for its work type (but never
+        before ``straggler_min_seconds``).
     """
 
     #: Store methods callable over the wire, with result encoders where
@@ -246,10 +269,14 @@ class TaskService:
         status_port: int | None = None,
         status_host: str = "127.0.0.1",
         sampler_interval: float = 1.0,
+        journal: Journal | None = None,
+        straggler_multiple: float = 4.0,
+        straggler_min_seconds: float = 0.0,
     ) -> None:
         self._store = store
         self._auth_token = auth_token
         self._tracer = tracer
+        self._journal = journal
         self._clock: Clock = clock if clock is not None else SystemClock()
         registry = metrics if metrics is not None else get_metrics()
         self._registry = registry
@@ -294,10 +321,12 @@ class TaskService:
             )
         self._status_server = None
         self._sampler = None
+        self._detector = None
         if status_port is not None:
             # Lazy import: the monitor package pulls in http.server and
             # the exposition renderer, none of which the plain service
             # path needs.
+            from repro.telemetry.anomaly import StragglerDetector
             from repro.telemetry.monitor import StatusServer, StoreSampler
 
             self._sampler = StoreSampler(
@@ -306,11 +335,22 @@ class TaskService:
                 clock=self._clock,
                 interval=sampler_interval,
             )
+            # The detector streams from the journal lazily — it catches
+            # up on each /events or /status request rather than running
+            # its own thread.  The service keeps its own tail cursor so
+            # the journal can be the late-configured global default.
+            self._detector = StragglerDetector(
+                multiple=straggler_multiple,
+                min_seconds=straggler_min_seconds,
+                metrics=registry,
+            )
+            self._detector_seq = 0
             self._status_server = StatusServer(
                 host=status_host,
                 port=status_port,
                 metrics=registry,
                 status_fn=self.status_snapshot,
+                events_fn=self.events_snapshot,
                 readiness_checks={
                     "store": self._check_store_ready,
                     "reaper": self._check_reaper_ready,
@@ -322,9 +362,80 @@ class TaskService:
         return self._tracer if self._tracer is not None else get_tracer()
 
     @property
+    def journal(self) -> Journal:
+        """The flight recorder this service emits into (injected or global)."""
+        return self._journal if self._journal is not None else get_journal()
+
+    @property
     def store(self) -> TaskStore:
         """The task store behind this service."""
         return self._store
+
+    #: RPC method -> journal event for the service-role hop record.
+    _JOURNAL_EVENTS = {
+        "create_task": EV_ENQUEUE,
+        "create_tasks": EV_ENQUEUE,
+        "pop_out": EV_POP,
+        "report": EV_REPORT,
+        "report_batch": EV_REPORT,
+        "renew_leases": EV_LEASE_RENEW,
+        "requeue": EV_REQUEUE,
+        "requeue_expired": EV_REQUEUE,
+        "cancel_tasks": EV_CANCEL,
+    }
+
+    def journal_request(
+        self,
+        journal: Journal,
+        method: str,
+        params: dict[str, Any],
+        result: Any,
+        message: dict[str, Any],
+    ) -> None:
+        """Emit service-role hop records for one handled RPC.
+
+        The DB backend already journals the authoritative state change;
+        these records add the *service observed it* hop (with the
+        client's trace id off the frame), which the timeline merge
+        interleaves to show wire latency per hop.  Only called when the
+        journal is enabled.
+        """
+        event = self._JOURNAL_EVENTS.get(method)
+        if event is None:
+            return
+        context = protocol.extract_trace(message)
+        trace_id = context.trace_id if context is not None else ""
+        work_type = int(params.get("eq_type", -1))
+        now = self._clock.now()
+        if method == "create_task":
+            task_ids = [int(result)]
+        elif method == "create_tasks":
+            task_ids = [int(tid) for tid in result]
+        elif method == "pop_out":
+            task_ids = [int(tid) for tid, _payload in result]
+        elif method == "report":
+            task_ids = [int(params["eq_task_id"])]
+        elif method == "report_batch":
+            for tid, eq_type, _res in params.get("reports", []):
+                journal.emit(
+                    event, int(tid), role=ROLE_SERVICE,
+                    work_type=int(eq_type), trace_id=trace_id, time=now,
+                )
+            return
+        elif method == "requeue":
+            if not result:
+                return
+            task_ids = [int(params["eq_task_id"])]
+        elif method == "requeue_expired":
+            task_ids = [int(tid) for tid in result]
+        else:  # renew_leases / cancel_tasks: per requested id
+            task_ids = [int(tid) for tid in params.get("eq_task_ids", [])]
+        source = str(params.get("worker_pool", "")) if method == "pop_out" else ""
+        for tid in task_ids:
+            journal.emit(
+                event, tid, role=ROLE_SERVICE, work_type=work_type,
+                trace_id=trace_id, source=source, time=now,
+            )
 
     @property
     def address(self) -> tuple[str, int]:
@@ -416,6 +527,35 @@ class TaskService:
         }
         if self._sampler is not None:
             snapshot["sampler"] = self._sampler.summary()
+        if self._detector is not None:
+            self._ingest_journal()
+            snapshot["stragglers"] = self._detector.summary(now)
+        return snapshot
+
+    def _ingest_journal(self) -> None:
+        """Advance the straggler detector over new journal records."""
+        if self._detector is None:
+            return
+        records = self.journal.tail(self._detector_seq)
+        if records:
+            self._detector_seq = records[-1].seq
+            self._detector.ingest(records)
+
+    def events_snapshot(self, limit: int = 500) -> dict[str, Any]:
+        """The ``GET /events`` JSON document: recent records + stragglers."""
+        self._ingest_journal()
+        journal = self.journal
+        records = journal.records()
+        snapshot: dict[str, Any] = {
+            "journal": {
+                "enabled": journal.enabled,
+                "records": [r.to_dict() for r in records[-limit:]],
+                "total_in_ring": len(records),
+                "dropped": journal.dropped,
+            },
+        }
+        if self._detector is not None:
+            snapshot["stragglers"] = self._detector.summary(self._clock.now())
         return snapshot
 
     def start(self) -> "TaskService":

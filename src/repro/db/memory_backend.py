@@ -22,6 +22,18 @@ from collections.abc import Iterable, Sequence
 
 from repro.db.backend import TaskStore, normalize_priorities
 from repro.db.schema import TaskRow, TaskStatus
+from repro.telemetry.journal import (
+    EV_CANCEL,
+    EV_ENQUEUE,
+    EV_LEASE_RENEW,
+    EV_POP,
+    EV_REPORT,
+    EV_REQUEUE,
+    EV_WITHDRAW,
+    ROLE_DB,
+    Journal,
+    get_journal,
+)
 from repro.telemetry.metrics import MetricsRegistry, get_metrics
 from repro.util.errors import NotFoundError
 
@@ -49,8 +61,15 @@ class _HeapEntry:
 class MemoryTaskStore(TaskStore):
     """In-memory implementation of the EMEWS DB."""
 
-    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        journal: Journal | None = None,
+    ) -> None:
         registry = metrics if metrics is not None else get_metrics()
+        # Flight recorder: resolved per call when not injected, so a
+        # later configure_journal() is picked up (tracer discipline).
+        self._journal = journal
         self._m_lease_renewals = registry.counter(
             "db.lease_renewals", "task leases extended by a heartbeat"
         )
@@ -76,6 +95,9 @@ class MemoryTaskStore(TaskStore):
         self._closed = False
 
     # -- internal helpers --------------------------------------------------
+
+    def _jrnl(self) -> Journal:
+        return self._journal if self._journal is not None else get_journal()
 
     def _check_open(self) -> None:
         if self._closed:
@@ -114,6 +136,12 @@ class MemoryTaskStore(TaskStore):
         self._tasks[eq_task_id] = row
         self._exp_tasks.setdefault(exp_id, []).append(eq_task_id)
         self._enqueue_out(eq_task_id, eq_type, priority)
+        journal = self._jrnl()
+        if journal.enabled:
+            journal.emit(
+                EV_ENQUEUE, eq_task_id, role=ROLE_DB, work_type=eq_type,
+                time=time_created, extra={"exp_id": exp_id, "priority": priority},
+            )
         return eq_task_id
 
     # -- task creation -----------------------------------------------------
@@ -178,6 +206,14 @@ class MemoryTaskStore(TaskStore):
                 row.worker_pool = worker_pool
                 row.lease_expiry = None if lease is None else now + lease
                 popped.append((entry.eq_task_id, row.json_out))
+            journal = self._jrnl()
+            if journal.enabled and popped:
+                for eq_task_id, _ in popped:
+                    journal.emit(
+                        EV_POP, eq_task_id, role=ROLE_DB, work_type=eq_type,
+                        time=now, source=worker_pool,
+                        extra=None if lease is None else {"lease": lease},
+                    )
             return popped
 
     def queue_out_length(self, eq_type: int | None = None) -> int:
@@ -221,6 +257,17 @@ class MemoryTaskStore(TaskStore):
                 entry.alive = False
                 self._m_report_withdrawals.inc()
             self._in_queue[eq_task_id] = eq_type
+            journal = self._jrnl()
+            if journal.enabled:
+                if entry is not None:
+                    journal.emit(
+                        EV_WITHDRAW, eq_task_id, role=ROLE_DB,
+                        work_type=eq_type, time=now,
+                    )
+                journal.emit(
+                    EV_REPORT, eq_task_id, role=ROLE_DB, work_type=eq_type,
+                    time=now, source=row.worker_pool or "",
+                )
 
     def report_batch(
         self, reports: Sequence[tuple[int, int, str]], *, now: float = 0.0
@@ -231,6 +278,8 @@ class MemoryTaskStore(TaskStore):
             self._check_open()
             missing: list[int] = []
             withdrawals = 0
+            journal = self._jrnl()
+            recording = journal.enabled
             for eq_task_id, eq_type, result in reports:
                 row = self._tasks.get(eq_task_id)
                 if row is None:
@@ -246,7 +295,17 @@ class MemoryTaskStore(TaskStore):
                 if entry is not None:
                     entry.alive = False
                     withdrawals += 1
+                    if recording:
+                        journal.emit(
+                            EV_WITHDRAW, eq_task_id, role=ROLE_DB,
+                            work_type=eq_type, time=now,
+                        )
                 self._in_queue[eq_task_id] = eq_type
+                if recording:
+                    journal.emit(
+                        EV_REPORT, eq_task_id, role=ROLE_DB, work_type=eq_type,
+                        time=now, source=row.worker_pool or "",
+                    )
             if withdrawals:
                 self._m_report_withdrawals.inc(withdrawals)
         if missing:
@@ -340,13 +399,19 @@ class MemoryTaskStore(TaskStore):
         with self._lock:
             self._check_open()
             canceled = 0
+            journal = self._jrnl()
             for tid in eq_task_ids:
                 entry = self._out_entries.pop(tid, None)
                 if entry is None:
                     continue
                 entry.alive = False
-                self._tasks[tid].eq_status = TaskStatus.CANCELED
+                row = self._tasks[tid]
+                row.eq_status = TaskStatus.CANCELED
                 canceled += 1
+                if journal.enabled:
+                    journal.emit(
+                        EV_CANCEL, tid, role=ROLE_DB, work_type=row.eq_task_type
+                    )
             return canceled
 
     def requeue(self, eq_task_id: int, *, priority: int = 0) -> bool:
@@ -360,13 +425,23 @@ class MemoryTaskStore(TaskStore):
             self._requeue_row(row, priority)
             return True
 
-    def _requeue_row(self, row: TaskRow, priority: int) -> None:
+    def _requeue_row(
+        self, row: TaskRow, priority: int, *, now: float | None = None
+    ) -> None:
         """Move a RUNNING row back to QUEUED (call under the lock)."""
+        previous_pool = row.worker_pool
         row.eq_status = TaskStatus.QUEUED
         row.worker_pool = None
         row.time_start = None
         row.lease_expiry = None
         self._enqueue_out(row.eq_task_id, row.eq_task_type, priority)
+        journal = self._jrnl()
+        if journal.enabled:
+            journal.emit(
+                EV_REQUEUE, row.eq_task_id, role=ROLE_DB,
+                work_type=row.eq_task_type, time=now,
+                source=previous_pool or "",
+            )
 
     # -- leases ------------------------------------------------------------------
 
@@ -376,12 +451,19 @@ class MemoryTaskStore(TaskStore):
         with self._lock:
             self._check_open()
             renewed = 0
+            journal = self._jrnl()
             for tid in eq_task_ids:
                 row = self._tasks.get(tid)
                 if row is None or row.eq_status != TaskStatus.RUNNING:
                     continue
                 row.lease_expiry = now + lease
                 renewed += 1
+                if journal.enabled:
+                    journal.emit(
+                        EV_LEASE_RENEW, tid, role=ROLE_DB,
+                        work_type=row.eq_task_type, time=now,
+                        source=row.worker_pool or "",
+                    )
             if renewed:
                 self._m_lease_renewals.inc(renewed)
             return renewed
@@ -397,7 +479,7 @@ class MemoryTaskStore(TaskStore):
                 and row.lease_expiry <= now
             ]
             for row in expired:
-                self._requeue_row(row, priority)
+                self._requeue_row(row, priority, now=now)
             if expired:
                 self._m_lease_requeues.inc(len(expired))
             return [row.eq_task_id for row in expired]

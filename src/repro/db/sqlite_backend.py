@@ -43,6 +43,18 @@ from contextlib import contextmanager
 
 from repro.db.backend import TaskStore, normalize_priorities
 from repro.db.schema import SCHEMA_STATEMENTS, TABLE_NAMES, TaskRow, TaskStatus
+from repro.telemetry.journal import (
+    EV_CANCEL,
+    EV_ENQUEUE,
+    EV_LEASE_RENEW,
+    EV_POP,
+    EV_REPORT,
+    EV_REQUEUE,
+    EV_WITHDRAW,
+    ROLE_DB,
+    Journal,
+    get_journal,
+)
 from repro.telemetry.metrics import MetricsRegistry, get_metrics
 from repro.util.errors import NotFoundError
 
@@ -56,8 +68,12 @@ class SqliteTaskStore(TaskStore):
         metrics: MetricsRegistry | None = None,
         *,
         durable: bool = False,
+        journal: Journal | None = None,
     ) -> None:
         registry = metrics if metrics is not None else get_metrics()
+        # Flight recorder: resolved per call when not injected, so a
+        # later configure_journal() is picked up (tracer discipline).
+        self._journal = journal
         self._m_lease_renewals = registry.counter(
             "db.lease_renewals", "task leases extended by a heartbeat"
         )
@@ -132,6 +148,9 @@ class SqliteTaskStore(TaskStore):
         if self._closed:
             raise RuntimeError("store is closed")
 
+    def _jrnl(self) -> Journal:
+        return self._journal if self._journal is not None else get_journal()
+
     # -- task creation -----------------------------------------------------
 
     def _insert_task(
@@ -165,6 +184,12 @@ class SqliteTaskStore(TaskStore):
             " VALUES (?, ?, ?)",
             (eq_task_id, eq_type, priority),
         )
+        journal = self._jrnl()
+        if journal.enabled:
+            journal.emit(
+                EV_ENQUEUE, eq_task_id, role=ROLE_DB, work_type=eq_type,
+                time=time_created, extra={"exp_id": exp_id, "priority": priority},
+            )
         return eq_task_id
 
     def create_task(
@@ -225,6 +250,14 @@ class SqliteTaskStore(TaskStore):
                 " VALUES (?, ?, ?)",
                 [(tid, eq_type, pr) for tid, pr in zip(ids, priorities)],
             )
+            journal = self._jrnl()
+            if journal.enabled:
+                for tid, pr in zip(ids, priorities):
+                    journal.emit(
+                        EV_ENQUEUE, tid, role=ROLE_DB, work_type=eq_type,
+                        time=time_created,
+                        extra={"exp_id": exp_id, "priority": pr},
+                    )
             return ids
 
     # -- output queue --------------------------------------------------------
@@ -266,6 +299,14 @@ class SqliteTaskStore(TaskStore):
                 ids,
             )
             by_id = dict(cur.fetchall())
+            journal = self._jrnl()
+            if journal.enabled:
+                for tid in ids:
+                    journal.emit(
+                        EV_POP, tid, role=ROLE_DB, work_type=eq_type,
+                        time=now, source=worker_pool,
+                        extra=None if lease is None else {"lease": lease},
+                    )
             # Preserve priority pop order, not id order.
             return [(tid, by_id[tid]) for tid in ids]
 
@@ -316,12 +357,30 @@ class SqliteTaskStore(TaskStore):
             cur.execute(
                 "DELETE FROM emews_queue_out WHERE eq_task_id = ?", (eq_task_id,)
             )
-            if cur.rowcount:
-                self._m_report_withdrawals.inc(cur.rowcount)
+            withdrew = cur.rowcount
+            if withdrew:
+                self._m_report_withdrawals.inc(withdrew)
             cur.execute(
                 "INSERT INTO emews_queue_in (eq_task_id, eq_task_type) VALUES (?, ?)",
                 (eq_task_id, eq_type),
             )
+            journal = self._jrnl()
+            if journal.enabled:
+                cur.execute(
+                    "SELECT worker_pool FROM eq_tasks WHERE eq_task_id = ?",
+                    (eq_task_id,),
+                )
+                pool_row = cur.fetchone()
+                source = pool_row[0] if pool_row and pool_row[0] else ""
+                if withdrew:
+                    journal.emit(
+                        EV_WITHDRAW, eq_task_id, role=ROLE_DB,
+                        work_type=eq_type, time=now,
+                    )
+                journal.emit(
+                    EV_REPORT, eq_task_id, role=ROLE_DB, work_type=eq_type,
+                    time=now, source=source,
+                )
 
     def report_batch(
         self, reports: Sequence[tuple[int, int, str]], *, now: float = 0.0
@@ -352,6 +411,19 @@ class SqliteTaskStore(TaskStore):
                 if status_by_id[tid] != int(TaskStatus.COMPLETE):
                     fresh.append((tid, eq_type, result))
             if fresh:
+                journal = self._jrnl()
+                withdrawn: set[int] = set()
+                if journal.enabled:
+                    # Which of these reports will withdraw a requeued
+                    # copy?  Only knowable before the DELETE — gated on
+                    # the journal so the hot path pays nothing extra.
+                    fmarks = ",".join("?" for _ in fresh)
+                    cur.execute(
+                        f"SELECT eq_task_id FROM emews_queue_out"
+                        f" WHERE eq_task_id IN ({fmarks})",
+                        [tid for tid, _, _ in fresh],
+                    )
+                    withdrawn = {row[0] for row in cur.fetchall()}
                 cur.executemany(
                     "UPDATE eq_tasks SET json_in = ?, eq_status = ?,"
                     " time_stop = ?, lease_expiry = NULL WHERE eq_task_id = ?",
@@ -372,6 +444,17 @@ class SqliteTaskStore(TaskStore):
                     " VALUES (?, ?)",
                     [(tid, eq_type) for tid, eq_type, _ in fresh],
                 )
+                if journal.enabled:
+                    for tid, eq_type, _ in fresh:
+                        if tid in withdrawn:
+                            journal.emit(
+                                EV_WITHDRAW, tid, role=ROLE_DB,
+                                work_type=eq_type, time=now,
+                            )
+                        journal.emit(
+                            EV_REPORT, tid, role=ROLE_DB, work_type=eq_type,
+                            time=now,
+                        )
         if missing:
             raise NotFoundError(f"no task(s) with id(s) {missing}")
 
@@ -512,12 +595,14 @@ class SqliteTaskStore(TaskStore):
         ids = list(eq_task_ids)
         with self._txn() as cur:
             cur.execute(
-                f"SELECT eq_task_id FROM emews_queue_out WHERE eq_task_id IN ({marks})",
+                f"SELECT eq_task_id, eq_task_type FROM emews_queue_out"
+                f" WHERE eq_task_id IN ({marks})",
                 ids,
             )
-            queued = [row[0] for row in cur.fetchall()]
-            if not queued:
+            canceled = cur.fetchall()
+            if not canceled:
                 return 0
+            queued = [row[0] for row in canceled]
             qmarks = ",".join("?" for _ in queued)
             cur.execute(
                 f"DELETE FROM emews_queue_out WHERE eq_task_id IN ({qmarks})", queued
@@ -526,6 +611,10 @@ class SqliteTaskStore(TaskStore):
                 f"UPDATE eq_tasks SET eq_status = ? WHERE eq_task_id IN ({qmarks})",
                 [int(TaskStatus.CANCELED), *queued],
             )
+            journal = self._jrnl()
+            if journal.enabled:
+                for tid, eq_type in canceled:
+                    journal.emit(EV_CANCEL, tid, role=ROLE_DB, work_type=eq_type)
             return len(queued)
 
     def requeue(self, eq_task_id: int, *, priority: int = 0) -> bool:
@@ -545,9 +634,24 @@ class SqliteTaskStore(TaskStore):
             return True
 
     def _requeue_in_txn(
-        self, cur: sqlite3.Cursor, eq_task_id: int, eq_type: int, priority: int
+        self,
+        cur: sqlite3.Cursor,
+        eq_task_id: int,
+        eq_type: int,
+        priority: int,
+        *,
+        now: float | None = None,
     ) -> None:
         """Move a RUNNING row back to QUEUED (call inside a transaction)."""
+        journal = self._jrnl()
+        source = ""
+        if journal.enabled:
+            cur.execute(
+                "SELECT worker_pool FROM eq_tasks WHERE eq_task_id = ?",
+                (eq_task_id,),
+            )
+            pool_row = cur.fetchone()
+            source = pool_row[0] if pool_row and pool_row[0] else ""
         cur.execute(
             "UPDATE eq_tasks SET eq_status = ?, worker_pool = NULL,"
             " time_start = NULL, lease_expiry = NULL WHERE eq_task_id = ?",
@@ -558,6 +662,11 @@ class SqliteTaskStore(TaskStore):
             " VALUES (?, ?, ?)",
             (eq_task_id, eq_type, priority),
         )
+        if journal.enabled:
+            journal.emit(
+                EV_REQUEUE, eq_task_id, role=ROLE_DB, work_type=eq_type,
+                time=now, source=source,
+            )
 
     # -- leases ------------------------------------------------------------------
 
@@ -570,6 +679,18 @@ class SqliteTaskStore(TaskStore):
             return 0
         marks = ",".join("?" for _ in ids)
         with self._txn() as cur:
+            journal = self._jrnl()
+            renewed_rows: list[tuple[int, int, str | None]] = []
+            if journal.enabled:
+                # Which ids will actually renew?  The UPDATE's rowcount
+                # can't say per-id, so look first — gated on the journal
+                # to keep the heartbeat hot path one statement.
+                cur.execute(
+                    f"SELECT eq_task_id, eq_task_type, worker_pool FROM eq_tasks"
+                    f" WHERE eq_task_id IN ({marks}) AND eq_status = ?",
+                    [*ids, int(TaskStatus.RUNNING)],
+                )
+                renewed_rows = cur.fetchall()
             cur.execute(
                 f"UPDATE eq_tasks SET lease_expiry = ?"
                 f" WHERE eq_task_id IN ({marks}) AND eq_status = ?",
@@ -578,6 +699,12 @@ class SqliteTaskStore(TaskStore):
             renewed = cur.rowcount
             if renewed:
                 self._m_lease_renewals.inc(renewed)
+            if journal.enabled:
+                for tid, eq_type, pool in renewed_rows:
+                    journal.emit(
+                        EV_LEASE_RENEW, tid, role=ROLE_DB, work_type=eq_type,
+                        time=now, source=pool or "",
+                    )
             return renewed
 
     def requeue_expired(self, *, now: float, priority: int = 0) -> list[int]:
@@ -591,7 +718,7 @@ class SqliteTaskStore(TaskStore):
             )
             expired = cur.fetchall()
             for eq_task_id, eq_type in expired:
-                self._requeue_in_txn(cur, eq_task_id, eq_type, priority)
+                self._requeue_in_txn(cur, eq_task_id, eq_type, priority, now=now)
             if expired:
                 self._m_lease_requeues.inc(len(expired))
             return [eq_task_id for eq_task_id, _ in expired]

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.eqsql import EQSQL
 from repro.core.futures import Future, as_completed, update_priority
 from repro.telemetry.events import EventKind, TraceCollector
+from repro.telemetry.journal import EV_COLLECT, EV_SUBMIT, ROLE_ME, get_journal
 from repro.telemetry.metrics import get_metrics
 from repro.telemetry.tracing import get_tracer
 from repro.util.serialization import json_dumps, json_loads
@@ -115,9 +116,22 @@ def run_async_optimization(
     run_span = tracer.span(
         "driver.run", component="driver", exp_id=exp_id, n_points=len(points)
     )
+    journal = get_journal()
     with run_span:
+        run_ctx = tracer.current_context()
+        run_trace_id = run_ctx.trace_id if run_ctx is not None else ""
+        # Stamp before the submit RPC so the record sorts ahead of the
+        # DB's enqueue under a shared clock (ids are known only after).
+        submitted_at = eqsql.clock.now()
         futures = eqsql.submit_tasks(exp_id, work_type, payloads)
         point_of = {f.eq_task_id: i for i, f in enumerate(futures)}
+        if journal.enabled:
+            for future in futures:
+                journal.emit(
+                    EV_SUBMIT, future.eq_task_id, role=ROLE_ME,
+                    work_type=work_type, trace_id=run_trace_id,
+                    source=exp_id, time=submitted_at,
+                )
 
         pending: list[Future] = list(futures)
         g_total.set(len(futures))
@@ -136,6 +150,12 @@ def run_async_optimization(
                     _, result = future.result(timeout=0)
                     done_X.append(points[point_of[future.eq_task_id]])
                     done_y.append(decode_result(result))
+                    if journal.enabled:
+                        journal.emit(
+                            EV_COLLECT, future.eq_task_id, role=ROLE_ME,
+                            work_type=work_type, trace_id=run_trace_id,
+                            source=exp_id, time=eqsql.clock.now(),
+                        )
             g_done.set(len(done_y))
             g_pending.set(len(pending))
             if reprioritizer is not None and pending:

@@ -32,6 +32,15 @@ from repro.core.eqsql import EQSQL
 from repro.pools.config import PoolConfig
 from repro.pools.handlers import TaskExecutionError, TaskHandler
 from repro.telemetry.events import EventKind, TraceCollector
+from repro.telemetry.journal import (
+    EV_FETCH,
+    EV_REPORT,
+    EV_RUN_END,
+    EV_RUN_START,
+    ROLE_POOL,
+    Journal,
+    get_journal,
+)
 from repro.telemetry.metrics import (
     COUNT_BUCKETS,
     MetricsRegistry,
@@ -63,12 +72,16 @@ class ThreadedWorkerPool:
         trace: TraceCollector | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        journal: Journal | None = None,
     ) -> None:
         self._eqsql = eqsql
         self._handler = handler
         self._config = config
         self._trace = trace
         self._tracer = tracer
+        # Flight recorder: resolved per call when not injected, so a
+        # later configure_journal() is picked up (tracer discipline).
+        self._journal = journal
         registry = metrics if metrics is not None else get_metrics()
         self._m_completed = registry.counter(
             "pool.tasks_completed", "tasks executed and reported"
@@ -147,6 +160,14 @@ class ThreadedWorkerPool:
     @property
     def tracer(self) -> Tracer:
         return self._tracer if self._tracer is not None else get_tracer()
+
+    def _jrnl(self) -> Journal:
+        return self._journal if self._journal is not None else get_journal()
+
+    @staticmethod
+    def _msg_trace_id(message: dict[str, Any]) -> str:
+        wire = message.get("trace")
+        return wire[0] if wire else ""
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -275,6 +296,18 @@ class ThreadedWorkerPool:
                 )
             for message in messages:
                 message["_fetched_at"] = fetched_at
+            journal = self._jrnl()
+            if journal.enabled:
+                for message in messages:
+                    journal.emit(
+                        EV_FETCH,
+                        message["eq_task_id"],
+                        role=ROLE_POOL,
+                        work_type=config.work_type,
+                        trace_id=self._msg_trace_id(message),
+                        source=self.name,
+                        time=fetched_at,
+                    )
             if self._trace is not None:
                 self._trace.record(
                     EventKind.FETCH,
@@ -372,6 +405,17 @@ class ThreadedWorkerPool:
                 self._m_queue_wait.observe(started_at - fetched_at)
             if self._trace is not None:
                 self._trace.task_start(started_at, eq_task_id, source=self.name)
+            journal = self._jrnl()
+            if journal.enabled:
+                journal.emit(
+                    EV_RUN_START,
+                    eq_task_id,
+                    role=ROLE_POOL,
+                    work_type=self._config.work_type,
+                    trace_id=self._msg_trace_id(message),
+                    source=self.name,
+                    time=started_at,
+                )
             with self._stats_lock:
                 self._busy += 1
             try:
@@ -420,6 +464,18 @@ class ThreadedWorkerPool:
                 sp.set_attr("failed", True)
         ran_at = clock.now()
         self._m_run.observe(ran_at - started_at)
+        journal = self._jrnl()
+        if journal.enabled:
+            journal.emit(
+                EV_RUN_END,
+                eq_task_id,
+                role=ROLE_POOL,
+                work_type=config.work_type,
+                trace_id=self._msg_trace_id(message),
+                source=self.name,
+                time=ran_at,
+                extra={"failed": True} if failed else None,
+            )
         if self._reporter is not None:
             # Batched mode: hand the result to the shared reporter and
             # release this worker immediately.  Finalization (owned
@@ -465,6 +521,17 @@ class ThreadedWorkerPool:
         if self._trace is not None:
             self._trace.task_stop(
                 self._eqsql.clock.now(), eq_task_id, source=self.name
+            )
+        journal = self._jrnl()
+        if journal.enabled:
+            journal.emit(
+                EV_REPORT,
+                eq_task_id,
+                role=ROLE_POOL,
+                work_type=self._config.work_type,
+                source=self.name,
+                time=self._eqsql.clock.now(),
+                extra={"lost": True} if lost else None,
             )
         with self._owned_lock:
             self._owned -= 1

@@ -16,9 +16,27 @@ pipeline (trace ids ride the task payload path and the service wire),
 the same hot paths, and :mod:`repro.telemetry.trace_export` emits JSONL,
 Chrome ``trace_event`` JSON (Perfetto/about:tracing), and per-hop
 latency-breakdown tables.
+
+:mod:`repro.telemetry.journal` is the task flight recorder — a bounded
+per-task lifecycle journal emitted at every hop across roles, merged
+into causally-ordered timelines by ``python -m repro timeline`` — and
+:mod:`repro.telemetry.anomaly` streams it through a rolling-median
+straggler detector surfaced on the status server's ``/events`` route.
 """
 
+from repro.telemetry.anomaly import StragglerDetector
 from repro.telemetry.events import EventKind, TaskEvent, TraceCollector
+from repro.telemetry.journal import (
+    Journal,
+    JournalRecord,
+    configure_journal,
+    get_journal,
+    load_journal,
+    merge_timeline,
+    render_timeline,
+    set_journal,
+    task_timeline,
+)
 from repro.telemetry.timeseries import (
     ConcurrencySeries,
     concurrency_series,
@@ -62,6 +80,16 @@ __all__ = [
     "EventKind",
     "TaskEvent",
     "TraceCollector",
+    "Journal",
+    "JournalRecord",
+    "StragglerDetector",
+    "configure_journal",
+    "get_journal",
+    "set_journal",
+    "load_journal",
+    "merge_timeline",
+    "task_timeline",
+    "render_timeline",
     "ConcurrencySeries",
     "concurrency_series",
     "mean_concurrency",

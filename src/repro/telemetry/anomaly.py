@@ -1,0 +1,273 @@
+"""Streaming straggler detection over the task flight recorder.
+
+The detector consumes journal records incrementally (:meth:`ingest`
+reads the journal's tail by sequence number), maintains per-work-type
+rolling baselines of completed queue and run durations, and flags any
+*open* interval — a task sitting queued or running right now — whose
+elapsed time exceeds a configurable multiple of the rolling median for
+its work type.  The quantile comes from a bounded sliding window
+(``deque(maxlen=window)``), so the baseline adapts as workload latency
+drifts — funcX/UniFaaS-style per-task forensics rather than a static
+threshold.
+
+Only ``db``-role records drive the state machine: the DB is the one
+role that observes every transition (enqueue, pop, requeue, report,
+cancel), and service/pool/ME records for the same hop would otherwise
+double-count.  Lifecycle per task::
+
+    enqueue           -> queue interval opens
+    pop               -> queue closes (baseline sample), run opens
+    requeue           -> run closes *unobserved* (lease loss isn't the
+                         task's own runtime), queue reopens
+    report            -> run closes (baseline sample), task done
+    withdraw / cancel -> any open interval discarded
+
+Flags are exported as gauges (``stragglers.active``,
+``stragglers.flagged_total``) and via :meth:`summary` for the
+StatusServer's ``/status`` stragglers section and ``GET /events``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from statistics import median
+from typing import Any
+
+from repro.telemetry.journal import (
+    EV_CANCEL,
+    EV_ENQUEUE,
+    EV_POP,
+    EV_REPORT,
+    EV_REQUEUE,
+    EV_WITHDRAW,
+    ROLE_DB,
+    Journal,
+)
+
+
+class _OpenInterval:
+    """A task currently queued or running."""
+
+    __slots__ = ("task_id", "work_type", "phase", "since", "source")
+
+    def __init__(
+        self, task_id: int, work_type: int, phase: str, since: float, source: str
+    ) -> None:
+        self.task_id = task_id
+        self.work_type = work_type
+        self.phase = phase  # "queue" | "run"
+        self.since = since
+        self.source = source
+
+
+class StragglerDetector:
+    """Flag tasks whose queue or run time exceeds the rolling median.
+
+    Parameters
+    ----------
+    journal:
+        The flight recorder to stream from (``ingest`` with no argument
+        reads its tail).  Optional — tests may feed records directly.
+    multiple:
+        A task is a straggler when its open interval exceeds
+        ``multiple`` × the rolling median for its (work type, phase).
+    window:
+        Completed-duration samples kept per (work type, phase).
+    min_samples:
+        Baseline samples required before flagging; below this the
+        detector stays silent rather than guessing.
+    min_seconds:
+        Absolute floor — never flag an interval shorter than this, so
+        microsecond medians in fast test workloads don't flag everything.
+    metrics:
+        Optional registry for the ``stragglers.*`` gauges/counters.
+    """
+
+    def __init__(
+        self,
+        journal: Journal | None = None,
+        multiple: float = 4.0,
+        window: int = 256,
+        min_samples: int = 5,
+        min_seconds: float = 0.0,
+        metrics: Any = None,
+    ) -> None:
+        if multiple <= 0:
+            raise ValueError(f"straggler multiple must be > 0, got {multiple}")
+        self._journal = journal
+        self.multiple = multiple
+        self.min_samples = min_samples
+        self.min_seconds = min_seconds
+        self._windows: dict[tuple[int, str], deque[float]] = {}
+        self._window_size = window
+        self._open: dict[int, _OpenInterval] = {}
+        self._flagged: set[int] = set()
+        self._flagged_total = 0
+        self._since_seq = 0
+        self._lock = threading.Lock()
+        self._g_active = None
+        self._c_flagged = None
+        if metrics is not None:
+            self._g_active = metrics.gauge(
+                "stragglers.active", "tasks currently flagged as stragglers"
+            )
+            self._c_flagged = metrics.counter(
+                "stragglers.flagged_total", "tasks ever flagged as stragglers"
+            )
+
+    # -- streaming ingest --------------------------------------------------
+
+    def ingest(self, records: Any = None) -> int:
+        """Advance the state machine; returns records consumed.
+
+        With no argument, reads the attached journal's tail since the
+        last ingest (the streaming mode the service uses on each
+        ``/events`` request — no dedicated thread needed).
+        """
+        if records is None:
+            if self._journal is None:
+                return 0
+            records = self._journal.tail(self._since_seq)
+            if records:
+                self._since_seq = records[-1].seq
+        consumed = 0
+        with self._lock:
+            for record in records:
+                if record.role != ROLE_DB:
+                    continue
+                consumed += 1
+                self._apply(record)
+        return consumed
+
+    def _apply(self, record: Any) -> None:
+        event = record.event
+        task_id = record.task_id
+        if event == EV_ENQUEUE:
+            self._open[task_id] = _OpenInterval(
+                task_id, record.work_type, "queue", record.time, record.source
+            )
+        elif event == EV_POP:
+            interval = self._open.get(task_id)
+            if interval is not None and interval.phase == "queue":
+                self._observe(interval.work_type, "queue", record.time - interval.since)
+            work_type = record.work_type if record.work_type >= 0 else (
+                interval.work_type if interval is not None else -1
+            )
+            self._open[task_id] = _OpenInterval(
+                task_id, work_type, "run", record.time, record.source
+            )
+        elif event == EV_REQUEUE:
+            # Lease loss: the run never completed, so its duration says
+            # nothing about healthy runtime — reopen as queued, unobserved.
+            interval = self._open.get(task_id)
+            work_type = record.work_type if record.work_type >= 0 else (
+                interval.work_type if interval is not None else -1
+            )
+            self._open[task_id] = _OpenInterval(
+                task_id, work_type, "queue", record.time, record.source
+            )
+        elif event == EV_REPORT:
+            interval = self._open.pop(task_id, None)
+            if interval is not None and interval.phase == "run":
+                self._observe(interval.work_type, "run", record.time - interval.since)
+            self._flagged.discard(task_id)
+        elif event in (EV_WITHDRAW, EV_CANCEL):
+            self._open.pop(task_id, None)
+            self._flagged.discard(task_id)
+
+    def _observe(self, work_type: int, phase: str, duration: float) -> None:
+        if duration < 0:
+            return
+        key = (work_type, phase)
+        window = self._windows.get(key)
+        if window is None:
+            window = self._windows[key] = deque(maxlen=self._window_size)
+        window.append(duration)
+
+    # -- queries -----------------------------------------------------------
+
+    def threshold(self, work_type: int, phase: str) -> float | None:
+        """The flagging threshold for (work type, phase); None = no baseline."""
+        with self._lock:
+            window = self._windows.get((work_type, phase))
+            if window is None or len(window) < self.min_samples:
+                return None
+            return max(self.multiple * median(window), self.min_seconds)
+
+    def baseline(self, work_type: int, phase: str) -> float | None:
+        """The rolling median for (work type, phase); None = no baseline."""
+        with self._lock:
+            window = self._windows.get((work_type, phase))
+            if window is None or len(window) < self.min_samples:
+                return None
+            return median(window)
+
+    def stragglers(self, now: float) -> list[dict[str, Any]]:
+        """Open intervals currently exceeding their threshold.
+
+        Worst-first (largest overrun ratio).  Flagging is sticky per
+        task id in ``flagged_total`` — a task is counted once however
+        many times it is observed over threshold.
+        """
+        flagged: list[dict[str, Any]] = []
+        with self._lock:
+            for interval in self._open.values():
+                window = self._windows.get((interval.work_type, interval.phase))
+                if window is None or len(window) < self.min_samples:
+                    continue
+                base = median(window)
+                limit = max(self.multiple * base, self.min_seconds)
+                elapsed = now - interval.since
+                if elapsed > limit and limit > 0:
+                    flagged.append(
+                        {
+                            "task_id": interval.task_id,
+                            "work_type": interval.work_type,
+                            "phase": interval.phase,
+                            "elapsed_seconds": elapsed,
+                            "baseline_seconds": base,
+                            "threshold_seconds": limit,
+                            "ratio": elapsed / base if base > 0 else float("inf"),
+                            "source": interval.source,
+                        }
+                    )
+            newly = [f["task_id"] for f in flagged if f["task_id"] not in self._flagged]
+            self._flagged.update(newly)
+            self._flagged_total += len(newly)
+        if self._c_flagged is not None and newly:
+            self._c_flagged.inc(len(newly))
+        if self._g_active is not None:
+            self._g_active.set(len(flagged))
+        flagged.sort(key=lambda f: f["ratio"], reverse=True)
+        return flagged
+
+    def summary(self, now: float) -> dict[str, Any]:
+        """JSON-ready state for ``/status`` / ``GET /events``."""
+        flagged = self.stragglers(now)
+        with self._lock:
+            baselines = {
+                f"{work_type}/{phase}": {
+                    "samples": len(window),
+                    "median_seconds": median(window) if window else 0.0,
+                }
+                for (work_type, phase), window in sorted(self._windows.items())
+            }
+            open_count = len(self._open)
+            total = self._flagged_total
+        return {
+            "active": flagged,
+            "open_intervals": open_count,
+            "flagged_total": total,
+            "multiple": self.multiple,
+            "min_samples": self.min_samples,
+            "baselines": baselines,
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._windows.clear()
+            self._open.clear()
+            self._flagged.clear()
+            self._flagged_total = 0
+            self._since_seq = 0

@@ -1,10 +1,31 @@
-"""Task lifecycle events and their thread-safe collector."""
+"""Task lifecycle events and their thread-safe collector.
+
+This is the original (PR 0) event stream the figure pipeline consumes.
+The task flight recorder (:mod:`repro.telemetry.journal`) supersedes it
+as the lifecycle *record* — one vocabulary across every role — so the
+two are unified here rather than duplicated:
+
+- every :class:`EventKind` maps onto the journal vocabulary via
+  :attr:`EventKind.journal_event` (``TASK_START`` is the journal's
+  ``run_start``, ``FETCH`` is ``fetch``, and so on);
+- a :class:`TraceCollector` constructed with ``journal=`` forwards each
+  recorded event into that journal as a pool-role record, so legacy
+  emitters (the pool's ``_trace``, the driver's phase markers)
+  contribute to merged timelines without double-instrumentation.
+
+Existing callers are untouched: a bare ``TraceCollector()`` behaves
+exactly as before.
+"""
 
 from __future__ import annotations
 
 import enum
 import threading
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.telemetry.journal import Journal
 
 
 class EventKind(enum.Enum):
@@ -17,6 +38,21 @@ class EventKind(enum.Enum):
     POOL_STOP = "pool_stop"
     PHASE_START = "phase_start"
     PHASE_STOP = "phase_stop"
+
+    @property
+    def journal_event(self) -> str:
+        """This kind's name in the unified journal vocabulary."""
+        from repro.telemetry import journal as j
+
+        return {
+            EventKind.TASK_START: j.EV_RUN_START,
+            EventKind.TASK_STOP: j.EV_RUN_END,
+            EventKind.FETCH: j.EV_FETCH,
+            EventKind.POOL_START: j.EV_POOL_START,
+            EventKind.POOL_STOP: j.EV_POOL_STOP,
+            EventKind.PHASE_START: j.EV_PHASE_START,
+            EventKind.PHASE_STOP: j.EV_PHASE_STOP,
+        }[self]
 
 
 @dataclass(frozen=True)
@@ -41,11 +77,18 @@ class TraceCollector:
     Pools and algorithm drivers share one collector per run; analysis
     code takes immutable snapshots.  Events need not arrive in time
     order (pools race); consumers sort.
+
+    ``journal`` (optional) bridges the legacy stream into the flight
+    recorder: each recorded event is also emitted into that journal as
+    a pool-role record under the unified vocabulary.  Opt-in only —
+    the pool/driver emit their own journal records directly, so the
+    bridge is for callers who have *only* a collector wired up.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, journal: "Journal | None" = None) -> None:
         self._lock = threading.Lock()
         self._events: list[TaskEvent] = []
+        self._journal = journal
 
     def record(
         self,
@@ -59,6 +102,18 @@ class TraceCollector:
         event = TaskEvent(kind=kind, time=time, task_id=task_id, source=source, detail=detail)
         with self._lock:
             self._events.append(event)
+        journal = self._journal
+        if journal is not None and journal.enabled:
+            from repro.telemetry.journal import ROLE_POOL
+
+            journal.emit(
+                kind.journal_event,
+                task_id if task_id is not None else -1,
+                role=ROLE_POOL,
+                source=source,
+                time=time,
+                extra={"detail": detail} if detail else None,
+            )
 
     def task_start(self, time: float, task_id: int, source: str = "") -> None:
         self.record(EventKind.TASK_START, time, task_id, source)

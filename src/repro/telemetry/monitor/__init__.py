@@ -24,7 +24,14 @@ from repro.telemetry.monitor.samplers import (
     StoreSampler,
 )
 from repro.telemetry.monitor.server import StatusServer
-from repro.telemetry.monitor.view import fetch_json, parse_url, render_status, run_monitor
+from repro.telemetry.monitor.view import (
+    fetch_json,
+    parse_url,
+    render_status,
+    render_stragglers,
+    run_monitor,
+    run_stragglers,
+)
 
 __all__ = [
     "CONTENT_TYPE",
@@ -38,5 +45,7 @@ __all__ = [
     "parse_url",
     "render_prometheus",
     "render_status",
+    "render_stragglers",
     "run_monitor",
+    "run_stragglers",
 ]

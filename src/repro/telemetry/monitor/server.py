@@ -12,6 +12,9 @@ TaskService` — on its own daemon thread.  Four routes:
 - ``GET /status``   — a JSON snapshot from the owning component
   (queue depths, lease counts, uptime, RPC counters); what
   ``python -m repro monitor`` polls.
+- ``GET /events``   — recent flight-recorder records plus the straggler
+  summary, when the owner wires an ``events_fn``; what
+  ``python -m repro stragglers`` polls.
 
 The server binds before :meth:`start` returns, so ``port=0`` (ephemeral)
 is safe: read the real port from :attr:`address` afterwards.
@@ -67,6 +70,8 @@ class _StatusHandler(BaseHTTPRequestHandler):
                 self._send(200, body, CONTENT_TYPE)
             elif path == "/status":
                 self._send_json(200, owner.status())
+            elif path == "/events" and owner.has_events:
+                self._send_json(200, owner.events())
             else:
                 self._send_json(404, {"ok": False, "error": f"no route {path}"})
         except Exception as exc:  # noqa: BLE001 - a probe must never kill serving
@@ -87,9 +92,11 @@ class _StatusHTTPServer(ThreadingHTTPServer):
 class StatusServer:
     """The embeddable endpoint; see module docstring for routes.
 
-    ``status_fn`` supplies the ``/status`` body; ``readiness_checks``
-    maps check names to probes for ``/readyz``.  Both are optional —
-    with neither, the server still serves ``/healthz`` and ``/metrics``.
+    ``status_fn`` supplies the ``/status`` body; ``events_fn`` supplies
+    the ``/events`` body (the route 404s without one);
+    ``readiness_checks`` maps check names to probes for ``/readyz``.
+    All are optional — with none, the server still serves ``/healthz``
+    and ``/metrics``.
     """
 
     def __init__(
@@ -98,11 +105,20 @@ class StatusServer:
         port: int = 0,
         metrics: MetricsRegistry | None = None,
         status_fn: Callable[[], dict] | None = None,
+        events_fn: Callable[[], dict] | None = None,
         readiness_checks: Mapping[str, ReadinessCheck] | None = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else get_metrics()
         self._status_fn = status_fn
+        self._events_fn = events_fn
         self._checks = dict(readiness_checks) if readiness_checks else {}
+        # Scrape identity: every /metrics exposition carries the package
+        # version as repro_build_info{...}-style gauge (value always 1).
+        from repro import __version__
+
+        self.metrics.gauge(
+            "repro.build_info", f"build metadata (version {__version__})"
+        ).set(1)
         self._httpd = _StatusHTTPServer((host, port), _StatusHandler)
         self._httpd.owner = self
         self._thread: threading.Thread | None = None
@@ -134,6 +150,13 @@ class StatusServer:
 
     def status(self) -> dict:
         return self._status_fn() if self._status_fn is not None else {}
+
+    @property
+    def has_events(self) -> bool:
+        return self._events_fn is not None
+
+    def events(self) -> dict:
+        return self._events_fn() if self._events_fn is not None else {}
 
     def start(self) -> "StatusServer":
         if self._thread is not None:

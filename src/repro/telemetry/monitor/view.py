@@ -32,7 +32,7 @@ def parse_url(target: str) -> str:
     if "://" not in target:
         target = "http://" + target
     target = target.rstrip("/")
-    for route in ("/status", "/metrics", "/healthz", "/readyz"):
+    for route in ("/status", "/metrics", "/healthz", "/readyz", "/events"):
         if target.endswith(route):
             target = target[: -len(route)]
             break
@@ -133,6 +133,91 @@ def render_status(
     if not lines:
         lines.append("(empty status payload)")
     return "\n\n".join(lines)
+
+
+def render_stragglers(events: dict) -> str:
+    """The human-readable frame for one ``/events`` snapshot."""
+    lines: list[str] = []
+    stragglers = events.get("stragglers", {})
+    active = stragglers.get("active", [])
+    if active:
+        rows = [
+            [
+                f["task_id"],
+                f["work_type"],
+                f["phase"],
+                f"{f['elapsed_seconds']:.3f}",
+                f"{f['baseline_seconds']:.3f}",
+                f"{f['ratio']:.1f}x",
+                f.get("source", ""),
+            ]
+            for f in active
+        ]
+        lines.append(
+            render_table(
+                ["task", "type", "phase", "elapsed", "median", "ratio", "pool"],
+                rows,
+            )
+        )
+    else:
+        lines.append("no stragglers")
+    baselines = stragglers.get("baselines", {})
+    if baselines:
+        rows = [
+            [key, b.get("samples", 0), f"{b.get('median_seconds', 0.0):.4f}"]
+            for key, b in sorted(baselines.items())
+        ]
+        lines.append(render_table(["type/phase", "samples", "median (s)"], rows))
+    lines.append(
+        f"open intervals: {stragglers.get('open_intervals', 0)}  "
+        f"flagged ever: {stragglers.get('flagged_total', 0)}"
+    )
+    journal = events.get("journal", {})
+    if journal:
+        lines.append(
+            f"journal: enabled={journal.get('enabled')}  "
+            f"records={journal.get('total_in_ring', 0)}  "
+            f"dropped={journal.get('dropped', 0)}"
+        )
+    return "\n\n".join(lines)
+
+
+def run_stragglers(
+    target: str,
+    interval: float = 2.0,
+    once: bool = False,
+    json_mode: bool = False,
+    iterations: int | None = None,
+    out: TextIO | None = None,
+) -> int:
+    """Poll ``target``'s ``/events`` route and render straggler frames.
+
+    The live-view counterpart of :func:`run_monitor` for the flight
+    recorder: shows currently flagged stragglers, per-work-type
+    baselines, and journal health.  Returns a process exit code.
+    """
+    out = out if out is not None else sys.stdout
+    base = parse_url(target)
+    n = 0
+    try:
+        while True:
+            try:
+                events = fetch_json(base + "/events")
+            except (urllib.error.URLError, OSError, json.JSONDecodeError) as exc:
+                print(f"stragglers: cannot reach {base}/events: {exc}", file=sys.stderr)
+                return 1
+            if json_mode:
+                print(json.dumps(events, indent=2, sort_keys=True), file=out)
+            else:
+                stamp = time.strftime("%H:%M:%S")
+                frame = render_stragglers(events)
+                print(f"=== {base}  {stamp} ===\n{frame}\n", file=out)
+            n += 1
+            if once or (iterations is not None and n >= iterations):
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def run_monitor(

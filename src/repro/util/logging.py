@@ -26,6 +26,29 @@ ROOT_LOGGER = "repro"
 _FIELDS_ATTR = "repro_fields"
 
 
+def _active_trace() -> tuple[str, str] | None:
+    """(trace_id, span_id) of the innermost open span, if any.
+
+    Formatters run synchronously on the emitting thread, so the
+    tracer's thread-local span stack identifies the span this record
+    was logged under — that's the log↔trace correlation.  Lazily
+    imported to keep :mod:`repro.util` free of telemetry dependencies
+    at import time, and near-free when tracing is disabled (one
+    attribute check).
+    """
+    try:
+        from repro.telemetry.tracing import get_tracer
+    except ImportError:  # pragma: no cover - telemetry always ships
+        return None
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return None
+    context = tracer.current_context()
+    if context is None:
+        return None
+    return context.trace_id, context.span_id
+
+
 def get_logger(name: str) -> logging.Logger:
     """A logger under the ``repro`` hierarchy.
 
@@ -56,6 +79,9 @@ class StructuredFormatter(logging.Formatter):
         if fields:
             pairs = " ".join(f"{k}={_format_value(v)}" for k, v in fields.items())
             base = f"{base} {pairs}"
+        trace = _active_trace()
+        if trace is not None:
+            base = f"{base} trace_id={trace[0]} span_id={trace[1]}"
         if record.exc_info:
             base = f"{base}\n{self.formatException(record.exc_info)}"
         return base
@@ -75,6 +101,10 @@ class JsonLinesFormatter(logging.Formatter):
         if fields:
             for key, value in fields.items():
                 payload.setdefault(key, value)
+        trace = _active_trace()
+        if trace is not None:
+            payload.setdefault("trace_id", trace[0])
+            payload.setdefault("span_id", trace[1])
         if record.exc_info:
             payload["exception"] = self.formatException(record.exc_info)
         return json.dumps(payload, default=str)

@@ -1,0 +1,247 @@
+"""Tests for the streaming straggler detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.anomaly import StragglerDetector
+from repro.telemetry.journal import (
+    EV_CANCEL,
+    EV_ENQUEUE,
+    EV_FETCH,
+    EV_POP,
+    EV_REPORT,
+    EV_REQUEUE,
+    EV_WITHDRAW,
+    ROLE_DB,
+    ROLE_POOL,
+    Journal,
+    JournalRecord,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.util.clock import VirtualClock
+
+
+def _r(seq, time, event, task_id, work_type=0, role=ROLE_DB, source=""):
+    return JournalRecord(
+        seq, time, role, event, task_id, work_type=work_type, source=source
+    )
+
+
+def _complete_task(detector, task_id, t0, queue_s, run_s, work_type=0, seq0=1):
+    """Feed one full enqueue→pop→report lifecycle."""
+    detector.ingest(
+        [
+            _r(seq0, t0, EV_ENQUEUE, task_id, work_type),
+            _r(seq0 + 1, t0 + queue_s, EV_POP, task_id, work_type),
+            _r(seq0 + 2, t0 + queue_s + run_s, EV_REPORT, task_id, work_type),
+        ]
+    )
+
+
+class TestBaselines:
+    def test_baseline_needs_min_samples(self):
+        detector = StragglerDetector(min_samples=3)
+        for i in range(2):
+            _complete_task(detector, i, t0=i * 10.0, queue_s=1.0, run_s=2.0)
+        assert detector.baseline(0, "run") is None
+        _complete_task(detector, 2, t0=20.0, queue_s=1.0, run_s=2.0)
+        assert detector.baseline(0, "run") == 2.0
+        assert detector.baseline(0, "queue") == 1.0
+
+    def test_threshold_is_multiple_of_median_with_floor(self):
+        detector = StragglerDetector(multiple=4.0, min_samples=1, min_seconds=10.0)
+        _complete_task(detector, 1, t0=0.0, queue_s=0.5, run_s=2.0)
+        assert detector.threshold(0, "run") == 10.0  # floor wins over 4*2
+        _complete_task(detector, 2, t0=10.0, queue_s=0.5, run_s=4.0, seq0=10)
+        assert detector.threshold(0, "run") == 12.0  # 4 * median(2, 4)
+
+    def test_work_types_are_independent(self):
+        detector = StragglerDetector(min_samples=1)
+        _complete_task(detector, 1, t0=0.0, queue_s=1.0, run_s=1.0, work_type=0)
+        _complete_task(detector, 2, t0=10.0, queue_s=1.0, run_s=9.0, work_type=5,
+                       seq0=10)
+        assert detector.baseline(0, "run") == 1.0
+        assert detector.baseline(5, "run") == 9.0
+
+    def test_non_db_records_ignored(self):
+        detector = StragglerDetector(min_samples=1)
+        consumed = detector.ingest(
+            [
+                _r(1, 0.0, EV_ENQUEUE, 1),
+                _r(2, 1.0, EV_FETCH, 1, role=ROLE_POOL),
+                _r(3, 2.0, EV_POP, 1),
+            ]
+        )
+        assert consumed == 2  # pool record skipped
+
+    def test_invalid_multiple_rejected(self):
+        with pytest.raises(ValueError, match="multiple"):
+            StragglerDetector(multiple=0)
+
+
+class TestStateMachine:
+    def test_requeue_reopens_queue_without_observing_run(self):
+        detector = StragglerDetector(min_samples=1)
+        detector.ingest(
+            [
+                _r(1, 0.0, EV_ENQUEUE, 1),
+                _r(2, 1.0, EV_POP, 1),
+                _r(3, 100.0, EV_REQUEUE, 1, work_type=-1),  # lease expired
+                _r(4, 101.0, EV_POP, 1, work_type=-1),
+                _r(5, 103.0, EV_REPORT, 1),
+            ]
+        )
+        # The 99s dead lease never polluted the run baseline; only the
+        # second (successful) run's 2s was observed.
+        assert detector.baseline(0, "run") == 2.0
+        # requeue/pop with work_type=-1 inherited the open interval's type
+        assert detector.baseline(-1, "run") is None
+
+    def test_withdraw_and_cancel_discard_open_interval(self):
+        detector = StragglerDetector(min_samples=1)
+        detector.ingest(
+            [
+                _r(1, 0.0, EV_ENQUEUE, 1),
+                _r(2, 1.0, EV_CANCEL, 1),
+                _r(3, 2.0, EV_ENQUEUE, 2),
+                _r(4, 3.0, EV_POP, 2),
+                _r(5, 4.0, EV_WITHDRAW, 2),
+            ]
+        )
+        assert detector.summary(now=5.0)["open_intervals"] == 0
+        assert detector.stragglers(now=1e9) == []
+
+    def test_report_without_pop_observes_nothing(self):
+        detector = StragglerDetector(min_samples=1)
+        detector.ingest(
+            [_r(1, 0.0, EV_ENQUEUE, 1), _r(2, 5.0, EV_REPORT, 1)]
+        )
+        assert detector.baseline(0, "run") is None
+        assert detector.summary(now=6.0)["open_intervals"] == 0
+
+
+class TestFlagging:
+    def _warmed(self, **kwargs):
+        detector = StragglerDetector(
+            multiple=4.0, min_samples=3, **kwargs
+        )
+        for i in range(3):
+            _complete_task(
+                detector, i, t0=i * 10.0, queue_s=0.5, run_s=1.0, seq0=1 + 3 * i
+            )
+        return detector
+
+    def test_flags_open_run_over_threshold(self):
+        detector = self._warmed()
+        detector.ingest(
+            [_r(100, 50.0, EV_ENQUEUE, 99), _r(101, 50.5, EV_POP, 99, source="p1")]
+        )
+        assert detector.stragglers(now=52.0) == []  # 1.5s elapsed < 4*1
+        (flag,) = detector.stragglers(now=60.0)  # 9.5s elapsed > 4
+        assert flag["task_id"] == 99
+        assert flag["phase"] == "run"
+        assert flag["baseline_seconds"] == 1.0
+        assert flag["threshold_seconds"] == 4.0
+        assert flag["elapsed_seconds"] == pytest.approx(9.5)
+        assert flag["ratio"] == pytest.approx(9.5)
+        assert flag["source"] == "p1"
+
+    def test_flags_stuck_queue_phase(self):
+        detector = self._warmed()
+        detector.ingest([_r(100, 50.0, EV_ENQUEUE, 99)])
+        (flag,) = detector.stragglers(now=60.0)  # 10s queued vs 0.5 median
+        assert flag["phase"] == "queue"
+
+    def test_flagged_total_is_sticky_but_active_recovers(self):
+        detector = self._warmed()
+        detector.ingest(
+            [_r(100, 50.0, EV_ENQUEUE, 99), _r(101, 50.5, EV_POP, 99)]
+        )
+        assert len(detector.stragglers(now=60.0)) == 1
+        assert len(detector.stragglers(now=61.0)) == 1
+        detector.ingest([_r(102, 62.0, EV_REPORT, 99)])
+        summary = detector.summary(now=63.0)
+        assert summary["active"] == []
+        assert summary["flagged_total"] == 1  # counted once, stays counted
+
+    def test_min_seconds_floor_suppresses_fast_noise(self):
+        detector = self._warmed(min_seconds=100.0)
+        detector.ingest(
+            [_r(100, 50.0, EV_ENQUEUE, 99), _r(101, 50.5, EV_POP, 99)]
+        )
+        assert detector.stragglers(now=60.0) == []
+
+    def test_worst_first_ordering(self):
+        detector = self._warmed()
+        detector.ingest(
+            [
+                _r(100, 50.0, EV_ENQUEUE, 7),
+                _r(101, 50.0, EV_POP, 7),
+                _r(102, 55.0, EV_ENQUEUE, 8),
+                _r(103, 55.0, EV_POP, 8),
+            ]
+        )
+        flags = detector.stragglers(now=61.0)
+        assert [f["task_id"] for f in flags] == [7, 8]
+
+    def test_gauges_track_active_and_total(self):
+        registry = MetricsRegistry()
+        detector = StragglerDetector(multiple=4.0, min_samples=1, metrics=registry)
+        _complete_task(detector, 1, t0=0.0, queue_s=0.5, run_s=1.0)
+        detector.ingest(
+            [_r(10, 50.0, EV_ENQUEUE, 99), _r(11, 50.5, EV_POP, 99)]
+        )
+        detector.stragglers(now=60.0)
+        assert registry.get("stragglers.active").value == 1
+        assert registry.get("stragglers.flagged_total").value == 1
+        detector.ingest([_r(12, 61.0, EV_REPORT, 99)])
+        detector.stragglers(now=62.0)
+        assert registry.get("stragglers.active").value == 0
+        assert registry.get("stragglers.flagged_total").value == 1
+
+
+class TestJournalStreaming:
+    def test_ingest_reads_tail_incrementally(self):
+        clock = VirtualClock()
+        journal = Journal(clock=clock)
+        detector = StragglerDetector(journal=journal, min_samples=1)
+        journal.emit(EV_ENQUEUE, 1, role=ROLE_DB, work_type=0, time=0.0)
+        journal.emit(EV_POP, 1, role=ROLE_DB, work_type=0, time=1.0)
+        assert detector.ingest() == 2
+        assert detector.ingest() == 0  # nothing new
+        journal.emit(EV_REPORT, 1, role=ROLE_DB, work_type=0, time=3.0)
+        assert detector.ingest() == 1
+        assert detector.baseline(0, "run") == 2.0
+
+    def test_ingest_without_journal_is_noop(self):
+        assert StragglerDetector().ingest() == 0
+
+    def test_clear_resets_cursor_and_state(self):
+        journal = Journal(clock=VirtualClock())
+        detector = StragglerDetector(journal=journal, min_samples=1)
+        journal.emit(EV_ENQUEUE, 1, role=ROLE_DB, time=0.0)
+        detector.ingest()
+        detector.clear()
+        assert detector.summary(now=1.0)["open_intervals"] == 0
+        # cursor reset: the same record is consumable again
+        assert detector.ingest() == 1
+
+
+class TestSummary:
+    def test_summary_shape(self):
+        detector = StragglerDetector(multiple=3.0, min_samples=2)
+        for i in range(2):
+            _complete_task(
+                detector, i, t0=i * 10.0, queue_s=1.0, run_s=2.0, seq0=1 + 3 * i
+            )
+        detector.ingest([_r(50, 30.0, EV_ENQUEUE, 9)])
+        summary = detector.summary(now=31.0)
+        assert summary["multiple"] == 3.0
+        assert summary["min_samples"] == 2
+        assert summary["open_intervals"] == 1
+        assert summary["flagged_total"] == 0
+        assert summary["baselines"]["0/queue"] == {
+            "samples": 2, "median_seconds": 1.0,
+        }
+        assert summary["baselines"]["0/run"]["median_seconds"] == 2.0

@@ -58,3 +58,56 @@ class TestTraceCollector:
         assert len(trace) == 2000
         ids = [e.task_id for e in trace.snapshot()]
         assert len(set(ids)) == 2000
+
+
+class TestJournalUnification:
+    """The legacy event stream and the flight recorder share one vocabulary."""
+
+    def test_every_kind_maps_into_journal_vocabulary(self):
+        from repro.telemetry import journal as j
+
+        expected = {
+            EventKind.TASK_START: j.EV_RUN_START,
+            EventKind.TASK_STOP: j.EV_RUN_END,
+            EventKind.FETCH: j.EV_FETCH,
+            EventKind.POOL_START: j.EV_POOL_START,
+            EventKind.POOL_STOP: j.EV_POOL_STOP,
+            EventKind.PHASE_START: j.EV_PHASE_START,
+            EventKind.PHASE_STOP: j.EV_PHASE_STOP,
+        }
+        for kind in EventKind:
+            assert kind.journal_event == expected[kind]
+
+    def test_collector_forwards_into_journal(self):
+        from repro.telemetry.journal import EV_RUN_START, ROLE_POOL, Journal
+
+        journal = Journal()
+        trace = TraceCollector(journal=journal)
+        trace.task_start(1.5, 7, source="p1")
+        trace.record(EventKind.PHASE_START, 2.0, source="algo", detail="sweep")
+        records = journal.records()
+        assert len(records) == 2
+        start = records[0]
+        assert start.event == EV_RUN_START
+        assert start.role == ROLE_POOL
+        assert (start.task_id, start.time, start.source) == (7, 1.5, "p1")
+        phase = records[1]
+        assert phase.task_id == -1  # phase events carry no task id
+        assert phase.extra == {"detail": "sweep"}
+        # the legacy stream itself is unaffected
+        assert len(trace) == 2
+
+    def test_disabled_journal_receives_nothing(self):
+        from repro.telemetry.journal import Journal
+
+        journal = Journal(enabled=False)
+        trace = TraceCollector(journal=journal)
+        trace.task_start(1.0, 1)
+        assert len(journal) == 0
+        assert len(trace) == 1
+
+    def test_bare_collector_unchanged(self):
+        trace = TraceCollector()
+        trace.task_start(1.0, 1)
+        assert trace._journal is None
+        assert len(trace) == 1

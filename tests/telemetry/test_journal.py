@@ -1,0 +1,312 @@
+"""Tests for the task flight recorder (journal + timeline merge)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry.journal import (
+    EV_COLLECT,
+    EV_ENQUEUE,
+    EV_FETCH,
+    EV_POP,
+    EV_REPORT,
+    EV_RUN_END,
+    EV_RUN_START,
+    EV_SUBMIT,
+    ROLE_DB,
+    ROLE_ME,
+    ROLE_POOL,
+    ROLE_SERVICE,
+    Journal,
+    JournalRecord,
+    configure_journal,
+    get_journal,
+    load_journal,
+    merge_timeline,
+    render_timeline,
+    set_journal,
+    task_timeline,
+)
+from repro.util.clock import VirtualClock
+
+
+class TestEmit:
+    def test_emit_records_fields(self):
+        clock = VirtualClock(start=10.0)
+        journal = Journal(clock=clock)
+        record = journal.emit(
+            EV_ENQUEUE, 7, role=ROLE_DB, work_type=3, trace_id="t1",
+            source="exp", extra={"priority": 2},
+        )
+        assert record is not None
+        assert record.seq == 1
+        assert record.time == 10.0
+        assert record.role == ROLE_DB
+        assert record.event == EV_ENQUEUE
+        assert record.task_id == 7
+        assert record.work_type == 3
+        assert record.trace_id == "t1"
+        assert record.extra == {"priority": 2}
+        assert journal.records() == [record]
+
+    def test_explicit_time_overrides_clock(self):
+        journal = Journal(clock=VirtualClock(start=100.0))
+        record = journal.emit(EV_POP, 1, role=ROLE_DB, time=42.5)
+        assert record.time == 42.5
+
+    def test_disabled_emit_is_noop(self):
+        journal = Journal(enabled=False)
+        assert journal.emit(EV_ENQUEUE, 1, role=ROLE_DB) is None
+        assert len(journal) == 0
+        journal.enable()
+        assert journal.emit(EV_ENQUEUE, 1, role=ROLE_DB) is not None
+        journal.disable()
+        assert journal.emit(EV_ENQUEUE, 2, role=ROLE_DB) is None
+        assert len(journal) == 1
+
+    def test_global_default_starts_disabled(self):
+        assert get_journal().enabled is False
+
+    def test_records_filters_by_task(self):
+        journal = Journal(clock=VirtualClock())
+        journal.emit(EV_ENQUEUE, 1, role=ROLE_DB)
+        journal.emit(EV_ENQUEUE, 2, role=ROLE_DB)
+        journal.emit(EV_POP, 1, role=ROLE_DB)
+        assert [r.event for r in journal.records(task_id=1)] == [EV_ENQUEUE, EV_POP]
+
+    def test_tail_reads_incrementally(self):
+        journal = Journal(clock=VirtualClock())
+        journal.emit(EV_ENQUEUE, 1, role=ROLE_DB)
+        first = journal.tail(0)
+        assert [r.task_id for r in first] == [1]
+        journal.emit(EV_POP, 1, role=ROLE_DB)
+        second = journal.tail(first[-1].seq)
+        assert [r.event for r in second] == [EV_POP]
+        assert journal.tail(journal.last_seq()) == []
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Journal(capacity=0)
+
+
+class TestRing:
+    def test_wraparound_keeps_recent_and_counts_dropped(self):
+        journal = Journal(clock=VirtualClock(), capacity=10)
+        for i in range(25):
+            journal.emit(EV_ENQUEUE, i, role=ROLE_DB)
+        records = journal.records()
+        assert len(records) == 10
+        assert [r.task_id for r in records] == list(range(15, 25))
+        assert journal.dropped == 15
+
+    def test_pending_folds_at_threshold_without_reader(self):
+        # 300 emits > _FLUSH_AT folds at least once on the hot path alone.
+        journal = Journal(clock=VirtualClock(), capacity=1024)
+        for i in range(300):
+            journal.emit(EV_ENQUEUE, i, role=ROLE_DB)
+        assert len(journal._ring) >= 256
+        assert len(journal) == 300
+
+    def test_clear_resets_ring_and_dropped(self):
+        journal = Journal(clock=VirtualClock(), capacity=2)
+        for i in range(5):
+            journal.emit(EV_ENQUEUE, i, role=ROLE_DB)
+        assert len(journal) == 2
+        journal.clear()
+        assert len(journal) == 0
+        assert journal.dropped == 0
+
+
+class TestSpillAndLoad:
+    def test_spill_survives_ring_eviction(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = Journal(clock=VirtualClock(), capacity=4, spill_path=path)
+        for i in range(20):
+            journal.emit(EV_ENQUEUE, i, role=ROLE_DB)
+        journal.close()
+        loaded = load_journal(path)
+        assert [r.task_id for r in loaded] == list(range(20))
+        assert len(journal.records()) == 4  # ring kept only the tail
+
+    def test_save_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "saved.jsonl")
+        journal = Journal(clock=VirtualClock(start=5.0))
+        journal.emit(EV_ENQUEUE, 9, role=ROLE_DB, work_type=2, source="pool-a")
+        assert journal.save_jsonl(path) == 1
+        (record,) = load_journal(path)
+        assert (record.task_id, record.work_type, record.source) == (9, 2, "pool-a")
+        assert record.time == 5.0
+
+    def test_load_tolerates_torn_final_line(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        good = json.dumps(
+            JournalRecord(1, 0.0, ROLE_DB, EV_ENQUEUE, 1).to_dict()
+        )
+        path.write_text(good + "\n" + good[: len(good) // 2])
+        assert len(load_journal(str(path))) == 1
+
+    def test_load_rejects_malformed_interior_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        good = json.dumps(
+            JournalRecord(1, 0.0, ROLE_DB, EV_ENQUEUE, 1).to_dict()
+        )
+        path.write_text("not json\n" + good + "\n")
+        with pytest.raises(ValueError, match="malformed journal line"):
+            load_journal(str(path))
+
+    def test_dict_round_trip_omits_empty_fields(self):
+        bare = JournalRecord(3, 1.0, ROLE_POOL, EV_FETCH, 8)
+        data = bare.to_dict()
+        assert "trace_id" not in data and "source" not in data and "extra" not in data
+        back = JournalRecord.from_dict(data)
+        assert (back.seq, back.task_id, back.trace_id, back.extra) == (3, 8, "", None)
+
+
+class TestMergeTimeline:
+    def _r(self, seq, time, role, event, task_id=1):
+        return JournalRecord(seq, time, role, event, task_id)
+
+    def test_interleaves_roles_by_time(self):
+        me = [self._r(1, 0.0, ROLE_ME, EV_SUBMIT), self._r(2, 5.0, ROLE_ME, EV_COLLECT)]
+        db = [self._r(1, 1.0, ROLE_DB, EV_ENQUEUE), self._r(2, 4.0, ROLE_DB, EV_REPORT)]
+        pool = [
+            self._r(1, 2.0, ROLE_POOL, EV_FETCH),
+            self._r(2, 3.0, ROLE_POOL, EV_RUN_START),
+        ]
+        merged = merge_timeline(db + pool + me)
+        assert [r.event for r in merged] == [
+            EV_SUBMIT, EV_ENQUEUE, EV_FETCH, EV_RUN_START, EV_REPORT, EV_COLLECT,
+        ]
+
+    def test_same_timestamp_breaks_tie_by_lifecycle_order(self):
+        # A shared clock can stamp submit and enqueue identically; the
+        # submit still causally precedes the enqueue it triggered.
+        db = [self._r(1, 1.0, ROLE_DB, EV_ENQUEUE)]
+        me = [self._r(1, 1.0, ROLE_ME, EV_SUBMIT)]
+        merged = merge_timeline(db + me)
+        assert [r.event for r in merged] == [EV_SUBMIT, EV_ENQUEUE]
+
+    def test_skewed_role_never_reorders_internally(self):
+        # The pool's clock runs 100s ahead of the DB's, but its records
+        # must stay in emission order relative to each other.
+        db = [
+            self._r(1, 0.0, ROLE_DB, EV_ENQUEUE),
+            self._r(2, 1.0, ROLE_DB, EV_POP),
+            self._r(3, 2.0, ROLE_DB, EV_REPORT),
+        ]
+        pool = [
+            self._r(1, 101.0, ROLE_POOL, EV_FETCH),
+            self._r(2, 100.5, ROLE_POOL, EV_RUN_START),  # timestamp regression
+            self._r(3, 101.5, ROLE_POOL, EV_RUN_END),
+        ]
+        merged = merge_timeline(pool + db)
+        pool_events = [r.event for r in merged if r.role == ROLE_POOL]
+        assert pool_events == [EV_FETCH, EV_RUN_START, EV_RUN_END]
+        db_events = [r.event for r in merged if r.role == ROLE_DB]
+        assert db_events == [EV_ENQUEUE, EV_POP, EV_REPORT]
+
+    def test_task_timeline_selects_one_task(self):
+        records = [
+            self._r(1, 0.0, ROLE_DB, EV_ENQUEUE, task_id=1),
+            self._r(2, 0.5, ROLE_DB, EV_ENQUEUE, task_id=2),
+            self._r(3, 1.0, ROLE_DB, EV_POP, task_id=1),
+        ]
+        timeline = task_timeline(records, 1)
+        assert [r.event for r in timeline] == [EV_ENQUEUE, EV_POP]
+        assert all(r.task_id == 1 for r in timeline)
+
+    def test_merge_across_journal_instances(self):
+        # Two processes (roles), each with its own journal and clock.
+        db_clock, pool_clock = VirtualClock(0.0), VirtualClock(0.05)
+        db, pool = Journal(clock=db_clock), Journal(clock=pool_clock)
+        db.emit(EV_ENQUEUE, 1, role=ROLE_DB)
+        db_clock.advance(0.1)
+        db.emit(EV_POP, 1, role=ROLE_DB)
+        pool_clock.advance(0.1)
+        pool.emit(EV_FETCH, 1, role=ROLE_POOL)
+        merged = merge_timeline(db.records() + pool.records())
+        assert [r.event for r in merged] == [EV_ENQUEUE, EV_POP, EV_FETCH]
+
+
+class TestConcurrency:
+    def test_concurrent_writers_lose_nothing_within_capacity(self):
+        journal = Journal(clock=VirtualClock(), capacity=100_000)
+        n_threads, n_each = 8, 500
+
+        def hammer(thread_id: int) -> None:
+            for i in range(n_each):
+                journal.emit(EV_ENQUEUE, thread_id * n_each + i, role=ROLE_DB)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        records = journal.records()
+        assert len(records) == n_threads * n_each
+        assert journal.dropped == 0
+        # seqs are unique and the snapshot is seq-sorted
+        seqs = [r.seq for r in records]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        # every task id arrived exactly once
+        assert len({r.task_id for r in records}) == n_threads * n_each
+
+    def test_concurrent_writers_with_readers(self):
+        journal = Journal(clock=VirtualClock(), capacity=4096)
+        stop = threading.Event()
+
+        def write() -> None:
+            i = 0
+            while not stop.is_set():
+                journal.emit(EV_ENQUEUE, i, role=ROLE_DB)
+                i += 1
+
+        writers = [threading.Thread(target=write) for _ in range(4)]
+        for w in writers:
+            w.start()
+        try:
+            for _ in range(50):
+                snapshot = journal.records()
+                seqs = [r.seq for r in snapshot]
+                assert seqs == sorted(seqs)
+        finally:
+            stop.set()
+            for w in writers:
+                w.join()
+
+
+class TestRenderTimeline:
+    def test_renders_relative_times_and_detail(self):
+        records = [
+            JournalRecord(1, 10.0, ROLE_ME, EV_SUBMIT, 4, source="exp"),
+            JournalRecord(
+                2, 10.5, ROLE_DB, EV_ENQUEUE, 4, extra={"priority": 1}
+            ),
+        ]
+        text = render_timeline(records)
+        assert "+0.000000" in text
+        assert "+0.500000" in text
+        assert "submit" in text and "enqueue" in text
+        assert "priority=1" in text
+
+    def test_empty_timeline(self):
+        assert render_timeline([]) == "(no records)"
+
+
+class TestGlobalJournal:
+    def test_set_and_configure_restore(self):
+        previous = get_journal()
+        try:
+            installed = configure_journal(clock=VirtualClock(), capacity=16)
+            assert get_journal() is installed
+            assert installed.enabled is True
+            assert installed.capacity == 16
+        finally:
+            set_journal(previous)
+        assert get_journal() is previous

@@ -256,12 +256,63 @@ class TestStatusServer:
         server.stop()  # stop before start is a no-op
 
 
+class TestStatusServerEvents:
+    def test_events_route_serves_events_fn(self):
+        payload = {"journal": {"enabled": True}, "stragglers": {"active": []}}
+        server = StatusServer(
+            port=0, metrics=MetricsRegistry(), events_fn=lambda: payload
+        )
+        with server:
+            code, body = get_json(server.url + "/events")
+            assert (code, body) == (200, payload)
+
+    def test_events_404_without_events_fn(self):
+        server = StatusServer(port=0, metrics=MetricsRegistry())
+        assert server.has_events is False
+        with server:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(server.url + "/events", timeout=5)
+            assert exc.value.code == 404
+            body = json.loads(exc.value.read().decode())
+            assert body == {"ok": False, "error": "no route /events"}
+
+    def test_404_body_names_the_missing_route(self):
+        server = StatusServer(port=0, metrics=MetricsRegistry())
+        with server:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(server.url + "/nope", timeout=5)
+            assert exc.value.code == 404
+            body = json.loads(exc.value.read().decode())
+            assert body == {"ok": False, "error": "no route /nope"}
+
+    def test_query_string_stripped_before_dispatch(self):
+        server = StatusServer(
+            port=0, metrics=MetricsRegistry(), status_fn=lambda: {"ok": 1}
+        )
+        with server:
+            code, body = get_json(server.url + "/status?pretty=1&x=y")
+            assert (code, body) == (200, {"ok": 1})
+            code, body = get_json(server.url + "/healthz?probe=k8s")
+            assert (code, body) == (200, {"ok": True})
+
+    def test_build_info_gauge_in_metrics(self):
+        from repro import __version__
+
+        server = StatusServer(port=0, metrics=MetricsRegistry())
+        with server:
+            with urllib.request.urlopen(server.url + "/metrics", timeout=5) as r:
+                text = r.read().decode()
+        assert "repro_build_info 1" in text
+        assert __version__ in text
+
+
 class TestView:
     def test_parse_url_variants(self):
         assert parse_url("localhost:8080") == "http://localhost:8080"
         assert parse_url("http://h:1/") == "http://h:1"
         assert parse_url("http://h:1/status") == "http://h:1"
         assert parse_url("https://h:1/metrics") == "https://h:1"
+        assert parse_url("http://h:1/events") == "http://h:1"
 
     def test_render_status_smoke(self):
         status = {
@@ -293,3 +344,55 @@ class TestView:
 
     def test_render_empty_payload(self):
         assert "empty" in render_status({})
+
+    def test_render_stragglers_with_flags(self):
+        from repro.telemetry.monitor import render_stragglers
+
+        events = {
+            "journal": {"enabled": True, "total_in_ring": 42, "dropped": 0},
+            "stragglers": {
+                "active": [
+                    {
+                        "task_id": 7, "work_type": 0, "phase": "run",
+                        "elapsed_seconds": 9.5, "baseline_seconds": 1.0,
+                        "threshold_seconds": 4.0, "ratio": 9.5, "source": "p1",
+                    }
+                ],
+                "open_intervals": 3,
+                "flagged_total": 1,
+                "baselines": {"0/run": {"samples": 5, "median_seconds": 1.0}},
+            },
+        }
+        text = render_stragglers(events)
+        assert "9.5x" in text
+        assert "0/run" in text
+        assert "open intervals: 3" in text
+        assert "enabled=True" in text
+
+    def test_render_stragglers_quiet(self):
+        from repro.telemetry.monitor import render_stragglers
+
+        text = render_stragglers({"stragglers": {"active": []}})
+        assert "no stragglers" in text
+
+    def test_run_stragglers_against_live_server(self, capsys):
+        from repro.telemetry.monitor import run_stragglers
+
+        payload = {
+            "journal": {"enabled": True, "total_in_ring": 1, "dropped": 0},
+            "stragglers": {"active": [], "open_intervals": 0,
+                           "flagged_total": 0, "baselines": {}},
+        }
+        server = StatusServer(
+            port=0, metrics=MetricsRegistry(), events_fn=lambda: payload
+        )
+        with server:
+            assert run_stragglers(server.url, once=True) == 0
+            assert "no stragglers" in capsys.readouterr().out
+            assert run_stragglers(server.url, once=True, json_mode=True) == 0
+            assert json.loads(capsys.readouterr().out) == payload
+
+    def test_run_stragglers_unreachable_exits_nonzero(self):
+        from repro.telemetry.monitor import run_stragglers
+
+        assert run_stragglers("127.0.0.1:1", once=True) == 1

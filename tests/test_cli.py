@@ -98,3 +98,102 @@ class TestCli:
     def test_unknown_command_errors(self):
         with pytest.raises(SystemExit):
             main(["not-a-command"])
+
+
+class TestTimelineCommand:
+    def _write_journal(self, tmp_path, name, records):
+        import json
+
+        path = tmp_path / name
+        path.write_text(
+            "".join(json.dumps(r.to_dict()) + "\n" for r in records)
+        )
+        return str(path)
+
+    def test_merges_multi_role_journals(self, capsys, tmp_path):
+        from repro.telemetry.journal import (
+            EV_ENQUEUE,
+            EV_FETCH,
+            EV_POP,
+            EV_REPORT,
+            ROLE_DB,
+            ROLE_POOL,
+            JournalRecord,
+        )
+
+        db = self._write_journal(
+            tmp_path,
+            "db.jsonl",
+            [
+                JournalRecord(1, 0.0, ROLE_DB, EV_ENQUEUE, 5, work_type=0),
+                JournalRecord(2, 1.0, ROLE_DB, EV_POP, 5, source="p1"),
+                JournalRecord(3, 3.0, ROLE_DB, EV_REPORT, 5),
+            ],
+        )
+        pool = self._write_journal(
+            tmp_path,
+            "pool.jsonl",
+            [JournalRecord(1, 1.5, ROLE_POOL, EV_FETCH, 5, source="p1")],
+        )
+        rc = main(["timeline", "5", "--journal", db, "--journal", pool])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "task 5: 4 lifecycle records across 2 role(s) (db, pool)" in out
+        assert out.index("enqueue") < out.index("pop") < out.index("fetch")
+        assert out.index("fetch") < out.index("report")
+
+    def test_unknown_task_lists_available_ids(self, capsys, tmp_path):
+        from repro.telemetry.journal import EV_ENQUEUE, ROLE_DB, JournalRecord
+
+        path = self._write_journal(
+            tmp_path,
+            "db.jsonl",
+            [JournalRecord(1, 0.0, ROLE_DB, EV_ENQUEUE, 3)],
+        )
+        rc = main(["timeline", "99", "--journal", path])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "no records for task 99" in err
+        assert "task ids: 3" in err
+
+    def test_missing_file_errors(self, capsys, tmp_path):
+        rc = main(
+            ["timeline", "1", "--journal", str(tmp_path / "absent.jsonl")]
+        )
+        assert rc == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_malformed_journal_errors(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("nonsense\n{}\n")
+        rc = main(["timeline", "1", "--journal", str(bad)])
+        assert rc == 1
+        assert "malformed journal line" in capsys.readouterr().err
+
+    def test_journal_flag_required(self):
+        with pytest.raises(SystemExit):
+            main(["timeline", "1"])
+
+
+class TestStragglersCommand:
+    def test_once_json_round_trips(self, capsys):
+        import json
+
+        from repro.telemetry.metrics import MetricsRegistry
+        from repro.telemetry.monitor import StatusServer
+
+        payload = {
+            "journal": {"enabled": True, "total_in_ring": 0, "dropped": 0},
+            "stragglers": {"active": [], "open_intervals": 0,
+                           "flagged_total": 0, "baselines": {}},
+        }
+        server = StatusServer(
+            port=0, metrics=MetricsRegistry(), events_fn=lambda: payload
+        )
+        with server:
+            rc = main(["stragglers", server.url, "--once", "--json"])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out) == payload
+
+    def test_unreachable_exits_nonzero(self):
+        assert main(["stragglers", "127.0.0.1:1", "--once"]) == 1

@@ -115,6 +115,74 @@ class TestFormatters:
         assert "object" in payload["obj"]
 
 
+class TestTraceCorrelation:
+    """Log↔trace correlation: formatters stamp the active span's ids."""
+
+    def _record(self):
+        return logging.LogRecord(
+            "repro.test", logging.INFO, __file__, 1, "my.event", (), None
+        )
+
+    def test_structured_stamps_active_span(self):
+        from repro.telemetry.tracing import Tracer, get_tracer, set_tracer
+
+        previous = set_tracer(Tracer(enabled=True))
+        try:
+            tracer = get_tracer()
+            with tracer.span("op", component="test"):
+                context = tracer.current_context()
+                text = StructuredFormatter().format(self._record())
+            assert f"trace_id={context.trace_id}" in text
+            assert f"span_id={context.span_id}" in text
+        finally:
+            set_tracer(previous)
+
+    def test_json_stamps_active_span(self):
+        from repro.telemetry.tracing import Tracer, get_tracer, set_tracer
+
+        previous = set_tracer(Tracer(enabled=True))
+        try:
+            tracer = get_tracer()
+            with tracer.span("op", component="test"):
+                context = tracer.current_context()
+                payload = json.loads(JsonLinesFormatter().format(self._record()))
+            assert payload["trace_id"] == context.trace_id
+            assert payload["span_id"] == context.span_id
+        finally:
+            set_tracer(previous)
+
+    def test_no_stamp_when_tracing_disabled(self):
+        # The default tracer is disabled: no trace keys appear.
+        text = StructuredFormatter().format(self._record())
+        assert "trace_id=" not in text
+        payload = json.loads(JsonLinesFormatter().format(self._record()))
+        assert "trace_id" not in payload and "span_id" not in payload
+
+    def test_no_stamp_outside_any_span(self):
+        from repro.telemetry.tracing import Tracer, set_tracer
+
+        previous = set_tracer(Tracer(enabled=True))
+        try:
+            text = StructuredFormatter().format(self._record())
+            assert "trace_id=" not in text
+        finally:
+            set_tracer(previous)
+
+    def test_explicit_trace_field_wins_in_json(self):
+        # A caller-provided trace_id field is not clobbered by the stamp.
+        from repro.telemetry.tracing import Tracer, get_tracer, set_tracer
+
+        previous = set_tracer(Tracer(enabled=True))
+        try:
+            record = self._record()
+            record.repro_fields = {"trace_id": "caller-supplied"}
+            with get_tracer().span("op", component="test"):
+                payload = json.loads(JsonLinesFormatter().format(record))
+            assert payload["trace_id"] == "caller-supplied"
+        finally:
+            set_tracer(previous)
+
+
 class TestSilentByDefault:
     def test_no_handlers_from_import(self):
         # The library must not attach handlers on import; only
