@@ -496,6 +496,52 @@ def _cmd_stragglers(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_conform(args: argparse.Namespace) -> int:
+    from repro.testing.conformance import (
+        ACCESS_PATHS,
+        ScheduleConfig,
+        run_conformance,
+    )
+
+    paths = tuple(args.paths.split(","))
+    unknown = [p for p in paths if p not in ACCESS_PATHS]
+    if unknown:
+        print(
+            f"conform: unknown path(s) {unknown}; choose from "
+            f"{', '.join(ACCESS_PATHS)}",
+            file=sys.stderr,
+        )
+        return 2
+    config = ScheduleConfig(steps=args.steps, n_pools=args.pools)
+    seeds = range(args.start_seed, args.start_seed + args.seeds)
+    print(
+        f"conform: {args.seeds} seed(s) starting at {args.start_seed}, "
+        f"{args.steps} steps x {len(paths)} path(s) ({','.join(paths)})"
+    )
+
+    def show(result) -> None:
+        status = "ok" if result.ok else "FAIL"
+        print(
+            f"  seed {result.seed:>4}  {status:<4} "
+            f"{result.operations:>5} ops  {result.tasks:>4} tasks"
+        )
+        for violation in result.violations:
+            print(f"    !! {violation}")
+
+    report = run_conformance(seeds, paths=paths, config=config, on_result=show)
+    print(report.summary())
+    if not report.ok:
+        # Replay recipe: one seed reruns the identical schedule.
+        for seed in report.failing_seeds:
+            print(
+                f"replay: python -m repro conform --seeds 1 "
+                f"--start-seed {seed} --steps {args.steps} "
+                f"--pools {args.pools} --paths {args.paths}"
+            )
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import run_harness
 
@@ -615,6 +661,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print the raw /events JSON instead of tables")
     p.set_defaults(fn=_cmd_stragglers)
+
+    p = sub.add_parser(
+        "conform",
+        help="store conformance fuzzer: seeded schedules vs all access paths",
+    )
+    p.add_argument("--seeds", type=int, default=25,
+                   help="number of consecutive seeds to run (default 25)")
+    p.add_argument("--start-seed", type=int, default=0,
+                   help="first seed (default 0); use with --seeds 1 to replay")
+    p.add_argument("--steps", type=int, default=150,
+                   help="schedule length per seed (default 150)")
+    p.add_argument("--pools", type=int, default=3,
+                   help="logical worker-pool actors (default 3)")
+    p.add_argument("--paths", default="memory,sqlite,remote",
+                   help="comma-separated access paths (default all three)")
+    p.set_defaults(fn=_cmd_conform)
 
     p = sub.add_parser(
         "bench",

@@ -104,10 +104,26 @@ class Future:
         return self._cancelled or self.status == TaskStatus.CANCELED
 
     def cancel(self) -> bool:
-        """Cancel the task if it is still queued; returns success."""
+        """Cancel the task if it is still queued; returns success.
+
+        The cached cancelled flag reflects *store truth*: it is set only
+        when the store actually cancelled the id (or independently
+        reports it CANCELED), never merely because cancellation was
+        attempted.  Cancelling an already-RUNNING task therefore returns
+        False and the future keeps tracking the live status — the pool
+        may still report a result.
+        """
         if self._cancelled:
             return True
         if self.eqsql.cancel_tasks([self.eq_task_id]) == 1:
+            self._cancelled = True
+            return True
+        # count == 0 is ambiguous: the task may be RUNNING/COMPLETE (not
+        # cancellable) — or already CANCELED, by another actor or by a
+        # first attempt whose response was lost and retried.  Consult
+        # the store rather than guessing either way.
+        statuses = self.eqsql.query_status([self.eq_task_id])
+        if statuses and statuses[0][1] == TaskStatus.CANCELED:
             self._cancelled = True
             return True
         return False

@@ -42,9 +42,11 @@ class LeaseReaper:
         fraction of the lease duration: a task is detected as lost at
         most ``lease + interval`` after its last renewal.
     priority:
-        Output-queue priority for requeued tasks.  The default of 0
-        re-inserts at normal priority; raise it so recovered tasks jump
-        the queue (they have already waited once).
+        Output-queue priority for requeued tasks.  The default of
+        ``None`` restores each task's own current priority (its submit
+        priority as last adjusted by ``update_priorities``) so recovery
+        never demotes tasks the ME promoted; an explicit integer pins
+        every requeued task to that priority instead.
     """
 
     def __init__(
@@ -52,7 +54,7 @@ class LeaseReaper:
         store: TaskStore,
         clock: Clock | None = None,
         interval: float = 1.0,
-        priority: int = 0,
+        priority: int | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if interval <= 0:

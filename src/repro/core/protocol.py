@@ -176,6 +176,7 @@ def task_row_to_dict(row: TaskRow) -> dict[str, Any]:
         "time_start": row.time_start,
         "time_stop": row.time_stop,
         "lease_expiry": row.lease_expiry,
+        "eq_priority": row.eq_priority,
         "tags": row.tags,
     }
 
@@ -193,5 +194,8 @@ def task_row_from_dict(data: dict[str, Any]) -> TaskRow:
         time_start=data.get("time_start"),
         time_stop=data.get("time_stop"),
         lease_expiry=data.get("lease_expiry"),
+        # .get with a default keeps wire compat with pre-sticky-priority
+        # services that do not send the field.
+        eq_priority=int(data.get("eq_priority", 0)),
         tags=list(data.get("tags", [])),
     )

@@ -11,8 +11,8 @@ in ``emews_queue_out``).  What needs active recovery is the *running*
 set: tasks a crashed or preempted worker pool had popped but never
 reported.  :func:`find_orphaned_tasks` identifies them by pool name
 and/or stuck-time heuristic; :func:`requeue_tasks` pushes them back onto
-the output queue (status → QUEUED, fresh priority), after which any live
-pool will pick them up.
+the output queue (status → QUEUED, priority restored), after which any
+live pool will pick them up.
 
 These are the *manual* recovery tools for an operator who knows a pool
 is dead.  The continuous, automatic form is the lease system
@@ -83,11 +83,12 @@ def find_orphaned_tasks(
 def requeue_tasks(
     eqsql: EQSQL,
     orphans: Sequence[OrphanedTask],
-    priority: int = 0,
+    priority: int | None = None,
 ) -> int:
     """Return orphaned tasks to the output queue; returns count requeued.
 
-    Each task keeps its identity (id, payload, experiment links) — a
+    Each task keeps its identity (id, payload, experiment links, and —
+    with the default ``priority=None`` — its current priority) — a
     future already held against it will still resolve when a live pool
     re-executes and reports it.  Tasks that completed between detection
     and requeue (a slow pool finally reported) are skipped: ``requeue``
@@ -103,14 +104,14 @@ def requeue_tasks(
 
 
 def recover_pool(
-    eqsql: EQSQL, exp_id: str, worker_pool: str, priority: int = 0
+    eqsql: EQSQL, exp_id: str, worker_pool: str, priority: int | None = None
 ) -> int:
     """One-call recovery of a known-dead pool's tasks."""
     orphans = find_orphaned_tasks(eqsql, exp_id, worker_pool=worker_pool)
     return requeue_tasks(eqsql, orphans, priority=priority)
 
 
-def reap_expired(eqsql: EQSQL, priority: int = 0) -> list[int]:
+def reap_expired(eqsql: EQSQL, priority: int | None = None) -> list[int]:
     """One lease-reaper sweep at the EQSQL clock's ``now``.
 
     Requeues every RUNNING task whose lease expired; returns their ids.

@@ -200,6 +200,8 @@ class TaskService:
         clock clients stamp ``pop_out(now=...)`` with.
     lease_requeue_priority:
         Output-queue priority the reaper requeues expired tasks at.
+        ``None`` (the default) restores each task's own current
+        priority; an explicit integer pins recovered tasks to it.
     status_port:
         When set, the service embeds a :class:`~repro.telemetry.monitor.
         StatusServer` (separate daemon thread, stdlib ``http.server``)
@@ -265,7 +267,7 @@ class TaskService:
         metrics: MetricsRegistry | None = None,
         lease_reaper_interval: float | None = None,
         clock: Clock | None = None,
-        lease_requeue_priority: int = 0,
+        lease_requeue_priority: int | None = None,
         status_port: int | None = None,
         status_host: str = "127.0.0.1",
         sampler_interval: float = 1.0,

@@ -749,7 +749,10 @@ class RemoteTaskStore(TaskStore):
     def cancel_tasks(self, eq_task_ids: Sequence[int]) -> int:
         return self._call("cancel_tasks", {"eq_task_ids": list(eq_task_ids)})
 
-    def requeue(self, eq_task_id: int, *, priority: int = 0) -> bool:
+    def requeue(self, eq_task_id: int, *, priority: int | None = None) -> bool:
+        # priority=None rides the wire as JSON null and means "restore
+        # the task's sticky priority" server-side (wire compat: explicit
+        # integers behave exactly as before).
         return self._call(
             "requeue", {"eq_task_id": eq_task_id, "priority": priority}
         )
@@ -762,7 +765,9 @@ class RemoteTaskStore(TaskStore):
             {"eq_task_ids": list(eq_task_ids), "now": now, "lease": lease},
         )
 
-    def requeue_expired(self, *, now: float, priority: int = 0) -> list[int]:
+    def requeue_expired(
+        self, *, now: float, priority: int | None = None
+    ) -> list[int]:
         return list(
             self._call("requeue_expired", {"now": now, "priority": priority})
         )

@@ -45,7 +45,10 @@ class TaskStore(ABC):
         Returns the newly allocated integer task identifier.  The row is
         created with status QUEUED; the (id, type, priority) triple goes
         into ``emews_queue_out``; the experiment link and optional tag
-        rows are written in the same transaction.
+        rows are written in the same transaction.  ``priority`` is also
+        recorded on the task row itself (``TaskRow.eq_priority``) so it
+        survives the pop that deletes the queue row — fault-recovery
+        requeues restore it by default.
         """
 
     @abstractmethod
@@ -192,7 +195,9 @@ class TaskStore(ABC):
         Tasks that have already been popped (running/complete) are
         silently skipped — exactly the paper's semantics, where
         oversubscribed pools make popped tasks "ineligible for
-        reprioritization or cancellation".
+        reprioritization or cancellation".  Updated rows also refresh
+        the sticky ``TaskRow.eq_priority`` so a later fault-recovery
+        requeue restores the *updated* priority, not the submit one.
         """
 
     @abstractmethod
@@ -204,11 +209,16 @@ class TaskStore(ABC):
         """
 
     @abstractmethod
-    def requeue(self, eq_task_id: int, *, priority: int = 0) -> bool:
+    def requeue(self, eq_task_id: int, *, priority: int | None = None) -> bool:
         """Return a RUNNING task to the output queue (fault recovery).
 
         Resets the row to QUEUED, clears its worker pool, start time and
-        lease, and re-inserts it into ``emews_queue_out`` at ``priority``.
+        lease, and re-inserts it into ``emews_queue_out``.  ``priority``
+        defaults to ``None`` — *restore the task's current sticky
+        priority* (``TaskRow.eq_priority``: the submit priority as last
+        adjusted by ``update_priorities``), so fault recovery does not
+        demote tasks the ME promoted.  An explicit integer overrides the
+        sticky value and becomes the task's new current priority.
         Returns False (and changes nothing) unless the task is RUNNING.
         The check-and-requeue is one atomic operation, so a racing
         ``report`` can never be overwritten: whichever lands first wins
@@ -225,18 +235,24 @@ class TaskStore(ABC):
 
         The worker-pool heartbeat: ids that are no longer RUNNING (they
         completed, were canceled, or were already reaped and requeued)
-        are skipped.  Returns how many leases were renewed.  Idempotent —
+        are skipped.  Returns how many leases were renewed; duplicate
+        ids renew (and count) once — one lease per task.  Idempotent —
         safe to retry over a lossy connection.
         """
 
     @abstractmethod
-    def requeue_expired(self, *, now: float, priority: int = 0) -> list[int]:
+    def requeue_expired(
+        self, *, now: float, priority: int | None = None
+    ) -> list[int]:
         """Requeue every RUNNING task whose lease expired before ``now``.
 
         The lease-reaper primitive: atomically moves each expired task
         back to QUEUED (clearing pool, start time, and lease) and
-        re-inserts it into the output queue at ``priority``.  Unleased
-        RUNNING tasks are never touched.  Returns the requeued ids.
+        re-inserts it into the output queue.  ``priority=None`` (the
+        default) restores each task's own sticky priority — see
+        :meth:`requeue`; an explicit integer pins every requeued task to
+        that priority.  Unleased RUNNING tasks are never touched.
+        Returns the requeued ids in ascending id order.
         """
 
     # -- experiment / tag queries ------------------------------------------

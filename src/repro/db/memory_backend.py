@@ -85,9 +85,19 @@ class MemoryTaskStore(TaskStore):
         self._exp_tasks: dict[str, list[int]] = {}
         self._tag_tasks: dict[str, list[int]] = {}
         # Output queue: one heap per work type plus an id -> live-entry
-        # map used for reprioritization and cancellation.
+        # map used for reprioritization and cancellation.  Queue depths
+        # (queue_out_length, stats) always derive from the live-entry
+        # map, never from heap lengths, so lazily-deleted entries can
+        # never leak into the gauges sqlite computes from real rows.
         self._out_heaps: dict[int, list[_HeapEntry]] = {}
         self._out_entries: dict[int, _HeapEntry] = {}
+        # Dead (invalidated, not yet popped) entries per heap.  Under
+        # heavy reprioritization — the paper's GPR loop rewrites up to
+        # 700 priorities per cycle — dead entries would otherwise
+        # accumulate without bound until each one surfaces at the heap
+        # top; compaction rebuilds a heap once the dead outnumber the
+        # live.
+        self._out_dead: dict[int, int] = {}
         # Input queue: id -> work type, insertion-ordered (dicts preserve
         # insertion order, giving in-queue FIFO for diagnostics).
         self._in_queue: dict[int, int] = {}
@@ -113,6 +123,26 @@ class MemoryTaskStore(TaskStore):
         self._out_entries[eq_task_id] = entry
         heapq.heappush(self._out_heaps.setdefault(eq_type, []), entry)
 
+    _COMPACT_FLOOR = 64
+
+    def _note_dead(self, eq_type: int) -> None:
+        """Account one lazily-invalidated heap entry; compact if dead > live.
+
+        Call under the lock, after clearing ``entry.alive`` on an entry
+        that stays in its heap (reprioritize, cancel, report-withdraw).
+        The rebuild is amortized O(1) per invalidation: it only fires
+        once dead entries outnumber live ones (and the heap is past a
+        small floor), and resets the dead count to zero.
+        """
+        dead = self._out_dead.get(eq_type, 0) + 1
+        heap = self._out_heaps.get(eq_type, [])
+        if len(heap) >= self._COMPACT_FLOOR and dead * 2 > len(heap):
+            heap[:] = [e for e in heap if e.alive]
+            heapq.heapify(heap)
+            self._out_dead[eq_type] = 0
+        else:
+            self._out_dead[eq_type] = dead
+
     def _insert_task(
         self,
         exp_id: str,
@@ -129,6 +159,7 @@ class MemoryTaskStore(TaskStore):
             eq_status=TaskStatus.QUEUED,
             json_out=payload,
             time_created=time_created,
+            eq_priority=priority,
         )
         if tag is not None:
             row.tags.append(tag)
@@ -198,6 +229,9 @@ class MemoryTaskStore(TaskStore):
             while heap and len(popped) < n:
                 entry = heapq.heappop(heap)
                 if not entry.alive:
+                    dead = self._out_dead.get(eq_type, 0)
+                    if dead > 0:
+                        self._out_dead[eq_type] = dead - 1
                     continue
                 del self._out_entries[entry.eq_task_id]
                 row = self._tasks[entry.eq_task_id]
@@ -255,6 +289,7 @@ class MemoryTaskStore(TaskStore):
             entry = self._out_entries.pop(eq_task_id, None)
             if entry is not None:
                 entry.alive = False
+                self._note_dead(row.eq_task_type)
                 self._m_report_withdrawals.inc()
             self._in_queue[eq_task_id] = eq_type
             journal = self._jrnl()
@@ -294,6 +329,7 @@ class MemoryTaskStore(TaskStore):
                 entry = self._out_entries.pop(eq_task_id, None)
                 if entry is not None:
                     entry.alive = False
+                    self._note_dead(row.eq_task_type)
                     withdrawals += 1
                     if recording:
                         journal.emit(
@@ -358,6 +394,7 @@ class MemoryTaskStore(TaskStore):
                 time_start=row.time_start,
                 time_stop=row.time_stop,
                 lease_expiry=row.lease_expiry,
+                eq_priority=row.eq_priority,
                 tags=list(row.tags),
             )
 
@@ -390,15 +427,17 @@ class MemoryTaskStore(TaskStore):
                 if entry is None:
                     continue  # already popped, complete, or canceled
                 entry.alive = False
-                eq_type = self._tasks[tid].eq_task_type
-                self._enqueue_out(tid, eq_type, priority)
+                row = self._tasks[tid]
+                row.eq_priority = priority  # keep the sticky copy in sync
+                self._enqueue_out(tid, row.eq_task_type, priority)
+                self._note_dead(row.eq_task_type)
                 changed += 1
             return changed
 
     def cancel_tasks(self, eq_task_ids: Sequence[int]) -> int:
         with self._lock:
             self._check_open()
-            canceled = 0
+            canceled: list[TaskRow] = []
             journal = self._jrnl()
             for tid in eq_task_ids:
                 entry = self._out_entries.pop(tid, None)
@@ -407,14 +446,19 @@ class MemoryTaskStore(TaskStore):
                 entry.alive = False
                 row = self._tasks[tid]
                 row.eq_status = TaskStatus.CANCELED
-                canceled += 1
-                if journal.enabled:
+                self._note_dead(row.eq_task_type)
+                canceled.append(row)
+            if journal.enabled:
+                # Ascending id order regardless of caller order, matching
+                # the SQL backend (conformance compares traces verbatim).
+                for row in sorted(canceled, key=lambda r: r.eq_task_id):
                     journal.emit(
-                        EV_CANCEL, tid, role=ROLE_DB, work_type=row.eq_task_type
+                        EV_CANCEL, row.eq_task_id, role=ROLE_DB,
+                        work_type=row.eq_task_type,
                     )
-            return canceled
+            return len(canceled)
 
-    def requeue(self, eq_task_id: int, *, priority: int = 0) -> bool:
+    def requeue(self, eq_task_id: int, *, priority: int | None = None) -> bool:
         with self._lock:
             self._check_open()
             row = self._tasks.get(eq_task_id)
@@ -426,21 +470,28 @@ class MemoryTaskStore(TaskStore):
             return True
 
     def _requeue_row(
-        self, row: TaskRow, priority: int, *, now: float | None = None
+        self, row: TaskRow, priority: int | None, *, now: float | None = None
     ) -> None:
-        """Move a RUNNING row back to QUEUED (call under the lock)."""
+        """Move a RUNNING row back to QUEUED (call under the lock).
+
+        ``priority=None`` restores the row's sticky ``eq_priority``; an
+        explicit value wins and becomes the new sticky priority.
+        """
+        effective = row.eq_priority if priority is None else priority
+        row.eq_priority = effective
         previous_pool = row.worker_pool
         row.eq_status = TaskStatus.QUEUED
         row.worker_pool = None
         row.time_start = None
         row.lease_expiry = None
-        self._enqueue_out(row.eq_task_id, row.eq_task_type, priority)
+        self._enqueue_out(row.eq_task_id, row.eq_task_type, effective)
         journal = self._jrnl()
         if journal.enabled:
             journal.emit(
                 EV_REQUEUE, row.eq_task_id, role=ROLE_DB,
                 work_type=row.eq_task_type, time=now,
                 source=previous_pool or "",
+                extra={"priority": effective},
             )
 
     # -- leases ------------------------------------------------------------------
@@ -452,7 +503,15 @@ class MemoryTaskStore(TaskStore):
             self._check_open()
             renewed = 0
             journal = self._jrnl()
+            seen: set[int] = set()
             for tid in eq_task_ids:
+                # Duplicate ids renew (and count) once, matching the SQL
+                # backend's per-row UPDATE semantics — a pool that popped
+                # the same task twice across a requeue still holds one
+                # lease.
+                if tid in seen:
+                    continue
+                seen.add(tid)
                 row = self._tasks.get(tid)
                 if row is None or row.eq_status != TaskStatus.RUNNING:
                     continue
@@ -468,7 +527,9 @@ class MemoryTaskStore(TaskStore):
                 self._m_lease_renewals.inc(renewed)
             return renewed
 
-    def requeue_expired(self, *, now: float, priority: int = 0) -> list[int]:
+    def requeue_expired(
+        self, *, now: float, priority: int | None = None
+    ) -> list[int]:
         with self._lock:
             self._check_open()
             expired = [
@@ -478,6 +539,9 @@ class MemoryTaskStore(TaskStore):
                 and row.lease_expiry is not None
                 and row.lease_expiry <= now
             ]
+            # Ascending id order, matching the SQL backend's ORDER BY —
+            # the conformance harness compares the two byte-for-byte.
+            expired.sort(key=lambda r: r.eq_task_id)
             for row in expired:
                 self._requeue_row(row, priority, now=now)
             if expired:
@@ -542,6 +606,7 @@ class MemoryTaskStore(TaskStore):
             self._tag_tasks.clear()
             self._out_heaps.clear()
             self._out_entries.clear()
+            self._out_dead.clear()
             self._in_queue.clear()
             self._next_id = 1
 

@@ -56,6 +56,12 @@ class TaskRow:
     #: renewal is presumed lost with its pool and eligible for automatic
     #: requeue.  ``None`` means the task runs unleased (never reaped).
     lease_expiry: float | None = None
+    #: Sticky copy of the task's current priority.  ``emews_queue_out``
+    #: rows are deleted on pop, so without this the priority would be
+    #: unrecoverable at requeue time and fault recovery would silently
+    #: demote reprioritized tasks back to 0.  Kept in sync by
+    #: ``create``, ``update_priorities``, and explicit-priority requeues.
+    eq_priority: int = 0
     tags: list[str] = field(default_factory=list)
 
     def runtime(self) -> float | None:
@@ -79,7 +85,8 @@ SCHEMA_STATEMENTS: tuple[str, ...] = (
         time_created REAL NOT NULL,
         time_start   REAL,
         time_stop    REAL,
-        lease_expiry REAL
+        lease_expiry REAL,
+        eq_priority  INTEGER NOT NULL DEFAULT 0
     )
     """,
     """

@@ -110,6 +110,15 @@ class SqliteTaskStore(TaskStore):
             columns = {row[1] for row in cur.fetchall()}
             if columns and "lease_expiry" not in columns:
                 cur.execute("ALTER TABLE eq_tasks ADD COLUMN lease_expiry REAL")
+            if columns and "eq_priority" not in columns:
+                # Pre-sticky-priority files: backfill the task-row copy
+                # of the priority (0 matches the old requeue behavior
+                # for existing rows; queued rows keep their live
+                # emews_queue_out priority regardless).
+                cur.execute(
+                    "ALTER TABLE eq_tasks ADD COLUMN eq_priority"
+                    " INTEGER NOT NULL DEFAULT 0"
+                )
             for stmt in SCHEMA_STATEMENTS:
                 cur.execute(stmt)
         self._closed = False
@@ -164,9 +173,9 @@ class SqliteTaskStore(TaskStore):
         time_created: float,
     ) -> int:
         cur.execute(
-            "INSERT INTO eq_tasks (eq_task_type, eq_status, json_out, time_created)"
-            " VALUES (?, ?, ?, ?)",
-            (eq_type, int(TaskStatus.QUEUED), payload, time_created),
+            "INSERT INTO eq_tasks (eq_task_type, eq_status, json_out, time_created,"
+            " eq_priority) VALUES (?, ?, ?, ?, ?)",
+            (eq_type, int(TaskStatus.QUEUED), payload, time_created, priority),
         )
         eq_task_id = cur.lastrowid
         assert eq_task_id is not None
@@ -230,10 +239,10 @@ class SqliteTaskStore(TaskStore):
             ids = list(range(next_id, next_id + len(payloads)))
             cur.executemany(
                 "INSERT INTO eq_tasks (eq_task_id, eq_task_type, eq_status,"
-                " json_out, time_created) VALUES (?, ?, ?, ?, ?)",
+                " json_out, time_created, eq_priority) VALUES (?, ?, ?, ?, ?, ?)",
                 [
-                    (tid, eq_type, int(TaskStatus.QUEUED), p, time_created)
-                    for tid, p in zip(ids, payloads)
+                    (tid, eq_type, int(TaskStatus.QUEUED), p, time_created, pr)
+                    for tid, p, pr in zip(ids, payloads, priorities)
                 ],
             )
             cur.executemany(
@@ -518,8 +527,8 @@ class SqliteTaskStore(TaskStore):
         with self._read() as cur:
             cur.execute(
                 "SELECT eq_task_id, eq_task_type, eq_status, worker_pool, json_out,"
-                " json_in, time_created, time_start, time_stop, lease_expiry"
-                " FROM eq_tasks WHERE eq_task_id = ?",
+                " json_in, time_created, time_start, time_stop, lease_expiry,"
+                " eq_priority FROM eq_tasks WHERE eq_task_id = ?",
                 (eq_task_id,),
             )
             row = cur.fetchone()
@@ -540,6 +549,7 @@ class SqliteTaskStore(TaskStore):
             time_start=row[7],
             time_stop=row[8],
             lease_expiry=row[9],
+            eq_priority=row[10],
             tags=tags,
         )
 
@@ -585,7 +595,17 @@ class SqliteTaskStore(TaskStore):
                 "UPDATE emews_queue_out SET eq_priority = ? WHERE eq_task_id = ?",
                 [(priority, tid) for tid, priority in zip(eq_task_ids, values)],
             )
-            return max(cur.rowcount, 0)
+            changed = max(cur.rowcount, 0)
+            # Keep the sticky task-row priority in sync for rows that
+            # actually changed (i.e. were still queued), so a later
+            # fault-recovery requeue restores the updated value.
+            cur.executemany(
+                "UPDATE eq_tasks SET eq_priority = ? WHERE eq_task_id = ?"
+                " AND EXISTS (SELECT 1 FROM emews_queue_out o"
+                "             WHERE o.eq_task_id = eq_tasks.eq_task_id)",
+                [(priority, tid) for tid, priority in zip(eq_task_ids, values)],
+            )
+            return changed
 
     def cancel_tasks(self, eq_task_ids: Sequence[int]) -> int:
         self._check_open()
@@ -596,7 +616,7 @@ class SqliteTaskStore(TaskStore):
         with self._txn() as cur:
             cur.execute(
                 f"SELECT eq_task_id, eq_task_type FROM emews_queue_out"
-                f" WHERE eq_task_id IN ({marks})",
+                f" WHERE eq_task_id IN ({marks}) ORDER BY eq_task_id",
                 ids,
             )
             canceled = cur.fetchall()
@@ -617,20 +637,22 @@ class SqliteTaskStore(TaskStore):
                     journal.emit(EV_CANCEL, tid, role=ROLE_DB, work_type=eq_type)
             return len(queued)
 
-    def requeue(self, eq_task_id: int, *, priority: int = 0) -> bool:
+    def requeue(self, eq_task_id: int, *, priority: int | None = None) -> bool:
         self._check_open()
         with self._txn() as cur:
             cur.execute(
-                "SELECT eq_task_type, eq_status FROM eq_tasks WHERE eq_task_id = ?",
+                "SELECT eq_task_type, eq_status, eq_priority FROM eq_tasks"
+                " WHERE eq_task_id = ?",
                 (eq_task_id,),
             )
             row = cur.fetchone()
             if row is None:
                 raise NotFoundError(f"no task with id {eq_task_id}")
-            eq_type, status = row
+            eq_type, status, sticky = row
             if TaskStatus(status) != TaskStatus.RUNNING:
                 return False
-            self._requeue_in_txn(cur, eq_task_id, eq_type, priority)
+            effective = sticky if priority is None else priority
+            self._requeue_in_txn(cur, eq_task_id, eq_type, effective)
             return True
 
     def _requeue_in_txn(
@@ -642,7 +664,11 @@ class SqliteTaskStore(TaskStore):
         *,
         now: float | None = None,
     ) -> None:
-        """Move a RUNNING row back to QUEUED (call inside a transaction)."""
+        """Move a RUNNING row back to QUEUED (call inside a transaction).
+
+        ``priority`` is already resolved by the caller (sticky value or
+        an explicit override); it becomes the row's new sticky priority.
+        """
         journal = self._jrnl()
         source = ""
         if journal.enabled:
@@ -654,8 +680,9 @@ class SqliteTaskStore(TaskStore):
             source = pool_row[0] if pool_row and pool_row[0] else ""
         cur.execute(
             "UPDATE eq_tasks SET eq_status = ?, worker_pool = NULL,"
-            " time_start = NULL, lease_expiry = NULL WHERE eq_task_id = ?",
-            (int(TaskStatus.QUEUED), eq_task_id),
+            " time_start = NULL, lease_expiry = NULL, eq_priority = ?"
+            " WHERE eq_task_id = ?",
+            (int(TaskStatus.QUEUED), priority, eq_task_id),
         )
         cur.execute(
             "INSERT INTO emews_queue_out (eq_task_id, eq_task_type, eq_priority)"
@@ -666,6 +693,7 @@ class SqliteTaskStore(TaskStore):
             journal.emit(
                 EV_REQUEUE, eq_task_id, role=ROLE_DB, work_type=eq_type,
                 time=now, source=source,
+                extra={"priority": priority},
             )
 
     # -- leases ------------------------------------------------------------------
@@ -707,21 +735,24 @@ class SqliteTaskStore(TaskStore):
                     )
             return renewed
 
-    def requeue_expired(self, *, now: float, priority: int = 0) -> list[int]:
+    def requeue_expired(
+        self, *, now: float, priority: int | None = None
+    ) -> list[int]:
         self._check_open()
         with self._txn() as cur:
             cur.execute(
-                "SELECT eq_task_id, eq_task_type FROM eq_tasks"
+                "SELECT eq_task_id, eq_task_type, eq_priority FROM eq_tasks"
                 " WHERE eq_status = ? AND lease_expiry IS NOT NULL"
                 " AND lease_expiry <= ? ORDER BY eq_task_id",
                 (int(TaskStatus.RUNNING), now),
             )
             expired = cur.fetchall()
-            for eq_task_id, eq_type in expired:
-                self._requeue_in_txn(cur, eq_task_id, eq_type, priority, now=now)
+            for eq_task_id, eq_type, sticky in expired:
+                effective = sticky if priority is None else priority
+                self._requeue_in_txn(cur, eq_task_id, eq_type, effective, now=now)
             if expired:
                 self._m_lease_requeues.inc(len(expired))
-            return [eq_task_id for eq_task_id, _ in expired]
+            return [eq_task_id for eq_task_id, _, _ in expired]
 
     # -- monitoring ---------------------------------------------------------------
 

@@ -1,0 +1,202 @@
+"""Invariant checkers over the journal and cross-path histories.
+
+The schedule engine already verifies every operation's *return value*
+against the reference model.  These checkers audit the other two
+observation channels:
+
+- the PR-5 flight-recorder journal (``ROLE_DB`` records emitted inside
+  the backend), which exposes internal transitions — withdrawals, per-id
+  renewals — no return value shows; and
+- the verified histories and journal traces of *different access paths*
+  run under the same seed, which must be byte-for-byte identical.
+
+All checkers return a list of human-readable violation strings (empty
+means the invariant holds) rather than raising, so one run reports every
+broken invariant at once.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from typing import Any
+
+from repro.telemetry.journal import (
+    EV_CANCEL,
+    EV_ENQUEUE,
+    EV_LEASE_RENEW,
+    EV_POP,
+    EV_REPORT,
+    EV_REQUEUE,
+    EV_WITHDRAW,
+    JournalRecord,
+)
+
+#: Lifecycle automaton for ROLE_DB events.  States: queued, running,
+#: complete, canceled.  A report is legal from any non-complete state
+#: (first-write-wins absorbs late reports of requeued or canceled
+#: tasks); everything else is tightly constrained.
+_LEGAL_TRANSITIONS: dict[tuple[str, str], str] = {
+    ("queued", EV_POP): "running",
+    ("queued", EV_CANCEL): "canceled",
+    ("queued", EV_WITHDRAW): "queued",  # withdraw precedes its report
+    ("queued", EV_REPORT): "complete",
+    ("running", EV_LEASE_RENEW): "running",
+    ("running", EV_REQUEUE): "queued",
+    ("running", EV_REPORT): "complete",
+    ("canceled", EV_REPORT): "complete",
+}
+
+
+def check_journal_invariants(
+    records: Sequence[JournalRecord], *, lease: float | None = None
+) -> list[str]:
+    """Audit one path's ROLE_DB journal records.
+
+    Checks, per task:
+
+    - **exactly-once report** — at most one EV_REPORT ever lands (the
+      duplicate-report path must be a silent no-op, never a second
+      record);
+    - **no activity after terminal** — once reported, a task can never
+      again pop, requeue, renew, or cancel;
+    - **lifecycle legality** — every event is a legal transition of the
+      queued → running → {complete, canceled} automaton (e.g. a renew
+      while queued, or a requeue of a non-running task, is a violation);
+    - **lease monotonicity** — within one running claim, successive
+      lease expiries (pop/renew time + ``lease``) never move backward,
+      and record timestamps are non-decreasing per task.
+    """
+    violations: list[str] = []
+    state: dict[int, str] = {}
+    reports: dict[int, int] = {}
+    last_time: dict[int, float] = {}
+    lease_expiry: dict[int, float] = {}
+    for record in records:
+        if record.role != "db":
+            continue
+        tid = record.task_id
+        if tid in last_time and record.time < last_time[tid]:
+            violations.append(
+                f"task {tid}: {record.event} at t={record.time} before "
+                f"previous event at t={last_time[tid]} (time went backward)"
+            )
+        last_time[tid] = record.time
+        if record.event == EV_ENQUEUE:
+            if tid in state:
+                violations.append(f"task {tid}: enqueued twice")
+            state[tid] = "queued"
+            continue
+        current = state.get(tid)
+        if current is None:
+            violations.append(
+                f"task {tid}: {record.event} before any enqueue"
+            )
+            continue
+        if record.event == EV_REPORT:
+            reports[tid] = reports.get(tid, 0) + 1
+            if reports[tid] > 1:
+                violations.append(
+                    f"task {tid}: reported {reports[tid]} times "
+                    "(exactly-once violated)"
+                )
+        if current == "complete":
+            violations.append(
+                f"task {tid}: {record.event} after terminal report"
+            )
+            continue
+        nxt = _LEGAL_TRANSITIONS.get((current, record.event))
+        if nxt is None:
+            violations.append(
+                f"task {tid}: illegal {record.event} while {current}"
+            )
+            continue
+        if lease is not None:
+            if record.event == EV_POP:
+                extra = record.extra or {}
+                if "lease" in extra:
+                    lease_expiry[tid] = record.time + float(extra["lease"])
+                else:
+                    lease_expiry.pop(tid, None)  # unleased claim
+            elif record.event == EV_LEASE_RENEW and tid in lease_expiry:
+                new_expiry = record.time + lease
+                if new_expiry < lease_expiry[tid]:
+                    violations.append(
+                        f"task {tid}: renew shrank lease expiry "
+                        f"{lease_expiry[tid]} -> {new_expiry}"
+                    )
+                lease_expiry[tid] = new_expiry
+            elif record.event in (EV_REQUEUE, EV_REPORT, EV_CANCEL):
+                lease_expiry.pop(tid, None)
+        state[tid] = nxt
+    return violations
+
+
+def _canonical(value: Any) -> str:
+    return json.dumps(value, sort_keys=True)
+
+
+def check_history_equivalence(
+    histories: dict[str, list[list[Any]]]
+) -> list[str]:
+    """All access paths must produce byte-identical verified histories."""
+    violations: list[str] = []
+    paths = sorted(histories)
+    if len(paths) < 2:
+        return violations
+    reference_path = paths[0]
+    reference = [_canonical(entry) for entry in histories[reference_path]]
+    for path in paths[1:]:
+        entries = [_canonical(entry) for entry in histories[path]]
+        if entries == reference:
+            continue
+        detail = f"lengths {len(reference)} vs {len(entries)}"
+        for i, (a, b) in enumerate(zip(reference, entries)):
+            if a != b:
+                detail = f"first divergence at entry {i}: {a} vs {b}"
+                break
+        violations.append(
+            f"history of {path!r} diverges from {reference_path!r}: {detail}"
+        )
+    return violations
+
+
+def journal_trace(records: Sequence[JournalRecord]) -> list[list[Any]]:
+    """A path-comparable projection of ROLE_DB journal records.
+
+    Sequence numbers are dropped (each path has its own journal); the
+    remaining fields — event, task, work type, source, timestamp, extra
+    — are fully determined by the schedule and must match across paths.
+    """
+    return [
+        [r.event, r.task_id, r.work_type, r.source, r.time,
+         r.extra if r.extra else None]
+        for r in records
+        if r.role == "db"
+    ]
+
+
+def check_journal_equivalence(
+    traces: dict[str, list[list[Any]]]
+) -> list[str]:
+    """All access paths must emit identical ROLE_DB journal traces."""
+    violations: list[str] = []
+    paths = sorted(traces)
+    if len(paths) < 2:
+        return violations
+    reference_path = paths[0]
+    reference = [_canonical(e) for e in traces[reference_path]]
+    for path in paths[1:]:
+        entries = [_canonical(e) for e in traces[path]]
+        if entries == reference:
+            continue
+        detail = f"lengths {len(reference)} vs {len(entries)}"
+        for i, (a, b) in enumerate(zip(reference, entries)):
+            if a != b:
+                detail = f"first divergence at record {i}: {a} vs {b}"
+                break
+        violations.append(
+            f"journal trace of {path!r} diverges from {reference_path!r}: "
+            f"{detail}"
+        )
+    return violations

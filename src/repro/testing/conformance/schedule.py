@@ -1,0 +1,356 @@
+"""Deterministic schedule engine for store conformance runs.
+
+A seeded PRNG interleaves *logical* concurrent actors — submitters,
+worker pools (pop / renew / report, including a slow pool whose lease
+lapses mid-run), a lease reaper, a reprioritizer, a canceller, and the
+ME-side collector — into one single-threaded operation sequence executed
+step-by-step against a real store and the :class:`~.model.ModelStore`
+reference in lockstep.  Time comes from an injected
+:class:`~repro.util.clock.VirtualClock` the engine advances itself.
+
+Because every operation's observable result is verified against the
+model *before* the next PRNG draw, the random stream — and therefore the
+entire schedule — is a pure function of the seed: any violation replays
+byte-for-byte from ``ScheduleEngine(store, seed=...)``.  The verified
+results are also appended to a JSON-ready history list, which the runner
+compares across access paths for byte-for-byte equivalence.
+
+The schedule deliberately generates the races the lease/requeue design
+exists to resolve: pools stop renewing, the clock jumps past lease
+expiry, the reaper requeues, another pool re-pops, and the original
+slow pool reports late — exercising exactly-once report, withdraw, and
+priority restoration on every seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.db.backend import TaskStore
+from repro.testing.conformance.model import ModelStore
+from repro.util.clock import VirtualClock
+
+
+class ConformanceViolation(AssertionError):
+    """A store's observable behavior diverged from the reference model."""
+
+    def __init__(self, seed: int, step: int, op: str, detail: str) -> None:
+        super().__init__(
+            f"seed {seed} step {step} op {op!r}: {detail}"
+        )
+        self.seed = seed
+        self.step = step
+        self.op = op
+        self.detail = detail
+
+
+@dataclass
+class ScheduleConfig:
+    """Knobs for one conformance schedule."""
+
+    steps: int = 150
+    n_pools: int = 3
+    work_types: tuple[int, ...] = (0, 1)
+    lease: float = 5.0
+    max_priority: int = 10
+    exp_id: str = "exp-conform"
+    #: Probability a pop is unleased (never reaped) — the pre-lease mode.
+    unleased_fraction: float = 0.1
+    #: Relative weights of the actor operations.
+    weights: dict[str, int] = field(
+        default_factory=lambda: {
+            "submit": 18,
+            "pop": 22,
+            "report": 16,
+            "renew": 8,
+            "reap": 7,
+            "reprioritize": 9,
+            "cancel": 5,
+            "collect": 7,
+            "check": 6,
+            "jump": 4,
+        }
+    )
+
+
+class _PoolActor:
+    """Model-side state of one logical worker pool."""
+
+    __slots__ = ("name", "held")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        # Held ids are not removed on requeue — the pool does not know
+        # it was reaped, which is precisely the race being tested.
+        self.held: list[int] = []
+
+
+class ScheduleEngine:
+    """Run one seeded schedule against a store, verifying each step."""
+
+    def __init__(
+        self,
+        store: TaskStore,
+        seed: int,
+        config: ScheduleConfig | None = None,
+        clock: VirtualClock | None = None,
+    ) -> None:
+        self.store = store
+        self.seed = seed
+        self.config = config if config is not None else ScheduleConfig()
+        self.clock = clock if clock is not None else VirtualClock()
+        self.model = ModelStore()
+        self.rng = random.Random(seed)
+        self.history: list[list[Any]] = []
+        self.pools = [
+            _PoolActor(f"pool-{i}") for i in range(self.config.n_pools)
+        ]
+        self._ops = sorted(self.config.weights)
+        self._weights = [self.config.weights[op] for op in self._ops]
+        self._step = 0
+
+    # -- verification ------------------------------------------------------
+
+    def _fail(self, op: str, detail: str) -> None:
+        raise ConformanceViolation(self.seed, self._step, op, detail)
+
+    def _verify(self, op: str, got: Any, want: Any) -> None:
+        if got != want:
+            self._fail(op, f"store returned {got!r}, model expects {want!r}")
+
+    def _record(self, op: str, *fields: Any) -> None:
+        self.history.append([self._step, op, *fields])
+
+    # -- actor operations --------------------------------------------------
+
+    def _op_submit(self) -> None:
+        rng = self.rng
+        count = rng.randint(1, 3)
+        eq_type = rng.choice(self.config.work_types)
+        priorities = [
+            rng.randint(0, self.config.max_priority) for _ in range(count)
+        ]
+        payloads = [
+            f'{{"step": {self._step}, "i": {i}}}' for i in range(count)
+        ]
+        now = self.clock.now()
+        got = self.store.create_tasks(
+            self.config.exp_id, eq_type, payloads,
+            priority=priorities, time_created=now,
+        )
+        want = self.model.create_tasks(eq_type, payloads, priorities)
+        self._verify("submit", list(got), want)
+        self._record("submit", eq_type, priorities, want)
+
+    def _op_pop(self) -> None:
+        rng = self.rng
+        pool = rng.choice(self.pools)
+        eq_type = rng.choice(self.config.work_types)
+        n = rng.randint(1, 3)
+        leased = rng.random() >= self.config.unleased_fraction
+        lease = self.config.lease if leased else None
+        now = self.clock.now()
+        got = self.store.pop_out(
+            eq_type, n, worker_pool=pool.name, now=now, lease=lease
+        )
+        want = self.model.pop_out(
+            eq_type, n, worker_pool=pool.name, now=now, lease=lease
+        )
+        self._verify("pop", [list(p) for p in got], [list(p) for p in want])
+        pool.held.extend(tid for tid, _ in want)
+        self._record("pop", pool.name, eq_type, n, leased,
+                     [tid for tid, _ in want])
+
+    def _op_report(self) -> None:
+        rng = self.rng
+        candidates = [p for p in self.pools if p.held]
+        if not candidates:
+            return
+        pool = rng.choice(candidates)
+        tid = pool.held.pop(rng.randrange(len(pool.held)))
+        eq_type = self.model.tasks[tid].eq_task_type
+        result = f'{{"task": {tid}, "by": "{pool.name}"}}'
+        now = self.clock.now()
+        self.store.report(tid, eq_type, result, now=now)
+        outcome = self.model.report(tid, result)
+        if outcome == "missing":
+            self._fail("report", f"model lost task {tid}")
+        self._record("report", pool.name, tid, outcome)
+
+    def _op_renew(self) -> None:
+        rng = self.rng
+        candidates = [p for p in self.pools if p.held]
+        if not candidates:
+            return
+        pool = rng.choice(candidates)
+        ids = sorted(pool.held)
+        now = self.clock.now()
+        got = self.store.renew_leases(ids, now=now, lease=self.config.lease)
+        want = self.model.renew_leases(ids, now=now, lease=self.config.lease)
+        self._verify("renew", got, want)
+        self._record("renew", pool.name, ids, want)
+
+    def _op_reap(self) -> None:
+        now = self.clock.now()
+        got = self.store.requeue_expired(now=now)
+        want = self.model.requeue_expired(now=now)
+        self._verify("reap", list(got), want)
+        self._record("reap", want)
+
+    def _op_reprioritize(self) -> None:
+        rng = self.rng
+        known = sorted(self.model.tasks)
+        if not known:
+            return
+        ids = sorted(rng.sample(known, min(len(known), rng.randint(1, 5))))
+        priorities = [
+            rng.randint(0, self.config.max_priority) for _ in ids
+        ]
+        got = self.store.update_priorities(ids, priorities)
+        want = self.model.update_priorities(ids, priorities)
+        self._verify("reprioritize", got, want)
+        self._record("reprioritize", ids, priorities, want)
+
+    def _op_cancel(self) -> None:
+        rng = self.rng
+        known = sorted(self.model.tasks)
+        if not known:
+            return
+        ids = sorted(rng.sample(known, min(len(known), rng.randint(1, 3))))
+        got = self.store.cancel_tasks(ids)
+        want = self.model.cancel_tasks(ids)
+        self._verify("cancel", got, want)
+        self._record("cancel", ids, want)
+
+    def _op_collect(self) -> None:
+        rng = self.rng
+        known = sorted(self.model.tasks)
+        if not known:
+            return
+        ids = rng.sample(known, min(len(known), rng.randint(1, 8)))
+        limit = rng.choice([None, 1, 2, 4])
+        got = self.store.pop_in_any(ids, limit=limit)
+        want = self.model.pop_in_any(ids, limit=limit)
+        self._verify(
+            "collect", [list(p) for p in got], [list(p) for p in want]
+        )
+        self._record("collect", ids, limit, [tid for tid, _ in want])
+
+    def _op_check(self) -> None:
+        """One read-only probe, verified against the model."""
+        rng = self.rng
+        probe = rng.choice(
+            ["stats", "lengths", "statuses", "priorities", "task"]
+        )
+        now = self.clock.now()
+        if probe == "stats":
+            self._verify("check:stats", self.store.stats(now=now),
+                         self.model.stats(now=now))
+            self._record("check", "stats")
+        elif probe == "lengths":
+            eq_type = rng.choice((None,) + self.config.work_types)
+            got = [
+                self.store.queue_out_length(eq_type),
+                self.store.queue_in_length(),
+            ]
+            want = [
+                self.model.queue_out_length(eq_type),
+                self.model.queue_in_length(),
+            ]
+            self._verify("check:lengths", got, want)
+            self._record("check", "lengths", eq_type, want)
+        else:
+            known = sorted(self.model.tasks)
+            if not known:
+                return
+            ids = sorted(rng.sample(known, min(len(known), 6)))
+            if probe == "statuses":
+                got = [
+                    [tid, int(status)]
+                    for tid, status in self.store.get_statuses(ids)
+                ]
+                want = [
+                    [tid, int(status)]
+                    for tid, status in self.model.get_statuses(ids)
+                ]
+                self._verify("check:statuses", got, want)
+                self._record("check", "statuses", ids, want)
+            elif probe == "priorities":
+                got = [list(p) for p in self.store.get_priorities(ids)]
+                want = [list(p) for p in self.model.get_priorities(ids)]
+                self._verify("check:priorities", got, want)
+                self._record("check", "priorities", ids, want)
+            else:  # one full task row, incl. the sticky priority
+                tid = rng.choice(known)
+                row = self.store.get_task(tid)
+                task = self.model.tasks[tid]
+                got = [
+                    int(row.eq_status), row.eq_priority, row.worker_pool,
+                    row.lease_expiry, row.json_in,
+                ]
+                want = [
+                    int(task.status), task.priority, task.worker_pool,
+                    task.lease_expiry, task.result,
+                ]
+                self._verify("check:task", got, want)
+                self._record("check", "task", tid, want)
+
+    def _op_jump(self) -> None:
+        """Jump the clock far enough to expire un-renewed leases."""
+        dt = self.config.lease * self.rng.uniform(1.0, 1.5)
+        self.clock.advance(dt)
+        self._record("jump", round(dt, 6))
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> list[list[Any]]:
+        """Execute the schedule; returns the verified history.
+
+        Raises :class:`ConformanceViolation` at the first divergence
+        from the model (the history up to that point is preserved on
+        ``self.history`` for diagnosis).  Ends with a full final-state
+        audit so drift that never surfaced through a probed operation is
+        still caught.
+        """
+        dispatch = {
+            "submit": self._op_submit,
+            "pop": self._op_pop,
+            "report": self._op_report,
+            "renew": self._op_renew,
+            "reap": self._op_reap,
+            "reprioritize": self._op_reprioritize,
+            "cancel": self._op_cancel,
+            "collect": self._op_collect,
+            "check": self._op_check,
+            "jump": self._op_jump,
+        }
+        for step in range(self.config.steps):
+            self._step = step
+            # Strictly monotonic time: every step ticks a small amount,
+            # so journal timestamps totally order within a run.
+            self.clock.advance(self.rng.uniform(0.001, 0.05))
+            op = self.rng.choices(self._ops, weights=self._weights, k=1)[0]
+            dispatch[op]()
+        self._step = self.config.steps
+        self._final_audit()
+        return self.history
+
+    def _final_audit(self) -> None:
+        """Compare the complete final state against the model."""
+        now = self.clock.now()
+        self._verify("final:stats", self.store.stats(now=now),
+                     self.model.stats(now=now))
+        ids = sorted(self.model.tasks)
+        got_status = [
+            [tid, int(status)] for tid, status in self.store.get_statuses(ids)
+        ]
+        want_status = [
+            [tid, int(status)] for tid, status in self.model.get_statuses(ids)
+        ]
+        self._verify("final:statuses", got_status, want_status)
+        got_prio = [list(p) for p in self.store.get_priorities(ids)]
+        want_prio = [list(p) for p in self.model.get_priorities(ids)]
+        self._verify("final:priorities", got_prio, want_prio)
+        self._record("final", want_status, want_prio)

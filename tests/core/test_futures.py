@@ -79,6 +79,28 @@ class TestFuture:
         assert future.cancel()
         assert future.cancel()
 
+    def test_cancel_running_does_not_lie(self, eq):
+        """Regression (ISSUE 7): a failed cancel of a RUNNING task must
+        leave the future tracking store truth — the pool may still
+        report a result, and the future must surface it."""
+        future = eq.submit_task("e", 0, "abc")
+        message = eq.query_task(0, timeout=0)
+        assert not future.cancel()
+        assert not future.cancelled
+        assert future.status == TaskStatus.RUNNING
+        eq.report_task(message["eq_task_id"], 0, "late-result")
+        assert future.status == TaskStatus.COMPLETE
+        assert future.result(timeout=0) == (ResultStatus.SUCCESS, "late-result")
+
+    def test_cancel_true_when_another_actor_cancelled(self, eq):
+        """cancel() consults the store when cancel_tasks reports 0: an id
+        already CANCELED elsewhere (another caller, or a retried RPC
+        whose first response was lost) still counts as cancelled."""
+        future = eq.submit_task("e", 0, "abc")
+        assert eq.cancel_tasks([future.eq_task_id]) == 1
+        assert future.cancel()
+        assert future.cancelled
+
     def test_priority_get_set(self, eq):
         future = eq.submit_task("e", 0, "abc", priority=5)
         assert future.priority == 5

@@ -85,6 +85,38 @@ class TestStatsConformance:
             sqlite.close()
 
 
+class TestQueueDepthUnderChurn:
+    """Depth gauges must ignore lazily-deleted heap entries (memory
+    backend) and agree with sqlite's row counts for the same history."""
+
+    def test_depth_gauges_ignore_dead_entries(self, store):
+        ids = store.create_tasks("exp", 0, ["{}"] * 6)
+        store.update_priorities(ids, 5)   # memory: invalidates 6 heap entries
+        store.cancel_tasks(ids[:2])       # ...and 2 more
+        assert store.queue_out_length(0) == 4
+        assert store.queue_out_length() == 4
+        assert store.stats()["queue_out"] == {"0": 4}
+        assert store.stats()["queue_out_total"] == 4
+
+    def test_memory_heap_compacts_under_reprioritization(self):
+        """Each update_priorities call strands one dead entry per task;
+        compaction must keep the heap near the live count instead of
+        letting three full passes quadruple it."""
+        store = MemoryTaskStore()
+        try:
+            ids = store.create_tasks("exp", 0, ["{}"] * 100)
+            for priority in range(1, 4):
+                assert store.update_priorities(ids, priority) == 100
+            # 300 churned entries; without compaction the heap holds ~400.
+            assert len(store._out_heaps[0]) < 200
+            assert store.queue_out_length(0) == 100
+            popped = store.pop_out(0, n=100, now=0.0)
+            assert len(popped) == 100
+            assert store.queue_out_length(0) == 0
+        finally:
+            store.close()
+
+
 class TestLeaseCounters:
     def make(self, kind, registry):
         if kind == "memory":
