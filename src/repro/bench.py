@@ -378,6 +378,106 @@ def bench_journal_overhead(smoke: bool = False) -> dict:
     return make_result("journal_overhead", metrics, smoke, {"n_tasks": n})
 
 
+def bench_task_profile_overhead(smoke: bool = False) -> dict:
+    """Per-task profiling cost on the pool's execution hot path.
+
+    The same no-op workload runs through a threaded pool twice: with
+    ``profile_tasks`` off (the default — must stay free) and on.  The
+    enabled number prices a getrusage + two clock reads per task plus
+    the profile dict riding each report; the ISSUE's budget is <5%
+    overhead on no-op work, judged on ``enabled_tasks_per_s`` vs
+    ``disabled_tasks_per_s`` (``overhead_fraction`` is informational).
+    """
+    from repro.core import EQSQL, as_completed
+    from repro.db import MemoryTaskStore
+    from repro.pools import PoolConfig, PythonTaskHandler, ThreadedWorkerPool
+
+    n = 50 if smoke else 400
+    metrics: dict[str, float] = {}
+    for label, profiled in (("disabled", False), ("enabled", True)):
+        eq = EQSQL(MemoryTaskStore())
+        pool = ThreadedWorkerPool(
+            eq,
+            PythonTaskHandler(lambda d: d),
+            PoolConfig(
+                work_type=0, n_workers=4, batch_size=8, poll_delay=0.001,
+                profile_tasks=profiled,
+            ),
+        ).start()
+        try:
+            t0 = time.perf_counter()
+            futures = eq.submit_tasks("bench", 0, ["{}"] * n)
+            done = list(as_completed(futures, delay=0.001, timeout=120))
+            t1 = time.perf_counter()
+            assert len(done) == n
+        finally:
+            pool.stop()
+            eq.close()
+        metrics[f"{label}_tasks_per_s"] = _rate(n, t1 - t0)
+    if metrics["disabled_tasks_per_s"] > 0:
+        metrics["overhead_fraction"] = max(
+            0.0,
+            1.0 - metrics["enabled_tasks_per_s"] / metrics["disabled_tasks_per_s"],
+        )
+    return make_result(
+        "task_profile_overhead", metrics, smoke, {"n_tasks": n, "n_workers": 4}
+    )
+
+
+def bench_telemetry_push(smoke: bool = False) -> dict:
+    """Fleet telemetry RPC throughput: envelope pushes/s over loopback.
+
+    A TelemetryPusher drives ``push_once`` in a tight loop against a
+    live service's ``telemetry`` RPC — the heartbeat is normally one
+    push every ~10 s per worker, so any number here means the plane is
+    invisible at fleet scale; the bench guards the registry's ingest
+    path (sanitize + sweep + aggregate under one lock) from regressing.
+    """
+    from repro.core.service import TaskService
+    from repro.core.service_client import RemoteTaskStore
+    from repro.db import MemoryTaskStore
+    from repro.telemetry.fleet import TelemetryPusher
+
+    n = 50 if smoke else 1000
+    service = TaskService(MemoryTaskStore(), port=0)
+    service.start()
+    try:
+        host, port = service.address
+        remote = RemoteTaskStore(host, port)
+        try:
+            profiles = [
+                {"task_id": i, "work_type": 0, "wall_seconds": 0.01,
+                 "cpu_seconds": 0.009}
+                for i in range(8)
+            ]
+            pusher = TelemetryPusher(
+                worker_id="bench-pool",
+                role="pool",
+                sink=remote.telemetry,
+                interval=10.0,
+                envelope_fn=lambda: {
+                    "busy_fraction": 0.5, "n_workers": 4, "owned": 8,
+                    "tasks_completed": 100, "profiles": profiles,
+                },
+            )
+            assert pusher.push_once()  # connect outside the clock
+            t0 = time.perf_counter()
+            for _ in range(n):
+                pusher.push_once()
+            t1 = time.perf_counter()
+            assert pusher.push_errors == 0
+        finally:
+            remote.close()
+    finally:
+        service.stop()
+    return make_result(
+        "telemetry_push",
+        {"pushes_per_s": _rate(n, t1 - t0), "push_rtt_seconds": (t1 - t0) / n},
+        smoke,
+        {"n_pushes": n, "profiles_per_envelope": len(profiles)},
+    )
+
+
 BENCHES: dict[str, Callable[[bool], dict]] = {
     "db_throughput": bench_db_throughput,
     "store_rpc": bench_store_rpc,
@@ -387,6 +487,8 @@ BENCHES: dict[str, Callable[[bool], dict]] = {
         smoke, with_monitoring=True
     ),
     "journal_overhead": bench_journal_overhead,
+    "task_profile_overhead": bench_task_profile_overhead,
+    "telemetry_push": bench_telemetry_push,
 }
 
 

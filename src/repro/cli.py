@@ -496,6 +496,17 @@ def _cmd_stragglers(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.telemetry.monitor import run_fleet
+
+    return run_fleet(
+        args.url,
+        interval=args.interval,
+        once=args.once,
+        json_mode=args.json,
+    )
+
+
 def _cmd_conform(args: argparse.Namespace) -> int:
     from repro.testing.conformance import (
         ACCESS_PATHS,
@@ -661,6 +672,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print the raw /events JSON instead of tables")
     p.set_defaults(fn=_cmd_stragglers)
+
+    p = sub.add_parser(
+        "fleet",
+        help="live worker-fleet view of a running service's /fleet endpoint",
+    )
+    p.add_argument("url", help="status server address (host:port or http URL)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between polls (default 2)")
+    p.add_argument("--once", action="store_true",
+                   help="take a single snapshot and exit")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw /fleet JSON instead of tables")
+    p.set_defaults(fn=_cmd_fleet)
 
     p = sub.add_parser(
         "conform",

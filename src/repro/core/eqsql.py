@@ -339,25 +339,50 @@ class EQSQL:
             )
         return _unwrap_popped(popped)
 
-    def report_task(self, eq_task_id: int, eq_type: int, result: str) -> None:
+    def report_task(
+        self,
+        eq_task_id: int,
+        eq_type: int,
+        result: str,
+        *,
+        profile: dict | None = None,
+    ) -> None:
         """Report a completed task's result, pushing it onto the input
-        queue where the ME algorithm can retrieve it."""
+        queue where the ME algorithm can retrieve it.
+
+        ``profile`` optionally carries the executing pool's
+        :class:`~repro.telemetry.profiling.TaskProfile` dict alongside
+        the result (absent = no profiling; the wire format is
+        unchanged).
+        """
         self._m_reported.inc()
         tracer = self.tracer
         if not tracer.enabled:
             # Hot path: one report per task; skip the span machinery.
-            self._store.report(eq_task_id, eq_type, result, now=self._clock.now())
+            self._store.report(
+                eq_task_id, eq_type, result,
+                now=self._clock.now(), profile=profile,
+            )
             return
         with tracer.span("eqsql.report", component="eqsql", eq_task_id=eq_task_id):
-            self._store.report(eq_task_id, eq_type, result, now=self._clock.now())
+            self._store.report(
+                eq_task_id, eq_type, result,
+                now=self._clock.now(), profile=profile,
+            )
 
-    def report_tasks(self, reports: Sequence[tuple[int, int, str]]) -> None:
+    def report_tasks(
+        self,
+        reports: Sequence[tuple[int, int, str]],
+        *,
+        profiles: dict[int, dict] | None = None,
+    ) -> None:
         """Report many completed tasks in one store operation.
 
         ``reports`` is a sequence of ``(eq_task_id, eq_type, result)``
-        triples.  Against a remote store this is a single RPC — the
-        round trip is paid once per batch instead of once per task —
-        and against SQLite a single transaction.  Semantics are
+        triples; ``profiles`` optionally maps task id to that task's
+        profile dict.  Against a remote store this is a single RPC —
+        the round trip is paid once per batch instead of once per task
+        — and against SQLite a single transaction.  Semantics are
         per-item identical to :meth:`report_task` (first-write-wins;
         already-complete tasks are skipped).
         """
@@ -366,10 +391,14 @@ class EQSQL:
         self._m_reported.inc(len(reports))
         tracer = self.tracer
         if not tracer.enabled:
-            self._store.report_batch(reports, now=self._clock.now())
+            self._store.report_batch(
+                reports, now=self._clock.now(), profiles=profiles
+            )
             return
         with tracer.span("eqsql.report_batch", component="eqsql", n=len(reports)):
-            self._store.report_batch(reports, now=self._clock.now())
+            self._store.report_batch(
+                reports, now=self._clock.now(), profiles=profiles
+            )
 
     # -- result retrieval (ME algorithm side) --------------------------------------
 

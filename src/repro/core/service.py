@@ -33,6 +33,7 @@ from repro.telemetry.journal import (
     Journal,
     get_journal,
 )
+from repro.telemetry.fleet import FleetRegistry
 from repro.telemetry.metrics import MetricsRegistry, get_metrics
 from repro.telemetry.tracing import Tracer, get_tracer
 from repro.util.clock import Clock, SystemClock
@@ -225,6 +226,12 @@ class TaskService:
         task is flagged once it exceeds ``straggler_multiple`` × the
         rolling median queue/run time for its work type (but never
         before ``straggler_min_seconds``).
+    fleet_stale_multiple, fleet_expiry_multiple, fleet_default_interval:
+        Fleet registry liveness tuning: a pushing worker turns *stale*
+        after ``fleet_stale_multiple`` × its heartbeat interval without
+        an envelope and is dropped after ``fleet_expiry_multiple`` ×;
+        workers that do not declare an interval are assumed to push
+        every ``fleet_default_interval`` seconds.
     """
 
     #: Store methods callable over the wire, with result encoders where
@@ -254,6 +261,7 @@ class TaskService:
             "stats",
             "clear",
             "ping",
+            "telemetry",
         }
     )
 
@@ -274,6 +282,9 @@ class TaskService:
         journal: Journal | None = None,
         straggler_multiple: float = 4.0,
         straggler_min_seconds: float = 0.0,
+        fleet_stale_multiple: float = 2.0,
+        fleet_expiry_multiple: float = 3.0,
+        fleet_default_interval: float = 10.0,
     ) -> None:
         self._store = store
         self._auth_token = auth_token
@@ -321,6 +332,15 @@ class TaskService:
                 priority=lease_requeue_priority,
                 metrics=registry,
             )
+        # Fleet registry: always on (idle cost is one dict), so pushed
+        # telemetry is never dropped just because the status server is.
+        self._fleet = FleetRegistry(
+            clock=self._clock,
+            metrics=registry,
+            default_interval=fleet_default_interval,
+            stale_multiple=fleet_stale_multiple,
+            expiry_multiple=fleet_expiry_multiple,
+        )
         self._status_server = None
         self._sampler = None
         self._detector = None
@@ -353,6 +373,8 @@ class TaskService:
                 metrics=registry,
                 status_fn=self.status_snapshot,
                 events_fn=self.events_snapshot,
+                fleet_fn=self.fleet_snapshot,
+                extra_metrics_fn=self._fleet.render_prometheus,
                 readiness_checks={
                     "store": self._check_store_ready,
                     "reaper": self._check_reaper_ready,
@@ -454,6 +476,9 @@ class TaskService:
         """Dispatch one store method; encodes non-JSON results."""
         if method == "ping":
             return {"version": protocol.PROTOCOL_VERSION}
+        if method == "telemetry":
+            # Fleet push: handled by the registry, never by the store.
+            return self._fleet.observe(params.get("envelope") or {})
         if method not in self._METHODS:
             raise ValueError(f"unknown method: {method}")
         result = getattr(self._store, method)(**params)
@@ -461,12 +486,28 @@ class TaskService:
             return protocol.task_row_to_dict(result)
         if method == "get_statuses":
             return [[tid, int(status)] for tid, status in result]
+        # Report-path profiles also feed the fleet aggregates, so
+        # per-work-type tables fill even without push telemetry.  The
+        # key checks keep the non-profiling hot path at two dict probes.
+        if method == "report" and params.get("profile"):
+            self._fleet.observe_profiles([params["profile"]])
+        elif method == "report_batch" and params.get("profiles"):
+            self._fleet.observe_profiles(list(params["profiles"].values()))
         return result
 
     @property
     def lease_reaper(self) -> LeaseReaper | None:
         """The embedded lease reaper, when continuous recovery is on."""
         return self._reaper
+
+    @property
+    def fleet(self) -> FleetRegistry:
+        """The fleet telemetry registry (always constructed)."""
+        return self._fleet
+
+    def fleet_snapshot(self) -> dict[str, Any]:
+        """The ``/fleet`` JSON document: workers, liveness, profiles."""
+        return self._fleet.snapshot(self._clock.now())
 
     # -- monitoring -----------------------------------------------------------
 
@@ -531,7 +572,16 @@ class TaskService:
             snapshot["sampler"] = self._sampler.summary()
         if self._detector is not None:
             self._ingest_journal()
-            snapshot["stragglers"] = self._detector.summary(now)
+            stragglers = self._detector.summary(now)
+            # Fleet cpu-vs-wall verdicts upgrade wall-clock flags into
+            # "slow" (pegged CPU) vs "stuck" (idle) when a worker's last
+            # envelope covered the task.
+            for entry in stragglers.get("active", []):
+                verdict = self._fleet.classify_task(int(entry.get("task_id", -1)))
+                if verdict is not None:
+                    entry.update(verdict)
+            snapshot["stragglers"] = stragglers
+        snapshot["fleet"] = self._fleet.summary(now)
         return snapshot
 
     def _ingest_journal(self) -> None:

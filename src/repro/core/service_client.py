@@ -48,7 +48,7 @@ import random
 import socket
 import threading
 import time
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Any
 
@@ -97,6 +97,7 @@ class RetryPolicy:
 IDEMPOTENT_METHODS: frozenset[str] = frozenset(
     {
         "ping",
+        "telemetry",
         "queue_out_length",
         "queue_in_length",
         "report",
@@ -682,31 +683,45 @@ class RemoteTaskStore(TaskStore):
         result: str,
         *,
         now: float = 0.0,
+        profile: dict | None = None,
     ) -> None:
-        self._call(
-            "report",
-            {
-                "eq_task_id": eq_task_id,
-                "eq_type": eq_type,
-                "result": result,
-                "now": now,
-            },
-        )
+        # The profile rides the same frame but only when present, so a
+        # non-profiling pool sends byte-identical requests to before.
+        params: dict = {
+            "eq_task_id": eq_task_id,
+            "eq_type": eq_type,
+            "result": result,
+            "now": now,
+        }
+        if profile is not None:
+            params["profile"] = profile
+        self._call("report", params)
 
     def report_batch(
         self,
         reports: Sequence[tuple[int, int, str]],
         *,
         now: float = 0.0,
+        profiles: Mapping[int, dict] | None = None,
     ) -> None:
         # One RPC for the whole batch (not the base class's report loop):
         # this is the wire-level win the shared pool reporter rides on.
         if not reports:
             return
-        self._call(
-            "report_batch",
-            {"reports": [list(r) for r in reports], "now": now},
-        )
+        params: dict = {"reports": [list(r) for r in reports], "now": now}
+        if profiles:
+            # JSON object keys are strings; the backend int-normalizes.
+            params["profiles"] = {str(tid): p for tid, p in profiles.items()}
+        self._call("report_batch", params)
+
+    def telemetry(self, envelope: dict) -> dict:
+        """Push one fleet telemetry envelope; returns the service ack.
+
+        See :mod:`repro.telemetry.fleet` for the envelope schema.
+        Classified idempotent (re-delivering a heartbeat is harmless),
+        so the client retries it across reconnects like any read.
+        """
+        return self._call("telemetry", {"envelope": envelope})
 
     def pop_in(self, eq_task_id: int) -> str | None:
         return self._call("pop_in", {"eq_task_id": eq_task_id})

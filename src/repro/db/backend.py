@@ -15,10 +15,31 @@ identical logic runs under wall-clock and virtual time.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.db.schema import TaskRow, TaskStatus
 from repro.util.errors import NotFoundError
+
+
+def normalize_profiles(
+    profiles: Mapping[int, dict] | Mapping[str, dict] | None,
+) -> dict[int, dict]:
+    """Int-key the batch profile map.
+
+    JSON object keys are strings, so a ``profiles`` mapping that
+    crossed the wire arrives keyed by ``"17"`` rather than ``17``;
+    entries whose keys cannot be int-coerced are dropped (telemetry is
+    best-effort, never a reason to fail a report).
+    """
+    if not profiles:
+        return {}
+    out: dict[int, dict] = {}
+    for key, value in profiles.items():
+        try:
+            out[int(key)] = value
+        except (TypeError, ValueError):
+            continue
+    return out
 
 
 class TaskStore(ABC):
@@ -104,6 +125,7 @@ class TaskStore(ABC):
         result: str,
         *,
         now: float = 0.0,
+        profile: dict | None = None,
     ) -> None:
         """Record a result: set ``json_in``, mark COMPLETE, stamp the stop
         time, clear any lease, and push (id, type) onto ``emews_queue_in``.
@@ -115,10 +137,19 @@ class TaskStore(ABC):
         safe to retry over a lossy connection and absorbs the duplicate
         execution that follows a lease-expiry requeue of a task whose
         original pool was slow rather than dead.
+
+        ``profile`` is an optional :class:`repro.telemetry.profiling
+        .TaskProfile` dict from the executing pool; backends attach it
+        to the journal's report event and otherwise ignore it (absent
+        field = no profile, so old clients interoperate).
         """
 
     def report_batch(
-        self, reports: Sequence[tuple[int, int, str]], *, now: float = 0.0
+        self,
+        reports: Sequence[tuple[int, int, str]],
+        *,
+        now: float = 0.0,
+        profiles: Mapping[int, dict] | None = None,
     ) -> None:
         """Record many results in one store operation.
 
@@ -130,6 +161,10 @@ class TaskStore(ABC):
         batch replayed after a partial failure — converges to the same
         state as single reports.
 
+        ``profiles`` optionally maps task id to that task's profile
+        dict (ids may arrive as strings after a JSON round-trip;
+        backends normalize).
+
         Unknown ids raise :class:`repro.util.errors.NotFoundError`
         naming them; known ids in the same batch may or may not have
         been applied when it raises (retrying the whole batch is safe).
@@ -139,10 +174,14 @@ class TaskStore(ABC):
         transaction, which is what lifts the wire- and fsync-bound
         report path (one RPC and one commit per batch, not per task).
         """
+        by_id = normalize_profiles(profiles)
         missing: list[int] = []
         for eq_task_id, eq_type, result in reports:
             try:
-                self.report(eq_task_id, eq_type, result, now=now)
+                self.report(
+                    eq_task_id, eq_type, result,
+                    now=now, profile=by_id.get(eq_task_id),
+                )
             except NotFoundError:
                 missing.append(eq_task_id)
         if missing:

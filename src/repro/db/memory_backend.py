@@ -18,9 +18,9 @@ from __future__ import annotations
 
 import heapq
 import threading
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
-from repro.db.backend import TaskStore, normalize_priorities
+from repro.db.backend import TaskStore, normalize_priorities, normalize_profiles
 from repro.db.schema import TaskRow, TaskStatus
 from repro.telemetry.journal import (
     EV_CANCEL,
@@ -269,6 +269,7 @@ class MemoryTaskStore(TaskStore):
         result: str,
         *,
         now: float = 0.0,
+        profile: dict | None = None,
     ) -> None:
         with self._lock:
             self._check_open()
@@ -302,13 +303,19 @@ class MemoryTaskStore(TaskStore):
                 journal.emit(
                     EV_REPORT, eq_task_id, role=ROLE_DB, work_type=eq_type,
                     time=now, source=row.worker_pool or "",
+                    extra={"profile": profile} if profile else None,
                 )
 
     def report_batch(
-        self, reports: Sequence[tuple[int, int, str]], *, now: float = 0.0
+        self,
+        reports: Sequence[tuple[int, int, str]],
+        *,
+        now: float = 0.0,
+        profiles: Mapping[int, dict] | None = None,
     ) -> None:
         # One lock acquisition for the whole batch; per-item semantics
         # identical to report() (first write wins, withdraw requeues).
+        profile_by_id = normalize_profiles(profiles)
         with self._lock:
             self._check_open()
             missing: list[int] = []
@@ -338,9 +345,11 @@ class MemoryTaskStore(TaskStore):
                         )
                 self._in_queue[eq_task_id] = eq_type
                 if recording:
+                    profile = profile_by_id.get(eq_task_id)
                     journal.emit(
                         EV_REPORT, eq_task_id, role=ROLE_DB, work_type=eq_type,
                         time=now, source=row.worker_pool or "",
+                        extra={"profile": profile} if profile else None,
                     )
             if withdrawals:
                 self._m_report_withdrawals.inc(withdrawals)

@@ -38,10 +38,10 @@ from __future__ import annotations
 
 import sqlite3
 import threading
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 from contextlib import contextmanager
 
-from repro.db.backend import TaskStore, normalize_priorities
+from repro.db.backend import TaskStore, normalize_priorities, normalize_profiles
 from repro.db.schema import SCHEMA_STATEMENTS, TABLE_NAMES, TaskRow, TaskStatus
 from repro.telemetry.journal import (
     EV_CANCEL,
@@ -339,6 +339,7 @@ class SqliteTaskStore(TaskStore):
         result: str,
         *,
         now: float = 0.0,
+        profile: dict | None = None,
     ) -> None:
         self._check_open()
         with self._txn() as cur:
@@ -389,10 +390,15 @@ class SqliteTaskStore(TaskStore):
                 journal.emit(
                     EV_REPORT, eq_task_id, role=ROLE_DB, work_type=eq_type,
                     time=now, source=source,
+                    extra={"profile": profile} if profile else None,
                 )
 
     def report_batch(
-        self, reports: Sequence[tuple[int, int, str]], *, now: float = 0.0
+        self,
+        reports: Sequence[tuple[int, int, str]],
+        *,
+        now: float = 0.0,
+        profiles: Mapping[int, dict] | None = None,
     ) -> None:
         self._check_open()
         if not reports:
@@ -454,15 +460,18 @@ class SqliteTaskStore(TaskStore):
                     [(tid, eq_type) for tid, eq_type, _ in fresh],
                 )
                 if journal.enabled:
+                    profile_by_id = normalize_profiles(profiles)
                     for tid, eq_type, _ in fresh:
                         if tid in withdrawn:
                             journal.emit(
                                 EV_WITHDRAW, tid, role=ROLE_DB,
                                 work_type=eq_type, time=now,
                             )
+                        profile = profile_by_id.get(tid)
                         journal.emit(
                             EV_REPORT, tid, role=ROLE_DB, work_type=eq_type,
                             time=now,
+                            extra={"profile": profile} if profile else None,
                         )
         if missing:
             raise NotFoundError(f"no task(s) with id(s) {missing}")

@@ -16,6 +16,7 @@ blocking futures API; the discrete-event variant lives in
 from __future__ import annotations
 
 from collections.abc import Callable
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -81,6 +82,17 @@ def decode_result(result: str) -> float:
     return float(value)
 
 
+@contextmanager
+def _stopping(pusher):
+    """Stop a telemetry pusher when the driver loop exits, even on
+    error — a leaked heartbeat would keep a dead ME looking live."""
+    try:
+        yield
+    finally:
+        if pusher is not None:
+            pusher.stop()
+
+
 def run_async_optimization(
     eqsql: EQSQL,
     exp_id: str,
@@ -91,6 +103,7 @@ def run_async_optimization(
     delay: float = 0.01,
     timeout: float | None = 120.0,
     trace: TraceCollector | None = None,
+    telemetry_interval: float | None = None,
 ) -> AsyncOptimizationResult:
     """Submit ``points`` and drive completions to exhaustion.
 
@@ -99,6 +112,12 @@ def run_async_optimization(
     the paper's loop, where "the reprioritization repeats for every new
     50 completed tasks".  ``timeout`` bounds each wait for the next
     batch (worker pools must be running).
+
+    ``telemetry_interval`` (seconds) turns on fleet push telemetry:
+    the driver heartbeats progress envelopes (role ``me``, worker id
+    ``exp_id``) to the service's ``telemetry`` RPC so ``repro fleet``
+    shows the ME alongside the pools.  Ignored against an in-process
+    store, which has no service to push to.
     """
     points = np.atleast_2d(np.asarray(points, dtype=float))
     payloads = [json_dumps({"x": list(map(float, p))}) for p in points]
@@ -117,7 +136,26 @@ def run_async_optimization(
         "driver.run", component="driver", exp_id=exp_id, n_points=len(points)
     )
     journal = get_journal()
-    with run_span:
+    pusher = None
+    if telemetry_interval is not None:
+        sink = getattr(eqsql.store, "telemetry", None)
+        if sink is not None:
+            from repro.telemetry.fleet import TelemetryPusher
+
+            pusher = TelemetryPusher(
+                worker_id=exp_id,
+                role="me",
+                sink=sink,
+                interval=telemetry_interval,
+                envelope_fn=lambda: {
+                    "n_workers": 1,
+                    "busy_fraction": 1.0 if g_pending.value else 0.0,
+                    "owned": int(g_pending.value),
+                    "tasks_completed": int(g_done.value),
+                },
+                clock=eqsql.clock,
+            ).start()
+    with _stopping(pusher), run_span:
         run_ctx = tracer.current_context()
         run_trace_id = run_ctx.trace_id if run_ctx is not None else ""
         # Stamp before the submit RPC so the record sorts ahead of the

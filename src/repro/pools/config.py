@@ -49,6 +49,18 @@ class PoolConfig:
     #: when results trickle in.  Only meaningful with
     #: ``report_batch_size > 1``.
     report_linger: float = 0.05
+    #: Wrap each task execution in a resource profile (wall/CPU/RSS,
+    #: see :mod:`repro.telemetry.profiling`) attached to its report and
+    #: journal run_end.  Off by default: the disabled path must stay
+    #: within noise of a pool without profiling.
+    profile_tasks: bool = False
+    #: Additionally sample the tracemalloc allocation peak per task.
+    #: Requires ``profile_tasks``; taxes every allocation, so it is a
+    #: debugging mode, not a fleet default.
+    profile_memory: bool = False
+    #: Seconds between fleet telemetry pushes to the service (the
+    #: ``telemetry`` RPC).  ``None`` (default) disables pushing.
+    telemetry_interval: float | None = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -76,6 +88,12 @@ class PoolConfig:
         if self.report_linger <= 0:
             raise ValueError(
                 f"report_linger must be positive, got {self.report_linger}"
+            )
+        if self.profile_memory and not self.profile_tasks:
+            raise ValueError("profile_memory requires profile_tasks")
+        if self.telemetry_interval is not None and self.telemetry_interval <= 0:
+            raise ValueError(
+                f"telemetry_interval must be positive, got {self.telemetry_interval}"
             )
         # Validates batch/threshold bounds.
         self.policy()

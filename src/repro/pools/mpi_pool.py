@@ -23,6 +23,7 @@ from repro.mpilite import ANY_SOURCE, Communicator, Status, mpi_run
 from repro.pools.config import PoolConfig
 from repro.pools.handlers import TaskExecutionError, TaskHandler
 from repro.telemetry.events import EventKind, TraceCollector
+from repro.telemetry.profiling import TaskProfiler
 from repro.telemetry.tracing import Span, SpanContext, get_tracer
 from repro.util.errors import TimeoutError_
 from repro.util.serialization import json_dumps
@@ -40,15 +41,27 @@ class MpiPoolStats:
     tasks_failed: int = 0
 
 
-def _worker_rank(comm: Communicator, handler: TaskHandler) -> None:
+def _worker_rank(
+    comm: Communicator, handler: TaskHandler, config: PoolConfig
+) -> None:
     """Ranks 1..N-1: execute tasks until shutdown."""
     status = Status(-1, -1)
     tracer = get_tracer()
+    profiler = (
+        TaskProfiler(memory=config.profile_memory)
+        if config.profile_tasks
+        else None
+    )
     while True:
         message = comm.recv(source=0, timeout=None, status=status)
         if status.tag == _TAG_SHUTDOWN:
             return
         eq_task_id, payload, trace_wire = message
+        handle = (
+            profiler.start(eq_task_id, config.work_type)
+            if profiler is not None
+            else None
+        )
         # The engine forwards the task's span context inside the MPI
         # message, so worker-rank execution parents under it even
         # though ranks run on their own threads.  The span machinery is
@@ -75,7 +88,10 @@ def _worker_rank(comm: Communicator, handler: TaskHandler) -> None:
             except TaskExecutionError as exc:
                 result = json_dumps({"error": str(exc)})
                 failed = True
-        comm.send((eq_task_id, result, failed), dest=0, tag=_TAG_RESULT)
+        profile = handle.finish(failed=failed).to_dict() if handle else None
+        # The result message grew a 4th element for the profile; the
+        # engine unpacks positionally, so both sides move together.
+        comm.send((eq_task_id, result, failed, profile), dest=0, tag=_TAG_RESULT)
 
 
 def _engine_rank(
@@ -173,7 +189,7 @@ def _engine_rank(
         # oversubscribed backlog warm) while workers run.
         if busy:
             try:
-                eq_task_id, result, failed = comm.recv(
+                eq_task_id, result, failed, profile = comm.recv(
                     source=ANY_SOURCE,
                     tag=_TAG_RESULT,
                     timeout=config.poll_delay,
@@ -184,7 +200,9 @@ def _engine_rank(
             worker = status.source
             del busy[worker]
             idle.append(worker)
-            eqsql.report_task(eq_task_id, config.work_type, result)
+            eqsql.report_task(
+                eq_task_id, config.work_type, result, profile=profile
+            )
             if dispatch_spans:
                 span = dispatch_spans.pop(eq_task_id, None)
                 if span is not None:
@@ -226,7 +244,7 @@ def run_mpi_pool(
     def program(comm: Communicator):
         if comm.rank == 0:
             return _engine_rank(comm, eqsql, config, trace)
-        _worker_rank(comm, handler)
+        _worker_rank(comm, handler, config)
         return None
 
     results = mpi_run(size, program, timeout=timeout)

@@ -25,6 +25,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import deque
 from typing import Any
 
 from repro.core.constants import EQ_ABORT, EQ_STOP
@@ -32,6 +33,8 @@ from repro.core.eqsql import EQSQL
 from repro.pools.config import PoolConfig
 from repro.pools.handlers import TaskExecutionError, TaskHandler
 from repro.telemetry.events import EventKind, TraceCollector
+from repro.telemetry.fleet import TelemetryPusher
+from repro.telemetry.profiling import ProfileHandle, TaskProfiler
 from repro.telemetry.journal import (
     EV_FETCH,
     EV_REPORT,
@@ -134,6 +137,20 @@ class ThreadedWorkerPool:
         #: past retry); the lease reaper re-dispatches these elsewhere.
         self.reports_lost = 0
 
+        # Per-task resource profiling (off by default): handles for
+        # in-flight tasks (the telemetry heartbeat snapshots them for
+        # the live cpu-vs-wall signal) plus a bounded buffer of finished
+        # profiles drained into each push envelope.
+        self._profiler: TaskProfiler | None = (
+            TaskProfiler(memory=config.profile_memory)
+            if config.profile_tasks
+            else None
+        )
+        self._profile_lock = threading.Lock()
+        self._live_handles: dict[int, ProfileHandle] = {}
+        self._recent_profiles: deque[dict[str, Any]] = deque(maxlen=64)
+        self._pusher: TelemetryPusher | None = None
+
     @property
     def name(self) -> str:
         return self._config.name
@@ -163,6 +180,36 @@ class ThreadedWorkerPool:
 
     def _jrnl(self) -> Journal:
         return self._journal if self._journal is not None else get_journal()
+
+    @property
+    def telemetry_pusher(self) -> TelemetryPusher | None:
+        """The fleet push thread, when ``telemetry_interval`` is set and
+        the store exposes the ``telemetry`` RPC."""
+        return self._pusher
+
+    def _telemetry_envelope(self) -> dict[str, Any]:
+        """Per-beat fleet payload: load, counters, profiles, live tasks."""
+        busy_fraction = self.busy_fraction()
+        with self._profile_lock:
+            profiles = list(self._recent_profiles)
+            self._recent_profiles.clear()
+            running = [handle.live() for handle in self._live_handles.values()]
+        with self._stats_lock:
+            completed = self.tasks_completed
+            failed = self.tasks_failed
+            lost = self.reports_lost
+        envelope: dict[str, Any] = {
+            "busy_fraction": busy_fraction,
+            "n_workers": self._config.n_workers,
+            "owned": self.owned(),
+            "tasks_completed": completed,
+            "tasks_failed": failed,
+            "reports_lost": lost,
+            "running": running,
+        }
+        if profiles:
+            envelope["profiles"] = profiles
+        return envelope
 
     @staticmethod
     def _msg_trace_id(message: dict[str, Any]) -> str:
@@ -194,6 +241,25 @@ class ThreadedWorkerPool:
             t.start()
         if self._reporter is not None:
             self._reporter.start()
+        if self._config.telemetry_interval is not None:
+            sink = getattr(self._eqsql.store, "telemetry", None)
+            if sink is None:
+                # In-process stores have no service to push to; the
+                # config is tolerated so one PoolConfig can serve both
+                # local tests and remote deployments.
+                log_event(
+                    _log, "pool.telemetry_unavailable", level=30,
+                    pool=self.name,
+                )
+            else:
+                self._pusher = TelemetryPusher(
+                    worker_id=self.name,
+                    role="pool",
+                    sink=sink,
+                    interval=self._config.telemetry_interval,
+                    envelope_fn=self._telemetry_envelope,
+                    clock=self._eqsql.clock,
+                ).start()
         if self._config.lease_duration is not None:
             self._heartbeat = threading.Thread(
                 target=self._heartbeat_loop,
@@ -236,6 +302,11 @@ class ThreadedWorkerPool:
         if self._heartbeat is not None:
             self._heartbeat.join(timeout)
             self._heartbeat = None
+        if self._pusher is not None:
+            # Stop pushes a parting beat so the fleet registry sees the
+            # final counters before this pool disappears.
+            self._pusher.stop()
+            self._pusher = None
         if self._trace is not None and self._started:
             self._trace.record(
                 EventKind.POOL_STOP, self._eqsql.clock.now(), source=self.name
@@ -450,6 +521,12 @@ class ThreadedWorkerPool:
         """
         config = self._config
         clock = self._eqsql.clock
+        profiler = self._profiler
+        handle: ProfileHandle | None = None
+        if profiler is not None:
+            handle = profiler.start(eq_task_id, config.work_type)
+            with self._profile_lock:
+                self._live_handles[eq_task_id] = handle
         try:
             # run() opens the handler span; skip it when untraced.
             if sp is not None:
@@ -462,10 +539,20 @@ class ThreadedWorkerPool:
             failed = True
             if sp is not None:
                 sp.set_attr("failed", True)
+        profile_dict: dict[str, Any] | None = None
+        if handle is not None:
+            profile_dict = handle.finish(failed=failed).to_dict()
+            with self._profile_lock:
+                self._live_handles.pop(eq_task_id, None)
+                self._recent_profiles.append(profile_dict)
         ran_at = clock.now()
         self._m_run.observe(ran_at - started_at)
         journal = self._jrnl()
         if journal.enabled:
+            extra: dict[str, Any] | None = {"failed": True} if failed else None
+            if profile_dict is not None:
+                extra = dict(extra) if extra else {}
+                extra["profile"] = profile_dict
             journal.emit(
                 EV_RUN_END,
                 eq_task_id,
@@ -474,7 +561,7 @@ class ThreadedWorkerPool:
                 trace_id=self._msg_trace_id(message),
                 source=self.name,
                 time=ran_at,
-                extra={"failed": True} if failed else None,
+                extra=extra,
             )
         if self._reporter is not None:
             # Batched mode: hand the result to the shared reporter and
@@ -483,7 +570,7 @@ class ThreadedWorkerPool:
             # thread once the result actually reaches the DB, so the
             # fetch policy never double-counts capacity for a task whose
             # report is still in flight.
-            self._reporter.submit(eq_task_id, result, failed, ran_at)
+            self._reporter.submit(eq_task_id, result, failed, ran_at, profile_dict)
             return
         lost = False
         try:
@@ -492,9 +579,14 @@ class ThreadedWorkerPool:
                     with self.tracer.span(
                         "pool.report", component="pool", eq_task_id=eq_task_id
                     ):
-                        self._eqsql.report_task(eq_task_id, config.work_type, result)
+                        self._eqsql.report_task(
+                            eq_task_id, config.work_type, result,
+                            profile=profile_dict,
+                        )
                 else:
-                    self._eqsql.report_task(eq_task_id, config.work_type, result)
+                    self._eqsql.report_task(
+                        eq_task_id, config.work_type, result, profile=profile_dict
+                    )
                 self._m_report.observe(clock.now() - ran_at)
             except (ReproError, OSError) as exc:
                 # The connection died beyond the client's retries and the
@@ -575,7 +667,9 @@ class _BatchReporter:
         self._pool = pool
         self._batch_size = pool.config.report_batch_size
         self._linger = pool.config.report_linger
-        self._q: "queue.Queue[tuple[int, str, bool, float]]" = queue.Queue()
+        self._q: "queue.Queue[tuple[int, str, bool, float, dict | None]]" = (
+            queue.Queue()
+        )
         self._stop_event = threading.Event()
         self._discard = False
         self._started = False
@@ -588,10 +682,15 @@ class _BatchReporter:
         self._thread.start()
 
     def submit(
-        self, eq_task_id: int, result: str, failed: bool, ran_at: float
+        self,
+        eq_task_id: int,
+        result: str,
+        failed: bool,
+        ran_at: float,
+        profile: dict | None = None,
     ) -> None:
         """Enqueue one completed task's result for the next flush."""
-        self._q.put((eq_task_id, result, failed, ran_at))
+        self._q.put((eq_task_id, result, failed, ran_at, profile))
 
     def stop(self, discard: bool = False, timeout: float = 30.0) -> None:
         """Stop the flusher; drains the queue first unless ``discard``."""
@@ -624,11 +723,14 @@ class _BatchReporter:
                     break
             self._flush(batch)
 
-    def _flush(self, batch: list[tuple[int, str, bool, float]]) -> None:
+    def _flush(self, batch: list[tuple[int, str, bool, float, dict | None]]) -> None:
         pool = self._pool
         work_type = pool.config.work_type
         tracer = pool.tracer
-        reports = [(tid, work_type, result) for tid, result, _f, _r in batch]
+        reports = [(tid, work_type, result) for tid, result, _f, _r, _p in batch]
+        profiles = {
+            tid: profile for tid, _res, _f, _r, profile in batch if profile
+        } or None
         lost_ids: set[int] = set()
         try:
             if tracer.enabled:
@@ -638,13 +740,13 @@ class _BatchReporter:
                     pool=pool.name,
                     n=len(batch),
                 ):
-                    pool._eqsql.report_tasks(reports)
+                    pool._eqsql.report_tasks(reports, profiles=profiles)
             else:
-                pool._eqsql.report_tasks(reports)
+                pool._eqsql.report_tasks(reports, profiles=profiles)
         except (ReproError, OSError):
-            for tid, result, _failed, _ran in batch:
+            for tid, result, _failed, _ran, profile in batch:
                 try:
-                    pool._eqsql.report_task(tid, work_type, result)
+                    pool._eqsql.report_task(tid, work_type, result, profile=profile)
                 except (ReproError, OSError) as exc:
                     lost_ids.add(tid)
                     pool._m_report_errors.inc()
@@ -653,7 +755,7 @@ class _BatchReporter:
                         pool=pool.name, eq_task_id=tid, error=str(exc),
                     )
         now = pool._eqsql.clock.now()
-        for tid, _result, failed, ran_at in batch:
+        for tid, _result, failed, ran_at, _profile in batch:
             lost = tid in lost_ids
             if not lost:
                 pool._m_report.observe(now - ran_at)

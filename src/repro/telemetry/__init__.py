@@ -22,10 +22,17 @@ per-task lifecycle journal emitted at every hop across roles, merged
 into causally-ordered timelines by ``python -m repro timeline`` — and
 :mod:`repro.telemetry.anomaly` streams it through a rolling-median
 straggler detector surfaced on the status server's ``/events`` route.
+
+:mod:`repro.telemetry.profiling` attributes wall/CPU time and memory to
+individual task executions, and :mod:`repro.telemetry.fleet` aggregates
+pushed worker telemetry (liveness, load, profiles) on the service —
+surfaced as ``/fleet`` and ``python -m repro fleet``.
 """
 
 from repro.telemetry.anomaly import StragglerDetector
 from repro.telemetry.events import EventKind, TaskEvent, TraceCollector
+from repro.telemetry.fleet import FleetRegistry, TelemetryPusher
+from repro.telemetry.profiling import ProfileHandle, TaskProfile, TaskProfiler
 from repro.telemetry.journal import (
     Journal,
     JournalRecord,
@@ -83,6 +90,11 @@ __all__ = [
     "Journal",
     "JournalRecord",
     "StragglerDetector",
+    "FleetRegistry",
+    "TelemetryPusher",
+    "ProfileHandle",
+    "TaskProfile",
+    "TaskProfiler",
     "configure_journal",
     "get_journal",
     "set_journal",

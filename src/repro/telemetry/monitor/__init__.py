@@ -27,8 +27,10 @@ from repro.telemetry.monitor.server import StatusServer
 from repro.telemetry.monitor.view import (
     fetch_json,
     parse_url,
+    render_fleet,
     render_status,
     render_stragglers,
+    run_fleet,
     run_monitor,
     run_stragglers,
 )
@@ -43,9 +45,11 @@ __all__ = [
     "fetch_json",
     "metric_name",
     "parse_url",
+    "render_fleet",
     "render_prometheus",
     "render_status",
     "render_stragglers",
+    "run_fleet",
     "run_monitor",
     "run_stragglers",
 ]

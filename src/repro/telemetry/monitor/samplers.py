@@ -115,9 +115,14 @@ class Sampler:
                 )
 
     def start(self) -> "Sampler":
-        """Begin sampling on a daemon thread; returns self for chaining."""
-        if self._thread is not None:
-            raise RuntimeError(f"{self.name} already started")
+        """Begin sampling on a daemon thread; returns self for chaining.
+
+        Idempotent: starting a running sampler is a no-op (callers that
+        share a sampler — a pool and its bench harness, say — need not
+        coordinate), and a stopped sampler restarts cleanly.
+        """
+        if self._thread is not None and self._thread.is_alive():
+            return self
         self._stop.clear()
         self._thread = threading.Thread(
             target=self._loop, name=self.name, daemon=True
@@ -125,12 +130,18 @@ class Sampler:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
-        """Stop the sampling thread (idempotent)."""
+    def stop(self) -> "Sampler":
+        """Stop the sampling thread; idempotent, returns self.
+
+        A double stop must not join a dead thread: the first call Nones
+        out ``_thread``, so the second is a pure no-op.
+        """
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=5)
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5)
             self._thread = None
+        return self
 
     def is_alive(self) -> bool:
         thread = self._thread

@@ -15,6 +15,9 @@ TaskService` — on its own daemon thread.  Four routes:
 - ``GET /events``   — recent flight-recorder records plus the straggler
   summary, when the owner wires an ``events_fn``; what
   ``python -m repro stragglers`` polls.
+- ``GET /fleet``    — the fleet registry snapshot (pushed worker
+  telemetry), when the owner wires a ``fleet_fn``; what
+  ``python -m repro fleet`` polls.
 
 The server binds before :meth:`start` returns, so ``port=0`` (ephemeral)
 is safe: read the real port from :attr:`address` afterwards.
@@ -66,12 +69,14 @@ class _StatusHandler(BaseHTTPRequestHandler):
                 ok, checks = owner.run_readiness_checks()
                 self._send_json(200 if ok else 503, {"ok": ok, "checks": checks})
             elif path == "/metrics":
-                body = render_prometheus(owner.metrics).encode("utf-8")
+                body = owner.render_metrics().encode("utf-8")
                 self._send(200, body, CONTENT_TYPE)
             elif path == "/status":
                 self._send_json(200, owner.status())
             elif path == "/events" and owner.has_events:
                 self._send_json(200, owner.events())
+            elif path == "/fleet" and owner.has_fleet:
+                self._send_json(200, owner.fleet())
             else:
                 self._send_json(404, {"ok": False, "error": f"no route {path}"})
         except Exception as exc:  # noqa: BLE001 - a probe must never kill serving
@@ -93,10 +98,13 @@ class StatusServer:
     """The embeddable endpoint; see module docstring for routes.
 
     ``status_fn`` supplies the ``/status`` body; ``events_fn`` supplies
-    the ``/events`` body (the route 404s without one);
-    ``readiness_checks`` maps check names to probes for ``/readyz``.
-    All are optional — with none, the server still serves ``/healthz``
-    and ``/metrics``.
+    the ``/events`` body (the route 404s without one); ``fleet_fn``
+    supplies the ``/fleet`` body (ditto); ``extra_metrics_fn`` returns
+    pre-rendered exposition text appended to ``/metrics`` (how the
+    fleet registry adds worker-labelled series the plain registry
+    cannot express); ``readiness_checks`` maps check names to probes
+    for ``/readyz``.  All are optional — with none, the server still
+    serves ``/healthz`` and ``/metrics``.
     """
 
     def __init__(
@@ -106,11 +114,15 @@ class StatusServer:
         metrics: MetricsRegistry | None = None,
         status_fn: Callable[[], dict] | None = None,
         events_fn: Callable[[], dict] | None = None,
+        fleet_fn: Callable[[], dict] | None = None,
+        extra_metrics_fn: Callable[[], str] | None = None,
         readiness_checks: Mapping[str, ReadinessCheck] | None = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else get_metrics()
         self._status_fn = status_fn
         self._events_fn = events_fn
+        self._fleet_fn = fleet_fn
+        self._extra_metrics_fn = extra_metrics_fn
         self._checks = dict(readiness_checks) if readiness_checks else {}
         # Scrape identity: every /metrics exposition carries the package
         # version as repro_build_info{...}-style gauge (value always 1).
@@ -157,6 +169,21 @@ class StatusServer:
 
     def events(self) -> dict:
         return self._events_fn() if self._events_fn is not None else {}
+
+    @property
+    def has_fleet(self) -> bool:
+        return self._fleet_fn is not None
+
+    def fleet(self) -> dict:
+        return self._fleet_fn() if self._fleet_fn is not None else {}
+
+    def render_metrics(self) -> str:
+        """The full ``/metrics`` body: registry exposition plus any
+        owner-supplied labelled series."""
+        body = render_prometheus(self.metrics)
+        if self._extra_metrics_fn is not None:
+            body += self._extra_metrics_fn()
+        return body
 
     def start(self) -> "StatusServer":
         if self._thread is not None:

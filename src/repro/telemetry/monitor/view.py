@@ -32,7 +32,8 @@ def parse_url(target: str) -> str:
     if "://" not in target:
         target = "http://" + target
     target = target.rstrip("/")
-    for route in ("/status", "/metrics", "/healthz", "/readyz", "/events"):
+    for route in ("/status", "/metrics", "/healthz", "/readyz", "/events",
+                  "/fleet"):
         if target.endswith(route):
             target = target[: -len(route)]
             break
@@ -122,7 +123,7 @@ def render_status(
             lines.append(render_table(["leases", "count"], lease_rows))
 
     sampler = status.get("sampler")
-    if sampler:
+    if isinstance(sampler, dict):
         lines.append(
             "sampler: "
             + "  ".join(
@@ -130,56 +131,206 @@ def render_status(
                 for k, v in sampler.items()
             )
         )
+    stragglers = status.get("stragglers")
+    if isinstance(stragglers, dict):
+        active = stragglers.get("active") or []
+        verdicts = [
+            f"{f.get('task_id', '?')}:{f.get('classification', 'unclassified')}"
+            for f in active
+            if isinstance(f, dict)
+        ]
+        lines.append(
+            f"stragglers: active={len(active)}  "
+            f"flagged ever={stragglers.get('flagged_total', 0)}"
+            + (f"  [{', '.join(verdicts)}]" if verdicts else "")
+        )
+    fleet = status.get("fleet")
+    if isinstance(fleet, dict):
+        lines.append(
+            f"fleet: {fleet.get('workers', 0)} workers "
+            f"({fleet.get('live', 0)} live, {fleet.get('stale', 0)} stale)"
+        )
     if not lines:
         lines.append("(empty status payload)")
     return "\n\n".join(lines)
 
 
 def render_stragglers(events: dict) -> str:
-    """The human-readable frame for one ``/events`` snapshot."""
+    """The human-readable frame for one ``/events`` snapshot.
+
+    Every field access is defensive: an older or differently-configured
+    server omits optional sections (no detector → no ``stragglers``
+    key) and individual entries may lack fields the renderer grew
+    after that server shipped — a monitor must degrade, not crash.
+    """
     lines: list[str] = []
-    stragglers = events.get("stragglers", {})
-    active = stragglers.get("active", [])
+    stragglers = events.get("stragglers") or {}
+    active = stragglers.get("active") or []
     if active:
         rows = [
             [
-                f["task_id"],
-                f["work_type"],
-                f["phase"],
-                f"{f['elapsed_seconds']:.3f}",
-                f"{f['baseline_seconds']:.3f}",
-                f"{f['ratio']:.1f}x",
+                f.get("task_id", "?"),
+                f.get("work_type", "?"),
+                f.get("phase", "?"),
+                f"{f.get('elapsed_seconds', 0.0):.3f}",
+                f"{f.get('baseline_seconds', 0.0):.3f}",
+                f"{f.get('ratio', 0.0):.1f}x",
+                f.get("classification", ""),
                 f.get("source", ""),
             ]
             for f in active
+            if isinstance(f, dict)
         ]
         lines.append(
             render_table(
-                ["task", "type", "phase", "elapsed", "median", "ratio", "pool"],
+                ["task", "type", "phase", "elapsed", "median", "ratio",
+                 "verdict", "pool"],
                 rows,
             )
         )
     else:
         lines.append("no stragglers")
-    baselines = stragglers.get("baselines", {})
+    baselines = stragglers.get("baselines") or {}
     if baselines:
         rows = [
             [key, b.get("samples", 0), f"{b.get('median_seconds', 0.0):.4f}"]
             for key, b in sorted(baselines.items())
+            if isinstance(b, dict)
         ]
         lines.append(render_table(["type/phase", "samples", "median (s)"], rows))
     lines.append(
         f"open intervals: {stragglers.get('open_intervals', 0)}  "
         f"flagged ever: {stragglers.get('flagged_total', 0)}"
     )
-    journal = events.get("journal", {})
-    if journal:
+    journal = events.get("journal")
+    if isinstance(journal, dict):
         lines.append(
             f"journal: enabled={journal.get('enabled')}  "
             f"records={journal.get('total_in_ring', 0)}  "
             f"dropped={journal.get('dropped', 0)}"
         )
     return "\n\n".join(lines)
+
+
+def render_fleet(fleet: dict) -> str:
+    """The human-readable frame for one ``/fleet`` snapshot."""
+    lines: list[str] = []
+    counts = fleet.get("counts") or {}
+    lines.append(
+        f"fleet: {counts.get('total', 0)} workers  "
+        f"{counts.get('live', 0)} live / {counts.get('stale', 0)} stale"
+    )
+    workers = fleet.get("workers") or []
+    if workers:
+        rows = []
+        for w in workers:
+            if not isinstance(w, dict):
+                continue
+            busy = w.get("busy_fraction", 0.0)
+            rows.append(
+                [
+                    w.get("worker_id", "?"),
+                    w.get("role", "?"),
+                    w.get("state", "?"),
+                    f"{w.get('age_seconds', 0.0):.1f}s",
+                    f"{busy * 100:.0f}%" if isinstance(busy, (int, float)) else "-",
+                    w.get("owned", 0),
+                    w.get("tasks_completed", 0),
+                    w.get("tasks_failed", 0),
+                    len(w.get("running") or []),
+                ]
+            )
+        lines.append(
+            render_table(
+                ["worker", "role", "state", "age", "busy", "owned",
+                 "done", "failed", "running"],
+                rows,
+            )
+        )
+    else:
+        lines.append("no workers have pushed telemetry")
+    profiles = fleet.get("profiles") or {}
+    if profiles:
+        rows = [
+            [
+                work_type,
+                p.get("count", 0),
+                f"{p.get('wall_p50_seconds', 0.0):.4f}",
+                f"{p.get('wall_p95_seconds', 0.0):.4f}",
+                f"{p.get('cpu_p50_seconds', 0.0):.4f}",
+                f"{p.get('cpu_p95_seconds', 0.0):.4f}",
+                f"{p.get('max_rss_kb', 0.0):.0f}",
+                p.get("failed", 0),
+            ]
+            for work_type, p in sorted(profiles.items())
+            if isinstance(p, dict)
+        ]
+        lines.append(
+            render_table(
+                ["type", "tasks", "wall p50", "wall p95", "cpu p50",
+                 "cpu p95", "rss KB", "failed"],
+                rows,
+            )
+        )
+    top = fleet.get("top_cpu") or []
+    if top:
+        rows = [
+            [
+                p.get("task_id", "?"),
+                p.get("work_type", "?"),
+                f"{p.get('cpu_seconds', 0.0):.4f}",
+                f"{p.get('wall_seconds', 0.0):.4f}",
+                f"{p.get('max_rss_delta_kb', 0.0):.0f}",
+            ]
+            for p in top
+            if isinstance(p, dict)
+        ]
+        lines.append(
+            render_table(
+                ["top task", "type", "cpu (s)", "wall (s)", "rss Δ KB"], rows
+            )
+        )
+    return "\n\n".join(lines)
+
+
+def run_fleet(
+    target: str,
+    interval: float = 2.0,
+    once: bool = False,
+    json_mode: bool = False,
+    iterations: int | None = None,
+    out: TextIO | None = None,
+) -> int:
+    """Poll ``target``'s ``/fleet`` route and render fleet frames.
+
+    The live worker table for the push-telemetry plane: per-worker
+    liveness/staleness, throughput counters, per-work-type profile
+    aggregates, and the top recent resource consumers.  ``--once
+    --json`` prints the registry snapshot verbatim.  Returns a process
+    exit code.
+    """
+    out = out if out is not None else sys.stdout
+    base = parse_url(target)
+    n = 0
+    try:
+        while True:
+            try:
+                fleet = fetch_json(base + "/fleet")
+            except (urllib.error.URLError, OSError, json.JSONDecodeError) as exc:
+                print(f"fleet: cannot reach {base}/fleet: {exc}", file=sys.stderr)
+                return 1
+            if json_mode:
+                print(json.dumps(fleet, indent=2, sort_keys=True), file=out)
+            else:
+                stamp = time.strftime("%H:%M:%S")
+                frame = render_fleet(fleet)
+                print(f"=== {base}  {stamp} ===\n{frame}\n", file=out)
+            n += 1
+            if once or (iterations is not None and n >= iterations):
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def run_stragglers(

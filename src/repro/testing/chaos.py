@@ -348,10 +348,13 @@ class FlakyTaskStore(TaskStore):
         result: str,
         *,
         now: float = 0.0,
+        profile: dict | None = None,
     ) -> None:
         return self._invoke(
             "report",
-            lambda: self._inner.report(eq_task_id, eq_type, result, now=now),
+            lambda: self._inner.report(
+                eq_task_id, eq_type, result, now=now, profile=profile
+            ),
         )
 
     def pop_in(self, eq_task_id: int) -> str | None:

@@ -69,7 +69,7 @@ class TestBatchedReporting:
 
     def test_failed_batch_falls_back_to_single_reports(self):
         class BatchPathDown(MemoryTaskStore):
-            def report_batch(self, reports, *, now=0.0):
+            def report_batch(self, reports, *, now=0.0, profiles=None):
                 raise ConnectionError("batch path down")
 
         eq = EQSQL(BatchPathDown())
@@ -114,6 +114,14 @@ class TestConfigValidation:
     def test_rejects_nonpositive_linger(self):
         with pytest.raises(ValueError, match="report_linger"):
             PoolConfig(work_type=0, report_linger=0.0)
+
+    def test_rejects_memory_profiling_without_profiling(self):
+        with pytest.raises(ValueError, match="profile_memory"):
+            PoolConfig(work_type=0, profile_memory=True)
+
+    def test_rejects_nonpositive_telemetry_interval(self):
+        with pytest.raises(ValueError, match="telemetry_interval"):
+            PoolConfig(work_type=0, telemetry_interval=0.0)
 
     def test_default_stays_synchronous(self):
         pool = ThreadedWorkerPool(

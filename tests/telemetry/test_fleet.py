@@ -1,0 +1,403 @@
+"""FleetRegistry aggregation and TelemetryPusher heartbeats.
+
+Liveness runs on a VirtualClock so staleness and expiry are exact, and
+the pusher is driven through ``push_once`` so no test sleeps on a real
+heartbeat interval.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.fleet import (
+    SLOW_CPU_FRACTION,
+    FleetRegistry,
+    ProfileAggregate,
+    TelemetryPusher,
+    _percentile,
+    _sanitize_label,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.util.clock import VirtualClock
+
+
+def make_registry(**overrides) -> tuple[FleetRegistry, VirtualClock]:
+    clock = VirtualClock()
+    defaults = dict(
+        clock=clock,
+        metrics=MetricsRegistry(),
+        default_interval=10.0,
+        stale_multiple=2.0,
+        expiry_multiple=3.0,
+    )
+    defaults.update(overrides)
+    return FleetRegistry(**defaults), clock
+
+
+class TestObserve:
+    def test_ack_and_worker_row(self):
+        fleet, _clock = make_registry()
+        ack = fleet.observe(
+            {
+                "worker_id": "pool-1",
+                "role": "pool",
+                "interval": 5.0,
+                "busy_fraction": 0.75,
+                "n_workers": 4,
+                "owned": 3,
+                "tasks_completed": 12,
+                "tasks_failed": 1,
+            }
+        )
+        assert ack == {"accepted": True, "workers": 1}
+        (row,) = fleet.workers()
+        assert row["worker_id"] == "pool-1"
+        assert row["role"] == "pool"
+        assert row["state"] == "live"
+        assert row["interval"] == 5.0
+        assert row["busy_fraction"] == 0.75
+        assert row["tasks_completed"] == 12
+        assert row["tasks_failed"] == 1
+
+    def test_missing_worker_id_raises(self):
+        fleet, _clock = make_registry()
+        with pytest.raises(ValueError):
+            fleet.observe({})
+        with pytest.raises(ValueError):
+            fleet.observe({"worker_id": 42})
+
+    def test_worker_id_sanitized(self):
+        fleet, _clock = make_registry()
+        fleet.observe({"worker_id": 'pool "a"\nb' + "x" * 200})
+        (row,) = fleet.workers()
+        assert '"' not in row["worker_id"]
+        assert "\n" not in row["worker_id"]
+        assert len(row["worker_id"]) <= 64
+
+    def test_max_workers_rejection(self):
+        fleet, _clock = make_registry(max_workers=2)
+        assert fleet.observe({"worker_id": "a"})["accepted"]
+        assert fleet.observe({"worker_id": "b"})["accepted"]
+        ack = fleet.observe({"worker_id": "c"})
+        assert ack == {"accepted": False, "reason": "fleet at max_workers"}
+        # A known worker still heartbeats at the cap.
+        assert fleet.observe({"worker_id": "a"})["accepted"]
+
+    def test_unknown_fields_ignored(self):
+        fleet, _clock = make_registry()
+        ack = fleet.observe({"worker_id": "w", "future_field": {"x": 1}})
+        assert ack["accepted"]
+
+
+class TestLiveness:
+    def test_stale_then_expired(self):
+        fleet, clock = make_registry()
+        fleet.observe({"worker_id": "w", "interval": 10.0})
+        assert fleet.workers()[0]["state"] == "live"
+
+        clock.advance_to(15.0)  # 1.5 intervals unseen: still live
+        assert fleet.workers()[0]["state"] == "live"
+
+        clock.advance_to(25.0)  # past stale_multiple (2) x interval
+        assert fleet.workers()[0]["state"] == "stale"
+
+        clock.advance_to(31.0)  # past expiry_multiple (3) x interval
+        assert fleet.workers() == []
+
+    def test_default_interval_applies(self):
+        fleet, clock = make_registry(default_interval=1.0)
+        fleet.observe({"worker_id": "w"})  # no declared interval
+        clock.advance_to(2.5)
+        assert fleet.workers()[0]["state"] == "stale"
+        clock.advance_to(3.5)
+        assert fleet.workers() == []
+
+    def test_heartbeat_revives(self):
+        fleet, clock = make_registry()
+        fleet.observe({"worker_id": "w", "interval": 1.0})
+        clock.advance_to(2.5)
+        assert fleet.workers()[0]["state"] == "stale"
+        fleet.observe({"worker_id": "w", "interval": 1.0})
+        assert fleet.workers()[0]["state"] == "live"
+
+    def test_snapshot_counts(self):
+        fleet, clock = make_registry()
+        fleet.observe({"worker_id": "fast", "interval": 1.0})
+        fleet.observe({"worker_id": "slow", "interval": 100.0})
+        clock.advance_to(2.5)  # "fast" is stale, "slow" still live
+        snap = fleet.snapshot()
+        assert snap["counts"] == {"total": 2, "live": 1, "stale": 1}
+        assert snap["expiry"]["stale_multiple"] == 2.0
+
+    def test_invalid_multiples_rejected(self):
+        with pytest.raises(ValueError):
+            FleetRegistry(metrics=MetricsRegistry(), stale_multiple=0.0)
+        with pytest.raises(ValueError):
+            FleetRegistry(
+                metrics=MetricsRegistry(),
+                stale_multiple=3.0,
+                expiry_multiple=2.0,
+            )
+
+
+class TestProfiles:
+    def test_aggregate_summary(self):
+        agg = ProfileAggregate()
+        for wall in [1.0, 2.0, 3.0, 4.0]:
+            agg.add(
+                {
+                    "wall_seconds": wall,
+                    "cpu_seconds": wall / 2,
+                    "max_rss_kb": 100 * wall,
+                }
+            )
+        agg.add({"wall_seconds": 10.0, "cpu_seconds": 5.0, "failed": True})
+        summary = agg.summary()
+        assert summary["count"] == 5
+        assert summary["failed"] == 1
+        assert summary["wall_p50_seconds"] == 3.0
+        assert summary["wall_p95_seconds"] == 10.0
+        assert summary["max_rss_kb"] == 400.0
+
+    def test_percentile_nearest_rank(self):
+        assert _percentile([], 0.5) == 0.0
+        assert _percentile([7.0], 0.95) == 7.0
+        values = [float(i) for i in range(1, 101)]
+        assert _percentile(values, 0.5) == 51.0
+        assert _percentile(values, 0.95) == 95.0
+
+    def test_observe_profiles_fills_snapshot(self):
+        fleet, _clock = make_registry()
+        fleet.observe_profiles(
+            [
+                {"task_id": 1, "work_type": 0, "wall_seconds": 1.0, "cpu_seconds": 0.9},
+                {"task_id": 2, "work_type": 0, "wall_seconds": 2.0, "cpu_seconds": 1.8},
+                {"task_id": 3, "work_type": 5, "wall_seconds": 0.5, "cpu_seconds": 0.1},
+            ]
+        )
+        snap = fleet.snapshot()
+        assert snap["profiles"]["0"]["count"] == 2
+        assert snap["profiles"]["5"]["count"] == 1
+        assert [p["task_id"] for p in snap["top_cpu"]] == [2, 1, 3]
+
+    def test_profile_dedup_by_task_id(self):
+        fleet, _clock = make_registry()
+        profile = {"task_id": 42, "work_type": 0, "wall_seconds": 1.0, "cpu_seconds": 1.0}
+        # Same task via the report path and again via a push envelope.
+        fleet.observe_profiles([profile])
+        fleet.observe({"worker_id": "w", "profiles": [dict(profile)]})
+        assert fleet.snapshot()["profiles"]["0"]["count"] == 1
+
+    def test_envelope_profiles_aggregate(self):
+        fleet, _clock = make_registry()
+        fleet.observe(
+            {
+                "worker_id": "w",
+                "profiles": [
+                    {"task_id": i, "work_type": 1, "wall_seconds": 1.0, "cpu_seconds": 0.5}
+                    for i in range(8)
+                ],
+            }
+        )
+        assert fleet.snapshot()["profiles"]["1"]["count"] == 8
+
+    def test_top_cpu_bounded(self):
+        fleet, _clock = make_registry(top_profiles=3)
+        fleet.observe_profiles(
+            [
+                {"task_id": i, "work_type": 0, "wall_seconds": 1.0, "cpu_seconds": float(i)}
+                for i in range(10)
+            ]
+        )
+        top = fleet.snapshot()["top_cpu"]
+        assert [p["task_id"] for p in top] == [9, 8, 7]
+
+
+class TestClassifyTask:
+    def test_slow_vs_stuck_vs_unknown(self):
+        fleet, _clock = make_registry()
+        fleet.observe(
+            {
+                "worker_id": "w",
+                "running": [
+                    {"task_id": 1, "elapsed_seconds": 10.0, "cpu_seconds": 9.0},
+                    {"task_id": 2, "elapsed_seconds": 10.0, "cpu_seconds": 0.5},
+                    {"task_id": 3, "elapsed_seconds": 10.0},
+                ],
+            }
+        )
+        slow = fleet.classify_task(1)
+        assert slow["classification"] == "slow"
+        assert slow["cpu_fraction"] == pytest.approx(0.9)
+        assert slow["worker_id"] == "w"
+        stuck = fleet.classify_task(2)
+        assert stuck["classification"] == "stuck"
+        assert stuck["cpu_fraction"] < SLOW_CPU_FRACTION
+        assert fleet.classify_task(3)["classification"] == "unknown"
+        assert fleet.classify_task(99) is None
+
+
+class TestPrometheus:
+    def test_labelled_series(self):
+        fleet, _clock = make_registry()
+        fleet.observe(
+            {
+                "worker_id": "pool-1",
+                "role": "pool",
+                "busy_fraction": 0.5,
+                "tasks_completed": 7,
+            }
+        )
+        text = fleet.render_prometheus()
+        assert text.endswith("\n")
+        assert 'repro_fleet_worker_up{worker="pool-1",role="pool"} 1' in text
+        assert 'repro_fleet_worker_busy_fraction{worker="pool-1"} 0.5' in text
+        assert 'repro_fleet_worker_tasks_completed{worker="pool-1"} 7' in text
+        assert "repro_fleet_workers_overflow 0" in text
+
+    def test_stale_worker_renders_zero_up(self):
+        fleet, clock = make_registry()
+        fleet.observe({"worker_id": "w", "interval": 1.0})
+        clock.advance_to(2.5)
+        assert 'repro_fleet_worker_up{worker="w",role="worker"} 0' in (
+            fleet.render_prometheus()
+        )
+
+    def test_cardinality_cap_with_overflow_gauge(self):
+        fleet, _clock = make_registry(max_labelled=2)
+        for i in range(5):
+            fleet.observe({"worker_id": f"w{i}"})
+        text = fleet.render_prometheus()
+        assert text.count("repro_fleet_worker_up{") == 2
+        assert "repro_fleet_workers_overflow 3" in text
+
+    def test_clear_drops_everything(self):
+        fleet, _clock = make_registry()
+        fleet.observe(
+            {"worker_id": "w", "profiles": [{"task_id": 1, "work_type": 0}]}
+        )
+        fleet.clear()
+        snap = fleet.snapshot()
+        assert snap["workers"] == []
+        assert snap["profiles"] == {}
+        assert "repro_fleet_worker_up{" not in fleet.render_prometheus()
+
+
+class TestSanitizeLabel:
+    def test_passthrough_and_replacement(self):
+        assert _sanitize_label("pool-1.local:8080") == "pool-1.local:8080"
+        assert _sanitize_label('a"b\\c\nd') == "a_b_c_d"
+        assert _sanitize_label("") == "_"
+
+
+class TestTelemetryPusher:
+    def test_push_once_builds_envelope(self):
+        seen = []
+        clock = VirtualClock(start=5.0)
+        pusher = TelemetryPusher(
+            worker_id="p1",
+            role="pool",
+            sink=seen.append,
+            interval=2.0,
+            envelope_fn=lambda: {"busy_fraction": 0.25, "owned": 3},
+            clock=clock,
+        )
+        assert pusher.push_once()
+        assert pusher.pushes == 1
+        (envelope,) = seen
+        assert envelope["worker_id"] == "p1"
+        assert envelope["role"] == "pool"
+        assert envelope["interval"] == 2.0
+        assert envelope["time"] == 5.0
+        assert envelope["busy_fraction"] == 0.25
+        assert envelope["owned"] == 3
+
+    def test_sink_failure_absorbed(self):
+        def bad_sink(envelope):
+            raise ConnectionError("service down")
+
+        pusher = TelemetryPusher("p1", "pool", bad_sink, interval=1.0)
+        assert pusher.push_once() is False
+        assert pusher.push_errors == 1
+        assert pusher.pushes == 0
+
+    def test_metric_deltas(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("pool.tasks", "t")
+        gauge = registry.gauge("pool.depth", "d")
+        pusher = TelemetryPusher(
+            "p1",
+            "pool",
+            lambda e: None,
+            interval=1.0,
+            metrics=registry,
+            metric_prefixes=("pool.",),
+        )
+        counter.inc(5)
+        gauge.set(2.0)
+        env1 = pusher.build_envelope()
+        assert env1["metrics"]["pool.tasks"] == 5.0
+        assert env1["metrics"]["pool.depth"] == 2.0
+        counter.inc(3)
+        env2 = pusher.build_envelope()
+        assert env2["metrics"]["pool.tasks"] == 3.0  # delta, not total
+
+    def test_sampler_summaries(self):
+        class FakeSampler:
+            def summary(self):
+                return {"mean": 0.5}
+
+        class BrokenSampler:
+            def summary(self):
+                raise RuntimeError("no data")
+
+        pusher = TelemetryPusher(
+            "p1",
+            "pool",
+            lambda e: None,
+            interval=1.0,
+            samplers={"cpu": FakeSampler(), "bad": BrokenSampler()},
+        )
+        envelope = pusher.build_envelope()
+        assert envelope["samplers"] == {"cpu": {"mean": 0.5}}
+
+    def test_start_stop_idempotent(self):
+        pusher = TelemetryPusher("p1", "pool", lambda e: None, interval=60.0)
+        assert pusher.start() is pusher
+        thread_before = pusher._thread
+        assert pusher.start() is pusher
+        assert pusher._thread is thread_before
+        assert pusher.is_alive()
+        pusher.stop()
+        pusher.stop()  # second stop is a no-op
+        assert not pusher.is_alive()
+        # Parting beat fired on stop.
+        assert pusher.pushes >= 1
+
+    def test_context_manager(self):
+        seen = []
+        with TelemetryPusher("p1", "pool", seen.append, interval=60.0) as pusher:
+            assert pusher.is_alive()
+        assert not pusher.is_alive()
+        assert len(seen) >= 1
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TelemetryPusher("p1", "pool", lambda e: None, interval=0.0)
+
+
+class TestEndToEndRegistry:
+    def test_pusher_feeds_registry(self):
+        fleet, _clock = make_registry()
+        pusher = TelemetryPusher(
+            "pool-a",
+            "pool",
+            sink=fleet.observe,
+            interval=1.0,
+            envelope_fn=lambda: {"tasks_completed": 4},
+        )
+        assert pusher.push_once()
+        (row,) = fleet.workers()
+        assert row["worker_id"] == "pool-a"
+        assert row["tasks_completed"] == 4
+        assert row["interval"] == 1.0

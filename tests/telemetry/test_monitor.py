@@ -79,15 +79,33 @@ class TestSamplerBase:
                 time.sleep(0.01)
         assert s.calls >= 3  # kept sampling after raising
 
-    def test_double_start_rejected(self):
+    def test_double_start_is_noop(self):
         s = Sampler(interval=10)
         s.start()
         try:
-            with pytest.raises(RuntimeError):
-                s.start()
+            thread = s._thread
+            assert s.start() is s  # idempotent: same sampler back
+            assert s._thread is thread  # and no second thread spawned
         finally:
             s.stop()
         assert not s.is_alive()
+
+    def test_double_stop_is_noop(self):
+        s = Sampler(interval=10)
+        s.start()
+        assert s.stop() is s
+        assert s.stop() is s  # second stop: nothing to join, no error
+        assert not s.is_alive()
+
+    def test_restart_after_stop(self):
+        s = Sampler(interval=10)
+        s.start()
+        s.stop()
+        s.start()  # a stopped sampler restarts cleanly
+        try:
+            assert s.is_alive()
+        finally:
+            s.stop()
 
 
 class TestStoreSampler:
@@ -396,3 +414,152 @@ class TestView:
         from repro.telemetry.monitor import run_stragglers
 
         assert run_stragglers("127.0.0.1:1", once=True) == 1
+
+
+class TestViewMinimalPayloads:
+    """Regression: the monitor must render any /status payload a server
+    can legally send — older servers omit optional sections and entry
+    fields, and a KeyError here kills the operator's only live view."""
+
+    def test_render_status_without_optional_sections(self):
+        # Only the bare service block: no sampler, stragglers, or fleet.
+        status = {"service": {"address": "a", "requests": 1}}
+        text = render_status(status)
+        assert "service" in text
+
+    def test_render_status_store_missing_subsections(self):
+        status = {"store": {"tasks": {"queued": 1}}}
+        text = render_status(status)
+        assert "queued" in text
+
+    def test_render_status_straggler_entries_missing_fields(self):
+        status = {
+            "stragglers": {"active": [{}, {"task_id": 3}], "flagged_total": 2}
+        }
+        text = render_status(status)
+        assert "active=2" in text
+        assert "3:unclassified" in text
+
+    def test_render_status_fleet_summary_line(self):
+        status = {"fleet": {"workers": 4, "live": 3, "stale": 1}}
+        text = render_status(status)
+        assert "fleet: 4 workers (3 live, 1 stale)" in text
+
+    def test_render_stragglers_empty_payload(self):
+        from repro.telemetry.monitor import render_stragglers
+
+        text = render_stragglers({})
+        assert "no stragglers" in text
+        assert "open intervals: 0" in text
+
+    def test_render_stragglers_entries_missing_fields(self):
+        from repro.telemetry.monitor import render_stragglers
+
+        events = {"stragglers": {"active": [{}, {"task_id": 1, "ratio": 2.0}]}}
+        text = render_stragglers(events)
+        assert "2.0x" in text
+
+    def test_render_stragglers_shows_verdict(self):
+        from repro.telemetry.monitor import render_stragglers
+
+        events = {
+            "stragglers": {
+                "active": [
+                    {"task_id": 5, "classification": "stuck", "ratio": 8.0}
+                ]
+            }
+        }
+        assert "stuck" in render_stragglers(events)
+
+
+class TestRenderFleet:
+    def test_empty_fleet(self):
+        from repro.telemetry.monitor import render_fleet
+
+        text = render_fleet({})
+        assert "0 workers" in text
+        assert "no workers have pushed telemetry" in text
+
+    def test_full_snapshot(self):
+        from repro.telemetry.monitor import render_fleet
+
+        fleet = {
+            "counts": {"total": 2, "live": 1, "stale": 1},
+            "workers": [
+                {
+                    "worker_id": "pool-a", "role": "pool", "state": "live",
+                    "age_seconds": 0.5, "busy_fraction": 0.75, "owned": 3,
+                    "tasks_completed": 10, "tasks_failed": 1,
+                    "running": [{"task_id": 9}],
+                },
+                {"worker_id": "me-1", "role": "me", "state": "stale"},
+            ],
+            "profiles": {
+                "0": {
+                    "count": 10, "failed": 1,
+                    "wall_p50_seconds": 0.01, "wall_p95_seconds": 0.05,
+                    "cpu_p50_seconds": 0.008, "cpu_p95_seconds": 0.04,
+                    "max_rss_kb": 2048.0,
+                }
+            },
+            "top_cpu": [
+                {"task_id": 9, "work_type": 0, "cpu_seconds": 0.04,
+                 "wall_seconds": 0.05, "max_rss_delta_kb": 12.0}
+            ],
+        }
+        text = render_fleet(fleet)
+        assert "2 workers" in text
+        assert "pool-a" in text and "75%" in text
+        assert "me-1" in text and "stale" in text
+        assert "2048" in text
+        assert "top task" in text
+
+    def test_worker_rows_missing_fields(self):
+        from repro.telemetry.monitor import render_fleet
+
+        text = render_fleet({"workers": [{}, {"worker_id": "w"}]})
+        assert "w" in text
+
+    def test_run_fleet_against_live_server(self, capsys):
+        from repro.telemetry.monitor import run_fleet
+
+        payload = {
+            "counts": {"total": 1, "live": 1, "stale": 0},
+            "workers": [{"worker_id": "p", "role": "pool", "state": "live"}],
+            "profiles": {},
+            "top_cpu": [],
+        }
+        server = StatusServer(
+            port=0, metrics=MetricsRegistry(), fleet_fn=lambda: payload
+        )
+        with server:
+            assert run_fleet(server.url, once=True) == 0
+            assert "1 workers" in capsys.readouterr().out
+            assert run_fleet(server.url, once=True, json_mode=True) == 0
+            assert json.loads(capsys.readouterr().out) == payload
+
+    def test_run_fleet_unreachable_exits_nonzero(self):
+        from repro.telemetry.monitor import run_fleet
+
+        assert run_fleet("127.0.0.1:1", once=True) == 1
+
+    def test_fleet_route_404_without_fleet_fn(self):
+        server = StatusServer(port=0, metrics=MetricsRegistry())
+        with server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(server.url + "/fleet", timeout=5)
+            assert err.value.code == 404
+
+    def test_extra_metrics_appended_to_scrape(self):
+        registry = MetricsRegistry()
+        registry.counter("x.total", "x").inc()
+        server = StatusServer(
+            port=0,
+            metrics=registry,
+            extra_metrics_fn=lambda: "custom_series 42\n",
+        )
+        with server:
+            with urllib.request.urlopen(server.url + "/metrics", timeout=5) as r:
+                body = r.read().decode()
+            assert "custom_series 42" in body
+            assert "x_total" in body

@@ -1,0 +1,162 @@
+"""Per-task resource profiling primitives.
+
+The profile is the unit of fleet aggregation: its dict form rides the
+report wire and the push envelope, so round-tripping and omission rules
+matter as much as the measurements themselves.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.telemetry.profiling import (
+    ProfileHandle,
+    TaskProfile,
+    TaskProfiler,
+    max_rss_kb,
+    thread_cpu_seconds,
+)
+
+
+def spin(seconds: float) -> None:
+    """Burn CPU (not sleep) so cpu_seconds moves."""
+    t0 = time.thread_time()
+    x = 0
+    while time.thread_time() - t0 < seconds:
+        x += 1
+
+
+class TestTaskProfile:
+    def test_to_dict_omits_absent_fields(self):
+        profile = TaskProfile(
+            task_id=7, work_type=2, wall_seconds=1.5, cpu_seconds=1.0
+        )
+        d = profile.to_dict()
+        assert d == {
+            "task_id": 7,
+            "work_type": 2,
+            "wall_seconds": 1.5,
+            "cpu_seconds": 1.0,
+        }
+        assert "failed" not in d
+        assert "max_rss_kb" not in d
+
+    def test_round_trip(self):
+        profile = TaskProfile(
+            task_id=3,
+            work_type=1,
+            wall_seconds=2.0,
+            cpu_seconds=0.5,
+            max_rss_kb=1024.0,
+            max_rss_delta_kb=16.0,
+            alloc_peak_kb=8.0,
+            failed=True,
+        )
+        back = TaskProfile.from_dict(profile.to_dict())
+        assert back == profile
+
+    def test_from_dict_defaults(self):
+        back = TaskProfile.from_dict({})
+        assert back.task_id == -1
+        assert back.work_type == -1
+        assert back.wall_seconds == 0.0
+        assert back.max_rss_kb is None
+        assert not back.failed
+
+    def test_cpu_fraction(self):
+        busy = TaskProfile(1, 0, wall_seconds=2.0, cpu_seconds=2.0)
+        idle = TaskProfile(2, 0, wall_seconds=2.0, cpu_seconds=0.0)
+        degenerate = TaskProfile(3, 0, wall_seconds=0.0, cpu_seconds=1.0)
+        assert busy.cpu_fraction == 1.0
+        assert idle.cpu_fraction == 0.0
+        assert degenerate.cpu_fraction == 0.0
+
+
+class TestProfileHandle:
+    def test_finish_measures_wall_and_cpu(self):
+        handle = TaskProfiler().start(1, 0)
+        spin(0.05)
+        profile = handle.finish()
+        assert profile.task_id == 1
+        assert profile.work_type == 0
+        assert profile.wall_seconds > 0.0
+        assert profile.cpu_seconds > 0.0
+        assert not profile.failed
+
+    def test_finish_failed_flag(self):
+        profile = TaskProfiler().start(2, 1).finish(failed=True)
+        assert profile.failed
+        assert profile.to_dict()["failed"] is True
+
+    def test_sleep_is_wall_not_cpu(self):
+        handle = TaskProfiler().start(3, 0)
+        time.sleep(0.05)
+        profile = handle.finish()
+        assert profile.wall_seconds >= 0.04
+        # Sleeping burns (almost) no CPU — the slow-vs-stuck signal.
+        assert profile.cpu_seconds < profile.wall_seconds / 2
+
+    def test_live_snapshot_from_another_thread(self):
+        handles: dict[str, ProfileHandle] = {}
+        release = threading.Event()
+
+        def work():
+            handles["h"] = TaskProfiler().start(9, 4)
+            release.wait(5)
+
+        t = threading.Thread(target=work)
+        t.start()
+        try:
+            deadline = time.monotonic() + 5
+            while "h" not in handles and time.monotonic() < deadline:
+                time.sleep(0.001)
+            time.sleep(0.02)
+            live = handles["h"].live()
+            assert live["task_id"] == 9
+            assert live["work_type"] == 4
+            assert live["elapsed_seconds"] > 0.0
+            # cpu_seconds present only on procfs platforms; when present
+            # it must be a sane non-negative number.
+            if "cpu_seconds" in live:
+                assert live["cpu_seconds"] >= 0.0
+        finally:
+            release.set()
+            t.join(5)
+
+
+class TestHostProbes:
+    def test_max_rss_nonnegative_on_posix(self):
+        rss = max_rss_kb()
+        if rss is not None:
+            assert rss > 0
+
+    def test_thread_cpu_seconds_self(self):
+        tid = threading.get_native_id()
+        cpu = thread_cpu_seconds(tid)
+        if cpu is not None:
+            spin(0.05)
+            later = thread_cpu_seconds(tid)
+            assert later is not None
+            assert later >= cpu
+
+    def test_thread_cpu_seconds_dead_tid(self):
+        # A wildly bogus tid must return None, never raise.
+        assert thread_cpu_seconds(2**31 - 7) is None
+
+
+class TestTaskProfilerMemory:
+    def test_memory_profiling_reports_alloc_peak(self):
+        profiler = TaskProfiler(memory=True)
+        handle = profiler.start(5, 0)
+        size = 1024  # variable so the constant folder can't share one object
+        blob = [bytearray(size) for _ in range(512)]  # ~512 KB live
+        profile = handle.finish()
+        del blob
+        assert profiler.memory
+        assert profile.alloc_peak_kb is not None
+        assert profile.alloc_peak_kb >= 256.0
+
+    def test_default_profiler_has_no_alloc_peak(self):
+        profile = TaskProfiler().start(6, 0).finish()
+        assert profile.alloc_peak_kb is None

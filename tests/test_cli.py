@@ -197,3 +197,28 @@ class TestStragglersCommand:
 
     def test_unreachable_exits_nonzero(self):
         assert main(["stragglers", "127.0.0.1:1", "--once"]) == 1
+
+
+class TestFleetCommand:
+    def test_once_json_round_trips(self, capsys):
+        import json
+
+        from repro.telemetry.metrics import MetricsRegistry
+        from repro.telemetry.monitor import StatusServer
+
+        payload = {
+            "counts": {"total": 0, "live": 0, "stale": 0},
+            "workers": [],
+            "profiles": {},
+            "top_cpu": [],
+        }
+        server = StatusServer(
+            port=0, metrics=MetricsRegistry(), fleet_fn=lambda: payload
+        )
+        with server:
+            rc = main(["fleet", server.url, "--once", "--json"])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out) == payload
+
+    def test_unreachable_exits_nonzero(self):
+        assert main(["fleet", "127.0.0.1:1", "--once"]) == 1
