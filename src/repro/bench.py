@@ -116,7 +116,7 @@ def write_results(results: Iterable[dict], out_dir: str | Path) -> list[Path]:
 def metric_direction(metric: str) -> int:
     """+1 when higher is better, -1 when lower is better, 0 if unknown
     (unknown metrics are informational and never fail the comparison)."""
-    if metric.endswith("_per_s"):
+    if metric.endswith(("_per_s", "_speedup", "_reduction")):
         return 1
     if metric.endswith("_seconds"):
         return -1
@@ -424,6 +424,151 @@ def bench_task_profile_overhead(smoke: bool = False) -> dict:
     )
 
 
+class _PollingOnlyStore:
+    """A store wrapper that hides ``supports_wait`` (and ``wait``).
+
+    The dispatch-latency bench runs the same workload twice; this
+    wrapper forces the sleep-polling fallback everywhere so the two
+    modes differ only in dispatch mechanism, not store implementation.
+    """
+
+    supports_wait = False
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+def bench_dispatch_latency(smoke: bool = False) -> dict:
+    """Submit→run_start latency through an idle pool, polling vs wait.
+
+    One task at a time against an otherwise-idle 2-worker pool; latency
+    is ``run_start.time - enqueue.time`` from the shared journal (both
+    stamped by the same EQSQL clock).  The polling mode wraps the store
+    to hide ``supports_wait``, so the fetcher sleeps ``poll_delay``
+    between empty queries and dispatch costs O(poll interval); the wait
+    mode long-polls and costs O(wake + handoff).  ``p50_speedup`` is the
+    headline: the event-driven path must dispatch ≥ 5× faster at the
+    default ``poll_delay``.
+    """
+    from repro.core import EQSQL
+    from repro.db import MemoryTaskStore
+    from repro.pools import PoolConfig, PythonTaskHandler, ThreadedWorkerPool
+    from repro.telemetry.journal import EV_ENQUEUE, EV_RUN_START, Journal
+
+    n = 8 if smoke else 30
+    metrics: dict[str, float] = {}
+    for label, wrap in (("polling", True), ("wait", False)):
+        journal = Journal(enabled=True, capacity=16 * n)
+        backing = MemoryTaskStore(journal=journal)
+        store = _PollingOnlyStore(backing) if wrap else backing
+        eq = EQSQL(store)
+        pool = ThreadedWorkerPool(
+            eq,
+            PythonTaskHandler(lambda d: d),
+            # Default poll_delay / fetch_wait: the bench prices the
+            # dispatch mechanisms exactly as a stock pool ships.
+            PoolConfig(work_type=0, n_workers=2),
+            journal=journal,
+        ).start()
+        try:
+            for _ in range(n):
+                future = eq.submit_task("bench", 0, "{}")
+                status, _payload = future.result(delay=0.002, timeout=30)
+                assert status.name == "SUCCESS"
+                # Let the fetcher return to its idle wait/sleep so the
+                # next submission measures dispatch from a quiet pool.
+                time.sleep(0.03)
+        finally:
+            pool.stop()
+            eq.close()
+        latencies: list[float] = []
+        for record in journal.records():
+            if record.event == EV_ENQUEUE:
+                enqueued = record.time
+            elif record.event == EV_RUN_START:
+                latencies.append(record.time - enqueued)
+        journal.close()
+        assert len(latencies) == n
+        latencies.sort()
+        metrics[f"{label}_p50_seconds"] = _percentile(latencies, 0.50)
+        metrics[f"{label}_p99_seconds"] = _percentile(latencies, 0.99)
+    if metrics["wait_p50_seconds"] > 0:
+        metrics["p50_speedup"] = (
+            metrics["polling_p50_seconds"] / metrics["wait_p50_seconds"]
+        )
+    return make_result(
+        "dispatch_latency", metrics, smoke, {"n_tasks": n, "n_workers": 2}
+    )
+
+
+def bench_idle_rpc_rate(smoke: bool = False) -> dict:
+    """RPCs per second from one idle fetcher against a live service.
+
+    Replays the fetch loop's idle behaviour over a fixed window in both
+    modes: sleep-polling (one non-blocking ``pop_out`` per default
+    ``poll_delay``) and long-polling (one ``pop_out(wait=fetch_wait)``
+    that blocks server-side).  RPCs are counted from the client's own
+    metrics registry.  ``rpc_reduction`` is the headline: an idle fleet
+    must cost > 10× fewer requests per second event-driven than polling.
+    """
+    from repro.core.service import TaskService
+    from repro.core.service_client import RemoteTaskStore
+    from repro.db import MemoryTaskStore
+    from repro.pools import PoolConfig
+    from repro.telemetry.metrics import MetricsRegistry
+
+    defaults = PoolConfig(work_type=0)
+    poll_delay = defaults.poll_delay
+    fetch_wait = 0.1 if smoke else defaults.fetch_wait
+    window = 0.5 if smoke else 3.0
+    service = TaskService(MemoryTaskStore(), port=0)
+    service.start()
+    try:
+        host, port = service.address
+        registry = MetricsRegistry()
+        remote = RemoteTaskStore(host, port, metrics=registry)
+        rpcs = registry.counter("service.client.rpcs")
+        try:
+            metrics: dict[str, float] = {}
+            for label, wait in (("polling", None), ("wait", fetch_wait)):
+                before = rpcs.value
+                t0 = time.perf_counter()
+                deadline = t0 + window
+                while time.perf_counter() < deadline:
+                    assert remote.pop_out(0, n=4, wait=wait) == []
+                    if wait is None:
+                        time.sleep(poll_delay)
+                elapsed = time.perf_counter() - t0
+                metrics[f"{label}_rpc_rate"] = _rate(
+                    int(rpcs.value - before), elapsed
+                )
+        finally:
+            remote.close()
+    finally:
+        service.stop()
+    if metrics["wait_rpc_rate"] > 0:
+        metrics["rpc_reduction"] = (
+            metrics["polling_rpc_rate"] / metrics["wait_rpc_rate"]
+        )
+    return make_result(
+        "idle_rpc_rate",
+        metrics,
+        smoke,
+        {"window_seconds": window, "poll_delay": poll_delay,
+         "fetch_wait": fetch_wait},
+    )
+
+
 def bench_telemetry_push(smoke: bool = False) -> dict:
     """Fleet telemetry RPC throughput: envelope pushes/s over loopback.
 
@@ -489,6 +634,8 @@ BENCHES: dict[str, Callable[[bool], dict]] = {
     "journal_overhead": bench_journal_overhead,
     "task_profile_overhead": bench_task_profile_overhead,
     "telemetry_push": bench_telemetry_push,
+    "dispatch_latency": bench_dispatch_latency,
+    "idle_rpc_rate": bench_idle_rpc_rate,
 }
 
 

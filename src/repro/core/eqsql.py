@@ -27,6 +27,7 @@ from repro.telemetry.metrics import (
     get_metrics,
 )
 from repro.telemetry.tracing import Tracer, get_tracer
+from repro.util.backoff import DecorrelatedJitter
 from repro.util.clock import Clock, SystemClock
 
 T = TypeVar("T")
@@ -34,6 +35,11 @@ T = TypeVar("T")
 #: The status message returned when a blocking query times out,
 #: e.g. ``{'type': 'status', 'payload': 'TIMEOUT'}``.
 TIMEOUT_MESSAGE: dict[str, str] = {"type": "status", "payload": EQ_TIMEOUT}
+
+#: Longest single long-poll issued per store call.  Bounds how long one
+#: wait RPC stays in flight (services cap server-side via ``max_wait_ms``
+#: anyway); ``timeout=None`` loops re-issue waits of this length forever.
+WAIT_RPC_CAP = 30.0
 
 
 def _work_message(
@@ -144,15 +150,64 @@ class EQSQL:
         Always makes at least one attempt, so ``timeout=0`` is the
         non-blocking single-try form the DES pool model uses.  A
         ``timeout`` of ``None`` polls indefinitely.
+
+        Sleeps are decorrelated-jittered starting from ``delay`` (capped
+        a few doublings above it) so many pollers against one store
+        drift apart instead of hammering it in lockstep.
         """
         deadline = self._clock.deadline(timeout)
+        backoff: DecorrelatedJitter | None = None
         while True:
             result = attempt()
             if result is not None:
                 return result
             if self._clock.expired(deadline):
                 return None
-            self._clock.sleep(delay)
+            if backoff is None:
+                backoff = DecorrelatedJitter(delay)
+            self._clock.sleep(backoff.next())
+
+    def _wait_poll(
+        self,
+        attempt: Callable[[float | None], T | None],
+        delay: float,
+        timeout: float | None,
+    ) -> T | None:
+        """Event-driven :meth:`_poll`: the store blocks, we don't sleep.
+
+        ``attempt`` receives the long-poll bound to pass to the store
+        (``None`` = non-blocking).  One wait call usually covers the
+        whole timeout; when the store returns early and empty — its
+        server capped the wait (``max_wait_ms``), shutdown woke it, or a
+        wrapper silently ignored ``wait`` — a short jittered sleep keeps
+        the retry loop from hot-spinning, and the loop degrades to
+        exactly the old poll for wait-ignoring stores.
+        """
+        deadline = self._clock.deadline(timeout)
+        backoff: DecorrelatedJitter | None = None
+        while True:
+            wait: float | None = WAIT_RPC_CAP
+            if deadline is not None:
+                remaining = deadline - self._clock.now()
+                wait = min(remaining, WAIT_RPC_CAP) if remaining > 0 else None
+            result = attempt(wait)
+            if result is not None:
+                return result
+            if self._clock.expired(deadline):
+                return None
+            if backoff is None:
+                backoff = DecorrelatedJitter(min(delay, 0.05))
+            self._clock.sleep(backoff.next())
+
+    def _use_wait(self, timeout: float | None) -> bool:
+        """Choose the long-poll fast path over the sleep-poll fallback.
+
+        Requires a wait-capable store and a blocking call: ``timeout=0``
+        is the DES non-blocking form, where a real block under a virtual
+        clock would be a deadlock (nothing advances virtual time while a
+        thread sleeps in the store).
+        """
+        return timeout != 0 and getattr(self._store, "supports_wait", False)
 
     # -- submission (ME algorithm side) ---------------------------------------
 
@@ -255,23 +310,32 @@ class EQSQL:
     ) -> dict[str, Any] | list[dict[str, Any]]:
         """Pop up to ``n`` tasks of ``eq_type`` off the output queue.
 
-        Polls with ``delay`` until at least one task is available or
-        ``timeout`` expires.  Returns a single work message when
-        ``n == 1``, a list of work messages when ``n > 1``, or the
-        TIMEOUT status message when polling fails (paper §IV-C).
-        ``lease`` claims the tasks under a fault-tolerance lease of that
-        many seconds (see :meth:`repro.db.backend.TaskStore.pop_out`).
+        Against a wait-capable store this is event-driven: one blocking
+        ``pop_out(wait=...)`` covers the whole ``timeout`` and returns
+        the instant work arrives.  Otherwise it polls with ``delay``
+        (jittered) until a task is available or ``timeout`` expires.
+        Returns a single work message when ``n == 1``, a list of work
+        messages when ``n > 1``, or the TIMEOUT status message when the
+        wait fails (paper §IV-C).  ``lease`` claims the tasks under a
+        fault-tolerance lease of that many seconds (see
+        :meth:`repro.db.backend.TaskStore.pop_out`).
         """
-        def attempt() -> list[tuple[int, str]] | None:
+        def attempt(wait: float | None = None) -> list[tuple[int, str]] | None:
+            # Only the fast path passes wait= down, so wait-unaware store
+            # stubs keep working against the poll fallback unchanged.
+            kwargs = {} if wait is None else {"wait": wait}
             popped = self._store.pop_out(
                 eq_type, n, worker_pool=worker_pool, now=self._clock.now(),
-                lease=lease,
+                lease=lease, **kwargs,
             )
             return popped if popped else None
 
         tracer = self.tracer
         t0 = self._clock.now() if tracer.enabled else 0.0
-        popped = self._poll(attempt, delay, timeout)
+        if self._use_wait(timeout):
+            popped = self._wait_poll(attempt, delay, timeout)
+        else:
+            popped = self._poll(attempt, delay, timeout)
         if popped is None:
             return dict(TIMEOUT_MESSAGE)
         self._m_fetched.inc(len(popped))
@@ -314,16 +378,20 @@ class EQSQL:
         if want == 0:
             return []
 
-        def attempt() -> list[tuple[int, str]] | None:
+        def attempt(wait: float | None = None) -> list[tuple[int, str]] | None:
+            kwargs = {} if wait is None else {"wait": wait}
             popped = self._store.pop_out(
                 eq_type, want, worker_pool=worker_pool, now=self._clock.now(),
-                lease=lease,
+                lease=lease, **kwargs,
             )
             return popped if popped else None
 
         tracer = self.tracer
         t0 = self._clock.now() if tracer.enabled else 0.0
-        popped = self._poll(attempt, delay, timeout)
+        if self._use_wait(timeout):
+            popped = self._wait_poll(attempt, delay, timeout)
+        else:
+            popped = self._poll(attempt, delay, timeout)
         if popped is None:
             return []
         self._m_fetched.inc(len(popped))
@@ -411,26 +479,48 @@ class EQSQL:
         """Pop one task's result off the input queue.
 
         Returns ``(SUCCESS, result_payload)`` or ``(FAILURE, 'TIMEOUT')``.
+
+        Against a wait-capable store, one blocking ``pop_in_any(wait=)``
+        replaces the sleep loop (the single-id form of the batch wait).
         """
         with self.tracer.span(
             "eqsql.query_result", component="eqsql", eq_task_id=eq_task_id
         ) as sp:
-            result = self._poll(lambda: self._store.pop_in(eq_task_id), delay, timeout)
+            if self._use_wait(timeout):
+                def attempt(wait: float | None) -> str | None:
+                    popped = self._store.pop_in_any(
+                        [eq_task_id], limit=1, wait=wait
+                    )
+                    return popped[0][1] if popped else None
+
+                result = self._wait_poll(attempt, delay, timeout)
+            else:
+                result = self._poll(
+                    lambda: self._store.pop_in(eq_task_id), delay, timeout
+                )
             sp.set_attr("found", result is not None)
         if result is None:
             return (ResultStatus.FAILURE, EQ_TIMEOUT)
         return (ResultStatus.SUCCESS, result)
 
     def pop_completed_ids(
-        self, eq_task_ids: Sequence[int], limit: int | None = None
+        self,
+        eq_task_ids: Sequence[int],
+        limit: int | None = None,
+        *,
+        wait: float | None = None,
     ) -> list[tuple[int, str]]:
-        """Non-blocking batch pop of any listed tasks on the input queue.
+        """Batch pop of any listed tasks on the input queue.
 
         The batch primitive behind ``as_completed`` / ``pop_completed``;
         one store operation regardless of how many futures are watched.
         ``limit`` caps consumption (results beyond it stay queued).
+        ``wait`` long-polls a wait-capable store (non-blocking default
+        preserved); wait-ignoring stores return immediately.
         """
-        return self._store.pop_in_any(eq_task_ids, limit=limit)
+        if wait is None:
+            return self._store.pop_in_any(eq_task_ids, limit=limit)
+        return self._store.pop_in_any(eq_task_ids, limit=limit, wait=wait)
 
     # -- status / priority / cancellation -------------------------------------------
 

@@ -18,6 +18,7 @@ from collections.abc import Iterator, Sequence
 from typing import TYPE_CHECKING
 
 from repro.core.constants import ResultStatus, TaskStatus
+from repro.util.backoff import DecorrelatedJitter
 from repro.util.errors import TimeoutError_
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -145,14 +146,18 @@ class Future:
 
 
 def _drain_completed(
-    futures: Sequence[Future], limit: int | None = None
+    futures: Sequence[Future],
+    limit: int | None = None,
+    wait: float | None = None,
 ) -> list[Future]:
     """One batch DB pop: collect futures whose results just landed.
 
     ``limit`` bounds consumption: popping a result removes it from the
     input queue, so a caller that will only yield k more futures must
     not strip results it would merely cache — a crash would lose them,
-    defeating checkpoint/resume.
+    defeating checkpoint/resume.  ``wait`` long-polls a wait-capable
+    store: the pop blocks server-side up to that many seconds and
+    returns the instant any watched result lands.
     """
     pending = [f for f in futures if f._result is None and not f._cancelled]
     if not pending:
@@ -161,7 +166,7 @@ def _drain_completed(
     by_id = {f.eq_task_id: f for f in pending}
     tracer = eqsql.tracer
     t0 = eqsql.clock.now() if tracer.enabled else 0.0
-    popped = eqsql.pop_completed_ids(list(by_id), limit=limit)
+    popped = eqsql.pop_completed_ids(list(by_id), limit=limit, wait=wait)
     if popped:
         # Only drains that actually landed results are interesting;
         # empty polls would swamp the trace at one span per delay tick.
@@ -196,14 +201,25 @@ def as_completed(
     yielded future is removed from the input list, supporting the
     pop-as-you-go pattern of Listing 2.
 
+    Against a wait-capable store (``supports_wait``) each batch query
+    long-polls server-side, so results are yielded at RPC latency
+    instead of on the next ``delay`` tick; against other stores the
+    ``delay`` sleeps are decorrelated-jittered so many MEs watching one
+    store drift apart.  ``timeout=0`` remains strictly non-blocking.
+
     Raises :class:`repro.util.errors.TimeoutError_` when ``timeout``
     expires before the requested number of futures completes.  Futures
     canceled along the way are skipped (they will never complete).
     """
     if not futures:
         return
-    clock = futures[0].eqsql.clock
+    from repro.core.eqsql import WAIT_RPC_CAP
+
+    eqsql = futures[0].eqsql
+    clock = eqsql.clock
+    use_wait = eqsql._use_wait(timeout)
     deadline = clock.deadline(timeout)
+    backoff: DecorrelatedJitter | None = None
     yielded = 0
     target = len(futures) if n is None else min(n, len(futures))
     seen: set[int] = set()
@@ -230,12 +246,23 @@ def as_completed(
         ]
         if not remaining:
             return  # everything else was canceled or already yielded
-        if not _drain_completed(remaining, limit=target - yielded):
+        wait: float | None = None
+        if use_wait:
+            wait = WAIT_RPC_CAP
+            if deadline is not None:
+                left = deadline - clock.now()
+                wait = min(left, WAIT_RPC_CAP) if left > 0 else None
+        if not _drain_completed(remaining, limit=target - yielded, wait=wait):
             if clock.expired(deadline):
                 raise TimeoutError_(
                     f"as_completed: {yielded}/{target} futures after timeout"
                 )
-            clock.sleep(delay)
+            if backoff is None:
+                # Long-polls do the real waiting; the fallback sleep only
+                # paces retries after an early-empty wait (server cap,
+                # shutdown wake) so it starts much shorter.
+                backoff = DecorrelatedJitter(min(delay, 0.05) if use_wait else delay)
+            clock.sleep(backoff.next())
 
 
 def pop_completed(

@@ -232,6 +232,15 @@ class TaskService:
         an envelope and is dropped after ``fleet_expiry_multiple`` ×;
         workers that do not declare an interval are assumed to push
         every ``fleet_default_interval`` seconds.
+    max_wait_ms:
+        Server-side cap on the ``wait_ms`` long-poll bound a ``pop_out``
+        / ``pop_in_any`` request may ask for.  Thread-per-connection
+        makes a blocked handler safe (it delays only its own client),
+        but an unbounded block would pin handler threads across
+        shutdown; clients re-issue wait RPCs until their own timeout, so
+        capping costs only an extra round trip per ``max_wait_ms``.
+        Open waiters are counted in the ``service.waiters`` gauge and
+        surfaced in ``/status``; :meth:`stop` wakes them all.
     """
 
     #: Store methods callable over the wire, with result encoders where
@@ -285,9 +294,12 @@ class TaskService:
         fleet_stale_multiple: float = 2.0,
         fleet_expiry_multiple: float = 3.0,
         fleet_default_interval: float = 10.0,
+        max_wait_ms: int = 30_000,
     ) -> None:
         self._store = store
         self._auth_token = auth_token
+        self._max_wait_ms = max(int(max_wait_ms), 0)
+        self._stopping = threading.Event()
         self._tracer = tracer
         self._journal = journal
         self._clock: Clock = clock if clock is not None else SystemClock()
@@ -310,6 +322,9 @@ class TaskService:
         )
         self.m_bytes_sent = registry.counter(
             "service.bytes_sent", "response bytes written to the wire"
+        )
+        self.g_waiters = registry.gauge(
+            "service.waiters", "handler threads blocked in a long-poll wait"
         )
         #: Per-method request counters, pre-registered so the dispatch
         #: hot path is a dict lookup, not a registry get-or-create.
@@ -472,6 +487,26 @@ class TaskService:
         if self._auth_token is not None and token != self._auth_token:
             raise AuthenticationError("invalid or missing service token")
 
+    #: RPCs that accept a ``wait_ms`` long-poll bound.
+    _WAIT_METHODS = frozenset({"pop_out", "pop_in_any"})
+
+    def _resolve_wait(self, method: str, params: dict[str, Any]) -> float:
+        """Pop ``wait_ms`` off ``params``; return the granted wait seconds.
+
+        The grant is clamped to ``max_wait_ms``, zeroed while stopping
+        (late wait RPCs must not re-block a draining service), and
+        zeroed for stores that can't honor it — the client's poll loop
+        then degrades gracefully instead of erroring.
+        """
+        wait_ms = params.pop("wait_ms", None)
+        if not wait_ms or wait_ms < 0:
+            return 0.0
+        if self._stopping.is_set():
+            return 0.0
+        if not getattr(self._store, "supports_wait", False):
+            return 0.0
+        return min(float(wait_ms), float(self._max_wait_ms)) / 1000.0
+
     def call(self, method: str, params: dict[str, Any]) -> Any:
         """Dispatch one store method; encodes non-JSON results."""
         if method == "ping":
@@ -481,6 +516,17 @@ class TaskService:
             return self._fleet.observe(params.get("envelope") or {})
         if method not in self._METHODS:
             raise ValueError(f"unknown method: {method}")
+        if method in self._WAIT_METHODS and "wait_ms" in params:
+            wait = self._resolve_wait(method, params)
+            if wait > 0:
+                # The handler thread blocks in the store; count it so
+                # /status shows how many clients are parked in waits.
+                self.g_waiters.inc()
+                try:
+                    result = getattr(self._store, method)(**params, wait=wait)
+                finally:
+                    self.g_waiters.dec()
+                return result
         result = getattr(self._store, method)(**params)
         if method == "get_task":
             return protocol.task_row_to_dict(result)
@@ -560,6 +606,7 @@ class TaskService:
                 "connections_active": int(self.g_connections.value),
                 "bytes_received": int(self.m_bytes_received.value),
                 "bytes_sent": int(self.m_bytes_sent.value),
+                "waiters": int(self.g_waiters.value),
                 "reaper": {
                     "configured": self._reaper is not None,
                     "running": self._reaper is not None
@@ -631,6 +678,11 @@ class TaskService:
 
     def stop(self) -> None:
         """Stop serving and release the socket (idempotent)."""
+        # Wake blocked long-polls first (they return empty immediately)
+        # so no handler thread sleeps out its max_wait_ms grant during
+        # shutdown; the stopping flag zeroes any wait that races in.
+        self._stopping.set()
+        self._store.wake_waiters()
         if self._status_server is not None:
             self._status_server.stop()
         if self._sampler is not None:

@@ -15,6 +15,12 @@ coalesced into one buffered send (a single flush per batch, with
 back to their calls by request id.  Worker pools that want concurrency
 still open one client each.
 
+Long-poll RPCs (``pop_out``/``pop_in_any`` with a ``wait``) are the one
+exception to the shared socket: each rides a dedicated wait-channel
+connection from a small pool (:class:`_WaitConn`), because a request
+that blocks server-side for seconds must not hold the lockstep lock and
+starve the fetches and reports sharing the store.
+
 Resilience (paper §IV-B: tasks "are not lost when a resource fails"):
 a dropped connection no longer kills the store.  Every RPC classifies
 itself as idempotent or not:
@@ -121,9 +127,41 @@ IDEMPOTENT_METHODS: frozenset[str] = frozenset(
 #: Methods that must not be blindly re-sent: creation would duplicate
 #: rows; pops would claim extra tasks (``pop_out``) or silently consume
 #: a result whose response was lost (``pop_in``/``pop_in_any``).
+#:
+#: Exception: a pop that carries ``wait_ms`` (a long-poll) *is* re-sent
+#: after a connection break.  A wait RPC spends almost its whole
+#: lifetime blocked server-side before any row is claimed, so a severed
+#: connection is overwhelmingly pre-pop; in the rare post-pop race the
+#: claimed rows are leased, the reaper requeues them, and ``report`` is
+#: first-write-wins — the same recovery chain that already covers a
+#: pop whose pool dies.  Not retrying would turn every transient drop
+#: during an idle wait into a caller-visible error.
 NON_IDEMPOTENT_METHODS: frozenset[str] = frozenset(
     {"create_task", "create_tasks", "pop_out", "pop_in", "pop_in_any"}
 )
+
+#: Extra socket-read headroom on top of a long-poll's wait, so a server
+#: that blocks the full ``wait_ms`` (plus scheduling noise) is not
+#: misread as dead by a client with a bounded ``io_timeout``.
+WAIT_SLACK: float = 5.0
+
+#: Idle wait-channel connections kept warm per store.  Wait RPCs run on
+#: dedicated sockets (see :class:`RemoteTaskStore`); finished ones are
+#: parked for reuse up to this many, the rest closed.
+WAIT_POOL_SIZE: int = 2
+
+
+def _wait_seconds(params: Mapping[str, Any]) -> float:
+    """Seconds of server-side long-poll requested by ``params`` (0 if none)."""
+    wait_ms = params.get("wait_ms")
+    if not wait_ms:
+        return 0.0
+    return float(wait_ms) / 1000.0
+
+
+def _retryable_call(method: str, params: Mapping[str, Any]) -> bool:
+    """Whether an ambiguous failure of this call may be re-sent."""
+    return method in IDEMPOTENT_METHODS or _wait_seconds(params) > 0.0
 
 
 class PipelinedCall:
@@ -240,8 +278,38 @@ class RpcPipeline:
             self.flush()
 
 
+class _WaitConn:
+    """One dedicated socket for a long-poll RPC.
+
+    A wait RPC parks its connection server-side for seconds at a time;
+    running it on the store's shared lockstep socket would hold the
+    connection lock and starve every fetch/report sharing the store.
+    Wait RPCs therefore check a connection out of a small pool, use it
+    exclusively, and return it — concurrent waiters each get their own
+    socket, and ordinary RPCs never queue behind a wait.
+    """
+
+    __slots__ = ("sock", "rfile", "wfile")
+
+    def __init__(self, sock: socket.socket, rfile: Any, wfile: Any) -> None:
+        self.sock = sock
+        self.rfile = rfile
+        self.wfile = wfile
+
+    def close(self) -> None:
+        for f in (self.rfile, self.wfile, self.sock):
+            try:
+                f.close()
+            except OSError:
+                pass
+
+
 class RemoteTaskStore(TaskStore):
     """A TaskStore proxied over the EMEWS service protocol."""
+
+    # Long-poll waits are forwarded as ``wait_ms`` and the service blocks
+    # server-side (clamped to its max_wait_ms); see pop_out/pop_in_any.
+    supports_wait = True
 
     def __init__(
         self,
@@ -289,8 +357,14 @@ class RemoteTaskStore(TaskStore):
         self._rfile: Any = None
         self._wfile: Any = None
         self._next_id = 0
+        self._id_lock = threading.Lock()
         self._closed = False
         self._ever_connected = False
+        # Dedicated long-poll connections (see _WaitConn): a small pool,
+        # lazily opened on the first wait RPC.
+        self._wpool_lock = threading.Lock()
+        self._wait_idle: list[_WaitConn] = []
+        self._wait_busy: set[_WaitConn] = set()
         with self._lock:
             # Fail fast on unreachable service / version / auth problems.
             self._connect_locked()
@@ -307,8 +381,18 @@ class RemoteTaskStore(TaskStore):
 
     # -- connection management ---------------------------------------------
 
-    def _connect_locked(self) -> None:
-        """Open a fresh socket and handshake; caller holds the lock."""
+    def _new_id(self) -> int:
+        """Next request id — unique across the lockstep and wait channels."""
+        with self._id_lock:
+            self._next_id += 1
+            return self._next_id
+
+    def _open_connection(self) -> tuple[socket.socket, Any, Any]:
+        """Dial, configure, and handshake one fresh connection.
+
+        Shared by the lockstep channel and the wait pool; returns
+        ``(sock, rfile, wfile)`` or raises with the socket closed.
+        """
         sock = socket.create_connection(
             (self._host, self._port), timeout=self._connect_timeout
         )
@@ -328,9 +412,8 @@ class RemoteTaskStore(TaskStore):
             # Handshake: ping carries the auth token and returns the
             # protocol version, so a bad token or an incompatible server
             # surfaces here as a typed remote error, not mid-workload.
-            self._next_id += 1
             request: dict[str, Any] = {
-                "id": self._next_id,
+                "id": self._new_id(),
                 "method": "ping",
                 "params": {},
             }
@@ -360,9 +443,11 @@ class RemoteTaskStore(TaskStore):
         except BaseException:
             sock.close()
             raise
-        self._sock = sock
-        self._rfile = rfile
-        self._wfile = wfile
+        return sock, rfile, wfile
+
+    def _connect_locked(self) -> None:
+        """Open a fresh lockstep socket; caller holds the lock."""
+        self._sock, self._rfile, self._wfile = self._open_connection()
         if self._ever_connected:
             self._m_reconnects.inc()
         self._ever_connected = True
@@ -404,11 +489,17 @@ class RemoteTaskStore(TaskStore):
         span: Span | None,
     ) -> Any:
         t0 = time.monotonic()
-        retryable = method in IDEMPOTENT_METHODS
+        retryable = _retryable_call(method, params)
+        wait_rpc = _wait_seconds(params) > 0.0
         attempt = 0
         while True:
             try:
-                result = self._attempt_once(method, params, tracer, span, retryable)
+                if wait_rpc:
+                    result = self._attempt_wait_once(method, params, tracer, span)
+                else:
+                    result = self._attempt_once(
+                        method, params, tracer, span, retryable
+                    )
             except _RetryableFailure as failure:
                 attempt += 1
                 if span is not None:
@@ -449,9 +540,8 @@ class RemoteTaskStore(TaskStore):
                 except (OSError, ConnectionError) as exc:
                     # Nothing was sent: always safe to retry.
                     raise _RetryableFailure(exc) from exc
-            self._next_id += 1
             request: dict[str, Any] = {
-                "id": self._next_id,
+                "id": self._new_id(),
                 "method": method,
                 "params": params,
             }
@@ -489,6 +579,100 @@ class RemoteTaskStore(TaskStore):
         if not response.get("ok"):
             # A typed error response is a *successful* exchange: the
             # server handled the request; no connection fault occurred.
+            protocol.raise_remote_error(response.get("error", {}))
+        return response.get("result")
+
+    # -- wait channel --------------------------------------------------------
+
+    def _checkout_wait(self) -> _WaitConn:
+        """A pooled (or fresh) dedicated connection for one wait RPC."""
+        with self._wpool_lock:
+            if self._closed:
+                raise RuntimeError("remote store is closed")
+            if self._wait_idle:
+                conn = self._wait_idle.pop()
+                self._wait_busy.add(conn)
+                return conn
+        try:
+            sock, rfile, wfile = self._open_connection()
+        except (OSError, ConnectionError) as exc:
+            # Nothing was sent: always safe to retry.
+            raise _RetryableFailure(exc) from exc
+        conn = _WaitConn(sock, rfile, wfile)
+        with self._wpool_lock:
+            if self._closed:
+                conn.close()
+                raise RuntimeError("remote store is closed")
+            self._wait_busy.add(conn)
+        return conn
+
+    def _checkin_wait(self, conn: _WaitConn) -> None:
+        """Return a healthy wait connection to the pool (or close it)."""
+        with self._wpool_lock:
+            self._wait_busy.discard(conn)
+            if not self._closed and len(self._wait_idle) < WAIT_POOL_SIZE:
+                self._wait_idle.append(conn)
+                return
+        conn.close()
+
+    def _discard_wait(self, conn: _WaitConn) -> None:
+        """Drop a wait connection that failed mid-request (desync rule)."""
+        with self._wpool_lock:
+            self._wait_busy.discard(conn)
+        conn.close()
+
+    def _attempt_wait_once(
+        self,
+        method: str,
+        params: dict[str, Any],
+        tracer: Tracer,
+        span: Span | None,
+    ) -> Any:
+        """One send + receive cycle for a long-poll RPC.
+
+        Runs on a dedicated wait-channel connection so the store's
+        lockstep socket (and its lock) stays free for fetches and
+        reports while this request blocks server-side.  Failures always
+        raise :class:`_RetryableFailure` — wait RPCs are classified
+        retryable (see :data:`NON_IDEMPOTENT_METHODS`).
+        """
+        conn = self._checkout_wait()
+        request: dict[str, Any] = {
+            "id": self._new_id(),
+            "method": method,
+            "params": params,
+        }
+        if self._token is not None:
+            request["token"] = self._token
+        stretch = self._io_timeout is not None
+        if stretch:
+            # The server legitimately goes quiet for the whole wait
+            # before answering; the per-RPC I/O bound must cover that
+            # plus slack or every empty wait reads as a dead connection.
+            conn.sock.settimeout(
+                _wait_seconds(params) + max(self._io_timeout, WAIT_SLACK)  # type: ignore[arg-type]
+            )
+        try:
+            if span is not None:
+                protocol.inject_trace(request, span.context)
+                with tracer.span("rpc.send", component="service_client"):
+                    protocol.write_message(conn.wfile, request)
+                with tracer.span("rpc.recv", component="service_client"):
+                    response = protocol.read_message(conn.rfile)
+            else:
+                protocol.write_message(conn.wfile, request)
+                response = protocol.read_message(conn.rfile)
+            if response is None:
+                raise ConnectionError("service closed the connection")
+            if response.get("id") != request["id"]:
+                raise ConnectionError("service response id mismatch (desynced)")
+        except (OSError, ConnectionError, ReproError) as exc:
+            self._discard_wait(conn)
+            raise _RetryableFailure(exc) from exc
+        if stretch:
+            conn.sock.settimeout(self._io_timeout)
+        self._checkin_wait(conn)
+        if not response.get("ok"):
             protocol.raise_remote_error(response.get("error", {}))
         return response.get("result")
 
@@ -541,8 +725,7 @@ class RemoteTaskStore(TaskStore):
                 requests: list[dict[str, Any]] = []
                 pending: dict[int, PipelinedCall] = {}
                 for call in batch:
-                    self._next_id += 1
-                    call.request_id = self._next_id
+                    call.request_id = self._new_id()
                     request: dict[str, Any] = {
                         "id": call.request_id,
                         "method": call.method,
@@ -554,6 +737,17 @@ class RemoteTaskStore(TaskStore):
                         protocol.inject_trace(request, span.context)
                     requests.append(request)
                     pending[call.request_id] = call
+                # The server answers frame-by-frame, so one long-poll in
+                # the batch can stall every later response by its full
+                # wait; size the read bound to the largest wait aboard.
+                max_wait = max(
+                    (_wait_seconds(call.params) for call in batch), default=0.0
+                )
+                stretch = max_wait > 0.0 and self._io_timeout is not None
+                if stretch:
+                    self._sock.settimeout(
+                        max_wait + max(self._io_timeout, WAIT_SLACK)  # type: ignore[arg-type]
+                    )
                 try:
                     protocol.write_messages(self._wfile, requests)
                     for _ in range(len(batch)):
@@ -577,7 +771,7 @@ class RemoteTaskStore(TaskStore):
                     for call in batch:
                         if call.done:
                             continue
-                        if call.method in IDEMPOTENT_METHODS:
+                        if _retryable_call(call.method, call.params):
                             to_replay.append(call)
                         else:
                             call._set_error(
@@ -593,6 +787,9 @@ class RemoteTaskStore(TaskStore):
                     self._m_rtt.observe(time.monotonic() - t0)
                     self._m_pipeline_flushes.inc()
                     self._m_pipeline_batch.observe(len(batch))
+                finally:
+                    if stretch and self._sock is not None:
+                        self._sock.settimeout(self._io_timeout)
         # Replay outside the connection lock: _call takes it per attempt
         # (and it is not reentrant).
         for call in to_replay:
@@ -660,17 +857,21 @@ class RemoteTaskStore(TaskStore):
         worker_pool: str = "default",
         now: float = 0.0,
         lease: float | None = None,
+        wait: float | None = None,
     ) -> list[tuple[int, str]]:
-        result = self._call(
-            "pop_out",
-            {
-                "eq_type": eq_type,
-                "n": n,
-                "worker_pool": worker_pool,
-                "now": now,
-                "lease": lease,
-            },
-        )
+        params: dict[str, Any] = {
+            "eq_type": eq_type,
+            "n": n,
+            "worker_pool": worker_pool,
+            "now": now,
+            "lease": lease,
+        }
+        if wait is not None and wait > 0:
+            # Milliseconds on the wire (integral JSON); the service clamps
+            # to its own max_wait_ms, so an oversized ask degrades to a
+            # shorter block rather than an error.
+            params["wait_ms"] = max(1, int(wait * 1000))
+        result = self._call("pop_out", params)
         return [(tid, payload) for tid, payload in result]
 
     def queue_out_length(self, eq_type: int | None = None) -> int:
@@ -727,11 +928,16 @@ class RemoteTaskStore(TaskStore):
         return self._call("pop_in", {"eq_task_id": eq_task_id})
 
     def pop_in_any(
-        self, eq_task_ids: Iterable[int], limit: int | None = None
+        self,
+        eq_task_ids: Iterable[int],
+        limit: int | None = None,
+        *,
+        wait: float | None = None,
     ) -> list[tuple[int, str]]:
-        result = self._call(
-            "pop_in_any", {"eq_task_ids": list(eq_task_ids), "limit": limit}
-        )
+        params: dict[str, Any] = {"eq_task_ids": list(eq_task_ids), "limit": limit}
+        if wait is not None and wait > 0:
+            params["wait_ms"] = max(1, int(wait * 1000))
+        result = self._call("pop_in_any", params)
         return [(tid, payload) for tid, payload in result]
 
     def queue_in_length(self) -> int:
@@ -808,6 +1014,15 @@ class RemoteTaskStore(TaskStore):
                 return
             self._closed = True
             self._teardown_locked()
+        # Close every wait-channel connection, busy ones included: a
+        # thread blocked in a long-poll gets a socket error, retries,
+        # and surfaces "remote store is closed" from the closed check.
+        with self._wpool_lock:
+            conns = self._wait_idle + list(self._wait_busy)
+            self._wait_idle.clear()
+            self._wait_busy.clear()
+        for conn in conns:
+            conn.close()
 
 
 class _RetryableFailure(Exception):

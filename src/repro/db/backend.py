@@ -48,6 +48,13 @@ class TaskStore(ABC):
     Implementations must be safe for use from multiple threads.
     """
 
+    #: True when :meth:`pop_out` / :meth:`pop_in_any` honor their ``wait``
+    #: parameter (long-poll: block server-side until work arrives).  Layers
+    #: above check this before choosing the event-driven fast path; stores
+    #: that leave it False are driven by the jittered-backoff poll loop
+    #: instead, and simply ignore ``wait``.
+    supports_wait: bool = False
+
     # -- task creation ---------------------------------------------------
 
     @abstractmethod
@@ -96,6 +103,7 @@ class TaskStore(ABC):
         worker_pool: str = "default",
         now: float = 0.0,
         lease: float | None = None,
+        wait: float | None = None,
     ) -> list[tuple[int, str]]:
         """Atomically pop up to ``n`` tasks of ``eq_type`` for execution.
 
@@ -109,6 +117,17 @@ class TaskStore(ABC):
         popped row; the pool must renew via :meth:`renew_leases` before
         expiry or a lease reaper may requeue the task.  ``None`` pops
         the task unleased (never reaped), the pre-lease behavior.
+
+        ``wait`` (real seconds) is the long-poll bound: when no matching
+        task is queued, a store with :attr:`supports_wait` blocks up to
+        ``wait`` and returns the moment work arrives (create or requeue),
+        rather than an immediate empty list.  ``None``/``<= 0`` preserves
+        the non-blocking behavior exactly.  The wait is measured on the
+        wall clock regardless of any injected virtual clock, and popped
+        rows are stamped with the caller-provided ``now`` captured before
+        the wait.  An empty list after a wait means timeout *or* a
+        :meth:`wake_waiters` wake-up — callers treat both as "try again
+        or give up".
         """
 
     @abstractmethod
@@ -197,7 +216,11 @@ class TaskStore(ABC):
 
     @abstractmethod
     def pop_in_any(
-        self, eq_task_ids: Iterable[int], limit: int | None = None
+        self,
+        eq_task_ids: Iterable[int],
+        limit: int | None = None,
+        *,
+        wait: float | None = None,
     ) -> list[tuple[int, str]]:
         """Pop listed tasks currently on the input queue (up to ``limit``).
 
@@ -205,6 +228,12 @@ class TaskStore(ABC):
         (paper §V-B: "these functions typically perform batch operations
         on the EMEWS DB").  Returns ``(eq_task_id, json_in)`` pairs;
         results beyond ``limit`` stay queued for a later pop.
+
+        ``wait`` long-polls as in :meth:`pop_out`: when none of the
+        listed tasks are on the input queue, a :attr:`supports_wait`
+        store blocks up to ``wait`` real seconds and wakes the instant a
+        report lands (single or batch).  ``None``/``<= 0`` is the
+        immediate non-blocking form.
         """
 
     @abstractmethod
@@ -339,6 +368,17 @@ class TaskStore(ABC):
     @abstractmethod
     def clear(self) -> None:
         """Delete all rows from all tables."""
+
+    def wake_waiters(self) -> None:
+        """Wake every blocked long-poll immediately (they return empty).
+
+        Shutdown hook: the service calls this before joining handler
+        threads so no stop waits out a ``max_wait_ms``; pools call it on
+        their store when stopping so an in-process fetcher blocked in a
+        wait unblocks at once.  No-op for stores without wait support —
+        and, notably, for :class:`RemoteTaskStore`, which cannot target
+        its own in-flight RPC (the *service's* store wakes its handler).
+        """
 
     @abstractmethod
     def close(self) -> None:

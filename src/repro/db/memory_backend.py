@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import heapq
 import threading
+import time
 from collections.abc import Iterable, Mapping, Sequence
 
 from repro.db.backend import TaskStore, normalize_priorities, normalize_profiles
@@ -61,6 +62,8 @@ class _HeapEntry:
 class MemoryTaskStore(TaskStore):
     """In-memory implementation of the EMEWS DB."""
 
+    supports_wait = True
+
     def __init__(
         self,
         metrics: MetricsRegistry | None = None,
@@ -101,6 +104,16 @@ class MemoryTaskStore(TaskStore):
         # Input queue: id -> work type, insertion-ordered (dicts preserve
         # insertion order, giving in-queue FIFO for diagnostics).
         self._in_queue: dict[int, int] = {}
+        # Long-poll plumbing: one condition per work type for the output
+        # queue (a pool waiting on type 3 must not wake for type 5) plus
+        # one for the whole input queue.  All conditions share the store
+        # lock, so notify points are exactly the mutation sites and a
+        # woken waiter re-checks state under the same critical section.
+        self._out_conds: dict[int, threading.Condition] = {}
+        self._in_cond = threading.Condition(self._lock)
+        # Bumped by wake_waiters(); wait loops capture it on entry and
+        # give up (return empty) the moment it moves — the shutdown wake.
+        self._wake_epoch = 0
         self._next_id = 1
         self._closed = False
 
@@ -118,10 +131,23 @@ class MemoryTaskStore(TaskStore):
         self._next_id += 1
         return value
 
+    def _out_cond(self, eq_type: int) -> threading.Condition:
+        """The per-work-type output-queue condition (call under the lock)."""
+        cond = self._out_conds.get(eq_type)
+        if cond is None:
+            cond = self._out_conds[eq_type] = threading.Condition(self._lock)
+        return cond
+
     def _enqueue_out(self, eq_task_id: int, eq_type: int, priority: int) -> None:
         entry = _HeapEntry(eq_task_id, priority)
         self._out_entries[eq_task_id] = entry
         heapq.heappush(self._out_heaps.setdefault(eq_type, []), entry)
+        # Wake pop_out long-polls for this work type.  Covers every path
+        # that makes a task claimable: create_task(s), requeue, and the
+        # reaper's requeue_expired all funnel through here.
+        cond = self._out_conds.get(eq_type)
+        if cond is not None:
+            cond.notify_all()
 
     _COMPACT_FLOOR = 64
 
@@ -219,36 +245,66 @@ class MemoryTaskStore(TaskStore):
         worker_pool: str = "default",
         now: float = 0.0,
         lease: float | None = None,
+        wait: float | None = None,
     ) -> list[tuple[int, str]]:
         if n < 1:
             return []
+        if wait is None or wait <= 0:
+            with self._lock:
+                self._check_open()
+                return self._pop_out_locked(eq_type, n, worker_pool, now, lease)
+        # Long-poll: wait on the per-type condition until work arrives,
+        # the deadline passes, or wake_waiters() bumps the epoch.  The
+        # deadline is wall-clock — the store has no injected clock, and
+        # a *bounded real block* is the contract the service relies on.
+        deadline = time.monotonic() + wait
         with self._lock:
             self._check_open()
-            heap = self._out_heaps.get(eq_type)
-            popped: list[tuple[int, str]] = []
-            while heap and len(popped) < n:
-                entry = heapq.heappop(heap)
-                if not entry.alive:
-                    dead = self._out_dead.get(eq_type, 0)
-                    if dead > 0:
-                        self._out_dead[eq_type] = dead - 1
-                    continue
-                del self._out_entries[entry.eq_task_id]
-                row = self._tasks[entry.eq_task_id]
-                row.eq_status = TaskStatus.RUNNING
-                row.time_start = now
-                row.worker_pool = worker_pool
-                row.lease_expiry = None if lease is None else now + lease
-                popped.append((entry.eq_task_id, row.json_out))
-            journal = self._jrnl()
-            if journal.enabled and popped:
-                for eq_task_id, _ in popped:
-                    journal.emit(
-                        EV_POP, eq_task_id, role=ROLE_DB, work_type=eq_type,
-                        time=now, source=worker_pool,
-                        extra=None if lease is None else {"lease": lease},
-                    )
-            return popped
+            cond = self._out_cond(eq_type)
+            epoch = self._wake_epoch
+            while True:
+                popped = self._pop_out_locked(eq_type, n, worker_pool, now, lease)
+                if popped:
+                    return popped
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._wake_epoch != epoch:
+                    return []
+                cond.wait(remaining)
+                self._check_open()
+
+    def _pop_out_locked(
+        self,
+        eq_type: int,
+        n: int,
+        worker_pool: str,
+        now: float,
+        lease: float | None,
+    ) -> list[tuple[int, str]]:
+        heap = self._out_heaps.get(eq_type)
+        popped: list[tuple[int, str]] = []
+        while heap and len(popped) < n:
+            entry = heapq.heappop(heap)
+            if not entry.alive:
+                dead = self._out_dead.get(eq_type, 0)
+                if dead > 0:
+                    self._out_dead[eq_type] = dead - 1
+                continue
+            del self._out_entries[entry.eq_task_id]
+            row = self._tasks[entry.eq_task_id]
+            row.eq_status = TaskStatus.RUNNING
+            row.time_start = now
+            row.worker_pool = worker_pool
+            row.lease_expiry = None if lease is None else now + lease
+            popped.append((entry.eq_task_id, row.json_out))
+        journal = self._jrnl()
+        if journal.enabled and popped:
+            for eq_task_id, _ in popped:
+                journal.emit(
+                    EV_POP, eq_task_id, role=ROLE_DB, work_type=eq_type,
+                    time=now, source=worker_pool,
+                    extra=None if lease is None else {"lease": lease},
+                )
+        return popped
 
     def queue_out_length(self, eq_type: int | None = None) -> int:
         with self._lock:
@@ -293,6 +349,7 @@ class MemoryTaskStore(TaskStore):
                 self._note_dead(row.eq_task_type)
                 self._m_report_withdrawals.inc()
             self._in_queue[eq_task_id] = eq_type
+            self._in_cond.notify_all()  # wake pop_in_any long-polls
             journal = self._jrnl()
             if journal.enabled:
                 if entry is not None:
@@ -344,6 +401,7 @@ class MemoryTaskStore(TaskStore):
                             work_type=eq_type, time=now,
                         )
                 self._in_queue[eq_task_id] = eq_type
+                self._in_cond.notify_all()  # wake pop_in_any long-polls
                 if recording:
                     profile = profile_by_id.get(eq_task_id)
                     journal.emit(
@@ -365,19 +423,43 @@ class MemoryTaskStore(TaskStore):
             return None
 
     def pop_in_any(
-        self, eq_task_ids: Iterable[int], limit: int | None = None
+        self,
+        eq_task_ids: Iterable[int],
+        limit: int | None = None,
+        *,
+        wait: float | None = None,
     ) -> list[tuple[int, str]]:
+        ids = list(eq_task_ids)
+        if wait is None or wait <= 0:
+            with self._lock:
+                self._check_open()
+                return self._pop_in_any_locked(ids, limit)
+        deadline = time.monotonic() + wait
         with self._lock:
             self._check_open()
-            results: list[tuple[int, str]] = []
-            for eq_task_id in eq_task_ids:
-                if limit is not None and len(results) >= limit:
-                    break
-                if eq_task_id in self._in_queue:
-                    del self._in_queue[eq_task_id]
-                    json_in = self._tasks[eq_task_id].json_in
-                    results.append((eq_task_id, json_in if json_in is not None else ""))
-            return results
+            epoch = self._wake_epoch
+            while True:
+                results = self._pop_in_any_locked(ids, limit)
+                if results:
+                    return results
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._wake_epoch != epoch:
+                    return []
+                self._in_cond.wait(remaining)
+                self._check_open()
+
+    def _pop_in_any_locked(
+        self, eq_task_ids: Sequence[int], limit: int | None
+    ) -> list[tuple[int, str]]:
+        results: list[tuple[int, str]] = []
+        for eq_task_id in eq_task_ids:
+            if limit is not None and len(results) >= limit:
+                break
+            if eq_task_id in self._in_queue:
+                del self._in_queue[eq_task_id]
+                json_in = self._tasks[eq_task_id].json_in
+                results.append((eq_task_id, json_in if json_in is not None else ""))
+        return results
 
     def queue_in_length(self) -> int:
         with self._lock:
@@ -619,6 +701,19 @@ class MemoryTaskStore(TaskStore):
             self._in_queue.clear()
             self._next_id = 1
 
+    def wake_waiters(self) -> None:
+        """Unblock every long-poll now; woken waits return empty."""
+        with self._lock:
+            self._wake_epoch += 1
+            for cond in self._out_conds.values():
+                cond.notify_all()
+            self._in_cond.notify_all()
+
     def close(self) -> None:
         with self._lock:
             self._closed = True
+            # Blocked long-polls must not sleep out their deadline against
+            # a closed store: wake them so they hit _check_open and raise.
+            for cond in self._out_conds.values():
+                cond.notify_all()
+            self._in_cond.notify_all()

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import sqlite3
 import threading
+import time
 from collections.abc import Iterable, Mapping, Sequence
 from contextlib import contextmanager
 
@@ -60,7 +61,19 @@ from repro.util.errors import NotFoundError
 
 
 class SqliteTaskStore(TaskStore):
-    """EMEWS DB on SQLite (file-backed or ``:memory:``)."""
+    """EMEWS DB on SQLite (file-backed or ``:memory:``).
+
+    Long-poll waits use the same in-process condition variables as the
+    memory backend, so embedded use (pools and ME sharing one store
+    object) gets instant wake-ups.  A *different process* writing the
+    same database file can't signal this process's condvars, so waits
+    additionally re-check the tables every ``wait_poll_interval``
+    seconds — a degraded mode that still beats the old client-side poll
+    (the default interval is well under the former per-attempt delays,
+    and the re-check is a single indexed SELECT, not an RPC).
+    """
+
+    supports_wait = True
 
     def __init__(
         self,
@@ -69,6 +82,7 @@ class SqliteTaskStore(TaskStore):
         *,
         durable: bool = False,
         journal: Journal | None = None,
+        wait_poll_interval: float = 0.05,
     ) -> None:
         registry = metrics if metrics is not None else get_metrics()
         # Flight recorder: resolved per call when not injected, so a
@@ -86,7 +100,13 @@ class SqliteTaskStore(TaskStore):
         )
         self._path = path
         self._durable = durable
+        self._wait_poll = max(wait_poll_interval, 0.001)
         self._lock = threading.RLock()
+        # Long-poll conditions share the store lock (see memory backend);
+        # per-work-type for pop_out, one for the input queue.
+        self._out_conds: dict[int, threading.Condition] = {}
+        self._in_cond = threading.Condition(self._lock)
+        self._wake_epoch = 0
         self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.isolation_level = None  # explicit transaction control
         # One cached cursor serves every operation: all access is
@@ -157,6 +177,24 @@ class SqliteTaskStore(TaskStore):
         if self._closed:
             raise RuntimeError("store is closed")
 
+    def _out_cond(self, eq_type: int) -> threading.Condition:
+        """The per-work-type output-queue condition (call under the lock)."""
+        cond = self._out_conds.get(eq_type)
+        if cond is None:
+            cond = self._out_conds[eq_type] = threading.Condition(self._lock)
+        return cond
+
+    def _notify_out(self, eq_type: int) -> None:
+        """Wake pop_out long-polls for ``eq_type`` (call under the lock).
+
+        Called inside the writing transaction; waiters can't reacquire
+        the shared lock until the COMMIT completes, so they always see
+        the committed rows.
+        """
+        cond = self._out_conds.get(eq_type)
+        if cond is not None:
+            cond.notify_all()
+
     def _jrnl(self) -> Journal:
         return self._journal if self._journal is not None else get_journal()
 
@@ -193,6 +231,7 @@ class SqliteTaskStore(TaskStore):
             " VALUES (?, ?, ?)",
             (eq_task_id, eq_type, priority),
         )
+        self._notify_out(eq_type)
         journal = self._jrnl()
         if journal.enabled:
             journal.emit(
@@ -259,6 +298,7 @@ class SqliteTaskStore(TaskStore):
                 " VALUES (?, ?, ?)",
                 [(tid, eq_type, pr) for tid, pr in zip(ids, priorities)],
             )
+            self._notify_out(eq_type)
             journal = self._jrnl()
             if journal.enabled:
                 for tid, pr in zip(ids, priorities):
@@ -279,10 +319,30 @@ class SqliteTaskStore(TaskStore):
         worker_pool: str = "default",
         now: float = 0.0,
         lease: float | None = None,
+        wait: float | None = None,
     ) -> list[tuple[int, str]]:
         self._check_open()
         if n < 1:
             return []
+        if wait is not None and wait > 0:
+            # Long-poll: same-process writers notify the per-type cond;
+            # cross-process writers are caught by the bounded re-check
+            # interval (degraded mode, see the class docstring).
+            deadline = time.monotonic() + wait
+            with self._lock:
+                cond = self._out_cond(eq_type)
+                epoch = self._wake_epoch
+                while True:
+                    popped = self.pop_out(
+                        eq_type, n, worker_pool=worker_pool, now=now, lease=lease
+                    )
+                    if popped:
+                        return popped
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or self._wake_epoch != epoch:
+                        return []
+                    cond.wait(min(remaining, self._wait_poll))
+                    self._check_open()
         lease_expiry = None if lease is None else now + lease
         with self._txn() as cur:
             cur.execute(
@@ -374,6 +434,7 @@ class SqliteTaskStore(TaskStore):
                 "INSERT INTO emews_queue_in (eq_task_id, eq_task_type) VALUES (?, ?)",
                 (eq_task_id, eq_type),
             )
+            self._in_cond.notify_all()  # wake pop_in_any long-polls
             journal = self._jrnl()
             if journal.enabled:
                 cur.execute(
@@ -459,6 +520,7 @@ class SqliteTaskStore(TaskStore):
                     " VALUES (?, ?)",
                     [(tid, eq_type) for tid, eq_type, _ in fresh],
                 )
+                self._in_cond.notify_all()  # wake pop_in_any long-polls
                 if journal.enabled:
                     profile_by_id = normalize_profiles(profiles)
                     for tid, eq_type, _ in fresh:
@@ -491,7 +553,11 @@ class SqliteTaskStore(TaskStore):
             return row[0] if row is not None else None
 
     def pop_in_any(
-        self, eq_task_ids: Iterable[int], limit: int | None = None
+        self,
+        eq_task_ids: Iterable[int],
+        limit: int | None = None,
+        *,
+        wait: float | None = None,
     ) -> list[tuple[int, str]]:
         self._check_open()
         ids = list(eq_task_ids)
@@ -499,6 +565,19 @@ class SqliteTaskStore(TaskStore):
             return []
         if limit is not None and limit <= 0:
             return []
+        if wait is not None and wait > 0:
+            deadline = time.monotonic() + wait
+            with self._lock:
+                epoch = self._wake_epoch
+                while True:
+                    results = self.pop_in_any(ids, limit)
+                    if results:
+                        return results
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or self._wake_epoch != epoch:
+                        return []
+                    self._in_cond.wait(min(remaining, self._wait_poll))
+                    self._check_open()
         marks = ",".join("?" for _ in ids)
         with self._txn() as cur:
             cur.execute(
@@ -698,6 +777,7 @@ class SqliteTaskStore(TaskStore):
             " VALUES (?, ?, ?)",
             (eq_task_id, eq_type, priority),
         )
+        self._notify_out(eq_type)
         if journal.enabled:
             journal.emit(
                 EV_REQUEUE, eq_task_id, role=ROLE_DB, work_type=eq_type,
@@ -835,8 +915,21 @@ class SqliteTaskStore(TaskStore):
             for table in TABLE_NAMES:
                 cur.execute(f"DELETE FROM {table}")
 
+    def wake_waiters(self) -> None:
+        """Unblock every long-poll now; woken waits return empty."""
+        with self._lock:
+            self._wake_epoch += 1
+            for cond in self._out_conds.values():
+                cond.notify_all()
+            self._in_cond.notify_all()
+
     def close(self) -> None:
         with self._lock:
             if not self._closed:
                 self._closed = True
+                # Wake blocked long-polls so they hit _check_open and
+                # raise instead of sleeping out their deadline.
+                for cond in self._out_conds.values():
+                    cond.notify_all()
+                self._in_cond.notify_all()
                 self._conn.close()

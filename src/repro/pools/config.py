@@ -28,6 +28,15 @@ class PoolConfig:
     poll_delay: float = 0.02
     #: Timeout for each individual batch query against the DB.
     query_timeout: float = 0.0
+    #: Long-poll bound (seconds) for fetches against a wait-capable
+    #: store: each empty batch query blocks server-side this long and
+    #: returns the instant work arrives, replacing the ``poll_delay``
+    #: sleep loop — an idle pool goes from ~1/poll_delay RPCs per second
+    #: to ~1/fetch_wait, while dispatch latency *drops* to the RPC round
+    #: trip.  Also bounds how long ``stop()`` can block on a fetch in
+    #: flight against a remote store (in-process stores wake instantly).
+    #: Set to 0 to force the legacy sleep-polling behaviour.
+    fetch_wait: float = 0.5
     #: Fault-tolerance lease (seconds) the pool claims tasks under.
     #: ``None`` claims unleased (a crashed pool's tasks then need manual
     #: ``recover_pool``); with a lease, the pool heartbeats renewals and
@@ -81,6 +90,10 @@ class PoolConfig:
                 )
         elif self.heartbeat_interval is not None:
             raise ValueError("heartbeat_interval requires lease_duration")
+        if self.fetch_wait < 0:
+            raise ValueError(
+                f"fetch_wait must be >= 0, got {self.fetch_wait}"
+            )
         if self.report_batch_size < 1:
             raise ValueError(
                 f"report_batch_size must be >= 1, got {self.report_batch_size}"

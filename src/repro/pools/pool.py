@@ -281,6 +281,12 @@ class ThreadedWorkerPool:
         self._stop_fetching.set()
         if not drain:
             self._abort.set()
+        # A fetcher blocked in a long-poll wakes instantly when the
+        # store is in-process; against a remote store this is a no-op
+        # and fetch_wait bounds how long the fetcher can stay blocked.
+        waker = getattr(self._eqsql.store, "wake_waiters", None)
+        if waker is not None:
+            waker()
         self.join(timeout)
 
     def join(self, timeout: float = 30.0) -> None:
@@ -322,6 +328,18 @@ class ThreadedWorkerPool:
         config = self._config
         clock = self._eqsql.clock
         tracer = self.tracer
+        # Event-driven fetch: against a wait-capable store each empty
+        # batch query long-polls up to fetch_wait server-side, so the
+        # empty-queue sleep below is redundant (the store did the
+        # waiting, and stop() wakes blocked waiters).
+        long_poll = config.fetch_wait > 0 and getattr(
+            self._eqsql.store, "supports_wait", False
+        )
+        query_timeout = (
+            max(config.query_timeout, config.fetch_wait)
+            if long_poll
+            else config.query_timeout
+        )
         while not self._stop_fetching.is_set():
             with self._owned_lock:
                 owned = self._owned
@@ -338,7 +356,7 @@ class ThreadedWorkerPool:
                     owned=owned,
                     worker_pool=config.name,
                     delay=config.poll_delay,
-                    timeout=config.query_timeout,
+                    timeout=query_timeout,
                     lease=config.lease_duration,
                 )
             except (ReproError, OSError) as exc:
@@ -353,7 +371,8 @@ class ThreadedWorkerPool:
                 clock.sleep(config.poll_delay)
                 continue
             if not messages:
-                clock.sleep(config.poll_delay)
+                if not long_poll:
+                    clock.sleep(config.poll_delay)
                 continue
             fetched_at = clock.now()
             self._m_fetch_size.observe(len(messages))

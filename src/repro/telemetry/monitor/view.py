@@ -96,6 +96,7 @@ def render_status(
                              ["service", "bytes_received"], elapsed))],
             ["bytes out", service.get("bytes_sent", 0),
              _fmt_rate(_rate(status, previous, ["service", "bytes_sent"], elapsed))],
+            ["waiters", service.get("waiters", 0), ""],
         ]
         lines.append(render_table(["rpc", "count", "rate"], rows))
 

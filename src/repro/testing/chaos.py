@@ -267,6 +267,15 @@ class FlakyTaskStore(TaskStore):
         """The wrapped store (for assertions on true state)."""
         return self._inner
 
+    @property
+    def supports_wait(self) -> bool:  # type: ignore[override]
+        """Mirror the wrapped store's long-poll capability."""
+        return getattr(self._inner, "supports_wait", False)
+
+    def wake_waiters(self) -> None:
+        # Never inject on wake: it's a shutdown path, like close().
+        self._inner.wake_waiters()
+
     def _invoke(self, method: str, op: Callable[[], Any]) -> Any:
         if self._methods is not None and method not in self._methods:
             return op()
@@ -328,11 +337,13 @@ class FlakyTaskStore(TaskStore):
         worker_pool: str = "default",
         now: float = 0.0,
         lease: float | None = None,
+        wait: float | None = None,
     ) -> list[tuple[int, str]]:
         return self._invoke(
             "pop_out",
             lambda: self._inner.pop_out(
-                eq_type, n, worker_pool=worker_pool, now=now, lease=lease
+                eq_type, n, worker_pool=worker_pool, now=now, lease=lease,
+                wait=wait,
             ),
         )
 
@@ -361,11 +372,16 @@ class FlakyTaskStore(TaskStore):
         return self._invoke("pop_in", lambda: self._inner.pop_in(eq_task_id))
 
     def pop_in_any(
-        self, eq_task_ids: Iterable[int], limit: int | None = None
+        self,
+        eq_task_ids: Iterable[int],
+        limit: int | None = None,
+        *,
+        wait: float | None = None,
     ) -> list[tuple[int, str]]:
         ids = list(eq_task_ids)
         return self._invoke(
-            "pop_in_any", lambda: self._inner.pop_in_any(ids, limit=limit)
+            "pop_in_any",
+            lambda: self._inner.pop_in_any(ids, limit=limit, wait=wait),
         )
 
     def queue_in_length(self) -> int:

@@ -2,10 +2,12 @@
 
 A seeded PRNG interleaves *logical* concurrent actors — submitters,
 worker pools (pop / renew / report, including a slow pool whose lease
-lapses mid-run), a lease reaper, a reprioritizer, a canceller, and the
-ME-side collector — into one single-threaded operation sequence executed
-step-by-step against a real store and the :class:`~.model.ModelStore`
-reference in lockstep.  Time comes from an injected
+lapses mid-run), a lease reaper, a reprioritizer, a canceller, the
+ME-side collector, and a long-poll *waiter* (blocking ``wait=`` pops
+that must return instantly over satisfiable state, wake on the one
+write they watch, or expire empty) — into one operation sequence
+executed step-by-step against a real store and the
+:class:`~.model.ModelStore` reference in lockstep.  Time comes from an injected
 :class:`~repro.util.clock.VirtualClock` the engine advances itself.
 
 Because every operation's observable result is verified against the
@@ -25,12 +27,31 @@ priority restoration on every seed.
 from __future__ import annotations
 
 import random
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.db.backend import TaskStore
+from repro.db.schema import TaskStatus
 from repro.testing.conformance.model import ModelStore
 from repro.util.clock import VirtualClock
+
+#: Wake-branch wait bound (real seconds).  Event-driven: the wait ends
+#: when the watched write lands, never by running this out — it only
+#: bounds how long a *lost* wakeup can hang the engine before the join
+#: below turns it into a violation.
+_WAITER_WAIT = 10.0
+#: Expiry-branch wait (real seconds, actually slept by the store).
+_WAITER_EXPIRE = 0.02
+#: Real pause giving the helper thread a chance to block before the
+#: engine performs the wakeup write.  Best effort only — if the write
+#: still wins the race, the wait returns immediately with the same
+#: result, so the schedule stays deterministic either way.
+_WAITER_SETTLE = 0.005
+#: Hard bound on joining the helper thread before declaring the wakeup
+#: lost (a store that never notifies its waiters).
+_WAITER_JOIN = 30.0
 
 
 class ConformanceViolation(AssertionError):
@@ -71,6 +92,7 @@ class ScheduleConfig:
             "collect": 7,
             "check": 6,
             "jump": 4,
+            "waiter": 5,
         }
     )
 
@@ -297,6 +319,184 @@ class ScheduleEngine:
                 self._verify("check:task", got, want)
                 self._record("check", "task", tid, want)
 
+    def _op_waiter(self) -> None:
+        """Long-poll waits in all three shapes: immediate, wake, expiry.
+
+        Exercises the blocking ``wait=`` path of ``pop_out`` and
+        ``pop_in_any`` against the model.  A wait over satisfiable state
+        must return instantly; a wait over empty state must be woken by
+        the one write it watches (run in a helper thread so the engine
+        thread can perform that write); a short wait over state nobody
+        writes must expire empty.  Branch selection depends only on
+        engine/model state — identical across access paths — so the PRNG
+        stream, and hence the schedule, stays a pure function of the
+        seed.  Helper threads only *call* the store; every verification
+        happens on the engine thread after join, and the thread is
+        always joined before the op returns so no background activity
+        leaks into later steps.
+        """
+        rng = self.rng
+        if rng.random() < 0.6:
+            self._waiter_out(rng)
+        else:
+            self._waiter_in(rng)
+
+    def _waiter_out(self, rng: random.Random) -> None:
+        pool = rng.choice(self.pools)
+        eq_type = rng.choice(self.config.work_types)
+        n = rng.randint(1, 2)
+        leased = rng.random() >= self.config.unleased_fraction
+        lease = self.config.lease if leased else None
+        priority = rng.randint(0, self.config.max_priority)
+        now = self.clock.now()
+        if self.model.queue_out_length(eq_type) > 0:
+            # Immediate: a wait over claimable work must not block.
+            got = self.store.pop_out(
+                eq_type, n, worker_pool=pool.name, now=now, lease=lease,
+                wait=_WAITER_WAIT,
+            )
+            want = self.model.pop_out(
+                eq_type, n, worker_pool=pool.name, now=now, lease=lease
+            )
+            self._verify(
+                "waiter:pop_out", [list(p) for p in got],
+                [list(p) for p in want],
+            )
+            pool.held.extend(tid for tid, _ in want)
+            self._record("waiter", "out-immediate", pool.name, eq_type, n,
+                         leased, [tid for tid, _ in want])
+            return
+        if rng.random() < 0.3:
+            # Expiry: an empty queue outlasts a short wait.
+            got = self.store.pop_out(
+                eq_type, n, worker_pool=pool.name, now=now, lease=lease,
+                wait=_WAITER_EXPIRE,
+            )
+            self._verify("waiter:pop_out", [list(p) for p in got], [])
+            self._record("waiter", "out-expire", pool.name, eq_type, n,
+                         leased)
+            return
+        # Wake: block a helper thread on the empty queue, then create
+        # the task that must wake it.
+        outcome: list[Any] = []
+
+        def blocked_pop() -> None:
+            try:
+                outcome.append(("ok", self.store.pop_out(
+                    eq_type, n, worker_pool=pool.name, now=now, lease=lease,
+                    wait=_WAITER_WAIT,
+                )))
+            except BaseException as exc:
+                outcome.append(("raised", exc))
+
+        thread = threading.Thread(
+            target=blocked_pop, name="conformance-waiter"
+        )
+        thread.start()
+        time.sleep(_WAITER_SETTLE)
+        payload = f'{{"step": {self._step}, "waiter": true}}'
+        got_ids = self.store.create_tasks(
+            self.config.exp_id, eq_type, [payload],
+            priority=[priority], time_created=now,
+        )
+        want_ids = self.model.create_tasks(eq_type, [payload], [priority])
+        self._verify("waiter:create", list(got_ids), want_ids)
+        thread.join(_WAITER_JOIN)
+        if thread.is_alive():
+            self._fail("waiter:pop_out", "blocked pop_out missed its wakeup")
+        kind, value = outcome[0]
+        if kind == "raised":
+            self._fail("waiter:pop_out", f"blocked pop_out raised {value!r}")
+        want = self.model.pop_out(
+            eq_type, n, worker_pool=pool.name, now=now, lease=lease
+        )
+        self._verify(
+            "waiter:pop_out", [list(p) for p in value],
+            [list(p) for p in want],
+        )
+        pool.held.extend(tid for tid, _ in want)
+        self._record("waiter", "out-wake", pool.name, eq_type, n, leased,
+                     want_ids, [tid for tid, _ in want])
+
+    def _waiter_in(self, rng: random.Random) -> None:
+        model = self.model
+        if model.in_queue:
+            # Immediate: at least one watched result is already queued.
+            known = sorted(model.tasks)
+            ids = rng.sample(known, min(len(known), rng.randint(1, 8)))
+            if not any(tid in model.in_queue for tid in ids):
+                # Re-aim one probe slot at a queued result so the wait
+                # cannot block the engine thread.
+                ids[rng.randrange(len(ids))] = rng.choice(model.in_queue)
+            limit = rng.choice([None, 1, 2, 4])
+            got = self.store.pop_in_any(ids, limit=limit, wait=_WAITER_WAIT)
+            want = model.pop_in_any(ids, limit=limit)
+            self._verify(
+                "waiter:pop_in", [list(p) for p in got],
+                [list(p) for p in want],
+            )
+            self._record("waiter", "in-immediate", ids, limit,
+                         [tid for tid, _ in want])
+            return
+        candidates = [
+            (pool, tid)
+            for pool in self.pools
+            for tid in pool.held
+            if model.tasks[tid].status != TaskStatus.COMPLETE
+        ]
+        if not candidates:
+            # Nothing queued and nothing reportable: expiry shape.
+            known = sorted(model.tasks)
+            if not known:
+                return
+            ids = sorted(rng.sample(known, min(len(known), 3)))
+            got = self.store.pop_in_any(ids, wait=_WAITER_EXPIRE)
+            self._verify("waiter:pop_in", [list(p) for p in got], [])
+            self._record("waiter", "in-expire", ids)
+            return
+        # Wake: block a helper thread watching one held task, then
+        # report that task's result from the engine thread.
+        pool, tid = candidates[rng.randrange(len(candidates))]
+        pool.held.remove(tid)
+        eq_type = model.tasks[tid].eq_task_type
+        result = f'{{"task": {tid}, "by": "{pool.name}", "waiter": true}}'
+        now = self.clock.now()
+        outcome: list[Any] = []
+
+        def blocked_collect() -> None:
+            try:
+                outcome.append(
+                    ("ok", self.store.pop_in_any([tid], wait=_WAITER_WAIT))
+                )
+            except BaseException as exc:
+                outcome.append(("raised", exc))
+
+        thread = threading.Thread(
+            target=blocked_collect, name="conformance-waiter"
+        )
+        thread.start()
+        time.sleep(_WAITER_SETTLE)
+        self.store.report(tid, eq_type, result, now=now)
+        report_outcome = model.report(tid, result)
+        if report_outcome == "missing":
+            self._fail("waiter:pop_in", f"model lost task {tid}")
+        thread.join(_WAITER_JOIN)
+        if thread.is_alive():
+            self._fail(
+                "waiter:pop_in", "blocked pop_in_any missed its wakeup"
+            )
+        kind, value = outcome[0]
+        if kind == "raised":
+            self._fail(
+                "waiter:pop_in", f"blocked pop_in_any raised {value!r}"
+            )
+        want = model.pop_in_any([tid])
+        self._verify(
+            "waiter:pop_in", [list(p) for p in value],
+            [list(p) for p in want],
+        )
+        self._record("waiter", "in-wake", pool.name, tid, report_outcome)
+
     def _op_jump(self) -> None:
         """Jump the clock far enough to expire un-renewed leases."""
         dt = self.config.lease * self.rng.uniform(1.0, 1.5)
@@ -325,6 +525,7 @@ class ScheduleEngine:
             "collect": self._op_collect,
             "check": self._op_check,
             "jump": self._op_jump,
+            "waiter": self._op_waiter,
         }
         for step in range(self.config.steps):
             self._step = step

@@ -1,0 +1,308 @@
+"""Event-driven dispatch through the service, client, and ME layers.
+
+The store-level wait contract is covered by ``tests/db/test_wait.py``;
+these tests prove the layers above plumb it end-to-end: the service
+grants (and caps) ``wait_ms``, the client rides a dedicated wait channel
+that never blocks lockstep RPCs, EQSQL/futures take the long-poll fast
+path against wait-capable stores, and every layer still works against a
+store without wait support.  Timing bounds are deliberately generous —
+each "prompt" assertion allows seconds where the polling path would
+need tens of seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core import EQSQL, RemoteTaskStore, TaskService
+from repro.core.constants import ResultStatus
+from repro.core.futures import as_completed
+from repro.db import MemoryTaskStore
+from repro.pools import PoolConfig, PythonTaskHandler, ThreadedWorkerPool
+
+PROMPT = 2.0
+
+
+class _PollingOnlyStore:
+    """A wait-incapable view of a real store (legacy-backend stand-in)."""
+
+    supports_wait = False
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+@pytest.fixture
+def service_stack():
+    backing = MemoryTaskStore()
+    service = TaskService(backing).start()
+    client = RemoteTaskStore(*service.address)
+    yield backing, service, client
+    client.close()
+    service.stop()
+    backing.close()
+
+
+def _park_one_waiter(service, call):
+    """Start ``call`` in a thread and wait until the service parks it."""
+    results = []
+    thread = threading.Thread(target=lambda: results.append(call()))
+    thread.start()
+    deadline = time.monotonic() + 5.0
+    while service.status_snapshot()["service"]["waiters"] < 1:
+        assert time.monotonic() < deadline, "wait RPC never parked"
+        time.sleep(0.005)
+    return thread, results
+
+
+class TestServiceWaitGrant:
+    def test_remote_wait_wakes_on_create(self, service_stack):
+        _, service, client = service_stack
+        thread, results = _park_one_waiter(
+            service,
+            lambda: client.pop_out(0, 1, worker_pool="w", now=1.0, wait=10.0),
+        )
+        t0 = time.monotonic()
+        [tid] = client.create_tasks("e", 0, ["p"], time_created=0.0)
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert time.monotonic() - t0 < PROMPT
+        assert results == [[(tid, "p")]]
+
+    def test_wait_grant_is_capped_by_max_wait_ms(self):
+        backing = MemoryTaskStore()
+        service = TaskService(backing, max_wait_ms=50).start()
+        client = RemoteTaskStore(*service.address)
+        try:
+            t0 = time.monotonic()
+            got = client.pop_out(0, 1, worker_pool="w", now=1.0, wait=10.0)
+            elapsed = time.monotonic() - t0
+            assert got == []
+            assert elapsed < PROMPT  # 10s ask, 50ms grant
+        finally:
+            client.close()
+            service.stop()
+            backing.close()
+
+    def test_wait_over_polling_only_store_degrades_to_nonblocking(self):
+        backing = MemoryTaskStore()
+        service = TaskService(_PollingOnlyStore(backing)).start()
+        client = RemoteTaskStore(*service.address)
+        try:
+            t0 = time.monotonic()
+            assert client.pop_out(0, 1, worker_pool="w", now=1.0, wait=10.0) == []
+            assert time.monotonic() - t0 < PROMPT
+        finally:
+            client.close()
+            service.stop()
+            backing.close()
+
+    def test_waiters_gauge_tracks_parked_handlers(self, service_stack):
+        _, service, client = service_stack
+        thread, _ = _park_one_waiter(
+            service,
+            lambda: client.pop_in_any([999], wait=0.5),
+        )
+        assert service.status_snapshot()["service"]["waiters"] == 1
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert service.status_snapshot()["service"]["waiters"] == 0
+
+    def test_stop_wakes_parked_waiters(self):
+        backing = MemoryTaskStore()
+        service = TaskService(backing).start()
+        client = RemoteTaskStore(*service.address)
+        try:
+            thread, results = _park_one_waiter(
+                service,
+                lambda: client.pop_out(0, 1, worker_pool="w", now=1.0, wait=30.0),
+            )
+            t0 = time.monotonic()
+            service.stop()
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+            assert time.monotonic() - t0 < PROMPT
+            assert results == [[]]
+        finally:
+            client.close()
+            backing.close()
+
+
+class TestClientWaitChannel:
+    def test_lockstep_rpcs_run_while_a_wait_is_parked(self, service_stack):
+        """A parked wait must not hold the shared connection: fetchers
+        and reporters on the same client keep working."""
+        _, service, client = service_stack
+        thread, _ = _park_one_waiter(
+            service,
+            lambda: client.pop_out(0, 1, worker_pool="w", now=1.0, wait=1.0),
+        )
+        t0 = time.monotonic()
+        assert client.queue_out_length() == 0
+        assert client.queue_in_length() == 0
+        assert time.monotonic() - t0 < PROMPT
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+
+    def test_concurrent_waiters_each_get_a_channel(self, service_stack):
+        _, service, client = service_stack
+        results = []
+
+        def wait_for(tid):
+            results.append(client.pop_in_any([tid], wait=10.0))
+
+        ids = client.create_tasks("e", 0, ["a", "b"], time_created=0.0)
+        client.pop_out(0, 2, worker_pool="w", now=1.0)
+        threads = [
+            threading.Thread(target=wait_for, args=(tid,)) for tid in ids
+        ]
+        for t in threads:
+            t.start()
+        deadline = time.monotonic() + 5.0
+        while service.status_snapshot()["service"]["waiters"] < 2:
+            assert time.monotonic() < deadline, "waiters never both parked"
+            time.sleep(0.005)
+        # One report wakes exactly the waiter watching that id.
+        client.report_batch([(ids[0], 0, "ra"), (ids[1], 0, "rb")], now=2.0)
+        for t in threads:
+            t.join(timeout=10.0)
+            assert not t.is_alive()
+        assert sorted(r for [(_, r)] in results) == ["ra", "rb"]
+
+    def test_remote_store_advertises_wait(self, service_stack):
+        _, _, client = service_stack
+        assert client.supports_wait is True
+
+
+class TestEqsqlFastPath:
+    def test_use_wait_gates(self):
+        backing = MemoryTaskStore()
+        try:
+            eq = EQSQL(backing)
+            assert eq._use_wait(None)
+            assert eq._use_wait(10.0)
+            assert not eq._use_wait(0)  # explicit non-blocking probe
+            polling = EQSQL(_PollingOnlyStore(backing))
+            assert not polling._use_wait(None)
+        finally:
+            backing.close()
+
+    def test_query_result_returns_at_event_not_delay_tick(self):
+        backing = MemoryTaskStore()
+        try:
+            eq = EQSQL(backing)
+            future = eq.submit_task("e", 0, json.dumps({"x": 1}))
+
+            def worker():
+                time.sleep(0.05)
+                [(tid, _)] = backing.pop_out(0, 1, worker_pool="w", now=1.0)
+                backing.report(tid, 0, "done", now=2.0)
+
+            threading.Thread(target=worker).start()
+            t0 = time.monotonic()
+            status, payload = eq.query_result(
+                future.eq_task_id, delay=5.0, timeout=30.0
+            )
+            elapsed = time.monotonic() - t0
+            assert (status, payload) == (ResultStatus.SUCCESS, "done")
+            # The polling path could not return before its 5s delay tick.
+            assert elapsed < PROMPT
+        finally:
+            backing.close()
+
+    def test_as_completed_wakes_at_event_not_delay_tick(self):
+        backing = MemoryTaskStore()
+        try:
+            eq = EQSQL(backing)
+            futures = eq.submit_tasks(
+                "e", 0, [json.dumps({"x": i}) for i in range(3)]
+            )
+
+            def worker():
+                time.sleep(0.05)
+                for tid, _ in backing.pop_out(0, 3, worker_pool="w", now=1.0):
+                    backing.report(tid, 0, f"r{tid}", now=2.0)
+
+            threading.Thread(target=worker).start()
+            t0 = time.monotonic()
+            done = list(as_completed(futures, delay=5.0, timeout=30.0))
+            assert time.monotonic() - t0 < PROMPT
+            assert len(done) == 3
+        finally:
+            backing.close()
+
+    def test_as_completed_polling_fallback_still_drains(self):
+        backing = MemoryTaskStore()
+        try:
+            eq = EQSQL(_PollingOnlyStore(backing))
+            futures = eq.submit_tasks(
+                "e", 0, [json.dumps({"x": i}) for i in range(2)]
+            )
+
+            def worker():
+                time.sleep(0.05)
+                for tid, _ in backing.pop_out(0, 2, worker_pool="w", now=1.0):
+                    backing.report(tid, 0, f"r{tid}", now=2.0)
+
+            threading.Thread(target=worker).start()
+            done = list(as_completed(futures, delay=0.02, timeout=30.0))
+            assert len(done) == 2
+        finally:
+            backing.close()
+
+
+class TestPoolFetchWait:
+    def test_negative_fetch_wait_rejected(self):
+        with pytest.raises(ValueError):
+            PoolConfig(work_type=0, fetch_wait=-0.1)
+
+    @pytest.mark.parametrize("fetch_wait", [0.5, 0.0])
+    def test_pool_drains_with_and_without_long_poll(self, fetch_wait):
+        backing = MemoryTaskStore()
+        eq = EQSQL(backing)
+        pool = ThreadedWorkerPool(
+            eq,
+            PythonTaskHandler(lambda d: {"y": d["x"] + 1}),
+            PoolConfig(
+                work_type=0, n_workers=2, poll_delay=0.005,
+                fetch_wait=fetch_wait,
+            ),
+        )
+        try:
+            with pool:
+                future = eq.submit_task("e", 0, json.dumps({"x": 41}))
+                status, payload = future.result(delay=0.02, timeout=15.0)
+            assert status == ResultStatus.SUCCESS
+            assert json.loads(payload) == {"y": 42}
+        finally:
+            backing.close()
+
+    def test_idle_pool_dispatches_without_poll_delay_tick(self):
+        """With long-poll fetch, dispatch latency is decoupled from
+        ``poll_delay``: a deliberately huge poll_delay stays unused."""
+        backing = MemoryTaskStore()
+        eq = EQSQL(backing)
+        pool = ThreadedWorkerPool(
+            eq,
+            PythonTaskHandler(lambda d: {"y": d["x"]}),
+            PoolConfig(work_type=0, n_workers=1, poll_delay=30.0),
+        )
+        try:
+            with pool:
+                time.sleep(0.1)  # let the fetcher park in its long-poll
+                t0 = time.monotonic()
+                future = eq.submit_task("e", 0, json.dumps({"x": 7}))
+                status, _ = future.result(delay=0.02, timeout=15.0)
+                elapsed = time.monotonic() - t0
+            assert status == ResultStatus.SUCCESS
+            # A sleep-polling fetcher would not wake for 30 seconds.
+            assert elapsed < PROMPT
+        finally:
+            backing.close()

@@ -1,0 +1,224 @@
+"""Blocking long-poll (``wait=``) semantics of the store backends.
+
+The contract under test (see ``TaskStore.pop_out``/``pop_in_any``):
+a wait over satisfiable state returns immediately; a wait over empty
+state blocks until the one write it watches lands, the deadline passes,
+or ``wake_waiters``/``close`` interrupts it.  Wait deadlines are real
+wall-clock time — these tests measure elapsed ``time.monotonic`` and
+use generous bounds so they stay robust under CI load.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.db import MemoryTaskStore, SqliteTaskStore
+
+#: A wait long enough that only an event-driven wake can explain an
+#: early return, short enough that a missed wakeup fails fast.
+WAIT = 5.0
+#: Generous ceiling for "returned instantly / on the wake" under load.
+PROMPT = 2.0
+
+
+def _claim(store, eq_type=0, n=1, wait=None):
+    return store.pop_out(eq_type, n, worker_pool="w", now=1.0, wait=wait)
+
+
+class _BlockedCall:
+    """Run one store call in a helper thread; join and return result."""
+
+    def __init__(self, fn):
+        self.outcome = []
+        self.thread = threading.Thread(
+            target=lambda: self.outcome.append(self._guard(fn))
+        )
+        self.started = time.monotonic()
+        self.thread.start()
+
+    @staticmethod
+    def _guard(fn):
+        try:
+            return ("ok", fn())
+        except BaseException as exc:  # re-raised on the test thread
+            return ("raised", exc)
+
+    def join(self, timeout=WAIT + PROMPT):
+        self.thread.join(timeout)
+        assert not self.thread.is_alive(), "blocked call never returned"
+        self.elapsed = time.monotonic() - self.started
+        kind, value = self.outcome[0]
+        if kind == "raised":
+            raise value
+        return value
+
+
+class TestPopOutWait:
+    def test_returns_immediately_when_work_is_queued(self, store):
+        [tid] = store.create_tasks("e", 0, ["p"], time_created=0.0)
+        t0 = time.monotonic()
+        assert _claim(store, wait=WAIT) == [(tid, "p")]
+        assert time.monotonic() - t0 < PROMPT
+
+    def test_zero_wait_is_nonblocking(self, store):
+        t0 = time.monotonic()
+        assert _claim(store, wait=0) == []
+        assert time.monotonic() - t0 < PROMPT
+
+    def test_empty_queue_expires_after_the_deadline(self, store):
+        t0 = time.monotonic()
+        assert _claim(store, wait=0.05) == []
+        elapsed = time.monotonic() - t0
+        assert 0.04 <= elapsed < PROMPT
+
+    def test_wakes_on_create(self, store):
+        blocked = _BlockedCall(lambda: _claim(store, wait=WAIT))
+        time.sleep(0.05)
+        [tid] = store.create_tasks("e", 0, ["p"], time_created=0.0)
+        assert blocked.join() == [(tid, "p")]
+        assert blocked.elapsed < PROMPT
+
+    def test_wakes_on_requeue_expired(self, store):
+        [tid] = store.create_tasks("e", 0, ["p"], time_created=0.0)
+        assert store.pop_out(0, 1, worker_pool="dead", now=1.0, lease=2.0)
+        blocked = _BlockedCall(lambda: _claim(store, wait=WAIT))
+        time.sleep(0.05)
+        assert store.requeue_expired(now=10.0) == [tid]
+        assert blocked.join() == [(tid, "p")]
+        assert blocked.elapsed < PROMPT
+
+    def test_does_not_wake_for_another_work_type(self, store):
+        blocked = _BlockedCall(lambda: _claim(store, eq_type=0, wait=0.3))
+        time.sleep(0.05)
+        store.create_tasks("e", 1, ["other"], time_created=0.0)
+        assert blocked.join() == []
+        # The type-1 create must not have ended the type-0 wait early.
+        assert blocked.elapsed >= 0.25
+
+    def test_wake_waiters_interrupts_with_empty(self, store):
+        blocked = _BlockedCall(lambda: _claim(store, wait=WAIT))
+        time.sleep(0.05)
+        store.wake_waiters()
+        assert blocked.join() == []
+        assert blocked.elapsed < PROMPT
+
+    def test_close_interrupts_with_error(self, store):
+        blocked = _BlockedCall(lambda: _claim(store, wait=WAIT))
+        time.sleep(0.05)
+        store.close()
+        with pytest.raises(RuntimeError):
+            blocked.join()
+        assert blocked.elapsed < PROMPT
+
+
+class TestPopInAnyWait:
+    @pytest.fixture
+    def running(self, store):
+        [tid] = store.create_tasks("e", 0, ["p"], time_created=0.0)
+        assert _claim(store)
+        return store, tid
+
+    def test_returns_immediately_when_result_is_in(self, running):
+        store, tid = running
+        store.report(tid, 0, "r", now=2.0)
+        t0 = time.monotonic()
+        assert store.pop_in_any([tid], wait=WAIT) == [(tid, "r")]
+        assert time.monotonic() - t0 < PROMPT
+
+    def test_empty_expires_after_the_deadline(self, running):
+        store, tid = running
+        t0 = time.monotonic()
+        assert store.pop_in_any([tid], wait=0.05) == []
+        assert 0.04 <= time.monotonic() - t0 < PROMPT
+
+    def test_wakes_on_report(self, running):
+        store, tid = running
+        blocked = _BlockedCall(lambda: store.pop_in_any([tid], wait=WAIT))
+        time.sleep(0.05)
+        store.report(tid, 0, "r", now=2.0)
+        assert blocked.join() == [(tid, "r")]
+        assert blocked.elapsed < PROMPT
+
+    def test_wakes_on_report_batch(self, running):
+        store, tid = running
+        blocked = _BlockedCall(lambda: store.pop_in_any([tid], wait=WAIT))
+        time.sleep(0.05)
+        store.report_batch([(tid, 0, "r")], now=2.0)
+        assert blocked.join() == [(tid, "r")]
+        assert blocked.elapsed < PROMPT
+
+    def test_does_not_wake_for_unwatched_task(self, store):
+        ids = store.create_tasks("e", 0, ["a", "b"], time_created=0.0)
+        store.pop_out(0, 2, worker_pool="w", now=1.0)
+        blocked = _BlockedCall(
+            lambda: store.pop_in_any([ids[0]], wait=0.3)
+        )
+        time.sleep(0.05)
+        store.report(ids[1], 0, "other", now=2.0)
+        assert blocked.join() == []
+        assert blocked.elapsed >= 0.25
+
+    def test_wake_waiters_interrupts_with_empty(self, running):
+        store, tid = running
+        blocked = _BlockedCall(lambda: store.pop_in_any([tid], wait=WAIT))
+        time.sleep(0.05)
+        store.wake_waiters()
+        assert blocked.join() == []
+        assert blocked.elapsed < PROMPT
+
+
+class TestCrossProcessDegradedMode:
+    """Two sqlite handles on one file share no condvars: the waiter's
+    internal re-poll (``wait_poll_interval``) must find foreign writes."""
+
+    def test_waiter_discovers_foreign_create(self, tmp_path):
+        path = str(tmp_path / "shared.db")
+        reader = SqliteTaskStore(path, wait_poll_interval=0.02)
+        writer = SqliteTaskStore(path)
+        try:
+            blocked = _BlockedCall(lambda: _claim(reader, wait=WAIT))
+            time.sleep(0.05)
+            [tid] = writer.create_tasks("e", 0, ["p"], time_created=0.0)
+            assert blocked.join() == [(tid, "p")]
+            assert blocked.elapsed < PROMPT
+        finally:
+            reader.close()
+            writer.close()
+
+    def test_waiter_discovers_foreign_report(self, tmp_path):
+        path = str(tmp_path / "shared.db")
+        reader = SqliteTaskStore(path, wait_poll_interval=0.02)
+        writer = SqliteTaskStore(path)
+        try:
+            [tid] = writer.create_tasks("e", 0, ["p"], time_created=0.0)
+            assert _claim(writer)
+            blocked = _BlockedCall(
+                lambda: reader.pop_in_any([tid], wait=WAIT)
+            )
+            time.sleep(0.05)
+            writer.report(tid, 0, "r", now=2.0)
+            assert blocked.join() == [(tid, "r")]
+            assert blocked.elapsed < PROMPT
+        finally:
+            reader.close()
+            writer.close()
+
+
+class TestCapabilityFlag:
+    def test_real_backends_advertise_wait(self, store):
+        assert store.supports_wait is True
+
+    def test_base_contract_defaults_to_no_wait(self):
+        from repro.db.backend import TaskStore
+
+        assert TaskStore.supports_wait is False
+
+    def test_memory_store_flag(self):
+        s = MemoryTaskStore()
+        try:
+            assert s.supports_wait
+        finally:
+            s.close()

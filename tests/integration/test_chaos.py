@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import random
+import threading
 import time
 
 import pytest
@@ -125,6 +126,70 @@ class TestProxyChaos:
                 pool.stop(drain=False, timeout=5)
             me_store.close()
             pool_store.close()
+            proxy.stop()
+            service.stop()
+            backing.close()
+
+
+class TestSeverMidWait:
+    def test_blocked_wait_survives_severed_connection(self):
+        """Sever the proxy while a ``pop_out`` long-poll is parked
+        server-side: the client's wait channel reconnects and re-issues
+        the wait, and the eventual task is claimed exactly once.
+
+        The fetcher idiom is re-issue-until-claimed: each empty wait
+        (server cap, shutdown wake) just loops.  The sever leaves a
+        *stale* handler thread parked in the backend whose response can
+        only go to a dead socket; ``wake_waiters`` flushes it — its
+        empty reply is lost with its connection — before the task is
+        published, proving the reconnected wait is the one that claims.
+        """
+        backing = MemoryTaskStore()
+        service = TaskService(backing).start()
+        proxy = ChaosProxy(*service.address, rng=random.Random(7)).start()
+        store = RemoteTaskStore(*proxy.address, retry=RETRY)
+        popped: list[list[tuple[int, str]]] = []
+
+        def fetch_until_claimed() -> None:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                got = store.pop_out(0, n=1, worker_pool="w", now=1.0, wait=5.0)
+                if got:
+                    popped.append(got)
+                    return
+
+        def parked_waiters() -> int:
+            return service.status_snapshot()["service"]["waiters"]
+
+        try:
+            waiter = threading.Thread(target=fetch_until_claimed)
+            waiter.start()
+            # Wait until the RPC is parked in the service's long-poll.
+            deadline = time.monotonic() + 5.0
+            while parked_waiters() < 1:
+                assert time.monotonic() < deadline, "wait RPC never parked"
+                time.sleep(0.005)
+
+            assert proxy.sever_all() >= 1
+            # Flush the stale handler (it returns empty into its dead
+            # socket and exits) and give the client time to reconnect
+            # and re-issue; an in-flight re-issue just loops on empty.
+            backing.wake_waiters()
+            time.sleep(0.3)
+            [tid] = backing.create_tasks(
+                "sever", 0, [json.dumps({"x": 3})], time_created=1.0
+            )
+            waiter.join(timeout=15.0)
+            assert not waiter.is_alive(), "waiter never returned"
+
+            # Exactly once: one claim, by the reconnected wait.
+            assert popped == [[(tid, json.dumps({"x": 3}))]]
+            assert backing.get_task(tid).eq_status == TaskStatus.RUNNING
+            assert backing.queue_out_length() == 0
+            assert proxy.connections_severed >= 1
+            assert parked_waiters() == 0
+        finally:
+            store.close()
             proxy.stop()
             service.stop()
             backing.close()

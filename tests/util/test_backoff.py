@@ -1,0 +1,65 @@
+"""Decorrelated-jitter backoff: bounds, determinism, reset."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.util.backoff import DecorrelatedJitter, poll_cap
+
+
+class TestPollCap:
+    def test_small_delays_cap_at_sixteen_x(self):
+        assert poll_cap(0.02) == pytest.approx(0.32)
+        assert poll_cap(0.05) == pytest.approx(0.8)
+
+    def test_cap_never_exceeds_one_second(self):
+        assert poll_cap(0.5) == 1.0
+        assert poll_cap(0.0625) == 1.0
+
+    def test_cap_never_below_the_configured_delay(self):
+        # A caller already polling slower than 1s keeps its own delay.
+        assert poll_cap(2.0) == 2.0
+
+
+class TestDecorrelatedJitter:
+    def test_rejects_non_positive_base(self):
+        with pytest.raises(ValueError):
+            DecorrelatedJitter(0.0)
+        with pytest.raises(ValueError):
+            DecorrelatedJitter(-0.1)
+
+    def test_every_draw_within_base_and_cap(self):
+        jitter = DecorrelatedJitter(0.05, rng=random.Random(1))
+        for _ in range(200):
+            value = jitter.next()
+            assert jitter.base <= value <= jitter.cap
+
+    def test_seeded_sequences_are_deterministic(self):
+        a = DecorrelatedJitter(0.02, rng=random.Random(7))
+        b = DecorrelatedJitter(0.02, rng=random.Random(7))
+        assert [a.next() for _ in range(20)] == [b.next() for _ in range(20)]
+
+    def test_independent_seeds_decorrelate(self):
+        a = DecorrelatedJitter(0.02, rng=random.Random(1))
+        b = DecorrelatedJitter(0.02, rng=random.Random(2))
+        assert [a.next() for _ in range(10)] != [b.next() for _ in range(10)]
+
+    def test_growth_is_bounded_by_explicit_cap(self):
+        jitter = DecorrelatedJitter(0.1, cap=0.25, rng=random.Random(3))
+        values = [jitter.next() for _ in range(100)]
+        assert max(values) <= 0.25
+
+    def test_cap_is_raised_to_base_when_inverted(self):
+        jitter = DecorrelatedJitter(0.5, cap=0.1)
+        assert jitter.cap == 0.5
+
+    def test_reset_restarts_from_base(self):
+        rng = random.Random(11)
+        jitter = DecorrelatedJitter(0.05, rng=rng)
+        for _ in range(50):
+            jitter.next()  # let the state grow toward the cap
+        jitter.reset()
+        # The first post-reset draw is bounded by uniform(base, 3*base).
+        assert jitter.next() <= 3 * jitter.base
