@@ -623,6 +623,133 @@ def bench_telemetry_push(smoke: bool = False) -> dict:
     )
 
 
+def bench_cache_hit_latency(smoke: bool = False) -> dict:
+    """Cache-hit submit→result latency vs the cold execution round trip.
+
+    Cold: submit a distinct payload through a live threaded pool and
+    block for its result — pays create, pop, execute, report, and the
+    result pop.  Hit: resubmit the same payloads with ``cache="read"``
+    — the future returns already resolved from one ``cache_get``.  The
+    ISSUE's acceptance bar is ``hit_vs_cold_speedup`` ≥ 10×.
+    """
+    from repro.core import EQSQL
+    from repro.db import MemoryTaskStore
+    from repro.pools import PoolConfig, PythonTaskHandler, ThreadedWorkerPool
+
+    n = 20 if smoke else 200
+    # A fixed per-task cost stands in for model execution — 1 ms is
+    # *conservative*: real epi simulations run for seconds, so the
+    # measured speedup is a floor on the production win.
+    task_cost = 0.001
+
+    def handler(data):
+        time.sleep(task_cost)
+        return data
+
+    eq = EQSQL(MemoryTaskStore(cache_capacity=2 * n))
+    pool = ThreadedWorkerPool(
+        eq,
+        PythonTaskHandler(handler),
+        PoolConfig(work_type=0, n_workers=4, batch_size=8, poll_delay=0.001),
+    ).start()
+    payloads = ['{"point": %d}' % i for i in range(n)]
+    try:
+        t0 = time.perf_counter()
+        for payload in payloads:
+            future = eq.submit_task("bench", 0, payload, cache="readwrite")
+            status, _result = future.result(delay=0.001, timeout=60)
+            assert status.name == "SUCCESS"
+        t1 = time.perf_counter()
+        cold = (t1 - t0) / n
+
+        t0 = time.perf_counter()
+        for payload in payloads:
+            future = eq.submit_task("bench", 0, payload, cache="read")
+            status, _result = future.result(delay=0.001, timeout=60)
+            assert status.name == "SUCCESS"
+        t1 = time.perf_counter()
+        hit = (t1 - t0) / n
+        stats = eq.cache_stats()
+        assert stats["hits"] >= n, stats
+    finally:
+        pool.stop()
+        eq.close()
+    return make_result(
+        "cache_hit_latency",
+        {
+            "cold_roundtrip_seconds": cold,
+            "hit_roundtrip_seconds": hit,
+            "hit_vs_cold_speedup": cold / hit if hit > 0 else 0.0,
+        },
+        smoke,
+        {"n_tasks": n, "n_workers": 4, "task_cost_seconds": task_cost},
+    )
+
+
+def bench_repeated_sweep(smoke: bool = False) -> dict:
+    """A parameter sweep re-run with duplicate points, cached vs not.
+
+    Sweeps ``n_points`` distinct payloads ``n_repeats`` times.  Uncached,
+    every point executes every repeat; with ``cache="readwrite"`` only
+    the first repeat executes — later repeats are served from the cache
+    (or coalesce in flight) and skip the pool entirely.
+    ``duplicate_skip_reduction`` is the executed-work saved
+    (``(n_repeats - 1) / n_repeats`` when the cache is perfect).
+    """
+    import threading
+
+    from repro.core import EQSQL, as_completed
+    from repro.db import MemoryTaskStore
+    from repro.pools import PoolConfig, PythonTaskHandler, ThreadedWorkerPool
+
+    n_points = 10 if smoke else 60
+    n_repeats = 3
+    total = n_points * n_repeats
+    payloads = ['{"point": %d}' % i for i in range(n_points)]
+    metrics: dict[str, float] = {}
+    executed_by_mode: dict[str, int] = {}
+    for label, cache in (("uncached", "off"), ("cached", "readwrite")):
+        executed = 0
+        lock = threading.Lock()
+
+        def handler(data, _lock=lock):
+            nonlocal executed
+            with _lock:
+                executed += 1
+            return data
+
+        eq = EQSQL(MemoryTaskStore(cache_capacity=2 * n_points))
+        pool = ThreadedWorkerPool(
+            eq,
+            PythonTaskHandler(handler),
+            PoolConfig(work_type=0, n_workers=4, batch_size=8, poll_delay=0.001),
+        ).start()
+        try:
+            t0 = time.perf_counter()
+            for _repeat in range(n_repeats):
+                futures = eq.submit_tasks("bench", 0, payloads, cache=cache)
+                done = list(as_completed(futures, delay=0.001, timeout=120))
+                assert len(done) == n_points
+            t1 = time.perf_counter()
+        finally:
+            pool.stop()
+            eq.close()
+        metrics[f"{label}_sweep_per_s"] = _rate(total, t1 - t0)
+        executed_by_mode[label] = executed
+    assert executed_by_mode["uncached"] == total
+    assert executed_by_mode["cached"] == n_points, executed_by_mode
+    metrics["tasks_executed_cached"] = float(executed_by_mode["cached"])
+    metrics["duplicate_skip_reduction"] = (
+        (total - executed_by_mode["cached"]) / total
+    )
+    return make_result(
+        "repeated_sweep",
+        metrics,
+        smoke,
+        {"n_points": n_points, "n_repeats": n_repeats, "n_workers": 4},
+    )
+
+
 BENCHES: dict[str, Callable[[bool], dict]] = {
     "db_throughput": bench_db_throughput,
     "store_rpc": bench_store_rpc,
@@ -636,6 +763,8 @@ BENCHES: dict[str, Callable[[bool], dict]] = {
     "telemetry_push": bench_telemetry_push,
     "dispatch_latency": bench_dispatch_latency,
     "idle_rpc_rate": bench_idle_rpc_rate,
+    "cache_hit_latency": bench_cache_hit_latency,
+    "repeated_sweep": bench_repeated_sweep,
 }
 
 

@@ -10,6 +10,7 @@ the signatures in the paper's Listing 1.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Sequence
 from typing import Any, TypeVar
 
@@ -29,8 +30,12 @@ from repro.telemetry.metrics import (
 from repro.telemetry.tracing import Tracer, get_tracer
 from repro.util.backoff import DecorrelatedJitter
 from repro.util.clock import Clock, SystemClock
+from repro.util.serialization import cache_key
 
 T = TypeVar("T")
+
+#: Valid values for the ``cache=`` submission kwarg.
+CACHE_MODES = ("off", "read", "readwrite")
 
 #: The status message returned when a blocking query times out,
 #: e.g. ``{'type': 'status', 'payload': 'TIMEOUT'}``.
@@ -56,6 +61,30 @@ def _work_message(
     if trace is not None:
         message["trace"] = trace
     return message
+
+
+class _CacheFlight:
+    """One in-flight cache-keyed task: the single submitted copy that
+    every identical submission coalesces onto until its result lands.
+
+    ``futures`` holds every Future watching the flight (the original
+    submission's plus each coalesced duplicate's); all share the same
+    ``eq_task_id``, and settlement fans the one popped result out to
+    all of them.  ``writeback`` marks the flight for report-/pop-time
+    ``cache_put``; ``written`` makes that put once-only.
+    """
+
+    __slots__ = ("key", "eq_type", "eq_task_id", "writeback", "written", "futures")
+
+    def __init__(
+        self, key: str, eq_type: int, eq_task_id: int, writeback: bool
+    ) -> None:
+        self.key = key
+        self.eq_type = eq_type
+        self.eq_task_id = eq_task_id
+        self.writeback = writeback
+        self.written = False
+        self.futures: list[Any] = []
 
 
 def _unwrap_popped(popped: list[tuple[int, str]]) -> list[dict[str, Any]]:
@@ -100,12 +129,29 @@ class EQSQL:
         clock: Clock | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        *,
+        cache_ttl: float | None = None,
     ) -> None:
         self._store = store
         self._clock = clock if clock is not None else SystemClock()
         self._closed = False
         self._tracer = tracer
+        #: TTL (seconds) stamped on cache entries written by ``readwrite``
+        #: submissions; ``None`` = entries never expire (LRU-only).
+        self._cache_ttl = cache_ttl
+        # Single-flight state: one flight per distinct cache key in
+        # flight; both maps point at the same _CacheFlight objects.
+        self._cache_lock = threading.Lock()
+        self._flights_by_key: dict[str, _CacheFlight] = {}
+        self._flights_by_id: dict[int, _CacheFlight] = {}
+        # Cache-hit futures never touch the store, but every future needs
+        # a unique id (collection ops key on it); negatives can't collide
+        # with store-assigned task ids, which start at 1.
+        self._synthetic_id = 0
         registry = metrics if metrics is not None else get_metrics()
+        self._m_coalesced = registry.counter(
+            "cache.coalesce", "duplicate in-flight submissions coalesced"
+        )
         self._m_submitted = registry.counter(
             "eqsql.tasks_submitted", "tasks created in the EMEWS DB"
         )
@@ -211,19 +257,15 @@ class EQSQL:
 
     # -- submission (ME algorithm side) ---------------------------------------
 
-    def submit_task(
+    def _create_one(
         self,
         exp_id: str,
         eq_type: int,
         payload: str,
-        priority: int = 0,
-        tag: str | None = None,
-    ) -> "Future":
-        """Submit a task; returns a :class:`Future` for its result.
-
-        The payload must carry sufficient information for a worker pool
-        to execute the task — typically a JSON string.
-        """
+        priority: int,
+        tag: str | None,
+    ) -> int:
+        """Create one task row in the store; returns its id."""
         self._m_submitted.inc()
         self._m_payload_bytes.observe(len(payload))
         tracer = self.tracer
@@ -249,19 +291,17 @@ class EQSQL:
                 tag=tag,
                 time_created=self._clock.now(),
             )
-        from repro.core.futures import Future
+        return eq_task_id
 
-        return Future(self, eq_task_id, eq_type, exp_id=exp_id, tag=tag)
-
-    def submit_tasks(
+    def _create_batch(
         self,
         exp_id: str,
         eq_type: int,
         payloads: Sequence[str],
-        priority: int | Sequence[int] = 0,
-        tag: str | None = None,
-    ) -> list["Future"]:
-        """Batch submission: one store transaction, many futures."""
+        priority: int | Sequence[int],
+        tag: str | None,
+    ) -> list[int]:
+        """Create a batch of task rows in one store transaction."""
         self._m_submitted.inc(len(payloads))
         for payload in payloads:
             self._m_payload_bytes.observe(len(payload))
@@ -290,12 +330,230 @@ class EQSQL:
                 tag=tag,
                 time_created=self._clock.now(),
             )
+        return ids
+
+    def _completed_future(
+        self, eq_type: int, exp_id: str, tag: str | None, result: str
+    ) -> "Future":
+        """An already-resolved Future for a cache hit (no store row)."""
         from repro.core.futures import Future
 
-        return [
-            Future(self, eq_task_id, eq_type, exp_id=exp_id, tag=tag)
-            for eq_task_id in ids
-        ]
+        with self._cache_lock:
+            self._synthetic_id -= 1
+            synthetic = self._synthetic_id
+        future = Future(self, synthetic, eq_type, exp_id=exp_id, tag=tag)
+        future._set_result(result)
+        return future
+
+    def submit_task(
+        self,
+        exp_id: str,
+        eq_type: int,
+        payload: str,
+        priority: int = 0,
+        tag: str | None = None,
+        cache: str = "off",
+    ) -> "Future":
+        """Submit a task; returns a :class:`Future` for its result.
+
+        The payload must carry sufficient information for a worker pool
+        to execute the task — typically a JSON string.
+
+        ``cache`` selects result memoization, content-addressed by
+        ``(eq_type, canonical payload)``:
+
+        - ``"off"`` (default): always execute; the cache is not consulted.
+        - ``"read"``: a cached result returns an already-completed Future
+          without creating a task; a miss executes normally and does
+          *not* populate the cache.
+        - ``"readwrite"``: as ``"read"``, and the task's first reported
+          result is written back to the cache (TTL from the instance's
+          ``cache_ttl``).
+
+        Either cached mode is also *single-flight*: a submission whose
+        key matches a task still in flight coalesces onto that task —
+        no new row is created, and the returned Future resolves with
+        the original task's result when it lands.
+        """
+        from repro.core.futures import Future
+
+        if cache == "off":
+            eq_task_id = self._create_one(exp_id, eq_type, payload, priority, tag)
+            return Future(self, eq_task_id, eq_type, exp_id=exp_id, tag=tag)
+        if cache not in CACHE_MODES:
+            raise ValueError(f"cache must be one of {CACHE_MODES}, got {cache!r}")
+        key = cache_key(eq_type, payload)
+        cached = self._store.cache_get(key, now=self._clock.now())
+        if cached is not None:
+            return self._completed_future(eq_type, exp_id, tag, cached)
+        writeback = cache == "readwrite"
+        with self._cache_lock:
+            flight = self._flights_by_key.get(key)
+            if flight is not None:
+                # Coalesce: piggyback on the in-flight task.  A readwrite
+                # duplicate upgrades a read-only flight to write back.
+                flight.writeback = flight.writeback or writeback
+                future = Future(
+                    self, flight.eq_task_id, eq_type, exp_id=exp_id, tag=tag
+                )
+                flight.futures.append(future)
+                self._m_coalesced.inc()
+                return future
+            # Single-flight: the lock is held across the create so a
+            # concurrent identical submission coalesces instead of
+            # double-submitting.
+            eq_task_id = self._create_one(exp_id, eq_type, payload, priority, tag)
+            future = Future(self, eq_task_id, eq_type, exp_id=exp_id, tag=tag)
+            flight = _CacheFlight(key, eq_type, eq_task_id, writeback)
+            flight.futures.append(future)
+            self._flights_by_key[key] = flight
+            self._flights_by_id[eq_task_id] = flight
+            return future
+
+    def submit_tasks(
+        self,
+        exp_id: str,
+        eq_type: int,
+        payloads: Sequence[str],
+        priority: int | Sequence[int] = 0,
+        tag: str | None = None,
+        cache: str = "off",
+    ) -> list["Future"]:
+        """Batch submission: one store transaction, many futures.
+
+        ``cache`` applies :meth:`submit_task` memoization per payload;
+        only cache misses that are not already in flight reach the
+        store (still as one transaction).  Duplicate payloads *within*
+        the batch coalesce onto the first occurrence's task.
+        """
+        from repro.core.futures import Future
+
+        if cache == "off":
+            ids = self._create_batch(exp_id, eq_type, payloads, priority, tag)
+            return [
+                Future(self, eq_task_id, eq_type, exp_id=exp_id, tag=tag)
+                for eq_task_id in ids
+            ]
+        if cache not in CACHE_MODES:
+            raise ValueError(f"cache must be one of {CACHE_MODES}, got {cache!r}")
+        keys = [cache_key(eq_type, p) for p in payloads]
+        now = self._clock.now()
+        writeback = cache == "readwrite"
+        futures: list[Future | None] = [None] * len(payloads)
+        with self._cache_lock:
+            create: list[int] = []  # positions needing a real task
+            local: dict[str, int] = {}  # key -> leader position in this batch
+            trailing: list[tuple[int, int]] = []  # (position, leader position)
+            for i, key in enumerate(keys):
+                cached = self._store.cache_get(key, now=now)
+                if cached is not None:
+                    self._synthetic_id -= 1
+                    future = Future(
+                        self, self._synthetic_id, eq_type, exp_id=exp_id, tag=tag
+                    )
+                    future._set_result(cached)
+                    futures[i] = future
+                    continue
+                flight = self._flights_by_key.get(key)
+                if flight is not None:
+                    flight.writeback = flight.writeback or writeback
+                    future = Future(
+                        self, flight.eq_task_id, eq_type, exp_id=exp_id, tag=tag
+                    )
+                    flight.futures.append(future)
+                    futures[i] = future
+                    self._m_coalesced.inc()
+                    continue
+                if key in local:
+                    # Duplicate within the batch: its flight exists only
+                    # after the leader's create below.
+                    trailing.append((i, local[key]))
+                    self._m_coalesced.inc()
+                    continue
+                local[key] = i
+                create.append(i)
+            if create:
+                sub_priority: int | list[int]
+                if isinstance(priority, int):
+                    sub_priority = priority
+                else:
+                    sub_priority = [priority[i] for i in create]
+                ids = self._create_batch(
+                    exp_id, eq_type, [payloads[i] for i in create], sub_priority, tag
+                )
+                for pos, eq_task_id in zip(create, ids):
+                    future = Future(
+                        self, eq_task_id, eq_type, exp_id=exp_id, tag=tag
+                    )
+                    futures[pos] = future
+                    flight = _CacheFlight(keys[pos], eq_type, eq_task_id, writeback)
+                    flight.futures.append(future)
+                    self._flights_by_key[keys[pos]] = flight
+                    self._flights_by_id[eq_task_id] = flight
+            for pos, leader in trailing:
+                flight = self._flights_by_key[keys[leader]]
+                future = Future(
+                    self, flight.eq_task_id, eq_type, exp_id=exp_id, tag=tag
+                )
+                flight.futures.append(future)
+                futures[pos] = future
+        return futures
+
+    # -- cache plumbing -------------------------------------------------------
+
+    def _writeback_cache(
+        self, reports: Sequence[tuple[int, int, str]]
+    ) -> None:
+        """Report-time cache population for watched readwrite flights.
+
+        Runs on the reporting instance: when the reporter shares the
+        EQSQL instance with the submitter (in-process pools, including
+        the batch reporter path) the cache fills the moment the result
+        is reported, before any retrieval.  Each flight writes at most
+        once — the first report wins, matching the store's first-write
+        -wins report semantics.
+        """
+        if not self._flights_by_id:
+            return
+        puts: list[tuple[str, int, str]] = []
+        with self._cache_lock:
+            for eq_task_id, eq_type, result in reports:
+                flight = self._flights_by_id.get(eq_task_id)
+                if flight is not None and flight.writeback and not flight.written:
+                    flight.written = True
+                    puts.append((flight.key, eq_type, result))
+        now = self._clock.now()
+        for key, eq_type, result in puts:
+            self._store.cache_put(
+                key, eq_type, result, now=now, ttl=self._cache_ttl
+            )
+
+    def _settle_cache(self, eq_task_id: int, result: str) -> None:
+        """A flight's result landed (popped off the input queue): write
+        back if the report-time hook didn't (remote reporter), and fan
+        the one popped result out to every coalesced Future — popping
+        consumes the row, so siblings can never pop it themselves.
+        """
+        if not self._flights_by_id:
+            return
+        with self._cache_lock:
+            flight = self._flights_by_id.pop(eq_task_id, None)
+            if flight is not None and self._flights_by_key.get(flight.key) is flight:
+                del self._flights_by_key[flight.key]
+        if flight is None:
+            return
+        if flight.writeback and not flight.written:
+            flight.written = True
+            self._store.cache_put(
+                flight.key, flight.eq_type, result,
+                now=self._clock.now(), ttl=self._cache_ttl,
+            )
+        for future in flight.futures:
+            future._set_result(result)
+
+    def cache_stats(self) -> dict:
+        """The store's cache counters (entries, hits, misses, ...)."""
+        return self._store.cache_stats()
 
     # -- queue queries (worker pool side) ---------------------------------------
 
@@ -431,12 +689,15 @@ class EQSQL:
                 eq_task_id, eq_type, result,
                 now=self._clock.now(), profile=profile,
             )
-            return
-        with tracer.span("eqsql.report", component="eqsql", eq_task_id=eq_task_id):
-            self._store.report(
-                eq_task_id, eq_type, result,
-                now=self._clock.now(), profile=profile,
-            )
+        else:
+            with tracer.span(
+                "eqsql.report", component="eqsql", eq_task_id=eq_task_id
+            ):
+                self._store.report(
+                    eq_task_id, eq_type, result,
+                    now=self._clock.now(), profile=profile,
+                )
+        self._writeback_cache([(eq_task_id, eq_type, result)])
 
     def report_tasks(
         self,
@@ -462,11 +723,14 @@ class EQSQL:
             self._store.report_batch(
                 reports, now=self._clock.now(), profiles=profiles
             )
-            return
-        with tracer.span("eqsql.report_batch", component="eqsql", n=len(reports)):
-            self._store.report_batch(
-                reports, now=self._clock.now(), profiles=profiles
-            )
+        else:
+            with tracer.span(
+                "eqsql.report_batch", component="eqsql", n=len(reports)
+            ):
+                self._store.report_batch(
+                    reports, now=self._clock.now(), profiles=profiles
+                )
+        self._writeback_cache(reports)
 
     # -- result retrieval (ME algorithm side) --------------------------------------
 
@@ -501,6 +765,7 @@ class EQSQL:
             sp.set_attr("found", result is not None)
         if result is None:
             return (ResultStatus.FAILURE, EQ_TIMEOUT)
+        self._settle_cache(eq_task_id, result)
         return (ResultStatus.SUCCESS, result)
 
     def pop_completed_ids(
@@ -519,8 +784,13 @@ class EQSQL:
         preserved); wait-ignoring stores return immediately.
         """
         if wait is None:
-            return self._store.pop_in_any(eq_task_ids, limit=limit)
-        return self._store.pop_in_any(eq_task_ids, limit=limit, wait=wait)
+            popped = self._store.pop_in_any(eq_task_ids, limit=limit)
+        else:
+            popped = self._store.pop_in_any(eq_task_ids, limit=limit, wait=wait)
+        if self._flights_by_id:
+            for eq_task_id, result in popped:
+                self._settle_cache(eq_task_id, result)
+        return popped
 
     # -- status / priority / cancellation -------------------------------------------
 
@@ -554,6 +824,28 @@ class EQSQL:
         ) as sp:
             canceled = self._store.cancel_tasks(eq_task_ids)
             sp.set_attr("canceled", canceled)
+        if canceled and self._flights_by_id:
+            # A canceled flight will never settle; drop it so a later
+            # identical submission creates a fresh task instead of
+            # coalescing onto a task that can never complete.  Only
+            # actually-CANCELED ids are dropped (a cancel attempt on a
+            # RUNNING task leaves its flight live).
+            with self._cache_lock:
+                watched = [t for t in eq_task_ids if t in self._flights_by_id]
+            if watched:
+                canceled_ids = {
+                    tid
+                    for tid, status in self._store.get_statuses(watched)
+                    if status == TaskStatus.CANCELED
+                }
+                with self._cache_lock:
+                    for tid in canceled_ids:
+                        flight = self._flights_by_id.pop(tid, None)
+                        if (
+                            flight is not None
+                            and self._flights_by_key.get(flight.key) is flight
+                        ):
+                            del self._flights_by_key[flight.key]
         return canceled
 
     # -- introspection ------------------------------------------------------------------
@@ -593,6 +885,7 @@ def init_eqsql(
     clock: Clock | None = None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    cache_ttl: float | None = None,
 ) -> EQSQL:
     """Create an :class:`EQSQL` instance (the paper's ``init_esql``).
 
@@ -604,4 +897,4 @@ def init_eqsql(
         store = MemoryTaskStore()
     else:
         store = SqliteTaskStore(db_path)
-    return EQSQL(store, clock=clock, tracer=tracer, metrics=metrics)
+    return EQSQL(store, clock=clock, tracer=tracer, metrics=metrics, cache_ttl=cache_ttl)

@@ -85,6 +85,10 @@ class Future:
         """The task's current database status."""
         if self._cancelled:
             return TaskStatus.CANCELED
+        if self._result is not None:
+            # A cached result is definitive — and cache-hit futures hold
+            # a synthetic id with no database row to consult.
+            return TaskStatus.COMPLETE
         statuses = self.eqsql.query_status([self.eq_task_id])
         if not statuses:
             raise ValueError(f"task {self.eq_task_id} not found")
@@ -222,6 +226,9 @@ def as_completed(
     backoff: DecorrelatedJitter | None = None
     yielded = 0
     target = len(futures) if n is None else min(n, len(futures))
+    # Keyed by object identity, not eq_task_id: coalesced duplicates
+    # (single-flight cache submissions) share one task id but are
+    # distinct futures, and each must be yielded once.
     seen: set[int] = set()
     while True:
         # Results cached before this iteration (by a prior drain or an
@@ -229,10 +236,10 @@ def as_completed(
         ready = [
             f
             for f in list(futures)
-            if f.eq_task_id not in seen and f._result is not None
+            if id(f) not in seen and f._result is not None
         ]
         for future in ready:
-            seen.add(future.eq_task_id)
+            seen.add(id(future))
             if pop:
                 futures.remove(future)
             yielded += 1
@@ -242,7 +249,7 @@ def as_completed(
         remaining = [
             f
             for f in futures
-            if f.eq_task_id not in seen and f._result is None and not f._cancelled
+            if id(f) not in seen and f._result is None and not f._cancelled
         ]
         if not remaining:
             return  # everything else was canceled or already yielded

@@ -266,6 +266,9 @@ class TaskService:
             "requeue_expired",
             "tasks_for_experiment",
             "tasks_for_tag",
+            "cache_get",
+            "cache_put",
+            "cache_stats",
             "max_task_id",
             "stats",
             "clear",
@@ -614,6 +617,9 @@ class TaskService:
                 },
             },
             "store": self._store.stats(now=now),
+            # Result-cache occupancy and traffic; the base-contract
+            # fallback reports an empty cache for cacheless stores.
+            "cache": self._store.cache_stats(),
         }
         if self._sampler is not None:
             snapshot["sampler"] = self._sampler.summary()

@@ -118,6 +118,12 @@ IDEMPOTENT_METHODS: frozenset[str] = frozenset(
         "requeue_expired",
         "tasks_for_experiment",
         "tasks_for_tag",
+        # Cache ops: get is a read (the LRU touch converges), put is
+        # last-write-wins on a content hash — re-sending either lands
+        # the same state.
+        "cache_get",
+        "cache_put",
+        "cache_stats",
         "max_task_id",
         "stats",
         "clear",
@@ -998,6 +1004,32 @@ class RemoteTaskStore(TaskStore):
 
     def tasks_for_tag(self, tag: str) -> list[int]:
         return list(self._call("tasks_for_tag", {"tag": tag}))
+
+    def cache_get(self, cache_key: str, *, now: float = 0.0) -> str | None:
+        return self._call("cache_get", {"cache_key": cache_key, "now": now})
+
+    def cache_put(
+        self,
+        cache_key: str,
+        eq_type: int,
+        result: str,
+        *,
+        now: float = 0.0,
+        ttl: float | None = None,
+    ) -> None:
+        self._call(
+            "cache_put",
+            {
+                "cache_key": cache_key,
+                "eq_type": eq_type,
+                "result": result,
+                "now": now,
+                "ttl": ttl,
+            },
+        )
+
+    def cache_stats(self) -> dict:
+        return self._call("cache_stats", {})
 
     def stats(self, *, now: float = 0.0) -> dict:
         return self._call("stats", {"now": now})

@@ -359,6 +359,63 @@ class TaskStore(ABC):
         (``lease_expiry > now``) and expired (reapable) counts.
         """
 
+    # -- result cache ------------------------------------------------------
+
+    def cache_get(self, cache_key: str, *, now: float = 0.0) -> str | None:
+        """Look up a cached result by content hash; ``None`` on miss.
+
+        ``cache_key`` is the content address from
+        :func:`repro.util.serialization.cache_key`.  A hit refreshes the
+        entry's LRU position; an entry whose TTL expired before ``now``
+        is dropped and reported as a miss.  The base implementation is a
+        cacheless store: every lookup misses.  Semantics on caching
+        backends (shared with the conformance model):
+
+        - entries are keyed by the hash alone — one result per content;
+        - ``expiry`` is absolute store time (``now + ttl`` at put);
+          ``expiry <= now`` at get time deletes the entry and misses;
+        - recency is a per-store monotonic use counter, bumped on every
+          get hit and put.
+        """
+        return None
+
+    def cache_put(
+        self,
+        cache_key: str,
+        eq_type: int,
+        result: str,
+        *,
+        now: float = 0.0,
+        ttl: float | None = None,
+    ) -> None:
+        """Insert (or refresh) one cached result under its content hash.
+
+        Last write wins on a duplicate key — re-putting refreshes the
+        stored result, expiry, and LRU position, which is the right
+        convergence for a retried put.  When the insert pushes the cache
+        past its capacity bound, least-recently-used entries are evicted
+        until the bound holds.  ``ttl`` seconds from ``now`` bounds the
+        entry's life (``None`` = no TTL).  The base implementation
+        discards the entry (cacheless store).
+        """
+
+    def cache_stats(self) -> dict:
+        """JSON-ready snapshot of cache occupancy and traffic counters.
+
+        Keys: ``entries`` / ``capacity`` (occupancy) and ``hits`` /
+        ``misses`` / ``inserts`` / ``evictions`` (monotonic counters
+        since the store opened).  Feeds the ``cache`` section of the
+        service ``/status`` document.
+        """
+        return {
+            "entries": 0,
+            "capacity": 0,
+            "hits": 0,
+            "misses": 0,
+            "inserts": 0,
+            "evictions": 0,
+        }
+
     # -- maintenance -------------------------------------------------------
 
     @abstractmethod

@@ -68,6 +68,8 @@ class MemoryTaskStore(TaskStore):
         self,
         metrics: MetricsRegistry | None = None,
         journal: Journal | None = None,
+        *,
+        cache_capacity: int = 512,
     ) -> None:
         registry = metrics if metrics is not None else get_metrics()
         # Flight recorder: resolved per call when not injected, so a
@@ -82,6 +84,18 @@ class MemoryTaskStore(TaskStore):
         self._m_report_withdrawals = registry.counter(
             "db.report_withdrawals",
             "requeued copies withdrawn because the original report landed",
+        )
+        self._m_cache_hit = registry.counter(
+            "cache.hit", "result-cache lookups answered from the cache"
+        )
+        self._m_cache_miss = registry.counter(
+            "cache.miss", "result-cache lookups that found nothing live"
+        )
+        self._m_cache_insert = registry.counter(
+            "cache.insert", "result-cache entries written"
+        )
+        self._m_cache_evict = registry.counter(
+            "cache.evict", "result-cache entries evicted by the LRU bound"
         )
         self._lock = threading.RLock()
         self._tasks: dict[int, TaskRow] = {}
@@ -114,6 +128,20 @@ class MemoryTaskStore(TaskStore):
         # Bumped by wake_waiters(); wait loops capture it on entry and
         # give up (return empty) the moment it moves — the shutdown wake.
         self._wake_epoch = 0
+        # Content-addressed result cache: key -> [eq_type, result,
+        # expiry, last_used].  ``last_used`` is a per-store monotonic
+        # use counter (not a timestamp) so LRU order is total and
+        # identical under wall-clock and virtual time; eviction scans
+        # for the minimum, which is fine at the capacities involved.
+        if cache_capacity < 1:
+            raise ValueError(f"cache_capacity must be >= 1, got {cache_capacity}")
+        self._cache_capacity = cache_capacity
+        self._cache: dict[str, list] = {}
+        self._cache_use = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_inserts = 0
+        self._cache_evictions = 0
         self._next_id = 1
         self._closed = False
 
@@ -674,6 +702,61 @@ class MemoryTaskStore(TaskStore):
                 },
             }
 
+    # -- result cache -------------------------------------------------------------
+
+    def cache_get(self, cache_key: str, *, now: float = 0.0) -> str | None:
+        with self._lock:
+            self._check_open()
+            entry = self._cache.get(cache_key)
+            if entry is not None:
+                expiry = entry[2]
+                if expiry is not None and expiry <= now:
+                    # TTL lapsed: the entry is dead, drop it on touch.
+                    del self._cache[cache_key]
+                    entry = None
+            if entry is None:
+                self._cache_misses += 1
+                self._m_cache_miss.inc()
+                return None
+            self._cache_use += 1
+            entry[3] = self._cache_use
+            self._cache_hits += 1
+            self._m_cache_hit.inc()
+            return entry[1]
+
+    def cache_put(
+        self,
+        cache_key: str,
+        eq_type: int,
+        result: str,
+        *,
+        now: float = 0.0,
+        ttl: float | None = None,
+    ) -> None:
+        with self._lock:
+            self._check_open()
+            self._cache_use += 1
+            expiry = None if ttl is None else now + ttl
+            self._cache[cache_key] = [eq_type, result, expiry, self._cache_use]
+            self._cache_inserts += 1
+            self._m_cache_insert.inc()
+            while len(self._cache) > self._cache_capacity:
+                victim = min(self._cache, key=lambda k: self._cache[k][3])
+                del self._cache[victim]
+                self._cache_evictions += 1
+                self._m_cache_evict.inc()
+
+    def cache_stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._cache),
+                "capacity": self._cache_capacity,
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "inserts": self._cache_inserts,
+                "evictions": self._cache_evictions,
+            }
+
     # -- experiment / tag queries ------------------------------------------------
 
     def tasks_for_experiment(self, exp_id: str) -> list[int]:
@@ -699,6 +782,7 @@ class MemoryTaskStore(TaskStore):
             self._out_entries.clear()
             self._out_dead.clear()
             self._in_queue.clear()
+            self._cache.clear()
             self._next_id = 1
 
     def wake_waiters(self) -> None:

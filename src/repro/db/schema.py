@@ -139,6 +139,29 @@ SCHEMA_STATEMENTS: tuple[str, ...] = (
     CREATE INDEX IF NOT EXISTS idx_lease_expiry
         ON eq_tasks (lease_expiry) WHERE lease_expiry IS NOT NULL
     """,
+    # Content-addressed result cache.  One row per distinct task content
+    # hash (see ``repro.util.serialization.cache_key``); ``last_used``
+    # is a monotonically assigned use counter driving LRU eviction, and
+    # ``expiry`` (absolute store time, NULL = no TTL) drives expiry.
+    # Existing database files pick the table up automatically: the
+    # migration path replays every SCHEMA_STATEMENT and this is
+    # ``IF NOT EXISTS``.
+    """
+    CREATE TABLE IF NOT EXISTS eq_task_cache (
+        cache_key    TEXT PRIMARY KEY,
+        eq_task_type INTEGER NOT NULL,
+        result       TEXT NOT NULL,
+        time_created REAL NOT NULL,
+        expiry       REAL,
+        last_used    INTEGER NOT NULL DEFAULT 0
+    )
+    """,
+    # LRU eviction deletes the lowest last_used rows; keep that a range
+    # scan rather than a full-table sort.
+    """
+    CREATE INDEX IF NOT EXISTS idx_task_cache_lru
+        ON eq_task_cache (last_used)
+    """,
 )
 
 TABLE_NAMES: tuple[str, ...] = (
@@ -147,4 +170,5 @@ TABLE_NAMES: tuple[str, ...] = (
     "eq_task_tags",
     "emews_queue_out",
     "emews_queue_in",
+    "eq_task_cache",
 )

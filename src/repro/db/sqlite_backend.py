@@ -83,7 +83,10 @@ class SqliteTaskStore(TaskStore):
         durable: bool = False,
         journal: Journal | None = None,
         wait_poll_interval: float = 0.05,
+        cache_capacity: int = 512,
     ) -> None:
+        if cache_capacity < 1:
+            raise ValueError(f"cache_capacity must be >= 1, got {cache_capacity}")
         registry = metrics if metrics is not None else get_metrics()
         # Flight recorder: resolved per call when not injected, so a
         # later configure_journal() is picked up (tracer discipline).
@@ -97,6 +100,18 @@ class SqliteTaskStore(TaskStore):
         self._m_report_withdrawals = registry.counter(
             "db.report_withdrawals",
             "requeued copies withdrawn because the original report landed",
+        )
+        self._m_cache_hit = registry.counter(
+            "cache.hit", "result-cache lookups answered from the cache"
+        )
+        self._m_cache_miss = registry.counter(
+            "cache.miss", "result-cache lookups that found nothing live"
+        )
+        self._m_cache_insert = registry.counter(
+            "cache.insert", "result-cache entries written"
+        )
+        self._m_cache_evict = registry.counter(
+            "cache.evict", "result-cache entries evicted by the LRU bound"
         )
         self._path = path
         self._durable = durable
@@ -141,6 +156,15 @@ class SqliteTaskStore(TaskStore):
                 )
             for stmt in SCHEMA_STATEMENTS:
                 cur.execute(stmt)
+            # Result-cache LRU ordering is a monotonic use counter; on a
+            # reopened file resume past the highest persisted value.
+            cur.execute("SELECT COALESCE(MAX(last_used), 0) FROM eq_task_cache")
+            self._cache_use = int(cur.fetchone()[0])
+        self._cache_capacity = cache_capacity
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_inserts = 0
+        self._cache_evictions = 0
         self._closed = False
 
     @property
@@ -882,6 +906,83 @@ class SqliteTaskStore(TaskStore):
                 "unleased_running": unleased,
             },
         }
+
+    # -- result cache -------------------------------------------------------------
+
+    def cache_get(self, cache_key: str, *, now: float = 0.0) -> str | None:
+        self._check_open()
+        with self._txn() as cur:
+            cur.execute(
+                "SELECT result, expiry FROM eq_task_cache WHERE cache_key = ?",
+                (cache_key,),
+            )
+            row = cur.fetchone()
+            if row is not None and row[1] is not None and row[1] <= now:
+                # TTL lapsed: the entry is dead, drop it on touch.
+                cur.execute(
+                    "DELETE FROM eq_task_cache WHERE cache_key = ?", (cache_key,)
+                )
+                row = None
+            if row is None:
+                self._cache_misses += 1
+                self._m_cache_miss.inc()
+                return None
+            self._cache_use += 1
+            cur.execute(
+                "UPDATE eq_task_cache SET last_used = ? WHERE cache_key = ?",
+                (self._cache_use, cache_key),
+            )
+            self._cache_hits += 1
+            self._m_cache_hit.inc()
+            return row[0]
+
+    def cache_put(
+        self,
+        cache_key: str,
+        eq_type: int,
+        result: str,
+        *,
+        now: float = 0.0,
+        ttl: float | None = None,
+    ) -> None:
+        self._check_open()
+        with self._txn() as cur:
+            self._cache_use += 1
+            expiry = None if ttl is None else now + ttl
+            cur.execute(
+                "INSERT OR REPLACE INTO eq_task_cache"
+                " (cache_key, eq_task_type, result, time_created, expiry,"
+                " last_used) VALUES (?, ?, ?, ?, ?, ?)",
+                (cache_key, eq_type, result, now, expiry, self._cache_use),
+            )
+            self._cache_inserts += 1
+            self._m_cache_insert.inc()
+            cur.execute("SELECT COUNT(*) FROM eq_task_cache")
+            overflow = int(cur.fetchone()[0]) - self._cache_capacity
+            if overflow > 0:
+                # LRU bound: delete the least-recently-used rows (via
+                # the idx_task_cache_lru index) until capacity holds.
+                cur.execute(
+                    "DELETE FROM eq_task_cache WHERE cache_key IN"
+                    " (SELECT cache_key FROM eq_task_cache"
+                    "  ORDER BY last_used ASC LIMIT ?)",
+                    (overflow,),
+                )
+                self._cache_evictions += overflow
+                self._m_cache_evict.inc(overflow)
+
+    def cache_stats(self) -> dict:
+        with self._read() as cur:
+            cur.execute("SELECT COUNT(*) FROM eq_task_cache")
+            entries = int(cur.fetchone()[0])
+            return {
+                "entries": entries,
+                "capacity": self._cache_capacity,
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "inserts": self._cache_inserts,
+                "evictions": self._cache_evictions,
+            }
 
     # -- experiment / tag queries ------------------------------------------------
 

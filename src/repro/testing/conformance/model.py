@@ -52,10 +52,20 @@ class ModelStore:
     id order exactly as the SQL and memory backends do.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, cache_capacity: int = 512) -> None:
         self.tasks: dict[int, ModelTask] = {}
         self.in_queue: list[int] = []
         self._next_id = 1
+        # Result cache spec (mirrors TaskStore.cache_get/cache_put):
+        # key -> [eq_type, result, expiry, last_used]; LRU order is a
+        # per-store monotonic use counter, never wall time.
+        self._cache_capacity = cache_capacity
+        self._cache: dict[str, list] = {}
+        self._cache_use = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_inserts = 0
+        self._cache_evictions = 0
 
     # -- creation ---------------------------------------------------------
 
@@ -215,6 +225,51 @@ class ModelStore:
             task.worker_pool = None
             task.lease_expiry = None
         return [t.eq_task_id for t in expired]
+
+    # -- result cache -----------------------------------------------------
+
+    def cache_get(self, cache_key: str, *, now: float = 0.0) -> str | None:
+        entry = self._cache.get(cache_key)
+        if entry is not None:
+            expiry = entry[2]
+            if expiry is not None and expiry <= now:
+                del self._cache[cache_key]
+                entry = None
+        if entry is None:
+            self._cache_misses += 1
+            return None
+        self._cache_use += 1
+        entry[3] = self._cache_use
+        self._cache_hits += 1
+        return entry[1]
+
+    def cache_put(
+        self,
+        cache_key: str,
+        eq_type: int,
+        result: str,
+        *,
+        now: float = 0.0,
+        ttl: float | None = None,
+    ) -> None:
+        self._cache_use += 1
+        expiry = None if ttl is None else now + ttl
+        self._cache[cache_key] = [eq_type, result, expiry, self._cache_use]
+        self._cache_inserts += 1
+        while len(self._cache) > self._cache_capacity:
+            victim = min(self._cache, key=lambda k: self._cache[k][3])
+            del self._cache[victim]
+            self._cache_evictions += 1
+
+    def cache_stats(self) -> dict:
+        return {
+            "entries": len(self._cache),
+            "capacity": self._cache_capacity,
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "inserts": self._cache_inserts,
+            "evictions": self._cache_evictions,
+        }
 
     # -- monitoring -------------------------------------------------------
 

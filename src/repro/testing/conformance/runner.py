@@ -47,17 +47,30 @@ ACCESS_PATHS: tuple[str, ...] = ("memory", "sqlite", "remote")
 
 
 @contextmanager
-def open_path(path: str, journal: Journal) -> Iterator[TaskStore]:
-    """Yield a fresh store for one access path; tears everything down."""
+def open_path(
+    path: str, journal: Journal, cache_capacity: int = 512
+) -> Iterator[TaskStore]:
+    """Yield a fresh store for one access path; tears everything down.
+
+    ``cache_capacity`` must match the schedule's
+    :attr:`~.schedule.ScheduleConfig.cache_capacity` — LRU eviction
+    order is part of the verified contract, so the store and the model
+    have to overflow at the same point.
+    """
     registry = MetricsRegistry()
     if path == "memory":
-        store = MemoryTaskStore(metrics=registry, journal=journal)
+        store = MemoryTaskStore(
+            metrics=registry, journal=journal, cache_capacity=cache_capacity
+        )
         try:
             yield store
         finally:
             store.close()
     elif path == "sqlite":
-        store = SqliteTaskStore(":memory:", metrics=registry, journal=journal)
+        store = SqliteTaskStore(
+            ":memory:", metrics=registry, journal=journal,
+            cache_capacity=cache_capacity,
+        )
         try:
             yield store
         finally:
@@ -68,7 +81,9 @@ def open_path(path: str, journal: Journal) -> Iterator[TaskStore]:
         from repro.core.service import TaskService
         from repro.core.service_client import RemoteTaskStore
 
-        backend = MemoryTaskStore(metrics=registry, journal=journal)
+        backend = MemoryTaskStore(
+            metrics=registry, journal=journal, cache_capacity=cache_capacity
+        )
         service = TaskService(
             backend, metrics=registry, journal=Journal(enabled=False)
         ).start()
@@ -144,7 +159,7 @@ def run_seed(
     for path in paths:
         clock = VirtualClock()
         journal = Journal(clock=clock, enabled=True, capacity=1 << 17)
-        with open_path(path, journal) as store:
+        with open_path(path, journal, config.cache_capacity) as store:
             engine = ScheduleEngine(store, seed, config=config, clock=clock)
             try:
                 histories[path] = engine.run()

@@ -79,6 +79,13 @@ class ScheduleConfig:
     exp_id: str = "exp-conform"
     #: Probability a pop is unleased (never reaped) — the pre-lease mode.
     unleased_fraction: float = 0.1
+    #: Result-cache capacity, deliberately tiny so the schedule reaches
+    #: LRU eviction; the runner must build stores with the same value
+    #: or eviction order diverges from the model.
+    cache_capacity: int = 8
+    #: Distinct cache keys the cacher draws from — larger than the
+    #: capacity so overwrites, misses, and evictions all occur.
+    cache_keys: int = 12
     #: Relative weights of the actor operations.
     weights: dict[str, int] = field(
         default_factory=lambda: {
@@ -93,6 +100,7 @@ class ScheduleConfig:
             "check": 6,
             "jump": 4,
             "waiter": 5,
+            "cacher": 7,
         }
     )
 
@@ -123,7 +131,7 @@ class ScheduleEngine:
         self.seed = seed
         self.config = config if config is not None else ScheduleConfig()
         self.clock = clock if clock is not None else VirtualClock()
-        self.model = ModelStore()
+        self.model = ModelStore(cache_capacity=self.config.cache_capacity)
         self.rng = random.Random(seed)
         self.history: list[list[Any]] = []
         self.pools = [
@@ -497,6 +505,40 @@ class ScheduleEngine:
         )
         self._record("waiter", "in-wake", pool.name, tid, report_outcome)
 
+    def _op_cacher(self) -> None:
+        """Result-cache ops interleaved with every task-state actor.
+
+        Draws gets and puts over a key universe larger than the cache
+        capacity, with a TTL mix spanning the clock jumps, so hits,
+        misses, overwrites, TTL expiry, and LRU eviction all occur and
+        are verified against the model — including
+        ``cache_stats()`` verbatim, proving memoization is invisible to
+        the exactly-once and priority invariants the other actors check.
+        """
+        rng = self.rng
+        key = f"ck-{rng.randrange(self.config.cache_keys)}"
+        now = self.clock.now()
+        if rng.random() < 0.5:
+            got = self.store.cache_get(key, now=now)
+            want = self.model.cache_get(key, now=now)
+            self._verify("cacher:get", got, want)
+            self._record("cacher", "get", key,
+                         "miss" if want is None else "hit")
+        else:
+            eq_type = rng.choice(self.config.work_types)
+            result = f'{{"cached": "{key}", "step": {self._step}}}'
+            # None = immortal; short TTLs die on the next step's tick,
+            # long ones only across a lease-sized clock jump.
+            ttl = rng.choice(
+                [None, 0.01, self.config.lease, 10 * self.config.lease]
+            )
+            self.store.cache_put(key, eq_type, result, now=now, ttl=ttl)
+            self.model.cache_put(key, eq_type, result, now=now, ttl=ttl)
+            self._record("cacher", "put", key,
+                         "none" if ttl is None else ttl)
+        self._verify("cacher:stats", self.store.cache_stats(),
+                     self.model.cache_stats())
+
     def _op_jump(self) -> None:
         """Jump the clock far enough to expire un-renewed leases."""
         dt = self.config.lease * self.rng.uniform(1.0, 1.5)
@@ -526,6 +568,7 @@ class ScheduleEngine:
             "check": self._op_check,
             "jump": self._op_jump,
             "waiter": self._op_waiter,
+            "cacher": self._op_cacher,
         }
         for step in range(self.config.steps):
             self._step = step
@@ -554,4 +597,6 @@ class ScheduleEngine:
         got_prio = [list(p) for p in self.store.get_priorities(ids)]
         want_prio = [list(p) for p in self.model.get_priorities(ids)]
         self._verify("final:priorities", got_prio, want_prio)
+        self._verify("final:cache", self.store.cache_stats(),
+                     self.model.cache_stats())
         self._record("final", want_status, want_prio)

@@ -13,6 +13,7 @@ components we control, mirroring funcX's use of serialized callables.
 from __future__ import annotations
 
 import base64
+import hashlib
 import io
 import json
 import pickle
@@ -39,6 +40,53 @@ def json_loads(text: str) -> Any:
         return json.loads(text)
     except (TypeError, ValueError) as exc:
         raise SerializationError(f"invalid JSON payload: {exc}") from exc
+
+
+def canonical_dumps(obj: Any) -> str:
+    """Serialize ``obj`` to *canonical* JSON: one byte string per value.
+
+    Keys are sorted recursively, separators are compact, and output is
+    ASCII-only, so two structurally equal values — built in any key
+    order, in any process, on any platform — serialize identically.
+    This is the normalization under the content-addressed result cache:
+    the cache key must not depend on dict insertion order or interning
+    accidents.  NaN/Infinity are rejected (they are not JSON and their
+    textual form is not canonical across encoders).
+    """
+    try:
+        return json.dumps(
+            obj,
+            separators=(",", ":"),
+            sort_keys=True,
+            ensure_ascii=True,
+            allow_nan=False,
+        )
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"value is not canonically JSON-serializable: {exc}"
+        ) from exc
+
+
+def cache_key(eq_type: int, payload: str) -> str:
+    """Content address of one task: sha-256 over ``(eq_type, payload)``.
+
+    The payload is parsed as JSON and re-serialized canonically when
+    possible, so submissions differing only in dict key order or
+    whitespace share a key; a payload that is not JSON (e.g. the
+    ``EQ_STOP`` sentinel) is hashed as raw text.  The work type is
+    length-prefixed into the digest so ``(1, "2x")`` and ``(12, "x")``
+    can never collide.
+    """
+    try:
+        canonical = canonical_dumps(json.loads(payload))
+    except (SerializationError, ValueError):
+        canonical = payload
+    h = hashlib.sha256()
+    type_part = str(int(eq_type)).encode("ascii")
+    h.update(len(type_part).to_bytes(4, "big"))
+    h.update(type_part)
+    h.update(canonical.encode("utf-8"))
+    return h.hexdigest()
 
 
 def encode_object(obj: Any) -> bytes:

@@ -1,0 +1,146 @@
+"""Property-based tests for canonical hashing (ISSUE 10 satellite).
+
+The cache key is only sound if it is a pure function of payload
+*content*: insertion order, JSON whitespace, and process boundaries
+must not change it, while any value difference must.  Hypothesis
+drives those invariants over arbitrary JSON-like structures; the
+subprocess test pins down ``PYTHONHASHSEED`` independence.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.util.serialization import SerializationError, cache_key, canonical_dumps
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+# JSON-representable values.  Floats are restricted to finite ones:
+# NaN/Infinity are not canonically serializable (allow_nan=False) and
+# NaN breaks the equality the properties are stated in.
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=20,
+)
+
+
+def shuffled_dumps(obj: object, rng) -> str:
+    """A non-canonical dump: dict keys in a random insertion order."""
+
+    def reorder(value):
+        if isinstance(value, dict):
+            items = [(k, reorder(v)) for k, v in value.items()]
+            rng.shuffle(items)
+            return dict(items)
+        if isinstance(value, list):
+            return [reorder(v) for v in value]
+        return value
+
+    return json.dumps(reorder(obj), indent=rng.choice([None, 1, 2]))
+
+
+class TestCanonicalDumps:
+    @given(json_values)
+    def test_round_trip_is_identity(self, value):
+        canonical = canonical_dumps(value)
+        assert canonical_dumps(json.loads(canonical)) == canonical
+
+    @given(json_values)
+    def test_key_order_does_not_matter(self, value):
+        import random
+
+        rng = random.Random(0)
+        assert canonical_dumps(json.loads(shuffled_dumps(value, rng))) == (
+            canonical_dumps(value)
+        )
+
+    def test_rejects_non_json(self):
+        with pytest.raises(SerializationError):
+            canonical_dumps({"x": object()})
+
+    def test_rejects_nan(self):
+        with pytest.raises(SerializationError):
+            canonical_dumps(float("nan"))
+
+
+class TestCacheKey:
+    @given(st.integers(min_value=0, max_value=10), json_values)
+    def test_invariant_under_dict_order_and_whitespace(self, eq_type, value):
+        import random
+
+        rng = random.Random(1)
+        base = cache_key(eq_type, json.dumps(value))
+        for _ in range(3):
+            assert cache_key(eq_type, shuffled_dumps(value, rng)) == base
+
+    @given(st.integers(min_value=0, max_value=10), json_values)
+    def test_json_round_trip_stable(self, eq_type, value):
+        payload = json.dumps(value)
+        rehydrated = json.dumps(json.loads(payload))
+        assert cache_key(eq_type, payload) == cache_key(eq_type, rehydrated)
+
+    @given(json_values, json_values)
+    def test_distinct_payloads_distinct_keys(self, a, b):
+        if canonical_dumps(a) == canonical_dumps(b):
+            return
+        assert cache_key(0, json.dumps(a)) != cache_key(0, json.dumps(b))
+
+    @given(st.integers(min_value=0, max_value=5), json_values)
+    def test_eq_type_is_part_of_the_key(self, eq_type, value):
+        payload = json.dumps(value)
+        assert cache_key(eq_type, payload) != cache_key(eq_type + 1, payload)
+
+    def test_type_payload_boundary_is_unambiguous(self):
+        # The eq_type is length-prefixed, so a digit cannot migrate
+        # between the type and the payload text.
+        assert cache_key(1, "23") != cache_key(12, "3")
+
+    def test_non_json_payload_hashes_as_raw_text(self):
+        # Sentinels like EQ_STOP are not JSON; they still get a stable,
+        # distinct key.
+        assert cache_key(0, "EQ_STOP") == cache_key(0, "EQ_STOP")
+        assert cache_key(0, "EQ_STOP") != cache_key(0, "EQ_ABORT")
+
+
+class TestCrossProcessStability:
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=3), json_values)
+    def test_stable_across_subprocess_boundaries(self, eq_type, value):
+        payload = json.dumps(value)
+        script = (
+            "import sys, json\n"
+            "from repro.util.serialization import cache_key\n"
+            "eq_type, payload = json.loads(sys.stdin.read())\n"
+            "sys.stdout.write(cache_key(eq_type, payload))\n"
+        )
+        import os
+        from pathlib import Path
+
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parent.parent)
+        # A different hash seed per subprocess: any dict-order
+        # dependence in the canonicalization would show up here.
+        env["PYTHONHASHSEED"] = "random"
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            input=json.dumps([eq_type, payload]),
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert proc.stdout == cache_key(eq_type, payload)
